@@ -1,0 +1,577 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§9, Appendix D), plus ablations and Bechamel microbenchmarks.
+
+   Usage:  dune exec bench/main.exe [-- EXPERIMENT...] [--quick]
+
+   Experiments: fig1 fig8 fig9 table1 fig11 fig12 fig13 fig14 fig15 fig16
+   ablations micro all (default: all). Absolute numbers come from a
+   calibrated simulation (see DESIGN.md); the paper-comparable quantity is
+   the *shape* of each series. *)
+
+open Spinnaker
+
+let quick = ref false
+
+let sec_f s = Sim.Sim_time.of_sec_f s
+let measure_span () = if !quick then sec_f 2.0 else sec_f 8.0
+let warmup_span () = if !quick then sec_f 0.5 else sec_f 2.0
+
+let read_threads () = if !quick then [ 8; 64; 256 ] else [ 4; 8; 16; 32; 64; 128; 256; 384 ]
+let write_threads () = if !quick then [ 8; 64; 256 ] else [ 4; 8; 16; 32; 64; 128; 256; 384 ]
+
+let header title = Format.printf "@.=== %s ===@." title
+
+let print_series name (points : Workload.Experiment.sweep_point list)
+    (select : Workload.Experiment.outcome -> Sim.Metrics.run_stats) =
+  Format.printf "  %-34s %8s %12s %10s %10s@." name "threads" "load(req/s)" "mean(ms)" "p99(ms)";
+  List.iter
+    (fun Workload.Experiment.{ threads; outcome } ->
+      let s = select outcome in
+      Format.printf "  %-34s %8d %12.0f %10.2f %10.2f@." "" threads
+        s.Sim.Metrics.throughput_per_sec s.Sim.Metrics.mean_latency_ms s.Sim.Metrics.p99_ms)
+    points
+
+(* --- cluster builders --------------------------------------------------- *)
+
+let spin_cluster ?(config = Config.default) () =
+  let engine = Sim.Engine.create ~seed:config.Config.seed () in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then failwith "spinnaker cluster not ready";
+  (engine, cluster)
+
+let cas_cluster ?(config = Config.default) () =
+  let engine = Sim.Engine.create ~seed:config.Config.seed () in
+  let cluster = Eventual.Cas_cluster.create engine config in
+  Eventual.Cas_cluster.start cluster;
+  (engine, cluster)
+
+let base_spec ?(write_fraction = 0.0) ?(conditional = false)
+    ?(key_mode = Workload.Generator.Uniform_random) () =
+  {
+    Workload.Experiment.default_spec with
+    Workload.Experiment.write_fraction;
+    conditional;
+    key_mode;
+    warmup = warmup_span ();
+    measure = measure_span ();
+  }
+
+let consecutive = Workload.Generator.Consecutive { stride = 257 }
+
+let spin_sweep ?config ~consistent_reads ?(conditional = false) ~spec threads =
+  let engine, cluster = spin_cluster ?config () in
+  Workload.Experiment.sweep ~engine ~partition:(Cluster.partition cluster)
+    ~key_space:(Cluster.config cluster).Config.key_space
+    ~make_driver:(fun () ->
+      if conditional then Workload.Driver.spinnaker_conditional cluster
+      else Workload.Driver.spinnaker cluster ~consistent_reads ())
+    ~thread_counts:threads
+    { spec with Workload.Experiment.conditional }
+
+let cas_sweep ?config ~read_level ~write_level ~spec threads =
+  let engine, cluster = cas_cluster ?config () in
+  Workload.Experiment.sweep ~engine ~partition:(Eventual.Cas_cluster.partition cluster)
+    ~key_space:(Eventual.Cas_cluster.config cluster).Config.key_space
+    ~make_driver:(fun () -> Workload.Driver.cassandra cluster ~read_level ~write_level ())
+    ~thread_counts:threads spec
+
+(* --- Figure 1: master-slave unavailability ------------------------------- *)
+
+let fig1 () =
+  header "Figure 1: master-slave replication loses availability (and data)";
+  let engine = Sim.Engine.create () in
+  let pair = Masterslave.Ms_pair.create engine () in
+  let put key =
+    let done_ = ref None in
+    Masterslave.Ms_pair.put pair ~key ~value:"v" (fun r -> done_ := Some r);
+    let rec wait () =
+      match !done_ with
+      | Some r -> r
+      | None ->
+        Sim.Engine.run_for engine (Sim.Sim_time.ms 5);
+        wait ()
+    in
+    wait ()
+  in
+  for i = 1 to 10 do
+    ignore (put (Printf.sprintf "k%d" i))
+  done;
+  Format.printf "  (a) both up:            master LSN=%d  slave LSN=%d@."
+    (Masterslave.Ms_pair.committed_lsn pair Masterslave.Ms_pair.Master)
+    (Masterslave.Ms_pair.committed_lsn pair Masterslave.Ms_pair.Slave);
+  Masterslave.Ms_pair.crash pair Masterslave.Ms_pair.Slave;
+  for i = 11 to 20 do
+    ignore (put (Printf.sprintf "k%d" i))
+  done;
+  Format.printf "  (b,c) slave down, master continues to LSN=%d, then master dies@."
+    (Masterslave.Ms_pair.committed_lsn pair Masterslave.Ms_pair.Master);
+  Masterslave.Ms_pair.crash pair Masterslave.Ms_pair.Master;
+  Masterslave.Ms_pair.restart pair Masterslave.Ms_pair.Slave;
+  Format.printf "  (d) slave back, master down: available for writes = %b@."
+    (Masterslave.Ms_pair.available_for_writes pair);
+  Masterslave.Ms_pair.destroy pair Masterslave.Ms_pair.Master;
+  Format.printf "      after permanent master failure: %d committed writes lost@."
+    (Masterslave.Ms_pair.lost_writes pair);
+  Format.printf
+    "  contrast: Spinnaker's quorum commit keeps the cohort available through@.\
+    \  the same sequence and loses nothing (see the masterslave test suite).@."
+
+(* --- Figure 8: read latency vs load -------------------------------------- *)
+
+let fig8 () =
+  header "Figure 8: average read latency vs load (4KB random reads, 10 nodes)";
+  let spec = base_spec () in
+  let threads = read_threads () in
+  print_series "Spinnaker consistent reads"
+    (spin_sweep ~consistent_reads:true ~spec threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Spinnaker timeline reads"
+    (spin_sweep ~consistent_reads:false ~spec threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Cassandra quorum reads"
+    (cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
+       ~spec threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Cassandra weak reads"
+    (cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.Quorum
+       ~spec threads)
+    (fun o -> o.Workload.Experiment.all)
+
+(* --- Figure 9: write latency vs load -------------------------------------- *)
+
+let fig9 () =
+  header "Figure 9: average write latency vs load (4KB consecutive keys, magnetic log)";
+  let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+  let threads = write_threads () in
+  print_series "Spinnaker writes"
+    (spin_sweep ~consistent_reads:true ~spec threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Cassandra quorum writes"
+    (cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
+       ~spec threads)
+    (fun o -> o.Workload.Experiment.all)
+
+(* --- Table 1: cohort recovery time vs commit period ------------------------ *)
+
+(* A single client's threads write 4KB values into one cohort's key range;
+   we kill the leader and measure how long the cohort stays unavailable for
+   writes, excluding failure detection (the paper excludes its 2 s Zookeeper
+   timeout; we measure from the moment the survivors start electing). *)
+let availability_run ~commit_period ~piggyback =
+  let config =
+    {
+      Config.default with
+      Config.nodes = 5;
+      commit_period;
+      piggyback_commits = piggyback;
+      session_timeout = Sim.Sim_time.sec 2;
+    }
+  in
+  let engine, cluster = spin_cluster ~config () in
+  let client = Cluster.new_client cluster in
+  let width = config.Config.key_space / config.Config.nodes in
+  let cursor = ref 0 in
+  let last_completion = ref Sim.Sim_time.zero in
+  let value = Workload.Generator.value ~size:4096 in
+  let rec writer () =
+    let key = Partition.key_of_int (Cluster.partition cluster) (!cursor mod width) in
+    incr cursor;
+    Client.put client key "c" ~value (fun _ ->
+        last_completion := Sim.Engine.now engine;
+        writer ())
+  in
+  for _ = 1 to 8 do
+    writer ()
+  done;
+  (* Reach steady state: followers lag the leader by up to a commit period. *)
+  let settle = Sim.Sim_time.span_add commit_period (Sim.Sim_time.sec 5) in
+  Sim.Engine.run_for engine settle;
+  let leader = Option.get (Cluster.leader_of cluster ~range:0) in
+  (* Crash just before the leader's next commit message, when the followers'
+     backlog — the writes the new leader must re-propose — is maximal; this
+     is the regime the paper's proportionality describes. *)
+  (let t0 =
+     match
+       List.find_opt
+         (fun e ->
+           String.equal e.Sim.Trace.tag "cohort_open"
+           && String.length e.Sim.Trace.detail > 2
+           && String.sub e.Sim.Trace.detail 0 2 = "r0")
+         (Sim.Trace.events (Cluster.trace cluster))
+     with
+     | Some e -> e.Sim.Trace.at
+     | None -> Sim.Sim_time.zero
+   in
+   let period_us = Sim.Sim_time.to_us commit_period in
+   let elapsed_us = Sim.Sim_time.to_us (Sim.Sim_time.diff (Sim.Engine.now engine) t0) in
+   let next_tick = ((elapsed_us / period_us) + 2) * period_us in
+   let crash_at = Sim.Sim_time.add t0 (Sim.Sim_time.us (next_tick - 50_000)) in
+   Sim.Engine.run_until engine crash_at);
+  let t_crash = Sim.Engine.now engine in
+  Cluster.crash_node cluster leader;
+  (* Run until a write completes after the crash. *)
+  let deadline = Sim.Sim_time.add t_crash (Sim.Sim_time.sec 120) in
+  let rec wait () =
+    if Sim.Sim_time.(!last_completion > t_crash) then ()
+    else if Sim.Sim_time.(Sim.Engine.now engine >= deadline) then
+      failwith "availability run: no recovery within 120 s"
+    else begin
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 20);
+      wait ()
+    end
+  in
+  wait ();
+  let trace = Cluster.trace cluster in
+  let detection =
+    List.filter_map
+      (fun e ->
+        if
+          String.equal e.Sim.Trace.tag "election_start"
+          && Sim.Sim_time.(e.Sim.Trace.at > t_crash)
+          && String.length e.Sim.Trace.detail > 2
+          && String.sub e.Sim.Trace.detail 0 2 = "r0"
+        then Some e.Sim.Trace.at
+        else None)
+      (Sim.Trace.events trace)
+  in
+  let t_detect = match detection with t :: _ -> t | [] -> t_crash in
+  Sim.Sim_time.to_sec_f (Sim.Sim_time.diff !last_completion t_detect)
+
+let table1 () =
+  header "Table 1: cohort recovery time vs commit period (failure detection excluded)";
+  let periods = if !quick then [ 1; 5 ] else [ 1; 5; 10; 15 ] in
+  Format.printf "  %-22s" "Commit Period (sec)";
+  List.iter (fun p -> Format.printf "%8d" p) periods;
+  Format.printf "@.  %-22s" "Recovery Time (sec)";
+  List.iter
+    (fun p ->
+      let r = availability_run ~commit_period:(Sim.Sim_time.sec p) ~piggyback:false in
+      Format.printf "%8.1f" r)
+    periods;
+  Format.printf "@."
+
+(* --- Figure 11: write latency vs cluster size ------------------------------ *)
+
+let fig11 () =
+  header "Figure 11: write latency with increasing cluster size (fixed per-node load)";
+  let sizes = if !quick then [ 20; 40 ] else [ 20; 40; 80 ] in
+  Format.printf "  %-28s %8s %12s %10s@." "" "nodes" "load(req/s)" "mean(ms)";
+  List.iter
+    (fun nodes ->
+      let config = { Config.default with Config.nodes } in
+      let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+      let threads = nodes * 4 in
+      List.iter
+        (fun Workload.Experiment.{ outcome; _ } ->
+          Format.printf "  %-28s %8d %12.0f %10.2f@." "Spinnaker writes" nodes
+            outcome.Workload.Experiment.all.Sim.Metrics.throughput_per_sec
+            outcome.Workload.Experiment.all.Sim.Metrics.mean_latency_ms)
+        (spin_sweep ~config ~consistent_reads:true ~spec [ threads ]);
+      List.iter
+        (fun Workload.Experiment.{ outcome; _ } ->
+          Format.printf "  %-28s %8d %12.0f %10.2f@." "Cassandra quorum writes" nodes
+            outcome.Workload.Experiment.all.Sim.Metrics.throughput_per_sec
+            outcome.Workload.Experiment.all.Sim.Metrics.mean_latency_ms)
+        (cas_sweep ~config ~read_level:Eventual.Cas_message.Quorum
+           ~write_level:Eventual.Cas_message.Quorum ~spec [ threads ]))
+    sizes
+
+(* --- Figure 12: mixed workload ---------------------------------------------- *)
+
+let fig12 () =
+  header "Figure 12: average latency on a mixed workload vs write percentage";
+  let fractions = if !quick then [ 0.1; 0.5 ] else [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ] in
+  let threads = 16 in
+  let run name sweep =
+    Format.printf "  %-40s %8s %12s %10s@." name "write%" "load(req/s)" "mean(ms)";
+    List.iter
+      (fun wf ->
+        let spec = base_spec ~write_fraction:wf () in
+        List.iter
+          (fun Workload.Experiment.{ outcome; _ } ->
+            Format.printf "  %-40s %8.0f %12.0f %10.2f@." "" (wf *. 100.0)
+              outcome.Workload.Experiment.all.Sim.Metrics.throughput_per_sec
+              outcome.Workload.Experiment.all.Sim.Metrics.mean_latency_ms)
+          (sweep spec))
+      fractions
+  in
+  run "Spinnaker consistent reads + writes" (fun spec ->
+      spin_sweep ~consistent_reads:true ~spec [ threads ]);
+  run "Spinnaker timeline reads + writes" (fun spec ->
+      spin_sweep ~consistent_reads:false ~spec [ threads ]);
+  run "Cassandra quorum reads + quorum writes" (fun spec ->
+      cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
+        ~spec [ threads ]);
+  run "Cassandra weak reads + quorum writes" (fun spec ->
+      cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.Quorum
+        ~spec [ threads ])
+
+(* --- Figure 13: SSD log ------------------------------------------------------ *)
+
+let fig13 () =
+  header "Figure 13: average write latency using an SSD for logging";
+  let config = { Config.default with Config.disk = Sim.Disk_model.Ssd } in
+  let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+  let threads = write_threads () in
+  print_series "Spinnaker writes (SSD log)"
+    (spin_sweep ~config ~consistent_reads:true ~spec threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Cassandra quorum writes (SSD log)"
+    (cas_sweep ~config ~read_level:Eventual.Cas_message.Quorum
+       ~write_level:Eventual.Cas_message.Quorum ~spec threads)
+    (fun o -> o.Workload.Experiment.all)
+
+(* --- Figure 14: conditional put vs put ---------------------------------------- *)
+
+let fig14 () =
+  header "Figure 14: conditional put vs regular put (Spinnaker)";
+  let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+  let threads = write_threads () in
+  print_series "Spinnaker conditional put"
+    (spin_sweep ~consistent_reads:true ~conditional:true ~spec threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Spinnaker regular put"
+    (spin_sweep ~consistent_reads:true ~spec threads)
+    (fun o -> o.Workload.Experiment.all)
+
+(* --- Figure 15: weak vs quorum writes (Cassandra) ------------------------------- *)
+
+let fig15 () =
+  header "Figure 15: weak vs quorum writes in Cassandra";
+  let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+  let threads = write_threads () in
+  print_series "Cassandra weak writes"
+    (cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.One ~spec
+       threads)
+    (fun o -> o.Workload.Experiment.all);
+  print_series "Cassandra quorum writes"
+    (cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
+       ~spec threads)
+    (fun o -> o.Workload.Experiment.all)
+
+(* --- Figure 16: main-memory log -------------------------------------------------- *)
+
+let fig16 () =
+  header "Figure 16: write latency with a main-memory log (commit = 2/3 memory logs)";
+  let config = { Config.default with Config.disk = Sim.Disk_model.Memory } in
+  let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+  let threads = write_threads () in
+  print_series "Spinnaker writes (main-memory log)"
+    (spin_sweep ~config ~consistent_reads:true ~spec threads)
+    (fun o -> o.Workload.Experiment.all)
+
+(* --- Ablations --------------------------------------------------------------------- *)
+
+let ablation_group_commit () =
+  header "Ablation: group commit on/off (Spinnaker writes, magnetic log)";
+  let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
+  List.iter
+    (fun (label, batch) ->
+      let config = { Config.default with Config.wal_max_batch = batch } in
+      print_series label
+        (spin_sweep ~config ~consistent_reads:true ~spec [ 64 ])
+        (fun o -> o.Workload.Experiment.all))
+    [ ("group commit (batch 24)", 24); ("no group commit (batch 1)", 1) ]
+
+let ablation_piggyback () =
+  header "Ablation: piggy-backed commit messages (§D.1) — recovery at 10 s commit period";
+  List.iter
+    (fun (label, piggyback) ->
+      let r = availability_run ~commit_period:(Sim.Sim_time.sec 10) ~piggyback in
+      Format.printf "  %-44s recovery %.2f s@." label r)
+    [ ("commit messages every 10 s", false); ("piggy-backed on proposes", true) ]
+
+let ablation_staleness () =
+  header "Ablation: timeline-read staleness vs commit period";
+  let periods = if !quick then [ 200; 1000 ] else [ 200; 1000; 5000 ] in
+  List.iter
+    (fun period_ms ->
+      let config =
+        { Config.default with Config.nodes = 5; commit_period = Sim.Sim_time.ms period_ms }
+      in
+      let engine, cluster = spin_cluster ~config () in
+      let client = Cluster.new_client cluster in
+      let key = Partition.key_of_int (Cluster.partition cluster) 7 in
+      (* A writer stamps the key with the current time; timeline readers
+         measure the age of the value they observe. *)
+      let rec writer () =
+        let now_us = Sim.Sim_time.time_to_us (Sim.Engine.now engine) in
+        Client.put client key "c" ~value:(string_of_int now_us) (fun _ ->
+            ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 20) writer))
+      in
+      writer ();
+      let ages = Sim.Metrics.Histogram.create ~name:"staleness" () in
+      let rec reader n =
+        if n > 0 then
+          Client.get client ~consistent:false key "c" (fun r ->
+              (match r with
+              | Ok Client.{ value = Some v; _ } ->
+                let age = Sim.Sim_time.time_to_us (Sim.Engine.now engine) - int_of_string v in
+                Sim.Metrics.Histogram.record ages (float_of_int age)
+              | _ -> ());
+              ignore
+                (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 10) (fun () ->
+                     reader (n - 1))))
+      in
+      Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+      reader 400;
+      Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+      Format.printf "  commit period %5d ms: mean staleness %7.1f ms, p99 %7.1f ms (%d reads)@."
+        period_ms
+        (Sim.Metrics.Histogram.mean ages /. 1e3)
+        (Sim.Metrics.Histogram.percentile ages 0.99 /. 1e3)
+        (Sim.Metrics.Histogram.count ages))
+    periods
+
+let ablations () =
+  ablation_group_commit ();
+  ablation_staleness ();
+  ablation_piggyback ()
+
+(* --- Bechamel microbenchmarks ------------------------------------------------------- *)
+
+let micro () =
+  header "Microbenchmarks (Bechamel): substrate operations";
+  let open Bechamel in
+  let memtable_insert =
+    Test.make ~name:"memtable-insert-1k"
+      (Staged.stage (fun () ->
+           let m = Storage.Memtable.create () in
+           for i = 0 to 999 do
+             Storage.Memtable.put m
+               (Printf.sprintf "key-%d" i, "c")
+               {
+                 Storage.Row.value = Some "value";
+                 version = 1;
+                 lsn = Storage.Lsn.make ~epoch:1 ~seq:i;
+                 timestamp = 0;
+               }
+           done))
+  in
+  let entries =
+    List.init 1000 (fun i ->
+        ( (Printf.sprintf "key-%06d" i, "c"),
+          {
+            Storage.Row.value = Some "value";
+            version = 1;
+            lsn = Storage.Lsn.make ~epoch:1 ~seq:(i + 1);
+            timestamp = 0;
+          } ))
+  in
+  let table = Storage.Sstable.build entries in
+  let sstable_lookup =
+    Test.make ~name:"sstable-get-1k"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Storage.Sstable.get table (Printf.sprintf "key-%06d" i, "c"))
+           done))
+  in
+  let bloom = Storage.Bloom.create ~expected:10_000 () in
+  let () =
+    for i = 0 to 9_999 do
+      Storage.Bloom.add bloom (string_of_int i)
+    done
+  in
+  let bloom_query =
+    Test.make ~name:"bloom-mem-1k"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Storage.Bloom.mem bloom (string_of_int i))
+           done))
+  in
+  let merkle_build =
+    Test.make ~name:"merkle-build-1k"
+      (Staged.stage (fun () -> ignore (Eventual.Merkle.build entries)))
+  in
+  let heap_churn =
+    Test.make ~name:"event-heap-push-pop-1k"
+      (Staged.stage (fun () ->
+           let h = Sim.Event_heap.create () in
+           for i = 0 to 999 do
+             ignore (Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us (i * 7919 mod 10_000)) i)
+           done;
+           while Sim.Event_heap.pop h <> None do
+             ()
+           done))
+  in
+  let sim_second =
+    Test.make ~name:"paxos-cohort-sim-second"
+      (Staged.stage (fun () ->
+           (* One simulated second of a small Spinnaker cluster under write
+              load: end-to-end cost of the whole stack. *)
+           let config = { Config.default with Config.nodes = 3; disk = Sim.Disk_model.Ssd } in
+           let engine, cluster = spin_cluster ~config () in
+           let client = Cluster.new_client cluster in
+           let rec writer i =
+             Client.put client
+               (Partition.key_of_int (Cluster.partition cluster) (i mod 1000))
+               "c" ~value:"x"
+               (fun _ -> writer (i + 1))
+           in
+           writer 0;
+           Sim.Engine.run_for engine (Sim.Sim_time.sec 1)))
+  in
+  let tests =
+    Test.make_grouped ~name:"spinnaker"
+      [ memtable_insert; sstable_lookup; bloom_query; merkle_build; heap_churn; sim_second ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  List.iter
+    (fun instance ->
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> nan
+          in
+          Format.printf "  %-44s %14.0f ns/run@." name estimate)
+        results)
+    instances
+
+(* --- driver ----------------------------------------------------------------------------- *)
+
+let all_experiments =
+  [
+    ("fig1", fig1);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("table1", table1);
+    ("fig11", fig11);
+    ("fig12", fig12);
+    ("fig13", fig13);
+    ("fig14", fig14);
+    ("fig15", fig15);
+    ("fig16", fig16);
+    ("ablations", ablations);
+    ("micro", micro);
+  ]
+
+let run_experiments names quick_flag =
+  quick := quick_flag;
+  let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f -> f ()
+      | None ->
+        Format.printf "unknown experiment %s (known: %s)@." name
+          (String.concat ", " (List.map fst all_experiments)))
+    names
+
+open Cmdliner
+
+let names_t =
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Experiments to run.")
+
+let quick_t = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps for CI.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run_experiments $ names_t $ quick_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,73 @@
+(* CLI driving a simulated Spinnaker cluster: boots it, runs a scripted
+   put/get/failover session, and prints what happened. *)
+
+open Spinnaker
+
+let run nodes seed verbose =
+  let engine = Sim.Engine.create ~seed () in
+  let config = { Config.default with Config.nodes; seed } in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then begin
+    print_endline "cluster failed to become ready";
+    if verbose then Format.printf "%a@." Sim.Trace.pp (Cluster.trace cluster);
+    exit 1
+  end;
+  Format.printf "cluster ready at %a; leaders:@." Sim.Sim_time.pp (Sim.Engine.now engine);
+  for r = 0 to Partition.ranges (Cluster.partition cluster) - 1 do
+    match Cluster.leader_of cluster ~range:r with
+    | Some l -> Format.printf "  range %d -> node %d@." r l
+    | None -> Format.printf "  range %d -> (none)@." r
+  done;
+  let client = Cluster.new_client cluster in
+  let key = Partition.key_of_int (Cluster.partition cluster) 123 in
+  Client.put client key "status" ~value:"hello-spinnaker" (fun r ->
+      Format.printf "put -> %s@."
+        (match r with Ok () -> "ok" | Error e -> Format.asprintf "%a" Client.pp_error e));
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 500);
+  Client.get client key "status" (fun r ->
+      match r with
+      | Ok { value; version } ->
+        Format.printf "get -> %s (version %d)@."
+          (Option.value ~default:"<none>" value)
+          version
+      | Error e -> Format.printf "get -> error: %a@." Client.pp_error e);
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 500);
+  (* Failover: kill the leader of the key's range, keep reading/writing. *)
+  let range = Partition.route (Cluster.partition cluster) key in
+  (match Cluster.leader_of cluster ~range with
+  | Some l ->
+    Format.printf "killing leader of range %d (node %d)...@." range l;
+    Cluster.crash_node cluster l
+  | None -> ());
+  Client.put client key "status" ~value:"after-failover" (fun r ->
+      Format.printf "put during failover -> %s at %a@."
+        (match r with Ok () -> "ok" | Error e -> Format.asprintf "%a" Client.pp_error e)
+        Sim.Sim_time.pp (Sim.Engine.now engine));
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+  Client.get client key "status" (fun r ->
+      match r with
+      | Ok { value; version } ->
+        Format.printf "get after failover -> %s (version %d)@."
+          (Option.value ~default:"<none>" value)
+          version
+      | Error e -> Format.printf "get after failover -> error: %a@." Client.pp_error e);
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  Format.printf "@.--- cluster status ---@.%a" Cluster.pp_status cluster;
+  if verbose then Format.printf "--- trace ---@.%a" Sim.Trace.pp (Cluster.trace cluster);
+  Format.printf "done at %a@." Sim.Sim_time.pp (Sim.Engine.now engine)
+
+open Cmdliner
+
+let nodes_t =
+  Arg.(value & opt int 10 & info [ "n"; "nodes" ] ~doc:"Cluster size.")
+
+let seed_t = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Simulation seed.")
+let verbose_t = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the event trace.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "spinnaker_demo" ~doc:"Drive a simulated Spinnaker cluster")
+    Term.(const run $ nodes_t $ seed_t $ verbose_t)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,72 @@
+(* Timeline vs strong consistency (§3, §5).
+
+     dune exec examples/timeline_vs_strong.exe
+
+   A writer updates a key every 50 ms with the current simulated time.
+   Two readers poll it: one with strong reads (always the leader, always
+   fresh) and one with timeline reads (any replica, possibly stale by up to
+   the commit period). The demo reports observed staleness for both, under
+   two commit periods, showing exactly the freshness/performance dial the
+   paper describes. *)
+
+open Spinnaker
+
+let run_with_commit_period period_ms =
+  let engine = Sim.Engine.create ~seed:9 () in
+  let config =
+    {
+      Config.default with
+      Config.nodes = 5;
+      disk = Sim.Disk_model.Ssd;
+      commit_period = Sim.Sim_time.ms period_ms;
+    }
+  in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  assert (Cluster.run_until_ready cluster);
+  let key = Partition.key_of_int (Cluster.partition cluster) 99 in
+  let writer = Cluster.new_client cluster in
+  let rec write_loop () =
+    let stamp = string_of_int (Sim.Sim_time.time_to_us (Sim.Engine.now engine)) in
+    Client.put writer key "t" ~value:stamp (fun _ ->
+        ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 50) write_loop))
+  in
+  write_loop ();
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+
+  let strong_ages = Sim.Metrics.Histogram.create ~name:"strong" () in
+  let timeline_ages = Sim.Metrics.Histogram.create ~name:"timeline" () in
+  let reader ~consistent hist =
+    let client = Cluster.new_client cluster in
+    let rec loop n =
+      if n > 0 then
+        Client.get client ~consistent key "t" (fun result ->
+            (match result with
+            | Ok Client.{ value = Some v; _ } ->
+              let age = Sim.Sim_time.time_to_us (Sim.Engine.now engine) - int_of_string v in
+              Sim.Metrics.Histogram.record hist (float_of_int age)
+            | _ -> ());
+            ignore
+              (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 25) (fun () -> loop (n - 1))))
+    in
+    loop 200
+  in
+  reader ~consistent:true strong_ages;
+  reader ~consistent:false timeline_ages;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+  Format.printf
+    "  commit period %4d ms | strong reads: mean age %6.1f ms | timeline reads: mean age %6.1f \
+     ms (p99 %6.1f ms)@."
+    period_ms
+    (Sim.Metrics.Histogram.mean strong_ages /. 1e3)
+    (Sim.Metrics.Histogram.mean timeline_ages /. 1e3)
+    (Sim.Metrics.Histogram.percentile timeline_ages 0.99 /. 1e3)
+
+let () =
+  Format.printf "staleness observed by readers (writer updates every 50 ms):@.";
+  run_with_commit_period 200;
+  run_with_commit_period 1000;
+  Format.printf
+    "strong reads always reflect the last committed write; timeline staleness@.\
+     tracks the commit period — decrease it (or piggy-back commits) for@.\
+     fresher followers at slightly higher message cost (§5, §D.1).@."

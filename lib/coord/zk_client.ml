@@ -1,0 +1,106 @@
+type t = {
+  server : Zk_server.t;
+  engine : Sim.Engine.t;
+  owner : string;
+  session : int;
+  latency : Sim.Distribution.t;
+  rng : Sim.Rng.t;
+  mutable alive : bool;
+  mutable fifo_horizon : Sim.Sim_time.t;
+      (** server-side execution time of the client's latest request; later
+          requests may not execute before it (ZooKeeper's FIFO client order,
+          which watch-then-read patterns rely on) *)
+}
+
+let default_latency = Sim.Distribution.Shifted_exponential { base = 150.0; mean_extra = 50.0 }
+
+let heartbeat_loop t =
+  let interval = Sim.Sim_time.us (Sim.Sim_time.to_us (Zk_server.session_timeout t.server) / 4) in
+  let rec beat () =
+    if t.alive then begin
+      Zk_server.heartbeat t.server ~session:t.session;
+      ignore (Sim.Engine.schedule t.engine ~after:interval beat)
+    end
+  in
+  ignore (Sim.Engine.schedule t.engine ~after:interval beat)
+
+let connect server ~owner ?(latency = default_latency) () =
+  let engine = Zk_server.engine server in
+  let t =
+    {
+      server;
+      engine;
+      owner;
+      session = Zk_server.open_session server;
+      latency;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
+      alive = true;
+      fifo_horizon = Sim.Sim_time.zero;
+    }
+  in
+  heartbeat_loop t;
+  t
+
+let owner t = t.owner
+let session t = t.session
+let alive t = t.alive
+let crash t = t.alive <- false
+
+let close t =
+  t.alive <- false;
+  Zk_server.close_session t.server ~session:t.session
+
+let delay t = Sim.Distribution.sample_span t.latency t.rng
+
+(* One round trip: request travels to the service, executes atomically there,
+   and the response travels back. Requests from one client execute in issue
+   order (TCP-like FIFO, as in ZooKeeper — the election's arm-watch-then-read
+   pattern depends on it). Both legs are suppressed if the client crashed. *)
+let call t op k =
+  if t.alive then begin
+    let arrival =
+      Sim.Sim_time.max
+        (Sim.Sim_time.add (Sim.Engine.now t.engine) (delay t))
+        (Sim.Sim_time.add t.fifo_horizon (Sim.Sim_time.us 1))
+    in
+    t.fifo_horizon <- arrival;
+    ignore
+      (Sim.Engine.schedule_at t.engine arrival (fun () ->
+           let result = op () in
+           ignore
+             (Sim.Engine.schedule t.engine ~after:(delay t) (fun () ->
+                  if t.alive then k result))))
+  end
+
+let create_node t ~path ?(data = "") ?(ephemeral = false) ?(sequential = false) k =
+  call t
+    (fun () ->
+      Zk_server.create_node t.server ~session:t.session ~path ~data ~ephemeral ~sequential)
+    k
+
+let delete_node t ~path k =
+  call t (fun () -> Zk_server.delete_node t.server ~session:t.session ~path) k
+
+let delete_recursive t ~path k =
+  call t (fun () -> Zk_server.delete_recursive t.server ~session:t.session ~path) k
+
+let get_data t ~path k = call t (fun () -> Zk_server.get_data t.server ~path) k
+
+let set_data t ~path ~data k =
+  call t (fun () -> Zk_server.set_data t.server ~session:t.session ~path ~data) k
+
+let children t ~path k = call t (fun () -> Zk_server.children t.server ~path) k
+
+let incr_counter t ~path k =
+  call t (fun () -> Zk_server.incr_counter t.server ~session:t.session ~path) k
+
+let exists t ~path k = call t (fun () -> Zk_server.exists t.server ~path) k
+
+let wrap_watch t w () =
+  if t.alive then ignore (Sim.Engine.schedule t.engine ~after:(delay t) (fun () -> if t.alive then w ()))
+
+let watch_node t ~path w =
+  call t (fun () -> Zk_server.watch_node t.server ~path (wrap_watch t w)) (fun () -> ())
+
+let watch_children t ~path w =
+  call t (fun () -> Zk_server.watch_children t.server ~path (wrap_watch t w)) (fun () -> ())

@@ -1,0 +1,51 @@
+(** Client handle to the coordination service.
+
+    Each datastore node embeds one (§7.2). Calls pay a round-trip latency to
+    the service; responses and watch notifications are suppressed once the
+    owner crashes (its session then expires and ephemerals disappear). A
+    restarted node connects with a {e new} session. Heartbeats run
+    automatically until [crash] or [close]. *)
+
+type t
+
+val connect :
+  Zk_server.t -> owner:string -> ?latency:Sim.Distribution.t -> unit -> t
+(** [latency] is the one-way client-service delay (default ~200 µs —
+    the service sits on the same rack fabric but behind its own switch hop). *)
+
+val owner : t -> string
+
+val session : t -> int
+
+val alive : t -> bool
+
+val crash : t -> unit
+(** Stop heartbeating and drop pending responses; the server will expire the
+    session after its timeout, deleting this client's ephemerals. *)
+
+val close : t -> unit
+(** Graceful shutdown: the session closes immediately on the server. *)
+
+val create_node :
+  t -> path:string -> ?data:string -> ?ephemeral:bool -> ?sequential:bool ->
+  ((string, Ztree.error) result -> unit) -> unit
+
+val delete_node : t -> path:string -> ((unit, Ztree.error) result -> unit) -> unit
+
+val delete_recursive : t -> path:string -> (unit -> unit) -> unit
+
+val get_data : t -> path:string -> ((string, Ztree.error) result -> unit) -> unit
+
+val set_data : t -> path:string -> data:string -> ((unit, Ztree.error) result -> unit) -> unit
+
+val children : t -> path:string -> (((string * string) list, Ztree.error) result -> unit) -> unit
+
+val incr_counter : t -> path:string -> (int -> unit) -> unit
+
+val exists : t -> path:string -> (bool -> unit) -> unit
+
+val watch_node : t -> path:string -> (unit -> unit) -> unit
+(** One-shot; the notification pays the service-to-client latency and is
+    dropped if this handle crashed meanwhile. *)
+
+val watch_children : t -> path:string -> (unit -> unit) -> unit

@@ -1,0 +1,144 @@
+type session = { id : int; mutable last_seen : Sim.Sim_time.t; mutable live : bool }
+
+type t = {
+  engine : Sim.Engine.t;
+  tree : Ztree.t;
+  session_timeout : Sim.Sim_time.span;
+  sessions : (int, session) Hashtbl.t;
+  mutable next_session : int;
+  node_watches : (string, (unit -> unit) list) Hashtbl.t;
+  child_watches : (string, (unit -> unit) list) Hashtbl.t;
+}
+
+let engine t = t.engine
+let session_timeout t = t.session_timeout
+
+let fire table path =
+  match Hashtbl.find_opt table path with
+  | None -> ()
+  | Some watchers ->
+    Hashtbl.remove table path;
+    List.iter (fun w -> w ()) (List.rev watchers)
+
+let notify_created_or_deleted t path =
+  fire t.node_watches path;
+  fire t.child_watches (Ztree.parent_path path)
+
+let expire_session t session =
+  if session.live then begin
+    session.live <- false;
+    let ephemerals = Ztree.ephemerals_of_session t.tree ~session:session.id in
+    List.iter
+      (fun path ->
+        Ztree.delete_recursive t.tree ~path;
+        notify_created_or_deleted t path)
+      ephemerals
+  end
+
+let sweep t =
+  let now = Sim.Engine.now t.engine in
+  Hashtbl.iter
+    (fun _ s ->
+      if s.live && Sim.Sim_time.(add s.last_seen t.session_timeout < now) then expire_session t s)
+    t.sessions
+
+let create engine ?(session_timeout = Sim.Sim_time.sec 2) () =
+  let t =
+    {
+      engine;
+      tree = Ztree.create ();
+      session_timeout;
+      sessions = Hashtbl.create 32;
+      next_session = 1;
+      node_watches = Hashtbl.create 32;
+      child_watches = Hashtbl.create 32;
+    }
+  in
+  let sweep_every = Sim.Sim_time.us (Stdlib.max 1 (Sim.Sim_time.to_us session_timeout / 4)) in
+  let rec tick () =
+    sweep t;
+    ignore (Sim.Engine.schedule engine ~after:sweep_every tick)
+  in
+  ignore (Sim.Engine.schedule engine ~after:sweep_every tick);
+  t
+
+let open_session t =
+  let id = t.next_session in
+  t.next_session <- id + 1;
+  Hashtbl.replace t.sessions id { id; last_seen = Sim.Engine.now t.engine; live = true };
+  id
+
+let heartbeat t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | Some s when s.live -> s.last_seen <- Sim.Engine.now t.engine
+  | _ -> ()
+
+let close_session t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | Some s -> expire_session t s
+  | None -> ()
+
+let session_live t ~session =
+  match Hashtbl.find_opt t.sessions session with Some s -> s.live | None -> false
+
+let create_node t ~session ~path ~data ~ephemeral ~sequential =
+  heartbeat t ~session;
+  let mode = if ephemeral then Ztree.Ephemeral session else Ztree.Persistent in
+  match Ztree.create_node t.tree ~path ~data ~mode ~sequential with
+  | Ok actual ->
+    notify_created_or_deleted t actual;
+    Ok actual
+  | Error _ as e -> e
+
+let delete_node t ~session ~path =
+  heartbeat t ~session;
+  match Ztree.delete_node t.tree ~path with
+  | Ok () ->
+    notify_created_or_deleted t path;
+    Ok ()
+  | Error _ as e -> e
+
+let delete_recursive t ~session ~path =
+  heartbeat t ~session;
+  if Ztree.exists t.tree ~path then begin
+    Ztree.delete_recursive t.tree ~path;
+    notify_created_or_deleted t path
+  end
+
+let exists t ~path = Ztree.exists t.tree ~path
+let get_data t ~path = Ztree.get_data t.tree ~path
+
+let set_data t ~session ~path ~data =
+  heartbeat t ~session;
+  match Ztree.set_data t.tree ~path ~data with
+  | Ok () ->
+    fire t.node_watches path;
+    Ok ()
+  | Error _ as e -> e
+
+let children t ~path = Ztree.children t.tree ~path
+
+let incr_counter t ~session ~path =
+  heartbeat t ~session;
+  let current =
+    match Ztree.get_data t.tree ~path with
+    | Ok data -> ( match int_of_string_opt data with Some v -> v | None -> 0)
+    | Error _ -> 0
+  in
+  let next = current + 1 in
+  (match Ztree.set_data t.tree ~path ~data:(string_of_int next) with
+  | Ok () -> ()
+  | Error _ ->
+    ignore
+      (Ztree.create_node t.tree ~path ~data:(string_of_int next) ~mode:Ztree.Persistent
+         ~sequential:false));
+  fire t.node_watches path;
+  next
+
+let add_watch table path w =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt table path) in
+  Hashtbl.replace table path (w :: existing)
+
+let watch_node t ~path w = add_watch t.node_watches path w
+let watch_children t ~path w = add_watch t.child_watches path w
+let expire_sessions_now t = sweep t

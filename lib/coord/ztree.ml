@@ -1,0 +1,124 @@
+type error = No_node | Node_exists | Not_empty
+type mode = Persistent | Ephemeral of int
+
+type znode = {
+  mutable data : string;
+  mode : mode;
+  children : (string, znode) Hashtbl.t;
+}
+
+type t = { root : znode; mutable seq : int }
+(* The sequential-znode counter is tree-global and never resets (ZooKeeper
+   derives suffixes from transaction ids, which are monotonic for the life
+   of the ensemble) — deleting and recreating a directory must not let new
+   children reuse the names of old ones. *)
+
+let make_znode data mode = { data; mode; children = Hashtbl.create 4 }
+let create () = { root = make_znode "" Persistent; seq = 0 }
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let parent_path path =
+  match List.rev (split_path path) with
+  | [] | [ _ ] -> "/"
+  | _ :: rev_parents -> "/" ^ String.concat "/" (List.rev rev_parents)
+
+let find t path =
+  let rec go node = function
+    | [] -> Some node
+    | name :: rest -> (
+      match Hashtbl.find_opt node.children name with
+      | Some child -> go child rest
+      | None -> None)
+  in
+  go t.root (split_path path)
+
+let create_node t ~path ~data ~mode ~sequential =
+  match List.rev (split_path path) with
+  | [] -> Error Node_exists
+  | leaf :: rev_parents -> (
+    let parent = "/" ^ String.concat "/" (List.rev rev_parents) in
+    match find t parent with
+    | None -> Error No_node
+    | Some parent_node ->
+      let name =
+        if sequential then begin
+          let seq = t.seq in
+          t.seq <- seq + 1;
+          Printf.sprintf "%s%010d" leaf seq
+        end
+        else leaf
+      in
+      if Hashtbl.mem parent_node.children name then Error Node_exists
+      else begin
+        Hashtbl.replace parent_node.children name (make_znode data mode);
+        Ok (if parent = "/" then "/" ^ name else parent ^ "/" ^ name)
+      end)
+
+let delete_node t ~path =
+  match List.rev (split_path path) with
+  | [] -> Error No_node
+  | leaf :: rev_parents -> (
+    let parent = "/" ^ String.concat "/" (List.rev rev_parents) in
+    match find t parent with
+    | None -> Error No_node
+    | Some parent_node -> (
+      match Hashtbl.find_opt parent_node.children leaf with
+      | None -> Error No_node
+      | Some node ->
+        if Hashtbl.length node.children > 0 then Error Not_empty
+        else begin
+          Hashtbl.remove parent_node.children leaf;
+          Ok ()
+        end))
+
+let rec delete_subtree node =
+  Hashtbl.iter (fun _ child -> delete_subtree child) node.children;
+  Hashtbl.reset node.children
+
+let delete_recursive t ~path =
+  match find t path with
+  | None -> ()
+  | Some node ->
+    delete_subtree node;
+    ignore (delete_node t ~path)
+
+let exists t ~path = find t path <> None
+
+let get_data t ~path =
+  match find t path with Some node -> Ok node.data | None -> Error No_node
+
+let set_data t ~path ~data =
+  match find t path with
+  | Some node ->
+    node.data <- data;
+    Ok ()
+  | None -> Error No_node
+
+let children t ~path =
+  match find t path with
+  | None -> Error No_node
+  | Some node ->
+    let list = Hashtbl.fold (fun name child acc -> (name, child.data) :: acc) node.children [] in
+    Ok (List.sort (fun (a, _) (b, _) -> String.compare a b) list)
+
+let ephemerals_of_session t ~session =
+  let acc = ref [] in
+  let rec walk prefix node =
+    Hashtbl.iter
+      (fun name child ->
+        let path = if prefix = "/" then "/" ^ name else prefix ^ "/" ^ name in
+        walk path child;
+        match child.mode with
+        | Ephemeral s when s = session -> acc := path :: !acc
+        | _ -> ())
+      node.children
+  in
+  walk "/" t.root;
+  !acc
+
+let pp_error ppf = function
+  | No_node -> Format.pp_print_string ppf "no-node"
+  | Node_exists -> Format.pp_print_string ppf "node-exists"
+  | Not_empty -> Format.pp_print_string ppf "not-empty"

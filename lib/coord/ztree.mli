@@ -1,0 +1,45 @@
+(** The coordination service's data tree (§7.1).
+
+    A directory tree of znodes identified by slash-separated paths. Znodes
+    carry opaque binary data, are persistent or ephemeral (auto-deleted when
+    the owning session dies), and may be sequential (the service appends a
+    unique, monotonically increasing, zero-padded counter to the name, so
+    lexicographic order equals creation order). *)
+
+type t
+
+type error = No_node | Node_exists | Not_empty
+
+type mode = Persistent | Ephemeral of int  (** owning session id *)
+
+val create : unit -> t
+
+val create_node :
+  t -> path:string -> data:string -> mode:mode -> sequential:bool ->
+  (string, error) result
+(** Returns the actual path (with the sequence suffix if [sequential]).
+    The parent must exist. *)
+
+val delete_node : t -> path:string -> (unit, error) result
+(** Fails with [Not_empty] if the znode has children. *)
+
+val delete_recursive : t -> path:string -> unit
+(** Removes the subtree if present; no-op otherwise. *)
+
+val exists : t -> path:string -> bool
+
+val get_data : t -> path:string -> (string, error) result
+
+val set_data : t -> path:string -> data:string -> (unit, error) result
+
+val children : t -> path:string -> ((string * string) list, error) result
+(** (name, data) pairs sorted by name; for sequential children this is
+    creation order. *)
+
+val ephemerals_of_session : t -> session:int -> string list
+(** Absolute paths of all ephemerals owned by the session, leaf-first. *)
+
+val parent_path : string -> string
+(** ["/a/b/c"] -> ["/a/b"]; the parent of ["/"] is ["/"]. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,221 @@
+type read_result = { value : string option; version : int }
+
+type error = Version_mismatch of { current : int } | Timed_out | Cross_range
+
+type pending = {
+  op : Message.client_op;
+  deliver : Message.client_reply -> unit;
+  mutable attempts : int;
+  mutable timer : Sim.Engine.timer option;
+}
+
+type t = {
+  id : int;
+  engine : Sim.Engine.t;
+  net : Message.t Sim.Network.t;
+  partition : Partition.t;
+  config : Config.t;
+  lookup_leader : range:int -> (int option -> unit) -> unit;
+  pending : (int, pending) Hashtbl.t;
+  leader_cache : (int, int) Hashtbl.t;
+  mutable next_request : int;
+  mutable rr : int;
+  mutable retries : int;
+}
+
+let max_attempts = 60
+
+let id t = t.id
+let retries t = t.retries
+
+let target_for t ~strong op =
+  let range = Partition.route t.partition (Message.key_of_op op) in
+  if strong then
+    match Hashtbl.find_opt t.leader_cache range with
+    | Some leader -> leader
+    | None -> Partition.primary t.partition ~range
+  else begin
+    (* Timeline reads rotate over the cohort's replicas. *)
+    let members = Partition.cohort t.partition ~range in
+    t.rr <- t.rr + 1;
+    List.nth members (t.rr mod List.length members)
+  end
+
+let strong_route op =
+  match op with
+  | Message.Get { consistent; _ }
+  | Message.Multi_get { consistent; _ }
+  | Message.Scan { consistent; _ } ->
+    consistent
+  | _ -> true
+
+let rec dispatch t request_id p =
+  let dst = target_for t ~strong:(strong_route p.op) p.op in
+  Sim.Network.send t.net ~src:t.id ~dst
+    ~size:(Message.size (Message.Request { client = t.id; request_id; op = p.op }))
+    (Message.Request { client = t.id; request_id; op = p.op });
+  p.timer <-
+    Some
+      (Sim.Engine.schedule t.engine ~after:t.config.Config.client_timeout (fun () ->
+           on_timeout t request_id p))
+
+and retry t request_id p ~after =
+  p.attempts <- p.attempts + 1;
+  t.retries <- t.retries + 1;
+  if p.attempts >= max_attempts then begin
+    Hashtbl.remove t.pending request_id;
+    p.deliver Message.Unavailable
+  end
+  else
+    ignore (Sim.Engine.schedule t.engine ~after (fun () -> dispatch t request_id p))
+
+and on_timeout t request_id p =
+  if Hashtbl.mem t.pending request_id then begin
+    let range = Partition.route t.partition (Message.key_of_op p.op) in
+    Hashtbl.remove t.leader_cache range;
+    (* Every other timed-out attempt, ask the coordination service where the
+       leader is instead of guessing. *)
+    if p.attempts mod 2 = 1 then
+      t.lookup_leader ~range (fun leader ->
+          match leader with
+          | Some l -> Hashtbl.replace t.leader_cache range l
+          | None -> ());
+    retry t request_id p ~after:(Sim.Sim_time.ms 10)
+  end
+
+let handle_reply t request_id reply =
+  match Hashtbl.find_opt t.pending request_id with
+  | None -> ()
+  | Some p -> (
+    (match p.timer with Some timer -> Sim.Engine.cancel t.engine timer | None -> ());
+    p.timer <- None;
+    match reply with
+    | Message.Not_leader { hint } ->
+      let range = Partition.route t.partition (Message.key_of_op p.op) in
+      (match hint with
+      | Some l -> Hashtbl.replace t.leader_cache range l
+      | None -> Hashtbl.remove t.leader_cache range);
+      retry t request_id p ~after:(Sim.Sim_time.us 100)
+    | Message.Unavailable ->
+      (* Cohort closed (takeover in progress): back off and retry. *)
+      retry t request_id p ~after:(Sim.Sim_time.ms 25)
+    | _ ->
+      Hashtbl.remove t.pending request_id;
+      p.deliver reply)
+
+let create ~engine ~net ~partition ~config ~id ~lookup_leader =
+  let t =
+    {
+      id;
+      engine;
+      net;
+      partition;
+      config;
+      lookup_leader;
+      pending = Hashtbl.create 64;
+      leader_cache = Hashtbl.create 16;
+      next_request = 0;
+      rr = 0;
+      retries = 0;
+    }
+  in
+  Sim.Network.register net ~node:id (fun env ->
+      match env.Sim.Network.payload with
+      | Message.Reply { request_id; reply } -> handle_reply t request_id reply
+      | _ -> ());
+  t
+
+let submit t op deliver =
+  let request_id = t.next_request in
+  t.next_request <- request_id + 1;
+  let p = { op; deliver; attempts = 0; timer = None } in
+  Hashtbl.replace t.pending request_id p;
+  dispatch t request_id p
+
+let value_result (v : Message.value_reply) = { value = v.Message.value; version = v.Message.version }
+
+let read_k k = function
+  | Message.Value v -> k (Ok (value_result v))
+  | Message.Values ((_, v) :: _) -> k (Ok (value_result v))
+  | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
+  | Message.Cross_range -> k (Error Cross_range)
+  | Message.Unavailable -> k (Error Timed_out)
+  | Message.Values [] | Message.Rows _ | Message.Written | Message.Not_leader _ ->
+    k (Error Timed_out)
+
+let multi_read_k k = function
+  | Message.Values vs -> k (Ok (List.map (fun (c, v) -> (c, value_result v)) vs))
+  | Message.Value v -> k (Ok [ ("", value_result v) ])
+  | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
+  | Message.Cross_range -> k (Error Cross_range)
+  | Message.Unavailable | Message.Rows _ | Message.Written | Message.Not_leader _ ->
+    k (Error Timed_out)
+
+let write_k k = function
+  | Message.Written -> k (Ok ())
+  | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
+  | Message.Cross_range -> k (Error Cross_range)
+  | Message.Unavailable -> k (Error Timed_out)
+  | Message.Value _ | Message.Values _ | Message.Rows _ | Message.Not_leader _ ->
+    k (Error Timed_out)
+
+let get t ?(consistent = true) key col k =
+  submit t (Message.Get { key; col; consistent }) (read_k k)
+
+let multi_get t ?(consistent = true) key cols k =
+  submit t (Message.Multi_get { key; cols; consistent }) (multi_read_k k)
+
+let put t key col ~value k = submit t (Message.Put { key; col; value }) (write_k k)
+let multi_put t key cols k = submit t (Message.Multi_put { key; cols }) (write_k k)
+let delete t key col k = submit t (Message.Delete { key; col }) (write_k k)
+
+let conditional_put t key col ~value ~expected k =
+  submit t (Message.Conditional_put { key; col; value; expected }) (write_k k)
+
+let conditional_delete t key col ~expected k =
+  submit t (Message.Conditional_delete { key; col; expected }) (write_k k)
+
+let multi_conditional_put t key cols k =
+  submit t (Message.Multi_conditional_put { key; cols }) (write_k k)
+
+let transact_put t rows k = submit t (Message.Txn_put { rows }) (write_k k)
+
+(* Scatter-gather scan: walk the key ranges covering [start_key, end_key)
+   left to right, asking each cohort for its slice, until the limit fills or
+   the window ends. Each per-range request retries/fails over independently
+   through the normal dispatch machinery. *)
+let scan t ?(consistent = true) ~start_key ~end_key ?(limit = 1000) k =
+  let rows = ref [] in
+  let count = ref 0 in
+  let rec step current =
+    if String.compare current end_key >= 0 || !count >= limit then
+      k (Ok (List.rev !rows))
+    else begin
+      let range = Partition.route t.partition current in
+      let _, range_hi = Partition.range_bounds t.partition ~range in
+      let op =
+        Message.Scan { start_key = current; end_key; limit = limit - !count; consistent }
+      in
+      submit t op (function
+        | Message.Rows rs ->
+          List.iter
+            (fun (key, cols) ->
+              rows := (key, List.map (fun (c, v) -> (c, value_result v)) cols) :: !rows;
+              incr count)
+            rs;
+          (* Continue from the next range unless this was the key space's
+             last range (its upper bound wraps to the minimum key). *)
+          if String.compare range_hi current > 0 then step range_hi else k (Ok (List.rev !rows))
+        | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
+        | Message.Cross_range -> k (Error Cross_range)
+        | Message.Unavailable | Message.Value _ | Message.Values _ | Message.Written
+        | Message.Not_leader _ ->
+          k (Error Timed_out))
+    end
+  in
+  step start_key
+
+let pp_error ppf = function
+  | Version_mismatch { current } -> Format.fprintf ppf "version mismatch (current=%d)" current
+  | Timed_out -> Format.pp_print_string ppf "timed out"
+  | Cross_range -> Format.pp_print_string ppf "transaction keys span key ranges"

@@ -1,0 +1,94 @@
+(** Spinnaker client library: the transactional get-put API of §3.
+
+    Each call is a single-operation transaction executed through the cohort
+    leader (writes and strong reads) or any replica (timeline reads). The
+    client caches leader locations per range, follows [Not_leader] hints,
+    falls back to a coordination-service lookup, and retries through
+    failovers with a timeout — which is how availability windows (Table 1)
+    are observed from outside.
+
+    All calls are asynchronous: the callback fires when a reply arrives or
+    retries are exhausted. *)
+
+type t
+
+type read_result = { value : string option; version : int }
+
+type error =
+  | Version_mismatch of { current : int }
+      (** conditional operation lost the optimistic-concurrency race *)
+  | Timed_out  (** retries exhausted (cohort unavailable) *)
+  | Cross_range  (** transaction keys span key ranges (§8.2 extension) *)
+
+val create :
+  engine:Sim.Engine.t ->
+  net:Message.t Sim.Network.t ->
+  partition:Partition.t ->
+  config:Config.t ->
+  id:int ->
+  lookup_leader:(range:int -> (int option -> unit) -> unit) ->
+  t
+
+val id : t -> int
+
+val get :
+  t -> ?consistent:bool -> Storage.Row.key -> Storage.Row.column ->
+  ((read_result, error) result -> unit) -> unit
+(** [consistent] defaults to [true] (strong read, routed to the leader);
+    [false] selects timeline consistency (any replica, possibly stale). *)
+
+val multi_get :
+  t -> ?consistent:bool -> Storage.Row.key -> Storage.Row.column list ->
+  (((Storage.Row.column * read_result) list, error) result -> unit) -> unit
+
+val put :
+  t -> Storage.Row.key -> Storage.Row.column -> value:string ->
+  ((unit, error) result -> unit) -> unit
+
+val multi_put :
+  t -> Storage.Row.key -> (Storage.Row.column * string) list ->
+  ((unit, error) result -> unit) -> unit
+
+val delete :
+  t -> Storage.Row.key -> Storage.Row.column -> ((unit, error) result -> unit) -> unit
+
+val conditional_put :
+  t -> Storage.Row.key -> Storage.Row.column -> value:string -> expected:int ->
+  ((unit, error) result -> unit) -> unit
+(** Succeeds only if the column's current version equals [expected] (§3). *)
+
+val conditional_delete :
+  t -> Storage.Row.key -> Storage.Row.column -> expected:int ->
+  ((unit, error) result -> unit) -> unit
+
+val multi_conditional_put :
+  t -> Storage.Row.key -> (Storage.Row.column * string * int) list ->
+  ((unit, error) result -> unit) -> unit
+
+val transact_put :
+  t -> (Storage.Row.key * Storage.Row.column * string) list ->
+  ((unit, error) result -> unit) -> unit
+(** Multi-operation transaction (§8.2): writes several rows atomically.
+    All keys must belong to one key range (they are replicated as a single
+    log record by that range's cohort); otherwise fails with [Cross_range].
+    Atomicity holds across crashes: after any failure sequence either every
+    row of the transaction is visible or none is. *)
+
+val scan :
+  t ->
+  ?consistent:bool ->
+  start_key:Storage.Row.key ->
+  end_key:Storage.Row.key ->
+  ?limit:int ->
+  (((Storage.Row.key * (Storage.Row.column * read_result) list) list, error) result -> unit) ->
+  unit
+(** Range scan over [start_key, end_key) (exclusive end), ascending, at most
+    [limit] rows (default 1000). Spans key ranges transparently: the client
+    walks the cohorts covering the window left to right — the locality that
+    key-range partitioning (§4) exists to provide. [consistent] selects
+    strong (leaders) or timeline (any replica) reads per cohort. *)
+
+val retries : t -> int
+(** Total retransmissions performed (failovers, stale leader caches). *)
+
+val pp_error : Format.formatter -> error -> unit

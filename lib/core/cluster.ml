@@ -1,0 +1,133 @@
+type t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  partition : Partition.t;
+  net : Message.t Sim.Network.t;
+  zk_server : Coord.Zk_server.t;
+  nodes : Node.t array;
+  trace : Sim.Trace.t;
+  mutable next_client : int;
+}
+
+let bootstrap_zk zk_server partition =
+  (* Persistent range directories (Figure 7 stores election state under /r). *)
+  let session = Coord.Zk_server.open_session zk_server in
+  let create path =
+    ignore
+      (Coord.Zk_server.create_node zk_server ~session ~path ~data:"" ~ephemeral:false
+         ~sequential:false)
+  in
+  create "/ranges";
+  create "/nodes";
+  for r = 0 to Partition.ranges partition - 1 do
+    create (Printf.sprintf "/ranges/%d" r);
+    create (Printf.sprintf "/ranges/%d/candidates" r);
+    ignore
+      (Coord.Zk_server.create_node zk_server ~session
+         ~path:(Printf.sprintf "/ranges/%d/epoch" r)
+         ~data:"0" ~ephemeral:false ~sequential:false)
+  done;
+  Coord.Zk_server.close_session zk_server ~session
+
+let create engine config =
+  let partition =
+    Partition.create ~nodes:config.Config.nodes ~replication:config.Config.replication
+      ~key_space:config.Config.key_space
+  in
+  let net = Sim.Network.create engine () in
+  let zk_server =
+    Coord.Zk_server.create engine ~session_timeout:config.Config.session_timeout ()
+  in
+  bootstrap_zk zk_server partition;
+  let trace = Sim.Trace.create engine in
+  let nodes =
+    Array.init config.Config.nodes (fun id ->
+        Node.create ~engine ~net ~zk_server ~partition ~config ~trace ~id)
+  in
+  { engine; config; partition; net; zk_server; nodes; trace; next_client = 10_000 }
+
+let start t = Array.iter Node.start t.nodes
+let engine t = t.engine
+let config t = t.config
+let partition t = t.partition
+let net t = t.net
+let zk_server t = t.zk_server
+let trace t = t.trace
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+
+let leader_of t ~range =
+  let cohort_nodes = Partition.cohort t.partition ~range in
+  List.find_map
+    (fun n ->
+      match Node.cohort t.nodes.(n) ~range with
+      | Some c when Node.alive t.nodes.(n) && Cohort.is_open c -> Some n
+      | _ -> None)
+    cohort_nodes
+
+let is_ready t =
+  let ranges = Partition.ranges t.partition in
+  let rec check r = r >= ranges || (leader_of t ~range:r <> None && check (r + 1)) in
+  check 0
+
+let run_until_ready ?(timeout = Sim.Sim_time.sec 60) t =
+  let deadline = Sim.Sim_time.add (Sim.Engine.now t.engine) timeout in
+  let rec loop () =
+    if is_ready t then true
+    else if Sim.Sim_time.(Sim.Engine.now t.engine >= deadline) then false
+    else begin
+      Sim.Engine.run_for t.engine (Sim.Sim_time.ms 50);
+      loop ()
+    end
+  in
+  loop ()
+
+let new_client t =
+  let id = t.next_client in
+  t.next_client <- id + 1;
+  let zk = Coord.Zk_client.connect t.zk_server ~owner:(Printf.sprintf "client-%d" id) () in
+  let lookup_leader ~range k =
+    Coord.Zk_client.get_data zk
+      ~path:(Printf.sprintf "/ranges/%d/leader" range)
+      (function Ok data -> k (int_of_string_opt data) | Error _ -> k None)
+  in
+  Client.create ~engine:t.engine ~net:t.net ~partition:t.partition ~config:t.config ~id
+    ~lookup_leader
+
+let crash_node t i = Node.crash t.nodes.(i)
+let restart_node t i = Node.restart t.nodes.(i)
+let failure_targets t = Array.to_list (Array.map Node.failure_target t.nodes)
+
+let registered_nodes t =
+  match Coord.Zk_server.children t.zk_server ~path:"/nodes" with
+  | Ok kids -> List.filter_map (fun (name, _) -> int_of_string_opt name) kids
+  | Error _ -> []
+
+let pp_status ppf t =
+  Format.fprintf ppf "cluster: %d nodes, %d ranges, registered live: [%s]@."
+    t.config.Config.nodes
+    (Partition.ranges t.partition)
+    (String.concat "," (List.map string_of_int (registered_nodes t)));
+  for range = 0 to Partition.ranges t.partition - 1 do
+    let members = Partition.cohort t.partition ~range in
+    let lo, hi = Partition.range_bounds t.partition ~range in
+    Format.fprintf ppf "  range %d [%s,%s): " range lo hi;
+    List.iter
+      (fun n ->
+        match Node.cohort t.nodes.(n) ~range with
+        | Some c ->
+          let role =
+            if not (Node.alive t.nodes.(n)) then "down"
+            else
+              match Cohort.role c with
+              | Cohort.Leader -> if Cohort.is_open c then "LEADER" else "leader(closed)"
+              | Cohort.Follower -> "follower"
+              | Cohort.Candidate -> "candidate"
+              | Cohort.Offline -> "offline"
+          in
+          Format.fprintf ppf "n%d=%s cmt=%s  " n role
+            (Storage.Lsn.to_string (Cohort.cmt c))
+        | None -> ())
+      members;
+    Format.fprintf ppf "@."
+  done

@@ -1,0 +1,53 @@
+(** Cluster assembly: network, coordination service, nodes, and clients
+    wired onto one simulation engine — the deployment of Figure 2. *)
+
+type t
+
+val create : Sim.Engine.t -> Config.t -> t
+(** Builds (but does not start) the cluster: creates the coordination
+    service, bootstraps its range directories, and instantiates the nodes. *)
+
+val start : t -> unit
+(** Boot every node; leader elections begin immediately. *)
+
+val run_until_ready : ?timeout:Sim.Sim_time.span -> t -> bool
+(** Advance the simulation until every range has an open leader (or the
+    timeout, default 60 simulated seconds, expires). *)
+
+val engine : t -> Sim.Engine.t
+
+val config : t -> Config.t
+
+val partition : t -> Partition.t
+
+val net : t -> Message.t Sim.Network.t
+
+val zk_server : t -> Coord.Zk_server.t
+
+val trace : t -> Sim.Trace.t
+
+val node : t -> int -> Node.t
+
+val nodes : t -> Node.t array
+
+val new_client : t -> Client.t
+
+val leader_of : t -> range:int -> int option
+(** Ground truth for tests: the node currently acting as the range's open
+    leader, if any. *)
+
+val is_ready : t -> bool
+
+val crash_node : t -> int -> unit
+
+val restart_node : t -> int -> unit
+
+val failure_targets : t -> Sim.Failure.target list
+
+val registered_nodes : t -> int list
+(** Nodes currently registered in the coordination service's group-membership
+    directory (§4.2) — live sessions with an ephemeral /nodes/<id> znode.
+    Lags crashes by the session timeout, exactly as the failure detector does. *)
+
+val pp_status : Format.formatter -> t -> unit
+(** Operator view: per-range roles, commit points, and the live-node set. *)

@@ -1,0 +1,915 @@
+module Lsn = Storage.Lsn
+module Store = Storage.Store
+module Wal = Storage.Wal
+module Log_record = Storage.Log_record
+module Row = Storage.Row
+module Skipped_lsns = Storage.Skipped_lsns
+
+type role = Offline | Candidate | Leader | Follower
+
+type ctx = {
+  engine : Sim.Engine.t;
+  node_id : int;
+  range : int;
+  members : int list;
+  config : Config.t;
+  store : Storage.Store.t;
+  wal : Storage.Wal.t;
+  cpu : Sim.Resource.t;
+  trace : Sim.Trace.t;
+  send : dst:int -> Message.t -> unit;
+  reply : client:int -> request_id:int -> Message.client_reply -> unit;
+  zk : unit -> Coord.Zk_client.t;
+  incarnation : unit -> int;
+  routes_here : Storage.Row.key -> bool;
+      (** whether a key belongs to this cohort's range (transaction scoping) *)
+  range_bounds : Storage.Row.key * Storage.Row.key;
+      (** [start, end) of this cohort's key range (scan clamping) *)
+}
+
+type waiting_write = { client : int; request_id : int; op : Message.client_op }
+
+type t = {
+  ctx : ctx;
+  mutable role : role;
+  mutable epoch : int;  (** highest leadership epoch seen *)
+  mutable cmt : Lsn.t;
+  mutable lst : Lsn.t;
+  queue : Commit_queue.t;
+  mutable leader : int option;
+  (* leader state *)
+  mutable open_for_writes : bool;
+  mutable active_followers : int list;
+  mutable pending_final : int list;  (** followers in a blocked final catch-up round *)
+  mutable takeover_pending : bool;
+  mutable waiting : waiting_write list;  (** writes queued while closed/blocked, newest first *)
+  mutable commit_timer_armed : bool;
+  (* follower state *)
+  mutable catching_up : bool;
+  (* election state *)
+  mutable election_running : bool;
+  mutable own_candidate : string option;
+  mutable leader_watch_armed : bool;
+}
+
+let zk_prefix t = Printf.sprintf "/ranges/%d" t.ctx.range
+let zk_candidates t = zk_prefix t ^ "/candidates"
+let zk_leader t = zk_prefix t ^ "/leader"
+let zk_epoch t = zk_prefix t ^ "/epoch"
+
+let create ctx =
+  {
+    ctx;
+    role = Offline;
+    epoch = 0;
+    cmt = Lsn.zero;
+    lst = Lsn.zero;
+    queue = Commit_queue.create ();
+    leader = None;
+    open_for_writes = false;
+    active_followers = [];
+    pending_final = [];
+    takeover_pending = false;
+    waiting = [];
+    commit_timer_armed = false;
+    catching_up = false;
+    election_running = false;
+    own_candidate = None;
+    leader_watch_armed = false;
+  }
+
+let role t = t.role
+let leader_id t = t.leader
+let epoch t = t.epoch
+let cmt t = t.cmt
+let lst t = t.lst
+let is_open t = t.role = Leader && t.open_for_writes
+let pending_writes t = Commit_queue.length t.queue
+
+let others t = List.filter (fun m -> m <> t.ctx.node_id) t.ctx.members
+
+let trace t tag detail =
+  Sim.Trace.emitf t.ctx.trace ~tag "r%d n%d %s" t.ctx.range t.ctx.node_id detail
+
+(* Schedule a callback that is dropped if the node crashed/restarted since. *)
+let after t span k =
+  let inc = t.ctx.incarnation () in
+  ignore
+    (Sim.Engine.schedule t.ctx.engine ~after:span (fun () ->
+         if t.ctx.incarnation () = inc && t.role <> Offline then k ()))
+
+(* Likewise for callbacks of asynchronous operations (log forces, ZK). *)
+let guard t k =
+  let inc = t.ctx.incarnation () in
+  fun x -> if t.ctx.incarnation () = inc && t.role <> Offline then k x
+
+let now_us t = Sim.Sim_time.time_to_us (Sim.Engine.now t.ctx.engine)
+
+(* Forward reference: every path that makes this replica a follower must arm
+   the leader-liveness watch, but the watch function lives in the election
+   recursion (it triggers elections). Tied after that definition below. *)
+let arm_leader_watch : (t -> unit) ref = ref (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Version assignment: the leader serialises writes, so a coordinate's
+   current version is its committed version overlaid with still-pending
+   writes in the commit queue (§3, §5.1). *)
+
+let latest_version t coord =
+  match Commit_queue.latest_version_for t.queue coord with
+  | Some v -> v
+  | None -> Store.current_version t.ctx.store coord
+
+let op_of_cell coord (cell : Row.cell) : Log_record.op =
+  let key, col = coord in
+  match cell.value with
+  | Some value -> Log_record.Put { key; col; value; version = cell.version }
+  | None -> Log_record.Delete { key; col; version = cell.version }
+
+(* ------------------------------------------------------------------ *)
+(* Commit path (leader side of Figure 4).                               *)
+
+let rec try_commit t =
+  let committable =
+    Commit_queue.pop_committable t.queue ~acks_needed:(Config.majority t.ctx.config - 1)
+  in
+  List.iter
+    (fun (e : Commit_queue.entry) ->
+      Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
+      t.cmt <- Lsn.max t.cmt e.lsn;
+      match e.reply with Some k -> k () | None -> ())
+    committable
+
+and send_commit_msgs t =
+  if Lsn.(t.cmt > Lsn.zero) then begin
+    List.iter
+      (fun f ->
+        t.ctx.send ~dst:f
+          (Message.Commit { range = t.ctx.range; epoch = t.epoch; upto = t.cmt }))
+      t.active_followers;
+    (* The leader saves its last committed LSN with a non-forced log write,
+       for its own recovery (§5). *)
+    Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt)
+  end
+
+and arm_commit_timer t =
+  if not t.commit_timer_armed then begin
+    t.commit_timer_armed <- true;
+    let rec tick () =
+      if t.role = Leader then begin
+        send_commit_msgs t;
+        after t t.ctx.config.Config.commit_period tick
+      end
+      else t.commit_timer_armed <- false
+    in
+    after t t.ctx.config.Config.commit_period tick
+  end
+
+and open_cohort t =
+  if not t.open_for_writes then begin
+    t.open_for_writes <- true;
+    trace t "cohort_open" (Printf.sprintf "epoch=%d lst=%s" t.epoch (Lsn.to_string t.lst));
+    arm_commit_timer t;
+    drain_waiting t
+  end
+
+and drain_waiting t =
+  if t.role = Leader && t.open_for_writes && t.pending_final = [] then begin
+    let waiting = List.rev t.waiting in
+    t.waiting <- [];
+    List.iter (fun w -> handle_write t ~client:w.client ~request_id:w.request_id w.op) waiting
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Write path (Figure 4): the leader appends and forces its log record,
+   and in parallel appends the write to the commit queue and proposes it
+   to the followers; it commits after its own force plus one ack.        *)
+
+and handle_write t ~client ~request_id op =
+  if t.role <> Leader then
+    t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
+  else if (not t.open_for_writes) || t.pending_final <> [] then
+    (* Writes block during takeover and during the momentary window at the
+       end of a follower catch-up (§6.1); they drain when the cohort
+       (re)opens. *)
+    t.waiting <- { client; request_id; op } :: t.waiting
+  else begin
+    let service = Sim.Sim_time.of_us_f t.ctx.config.Config.write_service_us in
+    Sim.Resource.submit t.ctx.cpu ~service
+      (guard t (fun () ->
+           if t.role = Leader && t.open_for_writes && t.pending_final = [] then
+             perform_write t ~client ~request_id op
+           else if t.role = Leader then
+             t.waiting <- { client; request_id; op } :: t.waiting
+           else t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })))
+  end
+
+and perform_write t ~client ~request_id op =
+  let ts = now_us t in
+  let ops_or_error : (Log_record.op list, int) result =
+    match op with
+    | Message.Put { key; col; value } ->
+      Ok [ Log_record.Put { key; col; value; version = latest_version t (key, col) + 1 } ]
+    | Message.Delete { key; col } ->
+      Ok [ Log_record.Delete { key; col; version = latest_version t (key, col) + 1 } ]
+    | Message.Multi_put { key; cols } ->
+      Ok
+        (List.map
+           (fun (col, value) ->
+             Log_record.Put { key; col; value; version = latest_version t (key, col) + 1 })
+           cols)
+    | Message.Conditional_put { key; col; value; expected } ->
+      (* Conditional put: executed only if the current version matches (§5.1). *)
+      let current = latest_version t (key, col) in
+      if current = expected then Ok [ Log_record.Put { key; col; value; version = current + 1 } ]
+      else Error current
+    | Message.Conditional_delete { key; col; expected } ->
+      let current = latest_version t (key, col) in
+      if current = expected then Ok [ Log_record.Delete { key; col; version = current + 1 } ]
+      else Error current
+    | Message.Multi_conditional_put { key; cols } -> (
+      let mismatched =
+        List.find_opt (fun (col, _, expected) -> latest_version t (key, col) <> expected) cols
+      in
+      match mismatched with
+      | Some (col, _, _) -> Error (latest_version t (key, col))
+      | None ->
+        Ok
+          (List.map
+             (fun (col, value, expected) ->
+               Log_record.Put { key; col; value; version = expected + 1 })
+             cols))
+    | Message.Txn_put { rows } ->
+      (* Multi-operation transaction (§8.2): bound to one log record, so the
+         batch is replicated, committed, and recovered all-or-nothing. *)
+      if not (List.for_all (fun (key, _, _) -> t.ctx.routes_here key) rows) then begin
+        t.ctx.reply ~client ~request_id Message.Cross_range;
+        Ok []
+      end
+      else
+        Ok
+          [
+            Log_record.Batch
+              (List.map
+                 (fun (key, col, value) ->
+                   Log_record.Put { key; col; value; version = latest_version t (key, col) + 1 })
+                 rows);
+          ]
+    | Message.Get _ | Message.Multi_get _ | Message.Scan _ ->
+      invalid_arg "perform_write: read operation"
+  in
+  match ops_or_error with
+  | Error current -> t.ctx.reply ~client ~request_id (Message.Version_mismatch { current })
+  | Ok [] -> ()
+  | Ok ops ->
+    let writes =
+      List.map
+        (fun op ->
+          let lsn = Lsn.make ~epoch:t.epoch ~seq:(t.lst.Lsn.seq + 1) in
+          t.lst <- lsn;
+          (lsn, op, ts))
+        ops
+    in
+    let last_lsn, _, _ = List.nth writes (List.length writes - 1) in
+    (* Only the last record of a multi-column transaction carries the client
+       reply; the whole batch commits together. *)
+    List.iter
+      (fun (lsn, op, timestamp) ->
+        let reply =
+          if Lsn.equal lsn last_lsn then
+            Some (fun () -> t.ctx.reply ~client ~request_id Message.Written)
+          else None
+        in
+        Commit_queue.add t.queue ~lsn ~op ~timestamp ?reply ();
+        Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp op))
+      writes;
+    (* Log force and propose happen in parallel (Figure 4). *)
+    Wal.force t.ctx.wal
+      (guard t (fun () ->
+           Commit_queue.mark_forced_upto t.queue last_lsn;
+           try_commit t));
+    propose t writes
+
+and propose t writes =
+  let piggyback_cmt =
+    if t.ctx.config.Config.piggyback_commits && Lsn.(t.cmt > Lsn.zero) then Some t.cmt
+    else None
+  in
+  let msg = Message.Propose { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt } in
+  List.iter (fun f -> t.ctx.send ~dst:f msg) t.active_followers
+
+(* ------------------------------------------------------------------ *)
+(* Read path (§5): strong reads are served only by the leader; timeline
+   reads by any live replica, possibly returning stale values.           *)
+
+and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
+  let serve =
+    guard t (fun () ->
+        if consistent && t.role <> Leader then
+          (* Deposed while the request sat in the CPU queue. *)
+          t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
+        else begin
+        let values =
+          List.map
+            (fun col ->
+              match Store.read t.ctx.store (key, col) with
+              | Some cell -> (col, Message.{ value = cell.Row.value; version = cell.Row.version })
+              | None ->
+                (col, Message.{ value = None; version = Store.current_version t.ctx.store (key, col) }))
+            cols
+        in
+        let reply =
+          match values with
+          | [ (_, v) ] when single -> Message.Value v
+          | vs -> Message.Values vs
+        in
+        t.ctx.reply ~client ~request_id reply
+        end)
+  in
+  let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_service_us in
+  if consistent then begin
+    if t.role <> Leader then
+      t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
+    else if not t.open_for_writes then t.ctx.reply ~client ~request_id Message.Unavailable
+    else Sim.Resource.submit t.ctx.cpu ~service serve
+  end
+  else if t.role = Offline then ()
+  else Sim.Resource.submit t.ctx.cpu ~service serve
+
+(* Range scan over this cohort's slice of the window (§3's data model is
+   range-partitioned precisely so scans stay local to consecutive cohorts;
+   the client stitches ranges together). Same consistency gating as reads. *)
+and handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent =
+  let serve =
+    guard t (fun () ->
+        let range_lo, range_hi = t.ctx.range_bounds in
+        let low = if String.compare start_key range_lo > 0 then start_key else range_lo in
+        let high = if String.compare end_key range_hi < 0 then end_key else range_hi in
+        let rows =
+          if String.compare low high >= 0 then []
+          else Store.scan t.ctx.store ~low ~high ~limit
+        in
+        let rows =
+          List.map
+            (fun (key, cols) ->
+              ( key,
+                List.map
+                  (fun (col, (cell : Row.cell)) ->
+                    (col, Message.{ value = cell.value; version = cell.version }))
+                  cols ))
+            rows
+        in
+        t.ctx.reply ~client ~request_id (Message.Rows rows))
+  in
+  let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_service_us in
+  if consistent then begin
+    if t.role <> Leader then
+      t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
+    else if not t.open_for_writes then t.ctx.reply ~client ~request_id Message.Unavailable
+    else Sim.Resource.submit t.ctx.cpu ~service serve
+  end
+  else if t.role = Offline then ()
+  else Sim.Resource.submit t.ctx.cpu ~service serve
+
+and handle_client t ~client ~request_id op =
+  match op with
+  | Message.Get { key; col; consistent } ->
+    handle_read t ~client ~request_id ~consistent ~key ~cols:[ col ] ~single:true
+  | Message.Multi_get { key; cols; consistent } ->
+    handle_read t ~client ~request_id ~consistent ~key ~cols ~single:false
+  | Message.Scan { start_key; end_key; limit; consistent } ->
+    handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent
+  | _ -> handle_write t ~client ~request_id op
+
+(* ------------------------------------------------------------------ *)
+(* Follower side of Figure 4.                                           *)
+
+let handle_propose t ~src ~epoch ~writes ~piggyback_cmt =
+  if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
+    if epoch > t.epoch then t.epoch <- epoch;
+    if t.role = Candidate then begin
+      (* A live leader exists; abandon the election. *)
+      t.role <- Follower;
+      t.election_running <- false
+    end;
+    t.leader <- Some src;
+    !arm_leader_watch t;
+    (* Writes at or below the commit point are known-committed duplicates
+       and can be acked outright; anything above it goes through the normal
+       protocol — append, force, ack (Figure 4) — even if the record is
+       already present (a takeover re-proposal, Figure 6 line 9). The
+       re-force is what makes recovery time proportional to the commit
+       period (Table 1); recovery replay deduplicates by LSN. *)
+    let fresh = List.filter (fun (lsn, _, _) -> Lsn.(lsn > t.cmt)) writes in
+    let ack () =
+      match List.rev writes with
+      | (upto, _, _) :: _ ->
+        t.ctx.send ~dst:src (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
+      | [] -> ()
+    in
+    List.iter
+      (fun (lsn, op, timestamp) ->
+        t.lst <- Lsn.max t.lst lsn;
+        if not (Commit_queue.mem t.queue lsn) then Commit_queue.add t.queue ~lsn ~op ~timestamp ();
+        Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp op))
+      fresh;
+    if fresh <> [] then Wal.force t.ctx.wal (guard t ack) else ack ();
+    match piggyback_cmt with
+    | Some upto when Lsn.(upto > t.cmt) ->
+      let entries = Commit_queue.pop_upto t.queue upto in
+      List.iter
+        (fun (e : Commit_queue.entry) ->
+          Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op)
+        entries;
+      t.cmt <- Lsn.max t.cmt upto
+    | _ -> ()
+  end
+
+let handle_commit t ~src ~epoch ~upto =
+  if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
+    if epoch > t.epoch then t.epoch <- epoch;
+    t.leader <- Some src;
+    if Lsn.(upto > t.cmt) then begin
+      (* The network is reliable and in-order, so every propose at or below
+         [upto] has been received: applying the queue prefix is safe. *)
+      let entries = Commit_queue.pop_upto t.queue upto in
+      List.iter
+        (fun (e : Commit_queue.entry) ->
+          Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op)
+        entries;
+      t.cmt <- upto;
+      Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range upto)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up: leader side (§6.1 and Figure 6 lines 3-7).                 *)
+
+(* Bring [follower], whose last committed LSN is [f_cmt], up to the leader's
+   last committed LSN. Writes are blocked for the duration of the (short)
+   final round so the follower is fully caught up when it completes. *)
+let leader_run_catchup t ~follower ~f_cmt =
+  if t.role = Leader then begin
+    t.active_followers <- List.filter (fun f -> f <> follower) t.active_followers;
+    if not (List.mem follower t.pending_final) then
+      t.pending_final <- follower :: t.pending_final;
+    let cells =
+      if Lsn.(f_cmt < t.cmt) then
+        Store.committed_cells_in t.ctx.store ~above:f_cmt ~upto:t.cmt
+      else []
+    in
+    trace t "catchup_serve"
+      (Printf.sprintf "to n%d cells=%d upto=%s" follower (List.length cells)
+         (Lsn.to_string t.cmt));
+    t.ctx.send ~dst:follower
+      (Message.Catchup_data
+         { range = t.ctx.range; epoch = t.epoch; cells; upto = t.cmt; final = true });
+    (* If the follower dies mid-round its Catchup_done never arrives; unblock
+       after a grace period so the cohort does not stall. *)
+    after t (Sim.Sim_time.ms 2000) (fun () ->
+        if List.mem follower t.pending_final then begin
+          t.pending_final <- List.filter (fun f -> f <> follower) t.pending_final;
+          drain_waiting t
+        end)
+  end
+
+(* A follower finished catching up: activate it and close any in-flight gap
+   by re-proposing the leader's still-pending writes (idempotent at the
+   follower). For a takeover this re-proposal is exactly Figure 6 line 9 —
+   the unresolved writes in (l.cmt, l.lst]. *)
+let leader_catchup_done t ~follower ~upto =
+  if t.role = Leader then begin
+    t.pending_final <- List.filter (fun f -> f <> follower) t.pending_final;
+    if Lsn.(upto < t.cmt) then
+      (* The follower fell behind again (it crashed and came back mid-round):
+         run another round. *)
+      leader_run_catchup t ~follower ~f_cmt:upto
+    else begin
+      if not (List.mem follower t.active_followers) then
+        t.active_followers <- follower :: t.active_followers;
+      let pending = Commit_queue.to_list t.queue in
+      if pending <> [] then begin
+        let writes =
+          List.map
+            (fun (e : Commit_queue.entry) -> (e.Commit_queue.lsn, e.op, e.timestamp))
+            pending
+        in
+        t.ctx.send ~dst:follower
+          (Message.Propose
+             { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt = None })
+      end;
+      trace t "follower_active" (Printf.sprintf "n%d upto=%s" follower (Lsn.to_string upto));
+      if t.takeover_pending then begin
+        t.takeover_pending <- false;
+        trace t "takeover_quorum" (Printf.sprintf "first=n%d" follower);
+        open_cohort t
+      end;
+      drain_waiting t
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Catch-up: follower side (§6.1).                                      *)
+
+let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
+  if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
+    if epoch > t.epoch then t.epoch <- epoch;
+    if t.role = Candidate then begin
+      t.role <- Follower;
+      t.election_running <- false
+    end;
+    t.leader <- Some src;
+    !arm_leader_watch t;
+    let old_cmt = t.cmt in
+    (* Logical truncation (§6.1.1): LSNs in our log after f.cmt that the
+       leader does not vouch for were discarded by a leader change and must
+       never be re-applied by local recovery. The leader vouches for the
+       cells it sent and for its still-pending writes above [upto] (which it
+       re-proposes right after this round). *)
+    let vouched =
+      List.fold_left (fun acc ((_, (cell : Row.cell)) : Row.coord * Row.cell) ->
+          cell.lsn :: acc)
+        [] cells
+    in
+    let own = Store.durable_write_lsns_in t.ctx.store ~above:old_cmt ~upto:t.lst in
+    let stale =
+      List.filter
+        (fun lsn -> Lsn.(lsn <= upto) && not (List.exists (Lsn.equal lsn) vouched))
+        own
+    in
+    if stale <> [] then begin
+      Skipped_lsns.add (Store.skipped t.ctx.store) stale;
+      trace t "logical_truncation"
+        (String.concat "," (List.map Lsn.to_string stale))
+    end;
+    (* Entries at or below the catch-up point are superseded by the cells;
+       anything above it that is still valid will be re-proposed. *)
+    ignore (Commit_queue.pop_upto t.queue upto);
+    List.iter
+      (fun ((coord, (cell : Row.cell)) : Row.coord * Row.cell) ->
+        let op = op_of_cell coord cell in
+        let timestamp = cell.timestamp in
+        let already = List.exists (Lsn.equal cell.lsn) own in
+        if not already then
+          Wal.append t.ctx.wal
+            (Log_record.write ~cohort:t.ctx.range ~lsn:cell.lsn ~timestamp op);
+        Store.apply t.ctx.store ~lsn:cell.lsn ~timestamp op;
+        t.lst <- Lsn.max t.lst cell.lsn)
+      cells;
+    t.cmt <- Lsn.max t.cmt upto;
+    Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt);
+    let finish =
+      guard t (fun () ->
+          t.catching_up <- false;
+          if final then
+            t.ctx.send ~dst:src
+              (Message.Catchup_done { range = t.ctx.range; from = t.ctx.node_id; upto = t.cmt }))
+    in
+    Wal.force t.ctx.wal finish
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader takeover (Figure 6).                                          *)
+
+let start_takeover t =
+  trace t "takeover_start"
+    (Printf.sprintf "epoch=%d cmt=%s lst=%s" t.epoch (Lsn.to_string t.cmt)
+       (Lsn.to_string t.lst));
+  t.takeover_pending <- true;
+  t.open_for_writes <- false;
+  t.active_followers <- [];
+  (* Rebuild the commit queue with the unresolved writes in (l.cmt, l.lst]
+     from the durable log (they may not be in memory if we just restarted).
+     They are already forced locally; they commit once a follower acks. *)
+  List.iter
+    (fun (lsn, op, timestamp) ->
+      if not (Commit_queue.mem t.queue lsn) then
+        Commit_queue.add t.queue ~lsn ~op ~timestamp ())
+    (Wal.durable_writes_in t.ctx.wal ~cohort:t.ctx.range ~above:t.cmt ~upto:t.lst);
+  Commit_queue.mark_forced_upto t.queue t.lst;
+  (* Ask each follower for its last committed LSN (Figure 6 lines 3-4). *)
+  List.iter
+    (fun f -> t.ctx.send ~dst:f (Message.Takeover_query { range = t.ctx.range; epoch = t.epoch }))
+    (others t);
+  (* Followers may be down; retry the query until a quorum forms. *)
+  let rec retry () =
+    if t.role = Leader && t.takeover_pending then begin
+      List.iter
+        (fun f ->
+          if not (List.mem f t.active_followers) then
+            t.ctx.send ~dst:f (Message.Takeover_query { range = t.ctx.range; epoch = t.epoch }))
+        (others t);
+      after t (Sim.Sim_time.ms 1000) retry
+    end
+  in
+  after t (Sim.Sim_time.ms 1000) retry
+
+let handle_takeover_query t ~src ~epoch =
+  if t.role <> Offline && epoch >= t.epoch then begin
+    if epoch > t.epoch then t.epoch <- epoch;
+    (* A deposed leader rejoins the cohort as a follower (§6.2). *)
+    if t.role = Leader then begin
+      trace t "stepdown" (Printf.sprintf "new_epoch=%d" epoch);
+      t.open_for_writes <- false;
+      t.takeover_pending <- false;
+      let waiting = t.waiting in
+      t.waiting <- [];
+      List.iter
+        (fun w -> t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
+        waiting
+    end;
+    t.role <- Follower;
+    t.election_running <- false;
+    t.leader <- Some src;
+    !arm_leader_watch t;
+    t.catching_up <- true;
+    t.ctx.send ~dst:src
+      (Message.Takeover_info
+         { range = t.ctx.range; from = t.ctx.node_id; cmt = t.cmt; lst = t.lst })
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Leader election (Figure 7).                                          *)
+
+let candidate_data t = Printf.sprintf "%s;%d" (Lsn.to_string t.lst) t.ctx.node_id
+
+let parse_candidate data =
+  match String.split_on_char ';' data with
+  | [ lsn_s; node_s ] -> (
+    match (String.split_on_char '.' lsn_s, int_of_string_opt node_s) with
+    | [ e; s ], Some node -> (
+      match (int_of_string_opt e, int_of_string_opt s) with
+      | Some epoch, Some seq -> Some (Lsn.make ~epoch ~seq, node)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+let rec become_follower t ~leader ~catchup =
+  t.role <- Follower;
+  t.leader <- Some leader;
+  t.election_running <- false;
+  trace t "follower" (Printf.sprintf "leader=n%d" leader);
+  watch_leader_liveness t;
+  if catchup then begin
+    t.catching_up <- true;
+    request_catchup t
+  end
+
+(* A rejoining follower advertises f.cmt to the leader (§6.1); retried until
+   the leader answers (it may itself still be coming up). *)
+and request_catchup t =
+  match t.leader with
+  | Some leader when t.role = Follower && t.catching_up ->
+    t.ctx.send ~dst:leader
+      (Message.Catchup_request { range = t.ctx.range; from = t.ctx.node_id; cmt = t.cmt });
+    after t (Sim.Sim_time.ms 1000) (fun () -> if t.catching_up then request_catchup t)
+  | _ -> ()
+
+and watch_leader_liveness t =
+  if not t.leader_watch_armed then begin
+    t.leader_watch_armed <- true;
+    let zk = t.ctx.zk () in
+    Coord.Zk_client.watch_node zk ~path:(zk_leader t)
+      (guard t (fun () ->
+           t.leader_watch_armed <- false;
+           Coord.Zk_client.get_data zk ~path:(zk_leader t)
+             (guard t (function
+               | Ok _ -> watch_leader_liveness t
+               | Error _ ->
+                 (* The leader's ephemeral znode vanished: its session
+                    expired. Elect a new leader (§7). *)
+                 t.leader <- None;
+                 start_election t))))
+  end
+
+and become_leader t =
+  t.election_running <- false;
+  t.leader <- Some t.ctx.node_id;
+  t.role <- Leader;
+  t.catching_up <- false;
+  trace t "leader_elected" (Printf.sprintf "lst=%s" (Lsn.to_string t.lst));
+  watch_leader_liveness t;
+  let zk = t.ctx.zk () in
+  (* A new epoch number is stored in Zookeeper before the leader accepts any
+     new writes (Appendix B), making new LSNs greater than any previously
+     used in the cohort. *)
+  Coord.Zk_client.incr_counter zk ~path:(zk_epoch t)
+    (guard t (fun epoch ->
+         if t.role = Leader then begin
+           t.epoch <- Stdlib.max t.epoch epoch;
+           (* Clean up the finished election's candidate znodes (the
+              directory itself stays, so sequence numbers never clash with
+              paths peers still remember). *)
+           Coord.Zk_client.children zk ~path:(zk_candidates t) (fun result ->
+               match result with
+               | Ok kids ->
+                 List.iter
+                   (fun (name, _) ->
+                     Coord.Zk_client.delete_node zk
+                       ~path:(zk_candidates t ^ "/" ^ name)
+                       (fun _ -> ()))
+                   kids
+               | Error _ -> ());
+           t.own_candidate <- None;
+           start_takeover t
+         end))
+
+and read_leader_then_follow t =
+  let zk = t.ctx.zk () in
+  Coord.Zk_client.get_data zk ~path:(zk_leader t)
+    (guard t (function
+      | Ok data -> (
+        match int_of_string_opt data with
+        | Some leader when leader = t.ctx.node_id ->
+          (* We already held leadership (e.g. spurious election). *)
+          t.election_running <- false
+        | Some leader -> become_follower t ~leader ~catchup:true
+        | None -> t.election_running <- false)
+      | Error _ ->
+        (* Not written yet: learn it when the winner writes it (Fig 7 l.11). *)
+        Coord.Zk_client.watch_node zk ~path:(zk_leader t)
+          (guard t (fun () -> read_leader_then_follow t))))
+
+and evaluate_candidates t kids =
+  (* The new leader is the candidate with the max n.lst (Figure 7 line 6).
+     Ties prefer the earliest node in the cohort's chained-declustering
+     order — keeping leadership balanced across the cluster (the primary
+     leads its base range when logs are equal) — then znode sequence. *)
+  let position node =
+    let rec find i = function
+      | [] -> max_int
+      | m :: rest -> if m = node then i else find (i + 1) rest
+    in
+    find 0 t.ctx.members
+  in
+  let parsed =
+    List.filter_map
+      (fun (name, data) -> Option.map (fun (lsn, node) -> (name, lsn, node)) (parse_candidate data))
+      kids
+  in
+  match parsed with
+  | [] -> ()
+  | (name0, lsn0, node0) :: rest ->
+    let _, _, winner =
+      List.fold_left
+        (fun (bn, bl, bw) (name, lsn, node) ->
+          let beats =
+            if not (Lsn.equal lsn bl) then Lsn.(lsn > bl)
+            else if position node <> position bw then position node < position bw
+            else String.compare name bn < 0
+          in
+          if beats then (name, lsn, node) else (bn, bl, bw))
+        (name0, lsn0, node0) rest
+    in
+    trace t "election_eval" (Printf.sprintf "winner=n%d of %d candidates" winner (List.length kids));
+    if winner = t.ctx.node_id then begin
+      let zk = t.ctx.zk () in
+      Coord.Zk_client.create_node zk ~path:(zk_leader t)
+        ~data:(string_of_int t.ctx.node_id) ~ephemeral:true
+        (guard t (function
+          | Ok _ -> become_leader t
+          | Error _ ->
+            (* Someone else won the race to /r/leader; follow them. *)
+            read_leader_then_follow t))
+    end
+    else read_leader_then_follow t
+
+and announce_candidacy t =
+  if t.election_running then begin
+    let zk = t.ctx.zk () in
+    (* Announce candidacy: a sequential ephemeral znode holding n.lst
+       (Figure 7 line 4). *)
+    Coord.Zk_client.create_node zk
+      ~path:(zk_candidates t ^ "/c-")
+      ~data:(candidate_data t) ~ephemeral:true ~sequential:true
+      (guard t (function
+        | Ok path ->
+          trace t "candidate" path;
+          t.own_candidate <- Some path;
+          await_candidates t
+        | Error e ->
+          trace t "candidate_error" (Format.asprintf "%a" Coord.Ztree.pp_error e);
+          t.election_running <- false;
+          after t (Sim.Sim_time.ms 100) (fun () -> start_election t)))
+  end
+
+and await_candidates t =
+  if t.election_running then begin
+    let zk = t.ctx.zk () in
+    (* Arm the watch before reading, so no change is missed (Fig 7 line 5). *)
+    Coord.Zk_client.watch_children zk ~path:(zk_candidates t)
+      (guard t (fun () -> await_candidates t));
+    Coord.Zk_client.children zk ~path:(zk_candidates t)
+      (guard t (fun result ->
+           if t.election_running then
+             match result with
+             | Ok kids ->
+               (* Our own candidacy can be swept away by a previous winner's
+                  cleanup racing this election: re-announce rather than wait
+                  on a znode that no longer exists. *)
+               let own_present =
+                 match t.own_candidate with
+                 | Some path ->
+                   List.exists (fun (name, _) -> zk_candidates t ^ "/" ^ name = path) kids
+                 | None -> false
+               in
+               if not own_present then announce_candidacy t
+               else if List.length kids >= Config.majority t.ctx.config then
+                 evaluate_candidates t kids
+             | Error _ -> ()))
+  end
+
+and start_election t =
+  if t.role <> Offline && not t.election_running then begin
+    t.election_running <- true;
+    t.role <- Candidate;
+    t.leader <- None;
+    t.open_for_writes <- false;
+    trace t "election_start" (Printf.sprintf "lst=%s" (Lsn.to_string t.lst));
+    let zk = t.ctx.zk () in
+    (* Clean up our stale state from a previous round (Figure 7 line 1). *)
+    match t.own_candidate with
+    | Some path ->
+      t.own_candidate <- None;
+      Coord.Zk_client.delete_node zk ~path (guard t (fun _ -> announce_candidacy t))
+    | None -> announce_candidacy t
+  end
+
+let () = arm_leader_watch := watch_leader_liveness
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle.                                                           *)
+
+let crash t =
+  t.role <- Offline;
+  t.epoch <- 0;
+  t.cmt <- Lsn.zero;
+  t.lst <- Lsn.zero;
+  ignore (Commit_queue.drop_above t.queue Lsn.zero);
+  t.leader <- None;
+  t.open_for_writes <- false;
+  t.active_followers <- [];
+  t.pending_final <- [];
+  t.takeover_pending <- false;
+  t.waiting <- [];
+  t.commit_timer_armed <- false;
+  t.catching_up <- false;
+  t.election_running <- false;
+  t.own_candidate <- None;
+  t.leader_watch_armed <- false;
+  Store.crash t.ctx.store
+
+let wipe_storage t = Store.wipe t.ctx.store
+
+let rejoin t =
+  (* Local recovery first (§6.1): rebuild the memtable from the checkpoint
+     through f.cmt; writes after f.cmt await the catch-up phase. *)
+  let cmt, lst = Store.recover t.ctx.store in
+  t.cmt <- cmt;
+  t.lst <- lst;
+  t.epoch <- lst.Lsn.epoch;
+  t.role <- Candidate;
+  trace t "local_recovery"
+    (Printf.sprintf "cmt=%s lst=%s" (Lsn.to_string cmt) (Lsn.to_string lst));
+  let zk = t.ctx.zk () in
+  Coord.Zk_client.get_data zk ~path:(zk_leader t)
+    (guard t (function
+      | Ok data -> (
+        match int_of_string_opt data with
+        | Some leader when leader <> t.ctx.node_id ->
+          become_follower t ~leader ~catchup:true
+        | _ -> start_election t)
+      | Error _ -> start_election t))
+
+(* Fresh boot is the restart path: local recovery (a no-op on an empty log)
+   followed by election or follower catch-up (§7: "leader election is
+   triggered whenever a cohort's leader has failed or following local
+   recovery after a system restart"). *)
+let startup = rejoin
+
+let read_local t coord = Store.read t.ctx.store coord
+
+let skipped_lsns t = Skipped_lsns.to_list (Store.skipped t.ctx.store)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                            *)
+
+let handle_peer t ~src msg =
+  match msg with
+  | Message.Propose { epoch; writes; piggyback_cmt; _ } ->
+    handle_propose t ~src ~epoch ~writes ~piggyback_cmt
+  | Message.Ack { from; upto; _ } ->
+    if t.role = Leader then begin
+      Commit_queue.add_ack t.queue ~from ~upto;
+      try_commit t
+    end
+  | Message.Commit { epoch; upto; _ } -> handle_commit t ~src ~epoch ~upto
+  | Message.Takeover_query { epoch; _ } -> handle_takeover_query t ~src ~epoch
+  | Message.Takeover_info { from; cmt; _ } ->
+    if t.role = Leader then leader_run_catchup t ~follower:from ~f_cmt:cmt
+  | Message.Catchup_request { from; cmt; _ } ->
+    if t.role = Leader then leader_run_catchup t ~follower:from ~f_cmt:cmt
+  | Message.Catchup_data { epoch; cells; upto; final; _ } ->
+    follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final
+  | Message.Catchup_done { from; upto; _ } -> leader_catchup_done t ~follower:from ~upto
+  | Message.Request _ | Message.Reply _ -> ()

@@ -1,0 +1,90 @@
+(** The per-range replica state machine — the paper's core contribution.
+
+    One [t] lives on each node of a key range's cohort and plays one of the
+    roles leader / follower / candidate. It implements:
+
+    - the steady-state quorum phase of Spinnaker's Multi-Paxos variant
+      (Figure 4): leader log force in parallel with propose messages,
+      commit after one follower ack, periodic asynchronous commit messages;
+    - leader election through the coordination service (Figure 7), with the
+      max-last-LSN rule that guarantees no committed write is lost;
+    - leader takeover (Figure 6): catch followers up to l.cmt, wait for a
+      quorum, re-propose the unresolved writes in (l.cmt, l.lst], then open
+      the cohort with a fresh epoch;
+    - follower recovery (§6.1): catch-up from the leader's log or SSTables,
+      with logical truncation of discarded records via skipped-LSN lists. *)
+
+type role = Offline | Candidate | Leader | Follower
+
+type ctx = {
+  engine : Sim.Engine.t;
+  node_id : int;
+  range : int;
+  members : int list;  (** the cohort's nodes, this one included *)
+  config : Config.t;
+  store : Storage.Store.t;
+  wal : Storage.Wal.t;
+  cpu : Sim.Resource.t;
+  trace : Sim.Trace.t;
+  send : dst:int -> Message.t -> unit;
+  reply : client:int -> request_id:int -> Message.client_reply -> unit;
+  zk : unit -> Coord.Zk_client.t;  (** current session (changes on restart) *)
+  incarnation : unit -> int;  (** node incarnation; timers check it *)
+  routes_here : Storage.Row.key -> bool;
+      (** whether a key belongs to this cohort's range (transaction scoping) *)
+  range_bounds : Storage.Row.key * Storage.Row.key;
+      (** [start, end) of this cohort's key range (scan clamping) *)
+}
+
+type t
+
+val create : ctx -> t
+
+val role : t -> role
+
+val leader_id : t -> int option
+(** Current leader as known to this replica. *)
+
+val epoch : t -> int
+
+val cmt : t -> Storage.Lsn.t
+(** Last committed LSN. *)
+
+val lst : t -> Storage.Lsn.t
+(** Last LSN in the log. *)
+
+val is_open : t -> bool
+(** Leader-side: accepting writes (post-takeover). *)
+
+val pending_writes : t -> int
+(** Commit-queue length. *)
+
+(** {2 Lifecycle} *)
+
+val startup : t -> unit
+(** Fresh boot: run leader election (Figure 7). *)
+
+val crash : t -> unit
+
+val wipe_storage : t -> unit
+(** Disk failure: lose SSTables, log slice, and skipped-LSN list. A later
+    {!rejoin} recovers entirely from the leader's catch-up (§6.1). *)
+
+val rejoin : t -> unit
+(** After node restart: local recovery, then either catch up with the
+    current leader or trigger an election. *)
+
+(** {2 Inspection} (tests and examples) *)
+
+val read_local : t -> Storage.Row.coord -> Storage.Row.cell option
+(** This replica's committed view of a coordinate (what a timeline read
+    served here would return). *)
+
+val skipped_lsns : t -> Storage.Lsn.t list
+(** The replica's skipped-LSN list (§6.1.1), ascending. *)
+
+(** {2 Event handling} (called by the node's dispatcher) *)
+
+val handle_client : t -> client:int -> request_id:int -> Message.client_op -> unit
+
+val handle_peer : t -> src:int -> Message.t -> unit

@@ -1,0 +1,77 @@
+type entry = {
+  lsn : Storage.Lsn.t;
+  op : Storage.Log_record.op;
+  timestamp : int;
+  mutable forced : bool;
+  mutable ackers : int list;
+  reply : (unit -> unit) option;
+}
+
+module Lsn_map = Map.Make (struct
+  type t = Storage.Lsn.t
+
+  let compare = Storage.Lsn.compare
+end)
+
+type t = { mutable entries : entry Lsn_map.t }
+
+let create () = { entries = Lsn_map.empty }
+
+let add t ~lsn ~op ~timestamp ?reply () =
+  let entry = { lsn; op; timestamp; forced = false; ackers = []; reply } in
+  t.entries <- Lsn_map.add lsn entry t.entries
+
+let mem t lsn = Lsn_map.mem lsn t.entries
+let is_empty t = Lsn_map.is_empty t.entries
+let length t = Lsn_map.cardinal t.entries
+let min_lsn t = Option.map fst (Lsn_map.min_binding_opt t.entries)
+let max_lsn t = Option.map fst (Lsn_map.max_binding_opt t.entries)
+
+let mark_forced_upto t upto =
+  Lsn_map.iter (fun lsn e -> if Storage.Lsn.(lsn <= upto) then e.forced <- true) t.entries
+
+let add_ack t ~from ~upto =
+  Lsn_map.iter
+    (fun lsn e ->
+      if Storage.Lsn.(lsn <= upto) && not (List.mem from e.ackers) then
+        e.ackers <- from :: e.ackers)
+    t.entries
+
+let pop_committable t ~acks_needed =
+  let rec go acc =
+    match Lsn_map.min_binding_opt t.entries with
+    | Some (lsn, e) when e.forced && List.length e.ackers >= acks_needed ->
+      t.entries <- Lsn_map.remove lsn t.entries;
+      go (e :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let pop_upto t upto =
+  let rec go acc =
+    match Lsn_map.min_binding_opt t.entries with
+    | Some (lsn, e) when Storage.Lsn.(lsn <= upto) ->
+      t.entries <- Lsn_map.remove lsn t.entries;
+      go (e :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let drop_above t lsn =
+  let keep, dropped = Lsn_map.partition (fun l _ -> Storage.Lsn.(l <= lsn)) t.entries in
+  t.entries <- keep;
+  List.map snd (Lsn_map.bindings dropped)
+
+let latest_version_for t coord =
+  Lsn_map.fold
+    (fun _ e acc ->
+      List.fold_left
+        (fun acc op ->
+          if Storage.Row.equal_coord (Storage.Log_record.op_coord op) coord then
+            Some (Storage.Log_record.op_version op)
+          else acc)
+        acc
+        (Storage.Log_record.flatten e.op))
+    t.entries None
+
+let to_list t = List.map snd (Lsn_map.bindings t.entries)

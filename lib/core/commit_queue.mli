@@ -1,0 +1,62 @@
+(** The commit queue (§4.1, §5): a main-memory structure tracking writes that
+    have been proposed but not yet committed, ordered by LSN.
+
+    On the leader an entry commits once its log record is forced locally and
+    at least one follower has acked; commits happen strictly in LSN order. On
+    a follower entries wait for the leader's (possibly piggy-backed)
+    asynchronous commit message. *)
+
+type entry = {
+  lsn : Storage.Lsn.t;
+  op : Storage.Log_record.op;
+  timestamp : int;
+  mutable forced : bool;  (** local log record forced to disk *)
+  mutable ackers : int list;  (** follower node ids that acked *)
+  reply : (unit -> unit) option;
+      (** fires when the entry commits (sends the client response); only the
+          last entry of a multi-column transaction carries it *)
+}
+
+type t
+
+val create : unit -> t
+
+val add :
+  t -> lsn:Storage.Lsn.t -> op:Storage.Log_record.op -> timestamp:int ->
+  ?reply:(unit -> unit) -> unit -> unit
+
+val mem : t -> Storage.Lsn.t -> bool
+
+val is_empty : t -> bool
+
+val length : t -> int
+
+val min_lsn : t -> Storage.Lsn.t option
+
+val max_lsn : t -> Storage.Lsn.t option
+
+val mark_forced_upto : t -> Storage.Lsn.t -> unit
+(** Log forces are sequential, so a force completion covers every entry with
+    an LSN at or below the forced point. *)
+
+val add_ack : t -> from:int -> upto:Storage.Lsn.t -> unit
+
+val pop_committable : t -> acks_needed:int -> entry list
+(** Leader-side: remove and return, in LSN order, the maximal prefix of
+    entries that are forced and have at least [acks_needed] distinct ackers.
+    Stops at the first entry that does not qualify (commit order). *)
+
+val pop_upto : t -> Storage.Lsn.t -> entry list
+(** Follower-side: remove and return all entries with LSN [<=] the commit
+    point, in LSN order. *)
+
+val drop_above : t -> Storage.Lsn.t -> entry list
+(** Remove entries above the given LSN (discarded on leader change); returns
+    them so callers can fail their client replies. *)
+
+val latest_version_for : t -> Storage.Row.coord -> int option
+(** Version of the newest pending write to the coordinate — lets the leader
+    assign version numbers and check conditional puts against in-flight
+    writes, not just committed state. *)
+
+val to_list : t -> entry list

@@ -1,0 +1,41 @@
+type t = {
+  nodes : int;
+  replication : int;
+  key_space : int;
+  commit_period : Sim.Sim_time.span;
+  session_timeout : Sim.Sim_time.span;
+  disk : Sim.Disk_model.kind;
+  wal_max_batch : int;
+  piggyback_commits : bool;
+  flush_bytes : int;
+  read_service_us : float;
+  write_service_us : float;
+  follower_write_service_us : float;
+  value_bytes : int;
+  client_timeout : Sim.Sim_time.span;
+  seed : int;
+}
+
+let default =
+  {
+    nodes = 10;
+    replication = 3;
+    key_space = 100_000;
+    commit_period = Sim.Sim_time.sec 1;
+    session_timeout = Sim.Sim_time.sec 2;
+    disk = Sim.Disk_model.Magnetic;
+    wal_max_batch = 24;
+    piggyback_commits = false;
+    flush_bytes = 4 * 1024 * 1024;
+    read_service_us = 700.0;
+    write_service_us = 50.0;
+    follower_write_service_us = 30.0;
+    value_bytes = 4096;
+    client_timeout = Sim.Sim_time.ms 400;
+    seed = 42;
+  }
+
+let with_nodes nodes t = { t with nodes }
+let with_disk disk t = { t with disk }
+let with_commit_period commit_period t = { t with commit_period }
+let majority t = (t.replication / 2) + 1

@@ -1,0 +1,36 @@
+(** Cluster and protocol configuration.
+
+    Defaults mirror the paper's setup (§C): 10 nodes, 3-way replication, a
+    dedicated magnetic logging disk per node, a 1-GbE rack network, a
+    2-second Zookeeper session timeout, and a 1-second commit period. *)
+
+type t = {
+  nodes : int;
+  replication : int;  (** N; 3 throughout the paper *)
+  key_space : int;  (** keys are zero-padded integers in [0, key_space) *)
+  commit_period : Sim.Sim_time.span;
+      (** interval between asynchronous commit messages (§5) *)
+  session_timeout : Sim.Sim_time.span;  (** Zookeeper failure-detection timeout *)
+  disk : Sim.Disk_model.kind;  (** logging device *)
+  wal_max_batch : int;  (** group-commit batch bound; 1 disables group commit *)
+  piggyback_commits : bool;
+      (** piggy-back commit messages on proposes (§D.1 optimisation) *)
+  flush_bytes : int;  (** memtable flush threshold *)
+  read_service_us : float;  (** CPU cost to serve a read *)
+  write_service_us : float;  (** leader CPU cost to process a write *)
+  follower_write_service_us : float;  (** follower CPU cost per propose *)
+  value_bytes : int;  (** payload size; the paper uses 4 KB *)
+  client_timeout : Sim.Sim_time.span;  (** client retry timeout *)
+  seed : int;
+}
+
+val default : t
+
+val with_nodes : int -> t -> t
+
+val with_disk : Sim.Disk_model.kind -> t -> t
+
+val with_commit_period : Sim.Sim_time.span -> t -> t
+
+val majority : t -> int
+(** Quorum size: [replication / 2 + 1]. *)

@@ -1,0 +1,165 @@
+type client_op =
+  | Get of { key : Storage.Row.key; col : Storage.Row.column; consistent : bool }
+  | Multi_get of { key : Storage.Row.key; cols : Storage.Row.column list; consistent : bool }
+  | Put of { key : Storage.Row.key; col : Storage.Row.column; value : string }
+  | Multi_put of { key : Storage.Row.key; cols : (Storage.Row.column * string) list }
+  | Delete of { key : Storage.Row.key; col : Storage.Row.column }
+  | Conditional_put of {
+      key : Storage.Row.key;
+      col : Storage.Row.column;
+      value : string;
+      expected : int;
+    }
+  | Conditional_delete of { key : Storage.Row.key; col : Storage.Row.column; expected : int }
+  | Multi_conditional_put of {
+      key : Storage.Row.key;
+      cols : (Storage.Row.column * string * int) list;
+    }
+  | Txn_put of { rows : (Storage.Row.key * Storage.Row.column * string) list }
+  | Scan of {
+      start_key : Storage.Row.key;
+      end_key : Storage.Row.key;
+      limit : int;
+      consistent : bool;
+    }
+
+type value_reply = { value : string option; version : int }
+
+type client_reply =
+  | Value of value_reply
+  | Values of (Storage.Row.column * value_reply) list
+  | Rows of (Storage.Row.key * (Storage.Row.column * value_reply) list) list
+  | Written
+  | Version_mismatch of { current : int }
+  | Not_leader of { hint : int option }
+  | Unavailable
+  | Cross_range
+
+type t =
+  | Request of { client : int; request_id : int; op : client_op }
+  | Reply of { request_id : int; reply : client_reply }
+  | Propose of {
+      range : int;
+      epoch : int;
+      writes : (Storage.Lsn.t * Storage.Log_record.op * int) list;
+      piggyback_cmt : Storage.Lsn.t option;
+    }
+  | Ack of { range : int; from : int; upto : Storage.Lsn.t }
+  | Commit of { range : int; epoch : int; upto : Storage.Lsn.t }
+  | Takeover_query of { range : int; epoch : int }
+  | Takeover_info of { range : int; from : int; cmt : Storage.Lsn.t; lst : Storage.Lsn.t }
+  | Catchup_request of { range : int; from : int; cmt : Storage.Lsn.t }
+  | Catchup_data of {
+      range : int;
+      epoch : int;
+      cells : (Storage.Row.coord * Storage.Row.cell) list;
+      upto : Storage.Lsn.t;
+      final : bool;
+    }
+  | Catchup_done of { range : int; from : int; upto : Storage.Lsn.t }
+
+let is_write = function
+  | Get _ | Multi_get _ | Scan _ -> false
+  | Put _ | Multi_put _ | Delete _ | Conditional_put _ | Conditional_delete _
+  | Multi_conditional_put _ | Txn_put _ ->
+    true
+
+let key_of_op = function
+  | Get { key; _ }
+  | Multi_get { key; _ }
+  | Put { key; _ }
+  | Multi_put { key; _ }
+  | Delete { key; _ }
+  | Conditional_put { key; _ }
+  | Conditional_delete { key; _ }
+  | Multi_conditional_put { key; _ } ->
+    key
+  | Txn_put { rows } -> ( match rows with (key, _, _) :: _ -> key | [] -> "")
+  | Scan { start_key; _ } -> start_key
+
+let size_of_op = function
+  | Get { key; col; _ } -> String.length key + String.length col + 16
+  | Multi_get { key; cols; _ } ->
+    String.length key + List.fold_left (fun a c -> a + String.length c) 16 cols
+  | Put { key; col; value } -> String.length key + String.length col + String.length value + 16
+  | Multi_put { key; cols } ->
+    String.length key
+    + List.fold_left (fun a (c, v) -> a + String.length c + String.length v) 16 cols
+  | Delete { key; col } -> String.length key + String.length col + 16
+  | Conditional_put { key; col; value; _ } ->
+    String.length key + String.length col + String.length value + 24
+  | Conditional_delete { key; col; _ } -> String.length key + String.length col + 24
+  | Multi_conditional_put { key; cols } ->
+    String.length key
+    + List.fold_left (fun a (c, v, _) -> a + String.length c + String.length v + 8) 16 cols
+  | Txn_put { rows } ->
+    List.fold_left
+      (fun a (k, c, v) -> a + String.length k + String.length c + String.length v + 8)
+      16 rows
+  | Scan { start_key; end_key; _ } -> String.length start_key + String.length end_key + 24
+
+let size_of_value { value; _ } =
+  (match value with Some v -> String.length v | None -> 0) + 12
+
+let size_of_reply = function
+  | Value v -> size_of_value v + 8
+  | Values vs ->
+    List.fold_left (fun a (c, v) -> a + String.length c + size_of_value v) 8 vs
+  | Rows rows ->
+    List.fold_left
+      (fun a (k, cols) ->
+        List.fold_left
+          (fun a (c, v) -> a + String.length c + size_of_value v)
+          (a + String.length k + 8)
+          cols)
+      8 rows
+  | Written | Version_mismatch _ | Not_leader _ | Unavailable | Cross_range -> 16
+
+let size_of_cell ((key, col), (cell : Storage.Row.cell)) =
+  String.length key + String.length col
+  + (match cell.value with Some v -> String.length v | None -> 0)
+  + 24
+
+let size_of_write (_, op, _) =
+  List.fold_left
+    (fun acc op ->
+      acc
+      +
+      match op with
+      | Storage.Log_record.Put { key; col; value; _ } ->
+        String.length key + String.length col + String.length value
+      | Storage.Log_record.Delete { key; col; _ } -> String.length key + String.length col
+      | Storage.Log_record.Batch _ -> 0)
+    24
+    (Storage.Log_record.flatten op)
+
+let size = function
+  | Request { op; _ } -> size_of_op op + 16
+  | Reply { reply; _ } -> size_of_reply reply + 8
+  | Propose { writes; _ } -> List.fold_left (fun a w -> a + size_of_write w) 32 writes
+  | Ack _ | Commit _ | Takeover_query _ | Takeover_info _ | Catchup_request _
+  | Catchup_done _ ->
+    48
+  | Catchup_data { cells; _ } -> List.fold_left (fun a c -> a + size_of_cell c) 48 cells
+
+let pp ppf = function
+  | Request { client; request_id; op } ->
+    Format.fprintf ppf "request#%d from c%d key=%s%s" request_id client (key_of_op op)
+      (if is_write op then " (write)" else "")
+  | Reply { request_id; _ } -> Format.fprintf ppf "reply#%d" request_id
+  | Propose { range; epoch; writes; _ } ->
+    Format.fprintf ppf "propose r%d e%d (%d writes)" range epoch (List.length writes)
+  | Ack { range; from; upto } ->
+    Format.fprintf ppf "ack r%d from n%d upto %a" range from Storage.Lsn.pp upto
+  | Commit { range; upto; _ } -> Format.fprintf ppf "commit r%d upto %a" range Storage.Lsn.pp upto
+  | Takeover_query { range; epoch } -> Format.fprintf ppf "takeover-query r%d e%d" range epoch
+  | Takeover_info { range; from; cmt; lst } ->
+    Format.fprintf ppf "takeover-info r%d n%d cmt=%a lst=%a" range from Storage.Lsn.pp cmt
+      Storage.Lsn.pp lst
+  | Catchup_request { range; from; cmt } ->
+    Format.fprintf ppf "catchup-request r%d n%d cmt=%a" range from Storage.Lsn.pp cmt
+  | Catchup_data { range; cells; final; _ } ->
+    Format.fprintf ppf "catchup-data r%d (%d cells%s)" range (List.length cells)
+      (if final then ", final" else "")
+  | Catchup_done { range; from; upto } ->
+    Format.fprintf ppf "catchup-done r%d n%d upto %a" range from Storage.Lsn.pp upto

@@ -1,0 +1,91 @@
+(** Client operations, replies, and the cohort replication protocol messages
+    (Figure 4, §6, §3).
+
+    Everything exchanged over the simulated network is one [t], so a node has
+    a single typed inbox. *)
+
+type client_op =
+  | Get of { key : Storage.Row.key; col : Storage.Row.column; consistent : bool }
+      (** strong ([consistent = true]) or timeline read (§3) *)
+  | Multi_get of { key : Storage.Row.key; cols : Storage.Row.column list; consistent : bool }
+  | Put of { key : Storage.Row.key; col : Storage.Row.column; value : string }
+  | Multi_put of { key : Storage.Row.key; cols : (Storage.Row.column * string) list }
+      (** multiple columns of one row, one single-operation transaction *)
+  | Delete of { key : Storage.Row.key; col : Storage.Row.column }
+  | Conditional_put of {
+      key : Storage.Row.key;
+      col : Storage.Row.column;
+      value : string;
+      expected : int;  (** version the caller read; optimistic concurrency *)
+    }
+  | Conditional_delete of { key : Storage.Row.key; col : Storage.Row.column; expected : int }
+  | Multi_conditional_put of {
+      key : Storage.Row.key;
+      cols : (Storage.Row.column * string * int) list;  (** (col, value, expected) *)
+    }
+  | Txn_put of { rows : (Storage.Row.key * Storage.Row.column * string) list }
+      (** Multi-operation transaction (§8.2): several rows written atomically.
+          All keys must fall in one key range — the transaction is replicated
+          as a single log record by that range's cohort. *)
+  | Scan of {
+      start_key : Storage.Row.key;  (** inclusive *)
+      end_key : Storage.Row.key;  (** exclusive *)
+      limit : int;
+      consistent : bool;
+    }
+      (** Range scan over one cohort's slice of [start_key, end_key); the
+          client stitches multi-range scans together range by range. *)
+
+type value_reply = { value : string option; version : int }
+
+type client_reply =
+  | Value of value_reply
+  | Values of (Storage.Row.column * value_reply) list
+  | Rows of (Storage.Row.key * (Storage.Row.column * value_reply) list) list
+      (** scan result: this cohort's rows in the window, ascending by key *)
+  | Written
+  | Version_mismatch of { current : int }  (** conditional put/delete failed *)
+  | Not_leader of { hint : int option }  (** strong ops must go to the leader *)
+  | Unavailable  (** cohort closed for writes (no leader / takeover running) *)
+  | Cross_range  (** transaction keys span key ranges; not supported (§8.2) *)
+
+type t =
+  | Request of { client : int; request_id : int; op : client_op }
+  | Reply of { request_id : int; reply : client_reply }
+  (* --- replication (Figure 4) --- *)
+  | Propose of {
+      range : int;
+      epoch : int;  (** sender's leadership epoch; stale epochs are rejected *)
+      writes : (Storage.Lsn.t * Storage.Log_record.op * int) list;
+          (** (lsn, op, timestamp); >1 entry for multi-column transactions *)
+      piggyback_cmt : Storage.Lsn.t option;
+    }
+  | Ack of { range : int; from : int; upto : Storage.Lsn.t }
+  | Commit of { range : int; epoch : int; upto : Storage.Lsn.t }
+  (* --- recovery (§6) --- *)
+  | Takeover_query of { range : int; epoch : int }
+      (** new leader asks a follower for its last committed LSN (Fig 6 l.4) *)
+  | Takeover_info of { range : int; from : int; cmt : Storage.Lsn.t; lst : Storage.Lsn.t }
+  | Catchup_request of { range : int; from : int; cmt : Storage.Lsn.t }
+      (** recovering follower advertises f.cmt to the leader (§6.1) *)
+  | Catchup_data of {
+      range : int;
+      epoch : int;
+      cells : (Storage.Row.coord * Storage.Row.cell) list;  (** ascending LSN *)
+      upto : Storage.Lsn.t;
+      final : bool;  (** leader blocked writes; follower is fully caught up after this *)
+    }
+  | Catchup_done of { range : int; from : int; upto : Storage.Lsn.t }
+
+val is_write : client_op -> bool
+
+val key_of_op : client_op -> Storage.Row.key
+
+val size_of_op : client_op -> int
+(** Wire-size estimate in bytes, for network accounting. *)
+
+val size_of_reply : client_reply -> int
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+type t = {
+  id : int;
+  engine : Sim.Engine.t;
+  net : Message.t Sim.Network.t;
+  zk_server : Coord.Zk_server.t;
+  partition : Partition.t;
+  config : Config.t;
+  trace : Sim.Trace.t;
+  cpu : Sim.Resource.t;
+  disk : Sim.Resource.t;
+  wal : Storage.Wal.t;
+  cohorts : (int * Cohort.t) list;
+  mutable zk : Coord.Zk_client.t option;
+  mutable alive : bool;
+  mutable incarnation : int;
+}
+
+let id t = t.id
+let alive t = t.alive
+let incarnation t = t.incarnation
+let wal t = t.wal
+let ranges t = List.map fst t.cohorts
+let cohort t ~range = List.assoc_opt range t.cohorts
+
+let send t ~dst msg =
+  if t.alive then t.net |> fun net -> Sim.Network.send net ~src:t.id ~dst ~size:(Message.size msg) msg
+
+let reply t ~client ~request_id reply =
+  send t ~dst:client (Message.Reply { request_id; reply })
+
+let zk_exn t =
+  match t.zk with
+  | Some zk when Coord.Zk_client.alive zk -> zk
+  | _ ->
+    (* A fresh session after restart. *)
+    let zk = Coord.Zk_client.connect t.zk_server ~owner:(Printf.sprintf "node-%d" t.id) () in
+    t.zk <- Some zk;
+    zk
+
+let handle t (env : Message.t Sim.Network.envelope) =
+  if t.alive then begin
+    match env.payload with
+    | Message.Request { client; request_id; op } -> (
+      let range = Partition.route t.partition (Message.key_of_op op) in
+      match cohort t ~range with
+      | Some c -> Cohort.handle_client c ~client ~request_id op
+      | None ->
+        (* Misrouted: point the client at the range's primary. *)
+        reply t ~client ~request_id
+          (Message.Not_leader { hint = Some (Partition.primary t.partition ~range) }))
+    | Message.Reply _ -> ()
+    | Message.Propose { range; _ }
+    | Message.Ack { range; _ }
+    | Message.Commit { range; _ }
+    | Message.Takeover_query { range; _ }
+    | Message.Takeover_info { range; _ }
+    | Message.Catchup_request { range; _ }
+    | Message.Catchup_data { range; _ }
+    | Message.Catchup_done { range; _ } -> (
+      match cohort t ~range with
+      | Some c -> Cohort.handle_peer c ~src:env.src env.payload
+      | None -> ())
+  end
+
+let create ~engine ~net ~zk_server ~partition ~config ~trace ~id =
+  let cpu = Sim.Resource.create engine ~name:(Printf.sprintf "cpu-%d" id) ~servers:4 () in
+  let disk = Sim.Resource.create engine ~name:(Printf.sprintf "logdisk-%d" id) () in
+  let model = Sim.Disk_model.create config.Config.disk in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let wal =
+    Storage.Wal.create engine ~disk ~model ~rng ~max_batch:config.Config.wal_max_batch ()
+  in
+  let rec t =
+    lazy
+      (let make_cohort range =
+         let store =
+           Storage.Store.create ~cohort:range ~wal ~flush_bytes:config.Config.flush_bytes ()
+         in
+         let ctx : Cohort.ctx =
+           {
+             engine;
+             node_id = id;
+             range;
+             members = Partition.cohort partition ~range;
+             config;
+             store;
+             wal;
+             cpu;
+             trace;
+             send = (fun ~dst msg -> send (Lazy.force t) ~dst msg);
+             reply =
+               (fun ~client ~request_id r -> reply (Lazy.force t) ~client ~request_id r);
+             zk = (fun () -> zk_exn (Lazy.force t));
+             incarnation = (fun () -> incarnation (Lazy.force t));
+             routes_here = (fun key -> Partition.route partition key = range);
+             range_bounds = Partition.range_bounds partition ~range;
+           }
+         in
+         (range, Cohort.create ctx)
+       in
+       {
+         id;
+         engine;
+         net;
+         zk_server;
+         partition;
+         config;
+         trace;
+         cpu;
+         disk;
+         wal;
+         cohorts = List.map make_cohort (Partition.ranges_of_node partition ~node:id);
+         zk = None;
+         alive = false;
+         incarnation = 0;
+       })
+  in
+  Lazy.force t
+
+(* Group membership (§4.2): each node holds an ephemeral znode under /nodes
+   for the lifetime of its session, so cluster tooling can watch the live
+   set; the per-range failure handling itself is cohort-driven. *)
+let register_membership t =
+  let zk = zk_exn t in
+  Coord.Zk_client.create_node zk
+    ~path:(Printf.sprintf "/nodes/%d" t.id)
+    ~data:(Printf.sprintf "node-%d" t.id)
+    ~ephemeral:true
+    (fun _ -> ())
+
+let start t =
+  t.alive <- true;
+  Sim.Network.register t.net ~node:t.id (handle t);
+  ignore (zk_exn t);
+  register_membership t;
+  List.iter (fun (_, c) -> Cohort.startup c) t.cohorts
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.incarnation <- t.incarnation + 1;
+    Sim.Network.set_up t.net t.id false;
+    (match t.zk with Some zk -> Coord.Zk_client.crash zk | None -> ());
+    t.zk <- None;
+    Storage.Wal.crash t.wal;
+    List.iter (fun (_, c) -> Cohort.crash c) t.cohorts;
+    Sim.Trace.emitf t.trace ~tag:"node_crash" "n%d" t.id
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.incarnation <- t.incarnation + 1;
+    Sim.Network.register t.net ~node:t.id (handle t);
+    ignore (zk_exn t);
+    register_membership t;
+    Sim.Trace.emitf t.trace ~tag:"node_restart" "n%d" t.id;
+    List.iter (fun (_, c) -> Cohort.rejoin c) t.cohorts
+  end
+
+let lose_disk t =
+  Storage.Wal.wipe t.wal;
+  List.iter (fun (_, c) -> Cohort.wipe_storage c) t.cohorts;
+  Sim.Trace.emitf t.trace ~tag:"disk_lost" "n%d" t.id
+
+let failure_target t =
+  Sim.Failure.
+    {
+      label = Printf.sprintf "node-%d" t.id;
+      crash = (fun () -> crash t);
+      restart = (fun () -> restart t);
+      lose_disk = (fun () -> lose_disk t);
+    }

@@ -1,0 +1,47 @@
+(** A Spinnaker node (Figure 3): a network endpoint hosting one cohort
+    replica per key range it serves, a shared write-ahead log on a dedicated
+    logging device, a CPU, and an embedded coordination-service client whose
+    session doubles as the node's failure detector. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  net:Message.t Sim.Network.t ->
+  zk_server:Coord.Zk_server.t ->
+  partition:Partition.t ->
+  config:Config.t ->
+  trace:Sim.Trace.t ->
+  id:int ->
+  t
+
+val id : t -> int
+
+val alive : t -> bool
+
+val incarnation : t -> int
+
+val start : t -> unit
+(** First boot: register on the network, connect to the coordination
+    service, run elections for every hosted range. *)
+
+val crash : t -> unit
+(** Lose volatile state (memtables, commit queues, unforced log tail); keep
+    stable storage. The session expires after the coordination service's
+    timeout, triggering failover. *)
+
+val restart : t -> unit
+(** Come back up: local recovery on every cohort, then rejoin (follower
+    catch-up or election, §6.1-6.2). *)
+
+val lose_disk : t -> unit
+(** Wipe stable storage (log, SSTables, skipped-LSN lists). A subsequent
+    {!restart} models a replacement node recovering entirely from peers. *)
+
+val cohort : t -> range:int -> Cohort.t option
+
+val ranges : t -> int list
+
+val wal : t -> Storage.Wal.t
+
+val failure_target : t -> Sim.Failure.target

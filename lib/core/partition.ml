@@ -1,0 +1,43 @@
+type t = { nodes : int; replication : int; key_space : int; width : int }
+
+let create ~nodes ~replication ~key_space =
+  assert (nodes >= replication && replication >= 1 && key_space >= nodes);
+  (* Wide enough for [key_space] itself, so the exclusive end bound of the
+     last range still encodes in lexicographic order. *)
+  let width = String.length (string_of_int key_space) in
+  { nodes; replication; key_space; width }
+
+let ranges t = t.nodes
+let replication t = t.replication
+let key_of_int t k = Printf.sprintf "%0*d" t.width k
+
+let route t key =
+  let numeric =
+    match int_of_string_opt (String.trim key) with
+    | Some v -> ((v mod t.key_space) + t.key_space) mod t.key_space
+    | None -> Hashtbl.hash key mod t.key_space
+  in
+  (* Equal-width ranges; the last range absorbs the remainder. *)
+  Stdlib.min (t.nodes - 1) (numeric * t.nodes / t.key_space)
+
+let cohort t ~range = List.init t.replication (fun i -> (range + i) mod t.nodes)
+let primary _t ~range = range
+
+let ranges_of_node t ~node =
+  List.init t.replication (fun i -> ((node - i) + t.nodes) mod t.nodes)
+  |> List.sort_uniq Int.compare
+
+let range_bounds t ~range =
+  let start = range * t.key_space / t.nodes in
+  let stop = if range = t.nodes - 1 then t.key_space else (range + 1) * t.key_space / t.nodes in
+  (key_of_int t start, key_of_int t stop)
+
+let pp ppf t =
+  for r = 0 to t.nodes - 1 do
+    let lo, hi = range_bounds t ~range:r in
+    Format.fprintf ppf "range %d [%s,%s) -> nodes %a@." r lo hi
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+         Format.pp_print_int)
+      (cohort t ~range:r)
+  done

@@ -1,0 +1,35 @@
+(** Key-based range partitioning with chained declustering (§4).
+
+    The key space is split into one base range per node; node [i]'s base
+    range is replicated on the next [replication - 1] nodes, so the cohort
+    for range [i] is [[i; i+1; ...] mod nodes] — the layout of Figure 2.
+    Keys are zero-padded decimal strings so lexicographic order matches
+    numeric order. *)
+
+type t
+
+val create : nodes:int -> replication:int -> key_space:int -> t
+
+val ranges : t -> int
+(** Number of key ranges (= number of nodes). *)
+
+val replication : t -> int
+
+val key_of_int : t -> int -> Storage.Row.key
+(** Zero-padded encoding of an integer key. *)
+
+val route : t -> Storage.Row.key -> int
+(** The range id owning the key. *)
+
+val cohort : t -> range:int -> int list
+(** The nodes replicating the range, primary first. *)
+
+val primary : t -> range:int -> int
+
+val ranges_of_node : t -> node:int -> int list
+(** The ranges whose cohorts include the node (3 with default replication). *)
+
+val range_bounds : t -> range:int -> Storage.Row.key * Storage.Row.key
+(** [(start, end_exclusive)] of the range, encoded. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+type error = Client_error of Client.error | Deadline
+
+let await engine ?(deadline = Sim.Sim_time.sec 60) cell =
+  let stop = Sim.Sim_time.add (Sim.Engine.now engine) deadline in
+  let rec loop () =
+    match !cell with
+    | Some v -> Ok v
+    | None ->
+      if Sim.Sim_time.(Sim.Engine.now engine >= stop) then Error Deadline
+      else begin
+        Sim.Engine.run_for engine (Sim.Sim_time.ms 5);
+        loop ()
+      end
+  in
+  loop ()
+
+let lift = function
+  | Ok (Ok v) -> Ok v
+  | Ok (Error e) -> Error (Client_error e)
+  | Error e -> Error e
+
+let get engine client ?(consistent = true) ?deadline key col =
+  let cell = ref None in
+  Client.get client ~consistent key col (fun r -> cell := Some r);
+  lift (await engine ?deadline cell)
+
+let put engine client ?deadline key col ~value =
+  let cell = ref None in
+  Client.put client key col ~value (fun r -> cell := Some r);
+  lift (await engine ?deadline cell)
+
+let delete engine client ?deadline key col =
+  let cell = ref None in
+  Client.delete client key col (fun r -> cell := Some r);
+  lift (await engine ?deadline cell)
+
+let conditional_put engine client ?deadline key col ~value ~expected =
+  let cell = ref None in
+  Client.conditional_put client key col ~value ~expected (fun r -> cell := Some r);
+  lift (await engine ?deadline cell)
+
+let transact_put engine client ?deadline rows =
+  let cell = ref None in
+  Client.transact_put client rows (fun r -> cell := Some r);
+  lift (await engine ?deadline cell)
+
+let scan engine client ?(consistent = true) ?limit ?deadline ~start_key ~end_key () =
+  let cell = ref None in
+  Client.scan client ~consistent ~start_key ~end_key ?limit (fun r -> cell := Some r);
+  lift (await engine ?deadline cell)
+
+let pp_error ppf = function
+  | Client_error e -> Client.pp_error ppf e
+  | Deadline -> Format.pp_print_string ppf "simulated-time deadline exceeded"

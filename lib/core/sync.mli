@@ -1,0 +1,45 @@
+(** Synchronous convenience wrappers over the asynchronous {!Client} API.
+
+    The client API is callback-based because everything runs inside the
+    simulation's event loop. For scripts, examples, and tests it is often
+    clearer to block: these helpers drive the engine until the operation's
+    callback fires (or a simulated-time deadline passes), then return the
+    result directly. Only use them from outside the event loop — calling one
+    from inside an engine callback would re-enter the scheduler. *)
+
+type error =
+  | Client_error of Client.error
+  | Deadline  (** simulated-time deadline passed without a response *)
+
+val get :
+  Sim.Engine.t -> Client.t -> ?consistent:bool -> ?deadline:Sim.Sim_time.span ->
+  Storage.Row.key -> Storage.Row.column -> (Client.read_result, error) result
+
+val put :
+  Sim.Engine.t -> Client.t -> ?deadline:Sim.Sim_time.span ->
+  Storage.Row.key -> Storage.Row.column -> value:string -> (unit, error) result
+
+val delete :
+  Sim.Engine.t -> Client.t -> ?deadline:Sim.Sim_time.span ->
+  Storage.Row.key -> Storage.Row.column -> (unit, error) result
+
+val conditional_put :
+  Sim.Engine.t -> Client.t -> ?deadline:Sim.Sim_time.span ->
+  Storage.Row.key -> Storage.Row.column -> value:string -> expected:int ->
+  (unit, error) result
+
+val transact_put :
+  Sim.Engine.t -> Client.t -> ?deadline:Sim.Sim_time.span ->
+  (Storage.Row.key * Storage.Row.column * string) list -> (unit, error) result
+
+val scan :
+  Sim.Engine.t -> Client.t -> ?consistent:bool -> ?limit:int ->
+  ?deadline:Sim.Sim_time.span ->
+  start_key:Storage.Row.key -> end_key:Storage.Row.key -> unit ->
+  ((Storage.Row.key * (Storage.Row.column * Client.read_result) list) list, error) result
+
+val await : Sim.Engine.t -> ?deadline:Sim.Sim_time.span -> 'a option ref -> ('a, error) result
+(** The underlying primitive: drive the engine in small steps until the cell
+    fills. Deadline defaults to 60 simulated seconds. *)
+
+val pp_error : Format.formatter -> error -> unit

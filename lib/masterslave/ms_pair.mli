@@ -1,0 +1,46 @@
+(** Traditional 2-way synchronous master-slave replication — the §1.1
+    baseline whose failure sequence (Figure 1) motivates Paxos replication.
+
+    All writes route to the master; the master ships the log record to the
+    slave and forces its own commit record only after the slave forces
+    first. If the slave is down the master continues alone. If the master
+    dies, the slave may take over only when it knows it holds the latest
+    database state — a slave that was down while the master kept committing
+    must refuse, leaving the pair unavailable with just one node down, and
+    the master's un-replicated committed writes are lost outright if its
+    disk is destroyed. *)
+
+type t
+
+type node = Master | Slave
+
+type write_error =
+  | Unavailable  (** no node able to serve writes *)
+
+val create : Sim.Engine.t -> ?disk:Sim.Disk_model.kind -> unit -> t
+
+val put : t -> key:string -> value:string -> ((unit, write_error) result -> unit) -> unit
+
+val get : t -> key:string -> (string option -> unit) -> unit
+(** Served by the acting master; [None] when unavailable or missing. *)
+
+val crash : t -> node -> unit
+
+val restart : t -> node -> unit
+
+val destroy : t -> node -> unit
+(** Crash and lose the disk — a permanent failure. *)
+
+val acting_master : t -> node option
+(** Which physical node currently serves writes, if any. *)
+
+val available_for_writes : t -> bool
+
+val committed_lsn : t -> node -> int
+(** Last committed LSN durable on the node's disk (Figure 1's annotations). *)
+
+val lost_writes : t -> int
+(** Committed writes present on no surviving disk — the data-loss counter
+    of the Figure 1 catastrophe. Recomputed on inspection. *)
+
+val writes_committed : t -> int

@@ -1,0 +1,50 @@
+type timer = Event_heap.handle
+
+type t = {
+  mutable clock : Sim_time.t;
+  events : (unit -> unit) Event_heap.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 42) () =
+  { clock = Sim_time.zero; events = Event_heap.create (); root_rng = Rng.create seed }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t time k =
+  let time = Sim_time.max time t.clock in
+  Event_heap.push t.events ~time k
+
+let schedule t ~after k =
+  let after = Sim_time.span_max after Sim_time.span_zero in
+  schedule_at t (Sim_time.add t.clock after) k
+
+let cancel t timer = Event_heap.cancel t.events timer
+let pending t = Event_heap.size t.events
+
+let step t =
+  match Event_heap.pop t.events with
+  | None -> false
+  | Some (time, k) ->
+    t.clock <- time;
+    k ();
+    true
+
+let run ?(max_events = max_int) t =
+  let rec loop remaining =
+    if remaining > 0 && step t then loop (remaining - 1)
+  in
+  loop max_events
+
+let run_until t until =
+  let rec loop () =
+    match Event_heap.peek_time t.events with
+    | Some time when Sim_time.(time <= until) ->
+      ignore (step t);
+      loop ()
+    | _ -> t.clock <- Sim_time.max t.clock until
+  in
+  loop ()
+
+let run_for t span = run_until t (Sim_time.add t.clock span)

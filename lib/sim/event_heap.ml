@@ -1,0 +1,104 @@
+type handle = { mutable cancelled : bool }
+
+type 'a entry = { time : Sim_time.t; seq : int; payload : 'a; handle : handle }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let size t = t.live
+
+let entry_before a b =
+  match Sim_time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow t =
+  let cap = Stdlib.max 16 (2 * Array.length t.data) in
+  if t.len > 0 then begin
+    let data = Array.make cap t.data.(0) in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && entry_before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && entry_before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  let handle = { cancelled = false } in
+  let entry = { time; seq = t.next_seq; payload; handle } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.data then begin
+    if t.len = 0 then t.data <- Array.make 16 entry else grow t
+  end;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.len - 1);
+  handle
+
+let cancel t h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let is_cancelled h = h.cancelled
+
+let pop_entry t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_entry t with
+  | None -> None
+  | Some e ->
+    if e.handle.cancelled then pop t
+    else begin
+      (* Mark popped so a later [cancel] on this handle is a no-op. *)
+      e.handle.cancelled <- true;
+      t.live <- t.live - 1;
+      Some (e.time, e.payload)
+    end
+
+let rec peek_time t =
+  if t.len = 0 then None
+  else if t.data.(0).handle.cancelled then begin
+    ignore (pop_entry t);
+    peek_time t
+  end
+  else Some t.data.(0).time

@@ -1,0 +1,30 @@
+(** Binary min-heap of timestamped events.
+
+    Events with equal timestamps are ordered by insertion sequence number, so
+    the simulation is fully deterministic. Cancellation is lazy: a cancelled
+    entry stays in the heap and is skipped on pop. *)
+
+type 'a t
+
+type handle
+(** Handle for cancelling a scheduled entry. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of live (non-cancelled) entries. *)
+
+val push : 'a t -> time:Sim_time.t -> 'a -> handle
+
+val cancel : 'a t -> handle -> unit
+(** Idempotent; cancelling after the entry popped is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Removes and returns the earliest live entry. *)
+
+val peek_time : 'a t -> Sim_time.t option
+(** Timestamp of the earliest live entry without removing it. *)

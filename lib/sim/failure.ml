@@ -1,0 +1,54 @@
+type target = {
+  label : string;
+  crash : unit -> unit;
+  restart : unit -> unit;
+  lose_disk : unit -> unit;
+}
+
+type t = { engine : Engine.t; rng : Rng.t; mutable log : (Sim_time.t * string) list }
+
+let create engine = { engine; rng = Rng.split (Engine.rng engine); log = [] }
+let injections t = List.rev t.log
+
+let note t what = t.log <- (Engine.now t.engine, what) :: t.log
+
+let crash_at t time target =
+  ignore
+    (Engine.schedule_at t.engine time (fun () ->
+         note t (Printf.sprintf "crash %s" target.label);
+         target.crash ()))
+
+let restart_at t time target =
+  ignore
+    (Engine.schedule_at t.engine time (fun () ->
+         note t (Printf.sprintf "restart %s" target.label);
+         target.restart ()))
+
+let crash_for t ~at ~down_for target =
+  crash_at t at target;
+  restart_at t (Sim_time.add at down_for) target
+
+let destroy_at t time target =
+  ignore
+    (Engine.schedule_at t.engine time (fun () ->
+         note t (Printf.sprintf "destroy %s" target.label);
+         target.crash ();
+         target.lose_disk ()))
+
+let chaos t ~mean_time_to_failure ~mean_time_to_repair ~until targets =
+  let mttf = float_of_int (Sim_time.to_us mean_time_to_failure) in
+  let mttr = float_of_int (Sim_time.to_us mean_time_to_repair) in
+  let schedule_target target =
+    let rec next_failure from =
+      let at = Sim_time.add from (Sim_time.us (int_of_float (Rng.exponential t.rng mttf))) in
+      if Sim_time.(at < until) then begin
+        crash_at t at target;
+        let back = Sim_time.add at (Sim_time.us (int_of_float (Rng.exponential t.rng mttr))) in
+        let back = Sim_time.min back until in
+        restart_at t back target;
+        next_failure back
+      end
+    in
+    next_failure (Engine.now t.engine)
+  in
+  List.iter schedule_target targets

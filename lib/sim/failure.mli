@@ -1,0 +1,40 @@
+(** Fault injection.
+
+    Drives crash/restart closures exposed by simulated processes. A [Crash]
+    loses volatile state but keeps stable storage; [Lose_disk] additionally
+    wipes stable storage (the double-disk-failure scenario of §1.1); a chaos
+    schedule generates an exponential crash/repair process per target. *)
+
+type target = {
+  label : string;
+  crash : unit -> unit;
+  restart : unit -> unit;
+  lose_disk : unit -> unit;  (** wipe stable storage; only sensible while crashed *)
+}
+
+type t
+
+val create : Engine.t -> t
+
+val injections : t -> (Sim_time.t * string) list
+(** What was injected and when, newest last. *)
+
+val crash_at : t -> Sim_time.t -> target -> unit
+
+val restart_at : t -> Sim_time.t -> target -> unit
+
+val crash_for : t -> at:Sim_time.t -> down_for:Sim_time.span -> target -> unit
+
+val destroy_at : t -> Sim_time.t -> target -> unit
+(** Crash and wipe the disk: a permanent failure unless later restarted
+    (which then models a replacement node recovering from peers). *)
+
+val chaos :
+  t ->
+  mean_time_to_failure:Sim_time.span ->
+  mean_time_to_repair:Sim_time.span ->
+  until:Sim_time.t ->
+  target list ->
+  unit
+(** Schedule an independent random crash/repair process for each target, with
+    exponential inter-failure and repair times, stopping at [until]. *)

@@ -1,0 +1,124 @@
+module Histogram = struct
+  type t = {
+    name : string;
+    mutable samples : float array;
+    mutable len : int;
+    mutable sorted : bool;
+  }
+
+  let create ?(name = "") () = { name; samples = [||]; len = 0; sorted = false }
+  let name t = t.name
+
+  let record t v =
+    if t.len = Array.length t.samples then begin
+      let cap = Stdlib.max 1024 (2 * Array.length t.samples) in
+      let samples = Array.make cap 0.0 in
+      Array.blit t.samples 0 samples 0 t.len;
+      t.samples <- samples
+    end;
+    t.samples.(t.len) <- v;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let record_span t s = record t (float_of_int (Sim_time.to_us s))
+  let count t = t.len
+
+  let mean t =
+    if t.len = 0 then 0.0
+    else begin
+      let sum = ref 0.0 in
+      for i = 0 to t.len - 1 do
+        sum := !sum +. t.samples.(i)
+      done;
+      !sum /. float_of_int t.len
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.samples 0 t.len in
+      Array.sort Float.compare live;
+      Array.blit live 0 t.samples 0 t.len;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.len = 0 then 0.0
+    else begin
+      ensure_sorted t;
+      let rank = int_of_float (ceil (p *. float_of_int t.len)) - 1 in
+      let rank = Stdlib.max 0 (Stdlib.min (t.len - 1) rank) in
+      t.samples.(rank)
+    end
+
+  let min t = if t.len = 0 then 0.0 else (ensure_sorted t; t.samples.(0))
+  let max t = if t.len = 0 then 0.0 else (ensure_sorted t; t.samples.(t.len - 1))
+
+  let stddev t =
+    if t.len < 2 then 0.0
+    else begin
+      let m = mean t in
+      let sum = ref 0.0 in
+      for i = 0 to t.len - 1 do
+        let d = t.samples.(i) -. m in
+        sum := !sum +. (d *. d)
+      done;
+      sqrt (!sum /. float_of_int t.len)
+    end
+
+  let clear t =
+    t.len <- 0;
+    t.sorted <- false
+
+  let merge a b =
+    let t = create ~name:a.name () in
+    for i = 0 to a.len - 1 do
+      record t a.samples.(i)
+    done;
+    for i = 0 to b.len - 1 do
+      record t b.samples.(i)
+    done;
+    t
+
+  let pp_summary ppf t =
+    Format.fprintf ppf "%s: n=%d mean=%.2fms p50=%.2fms p99=%.2fms" t.name (count t)
+      (mean t /. 1e3)
+      (percentile t 0.5 /. 1e3)
+      (percentile t 0.99 /. 1e3)
+end
+
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create ?(name = "") () = { name; value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let clear t = t.value <- 0
+end
+
+type run_stats = {
+  throughput_per_sec : float;
+  mean_latency_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  completed : int;
+  errors : int;
+}
+
+let run_stats_of ~latency ~errors ~duration =
+  let seconds = Sim_time.to_sec_f duration in
+  let completed = Histogram.count latency in
+  {
+    throughput_per_sec = (if seconds > 0.0 then float_of_int completed /. seconds else 0.0);
+    mean_latency_ms = Histogram.mean latency /. 1e3;
+    p50_ms = Histogram.percentile latency 0.5 /. 1e3;
+    p95_ms = Histogram.percentile latency 0.95 /. 1e3;
+    p99_ms = Histogram.percentile latency 0.99 /. 1e3;
+    completed;
+    errors;
+  }
+
+let pp_run_stats ppf s =
+  Format.fprintf ppf "%.0f req/s, mean %.2f ms, p50 %.2f ms, p99 %.2f ms (%d ops, %d errors)"
+    s.throughput_per_sec s.mean_latency_ms s.p50_ms s.p99_ms s.completed s.errors

@@ -1,0 +1,68 @@
+(** Measurement collection: latency histograms and counters.
+
+    A {!Histogram.t} stores raw samples (microseconds) so exact means and
+    percentiles can be computed afterwards — simulation run lengths keep the
+    sample counts modest. *)
+
+module Histogram : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val name : t -> string
+
+  val record : t -> float -> unit
+  (** Record one sample in microseconds. *)
+
+  val record_span : t -> Sim_time.span -> unit
+
+  val count : t -> int
+
+  val mean : t -> float
+  (** 0.0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99]; nearest-rank on the sorted samples. 0.0 if empty. *)
+
+  val min : t -> float
+
+  val max : t -> float
+
+  val stddev : t -> float
+
+  val clear : t -> unit
+
+  val merge : t -> t -> t
+  (** Fresh histogram with both sample sets. *)
+
+  val pp_summary : Format.formatter -> t -> unit
+end
+
+module Counter : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+
+  val clear : t -> unit
+end
+
+type run_stats = {
+  throughput_per_sec : float;  (** completed operations / measured seconds *)
+  mean_latency_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  completed : int;
+  errors : int;
+}
+
+val run_stats_of :
+  latency:Histogram.t -> errors:int -> duration:Sim_time.span -> run_stats
+
+val pp_run_stats : Format.formatter -> run_stats -> unit

@@ -1,0 +1,98 @@
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  size : int;
+  sent_at : Sim_time.t;
+  payload : 'msg;
+}
+
+type 'msg endpoint = { mutable handler : 'msg envelope -> unit; mutable up : bool; nic : Resource.t }
+
+type 'msg t = {
+  engine : Engine.t;
+  latency : Distribution.t;
+  bandwidth_bps : int;
+  rng : Rng.t;
+  endpoints : (int, 'msg endpoint) Hashtbl.t;
+  blocked : (int * int, unit) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let default_latency = Distribution.Shifted_exponential { base = 80.0; mean_extra = 30.0 }
+
+let create engine ?(latency = default_latency) ?(bandwidth_bps = 1_000_000_000) () =
+  {
+    engine;
+    latency;
+    bandwidth_bps;
+    rng = Rng.split (Engine.rng engine);
+    endpoints = Hashtbl.create 64;
+    blocked = Hashtbl.create 16;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let engine t = t.engine
+
+let endpoint t node =
+  match Hashtbl.find_opt t.endpoints node with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        handler = (fun _ -> ());
+        up = false;
+        nic = Resource.create t.engine ~name:(Printf.sprintf "nic-%d" node) ();
+      }
+    in
+    Hashtbl.replace t.endpoints node e;
+    e
+
+let register t ~node handler =
+  let e = endpoint t node in
+  e.handler <- handler;
+  e.up <- true
+
+let set_up t node up = (endpoint t node).up <- up
+let is_up t node = (endpoint t node).up
+
+let reachable t src dst =
+  (not (Hashtbl.mem t.blocked (src, dst))) && not (Hashtbl.mem t.blocked (dst, src))
+
+let transfer_span t size =
+  Sim_time.of_us_f (float_of_int (size * 8) /. float_of_int t.bandwidth_bps *. 1e6)
+
+let deliver t env =
+  match Hashtbl.find_opt t.endpoints env.dst with
+  | Some e when e.up && reachable t env.src env.dst ->
+    t.delivered <- t.delivered + 1;
+    e.handler env
+  | _ -> t.dropped <- t.dropped + 1
+
+let send t ~src ~dst ?(size = 128) payload =
+  let sender = endpoint t src in
+  if not sender.up then t.dropped <- t.dropped + 1
+  else begin
+    let env = { src; dst; size; sent_at = Engine.now t.engine; payload } in
+    t.bytes <- t.bytes + size;
+    if src = dst then
+      ignore (Engine.schedule t.engine ~after:(Sim_time.us 5) (fun () -> deliver t env))
+    else
+      (* The NIC serialises the transfer; propagation happens afterwards. *)
+      Resource.submit sender.nic ~service:(transfer_span t size) (fun () ->
+          let latency = Distribution.sample_span t.latency t.rng in
+          ignore (Engine.schedule t.engine ~after:latency (fun () -> deliver t env)))
+  end
+
+let partition t group_a group_b =
+  List.iter
+    (fun a -> List.iter (fun b -> if a <> b then Hashtbl.replace t.blocked (a, b) ()) group_b)
+    group_a
+
+let heal t = Hashtbl.reset t.blocked
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let bytes_sent t = t.bytes

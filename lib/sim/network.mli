@@ -1,0 +1,55 @@
+(** Simulated datacenter network.
+
+    Reliable, in-order point-to-point messages over TCP-like links — the
+    message layer Spinnaker assumes (Appendix A.1). Each message pays a
+    propagation latency plus a serialisation delay on the sender's NIC
+    (modelled as a FIFO resource so large transfers and high fan-out saturate
+    a 1-GbE port, as in the paper's read experiments). Messages to nodes that
+    are down or partitioned away are silently dropped, which is how a crashed
+    TCP peer looks to the sender. *)
+
+type 'msg t
+
+type 'msg envelope = {
+  src : int;
+  dst : int;
+  size : int;  (** payload size in bytes *)
+  sent_at : Sim_time.t;
+  payload : 'msg;
+}
+
+val create :
+  Engine.t ->
+  ?latency:Distribution.t ->
+  ?bandwidth_bps:int ->
+  unit ->
+  'msg t
+(** [latency] defaults to a shifted-exponential around 100 µs (rack-local
+    1-GbE RTT/2); [bandwidth_bps] defaults to 1 Gbit/s. *)
+
+val engine : 'msg t -> Engine.t
+
+val register : 'msg t -> node:int -> ('msg envelope -> unit) -> unit
+(** Installs the delivery handler for [node] and marks it up. Re-registering
+    replaces the handler (used on node restart). *)
+
+val send : 'msg t -> src:int -> dst:int -> ?size:int -> 'msg -> unit
+(** [size] defaults to 128 bytes (a small control message). Self-sends are
+    delivered with a minimal local delay and no NIC charge. *)
+
+val set_up : 'msg t -> int -> bool -> unit
+(** Mark a node up/down. Down nodes neither send nor receive. *)
+
+val is_up : 'msg t -> int -> bool
+
+val partition : 'msg t -> int list -> int list -> unit
+(** Block delivery between every pair drawn from the two groups. *)
+
+val heal : 'msg t -> unit
+(** Remove all partitions. *)
+
+val messages_delivered : 'msg t -> int
+
+val messages_dropped : 'msg t -> int
+
+val bytes_sent : 'msg t -> int

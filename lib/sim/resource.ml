@@ -1,0 +1,52 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  free_at : Sim_time.t array;
+  mutable jobs_completed : int;
+  mutable busy_time : Sim_time.span;
+}
+
+let create engine ~name ?(servers = 1) () =
+  assert (servers > 0);
+  {
+    engine;
+    name;
+    free_at = Array.make servers Sim_time.zero;
+    jobs_completed = 0;
+    busy_time = Sim_time.span_zero;
+  }
+
+let name t = t.name
+
+let earliest_server t =
+  let best = ref 0 in
+  for i = 1 to Array.length t.free_at - 1 do
+    if Sim_time.(t.free_at.(i) < t.free_at.(!best)) then best := i
+  done;
+  !best
+
+let submit t ~service k =
+  let now = Engine.now t.engine in
+  let i = earliest_server t in
+  let start = Sim_time.max now t.free_at.(i) in
+  let finish = Sim_time.add start service in
+  t.free_at.(i) <- finish;
+  t.busy_time <- Sim_time.span_add t.busy_time service;
+  ignore
+    (Engine.schedule_at t.engine finish (fun () ->
+         t.jobs_completed <- t.jobs_completed + 1;
+         k ()))
+
+let reset t =
+  Array.fill t.free_at 0 (Array.length t.free_at) Sim_time.zero;
+  t.jobs_completed <- 0;
+  t.busy_time <- Sim_time.span_zero
+
+let jobs_completed t = t.jobs_completed
+let busy_time t = t.busy_time
+
+let queue_delay_estimate t =
+  let now = Engine.now t.engine in
+  let i = earliest_server t in
+  if Sim_time.(t.free_at.(i) <= now) then Sim_time.span_zero
+  else Sim_time.diff t.free_at.(i) now

@@ -1,0 +1,28 @@
+(** FIFO queueing resource with one or more identical servers.
+
+    Models a contended device — a log disk, a CPU, a NIC. Submitted jobs are
+    served in order; a job's completion callback fires at
+    [max(now, earliest server free) + service]. Queueing delay under load is
+    what produces the latency "knee" curves of the paper's evaluation. *)
+
+type t
+
+val create : Engine.t -> name:string -> ?servers:int -> unit -> t
+(** [servers] defaults to 1. *)
+
+val name : t -> string
+
+val submit : t -> service:Sim_time.span -> (unit -> unit) -> unit
+(** Enqueue a job with the given service time; the callback fires when the
+    job completes. *)
+
+val reset : t -> unit
+(** Forget queued work (e.g. the device's host crashed) and statistics. *)
+
+val jobs_completed : t -> int
+
+val busy_time : t -> Sim_time.span
+(** Total service time of submitted jobs (for utilisation accounting). *)
+
+val queue_delay_estimate : t -> Sim_time.span
+(** How long a job submitted now would wait before service begins. *)

@@ -1,0 +1,21 @@
+type event = { at : Sim_time.t; tag : string; detail : string }
+
+type t = { engine : Engine.t; mutable enabled : bool; mutable events : event list }
+
+let create engine = { engine; enabled = true; events = [] }
+let enable t flag = t.enabled <- flag
+
+let emit t ~tag detail =
+  if t.enabled then
+    t.events <- { at = Engine.now t.engine; tag; detail } :: t.events
+
+let emitf t ~tag fmt = Format.kasprintf (fun s -> emit t ~tag s) fmt
+let events t = List.rev t.events
+let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (events t)
+let count t ~tag = List.length (find t ~tag)
+let clear t = t.events <- []
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%a] %-18s %s@." Sim_time.pp e.at e.tag e.detail)
+    (events t)

@@ -1,0 +1,26 @@
+(** Lightweight event trace for debugging and for asserting on protocol
+    behaviour in tests (e.g. "exactly one leader election ran"). *)
+
+type t
+
+type event = { at : Sim_time.t; tag : string; detail : string }
+
+val create : Engine.t -> t
+
+val enable : t -> bool -> unit
+(** Disabled traces drop events (default: enabled). *)
+
+val emit : t -> tag:string -> string -> unit
+
+val emitf : t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> event list
+(** In emission order. *)
+
+val find : t -> tag:string -> event list
+
+val count : t -> tag:string -> int
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

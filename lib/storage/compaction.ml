@@ -1,0 +1,21 @@
+let merge ~newer ?(drop_tombstones = false) tables =
+  let module Coord_map = Map.Make (struct
+    type t = Row.coord
+
+    let compare = Row.compare_coord
+  end) in
+  let best = ref Coord_map.empty in
+  List.iter
+    (fun table ->
+      Sstable.iter table (fun coord cell ->
+          match Coord_map.find_opt coord !best with
+          | Some existing when newer existing cell -> ()
+          | _ -> best := Coord_map.add coord cell !best))
+    tables;
+  let entries =
+    Coord_map.bindings !best
+    |> List.filter (fun (_, cell) -> not (drop_tombstones && Row.is_tombstone cell))
+  in
+  Sstable.build entries
+
+let should_compact tables ~threshold = List.length tables >= threshold

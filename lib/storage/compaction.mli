@@ -1,0 +1,14 @@
+(** Background SSTable merging (§4.1): smaller SSTables are merged into
+    larger ones to garbage-collect deleted rows and improve read fan-in. *)
+
+val merge :
+  newer:(Row.cell -> Row.cell -> bool) ->
+  ?drop_tombstones:bool ->
+  Sstable.t list ->
+  Sstable.t
+(** K-way merge keeping, for each coordinate, the cell that [newer] prefers.
+    [drop_tombstones] (default false) additionally discards tombstones — only
+    safe on a full compaction covering every table of the store. *)
+
+val should_compact : Sstable.t list -> threshold:int -> bool
+(** True once the read fan-in ([List.length]) reaches [threshold]. *)

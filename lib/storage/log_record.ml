@@ -1,0 +1,68 @@
+type op =
+  | Put of { key : Row.key; col : Row.column; value : string; version : int }
+  | Delete of { key : Row.key; col : Row.column; version : int }
+  | Batch of op list
+
+type entry =
+  | Write of { lsn : Lsn.t; op : op; timestamp : int }
+  | Commit_upto of Lsn.t
+  | Checkpoint of Lsn.t
+
+type t = { cohort : int; entry : entry }
+
+let write ~cohort ~lsn ~timestamp op = { cohort; entry = Write { lsn; op; timestamp } }
+let commit_upto ~cohort lsn = { cohort; entry = Commit_upto lsn }
+let checkpoint ~cohort lsn = { cohort; entry = Checkpoint lsn }
+
+let rec flatten = function
+  | Batch ops -> List.concat_map flatten ops
+  | (Put _ | Delete _) as op -> [ op ]
+
+let rec op_coord = function
+  | Put { key; col; _ } -> (key, col)
+  | Delete { key; col; _ } -> (key, col)
+  | Batch [] -> ("", "")
+  | Batch (op :: _) -> op_coord op
+
+let rec op_version = function
+  | Put { version; _ } -> version
+  | Delete { version; _ } -> version
+  | Batch [] -> 0
+  | Batch (op :: _) -> op_version op
+
+let cell_of_write op ~lsn ~timestamp : Row.cell =
+  match op with
+  | Put { value; version; _ } -> { value = Some value; version; lsn; timestamp }
+  | Delete { version; _ } -> { value = None; version; lsn; timestamp }
+  | Batch _ -> invalid_arg "Log_record.cell_of_write: Batch"
+
+let cells_of_write op ~lsn ~timestamp =
+  List.map (fun o -> (op_coord o, cell_of_write o ~lsn ~timestamp)) (flatten op)
+
+let approx_bytes t =
+  match t.entry with
+  | Write { op; _ } ->
+    List.fold_left
+      (fun acc op ->
+        acc
+        +
+        match op with
+        | Put { key; col; value; _ } ->
+          String.length key + String.length col + String.length value
+        | Delete { key; col; _ } -> String.length key + String.length col
+        | Batch _ -> 0)
+      24 (flatten op)
+  | Commit_upto _ | Checkpoint _ -> 24
+
+let pp ppf t =
+  match t.entry with
+  | Write { lsn; op; _ } ->
+    let kind, (key, col) =
+      match op with
+      | Put _ -> ("put", op_coord op)
+      | Delete _ -> ("del", op_coord op)
+      | Batch ops -> (Printf.sprintf "txn(%d)" (List.length ops), op_coord op)
+    in
+    Format.fprintf ppf "[r%d %a %s %s/%s]" t.cohort Lsn.pp lsn kind key col
+  | Commit_upto lsn -> Format.fprintf ppf "[r%d commit<=%a]" t.cohort Lsn.pp lsn
+  | Checkpoint lsn -> Format.fprintf ppf "[r%d ckpt<=%a]" t.cohort Lsn.pp lsn

@@ -1,0 +1,50 @@
+(** Write-ahead-log records.
+
+    A node's log is shared by the (by default three) cohorts it belongs to
+    (§4.1); each record is tagged with its cohort's key-range id and carries a
+    logical, per-cohort LSN. There is no separate transaction-commit record —
+    each write is a single-operation transaction (§5); instead the leader
+    periodically logs the last committed LSN with a non-forced
+    [Commit_upto] write, and memtable flushes log a [Checkpoint]. *)
+
+type op =
+  | Put of { key : Row.key; col : Row.column; value : string; version : int }
+  | Delete of { key : Row.key; col : Row.column; version : int }
+  | Batch of op list
+      (** A multi-operation transaction (§8.2): several cell writes bound to
+          one log record and one LSN, so the whole batch is exactly as
+          durable and as replicated as any single write — all-or-nothing
+          across crashes by construction. Batches are not nested. *)
+
+type entry =
+  | Write of { lsn : Lsn.t; op : op; timestamp : int }
+  | Commit_upto of Lsn.t  (** last committed LSN; non-forced log write (§5) *)
+  | Checkpoint of Lsn.t  (** memtable flushed up to this LSN; log rolled over *)
+
+type t = { cohort : int; entry : entry }
+
+val write : cohort:int -> lsn:Lsn.t -> timestamp:int -> op -> t
+
+val commit_upto : cohort:int -> Lsn.t -> t
+
+val checkpoint : cohort:int -> Lsn.t -> t
+
+val flatten : op -> op list
+(** Batches flattened to their primitive puts/deletes, in order. *)
+
+val op_coord : op -> Row.coord
+(** First coordinate touched (a batch's routing/representative coordinate). *)
+
+val op_version : op -> int
+
+val cell_of_write : op -> lsn:Lsn.t -> timestamp:int -> Row.cell
+(** The cell a primitive write produces when applied ([Delete] yields a
+    tombstone). Raises [Invalid_argument] on a [Batch]; use {!cells_of_write}. *)
+
+val cells_of_write : op -> lsn:Lsn.t -> timestamp:int -> (Row.coord * Row.cell) list
+(** Every cell the op produces (one per primitive write, in order). *)
+
+val approx_bytes : t -> int
+(** Serialised size estimate, for log-force accounting. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+type t = { epoch : int; seq : int }
+
+let zero = { epoch = 0; seq = 0 }
+let make ~epoch ~seq = { epoch; seq }
+
+let compare a b =
+  match Int.compare a.epoch b.epoch with 0 -> Int.compare a.seq b.seq | c -> c
+
+let equal a b = compare a b = 0
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let ( >= ) a b = compare a b >= 0
+let ( > ) a b = compare a b > 0
+let max a b = if Stdlib.( >= ) (compare a b) 0 then a else b
+let min a b = if Stdlib.( <= ) (compare a b) 0 then a else b
+let next t = { t with seq = t.seq + 1 }
+let with_epoch ~epoch t = { t with epoch }
+let pp ppf t = Format.fprintf ppf "%d.%d" t.epoch t.seq
+let to_string t = Printf.sprintf "%d.%d" t.epoch t.seq

@@ -1,0 +1,55 @@
+module Coord_map = Map.Make (struct
+  type t = Row.coord
+
+  let compare = Row.compare_coord
+end)
+
+type t = {
+  mutable cells : Row.cell Coord_map.t;
+  mutable bytes : int;
+  mutable max_lsn : Lsn.t;
+}
+
+let create () = { cells = Coord_map.empty; bytes = 0; max_lsn = Lsn.zero }
+
+let cell_bytes (key, col) (cell : Row.cell) =
+  String.length key + String.length col
+  + (match cell.value with Some v -> String.length v | None -> 0)
+  + 32
+
+let put t ?newer coord cell =
+  let keep_existing =
+    match (newer, Coord_map.find_opt coord t.cells) with
+    | Some newer, Some existing -> newer existing cell
+    | _ -> false
+  in
+  if not keep_existing then begin
+    (match Coord_map.find_opt coord t.cells with
+    | Some old -> t.bytes <- t.bytes - cell_bytes coord old
+    | None -> ());
+    t.cells <- Coord_map.add coord cell t.cells;
+    t.bytes <- t.bytes + cell_bytes coord cell;
+    t.max_lsn <- Lsn.max t.max_lsn cell.lsn
+  end
+
+let get t coord = Coord_map.find_opt coord t.cells
+let size t = Coord_map.cardinal t.cells
+let approx_bytes t = t.bytes
+let is_empty t = Coord_map.is_empty t.cells
+let to_sorted_list t = Coord_map.bindings t.cells
+
+let range t ~low ~high =
+  Coord_map.fold
+    (fun ((key, _) as coord) cell acc ->
+      if String.compare low key <= 0 && String.compare key high < 0 then (coord, cell) :: acc
+      else acc)
+    t.cells []
+  |> List.rev
+let iter t f = Coord_map.iter f t.cells
+
+let clear t =
+  t.cells <- Coord_map.empty;
+  t.bytes <- 0;
+  t.max_lsn <- Lsn.zero
+
+let max_lsn t = t.max_lsn

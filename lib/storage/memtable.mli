@@ -1,0 +1,37 @@
+(** In-memory sorted write buffer (§4.1).
+
+    Committed writes are applied here and periodically flushed to an
+    SSTable. Keeps at most one cell per (key, column): the caller decides
+    which of the existing and incoming cells is newer via [newer]. *)
+
+type t
+
+val create : unit -> t
+
+val put : t -> ?newer:(Row.cell -> Row.cell -> bool) -> Row.coord -> Row.cell -> unit
+(** Insert/overwrite. With [newer] (e.g. {!Row.newer_by_timestamp}) the
+    existing cell is kept when it is newer than the incoming one; by default
+    the incoming cell always wins (Spinnaker applies in LSN order). *)
+
+val get : t -> Row.coord -> Row.cell option
+
+val size : t -> int
+(** Number of distinct (key, column) entries. *)
+
+val approx_bytes : t -> int
+(** Rough heap footprint, used to trigger flushes. *)
+
+val is_empty : t -> bool
+
+val to_sorted_list : t -> (Row.coord * Row.cell) list
+(** Ascending {!Row.compare_coord} order — SSTable build input. *)
+
+val range : t -> low:Row.key -> high:Row.key -> (Row.coord * Row.cell) list
+(** Entries with [low <= key < high] (all columns), ascending. *)
+
+val iter : t -> (Row.coord -> Row.cell -> unit) -> unit
+
+val clear : t -> unit
+
+val max_lsn : t -> Lsn.t
+(** Largest LSN applied; {!Lsn.zero} when empty. *)

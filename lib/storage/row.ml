@@ -1,0 +1,23 @@
+type key = string
+type column = string
+
+type cell = { value : string option; version : int; lsn : Lsn.t; timestamp : int }
+type coord = key * column
+
+let compare_coord (k1, c1) (k2, c2) =
+  match String.compare k1 k2 with 0 -> String.compare c1 c2 | c -> c
+
+let equal_coord a b = compare_coord a b = 0
+let tombstone ~version ~lsn ~timestamp = { value = None; version; lsn; timestamp }
+let is_tombstone cell = cell.value = None
+let newer_by_lsn a b = Lsn.(a.lsn > b.lsn)
+
+let newer_by_timestamp a b =
+  match Int.compare a.timestamp b.timestamp with
+  | 0 -> Lsn.(a.lsn > b.lsn)
+  | c -> c > 0
+
+let pp_cell ppf c =
+  Format.fprintf ppf "{%s v%d @%a}"
+    (match c.value with Some v -> String.escaped (if String.length v > 16 then String.sub v 0 16 ^ "..." else v) | None -> "<tombstone>")
+    c.version Lsn.pp c.lsn

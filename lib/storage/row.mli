@@ -1,0 +1,40 @@
+(** Rows, columns, cells.
+
+    Spinnaker's data model (§3): a table maps a row key to any number of
+    columns; each column holds an opaque value and a monotonically increasing
+    version number managed by the datastore. A cell with [value = None] is a
+    tombstone left by a delete. [timestamp] is the write's wall-clock stamp;
+    Spinnaker ignores it, the eventually consistent baseline uses it for
+    last-writer-wins conflict resolution. *)
+
+type key = string
+
+type column = string
+
+type cell = {
+  value : string option;  (** [None] is a tombstone *)
+  version : int;
+  lsn : Lsn.t;
+  timestamp : int;  (** microseconds; Dynamo-style conflict resolution *)
+}
+
+type coord = key * column
+(** The unit of storage addressing. *)
+
+val compare_coord : coord -> coord -> int
+(** Key-major, then column — the SSTable sort order (§4.1). *)
+
+val equal_coord : coord -> coord -> bool
+
+val tombstone : version:int -> lsn:Lsn.t -> timestamp:int -> cell
+
+val is_tombstone : cell -> bool
+
+val newer_by_lsn : cell -> cell -> bool
+(** Spinnaker replica ordering: writes apply in LSN order within a cohort. *)
+
+val newer_by_timestamp : cell -> cell -> bool
+(** Dynamo/Cassandra ordering: last writer (by timestamp) wins; LSN breaks
+    timestamp ties deterministically. *)
+
+val pp_cell : Format.formatter -> cell -> unit

@@ -1,0 +1,16 @@
+module Lsn_set = Set.Make (struct
+  type t = Lsn.t
+
+  let compare = Lsn.compare
+end)
+
+type t = { mutable set : Lsn_set.t }
+
+let create () = { set = Lsn_set.empty }
+let add t lsns = t.set <- List.fold_left (fun s l -> Lsn_set.add l s) t.set lsns
+let mem t lsn = Lsn_set.mem lsn t.set
+let count t = Lsn_set.cardinal t.set
+let is_empty t = Lsn_set.is_empty t.set
+let to_list t = Lsn_set.elements t.set
+let gc_upto t lsn = t.set <- Lsn_set.filter (fun l -> Lsn.(l > lsn)) t.set
+let clear t = t.set <- Lsn_set.empty

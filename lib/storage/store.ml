@@ -1,0 +1,221 @@
+type t = {
+  cohort : int;
+  wal : Wal.t;
+  skipped : Skipped_lsns.t;
+  newer : Row.cell -> Row.cell -> bool;
+  flush_bytes : int;
+  compaction_fanin : int;
+  mutable memtable : Memtable.t;
+  mutable sstables : Sstable.t list;  (** newest first *)
+  mutable flushed_upto : Lsn.t;
+  mutable served_from_sstables : int;
+}
+
+let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1024)
+    ?(compaction_fanin = 4) () =
+  {
+    cohort;
+    wal;
+    skipped = Skipped_lsns.create ();
+    newer;
+    flush_bytes;
+    compaction_fanin;
+    memtable = Memtable.create ();
+    sstables = [];
+    flushed_upto = Lsn.zero;
+    served_from_sstables = 0;
+  }
+
+let cohort t = t.cohort
+let wal t = t.wal
+let skipped t = t.skipped
+let flushed_upto t = t.flushed_upto
+let sstable_count t = List.length t.sstables
+let memtable_size t = Memtable.size t.memtable
+let served_from_sstables t = t.served_from_sstables
+
+let maybe_compact t =
+  if Compaction.should_compact t.sstables ~threshold:t.compaction_fanin then
+    (* Full merge over every table, so tombstone GC is safe (§4.1). *)
+    t.sstables <- [ Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables ]
+
+let flush t =
+  if not (Memtable.is_empty t.memtable) then begin
+    let table = Sstable.build (Memtable.to_sorted_list t.memtable) in
+    let upto = Lsn.max t.flushed_upto (Memtable.max_lsn t.memtable) in
+    t.sstables <- table :: t.sstables;
+    t.flushed_upto <- upto;
+    t.memtable <- Memtable.create ();
+    Wal.append t.wal (Log_record.checkpoint ~cohort:t.cohort upto);
+    Wal.gc_cohort t.wal ~cohort:t.cohort ~upto;
+    Skipped_lsns.gc_upto t.skipped upto;
+    maybe_compact t
+  end
+
+let apply t ~lsn ~timestamp op =
+  List.iter
+    (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
+    (Log_record.cells_of_write op ~lsn ~timestamp);
+  if Memtable.approx_bytes t.memtable >= t.flush_bytes then flush t
+
+let get t coord =
+  let best = ref (Memtable.get t.memtable coord) in
+  let consider cell =
+    match !best with
+    | Some existing when t.newer existing cell -> ()
+    | _ -> best := Some cell
+  in
+  List.iter
+    (fun table ->
+      match Sstable.get table coord with Some cell -> consider cell | None -> ())
+    t.sstables;
+  !best
+
+let read t coord =
+  match get t coord with
+  | Some cell when not (Row.is_tombstone cell) -> Some cell
+  | _ -> None
+
+let current_version t coord =
+  match get t coord with Some cell -> cell.Row.version | None -> 0
+
+let scan t ~low ~high ~limit =
+  let module Coord_map = Map.Make (struct
+    type t = Row.coord
+
+    let compare = Row.compare_coord
+  end) in
+  (* Merge the window across memtable and every SSTable, newest cell per
+     coordinate. *)
+  let acc = ref Coord_map.empty in
+  let consider (coord, (cell : Row.cell)) =
+    match Coord_map.find_opt coord !acc with
+    | Some existing when t.newer existing cell -> ()
+    | _ -> acc := Coord_map.add coord cell !acc
+  in
+  List.iter consider (Memtable.range t.memtable ~low ~high);
+  List.iter (fun table -> List.iter consider (Sstable.range table ~low ~high)) t.sstables;
+  (* Group by row key (bindings come out coordinate-sorted: key-major). *)
+  let rows =
+    Coord_map.fold
+      (fun (key, col) cell rows ->
+        if Row.is_tombstone cell then rows
+        else
+          match rows with
+          | (k, cols) :: rest when String.equal k key -> (k, (col, cell) :: cols) :: rest
+          | _ -> (key, [ (col, cell) ]) :: rows)
+      !acc []
+  in
+  let rows = List.rev_map (fun (k, cols) -> (k, List.rev cols)) rows in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | row :: rest -> row :: take (n - 1) rest
+  in
+  take limit rows
+
+let crash t = t.memtable <- Memtable.create ()
+
+let wipe t =
+  crash t;
+  t.sstables <- [];
+  t.flushed_upto <- Lsn.zero;
+  Skipped_lsns.clear t.skipped
+
+let recover t =
+  t.memtable <- Memtable.create ();
+  let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
+  (* SSTables survive the crash; data through the checkpoint is in them.
+     A flushed write is definitionally committed (only committed writes reach
+     the memtable, §5), so f.cmt is at least the checkpoint even when older
+     commit markers were rolled over with the log. *)
+  t.flushed_upto <- Lsn.max t.flushed_upto checkpoint;
+  let cmt = Lsn.max t.flushed_upto (Wal.last_commit_marker t.wal ~cohort:t.cohort) in
+  let lst = Lsn.max cmt (Wal.last_write_lsn t.wal ~cohort:t.cohort) in
+  let replay =
+    Wal.durable_writes_in t.wal ~cohort:t.cohort ~above:t.flushed_upto ~upto:cmt
+  in
+  List.iter
+    (fun (lsn, op, timestamp) ->
+      if not (Skipped_lsns.mem t.skipped lsn) then
+        List.iter
+          (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
+          (Log_record.cells_of_write op ~lsn ~timestamp))
+    replay;
+  (cmt, lst)
+
+let recover_all t =
+  t.memtable <- Memtable.create ();
+  let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
+  t.flushed_upto <- Lsn.max t.flushed_upto checkpoint;
+  let lst = Wal.last_write_lsn t.wal ~cohort:t.cohort in
+  let replay = Wal.durable_writes_in t.wal ~cohort:t.cohort ~above:t.flushed_upto ~upto:lst in
+  List.iter
+    (fun (lsn, op, timestamp) ->
+      List.iter
+        (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
+        (Log_record.cells_of_write op ~lsn ~timestamp))
+    replay;
+  lst
+
+let all_cells t =
+  let module Coord_map = Map.Make (struct
+    type t = Row.coord
+
+    let compare = Row.compare_coord
+  end) in
+  let acc = ref Coord_map.empty in
+  let consider coord (cell : Row.cell) =
+    match Coord_map.find_opt coord !acc with
+    | Some existing when t.newer existing cell -> ()
+    | _ -> acc := Coord_map.add coord cell !acc
+  in
+  Memtable.iter t.memtable consider;
+  List.iter (fun table -> Sstable.iter table consider) t.sstables;
+  Coord_map.bindings !acc
+
+let committed_cells_in t ~above ~upto =
+  if Lsn.(upto <= above) then []
+  else begin
+    let from_log = Wal.durable_writes_in t.wal ~cohort:t.cohort ~above ~upto in
+    let log_floor = Wal.min_available_write_lsn t.wal ~cohort:t.cohort in
+    let log_covers =
+      match log_floor with
+      | Some floor -> Lsn.(floor <= Lsn.next above) || Lsn.(t.flushed_upto <= above)
+      | None -> Lsn.(t.flushed_upto <= above)
+    in
+    let module Coord_map = Map.Make (struct
+      type t = Row.coord
+
+      let compare = Row.compare_coord
+    end) in
+    let acc = ref Coord_map.empty in
+    let consider coord (cell : Row.cell) =
+      match Coord_map.find_opt coord !acc with
+      | Some existing when t.newer existing cell -> ()
+      | _ -> acc := Coord_map.add coord cell !acc
+    in
+    if not log_covers then begin
+      (* The log was rolled over below [above]: pull the missing range out of
+         SSTables tagged with an overlapping LSN range (§6.1). *)
+      t.served_from_sstables <- t.served_from_sstables + 1;
+      List.iter
+        (fun table ->
+          if Lsn.(Sstable.max_lsn table > above) then
+            List.iter (fun (coord, cell) -> consider coord cell)
+              (Sstable.cells_with_lsn_in table ~above ~upto))
+        t.sstables
+    end;
+    List.iter
+      (fun (lsn, op, timestamp) ->
+        List.iter
+          (fun (coord, cell) -> consider coord cell)
+          (Log_record.cells_of_write op ~lsn ~timestamp))
+      from_log;
+    Coord_map.bindings !acc
+    |> List.sort (fun (_, (a : Row.cell)) (_, (b : Row.cell)) -> Lsn.compare a.lsn b.lsn)
+  end
+
+let durable_write_lsns_in t ~above ~upto =
+  Wal.durable_writes_in t.wal ~cohort:t.cohort ~above ~upto
+  |> List.map (fun (lsn, _, _) -> lsn)

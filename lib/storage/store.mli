@@ -1,0 +1,92 @@
+(** Per-cohort storage: memtable + SSTables + shared WAL + skipped-LSN list.
+
+    One [t] exists per (node, key-range) pair. It owns the cohort's slice of
+    the node's shared log and implements local recovery (§6.1): after a
+    restart the memtable is rebuilt by re-applying durable log records from
+    the most recent checkpoint through f.cmt, consulting the skipped-LSN
+    list; records after f.cmt stay in the log for the catch-up phase. *)
+
+type t
+
+val create :
+  cohort:int ->
+  wal:Wal.t ->
+  ?newer:(Row.cell -> Row.cell -> bool) ->
+  ?flush_bytes:int ->
+  ?compaction_fanin:int ->
+  unit ->
+  t
+(** [newer] (default {!Row.newer_by_lsn}) resolves overlaps between tables on
+    reads and compaction; the eventually consistent baseline passes
+    {!Row.newer_by_timestamp}. [flush_bytes] (default 4 MiB) triggers
+    memtable flush; [compaction_fanin] (default 4) triggers a full merge. *)
+
+val cohort : t -> int
+
+val wal : t -> Wal.t
+
+val skipped : t -> Skipped_lsns.t
+
+val apply : t -> lsn:Lsn.t -> timestamp:int -> Log_record.op -> unit
+(** Apply a committed write to the memtable, flushing/compacting as needed.
+    Idempotent: re-applying a record yields the same state. *)
+
+val get : t -> Row.coord -> Row.cell option
+(** The newest cell across memtable and SSTables — including tombstones, so
+    callers can expose version numbers for conditional puts. *)
+
+val read : t -> Row.coord -> Row.cell option
+(** Like {!get} but tombstones map to [None] (client-visible read). *)
+
+val current_version : t -> Row.coord -> int
+(** Version of the newest cell, 0 if the coordinate was never written. *)
+
+val scan :
+  t -> low:Row.key -> high:Row.key -> limit:int ->
+  (Row.key * (Row.column * Row.cell) list) list
+(** Rows with [low <= key < high], ascending by key, at most [limit] rows.
+    Each row lists its live columns (per-column newest cell wins across
+    memtable and SSTables; fully tombstoned rows are omitted). *)
+
+val flushed_upto : t -> Lsn.t
+
+val sstable_count : t -> int
+
+val memtable_size : t -> int
+
+val flush : t -> unit
+(** Force a memtable flush (also invoked automatically by [apply]). Appends a
+    checkpoint record and rolls the WAL over for this cohort. *)
+
+val crash : t -> unit
+(** Lose the memtable (volatile). The WAL itself is crashed separately by the
+    node, since it is shared. *)
+
+val wipe : t -> unit
+(** Lose SSTables and the skipped-LSN list too (disk failure). *)
+
+val recover : t -> Lsn.t * Lsn.t
+(** Local recovery. Rebuilds the memtable from the checkpoint through f.cmt
+    and returns [(f.cmt, f.lst)] as read from stable storage. *)
+
+val recover_all : t -> Lsn.t
+(** Local recovery without a commit horizon: re-apply every durable record
+    after the checkpoint and return the last LSN. Used by the eventually
+    consistent baseline, where any logged write is immediately applied and
+    divergence is reconciled by read repair / anti-entropy instead. *)
+
+val all_cells : t -> (Row.coord * Row.cell) list
+(** The newest cell for every coordinate (tombstones included), ascending by
+    coordinate — Merkle-tree build input for anti-entropy. *)
+
+val committed_cells_in : t -> above:Lsn.t -> upto:Lsn.t -> (Row.coord * Row.cell) list
+(** Committed writes with LSN in (above, upto], ascending by LSN — served
+    from the log when available, otherwise from SSTables tagged with an
+    overlapping LSN range (§6.1). Used by leader-side catch-up. *)
+
+val durable_write_lsns_in : t -> above:Lsn.t -> upto:Lsn.t -> Lsn.t list
+(** LSNs of this cohort's durable log records in (above, upto] — the
+    follower's side of logical-truncation bookkeeping. *)
+
+val served_from_sstables : t -> int
+(** How many catch-up requests could not be served from the log alone. *)

@@ -1,0 +1,191 @@
+type t = {
+  engine : Sim.Engine.t;
+  disk : Sim.Resource.t;
+  model : Sim.Disk_model.t;
+  rng : Sim.Rng.t;
+  mutable durable : Log_record.t list;  (** newest first *)
+  mutable durable_count : int;
+  mutable volatile : Log_record.t list;  (** newest first *)
+  mutable volatile_count : int;
+  mutable appended_total : int;  (** absolute index of last appended record *)
+  mutable durable_total : int;  (** absolute index of last durable record *)
+  mutable waiters : (int * (unit -> unit)) list;  (** (target, callback), oldest first *)
+  mutable force_in_flight : bool;
+  mutable forces_issued : int;
+  mutable incarnation : int;
+  max_batch : int;
+}
+
+let create engine ~disk ~model ~rng ?(max_batch = 16) () =
+  {
+    engine;
+    disk;
+    model;
+    rng;
+    max_batch;
+    durable = [];
+    durable_count = 0;
+    volatile = [];
+    volatile_count = 0;
+    appended_total = 0;
+    durable_total = 0;
+    waiters = [];
+    force_in_flight = false;
+    forces_issued = 0;
+    incarnation = 0;
+  }
+
+let model t = t.model
+
+let append t record =
+  t.volatile <- record :: t.volatile;
+  t.volatile_count <- t.volatile_count + 1;
+  t.appended_total <- t.appended_total + 1
+
+(* Promote the [n] oldest volatile records to the durable prefix. *)
+let promote t n =
+  if n > 0 then begin
+    let rev = List.rev t.volatile in
+    let rec take i acc rest =
+      if i = n then (acc, rest)
+      else
+        match rest with
+        | [] -> (acc, [])
+        | r :: rest -> take (i + 1) (r :: acc) rest
+    in
+    (* [moved] ends newest-first, matching [t.durable]'s order. *)
+    let moved, remaining = take 0 [] rev in
+    t.durable <- moved @ t.durable;
+    t.durable_count <- t.durable_count + n;
+    t.volatile <- List.rev remaining;
+    t.volatile_count <- t.volatile_count - n
+  end
+
+let rec kick t =
+  let ready, pending = List.partition (fun (target, _) -> target <= t.durable_total) t.waiters in
+  t.waiters <- pending;
+  List.iter (fun (_, k) -> k ()) ready;
+  if t.waiters <> [] && not t.force_in_flight then begin
+    t.force_in_flight <- true;
+    t.forces_issued <- t.forces_issued + 1;
+    (* Group commit: one device force covers up to [max_batch] of the records
+       appended so far; the rest wait for the next force. *)
+    let moving = Stdlib.min t.volatile_count t.max_batch in
+    let goal = t.appended_total - (t.volatile_count - moving) in
+    let batch_bytes =
+      let rec sum i acc = function
+        | [] -> acc
+        | r :: rest ->
+          if i = 0 then acc else sum (i - 1) (acc + Log_record.approx_bytes r) rest
+      in
+      (* [t.volatile] is newest-first; the batch is its [moving] oldest. *)
+      sum moving 0 (List.rev t.volatile)
+    in
+    let incarnation = t.incarnation in
+    let service =
+      Sim.Sim_time.span_add
+        (Sim.Distribution.sample_span (Sim.Disk_model.force_service t.model) t.rng)
+        (Sim.Sim_time.of_us_f
+           (float_of_int batch_bytes /. Sim.Disk_model.write_bandwidth_bytes_per_sec t.model *. 1e6))
+    in
+    Sim.Resource.submit t.disk ~service (fun () ->
+        if t.incarnation = incarnation then begin
+          t.force_in_flight <- false;
+          promote t moving;
+          t.durable_total <- Stdlib.max t.durable_total goal;
+          kick t
+        end)
+  end
+
+let force t k =
+  t.waiters <- t.waiters @ [ (t.appended_total, k) ];
+  kick t
+
+let append_and_force t record k =
+  append t record;
+  force t k
+
+let crash t =
+  t.incarnation <- t.incarnation + 1;
+  t.volatile <- [];
+  t.volatile_count <- 0;
+  t.appended_total <- t.durable_total;
+  t.waiters <- [];
+  t.force_in_flight <- false
+
+let wipe t =
+  crash t;
+  t.durable <- [];
+  t.durable_count <- 0
+
+let durable_records t = List.rev t.durable
+let durable_count t = t.durable_count
+let forces_issued t = t.forces_issued
+
+let fold_cohort t ~cohort ~init f =
+  List.fold_left
+    (fun acc (r : Log_record.t) -> if r.cohort = cohort then f acc r.entry else acc)
+    init t.durable
+
+let last_write_lsn t ~cohort =
+  fold_cohort t ~cohort ~init:Lsn.zero (fun acc entry ->
+      match entry with Log_record.Write { lsn; _ } -> Lsn.max acc lsn | _ -> acc)
+
+let last_commit_marker t ~cohort =
+  fold_cohort t ~cohort ~init:Lsn.zero (fun acc entry ->
+      match entry with Log_record.Commit_upto lsn -> Lsn.max acc lsn | _ -> acc)
+
+let last_checkpoint t ~cohort =
+  fold_cohort t ~cohort ~init:Lsn.zero (fun acc entry ->
+      match entry with Log_record.Checkpoint lsn -> Lsn.max acc lsn | _ -> acc)
+
+let durable_writes_in t ~cohort ~above ~upto =
+  let writes =
+    fold_cohort t ~cohort ~init:[] (fun acc entry ->
+        match entry with
+        | Log_record.Write { lsn; op; timestamp } when Lsn.(lsn > above) && Lsn.(lsn <= upto) ->
+          (lsn, op, timestamp) :: acc
+        | _ -> acc)
+  in
+  List.sort_uniq (fun (a, _, _) (b, _, _) -> Lsn.compare a b) writes
+
+let gc_cohort t ~cohort ~upto =
+  let last_commit = last_commit_marker t ~cohort in
+  let last_ckpt = last_checkpoint t ~cohort in
+  let keep (r : Log_record.t) =
+    if r.cohort <> cohort then true
+    else
+      match r.entry with
+      | Log_record.Write { lsn; _ } -> Lsn.(lsn > upto)
+      | Log_record.Commit_upto lsn -> Lsn.equal lsn last_commit
+      | Log_record.Checkpoint lsn -> Lsn.equal lsn last_ckpt
+  in
+  (* Deduplicate retained markers: keep only the first (newest) occurrence. *)
+  let seen_commit = ref false and seen_ckpt = ref false in
+  let keep_once (r : Log_record.t) =
+    if r.cohort <> cohort then true
+    else
+      match r.entry with
+      | Log_record.Commit_upto _ ->
+        if !seen_commit then false
+        else begin
+          seen_commit := true;
+          true
+        end
+      | Log_record.Checkpoint _ ->
+        if !seen_ckpt then false
+        else begin
+          seen_ckpt := true;
+          true
+        end
+      | Log_record.Write _ -> true
+  in
+  t.durable <- List.filter (fun r -> keep r && keep_once r) t.durable;
+  t.durable_count <- List.length t.durable
+
+let min_available_write_lsn t ~cohort =
+  fold_cohort t ~cohort ~init:None (fun acc entry ->
+      match entry with
+      | Log_record.Write { lsn; _ } ->
+        Some (match acc with None -> lsn | Some m -> Lsn.min m lsn)
+      | _ -> acc)

@@ -1,0 +1,76 @@
+(** Shared write-ahead log with group commit (§4.1, §5).
+
+    One log per node, shared by all of the node's cohorts; a dedicated
+    logging device (a {!Sim.Resource.t} with a {!Sim.Disk_model.t} service
+    time) serialises forces. Appends are buffered in a volatile tail;
+    [force] makes everything appended so far durable. Concurrent force
+    requests share a single device force — group commit [DeWitt et al. 84].
+
+    Crash semantics: the volatile tail is lost, the durable prefix survives.
+    [wipe] models losing the disk itself.
+
+    Log rollover (§6.1): once a cohort's writes are captured in an SSTable,
+    [gc_cohort] drops them from the log; catch-up requests that reach below
+    the GC horizon must then be served from SSTables. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  disk:Sim.Resource.t ->
+  model:Sim.Disk_model.t ->
+  rng:Sim.Rng.t ->
+  ?max_batch:int ->
+  unit ->
+  t
+(** [max_batch] (default 16) bounds how many records one device force covers
+    — the log buffer of a primitive log manager (§C). [max_batch:1] disables
+    group commit (ablation). A force's service time is the device force cost
+    plus the batch bytes over the device's sequential write bandwidth. *)
+
+val model : t -> Sim.Disk_model.t
+
+val append : t -> Log_record.t -> unit
+(** Buffered, non-forced append (used for [Commit_upto] markers, §5). *)
+
+val append_and_force : t -> Log_record.t -> (unit -> unit) -> unit
+
+val force : t -> (unit -> unit) -> unit
+(** Callback fires once everything appended before this call is durable. *)
+
+val crash : t -> unit
+(** Lose the volatile tail; cancel pending force callbacks. *)
+
+val wipe : t -> unit
+(** Lose the entire log (disk failure). *)
+
+val durable_records : t -> Log_record.t list
+(** Oldest first. What recovery reads after a crash. *)
+
+val durable_count : t -> int
+
+val forces_issued : t -> int
+(** Device-level forces (batches), for group-commit accounting. *)
+
+val last_write_lsn : t -> cohort:int -> Lsn.t
+(** Largest durable [Write] LSN for the cohort — f.lst after a restart. *)
+
+val last_commit_marker : t -> cohort:int -> Lsn.t
+(** Largest durable [Commit_upto] value for the cohort. *)
+
+val last_checkpoint : t -> cohort:int -> Lsn.t
+(** Largest durable [Checkpoint] value for the cohort. *)
+
+val durable_writes_in : t -> cohort:int -> above:Lsn.t -> upto:Lsn.t ->
+  (Lsn.t * Log_record.op * int) list
+(** Durable [Write] records with LSN in (above, upto], ascending;
+    the [int] is the record's timestamp. *)
+
+val gc_cohort : t -> cohort:int -> upto:Lsn.t -> unit
+(** Roll over: drop the cohort's durable [Write] records with LSN [<= upto]
+    and all but the newest [Commit_upto]/[Checkpoint] markers. *)
+
+val min_available_write_lsn : t -> cohort:int -> Lsn.t option
+(** Smallest durable [Write] LSN still in the log for the cohort, or [None]
+    if the log holds none — tells catch-up whether it can be served from the
+    log or must fall back to SSTables. *)

@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  read : key:Storage.Row.key -> ok:(bool -> unit) -> unit;
+  write : key:Storage.Row.key -> value:string -> ok:(bool -> unit) -> unit;
+  conditional_increment : key:Storage.Row.key -> ok:(bool -> unit) -> unit;
+}
+
+let column = "v"
+
+let spinnaker cluster ~consistent_reads () =
+  let client = Spinnaker.Cluster.new_client cluster in
+  let read ~key ~ok =
+    Spinnaker.Client.get client ~consistent:consistent_reads key column (fun r ->
+        ok (Result.is_ok r))
+  in
+  let write ~key ~value ~ok =
+    Spinnaker.Client.put client key column ~value (fun r -> ok (Result.is_ok r))
+  in
+  let conditional_increment ~key ~ok =
+    Spinnaker.Client.get client ~consistent:true key column (function
+      | Error _ -> ok false
+      | Ok { version; _ } ->
+        Spinnaker.Client.conditional_put client key column ~value:"1" ~expected:version
+          (fun r -> ok (Result.is_ok r)))
+  in
+  {
+    name = (if consistent_reads then "spinnaker-consistent" else "spinnaker-timeline");
+    read;
+    write;
+    conditional_increment;
+  }
+
+(* Figure 14's workload: every write is a conditional put replacing the
+   current value, with the version obtained from a prior consistent read. *)
+let spinnaker_conditional cluster =
+  let client = Spinnaker.Cluster.new_client cluster in
+  let read ~key ~ok =
+    Spinnaker.Client.get client ~consistent:true key column (fun r -> ok (Result.is_ok r))
+  in
+  let write ~key ~value ~ok =
+    Spinnaker.Client.get client ~consistent:true key column (function
+      | Error _ -> ok false
+      | Ok { version; _ } ->
+        Spinnaker.Client.conditional_put client key column ~value ~expected:version (fun r ->
+            ok (Result.is_ok r)))
+  in
+  let conditional_increment ~key ~ok = write ~key ~value:"1" ~ok in
+  { name = "spinnaker-conditional"; read; write; conditional_increment }
+
+let cassandra cluster ~read_level ~write_level () =
+  let client = Eventual.Cas_cluster.new_client cluster in
+  let read ~key ~ok =
+    Eventual.Cas_client.get client ~level:read_level key column (fun r -> ok (Result.is_ok r))
+  in
+  let write ~key ~value ~ok =
+    Eventual.Cas_client.put client ~level:write_level key column ~value (fun r ->
+        ok (Result.is_ok r))
+  in
+  let conditional_increment ~key ~ok =
+    (* No conditional primitive in the eventually consistent store: emulate
+       with read-then-write (last writer wins, races unresolved). *)
+    Eventual.Cas_client.get client ~level:read_level key column (function
+      | Error _ -> ok false
+      | Ok _ ->
+        Eventual.Cas_client.put client ~level:write_level key column ~value:"1" (fun r ->
+            ok (Result.is_ok r)))
+  in
+  let level_name = function Eventual.Cas_message.One -> "weak" | Eventual.Cas_message.Quorum -> "quorum" in
+  {
+    name = Printf.sprintf "cassandra-%s-read-%s-write" (level_name read_level) (level_name write_level);
+    read;
+    write;
+    conditional_increment;
+  }

@@ -1,0 +1,27 @@
+(** Datastore-agnostic operation interface, so one experiment harness can
+    drive Spinnaker (consistent or timeline) and the eventually consistent
+    baseline (weak or quorum) identically — the four lines of Figures 8/12. *)
+
+type t = {
+  name : string;
+  read : key:Storage.Row.key -> ok:(bool -> unit) -> unit;
+  write : key:Storage.Row.key -> value:string -> ok:(bool -> unit) -> unit;
+  conditional_increment : key:Storage.Row.key -> ok:(bool -> unit) -> unit;
+      (** read-modify-write via conditional put where supported; plain
+          read+write elsewhere *)
+}
+
+val spinnaker :
+  Spinnaker.Cluster.t -> consistent_reads:bool -> unit -> t
+(** Fresh protocol client per call; use one driver per simulated thread. *)
+
+val spinnaker_conditional : Spinnaker.Cluster.t -> t
+(** Writes use conditional put (read version, then conditional put) — the
+    Figure 14 workload. *)
+
+val cassandra :
+  Eventual.Cas_cluster.t ->
+  read_level:Eventual.Cas_message.level ->
+  write_level:Eventual.Cas_message.level ->
+  unit ->
+  t

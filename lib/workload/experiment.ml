@@ -1,0 +1,98 @@
+type spec = {
+  threads : int;
+  write_fraction : float;
+  conditional : bool;
+  key_mode : Generator.key_mode;
+  value_bytes : int;
+  warmup : Sim.Sim_time.span;
+  measure : Sim.Sim_time.span;
+}
+
+let default_spec =
+  {
+    threads = 8;
+    write_fraction = 0.0;
+    conditional = false;
+    key_mode = Generator.Uniform_random;
+    value_bytes = 4096;
+    warmup = Sim.Sim_time.sec 2;
+    measure = Sim.Sim_time.sec 10;
+  }
+
+type outcome = {
+  spec : spec;
+  all : Sim.Metrics.run_stats;
+  reads : Sim.Metrics.run_stats;
+  writes : Sim.Metrics.run_stats;
+}
+
+let run ~engine ~partition ~key_space ~make_driver spec =
+  let read_hist = Sim.Metrics.Histogram.create ~name:"reads" () in
+  let write_hist = Sim.Metrics.Histogram.create ~name:"writes" () in
+  let errors = ref 0 in
+  let start = Sim.Engine.now engine in
+  let measure_from = Sim.Sim_time.add start spec.warmup in
+  let stop = Sim.Sim_time.add measure_from spec.measure in
+  let value = Generator.value ~size:spec.value_bytes in
+  let spawn_thread thread =
+    let driver = make_driver () in
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let gen =
+      Generator.create ~rng ~partition ~key_space ~mode:spec.key_mode ~thread
+    in
+    let rec next () =
+      let now = Sim.Engine.now engine in
+      if Sim.Sim_time.(now < stop) then begin
+        let key = Generator.next_key gen in
+        let is_write = Sim.Rng.float rng 1.0 < spec.write_fraction in
+        let issued = Sim.Engine.now engine in
+        let finish ok =
+          let done_at = Sim.Engine.now engine in
+          if Sim.Sim_time.(issued >= measure_from) && Sim.Sim_time.(done_at <= stop) then begin
+            if ok then
+              Sim.Metrics.Histogram.record_span
+                (if is_write then write_hist else read_hist)
+                (Sim.Sim_time.diff done_at issued)
+            else incr errors
+          end;
+          next ()
+        in
+        if is_write then
+          if spec.conditional then driver.Driver.conditional_increment ~key ~ok:finish
+          else driver.Driver.write ~key ~value ~ok:finish
+        else driver.Driver.read ~key ~ok:finish
+      end
+    in
+    (* Stagger thread start to avoid lock-step batching artifacts. *)
+    ignore
+      (Sim.Engine.schedule engine
+         ~after:(Sim.Sim_time.us (Sim.Rng.int rng 10_000))
+         next)
+  in
+  for thread = 0 to spec.threads - 1 do
+    spawn_thread thread
+  done;
+  Sim.Engine.run_until engine stop;
+  (* Drain in-flight requests so their callbacks do not leak into a later
+     experiment on the same engine. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  let stats hist =
+    Sim.Metrics.run_stats_of ~latency:hist ~errors:!errors ~duration:spec.measure
+  in
+  {
+    spec;
+    all = stats (Sim.Metrics.Histogram.merge read_hist write_hist);
+    reads = stats read_hist;
+    writes = stats write_hist;
+  }
+
+type sweep_point = { threads : int; outcome : outcome }
+
+let sweep ~engine ~partition ~key_space ~make_driver ~thread_counts spec =
+  List.map
+    (fun threads ->
+      { threads; outcome = run ~engine ~partition ~key_space ~make_driver { spec with threads } })
+    thread_counts
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%d threads: %a" o.spec.threads Sim.Metrics.pp_run_stats o.all

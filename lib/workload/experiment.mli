@@ -1,0 +1,49 @@
+(** Closed-loop load experiments (§C).
+
+    A fixed number of client threads each issue one request at a time; the
+    reported "load" on the X axis of the paper's figures is the measured
+    request rate, a function of the thread count. Latency samples are taken
+    only inside the measurement window (after warm-up). *)
+
+type spec = {
+  threads : int;
+  write_fraction : float;  (** 0.0 = pure reads, 1.0 = pure writes *)
+  conditional : bool;  (** use the conditional-increment path for writes *)
+  key_mode : Generator.key_mode;
+  value_bytes : int;
+  warmup : Sim.Sim_time.span;
+  measure : Sim.Sim_time.span;
+}
+
+val default_spec : spec
+
+type outcome = {
+  spec : spec;
+  all : Sim.Metrics.run_stats;
+  reads : Sim.Metrics.run_stats;
+  writes : Sim.Metrics.run_stats;
+}
+
+val run :
+  engine:Sim.Engine.t ->
+  partition:Spinnaker.Partition.t ->
+  key_space:int ->
+  make_driver:(unit -> Driver.t) ->
+  spec ->
+  outcome
+(** Runs the engine through warm-up plus measurement. [make_driver] is
+    called once per thread (each gets its own protocol client). *)
+
+type sweep_point = { threads : int; outcome : outcome }
+
+val sweep :
+  engine:Sim.Engine.t ->
+  partition:Spinnaker.Partition.t ->
+  key_space:int ->
+  make_driver:(unit -> Driver.t) ->
+  thread_counts:int list ->
+  spec ->
+  sweep_point list
+(** Re-runs [spec] at each thread count (powers of two in the paper). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,46 @@
+type key_mode =
+  | Uniform_random
+  | Consecutive of { stride : int }
+  | Hotspot of { fraction_hot : float; hot_keys : int }
+
+type t = {
+  rng : Sim.Rng.t;
+  partition : Spinnaker.Partition.t;
+  key_space : int;
+  mode : key_mode;
+  mutable cursor : int;
+}
+
+let create ~rng ~partition ~key_space ~mode ~thread =
+  (* Consecutive threads start at independent random offsets (distinct client
+     machines in the paper's setup), so the walk spreads across ranges. *)
+  let cursor =
+    match mode with
+    | Consecutive _ -> Sim.Rng.int rng key_space + thread
+    | Uniform_random | Hotspot _ -> thread
+  in
+  { rng; partition; key_space; mode; cursor }
+
+let next_key t =
+  let k =
+    match t.mode with
+    | Uniform_random -> Sim.Rng.int t.rng t.key_space
+    | Consecutive { stride } ->
+      let k = t.cursor mod t.key_space in
+      t.cursor <- t.cursor + stride;
+      k
+    | Hotspot { fraction_hot; hot_keys } ->
+      if Sim.Rng.float t.rng 1.0 < fraction_hot then Sim.Rng.int t.rng hot_keys
+      else Sim.Rng.int t.rng t.key_space
+  in
+  Spinnaker.Partition.key_of_int t.partition k
+
+let values : (int, string) Hashtbl.t = Hashtbl.create 4
+
+let value ~size =
+  match Hashtbl.find_opt values size with
+  | Some v -> v
+  | None ->
+    let v = String.init size (fun i -> Char.chr (33 + ((i * 31) mod 90))) in
+    Hashtbl.replace values size v;
+    v

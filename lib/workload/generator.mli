@@ -1,0 +1,24 @@
+(** Workload key/value generation (§C): 4 KB values, random rows for reads,
+    consecutive keys for writes. *)
+
+type key_mode =
+  | Uniform_random  (** each op picks a uniformly random row *)
+  | Consecutive of { stride : int }
+      (** thread [i] walks keys [offset + i], [offset + i + stride], ... *)
+  | Hotspot of { fraction_hot : float; hot_keys : int }
+      (** skew: [fraction_hot] of ops hit the [hot_keys] first keys *)
+
+type t
+
+val create :
+  rng:Sim.Rng.t ->
+  partition:Spinnaker.Partition.t ->
+  key_space:int ->
+  mode:key_mode ->
+  thread:int ->
+  t
+
+val next_key : t -> Storage.Row.key
+
+val value : size:int -> string
+(** A deterministic payload of the given size (shared; contents opaque). *)

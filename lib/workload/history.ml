@@ -1,0 +1,98 @@
+type write = {
+  w_seq : int;
+  w_invoked : Sim.Sim_time.t;
+  w_completed : Sim.Sim_time.t;
+  w_acked : bool;
+}
+
+type read = {
+  r_observed : int option;
+  r_invoked : Sim.Sim_time.t;
+  r_completed : Sim.Sim_time.t;
+}
+
+type t = {
+  writes : (Storage.Row.key, write list) Hashtbl.t;
+  reads : (Storage.Row.key, read list) Hashtbl.t;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+type violation = { key : Storage.Row.key; explanation : string }
+
+let create () =
+  { writes = Hashtbl.create 16; reads = Hashtbl.create 16; n_reads = 0; n_writes = 0 }
+
+let push table key v =
+  Hashtbl.replace table key (v :: Option.value ~default:[] (Hashtbl.find_opt table key))
+
+let record_write t ~key ~seq ~invoked ~completed ~acked =
+  t.n_writes <- t.n_writes + 1;
+  push t.writes key { w_seq = seq; w_invoked = invoked; w_completed = completed; w_acked = acked }
+
+let record_read t ~key ~observed ~invoked ~completed =
+  t.n_reads <- t.n_reads + 1;
+  push t.reads key { r_observed = observed; r_invoked = invoked; r_completed = completed }
+
+let reads t = t.n_reads
+let writes t = t.n_writes
+
+let check t =
+  let violations = ref [] in
+  let bad key fmt = Format.kasprintf (fun s -> violations := { key; explanation = s } :: !violations) fmt in
+  Hashtbl.iter
+    (fun key reads ->
+      let writes = Option.value ~default:[] (Hashtbl.find_opt t.writes key) in
+      let find_write seq = List.find_opt (fun w -> w.w_seq = seq) writes in
+      (* Reads sorted by completion time for the monotonicity pass. *)
+      let by_completion =
+        List.sort (fun a b -> Sim.Sim_time.compare a.r_completed b.r_completed) reads
+      in
+      List.iter
+        (fun r ->
+          match r.r_observed with
+          | None -> ()
+          | Some seq -> (
+            match find_write seq with
+            | None -> bad key "read observed seq %d, which was never written" seq
+            | Some w ->
+              if Sim.Sim_time.(r.r_completed < w.w_invoked) then
+                bad key "read of seq %d completed before its write was invoked" seq))
+        reads;
+      (* Real-time monotonicity: a read that starts after another read ended
+         must not observe an older value. *)
+      let rec monotonic = function
+        | a :: rest ->
+          List.iter
+            (fun b ->
+              if Sim.Sim_time.(a.r_completed < b.r_invoked) then
+                match (a.r_observed, b.r_observed) with
+                | Some va, Some vb when vb < va ->
+                  bad key "reads travel back in time: saw %d then later read saw %d" va vb
+                | Some va, None ->
+                  bad key "later read lost the key after seq %d was observed" va
+                | _ -> ())
+            rest;
+          monotonic rest
+        | [] -> ()
+      in
+      monotonic by_completion;
+      (* Acknowledged writes are visible: a read invoked after W's ack must
+         observe at least W. *)
+      List.iter
+        (fun w ->
+          if w.w_acked then
+            List.iter
+              (fun r ->
+                if Sim.Sim_time.(w.w_completed < r.r_invoked) then
+                  match r.r_observed with
+                  | Some seq when seq >= w.w_seq -> ()
+                  | Some seq ->
+                    bad key "read after ack of seq %d observed only seq %d" w.w_seq seq
+                  | None -> bad key "read after ack of seq %d observed nothing" w.w_seq)
+              reads)
+        writes)
+    t.reads;
+  List.rev !violations
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.key v.explanation

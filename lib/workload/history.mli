@@ -1,0 +1,45 @@
+(** Operation-history recording and register-linearizability checking.
+
+    Strong reads in Spinnaker promise linearizability per key: each read
+    returns the latest committed value, consistent with the real-time order
+    of operations — across leader failovers. This module records timed
+    operation histories and checks that promise for single-writer registers
+    (one serial writer per key, unique monotone values; any number of
+    concurrent readers), which is exactly the shape test harnesses produce.
+
+    Checks performed per key:
+    - every read observes a value that was actually written (no corruption);
+    - reads never travel back in time: if read A completes before read B
+      begins (any clients), B observes a value at least as new as A's;
+    - reads dominate acknowledged writes: a read invoked after write W was
+      acknowledged observes W's value or newer;
+    - a read never observes a value before that value's write was invoked. *)
+
+type t
+
+val create : unit -> t
+
+val record_write :
+  t -> key:Storage.Row.key -> seq:int ->
+  invoked:Sim.Sim_time.t -> completed:Sim.Sim_time.t -> acked:bool -> unit
+(** [seq] is the writer's serial number for the key (strictly increasing). *)
+
+val record_read :
+  t -> key:Storage.Row.key -> observed:int option ->
+  invoked:Sim.Sim_time.t -> completed:Sim.Sim_time.t -> unit
+(** [observed] is the seq parsed from the value read; [None] = key absent. *)
+
+type violation = {
+  key : Storage.Row.key;
+  explanation : string;
+}
+
+val check : t -> violation list
+(** Empty iff the recorded history is consistent with a linearizable
+    register per key. *)
+
+val reads : t -> int
+
+val writes : t -> int
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,277 @@
+(* Tests for the eventually consistent (Dynamo/Cassandra-style) baseline:
+   consistency levels, last-writer-wins, read repair, hinted handoff,
+   Merkle trees, and anti-entropy. *)
+
+open Eventual
+module Config = Spinnaker.Config
+module Row = Storage.Row
+module Lsn = Storage.Lsn
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_config =
+  { Config.default with Config.nodes = 5; disk = Sim.Disk_model.Ssd }
+
+let boot ?(anti_entropy = None) ?(config = test_config) () =
+  let engine = Sim.Engine.create () in
+  let cluster = Cas_cluster.create engine ?anti_entropy_period:anti_entropy config in
+  Cas_cluster.start cluster;
+  (engine, cluster)
+
+let await engine cell =
+  let deadline = Sim.Sim_time.add (Sim.Engine.now engine) (Sim.Sim_time.sec 60) in
+  let rec loop () =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if Sim.Sim_time.(Sim.Engine.now engine >= deadline) then Alcotest.fail "await timeout"
+      else begin
+        Sim.Engine.run_for engine (Sim.Sim_time.ms 5);
+        loop ()
+      end
+  in
+  loop ()
+
+let put_sync engine client ~level key value =
+  let r = ref None in
+  Cas_client.put client ~level key "c" ~value (fun x -> r := Some x);
+  await engine r
+
+let get_sync engine client ~level key =
+  let r = ref None in
+  Cas_client.get client ~level key "c" (fun x -> r := Some x);
+  match await engine r with
+  | Ok v -> Option.map (fun Cas_client.{ value; _ } -> value) v |> Option.join
+  | Error `Timed_out -> Alcotest.fail "read timed out"
+
+let key_for cluster i = Spinnaker.Partition.key_of_int (Cas_cluster.partition cluster) i
+
+let test_write_read_roundtrip () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 42 in
+  check_bool "quorum write" true
+    (Result.is_ok (put_sync engine client ~level:Cas_message.Quorum key "hello"));
+  Alcotest.(check (option string)) "quorum read" (Some "hello")
+    (get_sync engine client ~level:Cas_message.Quorum key)
+
+let test_weak_write_one_ack () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 50 in
+  check_bool "weak write" true
+    (Result.is_ok (put_sync engine client ~level:Cas_message.One key "v"));
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 200);
+  Alcotest.(check (option string)) "readable" (Some "v")
+    (get_sync engine client ~level:Cas_message.One key)
+
+let test_last_writer_wins () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 60 in
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "first");
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "second");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 500);
+  Alcotest.(check (option string)) "newest timestamp wins" (Some "second")
+    (get_sync engine client ~level:Cas_message.Quorum key)
+
+let test_delete_tombstone () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 61 in
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "x");
+  let r = ref None in
+  Cas_client.delete client ~level:Cas_message.Quorum key "c" (fun x -> r := Some x);
+  check_bool "delete ok" true (Result.is_ok (await engine r));
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 500);
+  Alcotest.(check (option string)) "tombstoned" None
+    (get_sync engine client ~level:Cas_message.Quorum key)
+
+let test_writes_survive_one_replica_down () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 70 in
+  let range = Spinnaker.Partition.route (Cas_cluster.partition cluster) key in
+  let members = Spinnaker.Partition.cohort (Cas_cluster.partition cluster) ~range in
+  (* Kill the replica that is NOT first in line for coordination. *)
+  (match List.rev members with last :: _ -> Cas_cluster.crash_node cluster last | [] -> ());
+  check_bool "quorum write with 2/3 up" true
+    (Result.is_ok (put_sync engine client ~level:Cas_message.Quorum key "v"));
+  Alcotest.(check (option string)) "readable" (Some "v")
+    (get_sync engine client ~level:Cas_message.Quorum key)
+
+let test_hinted_handoff_heals_down_replica () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 80 in
+  let range = Spinnaker.Partition.route (Cas_cluster.partition cluster) key in
+  let members = Spinnaker.Partition.cohort (Cas_cluster.partition cluster) ~range in
+  let victim = List.nth members 2 in
+  Cas_cluster.crash_node cluster victim;
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "hinted");
+  (* A hint accumulates at some coordinator for the dead replica. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  let hints =
+    Array.fold_left (fun acc n -> acc + Cas_node.hints_queued n) 0 (Cas_cluster.nodes cluster)
+  in
+  check_bool "hint queued" true (hints > 0);
+  Cas_cluster.restart_node cluster victim;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 5);
+  (* The hint was replayed: the recovered replica holds the write locally. *)
+  (match Cas_node.read_local (Cas_cluster.node cluster victim) (key, "c") with
+  | Some cell -> Alcotest.(check (option string)) "replayed" (Some "hinted") cell.Row.value
+  | None -> Alcotest.fail "hint not replayed");
+  let hints_after =
+    Array.fold_left (fun acc n -> acc + Cas_node.hints_queued n) 0 (Cas_cluster.nodes cluster)
+  in
+  check_int "hints drained" 0 hints_after
+
+let test_read_repair_fixes_stale_replica () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 90 in
+  let range = Spinnaker.Partition.route (Cas_cluster.partition cluster) key in
+  let members = Spinnaker.Partition.cohort (Cas_cluster.partition cluster) ~range in
+  let victim = List.nth members 2 in
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "old");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 800);
+  (* Take a replica down through an overwrite, then bring it back stale. *)
+  Cas_cluster.crash_node cluster victim;
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "new");
+  Cas_cluster.restart_node cluster victim;
+  (* Drain hint replay noise, then force quorum reads until repair lands. *)
+  let rec read_until_repaired attempts =
+    if attempts = 0 then ()
+    else begin
+      ignore (get_sync engine client ~level:Cas_message.Quorum key);
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 300);
+      match Cas_node.read_local (Cas_cluster.node cluster victim) (key, "c") with
+      | Some cell when cell.Row.value = Some "new" -> ()
+      | _ -> read_until_repaired (attempts - 1)
+    end
+  in
+  read_until_repaired 30;
+  match Cas_node.read_local (Cas_cluster.node cluster victim) (key, "c") with
+  | Some cell -> Alcotest.(check (option string)) "repaired" (Some "new") cell.Row.value
+  | None -> Alcotest.fail "value missing on stale replica"
+
+let test_anti_entropy_converges_replicas () =
+  let engine, cluster = boot ~anti_entropy:(Some (Sim.Sim_time.sec 2)) () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 95 in
+  let range = Spinnaker.Partition.route (Cas_cluster.partition cluster) key in
+  let members = Spinnaker.Partition.cohort (Cas_cluster.partition cluster) ~range in
+  let victim = List.nth members 2 in
+  Cas_cluster.crash_node cluster victim;
+  ignore (put_sync engine client ~level:Cas_message.Quorum key "converged");
+  (* Remove the coordinator hints so only anti-entropy can heal the replica. *)
+  Cas_cluster.restart_node cluster victim;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 8);
+  match Cas_node.read_local (Cas_cluster.node cluster victim) (key, "c") with
+  | Some cell -> Alcotest.(check (option string)) "converged" (Some "converged") cell.Row.value
+  | None -> Alcotest.fail "anti-entropy did not converge"
+
+(* Weak writes trade durability for latency (§D.6.1): an ack from a single
+   replica means one permanent failure can destroy committed data — unlike a
+   quorum write (or any Spinnaker write), which survives any single loss. *)
+let test_weak_write_loses_data_on_single_permanent_failure () =
+  let engine, cluster = boot () in
+  let client = Cas_cluster.new_client cluster in
+  let key = key_for cluster 99 in
+  let range = Spinnaker.Partition.route (Cas_cluster.partition cluster) key in
+  let members = Spinnaker.Partition.cohort (Cas_cluster.partition cluster) ~range in
+  (* Isolate every replica from the others: a weak write still succeeds
+     (the coordinator acks itself), a quorum write could not. *)
+  Sim.Network.partition (Cas_cluster.net cluster) [ List.hd members ] (List.tl members);
+  Sim.Network.partition (Cas_cluster.net cluster) [ List.nth members 1 ]
+    [ List.hd members; List.nth members 2 ];
+  Sim.Network.partition (Cas_cluster.net cluster) [ List.nth members 2 ]
+    [ List.hd members; List.nth members 1 ];
+  let weak = put_sync engine client ~level:Cas_message.One key "fragile" in
+  check_bool "weak write acked with replicas isolated" true (Result.is_ok weak);
+  (* The only replica holding the write fails permanently. *)
+  let holder =
+    List.find
+      (fun n -> Cas_node.read_local (Cas_cluster.node cluster n) (key, "c") <> None)
+      members
+  in
+  Cas_cluster.crash_node cluster holder;
+  Cas_node.lose_disk (Cas_cluster.node cluster holder);
+  Sim.Network.heal (Cas_cluster.net cluster);
+  Cas_cluster.restart_node cluster holder;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 3);
+  (* The acked write is gone — on every replica. *)
+  let survivors =
+    List.filter
+      (fun n -> Cas_node.read_local (Cas_cluster.node cluster n) (key, "c") <> None)
+      members
+  in
+  check_int "committed-but-weak write lost" 0 (List.length survivors)
+
+(* --- merkle ------------------------------------------------------------------ *)
+
+let cells_of_list kvs =
+  List.map
+    (fun (k, v, ts) ->
+      ( (k, "c"),
+        Row.{ value = Some v; version = 1; lsn = Lsn.make ~epoch:0 ~seq:ts; timestamp = ts } ))
+    (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) kvs)
+
+let test_merkle_equal_trees () =
+  let cells = cells_of_list [ ("a", "1", 1); ("b", "2", 2); ("c", "3", 3) ] in
+  let t1 = Merkle.build cells and t2 = Merkle.build cells in
+  check_bool "equal" true (Merkle.equal t1 t2);
+  check_int "no diff" 0 (List.length (Merkle.diff t1 t2))
+
+let test_merkle_detects_difference () =
+  let t1 = Merkle.build (cells_of_list [ ("a", "1", 1); ("b", "2", 2) ]) in
+  let t2 = Merkle.build (cells_of_list [ ("a", "1", 1); ("b", "DIFFERENT", 9) ]) in
+  check_bool "unequal" false (Merkle.equal t1 t2);
+  check_bool "diff contains b" true (List.mem ("b", "c") (Merkle.diff t1 t2))
+
+let test_merkle_detects_missing_key () =
+  let t1 = Merkle.build (cells_of_list [ ("a", "1", 1); ("b", "2", 2); ("z", "3", 3) ]) in
+  let t2 = Merkle.build (cells_of_list [ ("a", "1", 1); ("b", "2", 2) ]) in
+  check_bool "diff contains z" true (List.mem ("z", "c") (Merkle.diff t1 t2))
+
+(* diff may overreport within a hash bucket but must never miss a divergent
+   coordinate, and must be empty exactly when the trees are equal. *)
+let prop_merkle_diff_complete =
+  QCheck.Test.make ~name:"merkle: diff is complete (and empty iff equal)" ~count:100
+    QCheck.(pair (list (pair (int_bound 20) small_nat)) (list (pair (int_bound 20) small_nat)))
+    (fun (xs, ys) ->
+      let dedupe l =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) l
+        |> List.map (fun (k, v) -> (Printf.sprintf "k%02d" k, string_of_int v, v + 1))
+      in
+      let xs = dedupe xs and ys = dedupe ys in
+      let t1 = Merkle.build (cells_of_list xs) and t2 = Merkle.build (cells_of_list ys) in
+      let diff = Merkle.diff t1 t2 |> List.map fst in
+      let expected =
+        let module S = Set.Make (String) in
+        let mx = List.map (fun (k, v, _) -> (k, v)) xs
+        and my = List.map (fun (k, v, _) -> (k, v)) ys in
+        let keys = S.union (S.of_list (List.map fst mx)) (S.of_list (List.map fst my)) in
+        S.filter (fun k -> List.assoc_opt k mx <> List.assoc_opt k my) keys |> S.elements
+      in
+      List.for_all (fun k -> List.mem k diff) expected
+      && (expected <> [] || diff = []))
+
+let suite =
+  [
+    Alcotest.test_case "write/read roundtrip" `Quick test_write_read_roundtrip;
+    Alcotest.test_case "weak write" `Quick test_weak_write_one_ack;
+    Alcotest.test_case "last writer wins" `Quick test_last_writer_wins;
+    Alcotest.test_case "delete tombstone" `Quick test_delete_tombstone;
+    Alcotest.test_case "quorum write with replica down" `Quick test_writes_survive_one_replica_down;
+    Alcotest.test_case "hinted handoff" `Quick test_hinted_handoff_heals_down_replica;
+    Alcotest.test_case "read repair" `Quick test_read_repair_fixes_stale_replica;
+    Alcotest.test_case "weak write lost on one permanent failure" `Quick
+      test_weak_write_loses_data_on_single_permanent_failure;
+    Alcotest.test_case "anti-entropy convergence" `Slow test_anti_entropy_converges_replicas;
+    Alcotest.test_case "merkle: equality" `Quick test_merkle_equal_trees;
+    Alcotest.test_case "merkle: value diff" `Quick test_merkle_detects_difference;
+    Alcotest.test_case "merkle: missing key" `Quick test_merkle_detects_missing_key;
+    QCheck_alcotest.to_alcotest prop_merkle_diff_complete;
+  ]

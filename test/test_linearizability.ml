@@ -1,0 +1,127 @@
+(* Linearizability of strong reads, checked from recorded operation
+   histories — including through a leader failover. Also unit-tests the
+   checker itself against hand-built violating histories. *)
+
+open Spinnaker
+module History = Workload.History
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let at_us = Sim.Sim_time.at_us
+
+(* --- checker unit tests -------------------------------------------------- *)
+
+let test_checker_accepts_clean_history () =
+  let h = History.create () in
+  History.record_write h ~key:"k" ~seq:1 ~invoked:(at_us 0) ~completed:(at_us 10) ~acked:true;
+  History.record_read h ~key:"k" ~observed:(Some 1) ~invoked:(at_us 20) ~completed:(at_us 30);
+  History.record_write h ~key:"k" ~seq:2 ~invoked:(at_us 40) ~completed:(at_us 50) ~acked:true;
+  History.record_read h ~key:"k" ~observed:(Some 2) ~invoked:(at_us 60) ~completed:(at_us 70);
+  check_int "clean" 0 (List.length (History.check h))
+
+let test_checker_detects_phantom_value () =
+  let h = History.create () in
+  History.record_read h ~key:"k" ~observed:(Some 7) ~invoked:(at_us 0) ~completed:(at_us 5);
+  check_bool "phantom flagged" true (History.check h <> [])
+
+let test_checker_detects_time_travel () =
+  let h = History.create () in
+  History.record_write h ~key:"k" ~seq:1 ~invoked:(at_us 0) ~completed:(at_us 5) ~acked:true;
+  History.record_write h ~key:"k" ~seq:2 ~invoked:(at_us 6) ~completed:(at_us 9) ~acked:true;
+  History.record_read h ~key:"k" ~observed:(Some 2) ~invoked:(at_us 10) ~completed:(at_us 12);
+  History.record_read h ~key:"k" ~observed:(Some 1) ~invoked:(at_us 20) ~completed:(at_us 22);
+  check_bool "regression flagged" true (History.check h <> [])
+
+let test_checker_detects_lost_ack () =
+  let h = History.create () in
+  History.record_write h ~key:"k" ~seq:3 ~invoked:(at_us 0) ~completed:(at_us 5) ~acked:true;
+  History.record_read h ~key:"k" ~observed:None ~invoked:(at_us 10) ~completed:(at_us 12);
+  check_bool "lost acked write flagged" true (History.check h <> [])
+
+let test_checker_allows_concurrent_reads_to_disagree () =
+  (* Two overlapping reads racing a write may see either value. *)
+  let h = History.create () in
+  History.record_write h ~key:"k" ~seq:1 ~invoked:(at_us 0) ~completed:(at_us 5) ~acked:true;
+  History.record_write h ~key:"k" ~seq:2 ~invoked:(at_us 10) ~completed:(at_us 30) ~acked:true;
+  History.record_read h ~key:"k" ~observed:(Some 2) ~invoked:(at_us 11) ~completed:(at_us 29);
+  History.record_read h ~key:"k" ~observed:(Some 1) ~invoked:(at_us 12) ~completed:(at_us 29);
+  check_int "overlapping reads may disagree" 0 (List.length (History.check h))
+
+(* --- end-to-end: strong reads stay linearizable through failover ---------- *)
+
+let test_strong_reads_linearizable_through_failover () =
+  let engine = Sim.Engine.create ~seed:33 () in
+  let config =
+    {
+      Config.default with
+      Config.nodes = 5;
+      disk = Sim.Disk_model.Ssd;
+      session_timeout = Sim.Sim_time.ms 500;
+      commit_period = Sim.Sim_time.ms 200;
+    }
+  in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  check_bool "ready" true (Cluster.run_until_ready cluster);
+  let key = Partition.key_of_int (Cluster.partition cluster) 7 in
+  let history = History.create () in
+  (* One serial writer... *)
+  let writer = Cluster.new_client cluster in
+  let seq = ref 0 in
+  let rec write_loop () =
+    incr seq;
+    let this = !seq in
+    let invoked = Sim.Engine.now engine in
+    Client.put writer key "c" ~value:(string_of_int this) (fun result ->
+        History.record_write history ~key ~seq:this ~invoked
+          ~completed:(Sim.Engine.now engine)
+          ~acked:(Result.is_ok result);
+        ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 40) write_loop))
+  in
+  write_loop ();
+  (* ...three concurrent strong readers... *)
+  let spawn_reader () =
+    let client = Cluster.new_client cluster in
+    let rec read_loop () =
+      let invoked = Sim.Engine.now engine in
+      Client.get client key "c" (fun result ->
+          (match result with
+          | Ok Client.{ value; _ } ->
+            History.record_read history ~key
+              ~observed:(Option.map int_of_string value)
+              ~invoked
+              ~completed:(Sim.Engine.now engine)
+          | Error _ -> ());
+          ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 15) read_loop))
+    in
+    read_loop ()
+  in
+  for _ = 1 to 3 do
+    spawn_reader ()
+  done;
+  (* ...and a leader failover in the middle. *)
+  ignore
+    (Sim.Engine.schedule engine ~after:(Sim.Sim_time.sec 2) (fun () ->
+         let range = Partition.route (Cluster.partition cluster) key in
+         match Cluster.leader_of cluster ~range with
+         | Some l -> Cluster.crash_node cluster l
+         | None -> ()));
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 8);
+  let violations = History.check history in
+  List.iter (fun v -> Format.printf "violation: %a@." History.pp_violation v) violations;
+  check_int "no linearizability violations" 0 (List.length violations);
+  check_bool "history is substantial" true
+    (History.reads history > 300 && History.writes history > 50)
+
+let suite =
+  [
+    Alcotest.test_case "checker: clean history" `Quick test_checker_accepts_clean_history;
+    Alcotest.test_case "checker: phantom value" `Quick test_checker_detects_phantom_value;
+    Alcotest.test_case "checker: time travel" `Quick test_checker_detects_time_travel;
+    Alcotest.test_case "checker: lost acked write" `Quick test_checker_detects_lost_ack;
+    Alcotest.test_case "checker: concurrent reads may disagree" `Quick
+      test_checker_allows_concurrent_reads_to_disagree;
+    Alcotest.test_case "strong reads linearizable through failover" `Slow
+      test_strong_reads_linearizable_through_failover;
+  ]

@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "spinnaker"
+    [
+      ("sim", Test_sim.suite);
+      ("storage", Test_storage.suite);
+      ("wal-properties", Test_wal_properties.suite);
+      ("coord", Test_coord.suite);
+      ("core-units", Test_core_units.suite);
+      ("spinnaker", Test_spinnaker.suite);
+      ("recovery-example", Test_recovery_example.suite);
+      ("invariants", Test_invariants.suite);
+      ("linearizability", Test_linearizability.suite);
+      ("eventual", Test_eventual.suite);
+      ("masterslave", Test_masterslave.suite);
+      ("workload", Test_workload.suite);
+      ("sync-api", Test_sync.suite);
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the master-slave baseline, including the exact Figure 1
+   failure sequence that motivates Paxos replication (§1.1). *)
+
+open Masterslave
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let boot () =
+  let engine = Sim.Engine.create () in
+  (engine, Ms_pair.create engine ~disk:Sim.Disk_model.Ssd ())
+
+let await engine cell =
+  let deadline = Sim.Sim_time.add (Sim.Engine.now engine) (Sim.Sim_time.sec 30) in
+  let rec loop () =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if Sim.Sim_time.(Sim.Engine.now engine >= deadline) then Alcotest.fail "await timeout"
+      else begin
+        Sim.Engine.run_for engine (Sim.Sim_time.ms 5);
+        loop ()
+      end
+  in
+  loop ()
+
+let put engine pair key value =
+  let r = ref None in
+  Ms_pair.put pair ~key ~value (fun x -> r := Some x);
+  await engine r
+
+let get engine pair key =
+  let r = ref None in
+  Ms_pair.get pair ~key (fun x -> r := Some (Some x));
+  Option.join (await engine r)
+
+let test_replicated_writes () =
+  let engine, pair = boot () in
+  check_bool "write ok" true (Result.is_ok (put engine pair "k" "v"));
+  Alcotest.(check (option string)) "readable" (Some "v") (get engine pair "k");
+  check_int "master lsn" 1 (Ms_pair.committed_lsn pair Ms_pair.Master);
+  check_int "slave lsn (forced first)" 1 (Ms_pair.committed_lsn pair Ms_pair.Slave)
+
+let test_slave_down_master_continues () =
+  let engine, pair = boot () in
+  ignore (put engine pair "a" "1");
+  Ms_pair.crash pair Ms_pair.Slave;
+  check_bool "still available" true (Ms_pair.available_for_writes pair);
+  check_bool "write ok" true (Result.is_ok (put engine pair "b" "2"));
+  check_int "master ahead" 2 (Ms_pair.committed_lsn pair Ms_pair.Master);
+  check_int "slave behind" 1 (Ms_pair.committed_lsn pair Ms_pair.Slave)
+
+let test_master_down_synced_slave_promotes () =
+  let engine, pair = boot () in
+  ignore (put engine pair "a" "1");
+  Ms_pair.crash pair Ms_pair.Master;
+  Alcotest.(check (option Alcotest.string))
+    "slave serves reads after promotion" (Some "1") (get engine pair "a");
+  check_bool "writes continue" true (Result.is_ok (put engine pair "b" "2"))
+
+let test_figure_1_unavailability () =
+  let engine, pair = boot () in
+  (* (a) both up, LSN=10. *)
+  for i = 1 to 10 do
+    ignore (put engine pair (Printf.sprintf "k%d" i) "v")
+  done;
+  check_int "both at 10" 10 (Ms_pair.committed_lsn pair Ms_pair.Slave);
+  (* (b) slave goes down. *)
+  Ms_pair.crash pair Ms_pair.Slave;
+  (* master continues accepting writes up to LSN=20... *)
+  for i = 11 to 20 do
+    ignore (put engine pair (Printf.sprintf "k%d" i) "v")
+  done;
+  check_int "master at 20" 20 (Ms_pair.committed_lsn pair Ms_pair.Master);
+  (* (c) ...but then also goes down. *)
+  Ms_pair.crash pair Ms_pair.Master;
+  (* (d) the slave comes back with the master still down: it cannot accept
+     reads or writes, since it does not have the latest database state. *)
+  Ms_pair.restart pair Ms_pair.Slave;
+  check_bool "UNAVAILABLE with one node up" false (Ms_pair.available_for_writes pair);
+  check_bool "writes rejected" true (Result.is_error (put engine pair "k21" "v"));
+  Alcotest.(check (option string)) "reads rejected" None (get engine pair "k1");
+  (* Moreover: if the master's disk is destroyed, committed writes 11..20
+     are lost forever. *)
+  Ms_pair.destroy pair Ms_pair.Master;
+  check_int "ten committed writes lost" 10 (Ms_pair.lost_writes pair)
+
+let test_slave_resync_on_rejoin () =
+  let engine, pair = boot () in
+  ignore (put engine pair "a" "1");
+  Ms_pair.crash pair Ms_pair.Slave;
+  ignore (put engine pair "b" "2");
+  Ms_pair.restart pair Ms_pair.Slave;
+  check_int "slave resynced" 2 (Ms_pair.committed_lsn pair Ms_pair.Slave);
+  (* Now the failover in the other order is safe. *)
+  Ms_pair.crash pair Ms_pair.Master;
+  check_bool "available after resync" true (Ms_pair.available_for_writes pair);
+  Alcotest.(check (option string)) "state intact" (Some "2") (get engine pair "b")
+
+let test_spinnaker_survives_figure_1_sequence () =
+  (* The contrast experiment: Spinnaker under the same failure sequence
+     stays available and loses nothing, because a write needs a majority and
+     recovery re-proposes unresolved writes (§8.1). *)
+  let open Spinnaker in
+  let config =
+    {
+      Config.default with
+      Config.nodes = 3;
+      disk = Sim.Disk_model.Ssd;
+      session_timeout = Sim.Sim_time.ms 500;
+      commit_period = Sim.Sim_time.ms 200;
+    }
+  in
+  let engine = Sim.Engine.create () in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  check_bool "ready" true (Cluster.run_until_ready cluster);
+  let client = Cluster.new_client cluster in
+  let key = Partition.key_of_int (Cluster.partition cluster) 7 in
+  let put_s v =
+    let r = ref None in
+    Client.put client key "c" ~value:v (fun x -> r := Some x);
+    await engine r
+  in
+  let get_s () =
+    let r = ref None in
+    Client.get client key "c" (fun x -> r := Some x);
+    match await engine r with Ok Client.{ value; _ } -> value | Error _ -> None
+  in
+  ignore (put_s "ten");
+  let range = Partition.route (Cluster.partition cluster) key in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  let n0 = List.nth members 1 in
+  (* One replica down: writes continue (majority alive). *)
+  Cluster.crash_node cluster n0;
+  check_bool "write with 1 down" true (Result.is_ok (put_s "twenty"));
+  (* It comes back while another goes down: still available, still correct. *)
+  Cluster.restart_node cluster n0;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 3);
+  let n1 = List.nth members 0 in
+  Cluster.crash_node cluster n1;
+  check_bool "write after failover" true (Result.is_ok (put_s "thirty"));
+  Alcotest.(check (option string)) "nothing lost" (Some "thirty") (get_s ())
+
+let test_destroyed_node_stays_down () =
+  let engine, pair = boot () in
+  ignore (put engine pair "a" "1");
+  Ms_pair.destroy pair Ms_pair.Slave;
+  Ms_pair.restart pair Ms_pair.Slave;
+  (* A destroyed disk cannot come back with data; the pair runs on the
+     master alone, and nothing committed is lost while it survives. *)
+  check_bool "still master-only" true (Ms_pair.acting_master pair = Some Ms_pair.Master);
+  check_bool "writes continue" true (Result.is_ok (put engine pair "b" "2"));
+  check_int "no loss while master lives" 0 (Ms_pair.lost_writes pair)
+
+let test_reads_route_to_acting_master () =
+  let engine, pair = boot () in
+  ignore (put engine pair "k" "v");
+  Ms_pair.crash pair Ms_pair.Master;
+  (* The synced slave promoted; reads served from its copy. *)
+  Alcotest.(check (option string)) "promoted reads" (Some "v") (get engine pair "k");
+  Ms_pair.restart pair Ms_pair.Master;
+  (* The old master rejoins as the new slave and resyncs. *)
+  ignore (put engine pair "k2" "v2");
+  check_int "old master resynced" 2 (Ms_pair.committed_lsn pair Ms_pair.Master)
+
+let suite =
+  [
+    Alcotest.test_case "replicated writes" `Quick test_replicated_writes;
+    Alcotest.test_case "destroyed node stays down" `Quick test_destroyed_node_stays_down;
+    Alcotest.test_case "reads follow the acting master" `Quick test_reads_route_to_acting_master;
+    Alcotest.test_case "slave down: master continues" `Quick test_slave_down_master_continues;
+    Alcotest.test_case "master down: synced slave promotes" `Quick
+      test_master_down_synced_slave_promotes;
+    Alcotest.test_case "Figure 1: unavailable with one node down" `Quick
+      test_figure_1_unavailability;
+    Alcotest.test_case "slave resync on rejoin" `Quick test_slave_resync_on_rejoin;
+    Alcotest.test_case "Spinnaker survives the Figure 1 sequence" `Slow
+      test_spinnaker_survives_figure_1_sequence;
+  ]

@@ -1,0 +1,317 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- event heap ------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = Sim.Event_heap.create () in
+  ignore (Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 30) "c");
+  ignore (Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 10) "a");
+  ignore (Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 20) "b");
+  let pop () = match Sim.Event_heap.pop h with Some (_, v) -> v | None -> "-" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ first; second; third ]
+
+let test_heap_fifo_ties () =
+  let h = Sim.Event_heap.create () in
+  let t = Sim.Sim_time.at_us 5 in
+  for i = 0 to 9 do
+    ignore (Sim.Event_heap.push h ~time:t i)
+  done;
+  let order = List.init 10 (fun _ -> match Sim.Event_heap.pop h with Some (_, v) -> v | None -> -1) in
+  Alcotest.(check (list int)) "insertion order on tie" (List.init 10 Fun.id) order
+
+let test_heap_cancel () =
+  let h = Sim.Event_heap.create () in
+  let _a = Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 1) "a" in
+  let b = Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 2) "b" in
+  let _c = Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 3) "c" in
+  Sim.Event_heap.cancel h b;
+  check_int "live size" 2 (Sim.Event_heap.size h);
+  let first = Sim.Event_heap.pop h in
+  let second = Sim.Event_heap.pop h in
+  let third = Sim.Event_heap.pop h in
+  Alcotest.(check (list (option string)))
+    "b skipped"
+    [ Some "a"; Some "c"; None ]
+    (List.map (Option.map snd) [ first; second; third ])
+
+let test_heap_cancel_after_pop_noop () =
+  let h = Sim.Event_heap.create () in
+  let a = Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us 1) "a" in
+  ignore (Sim.Event_heap.pop h);
+  Sim.Event_heap.cancel h a;
+  check_int "size stays zero" 0 (Sim.Event_heap.size h)
+
+(* --- engine ----------------------------------------------------------- *)
+
+let test_engine_runs_in_time_order () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 3) (fun () -> log := 3 :: !log));
+  ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 1) (fun () -> log := 1 :: !log));
+  ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 2) (fun () -> log := 2 :: !log));
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_clock_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref Sim.Sim_time.zero in
+  ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 7) (fun () -> seen := Sim.Engine.now e));
+  Sim.Engine.run e;
+  check_int "clock at event" 7_000 (Sim.Sim_time.time_to_us !seen)
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  ignore
+    (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 1) (fun () ->
+         incr hits;
+         ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 1) (fun () -> incr hits))));
+  Sim.Engine.run e;
+  check_int "both ran" 2 !hits;
+  check_int "final clock" 2_000 (Sim.Sim_time.time_to_us (Sim.Engine.now e))
+
+let test_engine_cancel () =
+  let e = Sim.Engine.create () in
+  let hit = ref false in
+  let timer = Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 1) (fun () -> hit := true) in
+  Sim.Engine.cancel e timer;
+  Sim.Engine.run e;
+  check_bool "cancelled" false !hit
+
+let test_run_until_stops_and_sets_clock () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 5) (fun () -> incr hits));
+  ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 15) (fun () -> incr hits));
+  Sim.Engine.run_until e (Sim.Sim_time.at_us 10_000);
+  check_int "only first ran" 1 !hits;
+  check_int "clock at until" 10_000 (Sim.Sim_time.time_to_us (Sim.Engine.now e));
+  Sim.Engine.run e;
+  check_int "second ran later" 2 !hits
+
+let test_determinism () =
+  let run () =
+    let e = Sim.Engine.create ~seed:7 () in
+    let rng = Sim.Rng.split (Sim.Engine.rng e) in
+    let acc = ref [] in
+    for _ = 1 to 5 do
+      let d = Sim.Rng.int rng 1000 in
+      ignore (Sim.Engine.schedule e ~after:(Sim.Sim_time.us d) (fun () -> acc := d :: !acc))
+    done;
+    Sim.Engine.run e;
+    !acc
+  in
+  Alcotest.(check (list int)) "same seed, same schedule" (run ()) (run ())
+
+(* --- resource ---------------------------------------------------------- *)
+
+let test_resource_fifo_queueing () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~name:"disk" () in
+  let finished = ref [] in
+  for i = 1 to 3 do
+    Sim.Resource.submit r ~service:(Sim.Sim_time.ms 10) (fun () ->
+        finished := (i, Sim.Sim_time.time_to_us (Sim.Engine.now e)) :: !finished)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "serialised completions"
+    [ (1, 10_000); (2, 20_000); (3, 30_000) ]
+    (List.rev !finished)
+
+let test_resource_multi_server () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~name:"cpu" ~servers:2 () in
+  let finished = ref [] in
+  for i = 1 to 4 do
+    Sim.Resource.submit r ~service:(Sim.Sim_time.ms 10) (fun () ->
+        finished := (i, Sim.Sim_time.time_to_us (Sim.Engine.now e)) :: !finished)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list (pair int int)))
+    "two at a time"
+    [ (1, 10_000); (2, 10_000); (3, 20_000); (4, 20_000) ]
+    (List.rev !finished)
+
+let test_resource_idle_then_busy () =
+  let e = Sim.Engine.create () in
+  let r = Sim.Resource.create e ~name:"disk" () in
+  let at = ref 0 in
+  ignore
+    (Sim.Engine.schedule e ~after:(Sim.Sim_time.ms 50) (fun () ->
+         Sim.Resource.submit r ~service:(Sim.Sim_time.ms 5) (fun () ->
+             at := Sim.Sim_time.time_to_us (Sim.Engine.now e))));
+  Sim.Engine.run e;
+  check_int "starts when submitted, not at zero" 55_000 !at
+
+(* --- network ------------------------------------------------------------ *)
+
+let make_net () =
+  let e = Sim.Engine.create () in
+  let net = Sim.Network.create e ~latency:(Sim.Distribution.Constant 100.0) () in
+  (e, net)
+
+let test_network_delivery () =
+  let e, net = make_net () in
+  let got = ref None in
+  Sim.Network.register net ~node:1 (fun _ -> ());
+  Sim.Network.register net ~node:2 (fun env -> got := Some env.Sim.Network.payload);
+  Sim.Network.send net ~src:1 ~dst:2 "hello";
+  Sim.Engine.run e;
+  Alcotest.(check (option string)) "delivered" (Some "hello") !got
+
+let test_network_down_node_drops () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.register net ~node:1 (fun _ -> ());
+  Sim.Network.register net ~node:2 (fun _ -> incr got);
+  Sim.Network.set_up net 2 false;
+  Sim.Network.send net ~src:1 ~dst:2 "x";
+  Sim.Engine.run e;
+  check_int "dropped" 0 !got;
+  check_int "counted as dropped" 1 (Sim.Network.messages_dropped net)
+
+let test_network_partition_and_heal () =
+  let e, net = make_net () in
+  let got = ref 0 in
+  Sim.Network.register net ~node:1 (fun _ -> ());
+  Sim.Network.register net ~node:2 (fun _ -> incr got);
+  Sim.Network.partition net [ 1 ] [ 2 ];
+  Sim.Network.send net ~src:1 ~dst:2 "x";
+  Sim.Engine.run e;
+  check_int "partitioned" 0 !got;
+  Sim.Network.heal net;
+  Sim.Network.send net ~src:1 ~dst:2 "y";
+  Sim.Engine.run e;
+  check_int "healed" 1 !got
+
+let test_network_in_order_per_pair () =
+  let e, net = make_net () in
+  let got = ref [] in
+  Sim.Network.register net ~node:1 (fun _ -> ());
+  Sim.Network.register net ~node:2 (fun env -> got := env.Sim.Network.payload :: !got);
+  for i = 1 to 20 do
+    Sim.Network.send net ~src:1 ~dst:2 ~size:128 (string_of_int i)
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list string))
+    "FIFO per sender-receiver pair"
+    (List.init 20 (fun i -> string_of_int (i + 1)))
+    (List.rev !got)
+
+let test_network_transfer_time_scales_with_size () =
+  let e = Sim.Engine.create () in
+  let net = Sim.Network.create e ~latency:(Sim.Distribution.Constant 0.0) ~bandwidth_bps:8_000_000 () in
+  (* 8 Mbit/s => 1 byte/us *)
+  let at = ref 0 in
+  Sim.Network.register net ~node:1 (fun _ -> ());
+  Sim.Network.register net ~node:2 (fun _ -> at := Sim.Sim_time.time_to_us (Sim.Engine.now e));
+  Sim.Network.send net ~src:1 ~dst:2 ~size:4096 "big";
+  Sim.Engine.run e;
+  check_int "4096 bytes at 1B/us" 4096 !at
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_histogram_stats () =
+  let h = Sim.Metrics.Histogram.create () in
+  List.iter (Sim.Metrics.Histogram.record h) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 3.0 (Sim.Metrics.Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "p50" 3.0 (Sim.Metrics.Histogram.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 5.0 (Sim.Metrics.Histogram.percentile h 0.99);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Sim.Metrics.Histogram.min h);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Sim.Metrics.Histogram.max h)
+
+let test_histogram_interleaved_record_and_query () =
+  let h = Sim.Metrics.Histogram.create () in
+  Sim.Metrics.Histogram.record h 10.0;
+  ignore (Sim.Metrics.Histogram.percentile h 0.5);
+  Sim.Metrics.Histogram.record h 1.0;
+  (* Sorting for the earlier percentile must not corrupt later inserts. *)
+  Alcotest.(check (float 1e-9)) "min after re-sort" 1.0 (Sim.Metrics.Histogram.min h);
+  check_int "count" 2 (Sim.Metrics.Histogram.count h)
+
+(* --- distributions / rng ------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 1 in
+  let xs = List.init 10 (fun _ -> Sim.Rng.int a 1_000_000) in
+  let ys = List.init 10 (fun _ -> Sim.Rng.int b 1_000_000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create 1 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 10 (fun _ -> Sim.Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Sim.Rng.int b 1000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let prop_distribution_nonnegative =
+  QCheck.Test.make ~name:"distribution samples are nonnegative" ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_bound 5))
+    (fun (seed, which) ->
+      let rng = Sim.Rng.create seed in
+      let d =
+        match which with
+        | 0 -> Sim.Distribution.Constant 5.0
+        | 1 -> Sim.Distribution.Uniform (0.0, 10.0)
+        | 2 -> Sim.Distribution.Exponential 3.0
+        | 3 -> Sim.Distribution.Shifted_exponential { base = 1.0; mean_extra = 2.0 }
+        | 4 -> Sim.Distribution.Normal { mean = 1.0; stddev = 5.0 }
+        | _ -> Sim.Distribution.Mixture [ (1.0, Constant 1.0); (2.0, Exponential 4.0) ]
+      in
+      Sim.Distribution.sample d rng >= 0.0)
+
+let prop_exponential_mean =
+  QCheck.Test.make ~name:"exponential sample mean approaches parameter" ~count:20
+    (QCheck.int_bound 100_000) (fun seed ->
+      let rng = Sim.Rng.create seed in
+      let n = 5000 in
+      let sum = ref 0.0 in
+      for _ = 1 to n do
+        sum := !sum +. Sim.Distribution.sample (Sim.Distribution.Exponential 10.0) rng
+      done;
+      let mean = !sum /. float_of_int n in
+      mean > 8.0 && mean < 12.0)
+
+let prop_rng_int_in_bounds =
+  QCheck.Test.make ~name:"rng int stays within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Sim.Rng.create seed in
+      let v = Sim.Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    Alcotest.test_case "heap: time ordering" `Quick test_heap_ordering;
+    Alcotest.test_case "heap: FIFO on equal times" `Quick test_heap_fifo_ties;
+    Alcotest.test_case "heap: cancellation" `Quick test_heap_cancel;
+    Alcotest.test_case "heap: cancel after pop is noop" `Quick test_heap_cancel_after_pop_noop;
+    Alcotest.test_case "engine: time order" `Quick test_engine_runs_in_time_order;
+    Alcotest.test_case "engine: clock advances" `Quick test_engine_clock_advances;
+    Alcotest.test_case "engine: nested scheduling" `Quick test_engine_nested_scheduling;
+    Alcotest.test_case "engine: cancel" `Quick test_engine_cancel;
+    Alcotest.test_case "engine: run_until semantics" `Quick test_run_until_stops_and_sets_clock;
+    Alcotest.test_case "engine: determinism under seed" `Quick test_determinism;
+    Alcotest.test_case "resource: FIFO queueing" `Quick test_resource_fifo_queueing;
+    Alcotest.test_case "resource: multi-server" `Quick test_resource_multi_server;
+    Alcotest.test_case "resource: idle then busy" `Quick test_resource_idle_then_busy;
+    Alcotest.test_case "network: delivery" `Quick test_network_delivery;
+    Alcotest.test_case "network: down node drops" `Quick test_network_down_node_drops;
+    Alcotest.test_case "network: partition & heal" `Quick test_network_partition_and_heal;
+    Alcotest.test_case "network: in-order per pair" `Quick test_network_in_order_per_pair;
+    Alcotest.test_case "network: size-scaled transfer" `Quick test_network_transfer_time_scales_with_size;
+    Alcotest.test_case "metrics: histogram stats" `Quick test_histogram_stats;
+    Alcotest.test_case "metrics: interleaved record/query" `Quick test_histogram_interleaved_record_and_query;
+    Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    QCheck_alcotest.to_alcotest prop_distribution_nonnegative;
+    QCheck_alcotest.to_alcotest prop_exponential_mean;
+    QCheck_alcotest.to_alcotest prop_rng_int_in_bounds;
+  ]

@@ -1,0 +1,834 @@
+(* Integration tests for the Spinnaker core: replication, consistency
+   levels, conditional operations, failover, recovery, and availability
+   invariants. Uses small clusters on an SSD log so forces are fast. *)
+
+open Spinnaker
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_config =
+  {
+    Config.default with
+    Config.nodes = 5;
+    disk = Sim.Disk_model.Ssd;
+    commit_period = Sim.Sim_time.ms 200;
+    session_timeout = Sim.Sim_time.ms 500;
+  }
+
+let boot ?(config = test_config) ?(seed = 42) () =
+  let engine = Sim.Engine.create ~seed () in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then Alcotest.fail "cluster not ready";
+  (engine, cluster)
+
+(* Drive the engine until an async result lands (or fail). *)
+let await engine ?(timeout = Sim.Sim_time.sec 60) cell =
+  let deadline = Sim.Sim_time.add (Sim.Engine.now engine) timeout in
+  let rec loop () =
+    match !cell with
+    | Some v -> v
+    | None ->
+      if Sim.Sim_time.(Sim.Engine.now engine >= deadline) then Alcotest.fail "await timeout"
+      else begin
+        Sim.Engine.run_for engine (Sim.Sim_time.ms 5);
+        loop ()
+      end
+  in
+  loop ()
+
+let put_sync engine client key col value =
+  let r = ref None in
+  Client.put client key col ~value (fun x -> r := Some x);
+  await engine r
+
+let get_sync ?(consistent = true) engine client key col =
+  let r = ref None in
+  Client.get client ~consistent key col (fun x -> r := Some x);
+  await engine r
+
+let cond_put_sync engine client key col value expected =
+  let r = ref None in
+  Client.conditional_put client key col ~value ~expected (fun x -> r := Some x);
+  await engine r
+
+let value_of = function
+  | Ok Client.{ value; _ } -> value
+  | Error e -> Alcotest.failf "request failed: %a" Client.pp_error e
+
+let version_of = function
+  | Ok Client.{ version; _ } -> version
+  | Error e -> Alcotest.failf "request failed: %a" Client.pp_error e
+
+let key_for cluster i = Partition.key_of_int (Cluster.partition cluster) i
+
+(* --- basic API -------------------------------------------------------------- *)
+
+let test_put_get_roundtrip () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 1234 in
+  check_bool "put ok" true (Result.is_ok (put_sync engine client key "c" "hello"));
+  Alcotest.(check (option string)) "get" (Some "hello") (value_of (get_sync engine client key "c"))
+
+let test_get_missing_key () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  Alcotest.(check (option string))
+    "missing" None
+    (value_of (get_sync engine client (key_for cluster 777) "nope"))
+
+let test_versions_increment () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 5 in
+  ignore (put_sync engine client key "c" "v1");
+  check_int "v1" 1 (version_of (get_sync engine client key "c"));
+  ignore (put_sync engine client key "c" "v2");
+  check_int "v2" 2 (version_of (get_sync engine client key "c"))
+
+let test_delete () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 6 in
+  ignore (put_sync engine client key "c" "x");
+  let r = ref None in
+  Client.delete client key "c" (fun x -> r := Some x);
+  check_bool "delete ok" true (Result.is_ok (await engine r));
+  Alcotest.(check (option string)) "gone" None (value_of (get_sync engine client key "c"));
+  (* The tombstone still carries a version for optimistic concurrency. *)
+  check_int "tombstone version" 2 (version_of (get_sync engine client key "c"))
+
+let test_conditional_put () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 7 in
+  ignore (put_sync engine client key "c" "base");
+  (* Correct expected version succeeds. *)
+  check_bool "match" true (Result.is_ok (cond_put_sync engine client key "c" "next" 1));
+  (* Stale expected version fails with the current version. *)
+  (match cond_put_sync engine client key "c" "loser" 1 with
+  | Error (Client.Version_mismatch { current }) -> check_int "current" 2 current
+  | _ -> Alcotest.fail "expected mismatch");
+  Alcotest.(check (option string)) "winner kept" (Some "next")
+    (value_of (get_sync engine client key "c"))
+
+let test_conditional_increment_loop () =
+  (* The paper's counter idiom (§3): read version, conditional-put, retry. *)
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 8 in
+  ignore (put_sync engine client key "n" "0");
+  for _ = 1 to 5 do
+    let v = get_sync engine client key "n" in
+    let current = version_of v in
+    let n = int_of_string (Option.get (value_of v)) in
+    check_bool "increment accepted" true
+      (Result.is_ok (cond_put_sync engine client key "n" (string_of_int (n + 1)) current))
+  done;
+  Alcotest.(check (option string)) "count" (Some "5") (value_of (get_sync engine client key "n"))
+
+let test_conditional_racers_one_wins () =
+  let engine, cluster = boot () in
+  let a = Cluster.new_client cluster and b = Cluster.new_client cluster in
+  let key = key_for cluster 9 in
+  ignore (put_sync engine a key "c" "base");
+  (* Two clients race a conditional put against the same version. *)
+  let ra = ref None and rb = ref None in
+  Client.conditional_put a key "c" ~value:"A" ~expected:1 (fun x -> ra := Some x);
+  Client.conditional_put b key "c" ~value:"B" ~expected:1 (fun x -> rb := Some x);
+  let xa = await engine ra and xb = await engine rb in
+  let wins = List.length (List.filter Result.is_ok [ xa; xb ]) in
+  check_int "exactly one winner" 1 wins
+
+let test_multi_column_put_and_get () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 10 in
+  let r = ref None in
+  Client.multi_put client key [ ("a", "1"); ("b", "2"); ("c", "3") ] (fun x -> r := Some x);
+  check_bool "multi_put ok" true (Result.is_ok (await engine r));
+  let g = ref None in
+  Client.multi_get client key [ "a"; "b"; "c" ] (fun x -> g := Some x);
+  (match await engine g with
+  | Ok cols ->
+    Alcotest.(check (list (pair string (option string))))
+      "all columns"
+      [ ("a", Some "1"); ("b", Some "2"); ("c", Some "3") ]
+      (List.map (fun (c, Client.{ value; _ }) -> (c, value)) cols)
+  | Error e -> Alcotest.failf "multi_get: %a" Client.pp_error e)
+
+let test_multi_conditional_put () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 11 in
+  let r = ref None in
+  Client.multi_put client key [ ("a", "1"); ("b", "2") ] (fun x -> r := Some x);
+  ignore (await engine r);
+  let r2 = ref None in
+  Client.multi_conditional_put client key [ ("a", "10", 1); ("b", "20", 1) ] (fun x ->
+      r2 := Some x);
+  check_bool "matching versions succeed" true (Result.is_ok (await engine r2));
+  let r3 = ref None in
+  Client.multi_conditional_put client key [ ("a", "x", 1); ("b", "y", 2) ] (fun x ->
+      r3 := Some x);
+  check_bool "any stale version fails" true (Result.is_error (await engine r3));
+  Alcotest.(check (option string)) "a kept" (Some "10") (value_of (get_sync engine client key "a"))
+
+(* --- multi-operation transactions (§8.2 extension) ----------------------------- *)
+
+let test_transaction_commits_atomically () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  (* Keys 1,2,3 all fall in range 0. *)
+  let key i = key_for cluster i in
+  let r = ref None in
+  Client.transact_put client
+    [ (key 1, "bal", "100"); (key 2, "bal", "200"); (key 3, "bal", "300") ]
+    (fun x -> r := Some x);
+  check_bool "txn ok" true (Result.is_ok (await engine r));
+  List.iter
+    (fun (i, v) ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "row %d" i)
+        (Some v)
+        (value_of (get_sync engine client (key i) "bal")))
+    [ (1, "100"); (2, "200"); (3, "300") ]
+
+let test_transaction_cross_range_rejected () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  (* Key 1 is in range 0; a key from the far end of the space is not. *)
+  let far = Config.default.Config.key_space - 1 in
+  let r = ref None in
+  Client.transact_put client
+    [ (key_for cluster 1, "c", "x"); (key_for cluster far, "c", "y") ]
+    (fun x -> r := Some x);
+  (match await engine r with
+  | Error Client.Cross_range -> ()
+  | Ok () -> Alcotest.fail "cross-range transaction accepted"
+  | Error e -> Alcotest.failf "unexpected error: %a" Client.pp_error e);
+  (* And nothing was written. *)
+  Alcotest.(check (option string)) "no partial write" None
+    (value_of (get_sync engine client (key_for cluster 1) "c"))
+
+let test_transaction_versions_assigned () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  ignore (put_sync engine client (key_for cluster 4) "c" "pre");
+  let r = ref None in
+  Client.transact_put client
+    [ (key_for cluster 4, "c", "post"); (key_for cluster 5, "c", "fresh") ]
+    (fun x -> r := Some x);
+  ignore (await engine r);
+  check_int "existing row bumped" 2 (version_of (get_sync engine client (key_for cluster 4) "c"));
+  check_int "new row at 1" 1 (version_of (get_sync engine client (key_for cluster 5) "c"))
+
+let test_transaction_atomic_across_failover () =
+  (* Fire transactions continuously, kill the leader mid-stream, and verify
+     afterwards that every transaction is all-or-nothing: the single-log-
+     record design makes partial commits impossible even across crashes. *)
+  let engine, cluster = boot ~seed:21 () in
+  let client = Cluster.new_client cluster in
+  let rows_per_txn = 4 in
+  let issued = ref 0 in
+  let spawn_txn i =
+    let rows =
+      List.init rows_per_txn (fun j ->
+          (key_for cluster ((i * rows_per_txn) + j), "c", Printf.sprintf "t%d" i))
+    in
+    Client.transact_put client rows (fun _ -> ())
+  in
+  let rec stream i =
+    if i < 40 then begin
+      spawn_txn i;
+      issued := i + 1;
+      ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 20) (fun () -> stream (i + 1)))
+    end
+  in
+  stream 0;
+  (* Kill the range-0 leader while transactions are in flight. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 330);
+  (match Cluster.leader_of cluster ~range:0 with
+  | Some leader -> Cluster.crash_node cluster leader
+  | None -> ());
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+  for i = 0 to !issued - 1 do
+    let present =
+      List.filter
+        (fun j ->
+          value_of (get_sync engine client (key_for cluster ((i * rows_per_txn) + j)) "c")
+          = Some (Printf.sprintf "t%d" i))
+        (List.init rows_per_txn Fun.id)
+    in
+    let n = List.length present in
+    check_bool
+      (Printf.sprintf "txn %d all-or-nothing (%d/%d rows)" i n rows_per_txn)
+      true
+      (n = 0 || n = rows_per_txn)
+  done
+
+let test_conditional_delete () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 12 in
+  ignore (put_sync engine client key "c" "x");
+  (* Wrong version fails and leaves the value... *)
+  let r = ref None in
+  Client.conditional_delete client key "c" ~expected:7 (fun x -> r := Some x);
+  check_bool "stale version rejected" true (Result.is_error (await engine r));
+  Alcotest.(check (option string)) "value intact" (Some "x")
+    (value_of (get_sync engine client key "c"));
+  (* ...the right version deletes. *)
+  let r2 = ref None in
+  Client.conditional_delete client key "c" ~expected:1 (fun x -> r2 := Some x);
+  check_bool "matching version deletes" true (Result.is_ok (await engine r2));
+  Alcotest.(check (option string)) "gone" None (value_of (get_sync engine client key "c"))
+
+let test_multi_get_missing_columns () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 13 in
+  ignore (put_sync engine client key "present" "yes");
+  let g = ref None in
+  Client.multi_get client key [ "present"; "absent" ] (fun x -> g := Some x);
+  match await engine g with
+  | Ok cols ->
+    Alcotest.(check (list (pair string (option string))))
+      "present and absent distinguished"
+      [ ("present", Some "yes"); ("absent", None) ]
+      (List.map (fun (c, Client.{ value; _ }) -> (c, value)) cols)
+  | Error e -> Alcotest.failf "multi_get: %a" Client.pp_error e
+
+(* --- range scans ---------------------------------------------------------------- *)
+
+let scan_sync ?(consistent = true) ?limit engine client ~start_key ~end_key =
+  let r = ref None in
+  Client.scan client ~consistent ~start_key ~end_key ?limit (fun x -> r := Some x);
+  match await engine r with
+  | Ok rows -> rows
+  | Error e -> Alcotest.failf "scan failed: %a" Client.pp_error e
+
+let test_scan_single_range () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  for i = 10 to 19 do
+    ignore (put_sync engine client (key_for cluster i) "c" (Printf.sprintf "v%d" i))
+  done;
+  let rows =
+    scan_sync engine client ~start_key:(key_for cluster 12) ~end_key:(key_for cluster 16)
+  in
+  Alcotest.(check (list string))
+    "window [12,16)"
+    (List.map (key_for cluster) [ 12; 13; 14; 15 ])
+    (List.map fst rows);
+  (* Values and versions ride along. *)
+  (match rows with
+  | (_, [ ("c", Client.{ value; version }) ]) :: _ ->
+    Alcotest.(check (option string)) "value" (Some "v12") value;
+    check_int "version" 1 version
+  | _ -> Alcotest.fail "row shape")
+
+let test_scan_spans_ranges () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  (* nodes=5 -> range width 20000; straddle the 20000 boundary. *)
+  let keys = [ 19_998; 19_999; 20_000; 20_001; 20_002 ] in
+  List.iter (fun i -> ignore (put_sync engine client (key_for cluster i) "c" "x")) keys;
+  let rows =
+    scan_sync engine client ~start_key:(key_for cluster 19_998)
+      ~end_key:(key_for cluster 20_003)
+  in
+  Alcotest.(check (list string))
+    "stitched across cohorts"
+    (List.map (key_for cluster) keys)
+    (List.map fst rows)
+
+let test_scan_limit_respected_across_ranges () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  List.iter
+    (fun i -> ignore (put_sync engine client (key_for cluster i) "c" "x"))
+    [ 19_998; 19_999; 20_000; 20_001 ];
+  let rows =
+    scan_sync engine client ~limit:3 ~start_key:(key_for cluster 19_998)
+      ~end_key:(key_for cluster 20_003)
+  in
+  check_int "limit across cohorts" 3 (List.length rows)
+
+let test_scan_timeline_mode () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  for i = 30 to 34 do
+    ignore (put_sync engine client (key_for cluster i) "c" "x")
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  let rows =
+    scan_sync ~consistent:false engine client ~start_key:(key_for cluster 30)
+      ~end_key:(key_for cluster 35)
+  in
+  check_int "timeline scan sees converged rows" 5 (List.length rows)
+
+let test_scan_across_failover () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  for i = 50 to 54 do
+    ignore (put_sync engine client (key_for cluster i) "c" "x")
+  done;
+  (* Kill the leader of the scanned range; the strong scan must retry through
+     the election and still return every row. *)
+  let range = Partition.route (Cluster.partition cluster) (key_for cluster 50) in
+  (match Cluster.leader_of cluster ~range with
+  | Some l -> Cluster.crash_node cluster l
+  | None -> ());
+  let rows =
+    scan_sync engine client ~start_key:(key_for cluster 50) ~end_key:(key_for cluster 55)
+  in
+  check_int "all rows after failover" 5 (List.length rows)
+
+let test_scan_excludes_deleted () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  for i = 40 to 44 do
+    ignore (put_sync engine client (key_for cluster i) "c" "x")
+  done;
+  let r = ref None in
+  Client.delete client (key_for cluster 42) "c" (fun x -> r := Some x);
+  ignore (await engine r);
+  let rows =
+    scan_sync engine client ~start_key:(key_for cluster 40) ~end_key:(key_for cluster 45)
+  in
+  Alcotest.(check (list string))
+    "deleted row omitted"
+    (List.map (key_for cluster) [ 40; 41; 43; 44 ])
+    (List.map fst rows)
+
+(* --- consistency levels ------------------------------------------------------- *)
+
+let test_strong_reads_see_latest () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 20 in
+  for i = 1 to 10 do
+    ignore (put_sync engine client key "c" (string_of_int i));
+    Alcotest.(check (option string))
+      "read your write" (Some (string_of_int i))
+      (value_of (get_sync engine client key "c"))
+  done
+
+let test_timeline_read_eventually_fresh () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 21 in
+  ignore (put_sync engine client key "c" "fresh");
+  (* After a commit period (plus slack), every replica has applied the
+     write, so any timeline read sees it. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  for _ = 1 to 6 do
+    Alcotest.(check (option string))
+      "timeline read" (Some "fresh")
+      (value_of (get_sync ~consistent:false engine client key "c"))
+  done
+
+let test_timeline_read_staleness_bounded () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 22 in
+  ignore (put_sync engine client key "c" "old");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  ignore (put_sync engine client key "c" "new");
+  (* Immediately after the write, followers may still serve the old value
+     (that is the timeline contract)... *)
+  let seen = ref [] in
+  for _ = 1 to 6 do
+    seen := value_of (get_sync ~consistent:false engine client key "c") :: !seen
+  done;
+  List.iter
+    (fun v -> check_bool "old or new, never garbage" true (v = Some "old" || v = Some "new"))
+    !seen;
+  (* ...but staleness is bounded by the commit period. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  for _ = 1 to 6 do
+    Alcotest.(check (option string))
+      "converged" (Some "new")
+      (value_of (get_sync ~consistent:false engine client key "c"))
+  done
+
+(* --- failover & recovery -------------------------------------------------------- *)
+
+let leader_of_key cluster key =
+  let range = Partition.route (Cluster.partition cluster) key in
+  (range, Cluster.leader_of cluster ~range)
+
+let test_leader_failover_no_committed_loss () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 30 in
+  for i = 1 to 20 do
+    ignore (put_sync engine client key "c" (string_of_int i))
+  done;
+  let range, leader = leader_of_key cluster key in
+  let old_leader = Option.get leader in
+  Cluster.crash_node cluster old_leader;
+  (* The next write rides through election + takeover. *)
+  check_bool "write succeeds across failover" true
+    (Result.is_ok (put_sync engine client key "c" "21"));
+  let new_leader = Cluster.leader_of cluster ~range in
+  check_bool "new leader exists" true (new_leader <> None);
+  check_bool "leader changed" true (new_leader <> Some old_leader);
+  Alcotest.(check (option string)) "no committed write lost" (Some "21")
+    (value_of (get_sync engine client key "c"));
+  check_int "versions intact" 21 (version_of (get_sync engine client key "c"))
+
+let test_old_leader_rejoins_as_follower () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 31 in
+  ignore (put_sync engine client key "c" "1");
+  let range, leader = leader_of_key cluster key in
+  let old_leader = Option.get leader in
+  Cluster.crash_node cluster old_leader;
+  check_bool "write during failover" true (Result.is_ok (put_sync engine client key "c" "2"));
+  Cluster.restart_node cluster old_leader;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 3);
+  (* The old leader is back as a follower of the same range. *)
+  (match Node.cohort (Cluster.node cluster old_leader) ~range with
+  | Some c -> check_bool "follower role" true (Cohort.role c = Cohort.Follower)
+  | None -> Alcotest.fail "cohort missing");
+  check_bool "writes still work" true (Result.is_ok (put_sync engine client key "c" "3"));
+  Alcotest.(check (option string)) "state" (Some "3") (value_of (get_sync engine client key "c"))
+
+let test_epoch_increases_after_failover () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 32 in
+  ignore (put_sync engine client key "c" "1");
+  let range, leader = leader_of_key cluster key in
+  let epoch_before =
+    match Node.cohort (Cluster.node cluster (Option.get leader)) ~range with
+    | Some c -> Cohort.epoch c
+    | None -> 0
+  in
+  Cluster.crash_node cluster (Option.get leader);
+  ignore (put_sync engine client key "c" "2");
+  let new_leader = Option.get (Cluster.leader_of cluster ~range) in
+  let epoch_after =
+    match Node.cohort (Cluster.node cluster new_leader) ~range with
+    | Some c -> Cohort.epoch c
+    | None -> 0
+  in
+  check_bool "epoch grew" true (epoch_after > epoch_before)
+
+let test_follower_crash_catchup_from_log () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 33 in
+  ignore (put_sync engine client key "c" "1");
+  let range, leader = leader_of_key cluster key in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  let follower = List.find (fun n -> Some n <> leader) members in
+  Cluster.crash_node cluster follower;
+  (* Majority still up: writes proceed while the follower is down. *)
+  for i = 2 to 10 do
+    check_bool "write with follower down" true
+      (Result.is_ok (put_sync engine client key "c" (string_of_int i)))
+  done;
+  Cluster.restart_node cluster follower;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 3);
+  (* The recovered follower serves a fresh timeline read. *)
+  (match Node.cohort (Cluster.node cluster follower) ~range with
+  | Some c ->
+    check_bool "caught up" true (Storage.Lsn.compare (Cohort.cmt c) Storage.Lsn.zero > 0);
+    check_bool "follower role" true (Cohort.role c = Cohort.Follower)
+  | None -> Alcotest.fail "cohort missing");
+  Alcotest.(check (option string)) "state intact" (Some "10")
+    (value_of (get_sync engine client key "c"))
+
+let test_minority_blocks_writes_timeline_survives () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 34 in
+  ignore (put_sync engine client key "c" "alive");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  let range, _ = leader_of_key cluster key in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  (* Kill two of the three replicas: no quorum. *)
+  (match members with
+  | a :: b :: _ ->
+    Cluster.crash_node cluster a;
+    Cluster.crash_node cluster b
+  | _ -> Alcotest.fail "cohort too small");
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  (* Strong write fails (retries exhausted)... *)
+  check_bool "write blocked without majority" true
+    (Result.is_error (put_sync engine client key "c" "nope"));
+  (* ...but a timeline read is still served by the surviving replica (§8.1). *)
+  Alcotest.(check (option string))
+    "timeline read survives" (Some "alive")
+    (value_of (get_sync ~consistent:false engine client key "c"));
+  (* Restore one node: quorum returns and writes flow again. *)
+  (match members with a :: _ -> Cluster.restart_node cluster a | [] -> ());
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 3);
+  check_bool "write after quorum restored" true
+    (Result.is_ok (put_sync engine client key "c" "back"))
+
+let test_leader_partition_cannot_commit () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 35 in
+  ignore (put_sync engine client key "c" "pre");
+  let range, leader = leader_of_key cluster key in
+  let leader = Option.get leader in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  let others = List.filter (fun n -> n <> leader) members in
+  (* Cut the leader off from its followers (but not from clients or the
+     coordination service in this model). *)
+  Sim.Network.partition (Cluster.net cluster) [ leader ] others;
+  let r = ref None in
+  Client.put client key "c" ~value:"partitioned" (fun x -> r := Some x);
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  (* No follower ack => not committed => no reply yet. *)
+  check_bool "write not acknowledged under partition" true (!r = None);
+  Sim.Network.heal (Cluster.net cluster);
+  check_bool "commits after heal" true (Result.is_ok (await engine r))
+
+let test_full_cohort_restart_recovers_committed_state () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 36 in
+  for i = 1 to 15 do
+    ignore (put_sync engine client key "c" (string_of_int i))
+  done;
+  let range, _ = leader_of_key cluster key in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  List.iter (Cluster.crash_node cluster) members;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  List.iter (Cluster.restart_node cluster) members;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 5);
+  Alcotest.(check (option string))
+    "committed state recovered from logs" (Some "15")
+    (value_of (get_sync engine client key "c"))
+
+let test_disk_loss_recovered_from_peers () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 37 in
+  for i = 1 to 10 do
+    ignore (put_sync engine client key "c" (string_of_int i))
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  let range, leader = leader_of_key cluster key in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  let follower = List.find (fun n -> Some n <> leader) members in
+  (* Destroy the follower's disk entirely; it must rebuild via catch-up. *)
+  Cluster.crash_node cluster follower;
+  Node.lose_disk (Cluster.node cluster follower);
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  Cluster.restart_node cluster follower;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 5);
+  (match Node.cohort (Cluster.node cluster follower) ~range with
+  | Some c ->
+    check_bool "rebuilt from peers" true
+      (Storage.Lsn.compare (Cohort.cmt c) Storage.Lsn.zero > 0)
+  | None -> Alcotest.fail "cohort missing");
+  Alcotest.(check (option string)) "data intact" (Some "10")
+    (value_of (get_sync engine client key "c"))
+
+(* --- routing ---------------------------------------------------------------------- *)
+
+let test_misrouted_request_redirected () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  (* Writes to many keys across all ranges: every request finds its leader
+     through hints even though the client cache starts empty. *)
+  for i = 0 to 19 do
+    let key = key_for cluster (i * 4777 mod Config.default.Config.key_space) in
+    check_bool "routed write" true (Result.is_ok (put_sync engine client key "c" "x"))
+  done
+
+(* --- durability (§8.1) ---------------------------------------------------------------- *)
+
+let test_survives_two_permanent_failures () =
+  (* "A cohort will not lose committed data even if 2 out of 3 of its nodes
+     permanently fail" (§8.1): destroy two replicas' disks; the survivor is
+     elected (max last-LSN) and the data is intact once a quorum of
+     replacement nodes catches up from it. *)
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 50 in
+  ignore (put_sync engine client key "c" "precious");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  let range, _ = leader_of_key cluster key in
+  let members = Partition.cohort (Cluster.partition cluster) ~range in
+  (match members with
+  | a :: b :: _ ->
+    (* Permanent failures: crash and destroy stable storage. *)
+    Cluster.crash_node cluster a;
+    Node.lose_disk (Cluster.node cluster a);
+    Cluster.crash_node cluster b;
+    Node.lose_disk (Cluster.node cluster b);
+    Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+    (* Replacement (blank) nodes come back; they must catch up from the
+       survivor, which wins the election on max lst. *)
+    Cluster.restart_node cluster a;
+    Cluster.restart_node cluster b;
+    Sim.Engine.run_for engine (Sim.Sim_time.sec 5)
+  | _ -> Alcotest.fail "cohort too small");
+  Alcotest.(check (option string))
+    "committed data survives 2 permanent failures" (Some "precious")
+    (value_of (get_sync engine client key "c"))
+
+let test_piggybacked_commits_reduce_staleness () =
+  let config = { test_config with Config.piggyback_commits = true; commit_period = Sim.Sim_time.sec 30 } in
+  let engine, cluster = boot ~config () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 60 in
+  (* With a 30 s commit period, follower freshness can only come from
+     piggy-backed commit info on subsequent proposes (§D.1). *)
+  ignore (put_sync engine client key "c" "first");
+  ignore (put_sync engine client key "c" "second");
+  ignore (put_sync engine client key "c" "third");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 200);
+  (* Any replica now serves at most one write behind, despite no commit
+     message ever having fired. *)
+  for _ = 1 to 6 do
+    let v = value_of (get_sync ~consistent:false engine client key "c") in
+    check_bool "follower nearly fresh via piggyback" true
+      (v = Some "third" || v = Some "second")
+  done
+
+(* --- group membership (§4.2) -------------------------------------------------------- *)
+
+let test_membership_tracks_sessions () =
+  let engine, cluster = boot () in
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 200);
+  Alcotest.(check (list int))
+    "all registered" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare (Cluster.registered_nodes cluster));
+  Cluster.crash_node cluster 2;
+  (* The ephemeral registration survives until the session expires. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  Alcotest.(check (list int))
+    "crashed node dropped after expiry" [ 0; 1; 3; 4 ]
+    (List.sort compare (Cluster.registered_nodes cluster));
+  Cluster.restart_node cluster 2;
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 200);
+  Alcotest.(check (list int))
+    "rejoin re-registers" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare (Cluster.registered_nodes cluster))
+
+(* --- rolling upgrade (§1.1) --------------------------------------------------------- *)
+
+let test_rolling_upgrade_stays_available () =
+  (* "Online upgrades become easier, since one replica can be taken off line
+     and upgraded, while the other 2 replicas are kept online" (§1.1): take
+     every node down in turn; reads and writes keep flowing throughout. *)
+  let engine, cluster = boot ~seed:29 () in
+  let client = Cluster.new_client cluster in
+  let ok = ref 0 and failed = ref 0 in
+  let tick = ref 0 in
+  let rec writer () =
+    incr tick;
+    let key = key_for cluster (!tick * 997 mod Config.default.Config.key_space) in
+    Client.put client key "c" ~value:"x" (fun r ->
+        (match r with Ok () -> incr ok | Error _ -> incr failed);
+        ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 50) writer))
+  in
+  writer ();
+  for node = 0 to 4 do
+    Cluster.crash_node cluster node;
+    Sim.Engine.run_for engine (Sim.Sim_time.sec 4);
+    Cluster.restart_node cluster node;
+    (* Let it catch up before upgrading the next one. *)
+    Sim.Engine.run_for engine (Sim.Sim_time.sec 4)
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  check_bool
+    (Printf.sprintf "writes flowed through rolling restarts (%d ok, %d failed)" !ok !failed)
+    true
+    (!ok > 200 && !failed = 0)
+
+(* --- chaos ------------------------------------------------------------------------ *)
+
+let test_chaos_no_acked_write_lost () =
+  let engine, cluster = boot ~seed:7 () in
+  let client = Cluster.new_client cluster in
+  let acked : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let failure = Sim.Failure.create engine in
+  (* One random node crashes and recovers, twice, while writes flow. *)
+  let victims = [ 1; 3 ] in
+  List.iteri
+    (fun i v ->
+      Sim.Failure.crash_for failure
+        ~at:(Sim.Sim_time.at_us ((i + 1) * 2_000_000))
+        ~down_for:(Sim.Sim_time.sec 1)
+        (Node.failure_target (Cluster.node cluster v)))
+    victims;
+  for i = 0 to 39 do
+    let key = key_for cluster (i * 2501 mod Config.default.Config.key_space) in
+    let value = Printf.sprintf "v%d" i in
+    (match put_sync engine client key "c" value with
+    | Ok () -> Hashtbl.replace acked key value
+    | Error _ -> ());
+    Sim.Engine.run_for engine (Sim.Sim_time.ms 150)
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 5);
+  (* Every acknowledged write must be durable and visible. *)
+  Hashtbl.iter
+    (fun key value ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "acked write %s survives chaos" key)
+        (Some value)
+        (value_of (get_sync engine client key "c")))
+    acked
+
+let suite =
+  [
+    Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+    Alcotest.test_case "get missing key" `Quick test_get_missing_key;
+    Alcotest.test_case "versions increment" `Quick test_versions_increment;
+    Alcotest.test_case "delete + tombstone version" `Quick test_delete;
+    Alcotest.test_case "conditional put" `Quick test_conditional_put;
+    Alcotest.test_case "conditional increment loop" `Quick test_conditional_increment_loop;
+    Alcotest.test_case "conditional race: one winner" `Quick test_conditional_racers_one_wins;
+    Alcotest.test_case "multi-column put/get" `Quick test_multi_column_put_and_get;
+    Alcotest.test_case "multi-column conditional put" `Quick test_multi_conditional_put;
+    Alcotest.test_case "transaction: atomic commit" `Quick test_transaction_commits_atomically;
+    Alcotest.test_case "transaction: cross-range rejected" `Quick
+      test_transaction_cross_range_rejected;
+    Alcotest.test_case "transaction: version assignment" `Quick test_transaction_versions_assigned;
+    Alcotest.test_case "transaction: atomic across failover" `Slow
+      test_transaction_atomic_across_failover;
+    Alcotest.test_case "scan: single range" `Quick test_scan_single_range;
+    Alcotest.test_case "scan: spans ranges" `Quick test_scan_spans_ranges;
+    Alcotest.test_case "scan: limit across ranges" `Quick test_scan_limit_respected_across_ranges;
+    Alcotest.test_case "scan: timeline mode" `Quick test_scan_timeline_mode;
+    Alcotest.test_case "scan: excludes deleted rows" `Quick test_scan_excludes_deleted;
+    Alcotest.test_case "scan: across failover" `Quick test_scan_across_failover;
+    Alcotest.test_case "conditional delete" `Quick test_conditional_delete;
+    Alcotest.test_case "multi-get: missing columns" `Quick test_multi_get_missing_columns;
+    Alcotest.test_case "strong reads see latest" `Quick test_strong_reads_see_latest;
+    Alcotest.test_case "timeline reads converge" `Quick test_timeline_read_eventually_fresh;
+    Alcotest.test_case "timeline staleness bounded" `Quick test_timeline_read_staleness_bounded;
+    Alcotest.test_case "leader failover: no committed loss" `Quick
+      test_leader_failover_no_committed_loss;
+    Alcotest.test_case "old leader rejoins as follower" `Quick test_old_leader_rejoins_as_follower;
+    Alcotest.test_case "epoch increases after failover" `Quick test_epoch_increases_after_failover;
+    Alcotest.test_case "follower catch-up from log" `Quick test_follower_crash_catchup_from_log;
+    Alcotest.test_case "minority blocks writes; timeline survives" `Quick
+      test_minority_blocks_writes_timeline_survives;
+    Alcotest.test_case "partitioned leader cannot commit" `Quick test_leader_partition_cannot_commit;
+    Alcotest.test_case "full cohort restart recovers" `Quick
+      test_full_cohort_restart_recovers_committed_state;
+    Alcotest.test_case "disk loss: rebuild from peers" `Quick test_disk_loss_recovered_from_peers;
+    Alcotest.test_case "client routing via hints" `Quick test_misrouted_request_redirected;
+    Alcotest.test_case "group membership tracks sessions" `Quick test_membership_tracks_sessions;
+    Alcotest.test_case "durability: 2 permanent failures" `Slow
+      test_survives_two_permanent_failures;
+    Alcotest.test_case "piggy-backed commits reduce staleness" `Quick
+      test_piggybacked_commits_reduce_staleness;
+    Alcotest.test_case "rolling upgrade stays available" `Slow
+      test_rolling_upgrade_stays_available;
+    Alcotest.test_case "chaos: no acked write lost" `Slow test_chaos_no_acked_write_lost;
+  ]

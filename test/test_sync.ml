@@ -1,0 +1,59 @@
+(* Tests for the synchronous convenience API. *)
+
+open Spinnaker
+
+let check_bool = Alcotest.(check bool)
+
+let boot () =
+  let engine = Sim.Engine.create () in
+  let config =
+    { Config.default with Config.nodes = 3; disk = Sim.Disk_model.Ssd }
+  in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then Alcotest.fail "not ready";
+  (engine, cluster, Cluster.new_client cluster)
+
+let test_sync_roundtrip () =
+  let engine, cluster, client = boot () in
+  let key = Partition.key_of_int (Cluster.partition cluster) 5 in
+  check_bool "put" true (Result.is_ok (Sync.put engine client key "c" ~value:"v"));
+  (match Sync.get engine client key "c" with
+  | Ok Client.{ value; version } ->
+    Alcotest.(check (option string)) "value" (Some "v") value;
+    Alcotest.(check int) "version" 1 version
+  | Error e -> Alcotest.failf "get: %a" Sync.pp_error e);
+  check_bool "conditional" true
+    (Result.is_ok (Sync.conditional_put engine client key "c" ~value:"w" ~expected:1));
+  check_bool "delete" true (Result.is_ok (Sync.delete engine client key "c"));
+  match Sync.get engine client key "c" with
+  | Ok Client.{ value; _ } -> Alcotest.(check (option string)) "deleted" None value
+  | Error e -> Alcotest.failf "get after delete: %a" Sync.pp_error e
+
+let test_sync_txn_and_scan () =
+  let engine, cluster, client = boot () in
+  let key i = Partition.key_of_int (Cluster.partition cluster) i in
+  check_bool "txn" true
+    (Result.is_ok
+       (Sync.transact_put engine client [ (key 1, "c", "a"); (key 2, "c", "b") ]));
+  match Sync.scan engine client ~start_key:(key 1) ~end_key:(key 3) () with
+  | Ok rows -> Alcotest.(check int) "two rows" 2 (List.length rows)
+  | Error e -> Alcotest.failf "scan: %a" Sync.pp_error e
+
+let test_sync_deadline () =
+  let engine, cluster, client = boot () in
+  let key = Partition.key_of_int (Cluster.partition cluster) 9 in
+  (* Kill the whole cohort: the op cannot complete; the deadline fires. *)
+  let range = Partition.route (Cluster.partition cluster) key in
+  List.iter (Cluster.crash_node cluster) (Partition.cohort (Cluster.partition cluster) ~range);
+  match Sync.put engine client ~deadline:(Sim.Sim_time.sec 2) key "c" ~value:"x" with
+  | Error Sync.Deadline -> ()
+  | Error (Sync.Client_error _) -> ()  (* retries may exhaust first; also fine *)
+  | Ok () -> Alcotest.fail "write succeeded with the cohort down"
+
+let suite =
+  [
+    Alcotest.test_case "sync: roundtrip" `Quick test_sync_roundtrip;
+    Alcotest.test_case "sync: transaction + scan" `Quick test_sync_txn_and_scan;
+    Alcotest.test_case "sync: deadline on dead cohort" `Quick test_sync_deadline;
+  ]

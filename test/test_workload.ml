@@ -1,0 +1,119 @@
+(* Tests for the workload harness: generators, drivers, and the closed-loop
+   experiment runner. *)
+
+open Workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let partition =
+  Spinnaker.Partition.create ~nodes:10 ~replication:3 ~key_space:100_000
+
+let gen mode =
+  Generator.create ~rng:(Sim.Rng.create 5) ~partition ~key_space:100_000 ~mode ~thread:0
+
+let test_uniform_keys_in_space () =
+  let g = gen Generator.Uniform_random in
+  for _ = 1 to 200 do
+    let k = Generator.next_key g in
+    let v = int_of_string k in
+    check_bool "in space" true (v >= 0 && v < 100_000)
+  done
+
+let test_consecutive_keys_stride () =
+  let g = gen (Generator.Consecutive { stride = 7 }) in
+  let k1 = int_of_string (Generator.next_key g) in
+  let k2 = int_of_string (Generator.next_key g) in
+  let k3 = int_of_string (Generator.next_key g) in
+  check_int "stride" 7 ((k2 - k1 + 100_000) mod 100_000);
+  check_int "stride again" 7 ((k3 - k2 + 100_000) mod 100_000)
+
+let test_hotspot_skew () =
+  let g = gen (Generator.Hotspot { fraction_hot = 0.9; hot_keys = 10 }) in
+  let hot = ref 0 in
+  for _ = 1 to 1000 do
+    if int_of_string (Generator.next_key g) < 10 then incr hot
+  done;
+  check_bool (Printf.sprintf "hot fraction %d/1000" !hot) true (!hot > 800)
+
+let test_value_size_and_caching () =
+  check_int "4KB" 4096 (String.length (Generator.value ~size:4096));
+  check_bool "cached" true (Generator.value ~size:64 == Generator.value ~size:64)
+
+let test_experiment_end_to_end () =
+  let config =
+    {
+      Spinnaker.Config.default with
+      Spinnaker.Config.nodes = 5;
+      disk = Sim.Disk_model.Ssd;
+    }
+  in
+  let engine = Sim.Engine.create () in
+  let cluster = Spinnaker.Cluster.create engine config in
+  Spinnaker.Cluster.start cluster;
+  check_bool "ready" true (Spinnaker.Cluster.run_until_ready cluster);
+  let spec =
+    {
+      Experiment.default_spec with
+      Experiment.threads = 4;
+      write_fraction = 0.5;
+      warmup = Sim.Sim_time.ms 500;
+      measure = Sim.Sim_time.sec 2;
+    }
+  in
+  let o =
+    Experiment.run ~engine ~partition:(Spinnaker.Cluster.partition cluster) ~key_space:100_000
+      ~make_driver:(fun () -> Driver.spinnaker cluster ~consistent_reads:true ())
+      spec
+  in
+  check_bool "completed ops" true (o.Experiment.all.Sim.Metrics.completed > 50);
+  check_bool "has reads" true (o.Experiment.reads.Sim.Metrics.completed > 0);
+  check_bool "has writes" true (o.Experiment.writes.Sim.Metrics.completed > 0);
+  check_int "no errors" 0 o.Experiment.all.Sim.Metrics.errors;
+  check_bool "latencies measured" true
+    (o.Experiment.writes.Sim.Metrics.mean_latency_ms > 0.0
+    && o.Experiment.reads.Sim.Metrics.mean_latency_ms > 0.0)
+
+let test_sweep_increases_load () =
+  let config =
+    {
+      Spinnaker.Config.default with
+      Spinnaker.Config.nodes = 5;
+      disk = Sim.Disk_model.Ssd;
+    }
+  in
+  let engine = Sim.Engine.create () in
+  let cluster = Eventual.Cas_cluster.create engine config in
+  Eventual.Cas_cluster.start cluster;
+  let spec =
+    {
+      Experiment.default_spec with
+      Experiment.write_fraction = 0.0;
+      warmup = Sim.Sim_time.ms 300;
+      measure = Sim.Sim_time.sec 1;
+    }
+  in
+  let points =
+    Experiment.sweep ~engine ~partition:(Eventual.Cas_cluster.partition cluster)
+      ~key_space:100_000
+      ~make_driver:(fun () ->
+        Driver.cassandra cluster ~read_level:Eventual.Cas_message.One
+          ~write_level:Eventual.Cas_message.One ())
+      ~thread_counts:[ 1; 8 ] spec
+  in
+  match points with
+  | [ p1; p8 ] ->
+    check_bool "more threads, more throughput" true
+      (p8.Experiment.outcome.Experiment.all.Sim.Metrics.throughput_per_sec
+      > p1.Experiment.outcome.Experiment.all.Sim.Metrics.throughput_per_sec *. 2.0)
+  | _ -> Alcotest.fail "sweep shape"
+
+let suite =
+  [
+    Alcotest.test_case "generator: uniform keys" `Quick test_uniform_keys_in_space;
+    Alcotest.test_case "generator: consecutive stride" `Quick test_consecutive_keys_stride;
+    Alcotest.test_case "generator: hotspot skew" `Quick test_hotspot_skew;
+    Alcotest.test_case "generator: value cache" `Quick test_value_size_and_caching;
+    Alcotest.test_case "experiment: end-to-end mixed run" `Slow test_experiment_end_to_end;
+    Alcotest.test_case "experiment: sweep scales load" `Slow test_sweep_increases_load;
+  ]
