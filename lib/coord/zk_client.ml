@@ -6,6 +6,17 @@ type t = {
   latency : Sim.Distribution.t;
   rng : Sim.Rng.t;
   mutable alive : bool;
+  mutable reachable : bool;
+      (** the owner's link to the coordination service; when cut, calls,
+          heartbeats, and watch deliveries are all suppressed *)
+  mutable last_contact : Sim.Sim_time.t;
+      (** last successful exchange with the service; basis for the client's
+          conservative session-expiry detection *)
+  mutable on_session_expiry : (unit -> unit) option;
+  mutable pending_watches : (unit -> unit) list;
+      (** watch events that fired while unreachable, newest first; replayed
+          on reconnect (the service tracks watches per session, so a client
+          that reconnects within its timeout still learns what changed) *)
   mutable fifo_horizon : Sim.Sim_time.t;
       (** server-side execution time of the client's latest request; later
           requests may not execute before it (ZooKeeper's FIFO client order,
@@ -14,12 +25,35 @@ type t = {
 
 let default_latency = Sim.Distribution.Shifted_exponential { base = 150.0; mean_extra = 50.0 }
 
+(* The client declares its own session dead once it has been out of contact
+   for over half the timeout — deliberately ahead of the server, which
+   expires it only after the full timeout. A partitioned leader therefore
+   stops serving strictly before a new leader can be elected on the other
+   side (§7). The dead session is never resumed: heartbeats stop, so the
+   server expires it (and deletes its ephemerals) even if the partition heals
+   meanwhile, and the owner reconnects with a fresh session. *)
+let expire t =
+  if t.alive then begin
+    t.alive <- false;
+    match t.on_session_expiry with Some f -> f () | None -> ()
+  end
+
 let heartbeat_loop t =
-  let interval = Sim.Sim_time.us (Sim.Sim_time.to_us (Zk_server.session_timeout t.server) / 4) in
+  let timeout_us = Sim.Sim_time.to_us (Zk_server.session_timeout t.server) in
+  let interval = Sim.Sim_time.us (timeout_us / 4) in
   let rec beat () =
     if t.alive then begin
-      Zk_server.heartbeat t.server ~session:t.session;
-      ignore (Sim.Engine.schedule t.engine ~after:interval beat)
+      if t.reachable then begin
+        Zk_server.heartbeat t.server ~session:t.session;
+        t.last_contact <- Sim.Engine.now t.engine
+      end
+      else begin
+        let silent =
+          Sim.Sim_time.to_us (Sim.Sim_time.diff (Sim.Engine.now t.engine) t.last_contact)
+        in
+        if silent * 2 > timeout_us then expire t
+      end;
+      if t.alive then ignore (Sim.Engine.schedule t.engine ~after:interval beat)
     end
   in
   ignore (Sim.Engine.schedule t.engine ~after:interval beat)
@@ -35,6 +69,10 @@ let connect server ~owner ?(latency = default_latency) () =
       latency;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
       alive = true;
+      reachable = true;
+      last_contact = Sim.Engine.now engine;
+      on_session_expiry = None;
+      pending_watches = [];
       fifo_horizon = Sim.Sim_time.zero;
     }
   in
@@ -44,6 +82,8 @@ let connect server ~owner ?(latency = default_latency) () =
 let owner t = t.owner
 let session t = t.session
 let alive t = t.alive
+let reachable t = t.reachable
+let set_on_session_expiry t f = t.on_session_expiry <- Some f
 let crash t = t.alive <- false
 
 let close t =
@@ -52,12 +92,32 @@ let close t =
 
 let delay t = Sim.Distribution.sample_span t.latency t.rng
 
+let set_reachable t r =
+  if t.reachable <> r then begin
+    t.reachable <- r;
+    if r && t.alive then begin
+      (* Reconnected: the handshake itself is contact, and queued watch
+         events are delivered (one service-to-client hop late). *)
+      Zk_server.heartbeat t.server ~session:t.session;
+      t.last_contact <- Sim.Engine.now t.engine;
+      let pending = List.rev t.pending_watches in
+      t.pending_watches <- [];
+      List.iter
+        (fun w ->
+          ignore
+            (Sim.Engine.schedule t.engine ~after:(delay t) (fun () -> if t.alive then w ())))
+        pending
+    end
+  end
+
 (* One round trip: request travels to the service, executes atomically there,
    and the response travels back. Requests from one client execute in issue
    order (TCP-like FIFO, as in ZooKeeper — the election's arm-watch-then-read
-   pattern depends on it). Both legs are suppressed if the client crashed. *)
+   pattern depends on it). Both legs are suppressed if the client crashed,
+   and nothing is sent (or received) while the service is unreachable —
+   callers rely on their own retries or on session expiry. *)
 let call t op k =
-  if t.alive then begin
+  if t.alive && t.reachable then begin
     let arrival =
       Sim.Sim_time.max
         (Sim.Sim_time.add (Sim.Engine.now t.engine) (delay t))
@@ -69,7 +129,10 @@ let call t op k =
            let result = op () in
            ignore
              (Sim.Engine.schedule t.engine ~after:(delay t) (fun () ->
-                  if t.alive then k result))))
+                  if t.alive && t.reachable then begin
+                    t.last_contact <- Sim.Engine.now t.engine;
+                    k result
+                  end))))
   end
 
 let create_node t ~path ?(data = "") ?(ephemeral = false) ?(sequential = false) k =
@@ -97,7 +160,15 @@ let incr_counter t ~path k =
 let exists t ~path k = call t (fun () -> Zk_server.exists t.server ~path) k
 
 let wrap_watch t w () =
-  if t.alive then ignore (Sim.Engine.schedule t.engine ~after:(delay t) (fun () -> if t.alive then w ()))
+  if t.alive then begin
+    if t.reachable then
+      ignore
+        (Sim.Engine.schedule t.engine ~after:(delay t) (fun () ->
+             if not t.alive then ()
+             else if t.reachable then w ()
+             else t.pending_watches <- w :: t.pending_watches))
+    else t.pending_watches <- w :: t.pending_watches
+  end
 
 let watch_node t ~path w =
   call t (fun () -> Zk_server.watch_node t.server ~path (wrap_watch t w)) (fun () -> ())

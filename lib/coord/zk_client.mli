@@ -19,6 +19,23 @@ val session : t -> int
 
 val alive : t -> bool
 
+val reachable : t -> bool
+
+val set_reachable : t -> bool -> unit
+(** Cut (or heal) the owner's link to the coordination service, leaving the
+    owner itself and the data network untouched. While unreachable: calls
+    are never sent, responses and watch notifications are not delivered
+    (watch events queue for replay on reconnect), and heartbeats stop — so
+    the server expires the session after its timeout. The client itself
+    conservatively declares the session dead once it has been out of contact
+    for over half the timeout, strictly before the server-side expiry that
+    lets a new leader be elected (§7). *)
+
+val set_on_session_expiry : t -> (unit -> unit) -> unit
+(** Hook invoked once when the client declares its session dead (see
+    {!set_reachable}). The handle is unusable afterwards ([alive] is false);
+    the owner must {!connect} a fresh session. *)
+
 val crash : t -> unit
 (** Stop heartbeating and drop pending responses; the server will expire the
     session after its timeout, deleting this client's ephemerals. *)

@@ -15,6 +15,7 @@ type t = {
   net : Message.t Sim.Network.t;
   partition : Partition.t;
   config : Config.t;
+  rng : Sim.Rng.t;
   lookup_leader : range:int -> (int option -> unit) -> unit;
   pending : (int, pending) Hashtbl.t;
   leader_cache : (int, int) Hashtbl.t;
@@ -23,10 +24,20 @@ type t = {
   mutable retries : int;
 }
 
-let max_attempts = 60
-
 let id t = t.id
 let retries t = t.retries
+
+(* Capped exponential backoff with equal jitter: attempt [n] waits
+   [min(cap, base * 2^(n-1))], half of it fixed and half uniformly random,
+   so retry storms from many clients decorrelate instead of hammering a
+   recovering leader in lockstep. *)
+let backoff t attempts =
+  let base = Sim.Sim_time.to_us t.config.Config.client_backoff_base in
+  let cap = Sim.Sim_time.to_us t.config.Config.client_backoff_max in
+  let exp = Stdlib.min 30 (Stdlib.max 0 (attempts - 1)) in
+  let d = Stdlib.min cap (base * (1 lsl exp)) in
+  let half = Stdlib.max 1 (d / 2) in
+  Sim.Sim_time.us (half + Sim.Rng.int t.rng half)
 
 let target_for t ~strong op =
   let range = Partition.route t.partition (Message.key_of_op op) in
@@ -62,7 +73,7 @@ let rec dispatch t request_id p =
 and retry t request_id p ~after =
   p.attempts <- p.attempts + 1;
   t.retries <- t.retries + 1;
-  if p.attempts >= max_attempts then begin
+  if p.attempts >= t.config.Config.client_max_attempts then begin
     Hashtbl.remove t.pending request_id;
     p.deliver Message.Unavailable
   end
@@ -80,7 +91,7 @@ and on_timeout t request_id p =
           match leader with
           | Some l -> Hashtbl.replace t.leader_cache range l
           | None -> ());
-    retry t request_id p ~after:(Sim.Sim_time.ms 10)
+    retry t request_id p ~after:(backoff t (p.attempts + 1))
   end
 
 let handle_reply t request_id reply =
@@ -93,12 +104,17 @@ let handle_reply t request_id reply =
     | Message.Not_leader { hint } ->
       let range = Partition.route t.partition (Message.key_of_op p.op) in
       (match hint with
-      | Some l -> Hashtbl.replace t.leader_cache range l
-      | None -> Hashtbl.remove t.leader_cache range);
-      retry t request_id p ~after:(Sim.Sim_time.us 100)
+      | Some l ->
+        (* An actionable redirect: chase it immediately. *)
+        Hashtbl.replace t.leader_cache range l;
+        retry t request_id p ~after:(Sim.Sim_time.us 100)
+      | None ->
+        (* No leader known (election in progress): back off. *)
+        Hashtbl.remove t.leader_cache range;
+        retry t request_id p ~after:(backoff t (p.attempts + 1)))
     | Message.Unavailable ->
       (* Cohort closed (takeover in progress): back off and retry. *)
-      retry t request_id p ~after:(Sim.Sim_time.ms 25)
+      retry t request_id p ~after:(backoff t (p.attempts + 1))
     | _ ->
       Hashtbl.remove t.pending request_id;
       p.deliver reply)
@@ -111,6 +127,7 @@ let create ~engine ~net ~partition ~config ~id ~lookup_leader =
       net;
       partition;
       config;
+      rng = Sim.Rng.split (Sim.Engine.rng engine);
       lookup_leader;
       pending = Hashtbl.create 64;
       leader_cache = Hashtbl.create 16;

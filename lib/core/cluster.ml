@@ -40,6 +40,7 @@ let create engine config =
   in
   bootstrap_zk zk_server partition;
   let trace = Sim.Trace.create engine in
+  Sim.Network.attach_trace net trace;
   let nodes =
     Array.init config.Config.nodes (fun id ->
         Node.create ~engine ~net ~zk_server ~partition ~config ~trace ~id)
@@ -96,6 +97,7 @@ let new_client t =
 
 let crash_node t i = Node.crash t.nodes.(i)
 let restart_node t i = Node.restart t.nodes.(i)
+let set_zk_reachable t i r = Node.set_zk_reachable t.nodes.(i) r
 let failure_targets t = Array.to_list (Array.map Node.failure_target t.nodes)
 
 let registered_nodes t =

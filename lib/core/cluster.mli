@@ -42,6 +42,10 @@ val crash_node : t -> int -> unit
 
 val restart_node : t -> int -> unit
 
+val set_zk_reachable : t -> int -> bool -> unit
+(** Cut (false) or heal (true) one node's link to the coordination service,
+    leaving the data network untouched (see {!Node.set_zk_reachable}). *)
+
 val failure_targets : t -> Sim.Failure.target list
 
 val registered_nodes : t -> int list

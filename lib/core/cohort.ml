@@ -29,6 +29,11 @@ type ctx = {
 
 type waiting_write = { client : int; request_id : int; op : Message.client_op }
 
+(* Outcome of a client write, remembered per (client, request id) so a
+   duplicated or retried request is answered idempotently instead of being
+   applied a second time (clients retry under loss and leader changes). *)
+type dedup_state = In_flight | Done of Message.client_reply
+
 type t = {
   ctx : ctx;
   mutable role : role;
@@ -44,8 +49,14 @@ type t = {
   mutable takeover_pending : bool;
   mutable waiting : waiting_write list;  (** writes queued while closed/blocked, newest first *)
   mutable commit_timer_armed : bool;
+  dedup : (int * int, dedup_state) Hashtbl.t;
+      (** (client, request id) -> write outcome, for duplicate suppression *)
   (* follower state *)
   mutable catching_up : bool;
+  mutable last_leader_msg : Sim.Sim_time.t;
+      (** last accepted leader traffic; silence beyond a few commit periods
+          means our propose stream may have a hole we cannot see *)
+  mutable resync_armed : bool;
   (* election state *)
   mutable election_running : bool;
   mutable own_candidate : string option;
@@ -72,7 +83,10 @@ let create ctx =
     takeover_pending = false;
     waiting = [];
     commit_timer_armed = false;
+    dedup = Hashtbl.create 64;
     catching_up = false;
+    last_leader_msg = Sim.Sim_time.zero;
+    resync_armed = false;
     election_running = false;
     own_candidate = None;
     leader_watch_armed = false;
@@ -110,6 +124,46 @@ let now_us t = Sim.Sim_time.time_to_us (Sim.Engine.now t.ctx.engine)
    recursion (it triggers elections). Tied after that definition below. *)
 let arm_leader_watch : (t -> unit) ref = ref (fun _ -> ())
 
+(* Likewise for the follower re-sync machinery (it calls into the catch-up
+   request path, which lives in the same recursion). *)
+let arm_resync : (t -> unit) ref = ref (fun _ -> ())
+let trigger_resync : (t -> unit) ref = ref (fun _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Duplicate suppression: retried writes must be acked idempotently.    *)
+
+(* Request ids are per-client monotonic and retries only ever target recent
+   ids, so a sliding window per client bounds the cache. *)
+let dedup_window = 128
+
+let cache_outcome t origin reply =
+  match origin with
+  | None -> ()
+  | Some (client, request_id) ->
+    Hashtbl.replace t.dedup (client, request_id) (Done reply);
+    Hashtbl.remove t.dedup (client, request_id - dedup_window)
+
+let reply_write t ~client ~request_id reply =
+  cache_outcome t (Some (client, request_id)) reply;
+  t.ctx.reply ~client ~request_id reply
+
+let clear_in_flight t ~client ~request_id =
+  match Hashtbl.find_opt t.dedup (client, request_id) with
+  | Some In_flight -> Hashtbl.remove t.dedup (client, request_id)
+  | _ -> ()
+
+(* Re-learn committed outcomes from our own durable log: the max-lst election
+   rule (Figure 7) guarantees a new leader's log contains every committed
+   write, so this rebuild makes the leader-side duplicate cache complete even
+   across crashes and leader changes. Logically truncated LSNs never
+   committed and must not be remembered as done. *)
+let recache_outcomes_from_log t ~above ~upto =
+  List.iter
+    (fun (lsn, _, _, origin) ->
+      if not (Storage.Skipped_lsns.mem (Store.skipped t.ctx.store) lsn) then
+        cache_outcome t origin Message.Written)
+    (Wal.durable_writes_in t.ctx.wal ~cohort:t.ctx.range ~above ~upto)
+
 (* ------------------------------------------------------------------ *)
 (* Version assignment: the leader serialises writes, so a coordinate's
    current version is its committed version overlaid with still-pending
@@ -137,20 +191,45 @@ let rec try_commit t =
     (fun (e : Commit_queue.entry) ->
       Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
       t.cmt <- Lsn.max t.cmt e.lsn;
-      match e.reply with Some k -> k () | None -> ())
+      match e.reply with
+      | Some k -> k ()
+      | None ->
+        (* Entries rebuilt from the log during takeover carry no reply
+           closure but may carry an origin: answer the (possibly still
+           retrying) client and remember the outcome. *)
+        (match e.origin with
+        | Some (client, request_id) -> reply_write t ~client ~request_id Message.Written
+        | None -> ()))
     committable
 
 and send_commit_msgs t =
-  if Lsn.(t.cmt > Lsn.zero) then begin
-    List.iter
-      (fun f ->
-        t.ctx.send ~dst:f
-          (Message.Commit { range = t.ctx.range; epoch = t.epoch; upto = t.cmt }))
-      t.active_followers;
+  (* Sent even when nothing has committed yet: commit messages double as
+     leader heartbeats, which followers use to notice they are stranded
+     behind a lossy or partitioned link. *)
+  List.iter
+    (fun f ->
+      t.ctx.send ~dst:f
+        (Message.Commit { range = t.ctx.range; epoch = t.epoch; upto = t.cmt }))
+    t.active_followers;
+  (* Re-propose still-uncommitted entries: under loss a propose (or its ack)
+     may have vanished, and re-proposal is deduplicated by LSN at the
+     follower. The queue is empty or tiny at each tick in steady state. *)
+  let pending = Commit_queue.to_list t.queue in
+  if pending <> [] then begin
+    let writes =
+      List.map
+        (fun (e : Commit_queue.entry) -> (e.Commit_queue.lsn, e.op, e.timestamp, e.origin))
+        pending
+    in
+    let msg =
+      Message.Propose { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt = None }
+    in
+    List.iter (fun f -> t.ctx.send ~dst:f msg) t.active_followers
+  end;
+  if Lsn.(t.cmt > Lsn.zero) then
     (* The leader saves its last committed LSN with a non-forced log write,
        for its own recovery (§5). *)
     Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt)
-  end
 
 and arm_commit_timer t =
   if not t.commit_timer_armed then begin
@@ -177,7 +256,9 @@ and drain_waiting t =
   if t.role = Leader && t.open_for_writes && t.pending_final = [] then begin
     let waiting = List.rev t.waiting in
     t.waiting <- [];
-    List.iter (fun w -> handle_write t ~client:w.client ~request_id:w.request_id w.op) waiting
+    (* Straight to [enqueue_write]: these already passed the duplicate gate
+       when they first arrived and hold an [In_flight] marker. *)
+    List.iter (fun w -> enqueue_write t ~client:w.client ~request_id:w.request_id w.op) waiting
   end
 
 (* ------------------------------------------------------------------ *)
@@ -188,7 +269,24 @@ and drain_waiting t =
 and handle_write t ~client ~request_id op =
   if t.role <> Leader then
     t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
-  else if (not t.open_for_writes) || t.pending_final <> [] then
+  else begin
+    match Hashtbl.find_opt t.dedup (client, request_id) with
+    | Some (Done reply) ->
+      (* A retry of a write that already settled (its reply was lost, or the
+         retry raced the reply): resend the original outcome verbatim rather
+         than applying the write twice. *)
+      t.ctx.reply ~client ~request_id reply
+    | Some In_flight ->
+      (* The original is still working through the pipeline; its own reply —
+         or the client's next retry once this one settles — answers. *)
+      ()
+    | None ->
+      Hashtbl.replace t.dedup (client, request_id) In_flight;
+      enqueue_write t ~client ~request_id op
+  end
+
+and enqueue_write t ~client ~request_id op =
+  if (not t.open_for_writes) || t.pending_final <> [] then
     (* Writes block during takeover and during the momentary window at the
        end of a follower catch-up (§6.1); they drain when the cohort
        (re)opens. *)
@@ -201,7 +299,10 @@ and handle_write t ~client ~request_id op =
              perform_write t ~client ~request_id op
            else if t.role = Leader then
              t.waiting <- { client; request_id; op } :: t.waiting
-           else t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })))
+           else begin
+             clear_in_flight t ~client ~request_id;
+             t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
+           end))
   end
 
 and perform_write t ~client ~request_id op =
@@ -243,7 +344,7 @@ and perform_write t ~client ~request_id op =
       (* Multi-operation transaction (§8.2): bound to one log record, so the
          batch is replicated, committed, and recovered all-or-nothing. *)
       if not (List.for_all (fun (key, _, _) -> t.ctx.routes_here key) rows) then begin
-        t.ctx.reply ~client ~request_id Message.Cross_range;
+        reply_write t ~client ~request_id Message.Cross_range;
         Ok []
       end
       else
@@ -259,29 +360,37 @@ and perform_write t ~client ~request_id op =
       invalid_arg "perform_write: read operation"
   in
   match ops_or_error with
-  | Error current -> t.ctx.reply ~client ~request_id (Message.Version_mismatch { current })
+  | Error current -> reply_write t ~client ~request_id (Message.Version_mismatch { current })
   | Ok [] -> ()
   | Ok ops ->
-    let writes =
+    let lsns =
       List.map
         (fun op ->
           let lsn = Lsn.make ~epoch:t.epoch ~seq:(t.lst.Lsn.seq + 1) in
           t.lst <- lsn;
-          (lsn, op, ts))
+          (lsn, op))
         ops
     in
-    let last_lsn, _, _ = List.nth writes (List.length writes - 1) in
+    let last_lsn = fst (List.nth lsns (List.length lsns - 1)) in
     (* Only the last record of a multi-column transaction carries the client
-       reply; the whole batch commits together. *)
+       reply and the originating (client, request id); the whole batch
+       commits together, so the last record settling settles the request. *)
+    let writes =
+      List.map
+        (fun (lsn, op) ->
+          let origin = if Lsn.equal lsn last_lsn then Some (client, request_id) else None in
+          (lsn, op, ts, origin))
+        lsns
+    in
     List.iter
-      (fun (lsn, op, timestamp) ->
+      (fun (lsn, op, timestamp, origin) ->
         let reply =
           if Lsn.equal lsn last_lsn then
-            Some (fun () -> t.ctx.reply ~client ~request_id Message.Written)
+            Some (fun () -> reply_write t ~client ~request_id Message.Written)
           else None
         in
-        Commit_queue.add t.queue ~lsn ~op ~timestamp ?reply ();
-        Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp op))
+        Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ?reply ();
+        Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp ?origin op))
       writes;
     (* Log force and propose happen in parallel (Figure 4). *)
     Wal.force t.ctx.wal
@@ -384,62 +493,106 @@ and handle_client t ~client ~request_id op =
 (* ------------------------------------------------------------------ *)
 (* Follower side of Figure 4.                                           *)
 
+(* Leader traffic accepted: note the contact (for stranding detection) and,
+   if we were mid-election, abandon it — a live leader exists. *)
+let accept_leader t ~src ~epoch =
+  if epoch > t.epoch then t.epoch <- epoch;
+  if t.role = Candidate then begin
+    t.role <- Follower;
+    t.election_running <- false
+  end;
+  t.leader <- Some src;
+  t.last_leader_msg <- Sim.Engine.now t.ctx.engine;
+  !arm_leader_watch t;
+  !arm_resync t
+
+(* Apply the committed prefix. The network can lose proposes, so only the
+   seq-contiguous prefix of the queue may be applied; a hole means a propose
+   vanished in flight and everything beyond it must wait for a re-proposal
+   or an explicit catch-up. Our own durable log records inside the newly
+   committed window that did not commit (discarded by a leader change and
+   never re-proposed) are logically truncated so local recovery skips them
+   (§6.1.1). *)
+let apply_commits t ~upto =
+  if Lsn.(upto > t.cmt) then begin
+    let old_cmt = t.cmt in
+    let entries = Commit_queue.pop_contiguous t.queue ~from:t.cmt ~upto in
+    List.iter
+      (fun (e : Commit_queue.entry) ->
+        Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
+        t.cmt <- Lsn.max t.cmt e.lsn;
+        cache_outcome t e.origin Message.Written)
+      entries;
+    (* The commit point can pass appended-but-not-yet-locally-forced entries
+       (they are globally committed); lst must never trail cmt. *)
+    t.lst <- Lsn.max t.lst t.cmt;
+    if entries <> [] then begin
+      let applied = List.map (fun (e : Commit_queue.entry) -> e.Commit_queue.lsn) entries in
+      let own = Store.durable_write_lsns_in t.ctx.store ~above:old_cmt ~upto:t.cmt in
+      let stale = List.filter (fun l -> not (List.exists (Lsn.equal l) applied)) own in
+      if stale <> [] then begin
+        Skipped_lsns.add (Store.skipped t.ctx.store) stale;
+        trace t "logical_truncation" (String.concat "," (List.map Lsn.to_string stale))
+      end;
+      Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt)
+    end;
+    if Lsn.(t.cmt < upto) then begin
+      trace t "commit_gap"
+        (Printf.sprintf "cmt=%s committed=%s" (Lsn.to_string t.cmt) (Lsn.to_string upto));
+      !trigger_resync t
+    end
+  end
+
 let handle_propose t ~src ~epoch ~writes ~piggyback_cmt =
   if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
-    if epoch > t.epoch then t.epoch <- epoch;
-    if t.role = Candidate then begin
-      (* A live leader exists; abandon the election. *)
-      t.role <- Follower;
-      t.election_running <- false
-    end;
-    t.leader <- Some src;
-    !arm_leader_watch t;
-    (* Writes at or below the commit point are known-committed duplicates
-       and can be acked outright; anything above it goes through the normal
-       protocol — append, force, ack (Figure 4) — even if the record is
-       already present (a takeover re-proposal, Figure 6 line 9). The
-       re-force is what makes recovery time proportional to the commit
-       period (Table 1); recovery replay deduplicates by LSN. *)
-    let fresh = List.filter (fun (lsn, _, _) -> Lsn.(lsn > t.cmt)) writes in
-    let ack () =
-      match List.rev writes with
-      | (upto, _, _) :: _ ->
-        t.ctx.send ~dst:src (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
-      | [] -> ()
-    in
+    accept_leader t ~src ~epoch;
+    (* Writes at or below the commit point are known-committed duplicates;
+       anything above it goes through the normal protocol — append, force,
+       ack (Figure 4). Retransmissions (takeover re-proposals, Figure 6 line
+       9, and the leader's periodic re-proposes under loss) are deduplicated
+       by LSN so the log is not polluted with copies. *)
+    let appended = ref [] in
     List.iter
-      (fun (lsn, op, timestamp) ->
-        t.lst <- Lsn.max t.lst lsn;
-        if not (Commit_queue.mem t.queue lsn) then Commit_queue.add t.queue ~lsn ~op ~timestamp ();
-        Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp op))
-      fresh;
-    if fresh <> [] then Wal.force t.ctx.wal (guard t ack) else ack ();
+      (fun (lsn, op, timestamp, origin) ->
+        if Lsn.(lsn > t.cmt) then begin
+          if not (Commit_queue.mem t.queue lsn) then begin
+            Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ();
+            Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp ?origin op);
+            appended := lsn :: !appended
+          end
+        end)
+      writes;
+    let ack () =
+      (* Mark exactly what this propose appended as forced (a concurrent
+         retransmission may have back-filled an older LSN whose force is
+         still in flight), then ack only the seq-contiguous forced prefix:
+         with loss, later writes can sit beyond a hole, and acking past the
+         hole would let the leader count durability we do not have. *)
+      List.iter (fun lsn -> Commit_queue.mark_forced t.queue lsn) !appended;
+      let upto =
+        match Commit_queue.contiguous_forced_upto t.queue ~from:t.cmt with
+        | Some lsn -> lsn
+        | None -> t.cmt
+      in
+      (* lst advances only along this same contiguous forced prefix: it is
+         what we advertise in elections (Figure 7) and takeover replies, so
+         it must never claim sequence numbers beyond a hole — a candidate
+         missing a committed write could otherwise out-bid the replica that
+         actually has it, and the write would be logically truncated away. *)
+      t.lst <- Lsn.max t.lst upto;
+      if Lsn.(upto > Lsn.zero) then
+        t.ctx.send ~dst:src (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
+    in
+    if !appended <> [] then Wal.force t.ctx.wal (guard t ack) else ack ();
     match piggyback_cmt with
-    | Some upto when Lsn.(upto > t.cmt) ->
-      let entries = Commit_queue.pop_upto t.queue upto in
-      List.iter
-        (fun (e : Commit_queue.entry) ->
-          Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op)
-        entries;
-      t.cmt <- Lsn.max t.cmt upto
-    | _ -> ()
+    | Some upto -> apply_commits t ~upto
+    | None -> ()
   end
 
 let handle_commit t ~src ~epoch ~upto =
   if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
-    if epoch > t.epoch then t.epoch <- epoch;
-    t.leader <- Some src;
-    if Lsn.(upto > t.cmt) then begin
-      (* The network is reliable and in-order, so every propose at or below
-         [upto] has been received: applying the queue prefix is safe. *)
-      let entries = Commit_queue.pop_upto t.queue upto in
-      List.iter
-        (fun (e : Commit_queue.entry) ->
-          Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op)
-        entries;
-      t.cmt <- upto;
-      Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range upto)
-    end
+    accept_leader t ~src ~epoch;
+    apply_commits t ~upto
   end
 
 (* ------------------------------------------------------------------ *)
@@ -491,7 +644,7 @@ let leader_catchup_done t ~follower ~upto =
       if pending <> [] then begin
         let writes =
           List.map
-            (fun (e : Commit_queue.entry) -> (e.Commit_queue.lsn, e.op, e.timestamp))
+            (fun (e : Commit_queue.entry) -> (e.Commit_queue.lsn, e.op, e.timestamp, e.origin))
             pending
         in
         t.ctx.send ~dst:follower
@@ -513,13 +666,7 @@ let leader_catchup_done t ~follower ~upto =
 
 let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
   if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
-    if epoch > t.epoch then t.epoch <- epoch;
-    if t.role = Candidate then begin
-      t.role <- Follower;
-      t.election_running <- false
-    end;
-    t.leader <- Some src;
-    !arm_leader_watch t;
+    accept_leader t ~src ~epoch;
     let old_cmt = t.cmt in
     (* Logical truncation (§6.1.1): LSNs in our log after f.cmt that the
        leader does not vouch for were discarded by a leader change and must
@@ -531,7 +678,13 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
           cell.lsn :: acc)
         [] cells
     in
-    let own = Store.durable_write_lsns_in t.ctx.store ~above:old_cmt ~upto:t.lst in
+    (* Scan our raw durable extent, not lst: with loss the log can hold
+       records beyond the contiguous prefix lst tracks, and any of them
+       inside the vouched window that the leader does not vouch for must be
+       truncated too. *)
+    let own =
+      Store.durable_write_lsns_in t.ctx.store ~above:old_cmt ~upto:(Lsn.max t.lst upto)
+    in
     let stale =
       List.filter
         (fun lsn -> Lsn.(lsn <= upto) && not (List.exists (Lsn.equal lsn) vouched))
@@ -543,8 +696,19 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
         (String.concat "," (List.map Lsn.to_string stale))
     end;
     (* Entries at or below the catch-up point are superseded by the cells;
-       anything above it that is still valid will be re-proposed. *)
+       anything above it that is still valid will be re-proposed (the leader
+       re-proposes its pending queue right after this round and on every
+       commit tick), so the queue is cleared outright — stale entries from a
+       deposed leader must not linger and apply later. In-flight duplicate
+       markers for dropped entries are released so a client retry is not
+       silently swallowed if this node is later elected. *)
     ignore (Commit_queue.pop_upto t.queue upto);
+    List.iter
+      (fun (e : Commit_queue.entry) ->
+        match e.Commit_queue.origin with
+        | Some (client, request_id) -> clear_in_flight t ~client ~request_id
+        | None -> ())
+      (Commit_queue.drop_above t.queue upto);
     List.iter
       (fun ((coord, (cell : Row.cell)) : Row.coord * Row.cell) ->
         let op = op_of_cell coord cell in
@@ -553,11 +717,20 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
         if not already then
           Wal.append t.ctx.wal
             (Log_record.write ~cohort:t.ctx.range ~lsn:cell.lsn ~timestamp op);
-        Store.apply t.ctx.store ~lsn:cell.lsn ~timestamp op;
-        t.lst <- Lsn.max t.lst cell.lsn)
+        Store.apply t.ctx.store ~lsn:cell.lsn ~timestamp op)
       cells;
     t.cmt <- Lsn.max t.cmt upto;
+    (* Everything above the catch-up point was dropped from the queue, so our
+       vouched contiguous prefix ends exactly at cmt; that is the honest lst
+       until the leader's re-proposals rebuild the chain. Keeping a larger
+       stale value would let this replica out-bid others in an election with
+       sequence numbers it no longer vouches for. *)
+    t.lst <- t.cmt;
     Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt);
+    (* Writes we had forced but never applied are now committed (or
+       truncated); re-learn their outcomes from our own log so duplicate
+       retries stay suppressed if this node is later elected leader. *)
+    recache_outcomes_from_log t ~above:old_cmt ~upto:t.cmt;
     let finish =
       guard t (fun () ->
           t.catching_up <- false;
@@ -582,11 +755,42 @@ let start_takeover t =
      from the durable log (they may not be in memory if we just restarted).
      They are already forced locally; they commit once a follower acks. *)
   List.iter
-    (fun (lsn, op, timestamp) ->
+    (fun (lsn, op, timestamp, origin) ->
       if not (Commit_queue.mem t.queue lsn) then
-        Commit_queue.add t.queue ~lsn ~op ~timestamp ())
+        Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ())
     (Wal.durable_writes_in t.ctx.wal ~cohort:t.ctx.range ~above:t.cmt ~upto:t.lst);
   Commit_queue.mark_forced_upto t.queue t.lst;
+  (* Nothing above the contiguous prefix lst was ever committed — a
+     committed record up there would have out-bid us in the max-lst
+     election — so records beyond it (appends stranded past a loss-induced
+     hole, or a deposed epoch's tail) are dead: purge them from the queue
+     and logically truncate the log records so neither re-proposal nor local
+     recovery can resurrect them under the new epoch. *)
+  List.iter
+    (fun (e : Commit_queue.entry) ->
+      match e.Commit_queue.origin with
+      | Some (client, request_id) -> clear_in_flight t ~client ~request_id
+      | None -> ())
+    (Commit_queue.drop_above t.queue t.lst);
+  let orphans =
+    List.filter
+      (fun l -> not (Skipped_lsns.mem (Store.skipped t.ctx.store) l))
+      (Store.durable_write_lsns_in t.ctx.store ~above:t.lst
+         ~upto:(Wal.last_write_lsn t.ctx.wal ~cohort:t.ctx.range))
+  in
+  if orphans <> [] then begin
+    Skipped_lsns.add (Store.skipped t.ctx.store) orphans;
+    trace t "logical_truncation" (String.concat "," (List.map Lsn.to_string orphans))
+  end;
+  (* Pending entries' originating requests are in flight again: a client
+     retry arriving mid-takeover must wait for the re-proposed original to
+     commit, not enqueue a second copy behind it. *)
+  List.iter
+    (fun (e : Commit_queue.entry) ->
+      match e.Commit_queue.origin with
+      | Some key -> if not (Hashtbl.mem t.dedup key) then Hashtbl.replace t.dedup key In_flight
+      | None -> ())
+    (Commit_queue.to_list t.queue);
   (* Ask each follower for its last committed LSN (Figure 6 lines 3-4). *)
   List.iter
     (fun f -> t.ctx.send ~dst:f (Message.Takeover_query { range = t.ctx.range; epoch = t.epoch }))
@@ -615,13 +819,17 @@ let handle_takeover_query t ~src ~epoch =
       let waiting = t.waiting in
       t.waiting <- [];
       List.iter
-        (fun w -> t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
+        (fun w ->
+          clear_in_flight t ~client:w.client ~request_id:w.request_id;
+          t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
         waiting
     end;
     t.role <- Follower;
     t.election_running <- false;
     t.leader <- Some src;
+    t.last_leader_msg <- Sim.Engine.now t.ctx.engine;
     !arm_leader_watch t;
+    !arm_resync t;
     t.catching_up <- true;
     t.ctx.send ~dst:src
       (Message.Takeover_info
@@ -648,8 +856,10 @@ let rec become_follower t ~leader ~catchup =
   t.role <- Follower;
   t.leader <- Some leader;
   t.election_running <- false;
+  t.last_leader_msg <- Sim.Engine.now t.ctx.engine;
   trace t "follower" (Printf.sprintf "leader=n%d" leader);
   watch_leader_liveness t;
+  arm_resync_timer t;
   if catchup then begin
     t.catching_up <- true;
     request_catchup t
@@ -664,6 +874,41 @@ and request_catchup t =
       (Message.Catchup_request { range = t.ctx.range; from = t.ctx.node_id; cmt = t.cmt });
     after t (Sim.Sim_time.ms 1000) (fun () -> if t.catching_up then request_catchup t)
   | _ -> ()
+
+(* A follower whose propose stream has a hole (a lost message) cannot make
+   commit progress on its own; an explicit catch-up from the leader closes
+   the gap. *)
+and start_resync t =
+  if t.role = Follower && not t.catching_up then begin
+    t.catching_up <- true;
+    request_catchup t
+  end
+
+(* Strand detection: the leader heartbeats every commit period (commit
+   messages are sent even when idle), so a follower that has heard nothing
+   for several periods is cut off — by loss, a one-way partition, or a
+   silent leader change — and proactively re-syncs rather than serving ever
+   staler timeline reads and holding a stale commit queue. *)
+and arm_resync_timer t =
+  if not t.resync_armed then begin
+    t.resync_armed <- true;
+    let period = t.ctx.config.Config.commit_period in
+    let rec check () =
+      if t.role = Follower || t.role = Candidate then begin
+        (if t.role = Follower && (not t.catching_up) && t.leader <> None then begin
+           let silent = Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) t.last_leader_msg in
+           if Sim.Sim_time.span_compare silent (Sim.Sim_time.span_scale period 3.0) > 0 then begin
+             trace t "resync"
+               (Printf.sprintf "leader silent for %.0fms" (Sim.Sim_time.to_ms_f silent));
+             start_resync t
+           end
+         end);
+        after t period check
+      end
+      else t.resync_armed <- false
+    in
+    after t period check
+  end
 
 and watch_leader_liveness t =
   if not t.leader_watch_armed then begin
@@ -721,8 +966,21 @@ and read_leader_then_follow t =
       | Ok data -> (
         match int_of_string_opt data with
         | Some leader when leader = t.ctx.node_id ->
-          (* We already held leadership (e.g. spurious election). *)
-          t.election_running <- false
+          if t.role = Leader then
+            (* We already held leadership (e.g. spurious election). *)
+            t.election_running <- false
+          else begin
+            (* The /leader znode carries our id but we do not hold the role:
+               it is a stale ephemeral from our own previous session (we
+               crashed and came back within the session timeout). Nobody
+               else can win while it exists, and we must not claim
+               leadership off a dying session — wait for the old session to
+               expire (deleting the znode) and re-run the election. *)
+            t.election_running <- false;
+            trace t "stale_leader_znode" "own id from a previous session";
+            Coord.Zk_client.watch_node zk ~path:(zk_leader t)
+              (guard t (fun () -> if t.role <> Leader then start_election t))
+          end
         | Some leader -> become_follower t ~leader ~catchup:true
         | None -> t.election_running <- false)
       | Error _ ->
@@ -836,6 +1094,8 @@ and start_election t =
   end
 
 let () = arm_leader_watch := watch_leader_liveness
+let () = arm_resync := arm_resync_timer
+let () = trigger_resync := start_resync
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle.                                                           *)
@@ -853,7 +1113,10 @@ let crash t =
   t.takeover_pending <- false;
   t.waiting <- [];
   t.commit_timer_armed <- false;
+  Hashtbl.reset t.dedup;
   t.catching_up <- false;
+  t.last_leader_msg <- Sim.Sim_time.zero;
+  t.resync_armed <- false;
   t.election_running <- false;
   t.own_candidate <- None;
   t.leader_watch_armed <- false;
@@ -861,16 +1124,10 @@ let crash t =
 
 let wipe_storage t = Store.wipe t.ctx.store
 
-let rejoin t =
-  (* Local recovery first (§6.1): rebuild the memtable from the checkpoint
-     through f.cmt; writes after f.cmt await the catch-up phase. *)
-  let cmt, lst = Store.recover t.ctx.store in
-  t.cmt <- cmt;
-  t.lst <- lst;
-  t.epoch <- lst.Lsn.epoch;
-  t.role <- Candidate;
-  trace t "local_recovery"
-    (Printf.sprintf "cmt=%s lst=%s" (Lsn.to_string cmt) (Lsn.to_string lst));
+(* Read the current leader from Zookeeper and fall in line: follow it, or run
+   an election if there is none (or the registered leader is ourselves — we
+   no longer hold that role after a crash or session loss). *)
+let join_cohort t =
   let zk = t.ctx.zk () in
   Coord.Zk_client.get_data zk ~path:(zk_leader t)
     (guard t (function
@@ -880,6 +1137,80 @@ let rejoin t =
           become_follower t ~leader ~catchup:true
         | _ -> start_election t)
       | Error _ -> start_election t))
+
+(* The honest last-LSN claim after recovery: the largest LSN reachable from
+   cmt by walking consecutive sequence numbers through the durable log
+   (taking the newest epoch where a seq was written twice). The raw log tail
+   can sit beyond a loss-induced hole, and advertising it in an election
+   (Figure 7) could out-bid the replica actually holding a committed write. *)
+let recovered_contiguous_lst t ~cmt ~raw =
+  let module Seq_map = Map.Make (Int) in
+  let by_seq =
+    List.fold_left
+      (fun m (lsn, _, _, _) -> Seq_map.add lsn.Lsn.seq lsn m)
+      Seq_map.empty
+      (Wal.durable_writes_in t.ctx.wal ~cohort:t.ctx.range ~above:cmt ~upto:raw)
+  in
+  let rec walk seq best =
+    match Seq_map.find_opt (seq + 1) by_seq with
+    | Some lsn -> walk (seq + 1) lsn
+    | None -> best
+  in
+  walk cmt.Lsn.seq cmt
+
+let rejoin t =
+  (* Local recovery first (§6.1): rebuild the memtable from the checkpoint
+     through f.cmt; writes after f.cmt await the catch-up phase. *)
+  let cmt, lst = Store.recover t.ctx.store in
+  t.cmt <- cmt;
+  t.lst <- recovered_contiguous_lst t ~cmt ~raw:lst;
+  t.epoch <- lst.Lsn.epoch;
+  t.role <- Candidate;
+  (* Re-learn committed write outcomes from the durable log so duplicate
+     suppression survives the crash: a client retrying a write this replica
+     committed before going down must get an idempotent ack, not a second
+     application. *)
+  recache_outcomes_from_log t ~above:Lsn.zero ~upto:cmt;
+  trace t "local_recovery"
+    (Printf.sprintf "cmt=%s lst=%s" (Lsn.to_string cmt) (Lsn.to_string lst));
+  join_cohort t
+
+(* The coordination-service session expired (§7): a leader must stop serving
+   immediately — its znode is gone, so a new leader may be elected at any
+   moment — and any replica loses its watches with the session. The node
+   layer re-establishes a session and calls [zk_session_renewed], which
+   re-reads the leader and falls back in line. *)
+let zk_session_expired t =
+  if t.role <> Offline then begin
+    trace t "zk_session_expired"
+      (Printf.sprintf "role=%s"
+         (match t.role with
+         | Leader -> "leader"
+         | Follower -> "follower"
+         | Candidate -> "candidate"
+         | Offline -> "offline"));
+    if t.role = Leader then begin
+      let waiting = t.waiting in
+      t.waiting <- [];
+      List.iter
+        (fun w ->
+          clear_in_flight t ~client:w.client ~request_id:w.request_id;
+          t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
+        waiting
+    end;
+    t.role <- Candidate;
+    t.leader <- None;
+    t.open_for_writes <- false;
+    t.takeover_pending <- false;
+    t.pending_final <- [];
+    t.active_followers <- [];
+    t.catching_up <- false;
+    t.election_running <- false;
+    t.own_candidate <- None;
+    t.leader_watch_armed <- false
+  end
+
+let zk_session_renewed t = if t.role <> Offline then join_cohort t
 
 (* Fresh boot is the restart path: local recovery (a no-op on an empty log)
    followed by election or follower catch-up (§7: "leader election is

@@ -74,6 +74,18 @@ val rejoin : t -> unit
 (** After node restart: local recovery, then either catch up with the
     current leader or trigger an election. *)
 
+val zk_session_expired : t -> unit
+(** The node's coordination-service session expired (§7): a leader steps
+    down immediately (its ephemeral leader znode is gone, so a new leader
+    may be elected on the other side of the partition at any moment);
+    followers and candidates drop their now-dead watches and wait for the
+    node layer to re-establish a session. *)
+
+val zk_session_renewed : t -> unit
+(** A fresh coordination-service session is up: re-read the leader znode
+    and fall back in line — follow the current leader, or run an election
+    if there is none. *)
+
 (** {2 Inspection} (tests and examples) *)
 
 val read_local : t -> Storage.Row.coord -> Storage.Row.cell option

@@ -2,6 +2,7 @@ type entry = {
   lsn : Storage.Lsn.t;
   op : Storage.Log_record.op;
   timestamp : int;
+  origin : (int * int) option;
   mutable forced : bool;
   mutable ackers : int list;
   reply : (unit -> unit) option;
@@ -17,8 +18,8 @@ type t = { mutable entries : entry Lsn_map.t }
 
 let create () = { entries = Lsn_map.empty }
 
-let add t ~lsn ~op ~timestamp ?reply () =
-  let entry = { lsn; op; timestamp; forced = false; ackers = []; reply } in
+let add t ~lsn ~op ~timestamp ?origin ?reply () =
+  let entry = { lsn; op; timestamp; origin; forced = false; ackers = []; reply } in
   t.entries <- Lsn_map.add lsn entry t.entries
 
 let mem t lsn = Lsn_map.mem lsn t.entries
@@ -29,6 +30,11 @@ let max_lsn t = Option.map fst (Lsn_map.max_binding_opt t.entries)
 
 let mark_forced_upto t upto =
   Lsn_map.iter (fun lsn e -> if Storage.Lsn.(lsn <= upto) then e.forced <- true) t.entries
+
+let mark_forced t lsn =
+  match Lsn_map.find_opt lsn t.entries with
+  | Some e -> e.forced <- true
+  | None -> ()
 
 let add_ack t ~from ~upto =
   Lsn_map.iter
@@ -56,6 +62,29 @@ let pop_upto t upto =
     | _ -> List.rev acc
   in
   go []
+
+(* Sequence numbers are globally contiguous per range (a new leader continues
+   seq from its last LSN), so the committed prefix always has consecutive
+   seqs. A hole in the seq chain means a propose was lost in flight: only the
+   contiguous prefix may be applied. *)
+let pop_contiguous t ~from ~upto =
+  let rec go prev_seq acc =
+    match Lsn_map.min_binding_opt t.entries with
+    | Some (lsn, e)
+      when Storage.Lsn.(lsn <= upto) && lsn.Storage.Lsn.seq = prev_seq + 1 ->
+      t.entries <- Lsn_map.remove lsn t.entries;
+      go lsn.Storage.Lsn.seq (e :: acc)
+    | _ -> List.rev acc
+  in
+  go from.Storage.Lsn.seq []
+
+let contiguous_forced_upto t ~from =
+  let rec go prev_seq best = function
+    | (lsn, e) :: rest when lsn.Storage.Lsn.seq = prev_seq + 1 && e.forced ->
+      go lsn.Storage.Lsn.seq (Some lsn) rest
+    | _ -> best
+  in
+  go from.Storage.Lsn.seq None (Lsn_map.bindings t.entries)
 
 let drop_above t lsn =
   let keep, dropped = Lsn_map.partition (fun l _ -> Storage.Lsn.(l <= lsn)) t.entries in

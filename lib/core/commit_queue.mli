@@ -10,6 +10,8 @@ type entry = {
   lsn : Storage.Lsn.t;
   op : Storage.Log_record.op;
   timestamp : int;
+  origin : (int * int) option;
+      (** issuing (client, request id), for duplicate suppression *)
   mutable forced : bool;  (** local log record forced to disk *)
   mutable ackers : int list;  (** follower node ids that acked *)
   reply : (unit -> unit) option;
@@ -23,7 +25,7 @@ val create : unit -> t
 
 val add :
   t -> lsn:Storage.Lsn.t -> op:Storage.Log_record.op -> timestamp:int ->
-  ?reply:(unit -> unit) -> unit -> unit
+  ?origin:int * int -> ?reply:(unit -> unit) -> unit -> unit
 
 val mem : t -> Storage.Lsn.t -> bool
 
@@ -37,7 +39,13 @@ val max_lsn : t -> Storage.Lsn.t option
 
 val mark_forced_upto : t -> Storage.Lsn.t -> unit
 (** Log forces are sequential, so a force completion covers every entry with
-    an LSN at or below the forced point. *)
+    an LSN at or below the forced point. Leader-side only: on a follower a
+    retransmission can back-fill an older LSN whose own force is still in
+    flight, so followers must mark exactly what they appended
+    ({!mark_forced}). *)
+
+val mark_forced : t -> Storage.Lsn.t -> unit
+(** Mark a single entry's log record as forced. *)
 
 val add_ack : t -> from:int -> upto:Storage.Lsn.t -> unit
 
@@ -48,7 +56,19 @@ val pop_committable : t -> acks_needed:int -> entry list
 
 val pop_upto : t -> Storage.Lsn.t -> entry list
 (** Follower-side: remove and return all entries with LSN [<=] the commit
-    point, in LSN order. *)
+    point, in LSN order. Only safe when the network cannot lose proposes;
+    under loss use {!pop_contiguous}. *)
+
+val pop_contiguous : t -> from:Storage.Lsn.t -> upto:Storage.Lsn.t -> entry list
+(** Follower-side under a lossy network: remove and return, in LSN order, the
+    entries at or below [upto] whose sequence numbers continue [from]'s
+    without a hole. A hole means a propose was lost in flight — the caller
+    must re-sync before applying anything beyond it. *)
+
+val contiguous_forced_upto : t -> from:Storage.Lsn.t -> Storage.Lsn.t option
+(** Largest LSN such that every entry from just above [from] through it is
+    present, seq-contiguous, and forced — the honest upper bound a follower
+    may ack when proposes can arrive with holes. *)
 
 val drop_above : t -> Storage.Lsn.t -> entry list
 (** Remove entries above the given LSN (discarded on leader change); returns

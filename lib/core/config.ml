@@ -13,6 +13,9 @@ type t = {
   follower_write_service_us : float;
   value_bytes : int;
   client_timeout : Sim.Sim_time.span;
+  client_backoff_base : Sim.Sim_time.span;
+  client_backoff_max : Sim.Sim_time.span;
+  client_max_attempts : int;
   seed : int;
 }
 
@@ -32,6 +35,9 @@ let default =
     follower_write_service_us = 30.0;
     value_bytes = 4096;
     client_timeout = Sim.Sim_time.ms 400;
+    client_backoff_base = Sim.Sim_time.ms 2;
+    client_backoff_max = Sim.Sim_time.ms 400;
+    client_max_attempts = 60;
     seed = 42;
   }
 

@@ -21,6 +21,10 @@ type t = {
   follower_write_service_us : float;  (** follower CPU cost per propose *)
   value_bytes : int;  (** payload size; the paper uses 4 KB *)
   client_timeout : Sim.Sim_time.span;  (** client retry timeout *)
+  client_backoff_base : Sim.Sim_time.span;
+      (** first retry delay; doubles per attempt (jittered) *)
+  client_backoff_max : Sim.Sim_time.span;  (** retry delay cap *)
+  client_max_attempts : int;  (** attempts before reporting [Unavailable] *)
   seed : int;
 }
 

@@ -41,7 +41,10 @@ type t =
   | Propose of {
       range : int;
       epoch : int;
-      writes : (Storage.Lsn.t * Storage.Log_record.op * int) list;
+      writes : (Storage.Lsn.t * Storage.Log_record.op * int * (int * int) option) list;
+          (** (lsn, op, timestamp, origin); origin is the issuing
+              (client, request id) when known, carried so followers can
+              answer duplicate retries after a leader change *)
       piggyback_cmt : Storage.Lsn.t option;
     }
   | Ack of { range : int; from : int; upto : Storage.Lsn.t }
@@ -120,7 +123,7 @@ let size_of_cell ((key, col), (cell : Storage.Row.cell)) =
   + (match cell.value with Some v -> String.length v | None -> 0)
   + 24
 
-let size_of_write (_, op, _) =
+let size_of_write (_, op, _, _) =
   List.fold_left
     (fun acc op ->
       acc

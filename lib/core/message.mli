@@ -56,8 +56,11 @@ type t =
   | Propose of {
       range : int;
       epoch : int;  (** sender's leadership epoch; stale epochs are rejected *)
-      writes : (Storage.Lsn.t * Storage.Log_record.op * int) list;
-          (** (lsn, op, timestamp); >1 entry for multi-column transactions *)
+      writes : (Storage.Lsn.t * Storage.Log_record.op * int * (int * int) option) list;
+          (** (lsn, op, timestamp, origin); >1 entry for multi-column
+              transactions. The origin — the issuing (client, request id),
+              when known — travels with the write so every replica can
+              recognise a duplicate retry even after a leader change. *)
       piggyback_cmt : Storage.Lsn.t option;
     }
   | Ack of { range : int; from : int; upto : Storage.Lsn.t }

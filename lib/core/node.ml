@@ -11,6 +11,10 @@ type t = {
   wal : Storage.Wal.t;
   cohorts : (int * Cohort.t) list;
   mutable zk : Coord.Zk_client.t option;
+  mutable zk_reachable : bool;
+      (** this node's link to the coordination service (nemesis-controlled);
+          independent of the data network and of node liveness *)
+  mutable zk_reconnecting : bool;  (** a session-reconnect loop is running *)
   mutable alive : bool;
   mutable incarnation : int;
 }
@@ -28,14 +32,70 @@ let send t ~dst msg =
 let reply t ~client ~request_id reply =
   send t ~dst:client (Message.Reply { request_id; reply })
 
-let zk_exn t =
+let rec zk_exn t =
   match t.zk with
   | Some zk when Coord.Zk_client.alive zk -> zk
   | _ ->
-    (* A fresh session after restart. *)
+    (* A fresh session after restart or session expiry. It inherits the
+       node's current link state, and its expiry hands control back here so
+       the cohorts step down and a reconnect loop starts. *)
     let zk = Coord.Zk_client.connect t.zk_server ~owner:(Printf.sprintf "node-%d" t.id) () in
+    Coord.Zk_client.set_reachable zk t.zk_reachable;
+    let inc = t.incarnation in
+    Coord.Zk_client.set_on_session_expiry zk (fun () ->
+        if t.alive && t.incarnation = inc then handle_session_expiry t);
     t.zk <- Some zk;
     zk
+
+(* Group membership (§4.2): each node holds an ephemeral znode under /nodes
+   for the lifetime of its session, so cluster tooling can watch the live
+   set; the per-range failure handling itself is cohort-driven. *)
+and register_membership t =
+  let zk = zk_exn t in
+  Coord.Zk_client.create_node zk
+    ~path:(Printf.sprintf "/nodes/%d" t.id)
+    ~data:(Printf.sprintf "node-%d" t.id)
+    ~ephemeral:true
+    (fun _ -> ())
+
+and handle_session_expiry t =
+  Sim.Trace.emitf t.trace ~tag:"zk_session" "n%d session expired" t.id;
+  t.zk <- None;
+  List.iter (fun (_, c) -> Cohort.zk_session_expired c) t.cohorts;
+  if not t.zk_reconnecting then reconnect_zk t
+
+(* Poll until the coordination service is reachable again, then open a fresh
+   session and let every cohort fall back in line. At most one loop per node
+   incarnation; it dies with the incarnation. *)
+and reconnect_zk t =
+  t.zk_reconnecting <- true;
+  let inc = t.incarnation in
+  let retry_after =
+    Sim.Sim_time.us
+      (Stdlib.max 1 (Sim.Sim_time.to_us (Coord.Zk_server.session_timeout t.zk_server) / 4))
+  in
+  let rec attempt () =
+    if t.alive && t.incarnation = inc then begin
+      if t.zk_reachable then begin
+        t.zk_reconnecting <- false;
+        ignore (zk_exn t);
+        register_membership t;
+        Sim.Trace.emitf t.trace ~tag:"zk_session" "n%d session renewed" t.id;
+        List.iter (fun (_, c) -> Cohort.zk_session_renewed c) t.cohorts
+      end
+      else ignore (Sim.Engine.schedule t.engine ~after:retry_after attempt)
+    end
+    else t.zk_reconnecting <- false
+  in
+  ignore (Sim.Engine.schedule t.engine ~after:retry_after attempt)
+
+let set_zk_reachable t r =
+  if t.zk_reachable <> r then begin
+    t.zk_reachable <- r;
+    Sim.Trace.emitf t.trace ~tag:"zk_link" "n%d coordination link %s" t.id
+      (if r then "healed" else "cut");
+    match t.zk with Some zk -> Coord.Zk_client.set_reachable zk r | None -> ()
+  end
 
 let handle t (env : Message.t Sim.Network.envelope) =
   if t.alive then begin
@@ -111,22 +171,13 @@ let create ~engine ~net ~zk_server ~partition ~config ~trace ~id =
          wal;
          cohorts = List.map make_cohort (Partition.ranges_of_node partition ~node:id);
          zk = None;
+         zk_reachable = true;
+         zk_reconnecting = false;
          alive = false;
          incarnation = 0;
        })
   in
   Lazy.force t
-
-(* Group membership (§4.2): each node holds an ephemeral znode under /nodes
-   for the lifetime of its session, so cluster tooling can watch the live
-   set; the per-range failure handling itself is cohort-driven. *)
-let register_membership t =
-  let zk = zk_exn t in
-  Coord.Zk_client.create_node zk
-    ~path:(Printf.sprintf "/nodes/%d" t.id)
-    ~data:(Printf.sprintf "node-%d" t.id)
-    ~ephemeral:true
-    (fun _ -> ())
 
 let start t =
   t.alive <- true;
@@ -142,6 +193,7 @@ let crash t =
     Sim.Network.set_up t.net t.id false;
     (match t.zk with Some zk -> Coord.Zk_client.crash zk | None -> ());
     t.zk <- None;
+    t.zk_reconnecting <- false;
     Storage.Wal.crash t.wal;
     List.iter (fun (_, c) -> Cohort.crash c) t.cohorts;
     Sim.Trace.emitf t.trace ~tag:"node_crash" "n%d" t.id

@@ -38,6 +38,15 @@ val lose_disk : t -> unit
 (** Wipe stable storage (log, SSTables, skipped-LSN lists). A subsequent
     {!restart} models a replacement node recovering entirely from peers. *)
 
+val set_zk_reachable : t -> bool -> unit
+(** Cut (or heal) this node's link to the coordination service only — the
+    data network and the node itself keep running. While cut, the node's
+    session stops heartbeating: the client side conservatively declares it
+    dead after half the session timeout (a partitioned leader steps down,
+    §7), the server expires it after the full timeout (followers elect a
+    new leader), and the node keeps polling until the link heals, then
+    reconnects with a fresh session and falls back in line. *)
+
 val cohort : t -> range:int -> Cohort.t option
 
 val ranges : t -> int list

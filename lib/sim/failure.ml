@@ -5,12 +5,30 @@ type target = {
   lose_disk : unit -> unit;
 }
 
+type toggle = {
+  t_label : string;
+  engage : unit -> unit;
+  disengage : unit -> unit;
+}
+
 type t = { engine : Engine.t; rng : Rng.t; mutable log : (Sim_time.t * string) list }
 
 let create engine = { engine; rng = Rng.split (Engine.rng engine); log = [] }
 let injections t = List.rev t.log
 
+let pp_injections ppf t =
+  List.iter
+    (fun (at, what) ->
+      Format.fprintf ppf "%8.3fs  %s@." (float_of_int (Sim_time.time_to_us at) /. 1e6) what)
+    (injections t)
+
 let note t what = t.log <- (Engine.now t.engine, what) :: t.log
+
+(* Exponential samples are clamped to >= 1 µs: a zero-length interval would
+   schedule a repair at the same timestamp as the fault, and the event
+   queue's tie order would decide which one "wins". *)
+let exp_span t mean =
+  Sim_time.us (Stdlib.max 1 (int_of_float (Rng.exponential t.rng mean)))
 
 let crash_at t time target =
   ignore
@@ -40,10 +58,10 @@ let chaos t ~mean_time_to_failure ~mean_time_to_repair ~until targets =
   let mttr = float_of_int (Sim_time.to_us mean_time_to_repair) in
   let schedule_target target =
     let rec next_failure from =
-      let at = Sim_time.add from (Sim_time.us (int_of_float (Rng.exponential t.rng mttf))) in
+      let at = Sim_time.add from (exp_span t mttf) in
       if Sim_time.(at < until) then begin
         crash_at t at target;
-        let back = Sim_time.add at (Sim_time.us (int_of_float (Rng.exponential t.rng mttr))) in
+        let back = Sim_time.add at (exp_span t mttr) in
         let back = Sim_time.min back until in
         restart_at t back target;
         next_failure back
@@ -52,3 +70,131 @@ let chaos t ~mean_time_to_failure ~mean_time_to_repair ~until targets =
     next_failure (Engine.now t.engine)
   in
   List.iter schedule_target targets
+
+(* ------------------------------------------------------------------ *)
+(* Nemesis toggles: named faults that can be engaged and disengaged —
+   partitions, link loss, coordination-service cuts. Every transition is
+   recorded in the injection log, so a failing chaos run replays from the
+   (seed, log) pair alone. *)
+
+let toggle ~label ~engage ~disengage = { t_label = label; engage; disengage }
+
+let engage_at t time tg =
+  ignore
+    (Engine.schedule_at t.engine time (fun () ->
+         note t (Printf.sprintf "engage %s" tg.t_label);
+         tg.engage ()))
+
+let disengage_at t time tg =
+  ignore
+    (Engine.schedule_at t.engine time (fun () ->
+         note t (Printf.sprintf "disengage %s" tg.t_label);
+         tg.disengage ()))
+
+let toggle_for t ~at ~down_for tg =
+  engage_at t at tg;
+  disengage_at t (Sim_time.add at down_for) tg
+
+let toggle_chaos t ~mean_time_to_fault ~mean_time_to_heal ~until toggles =
+  let mttf = float_of_int (Sim_time.to_us mean_time_to_fault) in
+  let mtth = float_of_int (Sim_time.to_us mean_time_to_heal) in
+  let schedule_toggle tg =
+    let rec next_fault from =
+      let at = Sim_time.add from (exp_span t mttf) in
+      if Sim_time.(at < until) then begin
+        engage_at t at tg;
+        let back = Sim_time.add at (exp_span t mtth) in
+        let back = Sim_time.min back until in
+        disengage_at t back tg;
+        next_fault back
+      end
+    in
+    next_fault (Engine.now t.engine)
+  in
+  List.iter schedule_toggle toggles
+
+(* ------------------------------------------------------------------ *)
+(* Ready-made network scenarios. *)
+
+let group_label g = "[" ^ String.concat "," (List.map string_of_int g) ^ "]"
+
+let partition_toggle ?label net group_a group_b =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "partition %s|%s" (group_label group_a) (group_label group_b)
+  in
+  toggle ~label
+    ~engage:(fun () -> Network.partition net group_a group_b)
+    ~disengage:(fun () -> Network.unpartition net group_a group_b)
+
+let isolate_toggle ?label net ~node ~peers =
+  let peers = List.filter (fun p -> p <> node) peers in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "isolate n%d from %s" node (group_label peers)
+  in
+  partition_toggle ~label net [ node ] peers
+
+let oneway_toggle ?label net ~src ~dst =
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "oneway-partition %d->%d" src dst
+  in
+  toggle ~label
+    ~engage:(fun () -> Network.partition_oneway net ~src ~dst)
+    ~disengage:(fun () -> Network.heal_oneway net ~src ~dst)
+
+let link_faults_toggle ?label net ?(loss = 0.0) ?(duplicate = 0.0) ?jitter nodes =
+  let label =
+    match label with
+    | Some l -> l
+    | None ->
+      Printf.sprintf "link-faults %s loss=%.3f dup=%.3f" (group_label nodes) loss duplicate
+  in
+  let each f =
+    List.iter (fun a -> List.iter (fun b -> if a <> b then f a b) nodes) nodes
+  in
+  toggle ~label
+    ~engage:(fun () ->
+      each (fun src dst -> Network.set_link_faults net ~src ~dst ~loss ~duplicate ?jitter ()))
+    ~disengage:(fun () -> each (fun src dst -> Network.clear_link_faults net ~src ~dst))
+
+let random_pair_partition_chaos t net ~nodes ~mean_time_to_fault ~mean_time_to_heal ~until =
+  match nodes with
+  | [] | [ _ ] -> ()
+  | _ ->
+    let arr = Array.of_list nodes in
+    let n = Array.length arr in
+    let mttf = float_of_int (Sim_time.to_us mean_time_to_fault) in
+    let mtth = float_of_int (Sim_time.to_us mean_time_to_heal) in
+    let rec next_fault from =
+      let at = Sim_time.add from (exp_span t mttf) in
+      if Sim_time.(at < until) then begin
+        (* Draw the pair and the flavour now so the schedule is a pure
+           function of the seed (replayable from the injection log). *)
+        let a = arr.(Rng.int t.rng n) in
+        let b =
+          let rec draw () =
+            let b = arr.(Rng.int t.rng n) in
+            if b = a then draw () else b
+          in
+          draw ()
+        in
+        let tg =
+          if Rng.bool t.rng then
+            toggle
+              ~label:(Printf.sprintf "pair-partition %d<->%d" a b)
+              ~engage:(fun () -> Network.partition_pair net a b)
+              ~disengage:(fun () -> Network.heal_pair net a b)
+          else oneway_toggle net ~src:a ~dst:b
+        in
+        engage_at t at tg;
+        let back = Sim_time.min (Sim_time.add at (exp_span t mtth)) until in
+        disengage_at t back tg;
+        next_fault back
+      end
+    in
+    next_fault (Engine.now t.engine)

@@ -1,9 +1,15 @@
-(** Fault injection.
+(** Fault injection — the nemesis.
 
-    Drives crash/restart closures exposed by simulated processes. A [Crash]
-    loses volatile state but keeps stable storage; [Lose_disk] additionally
-    wipes stable storage (the double-disk-failure scenario of §1.1); a chaos
-    schedule generates an exponential crash/repair process per target. *)
+    Drives crash/restart closures exposed by simulated processes and
+    engage/disengage network faults. A crash loses volatile state but keeps
+    stable storage; [destroy_at] additionally wipes stable storage (the
+    double-disk-failure scenario of §1.1); the [chaos] schedules generate
+    exponential fault/repair processes per target.
+
+    Every injection is recorded in a log with its simulated timestamp, and
+    all randomness is drawn from a stream split off the engine's seeded RNG
+    at {!create} time — a failing chaos run is replayed exactly by re-running
+    the same seed, and the injection log says what happened when. *)
 
 type target = {
   label : string;
@@ -12,12 +18,27 @@ type target = {
   lose_disk : unit -> unit;  (** wipe stable storage; only sensible while crashed *)
 }
 
+type toggle = {
+  t_label : string;
+  engage : unit -> unit;
+  disengage : unit -> unit;
+}
+(** A reversible fault: a partition, a lossy-link episode, a
+    coordination-service cut. Composable with crash {!chaos} over the same
+    run. *)
+
 type t
 
 val create : Engine.t -> t
 
 val injections : t -> (Sim_time.t * string) list
 (** What was injected and when, newest last. *)
+
+val pp_injections : Format.formatter -> t -> unit
+(** The injection log, one line per event — printed by failing chaos tests so
+    the schedule that broke the protocol is visible without re-tracing. *)
+
+(** {2 Crash faults} *)
 
 val crash_at : t -> Sim_time.t -> target -> unit
 
@@ -37,4 +58,64 @@ val chaos :
   target list ->
   unit
 (** Schedule an independent random crash/repair process for each target, with
-    exponential inter-failure and repair times, stopping at [until]. *)
+    exponential inter-failure and repair times (clamped to >= 1 µs so a
+    repair never lands on the crash's own timestamp), stopping at [until]. *)
+
+(** {2 Reversible faults} *)
+
+val toggle : label:string -> engage:(unit -> unit) -> disengage:(unit -> unit) -> toggle
+
+val engage_at : t -> Sim_time.t -> toggle -> unit
+
+val disengage_at : t -> Sim_time.t -> toggle -> unit
+
+val toggle_for : t -> at:Sim_time.t -> down_for:Sim_time.span -> toggle -> unit
+(** Engage at [at], disengage [down_for] later. *)
+
+val toggle_chaos :
+  t ->
+  mean_time_to_fault:Sim_time.span ->
+  mean_time_to_heal:Sim_time.span ->
+  until:Sim_time.t ->
+  toggle list ->
+  unit
+(** Independent exponential engage/disengage process per toggle, like
+    {!chaos} for reversible faults. Composable with {!chaos} on the same
+    nemesis (both draw from the same logged, seeded stream). *)
+
+(** {2 Ready-made network scenarios} *)
+
+val partition_toggle : ?label:string -> 'msg Network.t -> int list -> int list -> toggle
+(** Symmetric group split, e.g. majority|minority. *)
+
+val isolate_toggle : ?label:string -> 'msg Network.t -> node:int -> peers:int list -> toggle
+(** Cut one node off from all [peers] (both directions) — "isolate the
+    leader" when [node] is the current leader. *)
+
+val oneway_toggle : ?label:string -> 'msg Network.t -> src:int -> dst:int -> toggle
+(** Asymmetric partition: [src]'s messages to [dst] are dropped while the
+    reverse direction still flows. *)
+
+val link_faults_toggle :
+  ?label:string ->
+  'msg Network.t ->
+  ?loss:float ->
+  ?duplicate:float ->
+  ?jitter:Distribution.t ->
+  int list ->
+  toggle
+(** Message loss / duplication / delay jitter on every directed link among
+    [nodes] while engaged. *)
+
+val random_pair_partition_chaos :
+  t ->
+  'msg Network.t ->
+  nodes:int list ->
+  mean_time_to_fault:Sim_time.span ->
+  mean_time_to_heal:Sim_time.span ->
+  until:Sim_time.t ->
+  unit
+(** Jepsen-style randomized partition/heal process: at exponential intervals
+    pick a random pair of nodes and partition it (symmetric or one-way, coin
+    flip), healing after an exponential episode length. All transitions are
+    logged. *)

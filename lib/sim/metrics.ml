@@ -122,3 +122,20 @@ let run_stats_of ~latency ~errors ~duration =
 let pp_run_stats ppf s =
   Format.fprintf ppf "%.0f req/s, mean %.2f ms, p50 %.2f ms, p99 %.2f ms (%d ops, %d errors)"
     s.throughput_per_sec s.mean_latency_ms s.p50_ms s.p99_ms s.completed s.errors
+
+type net_stats = {
+  net_delivered : int;
+  net_dropped_down : int;
+  net_dropped_partitioned : int;
+  net_dropped_lost : int;
+  net_duplicated : int;
+  net_bytes : int;
+}
+
+let pp_net_stats ppf s =
+  Format.fprintf ppf
+    "%d delivered, %d dropped (down %d / partitioned %d / lost %d), %d duplicated, %d bytes"
+    s.net_delivered
+    (s.net_dropped_down + s.net_dropped_partitioned + s.net_dropped_lost)
+    s.net_dropped_down s.net_dropped_partitioned s.net_dropped_lost s.net_duplicated
+    s.net_bytes

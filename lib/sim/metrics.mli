@@ -66,3 +66,16 @@ val run_stats_of :
   latency:Histogram.t -> errors:int -> duration:Sim_time.span -> run_stats
 
 val pp_run_stats : Format.formatter -> run_stats -> unit
+
+type net_stats = {
+  net_delivered : int;
+  net_dropped_down : int;  (** sender or receiver process down *)
+  net_dropped_partitioned : int;  (** directed link blocked by a partition *)
+  net_dropped_lost : int;  (** random in-flight loss on a faulty link *)
+  net_duplicated : int;
+  net_bytes : int;
+}
+(** Network delivery counters broken down by drop cause; produced by
+    [Network.stats] so experiments can report loss vs partition drops. *)
+
+val pp_net_stats : Format.formatter -> net_stats -> unit

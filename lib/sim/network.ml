@@ -6,6 +6,14 @@ type 'msg envelope = {
   payload : 'msg;
 }
 
+type drop_cause = Down | Partitioned | Lost
+
+type faults = {
+  loss : float;
+  duplicate : float;
+  jitter : Distribution.t option;
+}
+
 type 'msg endpoint = { mutable handler : 'msg envelope -> unit; mutable up : bool; nic : Resource.t }
 
 type 'msg t = {
@@ -14,9 +22,15 @@ type 'msg t = {
   bandwidth_bps : int;
   rng : Rng.t;
   endpoints : (int, 'msg endpoint) Hashtbl.t;
-  blocked : (int * int, unit) Hashtbl.t;
+  blocked : (int * int, int) Hashtbl.t;  (* directed (src, dst) -> refcount *)
+  link_faults : (int * int, faults) Hashtbl.t;  (* directed overrides *)
+  mutable default_faults : faults option;
+  mutable trace : Trace.t option;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable dropped_down : int;
+  mutable dropped_partitioned : int;
+  mutable dropped_lost : int;
+  mutable duplicated : int;
   mutable bytes : int;
 }
 
@@ -30,12 +44,24 @@ let create engine ?(latency = default_latency) ?(bandwidth_bps = 1_000_000_000) 
     rng = Rng.split (Engine.rng engine);
     endpoints = Hashtbl.create 64;
     blocked = Hashtbl.create 16;
+    link_faults = Hashtbl.create 16;
+    default_faults = None;
+    trace = None;
     delivered = 0;
-    dropped = 0;
+    dropped_down = 0;
+    dropped_partitioned = 0;
+    dropped_lost = 0;
+    duplicated = 0;
     bytes = 0;
   }
 
 let engine t = t.engine
+let attach_trace t trace = t.trace <- Some trace
+
+let emit t fmt =
+  Printf.ksprintf
+    (fun s -> match t.trace with Some tr -> Trace.emit tr ~tag:"net" s | None -> ())
+    fmt
 
 let endpoint t node =
   match Hashtbl.find_opt t.endpoints node with
@@ -59,40 +85,161 @@ let register t ~node handler =
 let set_up t node up = (endpoint t node).up <- up
 let is_up t node = (endpoint t node).up
 
-let reachable t src dst =
-  (not (Hashtbl.mem t.blocked (src, dst))) && not (Hashtbl.mem t.blocked (dst, src))
+(* Partitions are directed and reference-counted so overlapping fault
+   schedules (two nemesis toggles covering the same link) compose: a link
+   stays blocked until every block on it is lifted. *)
+let block t pair =
+  Hashtbl.replace t.blocked pair
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.blocked pair))
+
+let unblock t pair =
+  match Hashtbl.find_opt t.blocked pair with
+  | None -> ()
+  | Some n when n <= 1 -> Hashtbl.remove t.blocked pair
+  | Some n -> Hashtbl.replace t.blocked pair (n - 1)
+
+let reachable t src dst = not (Hashtbl.mem t.blocked (src, dst))
+
+let count_drop t = function
+  | Down -> t.dropped_down <- t.dropped_down + 1
+  | Partitioned -> t.dropped_partitioned <- t.dropped_partitioned + 1
+  | Lost -> t.dropped_lost <- t.dropped_lost + 1
 
 let transfer_span t size =
   Sim_time.of_us_f (float_of_int (size * 8) /. float_of_int t.bandwidth_bps *. 1e6)
 
+let faults_for t src dst =
+  match Hashtbl.find_opt t.link_faults (src, dst) with
+  | Some f -> Some f
+  | None -> t.default_faults
+
 let deliver t env =
   match Hashtbl.find_opt t.endpoints env.dst with
-  | Some e when e.up && reachable t env.src env.dst ->
-    t.delivered <- t.delivered + 1;
-    e.handler env
-  | _ -> t.dropped <- t.dropped + 1
+  | None -> count_drop t Down
+  | Some e ->
+    if not e.up then count_drop t Down
+    else if not (reachable t env.src env.dst) then count_drop t Partitioned
+    else begin
+      t.delivered <- t.delivered + 1;
+      e.handler env
+    end
 
 let send t ~src ~dst ?(size = 128) payload =
   let sender = endpoint t src in
-  if not sender.up then t.dropped <- t.dropped + 1
+  if not sender.up then count_drop t Down
   else begin
     let env = { src; dst; size; sent_at = Engine.now t.engine; payload } in
     t.bytes <- t.bytes + size;
     if src = dst then
       ignore (Engine.schedule t.engine ~after:(Sim_time.us 5) (fun () -> deliver t env))
-    else
-      (* The NIC serialises the transfer; propagation happens afterwards. *)
-      Resource.submit sender.nic ~service:(transfer_span t size) (fun () ->
-          let latency = Distribution.sample_span t.latency t.rng in
-          ignore (Engine.schedule t.engine ~after:latency (fun () -> deliver t env)))
+    else begin
+      let faults = faults_for t src dst in
+      (* Loss is a link property: the message is dropped in flight, after the
+         sender paid for it (the sender cannot tell a lost message from a
+         slow one, which is what forces retry/dedup machinery upstream). *)
+      match faults with
+      | Some f when f.loss > 0.0 && Rng.float t.rng 1.0 < f.loss -> count_drop t Lost
+      | _ ->
+        (* The NIC serialises the transfer; propagation happens afterwards. *)
+        Resource.submit sender.nic ~service:(transfer_span t size) (fun () ->
+            let deliver_once () =
+              let latency = Distribution.sample_span t.latency t.rng in
+              let latency =
+                match faults with
+                | Some { jitter = Some j; _ } ->
+                  Sim_time.span_add latency (Distribution.sample_span j t.rng)
+                | _ -> latency
+              in
+              ignore (Engine.schedule t.engine ~after:latency (fun () -> deliver t env))
+            in
+            deliver_once ();
+            match faults with
+            | Some f when f.duplicate > 0.0 && Rng.float t.rng 1.0 < f.duplicate ->
+              (* A duplicated message takes its own independent path. *)
+              t.duplicated <- t.duplicated + 1;
+              deliver_once ()
+            | _ -> ())
+    end
   end
 
-let partition t group_a group_b =
-  List.iter
-    (fun a -> List.iter (fun b -> if a <> b then Hashtbl.replace t.blocked (a, b) ()) group_b)
-    group_a
+let partition_oneway t ~src ~dst =
+  if src <> dst then begin
+    block t (src, dst);
+    emit t "partition-oneway %d->%d" src dst
+  end
 
-let heal t = Hashtbl.reset t.blocked
+let heal_oneway t ~src ~dst =
+  unblock t (src, dst);
+  emit t "heal-oneway %d->%d" src dst
+
+let partition_pair t a b =
+  if a <> b then begin
+    block t (a, b);
+    block t (b, a);
+    emit t "partition-pair %d<->%d" a b
+  end
+
+let heal_pair t a b =
+  unblock t (a, b);
+  unblock t (b, a);
+  emit t "heal-pair %d<->%d" a b
+
+let iter_pairs group_a group_b f =
+  List.iter (fun a -> List.iter (fun b -> if a <> b then f a b) group_b) group_a
+
+let partition t group_a group_b =
+  iter_pairs group_a group_b (fun a b ->
+      block t (a, b);
+      block t (b, a));
+  emit t "partition [%s]|[%s]"
+    (String.concat "," (List.map string_of_int group_a))
+    (String.concat "," (List.map string_of_int group_b))
+
+let unpartition t group_a group_b =
+  iter_pairs group_a group_b (fun a b ->
+      unblock t (a, b);
+      unblock t (b, a));
+  emit t "unpartition [%s]|[%s]"
+    (String.concat "," (List.map string_of_int group_a))
+    (String.concat "," (List.map string_of_int group_b))
+
+let heal t =
+  Hashtbl.reset t.blocked;
+  emit t "heal-all"
+
+let set_link_faults t ~src ~dst ?(loss = 0.0) ?(duplicate = 0.0) ?jitter () =
+  Hashtbl.replace t.link_faults (src, dst) { loss; duplicate; jitter };
+  emit t "link-faults %d->%d loss=%.3f dup=%.3f" src dst loss duplicate
+
+let clear_link_faults t ~src ~dst =
+  Hashtbl.remove t.link_faults (src, dst);
+  emit t "link-faults-clear %d->%d" src dst
+
+let set_default_faults t ?(loss = 0.0) ?(duplicate = 0.0) ?jitter () =
+  t.default_faults <- Some { loss; duplicate; jitter };
+  emit t "default-faults loss=%.3f dup=%.3f" loss duplicate
+
+let clear_default_faults t =
+  t.default_faults <- None;
+  emit t "default-faults-clear"
+
 let messages_delivered t = t.delivered
-let messages_dropped t = t.dropped
+let messages_dropped t = t.dropped_down + t.dropped_partitioned + t.dropped_lost
+
+let dropped_by_cause t = function
+  | Down -> t.dropped_down
+  | Partitioned -> t.dropped_partitioned
+  | Lost -> t.dropped_lost
+
+let messages_duplicated t = t.duplicated
 let bytes_sent t = t.bytes
+
+let stats t : Metrics.net_stats =
+  {
+    Metrics.net_delivered = t.delivered;
+    net_dropped_down = t.dropped_down;
+    net_dropped_partitioned = t.dropped_partitioned;
+    net_dropped_lost = t.dropped_lost;
+    net_duplicated = t.duplicated;
+    net_bytes = t.bytes;
+  }

@@ -1,12 +1,20 @@
 (** Simulated datacenter network.
 
-    Reliable, in-order point-to-point messages over TCP-like links — the
-    message layer Spinnaker assumes (Appendix A.1). Each message pays a
-    propagation latency plus a serialisation delay on the sender's NIC
-    (modelled as a FIFO resource so large transfers and high fan-out saturate
-    a 1-GbE port, as in the paper's read experiments). Messages to nodes that
-    are down or partitioned away are silently dropped, which is how a crashed
-    TCP peer looks to the sender. *)
+    Point-to-point messages over TCP-like links — the message layer Spinnaker
+    assumes (Appendix A.1). Each message pays a propagation latency plus a
+    serialisation delay on the sender's NIC (modelled as a FIFO resource so
+    large transfers and high fan-out saturate a 1-GbE port, as in the paper's
+    read experiments).
+
+    The network is reliable and in-order by default, but faults can be
+    injected per directed link or globally: messages to nodes that are down
+    or partitioned away are silently dropped (how a crashed TCP peer looks to
+    the sender), and links can additionally be configured with a loss
+    probability, a duplication probability, and extra delay jitter — the
+    adversary the paper's availability claims (§1.1) are made against.
+    Partitions are {e directed}: [partition_oneway] blocks only one
+    direction, producing the asymmetric reachability that breaks naive
+    leader-ack protocols. Every drop is counted by cause. *)
 
 type 'msg t
 
@@ -17,6 +25,11 @@ type 'msg envelope = {
   sent_at : Sim_time.t;
   payload : 'msg;
 }
+
+type drop_cause =
+  | Down  (** sender or receiver process is down *)
+  | Partitioned  (** directed link blocked by a partition *)
+  | Lost  (** random in-flight loss on a faulty link *)
 
 val create :
   Engine.t ->
@@ -29,27 +42,82 @@ val create :
 
 val engine : 'msg t -> Engine.t
 
+val attach_trace : 'msg t -> Trace.t -> unit
+(** Emit a ["net"]-tagged trace event on every topology or fault-config
+    change (not per message — chaos runs would drown the trace). *)
+
 val register : 'msg t -> node:int -> ('msg envelope -> unit) -> unit
 (** Installs the delivery handler for [node] and marks it up. Re-registering
     replaces the handler (used on node restart). *)
 
 val send : 'msg t -> src:int -> dst:int -> ?size:int -> 'msg -> unit
 (** [size] defaults to 128 bytes (a small control message). Self-sends are
-    delivered with a minimal local delay and no NIC charge. *)
+    delivered with a minimal local delay and no NIC charge, and are exempt
+    from link faults. *)
 
 val set_up : 'msg t -> int -> bool -> unit
 (** Mark a node up/down. Down nodes neither send nor receive. *)
 
 val is_up : 'msg t -> int -> bool
 
+(** {2 Partitions}
+
+    Blocks are directed and reference-counted: overlapping fault schedules
+    compose, and a link heals only when every block on it is lifted.
+    [heal] clears everything regardless of refcounts. *)
+
 val partition : 'msg t -> int list -> int list -> unit
-(** Block delivery between every pair drawn from the two groups. *)
+(** Block delivery (both directions) between every pair drawn from the two
+    groups. *)
+
+val unpartition : 'msg t -> int list -> int list -> unit
+(** Lift one [partition] of the same two groups. *)
+
+val partition_pair : 'msg t -> int -> int -> unit
+(** Block both directions between two nodes. *)
+
+val heal_pair : 'msg t -> int -> int -> unit
+
+val partition_oneway : 'msg t -> src:int -> dst:int -> unit
+(** Block only [src]→[dst]; replies still flow. *)
+
+val heal_oneway : 'msg t -> src:int -> dst:int -> unit
 
 val heal : 'msg t -> unit
-(** Remove all partitions. *)
+(** Remove all partitions, regardless of refcounts. *)
+
+val reachable : 'msg t -> int -> int -> bool
+(** Whether messages from the first node currently reach the second. *)
+
+(** {2 Link faults}
+
+    A per-link setting overrides the default; absent both, the link is
+    perfect. Loss and duplication are per-message probabilities; [jitter] is
+    sampled and added to the propagation latency of each delivery. *)
+
+val set_link_faults :
+  'msg t -> src:int -> dst:int ->
+  ?loss:float -> ?duplicate:float -> ?jitter:Distribution.t -> unit -> unit
+
+val clear_link_faults : 'msg t -> src:int -> dst:int -> unit
+
+val set_default_faults :
+  'msg t -> ?loss:float -> ?duplicate:float -> ?jitter:Distribution.t -> unit -> unit
+
+val clear_default_faults : 'msg t -> unit
+
+(** {2 Counters} *)
 
 val messages_delivered : 'msg t -> int
 
 val messages_dropped : 'msg t -> int
+(** Total across all causes; see {!dropped_by_cause} for the breakdown. *)
+
+val dropped_by_cause : 'msg t -> drop_cause -> int
+
+val messages_duplicated : 'msg t -> int
 
 val bytes_sent : 'msg t -> int
+
+val stats : 'msg t -> Metrics.net_stats
+(** Snapshot of the delivery/drop/duplication counters for reporting. *)

@@ -4,13 +4,14 @@ type op =
   | Batch of op list
 
 type entry =
-  | Write of { lsn : Lsn.t; op : op; timestamp : int }
+  | Write of { lsn : Lsn.t; op : op; timestamp : int; origin : (int * int) option }
   | Commit_upto of Lsn.t
   | Checkpoint of Lsn.t
 
 type t = { cohort : int; entry : entry }
 
-let write ~cohort ~lsn ~timestamp op = { cohort; entry = Write { lsn; op; timestamp } }
+let write ~cohort ~lsn ~timestamp ?origin op =
+  { cohort; entry = Write { lsn; op; timestamp; origin } }
 let commit_upto ~cohort lsn = { cohort; entry = Commit_upto lsn }
 let checkpoint ~cohort lsn = { cohort; entry = Checkpoint lsn }
 

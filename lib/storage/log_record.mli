@@ -17,13 +17,22 @@ type op =
           across crashes by construction. Batches are not nested. *)
 
 type entry =
-  | Write of { lsn : Lsn.t; op : op; timestamp : int }
+  | Write of {
+      lsn : Lsn.t;
+      op : op;
+      timestamp : int;
+      origin : (int * int) option;
+          (** the (client, request id) that issued the write, when known —
+              lets a replica rebuild its duplicate-suppression cache from the
+              durable log, so a retried write is acked idempotently even
+              across leader failover and restart *)
+    }
   | Commit_upto of Lsn.t  (** last committed LSN; non-forced log write (§5) *)
   | Checkpoint of Lsn.t  (** memtable flushed up to this LSN; log rolled over *)
 
 type t = { cohort : int; entry : entry }
 
-val write : cohort:int -> lsn:Lsn.t -> timestamp:int -> op -> t
+val write : cohort:int -> lsn:Lsn.t -> timestamp:int -> ?origin:int * int -> op -> t
 
 val commit_upto : cohort:int -> Lsn.t -> t
 

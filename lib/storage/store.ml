@@ -136,7 +136,7 @@ let recover t =
     Wal.durable_writes_in t.wal ~cohort:t.cohort ~above:t.flushed_upto ~upto:cmt
   in
   List.iter
-    (fun (lsn, op, timestamp) ->
+    (fun (lsn, op, timestamp, _) ->
       if not (Skipped_lsns.mem t.skipped lsn) then
         List.iter
           (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
@@ -151,7 +151,7 @@ let recover_all t =
   let lst = Wal.last_write_lsn t.wal ~cohort:t.cohort in
   let replay = Wal.durable_writes_in t.wal ~cohort:t.cohort ~above:t.flushed_upto ~upto:lst in
   List.iter
-    (fun (lsn, op, timestamp) ->
+    (fun (lsn, op, timestamp, _) ->
       List.iter
         (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
         (Log_record.cells_of_write op ~lsn ~timestamp))
@@ -207,7 +207,7 @@ let committed_cells_in t ~above ~upto =
         t.sstables
     end;
     List.iter
-      (fun (lsn, op, timestamp) ->
+      (fun (lsn, op, timestamp, _) ->
         List.iter
           (fun (coord, cell) -> consider coord cell)
           (Log_record.cells_of_write op ~lsn ~timestamp))
@@ -218,4 +218,4 @@ let committed_cells_in t ~above ~upto =
 
 let durable_write_lsns_in t ~above ~upto =
   Wal.durable_writes_in t.wal ~cohort:t.cohort ~above ~upto
-  |> List.map (fun (lsn, _, _) -> lsn)
+  |> List.map (fun (lsn, _, _, _) -> lsn)

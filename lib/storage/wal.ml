@@ -143,11 +143,12 @@ let durable_writes_in t ~cohort ~above ~upto =
   let writes =
     fold_cohort t ~cohort ~init:[] (fun acc entry ->
         match entry with
-        | Log_record.Write { lsn; op; timestamp } when Lsn.(lsn > above) && Lsn.(lsn <= upto) ->
-          (lsn, op, timestamp) :: acc
+        | Log_record.Write { lsn; op; timestamp; origin }
+          when Lsn.(lsn > above) && Lsn.(lsn <= upto) ->
+          (lsn, op, timestamp, origin) :: acc
         | _ -> acc)
   in
-  List.sort_uniq (fun (a, _, _) (b, _, _) -> Lsn.compare a b) writes
+  List.sort_uniq (fun (a, _, _, _) (b, _, _, _) -> Lsn.compare a b) writes
 
 let gc_cohort t ~cohort ~upto =
   let last_commit = last_commit_marker t ~cohort in

@@ -62,9 +62,9 @@ val last_checkpoint : t -> cohort:int -> Lsn.t
 (** Largest durable [Checkpoint] value for the cohort. *)
 
 val durable_writes_in : t -> cohort:int -> above:Lsn.t -> upto:Lsn.t ->
-  (Lsn.t * Log_record.op * int) list
-(** Durable [Write] records with LSN in (above, upto], ascending;
-    the [int] is the record's timestamp. *)
+  (Lsn.t * Log_record.op * int * (int * int) option) list
+(** Durable [Write] records with LSN in (above, upto], ascending; the [int]
+    is the record's timestamp, the option its (client, request id) origin. *)
 
 val gc_cohort : t -> cohort:int -> upto:Lsn.t -> unit
 (** Roll over: drop the cohort's durable [Write] records with LSN [<= upto]

@@ -10,6 +10,7 @@ let () =
       ("recovery-example", Test_recovery_example.suite);
       ("invariants", Test_invariants.suite);
       ("linearizability", Test_linearizability.suite);
+      ("nemesis", Test_nemesis.suite);
       ("eventual", Test_eventual.suite);
       ("masterslave", Test_masterslave.suite);
       ("workload", Test_workload.suite);

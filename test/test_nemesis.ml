@@ -1,0 +1,339 @@
+(* Jepsen-style nemesis runs: lossy and asymmetric network faults, randomized
+   partition/heal schedules composed with crash chaos, duplicated deliveries,
+   and coordination-service cuts.
+
+   The chaos property drives every seed through the same gauntlet and then
+   asserts the paper's §1.1 claims the hard way:
+
+   - no acked write is ever lost (final version >= acked count per key);
+   - no write — acked or retried — is applied twice (final version <= acked +
+     indeterminate, and no origin appears twice in the committed log);
+   - strong reads stay linearizable throughout (history checker).
+
+   A failing seed prints its injection log and is reproducible alone with
+   e.g. [NEMESIS_SEEDS=7 dune exec test/test_main.exe -- test nemesis]. *)
+
+open Spinnaker
+module History = Workload.History
+module Lsn = Storage.Lsn
+
+let check_bool = Alcotest.(check bool)
+
+let test_config =
+  {
+    Config.default with
+    Config.nodes = 5;
+    disk = Sim.Disk_model.Ssd;
+    commit_period = Sim.Sim_time.ms 200;
+    session_timeout = Sim.Sim_time.ms 500;
+  }
+
+let all_nodes = [ 0; 1; 2; 3; 4 ]
+
+(* --- satellite: exponential chaos samples are clamped to >= 1 µs ---------- *)
+
+let test_chaos_clamps_zero_mean () =
+  let engine = Sim.Engine.create ~seed:3 () in
+  let failure = Sim.Failure.create engine in
+  let engages = ref 0 and disengages = ref 0 in
+  let tog =
+    Sim.Failure.toggle ~label:"zero-mean"
+      ~engage:(fun () -> incr engages)
+      ~disengage:(fun () -> incr disengages)
+  in
+  Sim.Failure.toggle_chaos failure ~mean_time_to_fault:(Sim.Sim_time.us 0)
+    ~mean_time_to_heal:(Sim.Sim_time.us 0)
+    ~until:(Sim.Sim_time.at_us 2_000) [ tog ];
+  (* A zero-mean exponential would sample 0 µs forever and pin the clock at
+     t=0; the >= 1 µs clamp makes the schedule advance and terminate. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 10);
+  check_bool "schedule advanced" true (!engages > 50 && !disengages > 50);
+  check_bool "bounded by until" true (!engages <= 2_001)
+
+(* --- satellite: ZK-only cut — leader steps down, majority side elects ----- *)
+
+let test_zk_cut_leader_steps_down () =
+  let engine = Sim.Engine.create ~seed:11 () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  check_bool "ready" true (Cluster.run_until_ready cluster);
+  let range = 0 in
+  let old_leader = Option.get (Cluster.leader_of cluster ~range) in
+  let failure = Sim.Failure.create engine in
+  (* Cut ONLY the leader's link to the coordination service: the data network
+     and the node itself keep running. *)
+  let cut =
+    Sim.Failure.toggle
+      ~label:(Printf.sprintf "zk-cut-n%d" old_leader)
+      ~engage:(fun () -> Cluster.set_zk_reachable cluster old_leader false)
+      ~disengage:(fun () -> Cluster.set_zk_reachable cluster old_leader true)
+  in
+  let now = Sim.Engine.now engine in
+  Sim.Failure.toggle_for failure
+    ~at:(Sim.Sim_time.add now (Sim.Sim_time.ms 100))
+    ~down_for:(Sim.Sim_time.sec 3) cut;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  (* The old leader's session is gone: it must have stepped down (it declared
+     the session dead client-side before the server could expire it and hand
+     leadership elsewhere), and the majority side elected a replacement. *)
+  (match Node.cohort (Cluster.node cluster old_leader) ~range with
+  | Some c ->
+    check_bool "old leader stepped down" true (Cohort.role c <> Cohort.Leader)
+  | None -> Alcotest.fail "old leader hosts no cohort for range 0");
+  let new_leader = Cluster.leader_of cluster ~range in
+  check_bool "a new leader is open" true (new_leader <> None);
+  check_bool "new leader is a different node" true (new_leader <> Some old_leader);
+  (* Writes to the range keep succeeding while the cut lasts. *)
+  let client = Cluster.new_client cluster in
+  let key = Partition.key_of_int (Cluster.partition cluster) 1 in
+  let r = ref None in
+  Client.put client key "c" ~value:"during-cut" (fun x -> r := Some x);
+  let rec drive n =
+    match !r with
+    | Some v -> v
+    | None when n = 0 -> Error Client.Timed_out
+    | None ->
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 10);
+      drive (n - 1)
+  in
+  check_bool "write succeeds under the cut" true (Result.is_ok (drive 500));
+  (* Heal (toggle_for disengages at 3.1 s): the old leader reconnects with a
+     fresh session and falls back in line as a follower. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 4);
+  (match Node.cohort (Cluster.node cluster old_leader) ~range with
+  | Some c -> check_bool "old leader rejoined as follower" true (Cohort.role c = Cohort.Follower)
+  | None -> ());
+  check_bool "range still has a leader" true (Cluster.leader_of cluster ~range <> None)
+
+(* --- the chaos property --------------------------------------------------- *)
+
+type outcome = { mutable acked : int; mutable indeterminate : int }
+
+let dump_injections ?cluster seed failure =
+  Format.printf "@.nemesis seed %d injection log:@.%a@." seed Sim.Failure.pp_injections
+    failure;
+  match cluster with
+  | Some c -> Format.printf "%a@." Cluster.pp_status c
+  | None -> ()
+
+(* Aggregated across seeds so the per-cause drop counters can be asserted
+   meaningfully (one seed's schedule might not engage every fault kind). *)
+let total_lost = ref 0
+let total_partitioned = ref 0
+let total_duplicated = ref 0
+
+let run_chaos_seed seed =
+  let engine = Sim.Engine.create ~seed () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then
+    Alcotest.failf "seed %d: cluster never became ready" seed;
+  let net = Cluster.net cluster in
+  let partition = Cluster.partition cluster in
+  let failure = Sim.Failure.create engine in
+  let history = History.create () in
+  let keys = List.map (Partition.key_of_int partition) [ 3; 47; 91 ] in
+  let outcomes = Hashtbl.create 8 in
+  List.iter (fun key -> Hashtbl.replace outcomes key { acked = 0; indeterminate = 0 }) keys;
+  let running = ref true in
+  (* One serial writer per key: values are the write sequence number, so the
+     store's version counter must end up exactly at the number of writes that
+     actually applied. *)
+  List.iter
+    (fun key ->
+      let client = Cluster.new_client cluster in
+      let seq = ref 0 in
+      let rec write_loop () =
+        if !running then begin
+          incr seq;
+          let this = !seq in
+          let invoked = Sim.Engine.now engine in
+          Client.put client key "c" ~value:(string_of_int this) (fun result ->
+              let o = Hashtbl.find outcomes key in
+              if Result.is_ok result then o.acked <- o.acked + 1
+              else o.indeterminate <- o.indeterminate + 1;
+              History.record_write history ~key ~seq:this ~invoked
+                ~completed:(Sim.Engine.now engine)
+                ~acked:(Result.is_ok result);
+              ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 60) write_loop))
+        end
+      in
+      write_loop ())
+    keys;
+  (* Concurrent strong readers feeding the linearizability checker. *)
+  List.iter
+    (fun key ->
+      let client = Cluster.new_client cluster in
+      let rec read_loop () =
+        if !running then begin
+          let invoked = Sim.Engine.now engine in
+          Client.get client key "c" (fun result ->
+              (match result with
+              | Ok Client.{ value; _ } ->
+                History.record_read history ~key
+                  ~observed:(Option.map int_of_string value)
+                  ~invoked
+                  ~completed:(Sim.Engine.now engine)
+              | Error _ -> ());
+              ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 45) read_loop))
+        end
+      in
+      read_loop ())
+    keys;
+  (* The gauntlet: crash/restart chaos on two nodes, randomized symmetric and
+     one-way pair partitions over the whole cluster, and episodes of message
+     loss + duplication + delay jitter on every link — all at once. *)
+  let until = Sim.Sim_time.at_us 10_000_000 in
+  Sim.Failure.chaos failure
+    ~mean_time_to_failure:(Sim.Sim_time.sec 3)
+    ~mean_time_to_repair:(Sim.Sim_time.ms 1500)
+    ~until
+    (List.filteri (fun i _ -> i < 2) (Cluster.failure_targets cluster));
+  Sim.Failure.random_pair_partition_chaos failure net ~nodes:all_nodes
+    ~mean_time_to_fault:(Sim.Sim_time.ms 1500)
+    ~mean_time_to_heal:(Sim.Sim_time.ms 700)
+    ~until;
+  let lossy =
+    Sim.Failure.link_faults_toggle net ~loss:0.08 ~duplicate:0.08
+      ~jitter:(Sim.Distribution.Uniform (0.0, 400.0))
+      all_nodes
+  in
+  Sim.Failure.toggle_chaos failure
+    ~mean_time_to_fault:(Sim.Sim_time.ms 900)
+    ~mean_time_to_heal:(Sim.Sim_time.ms 900)
+    ~until [ lossy ];
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 11);
+  (* Stop the load, heal everything the chaos may have left engaged, and let
+     the cluster quiesce: restarts, takeovers, catch-ups, retries. *)
+  running := false;
+  let stats = Sim.Network.stats net in
+  total_lost := !total_lost + stats.Sim.Metrics.net_dropped_lost;
+  total_partitioned := !total_partitioned + stats.Sim.Metrics.net_dropped_partitioned;
+  total_duplicated := !total_duplicated + stats.Sim.Metrics.net_duplicated;
+  if
+    Sim.Network.messages_dropped net
+    <> stats.Sim.Metrics.net_dropped_down + stats.Sim.Metrics.net_dropped_partitioned
+       + stats.Sim.Metrics.net_dropped_lost
+  then begin
+    dump_injections ~cluster seed failure;
+    Alcotest.failf "seed %d: drop counters do not decompose by cause" seed
+  end;
+  Sim.Network.heal net;
+  Sim.Network.clear_default_faults net;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d -> if s <> d then Sim.Network.clear_link_faults net ~src:s ~dst:d)
+        all_nodes)
+    all_nodes;
+  for i = 0 to test_config.Config.nodes - 1 do
+    Cluster.restart_node cluster i (* no-op for nodes that are up *)
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+  (* Final strong reads close the history and pin the per-key version. *)
+  let final_client = Cluster.new_client cluster in
+  List.iter
+    (fun key ->
+      let r = ref None in
+      let invoked = Sim.Engine.now engine in
+      Client.get final_client key "c" (fun x -> r := Some x);
+      let rec drive n =
+        match !r with
+        | Some v -> v
+        | None when n = 0 -> Error Client.Timed_out
+        | None ->
+          Sim.Engine.run_for engine (Sim.Sim_time.ms 10);
+          drive (n - 1)
+      in
+      match drive 3000 with
+      | Ok Client.{ value; version } ->
+        History.record_read history ~key
+          ~observed:(Option.map int_of_string value)
+          ~invoked
+          ~completed:(Sim.Engine.now engine);
+        let o = Hashtbl.find outcomes key in
+        if version < o.acked then begin
+          dump_injections ~cluster seed failure;
+          Alcotest.failf "seed %d: key %s lost acked writes (version %d < %d acked)" seed
+            key version o.acked
+        end;
+        if version > o.acked + o.indeterminate then begin
+          dump_injections ~cluster seed failure;
+          Alcotest.failf
+            "seed %d: key %s applied writes twice (version %d > %d acked + %d indeterminate)"
+            seed key version o.acked o.indeterminate
+        end
+      | _ ->
+        dump_injections ~cluster seed failure;
+        Alcotest.failf "seed %d: final read of %s failed after heal" seed key)
+    keys;
+  (* Exactly-once at the log level: in the committed prefix of the leader's
+     log (minus logically truncated records), no (client, request id) origin
+     may appear under two different LSNs — that would be a duplicated retry
+     applied twice. *)
+  for range = 0 to Partition.ranges partition - 1 do
+    match Cluster.leader_of cluster ~range with
+    | None ->
+      dump_injections ~cluster seed failure;
+      Alcotest.failf "seed %d: range %d has no open leader after heal" seed range
+    | Some l -> (
+      let node = Cluster.node cluster l in
+      match Node.cohort node ~range with
+      | None -> ()
+      | Some c ->
+        let skipped = Cohort.skipped_lsns c in
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun (lsn, _, _, origin) ->
+            if not (List.exists (Lsn.equal lsn) skipped) then
+              match origin with
+              | None -> ()
+              | Some o -> (
+                match Hashtbl.find_opt seen o with
+                | Some prev when not (Lsn.equal prev lsn) ->
+                  dump_injections ~cluster seed failure;
+                  Alcotest.failf
+                    "seed %d: range %d origin (c%d,#%d) committed twice (lsn %s and %s)"
+                    seed range (fst o) (snd o) (Lsn.to_string prev) (Lsn.to_string lsn)
+                | _ -> Hashtbl.replace seen o lsn))
+          (Storage.Wal.durable_writes_in (Node.wal node) ~cohort:range ~above:Lsn.zero
+             ~upto:(Cohort.cmt c)))
+  done;
+  let violations = History.check history in
+  if violations <> [] then begin
+    dump_injections ~cluster seed failure;
+    List.iter (fun v -> Format.printf "violation: %a@." History.pp_violation v) violations;
+    Alcotest.failf "seed %d: %d linearizability violations" seed (List.length violations)
+  end;
+  check_bool
+    (Printf.sprintf "seed %d: load was substantial" seed)
+    true
+    (History.writes history > 100 && History.reads history > 100)
+
+let chaos_seeds () =
+  match Sys.getenv_opt "NEMESIS_SEEDS" with
+  | Some s -> (
+    match
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    with
+    | [] -> Alcotest.failf "NEMESIS_SEEDS=%S contains no seeds (expected e.g. \"15\" or \"3,7,21\")" s
+    | seeds -> seeds)
+  | None -> List.init 20 (fun i -> i + 1)
+
+let test_chaos_survival () =
+  let seeds = chaos_seeds () in
+  List.iter run_chaos_seed seeds;
+  check_bool "loss drops observed across seeds" true (!total_lost > 0);
+  check_bool "partition drops observed across seeds" true (!total_partitioned > 0);
+  check_bool "duplicated deliveries observed across seeds" true (!total_duplicated > 0)
+
+let suite =
+  [
+    Alcotest.test_case "chaos schedules clamp zero-mean spans" `Quick
+      test_chaos_clamps_zero_mean;
+    Alcotest.test_case "ZK-only cut: leader steps down, majority re-elects" `Slow
+      test_zk_cut_leader_steps_down;
+    Alcotest.test_case "chaos: crashes + partitions + loss + duplication" `Slow
+      test_chaos_survival;
+  ]

@@ -343,7 +343,7 @@ let test_wal_writes_in_range_sorted_dedup () =
   check_int "dedup by lsn" 2 (List.length writes);
   check_bool "ascending" true
     (match writes with
-    | (a, _, _) :: (b, _, _) :: _ -> Lsn.(a < b)
+    | (a, _, _, _) :: (b, _, _, _) :: _ -> Lsn.(a < b)
     | _ -> false)
 
 let test_wal_wipe_loses_everything () =

@@ -43,7 +43,7 @@ let run_schedule ops =
        within (gc_floor, watermark-or-beyond]. *)
     for c = 0 to 2 do
       let writes = Wal.durable_writes_in wal ~cohort:c ~above:Lsn.zero ~upto:(Lsn.make ~epoch:99 ~seq:0) in
-      let seqs_durable = List.map (fun (l, _, _) -> l.Lsn.seq) writes in
+      let seqs_durable = List.map (fun (l, _, _, _) -> l.Lsn.seq) writes in
       let rec contiguous = function
         | a :: (b :: _ as rest) -> b = a + 1 && contiguous rest
         | _ -> true
