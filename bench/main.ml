@@ -1,12 +1,17 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (§9, Appendix D), plus ablations and Bechamel microbenchmarks.
 
-   Usage:  dune exec bench/main.exe [-- EXPERIMENT...] [--quick]
+   Usage:  dune exec bench/main.exe [-- EXPERIMENT...] [--quick] [--json [PATH]]
 
    Experiments: fig1 fig8 fig9 table1 fig11 fig12 fig13 fig14 fig15 fig16
    ablations micro all (default: all). Absolute numbers come from a
    calibrated simulation (see DESIGN.md); the paper-comparable quantity is
-   the *shape* of each series. *)
+   the *shape* of each series.
+
+   With [--json], each experiment also writes a machine-readable
+   [BENCH_<experiment>.json] mirroring the printed tables (per-series
+   throughput and latency percentiles, the per-phase write-path breakdown,
+   and the experiment's simulated-versus-wall-clock time). *)
 
 open Spinnaker
 
@@ -21,6 +26,37 @@ let write_threads () = if !quick then [ 8; 64; 256 ] else [ 4; 8; 16; 32; 64; 12
 
 let header title = Format.printf "@.=== %s ===@." title
 
+(* --- structured result collection ----------------------------------------
+   Experiments append JSON fragments while they print; the driver resets the
+   accumulators per experiment and assembles BENCH_<experiment>.json. *)
+
+module J = Sim.Json
+
+let series_acc : J.t list ref = ref []
+let extras_acc : (string * J.t) list ref = ref []
+let tracked_engines : Sim.Engine.t list ref = ref []
+
+let track_engine engine = tracked_engines := engine :: !tracked_engines
+
+(* Simulated seconds consumed by the experiment, over every engine it built. *)
+let sim_seconds () =
+  List.fold_left
+    (fun acc e -> acc +. (float_of_int (Sim.Sim_time.time_to_us (Sim.Engine.now e)) /. 1e6))
+    0.0 !tracked_engines
+
+let record_field key v = extras_acc := (key, v) :: !extras_acc
+
+let record_series ?phases ?(extra = []) name points =
+  let fields =
+    (("name", J.String name) :: extra)
+    @ [ ("points", Workload.Experiment.json_of_sweep points) ]
+    @
+    match phases with
+    | Some p -> [ ("write_phases", Sim.Metrics.Write_phases.to_json p) ]
+    | None -> []
+  in
+  series_acc := J.Obj fields :: !series_acc
+
 let print_series name (points : Workload.Experiment.sweep_point list)
     (select : Workload.Experiment.outcome -> Sim.Metrics.run_stats) =
   Format.printf "  %-34s %8s %12s %10s %10s@." name "threads" "load(req/s)" "mean(ms)" "p99(ms)";
@@ -31,10 +67,22 @@ let print_series name (points : Workload.Experiment.sweep_point list)
         s.Sim.Metrics.throughput_per_sec s.Sim.Metrics.mean_latency_ms s.Sim.Metrics.p99_ms)
     points
 
+(* Print a series and record it for the JSON output; [phases] is the
+   cluster's write-path breakdown (printed when it has samples, always
+   recorded so the JSON schema is stable). *)
+let emit_series ?phases ?extra name points select =
+  print_series name points select;
+  (match phases with
+  | Some p when Sim.Metrics.Write_phases.count p > 0 ->
+    Format.printf "  %-34s %a@." "" Sim.Metrics.Write_phases.pp p
+  | _ -> ());
+  record_series ?phases ?extra name points
+
 (* --- cluster builders --------------------------------------------------- *)
 
 let spin_cluster ?(config = Config.default) () =
   let engine = Sim.Engine.create ~seed:config.Config.seed () in
+  track_engine engine;
   let cluster = Cluster.create engine config in
   Cluster.start cluster;
   if not (Cluster.run_until_ready cluster) then failwith "spinnaker cluster not ready";
@@ -42,6 +90,7 @@ let spin_cluster ?(config = Config.default) () =
 
 let cas_cluster ?(config = Config.default) () =
   let engine = Sim.Engine.create ~seed:config.Config.seed () in
+  track_engine engine;
   let cluster = Eventual.Cas_cluster.create engine config in
   Eventual.Cas_cluster.start cluster;
   (engine, cluster)
@@ -59,15 +108,20 @@ let base_spec ?(write_fraction = 0.0) ?(conditional = false)
 
 let consecutive = Workload.Generator.Consecutive { stride = 257 }
 
+(* Returns the sweep points plus the cluster's accumulated write-path phase
+   breakdown (empty for read-only specs). *)
 let spin_sweep ?config ~consistent_reads ?(conditional = false) ~spec threads =
   let engine, cluster = spin_cluster ?config () in
-  Workload.Experiment.sweep ~engine ~partition:(Cluster.partition cluster)
-    ~key_space:(Cluster.config cluster).Config.key_space
-    ~make_driver:(fun () ->
-      if conditional then Workload.Driver.spinnaker_conditional cluster
-      else Workload.Driver.spinnaker cluster ~consistent_reads ())
-    ~thread_counts:threads
-    { spec with Workload.Experiment.conditional }
+  let points =
+    Workload.Experiment.sweep ~engine ~partition:(Cluster.partition cluster)
+      ~key_space:(Cluster.config cluster).Config.key_space
+      ~make_driver:(fun () ->
+        if conditional then Workload.Driver.spinnaker_conditional cluster
+        else Workload.Driver.spinnaker cluster ~consistent_reads ())
+      ~thread_counts:threads
+      { spec with Workload.Experiment.conditional }
+  in
+  (points, Cluster.write_phases cluster)
 
 let cas_sweep ?config ~read_level ~write_level ~spec threads =
   let engine, cluster = cas_cluster ?config () in
@@ -81,6 +135,7 @@ let cas_sweep ?config ~read_level ~write_level ~spec threads =
 let fig1 () =
   header "Figure 1: master-slave replication loses availability (and data)";
   let engine = Sim.Engine.create () in
+  track_engine engine;
   let pair = Masterslave.Ms_pair.create engine () in
   let put key =
     let done_ = ref None in
@@ -108,11 +163,17 @@ let fig1 () =
     (Masterslave.Ms_pair.committed_lsn pair Masterslave.Ms_pair.Master);
   Masterslave.Ms_pair.crash pair Masterslave.Ms_pair.Master;
   Masterslave.Ms_pair.restart pair Masterslave.Ms_pair.Slave;
-  Format.printf "  (d) slave back, master down: available for writes = %b@."
-    (Masterslave.Ms_pair.available_for_writes pair);
+  let available = Masterslave.Ms_pair.available_for_writes pair in
+  Format.printf "  (d) slave back, master down: available for writes = %b@." available;
   Masterslave.Ms_pair.destroy pair Masterslave.Ms_pair.Master;
-  Format.printf "      after permanent master failure: %d committed writes lost@."
-    (Masterslave.Ms_pair.lost_writes pair);
+  let lost = Masterslave.Ms_pair.lost_writes pair in
+  Format.printf "      after permanent master failure: %d committed writes lost@." lost;
+  record_field "masterslave"
+    (J.Obj
+       [
+         ("available_for_writes_after_failover", J.Bool available);
+         ("lost_writes_after_master_loss", J.Int lost);
+       ]);
   Format.printf
     "  contrast: Spinnaker's quorum commit keeps the cohort available through@.\
     \  the same sequence and loses nothing (see the masterslave test suite).@."
@@ -123,17 +184,17 @@ let fig8 () =
   header "Figure 8: average read latency vs load (4KB random reads, 10 nodes)";
   let spec = base_spec () in
   let threads = read_threads () in
-  print_series "Spinnaker consistent reads"
-    (spin_sweep ~consistent_reads:true ~spec threads)
-    (fun o -> o.Workload.Experiment.all);
-  print_series "Spinnaker timeline reads"
-    (spin_sweep ~consistent_reads:false ~spec threads)
-    (fun o -> o.Workload.Experiment.all);
-  print_series "Cassandra quorum reads"
+  let consistent, phases_c = spin_sweep ~consistent_reads:true ~spec threads in
+  emit_series ~phases:phases_c "Spinnaker consistent reads" consistent (fun o ->
+      o.Workload.Experiment.all);
+  let timeline, phases_t = spin_sweep ~consistent_reads:false ~spec threads in
+  emit_series ~phases:phases_t "Spinnaker timeline reads" timeline (fun o ->
+      o.Workload.Experiment.all);
+  emit_series "Cassandra quorum reads"
     (cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
        ~spec threads)
     (fun o -> o.Workload.Experiment.all);
-  print_series "Cassandra weak reads"
+  emit_series "Cassandra weak reads"
     (cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.Quorum
        ~spec threads)
     (fun o -> o.Workload.Experiment.all)
@@ -144,10 +205,9 @@ let fig9 () =
   header "Figure 9: average write latency vs load (4KB consecutive keys, magnetic log)";
   let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
   let threads = write_threads () in
-  print_series "Spinnaker writes"
-    (spin_sweep ~consistent_reads:true ~spec threads)
-    (fun o -> o.Workload.Experiment.all);
-  print_series "Cassandra quorum writes"
+  let points, phases = spin_sweep ~consistent_reads:true ~spec threads in
+  emit_series ~phases "Spinnaker writes" points (fun o -> o.Workload.Experiment.all);
+  emit_series "Cassandra quorum writes"
     (cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
        ~spec threads)
     (fun o -> o.Workload.Experiment.all)
@@ -241,15 +301,22 @@ let availability_run ~commit_period ~piggyback =
 let table1 () =
   header "Table 1: cohort recovery time vs commit period (failure detection excluded)";
   let periods = if !quick then [ 1; 5 ] else [ 1; 5; 10; 15 ] in
+  let results =
+    List.map
+      (fun p -> (p, availability_run ~commit_period:(Sim.Sim_time.sec p) ~piggyback:false))
+      periods
+  in
   Format.printf "  %-22s" "Commit Period (sec)";
-  List.iter (fun p -> Format.printf "%8d" p) periods;
+  List.iter (fun (p, _) -> Format.printf "%8d" p) results;
   Format.printf "@.  %-22s" "Recovery Time (sec)";
-  List.iter
-    (fun p ->
-      let r = availability_run ~commit_period:(Sim.Sim_time.sec p) ~piggyback:false in
-      Format.printf "%8.1f" r)
-    periods;
-  Format.printf "@."
+  List.iter (fun (_, r) -> Format.printf "%8.1f" r) results;
+  Format.printf "@.";
+  record_field "recovery_vs_commit_period"
+    (J.List
+       (List.map
+          (fun (p, r) ->
+            J.Obj [ ("commit_period_sec", J.Int p); ("recovery_sec", J.Float r) ])
+          results))
 
 (* --- Figure 11: write latency vs cluster size ------------------------------ *)
 
@@ -262,19 +329,25 @@ let fig11 () =
       let config = { Config.default with Config.nodes } in
       let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
       let threads = nodes * 4 in
+      let spin_points, phases = spin_sweep ~config ~consistent_reads:true ~spec [ threads ] in
       List.iter
         (fun Workload.Experiment.{ outcome; _ } ->
           Format.printf "  %-28s %8d %12.0f %10.2f@." "Spinnaker writes" nodes
             outcome.Workload.Experiment.all.Sim.Metrics.throughput_per_sec
             outcome.Workload.Experiment.all.Sim.Metrics.mean_latency_ms)
-        (spin_sweep ~config ~consistent_reads:true ~spec [ threads ]);
+        spin_points;
+      record_series ~phases ~extra:[ ("nodes", J.Int nodes) ] "Spinnaker writes" spin_points;
+      let cas_points =
+        cas_sweep ~config ~read_level:Eventual.Cas_message.Quorum
+          ~write_level:Eventual.Cas_message.Quorum ~spec [ threads ]
+      in
       List.iter
         (fun Workload.Experiment.{ outcome; _ } ->
           Format.printf "  %-28s %8d %12.0f %10.2f@." "Cassandra quorum writes" nodes
             outcome.Workload.Experiment.all.Sim.Metrics.throughput_per_sec
             outcome.Workload.Experiment.all.Sim.Metrics.mean_latency_ms)
-        (cas_sweep ~config ~read_level:Eventual.Cas_message.Quorum
-           ~write_level:Eventual.Cas_message.Quorum ~spec [ threads ]))
+        cas_points;
+      record_series ~extra:[ ("nodes", J.Int nodes) ] "Cassandra quorum writes" cas_points)
     sizes
 
 (* --- Figure 12: mixed workload ---------------------------------------------- *)
@@ -288,24 +361,30 @@ let fig12 () =
     List.iter
       (fun wf ->
         let spec = base_spec ~write_fraction:wf () in
+        let points, phases = sweep spec in
         List.iter
           (fun Workload.Experiment.{ outcome; _ } ->
             Format.printf "  %-40s %8.0f %12.0f %10.2f@." "" (wf *. 100.0)
               outcome.Workload.Experiment.all.Sim.Metrics.throughput_per_sec
               outcome.Workload.Experiment.all.Sim.Metrics.mean_latency_ms)
-          (sweep spec))
+          points;
+        record_series ?phases ~extra:[ ("write_fraction", J.Float wf) ] name points)
       fractions
   in
   run "Spinnaker consistent reads + writes" (fun spec ->
-      spin_sweep ~consistent_reads:true ~spec [ threads ]);
+      let points, phases = spin_sweep ~consistent_reads:true ~spec [ threads ] in
+      (points, Some phases));
   run "Spinnaker timeline reads + writes" (fun spec ->
-      spin_sweep ~consistent_reads:false ~spec [ threads ]);
+      let points, phases = spin_sweep ~consistent_reads:false ~spec [ threads ] in
+      (points, Some phases));
   run "Cassandra quorum reads + quorum writes" (fun spec ->
-      cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
-        ~spec [ threads ]);
+      ( cas_sweep ~read_level:Eventual.Cas_message.Quorum
+          ~write_level:Eventual.Cas_message.Quorum ~spec [ threads ],
+        None ));
   run "Cassandra weak reads + quorum writes" (fun spec ->
-      cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.Quorum
-        ~spec [ threads ])
+      ( cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.Quorum
+          ~spec [ threads ],
+        None ))
 
 (* --- Figure 13: SSD log ------------------------------------------------------ *)
 
@@ -314,10 +393,9 @@ let fig13 () =
   let config = { Config.default with Config.disk = Sim.Disk_model.Ssd } in
   let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
   let threads = write_threads () in
-  print_series "Spinnaker writes (SSD log)"
-    (spin_sweep ~config ~consistent_reads:true ~spec threads)
-    (fun o -> o.Workload.Experiment.all);
-  print_series "Cassandra quorum writes (SSD log)"
+  let points, phases = spin_sweep ~config ~consistent_reads:true ~spec threads in
+  emit_series ~phases "Spinnaker writes (SSD log)" points (fun o -> o.Workload.Experiment.all);
+  emit_series "Cassandra quorum writes (SSD log)"
     (cas_sweep ~config ~read_level:Eventual.Cas_message.Quorum
        ~write_level:Eventual.Cas_message.Quorum ~spec threads)
     (fun o -> o.Workload.Experiment.all)
@@ -328,12 +406,12 @@ let fig14 () =
   header "Figure 14: conditional put vs regular put (Spinnaker)";
   let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
   let threads = write_threads () in
-  print_series "Spinnaker conditional put"
-    (spin_sweep ~consistent_reads:true ~conditional:true ~spec threads)
-    (fun o -> o.Workload.Experiment.all);
-  print_series "Spinnaker regular put"
-    (spin_sweep ~consistent_reads:true ~spec threads)
-    (fun o -> o.Workload.Experiment.all)
+  let cond_points, cond_phases = spin_sweep ~consistent_reads:true ~conditional:true ~spec threads in
+  emit_series ~phases:cond_phases "Spinnaker conditional put" cond_points (fun o ->
+      o.Workload.Experiment.all);
+  let put_points, put_phases = spin_sweep ~consistent_reads:true ~spec threads in
+  emit_series ~phases:put_phases "Spinnaker regular put" put_points (fun o ->
+      o.Workload.Experiment.all)
 
 (* --- Figure 15: weak vs quorum writes (Cassandra) ------------------------------- *)
 
@@ -341,11 +419,11 @@ let fig15 () =
   header "Figure 15: weak vs quorum writes in Cassandra";
   let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
   let threads = write_threads () in
-  print_series "Cassandra weak writes"
+  emit_series "Cassandra weak writes"
     (cas_sweep ~read_level:Eventual.Cas_message.One ~write_level:Eventual.Cas_message.One ~spec
        threads)
     (fun o -> o.Workload.Experiment.all);
-  print_series "Cassandra quorum writes"
+  emit_series "Cassandra quorum writes"
     (cas_sweep ~read_level:Eventual.Cas_message.Quorum ~write_level:Eventual.Cas_message.Quorum
        ~spec threads)
     (fun o -> o.Workload.Experiment.all)
@@ -357,9 +435,9 @@ let fig16 () =
   let config = { Config.default with Config.disk = Sim.Disk_model.Memory } in
   let spec = base_spec ~write_fraction:1.0 ~key_mode:consecutive () in
   let threads = write_threads () in
-  print_series "Spinnaker writes (main-memory log)"
-    (spin_sweep ~config ~consistent_reads:true ~spec threads)
-    (fun o -> o.Workload.Experiment.all)
+  let points, phases = spin_sweep ~config ~consistent_reads:true ~spec threads in
+  emit_series ~phases "Spinnaker writes (main-memory log)" points (fun o ->
+      o.Workload.Experiment.all)
 
 (* --- Ablations --------------------------------------------------------------------- *)
 
@@ -369,22 +447,31 @@ let ablation_group_commit () =
   List.iter
     (fun (label, batch) ->
       let config = { Config.default with Config.wal_max_batch = batch } in
-      print_series label
-        (spin_sweep ~config ~consistent_reads:true ~spec [ 64 ])
-        (fun o -> o.Workload.Experiment.all))
+      let points, phases = spin_sweep ~config ~consistent_reads:true ~spec [ 64 ] in
+      emit_series ~phases ~extra:[ ("wal_max_batch", J.Int batch) ] label points (fun o ->
+          o.Workload.Experiment.all))
     [ ("group commit (batch 24)", 24); ("no group commit (batch 1)", 1) ]
 
 let ablation_piggyback () =
   header "Ablation: piggy-backed commit messages (§D.1) — recovery at 10 s commit period";
-  List.iter
-    (fun (label, piggyback) ->
-      let r = availability_run ~commit_period:(Sim.Sim_time.sec 10) ~piggyback in
-      Format.printf "  %-44s recovery %.2f s@." label r)
-    [ ("commit messages every 10 s", false); ("piggy-backed on proposes", true) ]
+  record_field "piggyback_recovery"
+    (J.List
+       (List.map
+          (fun (label, piggyback) ->
+            let r = availability_run ~commit_period:(Sim.Sim_time.sec 10) ~piggyback in
+            Format.printf "  %-44s recovery %.2f s@." label r;
+            J.Obj
+              [
+                ("label", J.String label);
+                ("piggyback", J.Bool piggyback);
+                ("recovery_sec", J.Float r);
+              ])
+          [ ("commit messages every 10 s", false); ("piggy-backed on proposes", true) ]))
 
 let ablation_staleness () =
   header "Ablation: timeline-read staleness vs commit period";
   let periods = if !quick then [ 200; 1000 ] else [ 200; 1000; 5000 ] in
+  let staleness_points = ref [] in
   List.iter
     (fun period_ms ->
       let config =
@@ -417,12 +504,22 @@ let ablation_staleness () =
       Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
       reader 400;
       Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+      let mean_ms = Sim.Metrics.Histogram.mean ages /. 1e3 in
+      let p99_ms = Sim.Metrics.Histogram.percentile ages 0.99 /. 1e3 in
+      let reads = Sim.Metrics.Histogram.count ages in
       Format.printf "  commit period %5d ms: mean staleness %7.1f ms, p99 %7.1f ms (%d reads)@."
-        period_ms
-        (Sim.Metrics.Histogram.mean ages /. 1e3)
-        (Sim.Metrics.Histogram.percentile ages 0.99 /. 1e3)
-        (Sim.Metrics.Histogram.count ages))
-    periods
+        period_ms mean_ms p99_ms reads;
+      staleness_points :=
+        J.Obj
+          [
+            ("commit_period_ms", J.Int period_ms);
+            ("mean_staleness_ms", J.Float mean_ms);
+            ("p99_staleness_ms", J.Float p99_ms);
+            ("reads", J.Int reads);
+          ]
+        :: !staleness_points)
+    periods;
+  record_field "timeline_staleness" (J.List (List.rev !staleness_points))
 
 let ablations () =
   ablation_group_commit ();
@@ -520,6 +617,7 @@ let micro () =
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~stabilize:false () in
   let raw = Benchmark.all cfg instances tests in
+  let figures = ref [] in
   List.iter
     (fun instance ->
       let results = Analyze.all ols instance raw in
@@ -528,9 +626,12 @@ let micro () =
           let estimate =
             match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> nan
           in
-          Format.printf "  %-44s %14.0f ns/run@." name estimate)
+          Format.printf "  %-44s %14.0f ns/run@." name estimate;
+          figures := (name, J.Float estimate) :: !figures)
         results)
-    instances
+    instances;
+  record_field "micro_ns_per_run"
+    (J.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) !figures))
 
 (* --- driver ----------------------------------------------------------------------------- *)
 
@@ -550,13 +651,54 @@ let all_experiments =
     ("micro", micro);
   ]
 
-let run_experiments names quick_flag =
+(* Resolve the [--json] argument to an output path for one experiment:
+   bare [--json] writes BENCH_<name>.json in the current directory; a
+   directory argument writes the files there; a single experiment with an
+   argument ending in [.json] writes exactly that file. *)
+let json_path ~json ~single name =
+  match json with
+  | None -> None
+  | Some "" -> Some (Printf.sprintf "BENCH_%s.json" name)
+  | Some path when single && Filename.check_suffix path ".json" -> Some path
+  | Some dir ->
+    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+    Some (Filename.concat dir (Printf.sprintf "BENCH_%s.json" name))
+
+let run_experiments names quick_flag json =
   quick := quick_flag;
   let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
+  let single = match names with [ _ ] -> true | _ -> false in
   List.iter
     (fun name ->
       match List.assoc_opt name all_experiments with
-      | Some f -> f ()
+      | Some f ->
+        series_acc := [];
+        extras_acc := [];
+        tracked_engines := [];
+        let wall0 = Unix.gettimeofday () in
+        f ();
+        let wall = Unix.gettimeofday () -. wall0 in
+        let sim = sim_seconds () in
+        let rate = if wall > 0.0 then sim /. wall else 0.0 in
+        Format.printf "  [%s] %.1f sim-s in %.1f wall-s (%.1f sim-s per wall-s)@." name sim
+          wall rate;
+        (match json_path ~json ~single name with
+        | None -> ()
+        | Some path ->
+          let doc =
+            J.Obj
+              ([
+                 ("experiment", J.String name);
+                 ("quick", J.Bool !quick);
+                 ("wall_seconds", J.Float wall);
+                 ("sim_seconds", J.Float sim);
+                 ("sim_seconds_per_wall_second", J.Float rate);
+                 ("series", J.List (List.rev !series_acc));
+               ]
+              @ List.rev !extras_acc)
+          in
+          J.to_file path doc;
+          Format.printf "  wrote %s@." path)
       | None ->
         Format.printf "unknown experiment %s (known: %s)@." name
           (String.concat ", " (List.map fst all_experiments)))
@@ -569,9 +711,20 @@ let names_t =
 
 let quick_t = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweeps for CI.")
 
+let json_t =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "json" ] ~docv:"PATH"
+        ~doc:
+          "Write a machine-readable BENCH_<experiment>.json per experiment. With no \
+           value, files go to the current directory; with a directory $(docv) they go \
+           there; with a single experiment and a $(docv) ending in .json, exactly that \
+           file is written.")
+
 let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run_experiments $ names_t $ quick_t)
+    Term.(const run_experiments $ names_t $ quick_t $ json_t)
 
 let () = exit (Cmd.eval cmd)

@@ -66,6 +66,18 @@ let leader_of t ~range =
       | _ -> None)
     cohort_nodes
 
+let write_phases t =
+  Array.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc range ->
+          match Node.cohort node ~range with
+          | Some c -> Sim.Metrics.Write_phases.merge acc (Cohort.write_phases c)
+          | None -> acc)
+        acc (Node.ranges node))
+    (Sim.Metrics.Write_phases.create ())
+    t.nodes
+
 let is_ready t =
   let ranges = Partition.ranges t.partition in
   let rec check r = r >= ranges || (leader_of t ~range:r <> None && check (r + 1)) in

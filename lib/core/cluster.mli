@@ -38,6 +38,10 @@ val leader_of : t -> range:int -> int option
 
 val is_ready : t -> bool
 
+val write_phases : t -> Sim.Metrics.Write_phases.t
+(** Merged per-phase write-path breakdown over every cohort in the cluster —
+    the data behind the write-latency decomposition in [BENCH_*.json]. *)
+
 val crash_node : t -> int -> unit
 
 val restart_node : t -> int -> unit

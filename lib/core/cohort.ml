@@ -61,6 +61,11 @@ type t = {
   mutable election_running : bool;
   mutable own_candidate : string option;
   mutable leader_watch_armed : bool;
+  (* instrumentation *)
+  phases : Sim.Metrics.Write_phases.t;
+      (** per-phase write-path latencies for writes this cohort led *)
+  inflight_started : (Lsn.t, Sim.Sim_time.t) Hashtbl.t;
+      (** append time of each leader-tracked write, keyed by its last LSN *)
 }
 
 let zk_prefix t = Printf.sprintf "/ranges/%d" t.ctx.range
@@ -90,6 +95,8 @@ let create ctx =
     election_running = false;
     own_candidate = None;
     leader_watch_armed = false;
+    phases = Sim.Metrics.Write_phases.create ();
+    inflight_started = Hashtbl.create 64;
   }
 
 let role t = t.role
@@ -189,9 +196,22 @@ let rec try_commit t =
   in
   List.iter
     (fun (e : Commit_queue.entry) ->
+      (* Replication phase ends when the entry becomes commit-eligible; only
+         the last LSN of each leader-tracked request is in the table, so
+         takeover-rebuilt entries and batch prefixes record nothing. *)
+      let popped_at = Sim.Engine.now t.ctx.engine in
+      let tracked =
+        match Hashtbl.find_opt t.inflight_started e.Commit_queue.lsn with
+        | Some started ->
+          Hashtbl.remove t.inflight_started e.lsn;
+          Sim.Metrics.Histogram.record_span t.phases.replication
+            (Sim.Sim_time.diff popped_at started);
+          true
+        | None -> false
+      in
       Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
       t.cmt <- Lsn.max t.cmt e.lsn;
-      match e.reply with
+      (match e.reply with
       | Some k -> k ()
       | None ->
         (* Entries rebuilt from the log during takeover carry no reply
@@ -199,7 +219,10 @@ let rec try_commit t =
            retrying) client and remember the outcome. *)
         (match e.origin with
         | Some (client, request_id) -> reply_write t ~client ~request_id Message.Written
-        | None -> ()))
+        | None -> ()));
+      if tracked then
+        Sim.Metrics.Histogram.record_span t.phases.apply
+          (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) popped_at))
     committable
 
 and send_commit_msgs t =
@@ -292,11 +315,12 @@ and enqueue_write t ~client ~request_id op =
        (re)opens. *)
     t.waiting <- { client; request_id; op } :: t.waiting
   else begin
+    let arrived = Sim.Engine.now t.ctx.engine in
     let service = Sim.Sim_time.of_us_f t.ctx.config.Config.write_service_us in
     Sim.Resource.submit t.ctx.cpu ~service
       (guard t (fun () ->
            if t.role = Leader && t.open_for_writes && t.pending_final = [] then
-             perform_write t ~client ~request_id op
+             perform_write t ~arrived ~client ~request_id op
            else if t.role = Leader then
              t.waiting <- { client; request_id; op } :: t.waiting
            else begin
@@ -305,7 +329,7 @@ and enqueue_write t ~client ~request_id op =
            end))
   end
 
-and perform_write t ~client ~request_id op =
+and perform_write t ~arrived ~client ~request_id op =
   let ts = now_us t in
   let ops_or_error : (Log_record.op list, int) result =
     match op with
@@ -392,9 +416,14 @@ and perform_write t ~client ~request_id op =
         Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ?reply ();
         Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp ?origin op))
       writes;
+    let started = Sim.Engine.now t.ctx.engine in
+    Sim.Metrics.Histogram.record_span t.phases.queue (Sim.Sim_time.diff started arrived);
+    Hashtbl.replace t.inflight_started last_lsn started;
     (* Log force and propose happen in parallel (Figure 4). *)
     Wal.force t.ctx.wal
       (guard t (fun () ->
+           Sim.Metrics.Histogram.record_span t.phases.force
+             (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) started);
            Commit_queue.mark_forced_upto t.queue last_lsn;
            try_commit t));
     propose t writes
@@ -1120,6 +1149,9 @@ let crash t =
   t.election_running <- false;
   t.own_candidate <- None;
   t.leader_watch_armed <- false;
+  (* Accumulated phase samples survive the crash (cluster-lifetime metrics);
+     in-flight tracking does not — those writes will never pop. *)
+  Hashtbl.reset t.inflight_started;
   Store.crash t.ctx.store
 
 let wipe_storage t = Store.wipe t.ctx.store
@@ -1219,6 +1251,7 @@ let zk_session_renewed t = if t.role <> Offline then join_cohort t
 let startup = rejoin
 
 let read_local t coord = Store.read t.ctx.store coord
+let write_phases t = t.phases
 
 let skipped_lsns t = Skipped_lsns.to_list (Store.skipped t.ctx.store)
 

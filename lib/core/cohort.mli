@@ -95,6 +95,11 @@ val read_local : t -> Storage.Row.coord -> Storage.Row.cell option
 val skipped_lsns : t -> Storage.Lsn.t list
 (** The replica's skipped-LSN list (§6.1.1), ascending. *)
 
+val write_phases : t -> Sim.Metrics.Write_phases.t
+(** Per-phase latency breakdown (queue / force / replication / apply) of
+    every write this cohort led to commit, accumulated across the cohort's
+    lifetime (crashes clear in-flight tracking but keep the samples). *)
+
 (** {2 Event handling} (called by the node's dispatcher) *)
 
 val handle_client : t -> client:int -> request_id:int -> Message.client_op -> unit

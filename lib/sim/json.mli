@@ -1,0 +1,21 @@
+(** Minimal JSON values and serialisation.
+
+    Just enough to emit machine-readable benchmark results ([BENCH_*.json])
+    without an external dependency. Output is pretty-printed with two-space
+    indentation; floats that JSON cannot represent (NaN, infinities) are
+    emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed, newline-terminated. *)
+
+val to_file : string -> t -> unit
+(** [to_file path v] writes [to_string v] to [path] (truncating). *)

@@ -84,6 +84,72 @@ module Histogram = struct
       (mean t /. 1e3)
       (percentile t 0.5 /. 1e3)
       (percentile t 0.99 /. 1e3)
+
+  let json_summary t =
+    Json.Obj
+      [
+        ("count", Json.Int (count t));
+        ("mean_us", Json.Float (mean t));
+        ("p50_us", Json.Float (percentile t 0.5));
+        ("p95_us", Json.Float (percentile t 0.95));
+        ("p99_us", Json.Float (percentile t 0.99));
+        ("max_us", Json.Float (max t));
+      ]
+end
+
+(* Per-phase breakdown of the leader-side write path (Figure 4): CPU queue
+   wait, local log force, replication (propose -> in-order quorum), and the
+   commit apply + reply step. All samples are microseconds of simulated
+   time, recorded by the cohort as each write moves through the pipeline. *)
+module Write_phases = struct
+  type t = {
+    queue : Histogram.t;  (** client arrival at leader -> CPU grant *)
+    force : Histogram.t;  (** log append -> local force durable *)
+    replication : Histogram.t;  (** log append -> in-order quorum (commit eligible) *)
+    apply : Histogram.t;  (** commit eligible -> applied and reply issued *)
+  }
+
+  let create () =
+    {
+      queue = Histogram.create ~name:"queue" ();
+      force = Histogram.create ~name:"force" ();
+      replication = Histogram.create ~name:"replication" ();
+      apply = Histogram.create ~name:"apply" ();
+    }
+
+  let merge a b =
+    {
+      queue = Histogram.merge a.queue b.queue;
+      force = Histogram.merge a.force b.force;
+      replication = Histogram.merge a.replication b.replication;
+      apply = Histogram.merge a.apply b.apply;
+    }
+
+  let clear t =
+    Histogram.clear t.queue;
+    Histogram.clear t.force;
+    Histogram.clear t.replication;
+    Histogram.clear t.apply
+
+  let count t = Histogram.count t.replication
+
+  let to_json t =
+    Json.Obj
+      [
+        ("queue", Histogram.json_summary t.queue);
+        ("force", Histogram.json_summary t.force);
+        ("replication", Histogram.json_summary t.replication);
+        ("apply", Histogram.json_summary t.apply);
+      ]
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "write phases (mean ms): queue %.2f, force %.2f, replication %.2f, apply %.2f (%d writes)"
+      (Histogram.mean t.queue /. 1e3)
+      (Histogram.mean t.force /. 1e3)
+      (Histogram.mean t.replication /. 1e3)
+      (Histogram.mean t.apply /. 1e3)
+      (count t)
 end
 
 module Counter = struct
@@ -122,6 +188,18 @@ let run_stats_of ~latency ~errors ~duration =
 let pp_run_stats ppf s =
   Format.fprintf ppf "%.0f req/s, mean %.2f ms, p50 %.2f ms, p99 %.2f ms (%d ops, %d errors)"
     s.throughput_per_sec s.mean_latency_ms s.p50_ms s.p99_ms s.completed s.errors
+
+let json_of_run_stats s =
+  Json.Obj
+    [
+      ("throughput_per_sec", Json.Float s.throughput_per_sec);
+      ("mean_ms", Json.Float s.mean_latency_ms);
+      ("p50_ms", Json.Float s.p50_ms);
+      ("p95_ms", Json.Float s.p95_ms);
+      ("p99_ms", Json.Float s.p99_ms);
+      ("completed", Json.Int s.completed);
+      ("errors", Json.Int s.errors);
+    ]
 
 type net_stats = {
   net_delivered : int;

@@ -36,6 +36,38 @@ module Histogram : sig
   (** Fresh histogram with both sample sets. *)
 
   val pp_summary : Format.formatter -> t -> unit
+
+  val json_summary : t -> Json.t
+  (** [{count, mean_us, p50_us, p95_us, p99_us, max_us}]. *)
+end
+
+(** Per-phase breakdown of the leader-side write path (Figure 4): CPU queue
+    wait, local log force, replication wait, and commit apply. Recorded by
+    {!Spinnaker.Cohort} for every write it leads; all samples are simulated
+    microseconds. *)
+module Write_phases : sig
+  type t = {
+    queue : Histogram.t;  (** client arrival at leader -> CPU grant *)
+    force : Histogram.t;  (** log append -> local force durable *)
+    replication : Histogram.t;
+        (** log append -> in-order quorum reached (commit eligible); runs in
+            parallel with [force], so the write's critical path is
+            [queue + max(force, replication) + apply] *)
+    apply : Histogram.t;  (** commit eligible -> applied and reply issued *)
+  }
+
+  val create : unit -> t
+
+  val merge : t -> t -> t
+
+  val clear : t -> unit
+
+  val count : t -> int
+  (** Number of writes that completed the full pipeline. *)
+
+  val to_json : t -> Json.t
+
+  val pp : Format.formatter -> t -> unit
 end
 
 module Counter : sig
@@ -66,6 +98,10 @@ val run_stats_of :
   latency:Histogram.t -> errors:int -> duration:Sim_time.span -> run_stats
 
 val pp_run_stats : Format.formatter -> run_stats -> unit
+
+val json_of_run_stats : run_stats -> Json.t
+(** [{throughput_per_sec, mean_ms, p50_ms, p95_ms, p99_ms, completed,
+    errors}]. *)
 
 type net_stats = {
   net_delivered : int;

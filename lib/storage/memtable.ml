@@ -39,12 +39,16 @@ let is_empty t = Coord_map.is_empty t.cells
 let to_sorted_list t = Coord_map.bindings t.cells
 
 let range t ~low ~high =
-  Coord_map.fold
-    (fun ((key, _) as coord) cell acc ->
-      if String.compare low key <= 0 && String.compare key high < 0 then (coord, cell) :: acc
-      else acc)
-    t.cells []
-  |> List.rev
+  (* Seek to the first coord at or after (low, "") and walk forward until the
+     key reaches [high]: O(log n + slice), not a full-map fold. *)
+  let rec collect seq acc =
+    match seq () with
+    | Seq.Nil -> List.rev acc
+    | Seq.Cons ((((key, _) as coord), cell), rest) ->
+      if String.compare key high >= 0 then List.rev acc
+      else collect rest ((coord, cell) :: acc)
+  in
+  collect (Coord_map.to_seq_from (low, "") t.cells) []
 let iter t f = Coord_map.iter f t.cells
 
 let clear t =

@@ -27,7 +27,9 @@ val to_sorted_list : t -> (Row.coord * Row.cell) list
 (** Ascending {!Row.compare_coord} order — SSTable build input. *)
 
 val range : t -> low:Row.key -> high:Row.key -> (Row.coord * Row.cell) list
-(** Entries with [low <= key < high] (all columns), ascending. *)
+(** Entries with [low <= key < high] (all columns), ascending. The bound
+    convention (low inclusive, high exclusive, byte-wise key compare) matches
+    {!Sstable.range} and [Store.scan]. O(log n + slice). *)
 
 val iter : t -> (Row.coord -> Row.cell -> unit) -> unit
 

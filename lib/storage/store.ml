@@ -9,6 +9,10 @@ type t = {
   mutable sstables : Sstable.t list;  (** newest first *)
   mutable flushed_upto : Lsn.t;
   mutable served_from_sstables : int;
+  lsn_ordered : bool;
+      (** [newer] is LSN order, so an SSTable whose [max_lsn] is at or below
+          the best cell found so far cannot improve a read. *)
+  mutable sstables_skipped : int;
 }
 
 let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1024)
@@ -24,6 +28,8 @@ let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1
     sstables = [];
     flushed_upto = Lsn.zero;
     served_from_sstables = 0;
+    lsn_ordered = newer == Row.newer_by_lsn;
+    sstables_skipped = 0;
   }
 
 let cohort t = t.cohort
@@ -33,6 +39,7 @@ let flushed_upto t = t.flushed_upto
 let sstable_count t = List.length t.sstables
 let memtable_size t = Memtable.size t.memtable
 let served_from_sstables t = t.served_from_sstables
+let sstables_skipped t = t.sstables_skipped
 
 let maybe_compact t =
   if Compaction.should_compact t.sstables ~threshold:t.compaction_fanin then
@@ -47,8 +54,14 @@ let flush t =
     t.flushed_upto <- upto;
     t.memtable <- Memtable.create ();
     Wal.append t.wal (Log_record.checkpoint ~cohort:t.cohort upto);
-    Wal.gc_cohort t.wal ~cohort:t.cohort ~upto;
-    Skipped_lsns.gc_upto t.skipped upto;
+    (* Roll the log over only once the checkpoint record is durable. GC-ing
+       eagerly opens a crash window in which the durable log holds neither
+       the flushed writes nor the checkpoint that replaced them, so recovery
+       would silently lose committed data. [Wal.crash] cancels the waiter,
+       leaving the log intact across a crash inside the window. *)
+    Wal.force t.wal (fun () ->
+        Wal.gc_cohort t.wal ~cohort:t.cohort ~upto;
+        Skipped_lsns.gc_upto t.skipped upto);
     maybe_compact t
   end
 
@@ -67,7 +80,20 @@ let get t coord =
   in
   List.iter
     (fun table ->
-      match Sstable.get table coord with Some cell -> consider cell | None -> ())
+      (* Skip tables that cannot beat the best cell found so far: bloom says
+         the key is absent, or (under LSN order) every cell in the table is
+         at or below the current best. Equal LSNs denote the same write, so
+         skipping the tie is safe. *)
+      let cannot_win =
+        (not (Sstable.may_contain_key table (fst coord)))
+        ||
+        match !best with
+        | Some existing when t.lsn_ordered -> Lsn.(existing.Row.lsn >= Sstable.max_lsn table)
+        | _ -> false
+      in
+      if cannot_win then t.sstables_skipped <- t.sstables_skipped + 1
+      else
+        match Sstable.get table coord with Some cell -> consider cell | None -> ())
     t.sstables;
   !best
 
@@ -94,7 +120,18 @@ let scan t ~low ~high ~limit =
     | _ -> acc := Coord_map.add coord cell !acc
   in
   List.iter consider (Memtable.range t.memtable ~low ~high);
-  List.iter (fun table -> List.iter consider (Sstable.range table ~low ~high)) t.sstables;
+  List.iter
+    (fun table ->
+      (* Skip tables whose key span misses the [low, high) window. *)
+      let overlaps =
+        match (Sstable.min_key table, Sstable.max_key table) with
+        | Some min_key, Some max_key ->
+          String.compare max_key low >= 0 && String.compare min_key high < 0
+        | _ -> false
+      in
+      if overlaps then List.iter consider (Sstable.range table ~low ~high)
+      else t.sstables_skipped <- t.sstables_skipped + 1)
+    t.sstables;
   (* Group by row key (bindings come out coordinate-sorted: key-major). *)
   let rows =
     Coord_map.fold
@@ -114,7 +151,12 @@ let scan t ~low ~high ~limit =
   in
   take limit rows
 
-let crash t = t.memtable <- Memtable.create ()
+let crash t =
+  t.memtable <- Memtable.create ();
+  (* [flushed_upto] is volatile bookkeeping: a crash can land after the
+     memtable flush but before the checkpoint record is durable, in which
+     case recovery must rederive the flush horizon from stable storage. *)
+  t.flushed_upto <- Lsn.zero
 
 let wipe t =
   crash t;

@@ -56,11 +56,14 @@ val memtable_size : t -> int
 
 val flush : t -> unit
 (** Force a memtable flush (also invoked automatically by [apply]). Appends a
-    checkpoint record and rolls the WAL over for this cohort. *)
+    checkpoint record, then rolls the WAL over for this cohort only once the
+    checkpoint is durable — GC-ing before the force opens a crash window in
+    which the log holds neither the flushed writes nor the checkpoint. *)
 
 val crash : t -> unit
-(** Lose the memtable (volatile). The WAL itself is crashed separately by the
-    node, since it is shared. *)
+(** Lose the memtable (volatile), including the in-memory flush horizon; the
+    next {!recover} rederives it from the durable checkpoint. The WAL itself
+    is crashed separately by the node, since it is shared. *)
 
 val wipe : t -> unit
 (** Lose SSTables and the skipped-LSN list too (disk failure). *)
@@ -90,3 +93,8 @@ val durable_write_lsns_in : t -> above:Lsn.t -> upto:Lsn.t -> Lsn.t list
 
 val served_from_sstables : t -> int
 (** How many catch-up requests could not be served from the log alone. *)
+
+val sstables_skipped : t -> int
+(** SSTables pruned from reads without probing: bloom-filter misses and
+    tables whose [max_lsn] (point reads under LSN order) or key span (scans)
+    could not beat the best cell already found. *)

@@ -1,12 +1,54 @@
+(* Indexed write-ahead log.
+
+   The durable portion of the log is held as a per-cohort index rather than
+   one flat list: each cohort keeps its durable [Write] records in an
+   LSN-keyed map (duplicate retransmissions collapse into one slot that
+   remembers every copy), its marker records ([Commit_upto]/[Checkpoint]) as
+   small newest-first lists, and its marker maxima incrementally. Recovery,
+   catch-up, and takeover queries therefore cost O(log n + answer) instead of
+   O(total log), and [gc_cohort] touches only the cohort being rolled over.
+
+   The volatile tail is a FIFO queue with incremental byte accounting, so a
+   group-commit force pays O(batch) to assemble its batch instead of
+   re-walking (and re-reversing) the whole backlog. The in-flight batch is
+   popped off the queue when the device force is submitted and indexed into
+   the durable structures when it completes; a crash in between loses it,
+   exactly as it loses the rest of the volatile tail. *)
+
+module Lsn_map = Map.Make (struct
+  type t = Lsn.t
+
+  let compare = Lsn.compare
+end)
+
+type write_slot = {
+  op : Log_record.op;
+  timestamp : int;
+  origin : (int * int) option;
+  gseqs : int list;  (** durable-order stamps, oldest first; >1 means duplicate copies *)
+}
+
+type cohort_index = {
+  mutable writes : write_slot Lsn_map.t;
+  mutable write_records : int;  (** durable [Write] records, duplicate copies included *)
+  mutable commits : (Lsn.t * int) list;  (** durable [Commit_upto] records, newest first *)
+  mutable ckpts : (Lsn.t * int) list;  (** durable [Checkpoint] records, newest first *)
+  mutable last_commit : Lsn.t;  (** max over [commits]; maintained incrementally *)
+  mutable last_ckpt : Lsn.t;  (** max over [ckpts]; maintained incrementally *)
+}
+
 type t = {
   engine : Sim.Engine.t;
   disk : Sim.Resource.t;
   model : Sim.Disk_model.t;
   rng : Sim.Rng.t;
-  mutable durable : Log_record.t list;  (** newest first *)
+  cohorts : (int, cohort_index) Hashtbl.t;
+  mutable gseq : int;  (** global durable-order stamp, for [durable_records] *)
   mutable durable_count : int;
-  mutable volatile : Log_record.t list;  (** newest first *)
+  volatile : Log_record.t Queue.t;  (** oldest first *)
   mutable volatile_count : int;
+  mutable volatile_bytes : int;  (** incremental byte accounting for group commit *)
+  mutable in_flight_batch : Log_record.t list;  (** oldest first; volatile until the force lands *)
   mutable appended_total : int;  (** absolute index of last appended record *)
   mutable durable_total : int;  (** absolute index of last durable record *)
   mutable waiters : (int * (unit -> unit)) list;  (** (target, callback), oldest first *)
@@ -23,10 +65,13 @@ let create engine ~disk ~model ~rng ?(max_batch = 16) () =
     model;
     rng;
     max_batch;
-    durable = [];
+    cohorts = Hashtbl.create 8;
+    gseq = 0;
     durable_count = 0;
-    volatile = [];
+    volatile = Queue.create ();
     volatile_count = 0;
+    volatile_bytes = 0;
+    in_flight_batch = [];
     appended_total = 0;
     durable_total = 0;
     waiters = [];
@@ -37,29 +82,49 @@ let create engine ~disk ~model ~rng ?(max_batch = 16) () =
 
 let model t = t.model
 
+let cidx t cohort =
+  match Hashtbl.find_opt t.cohorts cohort with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        writes = Lsn_map.empty;
+        write_records = 0;
+        commits = [];
+        ckpts = [];
+        last_commit = Lsn.zero;
+        last_ckpt = Lsn.zero;
+      }
+    in
+    Hashtbl.add t.cohorts cohort c;
+    c
+
 let append t record =
-  t.volatile <- record :: t.volatile;
+  Queue.push record t.volatile;
   t.volatile_count <- t.volatile_count + 1;
+  t.volatile_bytes <- t.volatile_bytes + Log_record.approx_bytes record;
   t.appended_total <- t.appended_total + 1
 
-(* Promote the [n] oldest volatile records to the durable prefix. *)
-let promote t n =
-  if n > 0 then begin
-    let rev = List.rev t.volatile in
-    let rec take i acc rest =
-      if i = n then (acc, rest)
-      else
-        match rest with
-        | [] -> (acc, [])
-        | r :: rest -> take (i + 1) (r :: acc) rest
+(* Index one record that just became durable. *)
+let index_durable t (r : Log_record.t) =
+  let c = cidx t r.cohort in
+  t.gseq <- t.gseq + 1;
+  t.durable_count <- t.durable_count + 1;
+  match r.entry with
+  | Log_record.Write { lsn; op; timestamp; origin } ->
+    c.write_records <- c.write_records + 1;
+    let slot =
+      match Lsn_map.find_opt lsn c.writes with
+      | Some slot -> { slot with gseqs = slot.gseqs @ [ t.gseq ] }
+      | None -> { op; timestamp; origin; gseqs = [ t.gseq ] }
     in
-    (* [moved] ends newest-first, matching [t.durable]'s order. *)
-    let moved, remaining = take 0 [] rev in
-    t.durable <- moved @ t.durable;
-    t.durable_count <- t.durable_count + n;
-    t.volatile <- List.rev remaining;
-    t.volatile_count <- t.volatile_count - n
-  end
+    c.writes <- Lsn_map.add lsn slot c.writes
+  | Log_record.Commit_upto lsn ->
+    c.commits <- (lsn, t.gseq) :: c.commits;
+    c.last_commit <- Lsn.max c.last_commit lsn
+  | Log_record.Checkpoint lsn ->
+    c.ckpts <- (lsn, t.gseq) :: c.ckpts;
+    c.last_ckpt <- Lsn.max c.last_ckpt lsn
 
 let rec kick t =
   let ready, pending = List.partition (fun (target, _) -> target <= t.durable_total) t.waiters in
@@ -69,29 +134,32 @@ let rec kick t =
     t.force_in_flight <- true;
     t.forces_issued <- t.forces_issued + 1;
     (* Group commit: one device force covers up to [max_batch] of the records
-       appended so far; the rest wait for the next force. *)
+       appended so far; the rest wait for the next force. The batch is the
+       oldest [moving] volatile records — popped now, indexed on completion. *)
     let moving = Stdlib.min t.volatile_count t.max_batch in
-    let goal = t.appended_total - (t.volatile_count - moving) in
-    let batch_bytes =
-      let rec sum i acc = function
-        | [] -> acc
-        | r :: rest ->
-          if i = 0 then acc else sum (i - 1) (acc + Log_record.approx_bytes r) rest
-      in
-      (* [t.volatile] is newest-first; the batch is its [moving] oldest. *)
-      sum moving 0 (List.rev t.volatile)
-    in
+    let batch = ref [] and batch_bytes = ref 0 in
+    for _ = 1 to moving do
+      let r = Queue.pop t.volatile in
+      batch := r :: !batch;
+      batch_bytes := !batch_bytes + Log_record.approx_bytes r
+    done;
+    t.volatile_count <- t.volatile_count - moving;
+    t.volatile_bytes <- t.volatile_bytes - !batch_bytes;
+    t.in_flight_batch <- List.rev !batch;
+    let goal = t.appended_total - t.volatile_count in
     let incarnation = t.incarnation in
     let service =
       Sim.Sim_time.span_add
         (Sim.Distribution.sample_span (Sim.Disk_model.force_service t.model) t.rng)
         (Sim.Sim_time.of_us_f
-           (float_of_int batch_bytes /. Sim.Disk_model.write_bandwidth_bytes_per_sec t.model *. 1e6))
+           (float_of_int !batch_bytes /. Sim.Disk_model.write_bandwidth_bytes_per_sec t.model
+          *. 1e6))
     in
     Sim.Resource.submit t.disk ~service (fun () ->
         if t.incarnation = incarnation then begin
           t.force_in_flight <- false;
-          promote t moving;
+          List.iter (index_durable t) t.in_flight_batch;
+          t.in_flight_batch <- [];
           t.durable_total <- Stdlib.max t.durable_total goal;
           kick t
         end)
@@ -107,86 +175,94 @@ let append_and_force t record k =
 
 let crash t =
   t.incarnation <- t.incarnation + 1;
-  t.volatile <- [];
+  Queue.clear t.volatile;
   t.volatile_count <- 0;
+  t.volatile_bytes <- 0;
+  t.in_flight_batch <- [];
   t.appended_total <- t.durable_total;
   t.waiters <- [];
   t.force_in_flight <- false
 
 let wipe t =
   crash t;
-  t.durable <- [];
+  Hashtbl.reset t.cohorts;
   t.durable_count <- 0
 
-let durable_records t = List.rev t.durable
+let durable_records t =
+  let all = ref [] in
+  Hashtbl.iter
+    (fun cohort c ->
+      Lsn_map.iter
+        (fun lsn slot ->
+          List.iter
+            (fun g ->
+              all :=
+                ( g,
+                  Log_record.write ~cohort ~lsn ~timestamp:slot.timestamp ?origin:slot.origin
+                    slot.op )
+                :: !all)
+            slot.gseqs)
+        c.writes;
+      List.iter (fun (lsn, g) -> all := (g, Log_record.commit_upto ~cohort lsn) :: !all) c.commits;
+      List.iter (fun (lsn, g) -> all := (g, Log_record.checkpoint ~cohort lsn) :: !all) c.ckpts)
+    t.cohorts;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !all |> List.map snd
+
 let durable_count t = t.durable_count
 let forces_issued t = t.forces_issued
-
-let fold_cohort t ~cohort ~init f =
-  List.fold_left
-    (fun acc (r : Log_record.t) -> if r.cohort = cohort then f acc r.entry else acc)
-    init t.durable
+let volatile_bytes t = t.volatile_bytes
 
 let last_write_lsn t ~cohort =
-  fold_cohort t ~cohort ~init:Lsn.zero (fun acc entry ->
-      match entry with Log_record.Write { lsn; _ } -> Lsn.max acc lsn | _ -> acc)
+  match Hashtbl.find_opt t.cohorts cohort with
+  | None -> Lsn.zero
+  | Some c -> (
+    match Lsn_map.max_binding_opt c.writes with Some (lsn, _) -> lsn | None -> Lsn.zero)
 
 let last_commit_marker t ~cohort =
-  fold_cohort t ~cohort ~init:Lsn.zero (fun acc entry ->
-      match entry with Log_record.Commit_upto lsn -> Lsn.max acc lsn | _ -> acc)
+  match Hashtbl.find_opt t.cohorts cohort with None -> Lsn.zero | Some c -> c.last_commit
 
 let last_checkpoint t ~cohort =
-  fold_cohort t ~cohort ~init:Lsn.zero (fun acc entry ->
-      match entry with Log_record.Checkpoint lsn -> Lsn.max acc lsn | _ -> acc)
+  match Hashtbl.find_opt t.cohorts cohort with None -> Lsn.zero | Some c -> c.last_ckpt
 
 let durable_writes_in t ~cohort ~above ~upto =
-  let writes =
-    fold_cohort t ~cohort ~init:[] (fun acc entry ->
-        match entry with
-        | Log_record.Write { lsn; op; timestamp; origin }
-          when Lsn.(lsn > above) && Lsn.(lsn <= upto) ->
-          (lsn, op, timestamp, origin) :: acc
-        | _ -> acc)
-  in
-  List.sort_uniq (fun (a, _, _, _) (b, _, _, _) -> Lsn.compare a b) writes
+  match Hashtbl.find_opt t.cohorts cohort with
+  | None -> []
+  | Some c ->
+    (* Ascending slice of the LSN index: only the head of the sequence can
+       sit at [above] itself, so the walk is O(log n + answer). *)
+    let rec collect seq acc =
+      match seq () with
+      | Seq.Nil -> List.rev acc
+      | Seq.Cons ((lsn, slot), rest) ->
+        if Lsn.(lsn > upto) then List.rev acc
+        else if Lsn.(lsn <= above) then collect rest acc
+        else collect rest ((lsn, slot.op, slot.timestamp, slot.origin) :: acc)
+    in
+    collect (Lsn_map.to_seq_from above c.writes) []
 
 let gc_cohort t ~cohort ~upto =
-  let last_commit = last_commit_marker t ~cohort in
-  let last_ckpt = last_checkpoint t ~cohort in
-  let keep (r : Log_record.t) =
-    if r.cohort <> cohort then true
-    else
-      match r.entry with
-      | Log_record.Write { lsn; _ } -> Lsn.(lsn > upto)
-      | Log_record.Commit_upto lsn -> Lsn.equal lsn last_commit
-      | Log_record.Checkpoint lsn -> Lsn.equal lsn last_ckpt
-  in
-  (* Deduplicate retained markers: keep only the first (newest) occurrence. *)
-  let seen_commit = ref false and seen_ckpt = ref false in
-  let keep_once (r : Log_record.t) =
-    if r.cohort <> cohort then true
-    else
-      match r.entry with
-      | Log_record.Commit_upto _ ->
-        if !seen_commit then false
-        else begin
-          seen_commit := true;
-          true
-        end
-      | Log_record.Checkpoint _ ->
-        if !seen_ckpt then false
-        else begin
-          seen_ckpt := true;
-          true
-        end
-      | Log_record.Write _ -> true
-  in
-  t.durable <- List.filter (fun r -> keep r && keep_once r) t.durable;
-  t.durable_count <- List.length t.durable
+  match Hashtbl.find_opt t.cohorts cohort with
+  | None -> ()
+  | Some c ->
+    let keep, dropped = Lsn_map.partition (fun lsn _ -> Lsn.(lsn > upto)) c.writes in
+    let removed = Lsn_map.fold (fun _ slot acc -> acc + List.length slot.gseqs) dropped 0 in
+    c.writes <- keep;
+    c.write_records <- c.write_records - removed;
+    t.durable_count <- t.durable_count - removed;
+    (* Markers: keep only the newest record carrying the max value. *)
+    let prune records last =
+      match List.find_opt (fun (lsn, _) -> Lsn.equal lsn last) records with
+      | Some newest -> ([ newest ], List.length records - 1)
+      | None -> (records, 0)
+    in
+    let commits, removed_commits = prune c.commits c.last_commit in
+    c.commits <- commits;
+    let ckpts, removed_ckpts = prune c.ckpts c.last_ckpt in
+    c.ckpts <- ckpts;
+    t.durable_count <- t.durable_count - removed_commits - removed_ckpts
 
 let min_available_write_lsn t ~cohort =
-  fold_cohort t ~cohort ~init:None (fun acc entry ->
-      match entry with
-      | Log_record.Write { lsn; _ } ->
-        Some (match acc with None -> lsn | Some m -> Lsn.min m lsn)
-      | _ -> acc)
+  match Hashtbl.find_opt t.cohorts cohort with
+  | None -> None
+  | Some c -> (
+    match Lsn_map.min_binding_opt c.writes with Some (lsn, _) -> Some lsn | None -> None)

@@ -11,7 +11,11 @@
 
     Log rollover (§6.1): once a cohort's writes are captured in an SSTable,
     [gc_cohort] drops them from the log; catch-up requests that reach below
-    the GC horizon must then be served from SSTables. *)
+    the GC horizon must then be served from SSTables.
+
+    The durable log is stored as a per-cohort LSN index, so the marker and
+    range queries below cost O(log n + answer) rather than a scan of the
+    whole log, and [gc_cohort] touches only the cohort being rolled over. *)
 
 type t
 
@@ -51,6 +55,10 @@ val durable_count : t -> int
 
 val forces_issued : t -> int
 (** Device-level forces (batches), for group-commit accounting. *)
+
+val volatile_bytes : t -> int
+(** Bytes buffered in the volatile tail, maintained incrementally (never
+    recounted); exposed for group-commit accounting tests. *)
 
 val last_write_lsn : t -> cohort:int -> Lsn.t
 (** Largest durable [Write] LSN for the cohort — f.lst after a restart. *)

@@ -96,3 +96,15 @@ let sweep ~engine ~partition ~key_space ~make_driver ~thread_counts spec =
 
 let pp_outcome ppf o =
   Format.fprintf ppf "%d threads: %a" o.spec.threads Sim.Metrics.pp_run_stats o.all
+
+let json_of_outcome o =
+  Sim.Json.Obj
+    [
+      ("threads", Sim.Json.Int o.spec.threads);
+      ("write_fraction", Sim.Json.Float o.spec.write_fraction);
+      ("all", Sim.Metrics.json_of_run_stats o.all);
+      ("reads", Sim.Metrics.json_of_run_stats o.reads);
+      ("writes", Sim.Metrics.json_of_run_stats o.writes);
+    ]
+
+let json_of_sweep points = Sim.Json.List (List.map (fun p -> json_of_outcome p.outcome) points)

@@ -47,3 +47,11 @@ val sweep :
 (** Re-runs [spec] at each thread count (powers of two in the paper). *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val json_of_outcome : outcome -> Sim.Json.t
+(** [{threads, write_fraction, all, reads, writes}] with per-class
+    {!Sim.Metrics.json_of_run_stats} summaries. *)
+
+val json_of_sweep : sweep_point list -> Sim.Json.t
+(** JSON array of {!json_of_outcome}, one element per thread count — the
+    [series] payload of a [BENCH_*.json] file. *)

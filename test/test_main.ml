@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("storage", Test_storage.suite);
       ("wal-properties", Test_wal_properties.suite);
+      ("wal-differential", Test_wal_differential.suite);
       ("coord", Test_coord.suite);
       ("core-units", Test_core_units.suite);
       ("spinnaker", Test_spinnaker.suite);

@@ -481,8 +481,10 @@ let test_store_catchup_from_log_and_sstables () =
   let from_log = Store.committed_cells_in store ~above:(lsn 1 4) ~upto:(lsn 1 8) in
   check_int "log-served range (4,8]" 4 (List.length from_log);
   check_int "no sstable fallback yet" 0 (Store.served_from_sstables store);
-  (* Roll the log over; the same range must now come from SSTables. *)
+  (* Roll the log over; the GC waits for the checkpoint force, so run the
+     engine. The same range must then come from SSTables. *)
   Store.flush store;
+  Sim.Engine.run engine;
   let after_gc = Store.committed_cells_in store ~above:(lsn 1 4) ~upto:(lsn 1 8) in
   check_int "sstable-served range (4,8]" 4 (List.length after_gc);
   check_int "fallback counted" 1 (Store.served_from_sstables store)
@@ -590,6 +592,137 @@ let prop_store_scan_matches_model =
       let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []) in
       scanned = expected)
 
+let test_store_crash_between_flush_and_checkpoint_force () =
+  let engine, wal, store = make_store () in
+  for i = 1 to 6 do
+    Wal.append wal (put_record ~cohort:0 ~l:(lsn 1 i) (Printf.sprintf "k%d" i))
+  done;
+  (* The cohort committed everything: durable writes + commit marker. *)
+  Wal.append wal (Log_record.commit_upto ~cohort:0 (lsn 1 6));
+  Wal.force wal (fun () -> ());
+  Sim.Engine.run engine;
+  for i = 1 to 6 do
+    apply_put store ~l:(lsn 1 i) (Printf.sprintf "k%d" i) "v"
+  done;
+  (* Flush appends a checkpoint, but the node crashes before the checkpoint
+     record is forced. The log must NOT have been rolled over in between:
+     that would leave stable storage with neither the writes nor the
+     checkpoint that replaced them. *)
+  Store.flush store;
+  Wal.crash wal;
+  Store.crash store;
+  let ckpt = Wal.last_checkpoint wal ~cohort:0 in
+  let cmt = Wal.last_commit_marker wal ~cohort:0 in
+  check_bool "checkpoint was lost with the crash" true (Lsn.equal ckpt Lsn.zero);
+  check_int "every committed write survives in the log" 6
+    (List.length (Wal.durable_writes_in wal ~cohort:0 ~above:ckpt ~upto:cmt));
+  (* End to end: recovery rebuilds complete committed state. *)
+  let cmt', _ = Store.recover store in
+  check_bool "f.cmt recovered" true (Lsn.equal cmt' (lsn 1 6));
+  for i = 1 to 6 do
+    check_bool (Printf.sprintf "k%d readable after recovery" i) true
+      (Store.read store (Printf.sprintf "k%d" i, "c") <> None)
+  done
+
+let test_wal_byte_accounting_and_forces () =
+  let engine, wal = make_wal ~max_batch:2 () in
+  let records =
+    List.init 5 (fun i -> put_record ~cohort:0 ~l:(lsn 1 (i + 1)) (Printf.sprintf "k%d" i))
+  in
+  let bytes rs = List.fold_left (fun a r -> a + Log_record.approx_bytes r) 0 rs in
+  List.iter (Wal.append wal) records;
+  check_int "volatile bytes = sum of appended records" (bytes records) (Wal.volatile_bytes wal);
+  Wal.force wal (fun () -> ());
+  (* The first batch (max_batch = 2 records) left the tail when the device
+     force was issued, before it completed. *)
+  check_int "in-flight batch is out of the volatile tail"
+    (bytes (List.filteri (fun i _ -> i >= 2) records))
+    (Wal.volatile_bytes wal);
+  Sim.Engine.run engine;
+  check_int "tail drained" 0 (Wal.volatile_bytes wal);
+  check_int "ceil(5/2) device forces" 3 (Wal.forces_issued wal);
+  check_int "all durable" 5 (Wal.durable_count wal)
+
+let test_store_get_prunes_stale_sstables () =
+  let _, _, store = make_store () in
+  apply_put store ~l:(lsn 1 1) "k" "old";
+  Store.flush store;
+  apply_put store ~l:(lsn 1 2) "k" "new";
+  Store.flush store;
+  check_int "two tables" 2 (Store.sstable_count store);
+  let skipped0 = Store.sstables_skipped store in
+  check_str_opt "newest wins" (Some "new")
+    (Option.bind (Store.read store ("k", "c")) (fun c -> c.Row.value));
+  check_bool "older table pruned via max_lsn" true (Store.sstables_skipped store > skipped0)
+
+let test_store_scan_prunes_disjoint_sstables () =
+  let _, _, store = make_store () in
+  apply_put store ~l:(lsn 1 1) "a" "1";
+  apply_put store ~l:(lsn 1 2) "b" "2";
+  Store.flush store;
+  apply_put store ~l:(lsn 1 3) "x" "3";
+  Store.flush store;
+  let skipped0 = Store.sstables_skipped store in
+  let rows = Store.scan store ~low:"x" ~high:"zz" ~limit:10 in
+  Alcotest.(check (list string)) "only x" [ "x" ] (List.map fst rows);
+  check_int "disjoint table skipped" (skipped0 + 1) (Store.sstables_skipped store)
+
+(* Shared bound semantics: low inclusive, high exclusive, byte-wise compare. *)
+let prop_memtable_sstable_range_agree =
+  QCheck.Test.make ~name:"memtable and sstable agree on [low, high) windows" ~count:150
+    QCheck.(pair (list (int_bound 20)) (pair (int_bound 21) (int_bound 21)))
+    (fun (ks, (b1, b2)) ->
+      let m = Memtable.create () in
+      List.iteri
+        (fun i k -> Memtable.put m (Printf.sprintf "k%02d" k, "c") (cell (lsn 1 (i + 1))))
+        ks;
+      let table = Sstable.build (Memtable.to_sorted_list m) in
+      let low = Printf.sprintf "k%02d" (Stdlib.min b1 b2)
+      and high = Printf.sprintf "k%02d" (Stdlib.max b1 b2) in
+      let naive =
+        List.filter
+          (fun ((k, _), _) -> String.compare low k <= 0 && String.compare k high < 0)
+          (Memtable.to_sorted_list m)
+      in
+      Memtable.range m ~low ~high = naive && Sstable.range table ~low ~high = naive)
+
+let prop_store_scan_window_matches_model =
+  QCheck.Test.make ~name:"store: scan window/limit = model slice (random bounds)" ~count:80
+    QCheck.(
+      triple
+        (list (pair (int_bound 30) bool))
+        (pair (int_bound 31) (int_bound 31))
+        (int_bound 8))
+    (fun (writes, (b1, b2), limit_raw) ->
+      let _, _, store = make_store () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i (k, deleted) ->
+          let key = Printf.sprintf "k%02d" k in
+          if deleted then begin
+            Store.apply store ~lsn:(lsn 1 (i + 1)) ~timestamp:0
+              (Log_record.Delete { key; col = "c"; version = i });
+            Hashtbl.remove model key
+          end
+          else begin
+            apply_put store ~l:(lsn 1 (i + 1)) key "v";
+            Hashtbl.replace model key ()
+          end;
+          (* Flush often enough that compaction (fanin 4) also happens. *)
+          if i mod 5 = 4 then Store.flush store)
+        writes;
+      let low = Printf.sprintf "k%02d" (Stdlib.min b1 b2)
+      and high = Printf.sprintf "k%02d" (Stdlib.max b1 b2) in
+      let limit = limit_raw + 1 in
+      let scanned = List.map fst (Store.scan store ~low ~high ~limit) in
+      let expected =
+        Hashtbl.fold (fun k () acc -> k :: acc) model []
+        |> List.filter (fun k -> String.compare low k <= 0 && String.compare k high < 0)
+        |> List.sort compare
+        |> List.filteri (fun i _ -> i < limit)
+      in
+      scanned = expected)
+
 let prop_store_apply_idempotent =
   QCheck.Test.make ~name:"store: re-applying a record is idempotent" ~count:50
     QCheck.(list_of_size (Gen.int_range 1 30) (pair (int_bound 5) small_nat))
@@ -667,4 +800,14 @@ let suite =
     Alcotest.test_case "store: scan multi-column rows" `Quick test_store_scan_multi_column_rows;
     QCheck_alcotest.to_alcotest prop_store_scan_matches_model;
     QCheck_alcotest.to_alcotest prop_store_apply_idempotent;
+    Alcotest.test_case "store: crash between flush and checkpoint force" `Quick
+      test_store_crash_between_flush_and_checkpoint_force;
+    Alcotest.test_case "wal: incremental byte accounting" `Quick
+      test_wal_byte_accounting_and_forces;
+    Alcotest.test_case "store: get prunes stale sstables" `Quick
+      test_store_get_prunes_stale_sstables;
+    Alcotest.test_case "store: scan prunes disjoint sstables" `Quick
+      test_store_scan_prunes_disjoint_sstables;
+    QCheck_alcotest.to_alcotest prop_memtable_sstable_range_agree;
+    QCheck_alcotest.to_alcotest prop_store_scan_window_matches_model;
   ]

@@ -1,0 +1,255 @@
+(* Differential test for the indexed WAL.
+
+   Drives random schedules of append / force / run / crash / gc / wipe
+   through both the real {!Storage.Wal} and a naive model that reimplements
+   the original list-of-records semantics (newest-first durable and volatile
+   lists, whole-log folds for every query). After every step the two must
+   agree on the durable record sequence and on all marker / range queries —
+   proving the per-cohort index is a pure representation change.
+
+   Duplicate-LSN appends (leader retransmissions) use a payload derived from
+   the LSN, so both representations reconstruct identical records. *)
+
+module Lsn = Storage.Lsn
+module Wal = Storage.Wal
+module Log_record = Storage.Log_record
+
+let cohorts = 3
+
+let lsn seq = Lsn.make ~epoch:1 ~seq
+
+(* Payload is a function of (cohort, seq): duplicate appends are identical. *)
+let write_record ~cohort ~seq =
+  Log_record.write ~cohort ~lsn:(lsn seq) ~timestamp:seq
+    (Log_record.Put
+       { key = Printf.sprintf "k%d-%d" cohort seq; col = "c"; value = "v"; version = seq })
+
+type op =
+  | Append_write of int * int  (** cohort, seq *)
+  | Append_commit of int * int
+  | Append_ckpt of int * int
+  | Force
+  | Run
+  | Crash
+  | Gc of int * int  (** cohort, upto seq *)
+  | Wipe
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map2 (fun c s -> Append_write (c, s)) (int_bound (cohorts - 1)) (int_range 1 8));
+        (2, map2 (fun c s -> Append_commit (c, s)) (int_bound (cohorts - 1)) (int_range 1 8));
+        (2, map2 (fun c s -> Append_ckpt (c, s)) (int_bound (cohorts - 1)) (int_range 1 8));
+        (4, return Force);
+        (4, return Run);
+        (1, return Crash);
+        (2, map2 (fun c s -> Gc (c, s)) (int_bound (cohorts - 1)) (int_range 0 9));
+        (1, return Wipe);
+      ])
+
+let pp_op = function
+  | Append_write (c, s) -> Printf.sprintf "write(%d,%d)" c s
+  | Append_commit (c, s) -> Printf.sprintf "commit(%d,%d)" c s
+  | Append_ckpt (c, s) -> Printf.sprintf "ckpt(%d,%d)" c s
+  | Force -> "force"
+  | Run -> "run"
+  | Crash -> "crash"
+  | Gc (c, s) -> Printf.sprintf "gc(%d,%d)" c s
+  | Wipe -> "wipe"
+
+let schedule_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 1 60) op_gen)
+
+(* --- the model: original list-based WAL semantics ------------------------ *)
+
+type model = {
+  mutable durable : Log_record.t list;  (** newest first *)
+  mutable volatile : Log_record.t list;  (** newest first *)
+  mutable appended_abs : int;  (** absolute index of last appended record *)
+  mutable durable_abs : int;  (** absolute index of last durable record *)
+  mutable target : int;  (** largest outstanding force target (absolute) *)
+  mutable in_flight : int option;  (** size of the batch under the device force, if any *)
+}
+
+let max_batch = 4
+
+let m_promote m n =
+  let rev = List.rev m.volatile in
+  let rec take i acc rest =
+    if i = n then (acc, rest)
+    else match rest with [] -> (acc, []) | r :: tl -> take (i + 1) (r :: acc) tl
+  in
+  let moved, remaining = take 0 [] rev in
+  m.durable <- moved @ m.durable;
+  m.volatile <- List.rev remaining
+
+(* Batch sizes are fixed when the device force is issued — synchronously at
+   the force call, or at a previous batch's completion — so records appended
+   while a force is in flight wait for the next batch. *)
+let m_kick m =
+  if m.target > m.durable_abs && m.in_flight = None then
+    m.in_flight <- Some (Stdlib.min max_batch (List.length m.volatile))
+
+(* Quiescence: complete in-flight batches (promoting each batch's records)
+   and re-issue until every outstanding force target is durable. *)
+let m_run m =
+  let continue = ref true in
+  while !continue do
+    match m.in_flight with
+    | None -> continue := false
+    | Some n ->
+      m_promote m n;
+      m.durable_abs <- m.durable_abs + n;
+      m.in_flight <- None;
+      m_kick m
+  done
+
+let m_fold m ~cohort ~init f =
+  List.fold_left
+    (fun acc (r : Log_record.t) -> if r.cohort = cohort then f acc r.entry else acc)
+    init m.durable
+
+let m_last_write m ~cohort =
+  m_fold m ~cohort ~init:Lsn.zero (fun acc -> function
+    | Log_record.Write { lsn; _ } -> Lsn.max acc lsn
+    | _ -> acc)
+
+let m_last_commit m ~cohort =
+  m_fold m ~cohort ~init:Lsn.zero (fun acc -> function
+    | Log_record.Commit_upto lsn -> Lsn.max acc lsn
+    | _ -> acc)
+
+let m_last_ckpt m ~cohort =
+  m_fold m ~cohort ~init:Lsn.zero (fun acc -> function
+    | Log_record.Checkpoint lsn -> Lsn.max acc lsn
+    | _ -> acc)
+
+let m_min_write m ~cohort =
+  m_fold m ~cohort ~init:None (fun acc -> function
+    | Log_record.Write { lsn; _ } -> Some (match acc with None -> lsn | Some x -> Lsn.min x lsn)
+    | _ -> acc)
+
+let m_writes_in m ~cohort ~above ~upto =
+  m_fold m ~cohort ~init:[] (fun acc -> function
+    | Log_record.Write { lsn; op; timestamp; origin } when Lsn.(lsn > above) && Lsn.(lsn <= upto)
+      ->
+      (lsn, op, timestamp, origin) :: acc
+    | _ -> acc)
+  |> List.sort_uniq (fun (a, _, _, _) (b, _, _, _) -> Lsn.compare a b)
+
+let m_gc m ~cohort ~upto =
+  let last_commit = m_last_commit m ~cohort and last_ckpt = m_last_ckpt m ~cohort in
+  let keep (r : Log_record.t) =
+    if r.cohort <> cohort then true
+    else
+      match r.entry with
+      | Log_record.Write { lsn; _ } -> Lsn.(lsn > upto)
+      | Log_record.Commit_upto lsn -> Lsn.equal lsn last_commit
+      | Log_record.Checkpoint lsn -> Lsn.equal lsn last_ckpt
+  in
+  let seen_commit = ref false and seen_ckpt = ref false in
+  let keep_once (r : Log_record.t) =
+    if r.cohort <> cohort then true
+    else
+      match r.entry with
+      | Log_record.Commit_upto _ ->
+        if !seen_commit then false else (seen_commit := true; true)
+      | Log_record.Checkpoint _ -> if !seen_ckpt then false else (seen_ckpt := true; true)
+      | Log_record.Write _ -> true
+  in
+  m.durable <- List.filter (fun r -> keep r && keep_once r) m.durable
+
+(* --- the differential property ------------------------------------------- *)
+
+let check_agreement ~step ~op wal m =
+  let fail fmt = QCheck.Test.fail_reportf ("step %d (%s): " ^^ fmt) step (pp_op op) in
+  if Wal.durable_records wal <> List.rev m.durable then fail "durable_records diverge";
+  if Wal.durable_count wal <> List.length m.durable then fail "durable_count diverges";
+  for cohort = 0 to cohorts - 1 do
+    if not (Lsn.equal (Wal.last_write_lsn wal ~cohort) (m_last_write m ~cohort)) then
+      fail "last_write_lsn diverges for cohort %d" cohort;
+    if not (Lsn.equal (Wal.last_commit_marker wal ~cohort) (m_last_commit m ~cohort)) then
+      fail "last_commit_marker diverges for cohort %d" cohort;
+    if not (Lsn.equal (Wal.last_checkpoint wal ~cohort) (m_last_ckpt m ~cohort)) then
+      fail "last_checkpoint diverges for cohort %d" cohort;
+    if Wal.min_available_write_lsn wal ~cohort <> m_min_write m ~cohort then
+      fail "min_available_write_lsn diverges for cohort %d" cohort;
+    List.iter
+      (fun (above, upto) ->
+        if
+          Wal.durable_writes_in wal ~cohort ~above:(lsn above) ~upto:(lsn upto)
+          <> m_writes_in m ~cohort ~above:(lsn above) ~upto:(lsn upto)
+        then fail "durable_writes_in (%d,%d] diverges for cohort %d" above upto cohort)
+      [ (0, 9); (2, 6); (4, 4) ]
+  done;
+  true
+
+let prop_differential =
+  QCheck.Test.make ~name:"wal: indexed log = list-of-records model (differential)" ~count:300
+    schedule_arb
+    (fun ops ->
+      let engine = Sim.Engine.create () in
+      let resource = Sim.Resource.create engine ~name:"d" () in
+      let model = Sim.Disk_model.create Sim.Disk_model.Ssd in
+      let wal =
+        Wal.create engine ~disk:resource ~model ~rng:(Sim.Rng.create 7) ~max_batch ()
+      in
+      let m =
+        {
+          durable = [];
+          volatile = [];
+          appended_abs = 0;
+          durable_abs = 0;
+          target = 0;
+          in_flight = None;
+        }
+      in
+      let m_append r =
+        m.volatile <- r :: m.volatile;
+        m.appended_abs <- m.appended_abs + 1
+      in
+      List.for_all
+        (fun (step, op) ->
+          (match op with
+          | Append_write (cohort, seq) ->
+            let r = write_record ~cohort ~seq in
+            Wal.append wal r;
+            m_append r
+          | Append_commit (cohort, seq) ->
+            let r = Log_record.commit_upto ~cohort (lsn seq) in
+            Wal.append wal r;
+            m_append r
+          | Append_ckpt (cohort, seq) ->
+            let r = Log_record.checkpoint ~cohort (lsn seq) in
+            Wal.append wal r;
+            m_append r
+          | Force ->
+            Wal.force wal (fun () -> ());
+            m.target <- Stdlib.max m.target m.appended_abs;
+            m_kick m
+          | Run ->
+            Sim.Engine.run engine;
+            m_run m
+          | Crash ->
+            Wal.crash wal;
+            m.volatile <- [];
+            m.appended_abs <- m.durable_abs;
+            m.target <- m.durable_abs;
+            m.in_flight <- None
+          | Gc (cohort, upto) ->
+            Wal.gc_cohort wal ~cohort ~upto:(lsn upto);
+            m_gc m ~cohort ~upto:(lsn upto)
+          | Wipe ->
+            Wal.wipe wal;
+            m.durable <- [];
+            m.volatile <- [];
+            m.appended_abs <- m.durable_abs;
+            m.target <- m.durable_abs;
+            m.in_flight <- None);
+          check_agreement ~step ~op wal m)
+        (List.mapi (fun i op -> (i, op)) ops))
+
+let suite = [ QCheck_alcotest.to_alcotest prop_differential ]

@@ -72,7 +72,30 @@ let test_experiment_end_to_end () =
   check_int "no errors" 0 o.Experiment.all.Sim.Metrics.errors;
   check_bool "latencies measured" true
     (o.Experiment.writes.Sim.Metrics.mean_latency_ms > 0.0
-    && o.Experiment.reads.Sim.Metrics.mean_latency_ms > 0.0)
+    && o.Experiment.reads.Sim.Metrics.mean_latency_ms > 0.0);
+  (* The cohorts recorded a per-phase breakdown for the writes they led. *)
+  let phases = Spinnaker.Cluster.write_phases cluster in
+  let count hist = Sim.Metrics.Histogram.count hist in
+  check_bool "phase samples collected" true (Sim.Metrics.Write_phases.count phases > 0);
+  check_int "queue and replication counts agree"
+    (count phases.Sim.Metrics.Write_phases.queue)
+    (count phases.Sim.Metrics.Write_phases.replication);
+  check_bool "force phase has samples" true
+    (count phases.Sim.Metrics.Write_phases.force > 0);
+  (* JSON emission is well-formed and carries every phase. *)
+  let js = Sim.Json.to_string (Sim.Metrics.Write_phases.to_json phases) in
+  List.iter
+    (fun field ->
+      check_bool (field ^ " in json") true
+        (String.length js > 0
+        &&
+        let re = "\"" ^ field ^ "\"" in
+        let rec find i =
+          i + String.length re <= String.length js
+          && (String.sub js i (String.length re) = re || find (i + 1))
+        in
+        find 0))
+    [ "queue"; "force"; "replication"; "apply"; "p99_us" ]
 
 let test_sweep_increases_load () =
   let config =
