@@ -2,16 +2,23 @@
    evaluation (§9, Appendix D), plus ablations and Bechamel microbenchmarks.
 
    Usage:  dune exec bench/main.exe [-- EXPERIMENT...] [--quick] [--json [PATH]]
+             [--trace-out [PATH]]
 
    Experiments: fig1 fig8 fig9 table1 fig11 fig12 fig13 fig14 fig15 fig16
-   ablations micro all (default: all). Absolute numbers come from a
+   failover ablations micro all (default: all). Absolute numbers come from a
    calibrated simulation (see DESIGN.md); the paper-comparable quantity is
    the *shape* of each series.
 
    With [--json], each experiment also writes a machine-readable
    [BENCH_<experiment>.json] mirroring the printed tables (per-series
    throughput and latency percentiles, the per-phase write-path breakdown,
-   and the experiment's simulated-versus-wall-clock time). *)
+   and the experiment's simulated-versus-wall-clock time).
+
+   With [--trace-out], each experiment also writes the last cluster's
+   structured trace as Chrome trace-event JSON ([TRACE_<experiment>.json],
+   Perfetto-loadable), with registry gauges as counter tracks. The [failover]
+   experiment crashes a range leader under load and prints the analyzed
+   recovery timeline (see lib/sim/timeline.mli). *)
 
 open Spinnaker
 
@@ -35,6 +42,10 @@ module J = Sim.Json
 let series_acc : J.t list ref = ref []
 let extras_acc : (string * J.t) list ref = ref []
 let tracked_engines : Sim.Engine.t list ref = ref []
+
+(* The last Spinnaker cluster's trace + metrics registry, for [--trace-out].
+   Experiments that build several clusters export the final one. *)
+let traced : (Sim.Trace.t * Sim.Metrics.Registry.t) option ref = ref None
 
 let track_engine engine = tracked_engines := engine :: !tracked_engines
 
@@ -84,6 +95,7 @@ let spin_cluster ?(config = Config.default) () =
   let engine = Sim.Engine.create ~seed:config.Config.seed () in
   track_engine engine;
   let cluster = Cluster.create engine config in
+  traced := Some (Cluster.trace cluster, Cluster.metrics cluster);
   Cluster.start cluster;
   if not (Cluster.run_until_ready cluster) then failwith "spinnaker cluster not ready";
   (engine, cluster)
@@ -254,10 +266,7 @@ let availability_run ~commit_period ~piggyback =
   (let t0 =
      match
        List.find_opt
-         (fun e ->
-           String.equal e.Sim.Trace.tag "cohort_open"
-           && String.length e.Sim.Trace.detail > 2
-           && String.sub e.Sim.Trace.detail 0 2 = "r0")
+         (fun e -> String.equal e.Sim.Trace.tag "cohort_open" && e.Sim.Trace.cohort = 0)
          (Sim.Trace.events (Cluster.trace cluster))
      with
      | Some e -> e.Sim.Trace.at
@@ -289,8 +298,7 @@ let availability_run ~commit_period ~piggyback =
         if
           String.equal e.Sim.Trace.tag "election_start"
           && Sim.Sim_time.(e.Sim.Trace.at > t_crash)
-          && String.length e.Sim.Trace.detail > 2
-          && String.sub e.Sim.Trace.detail 0 2 = "r0"
+          && e.Sim.Trace.cohort = 0
         then Some e.Sim.Trace.at
         else None)
       (Sim.Trace.events trace)
@@ -317,6 +325,95 @@ let table1 () =
           (fun (p, r) ->
             J.Obj [ ("commit_period_sec", J.Int p); ("recovery_sec", J.Float r) ])
           results))
+
+(* --- Failover timeline: crash-the-leader under full tracing ---------------- *)
+
+(* Drives range 0 with a small write load, crashes its leader, restarts it,
+   and runs the causal trace through the timeline analyzer: unavailability is
+   crash -> first re-committed client write; catch-up is restart ->
+   follower_active. With [--trace-out] the whole run is inspectable in
+   Perfetto. *)
+let failover () =
+  header "Failover timeline: crash the range-0 leader, analyze the trace";
+  let config =
+    {
+      Config.default with
+      Config.nodes = 5;
+      session_timeout = Sim.Sim_time.sec 2;
+      trace_capacity = 1 lsl 20;
+      metrics_sample_period = Sim.Sim_time.ms 50;
+    }
+  in
+  let engine, cluster = spin_cluster ~config () in
+  let client = Cluster.new_client cluster in
+  let width = config.Config.key_space / config.Config.nodes in
+  let cursor = ref 0 in
+  let value = Workload.Generator.value ~size:1024 in
+  let rec writer () =
+    let key = Partition.key_of_int (Cluster.partition cluster) (!cursor mod width) in
+    incr cursor;
+    Client.put client key "c" ~value (fun _ -> writer ())
+  in
+  for _ = 1 to 8 do
+    writer ()
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec (if !quick then 2 else 5));
+  let leader = Option.get (Cluster.leader_of cluster ~range:0) in
+  let t_crash = Sim.Engine.now engine in
+  Cluster.crash_node cluster leader;
+  (* Run until a client write commits under the new leader — the same
+     [phase.apply] span end the analyzer takes as the end of the outage. *)
+  let committed_since t0 () =
+    List.exists
+      (fun e ->
+        e.Sim.Trace.cohort = 0
+        && e.Sim.Trace.kind = Sim.Trace.Span_end
+        && Sim.Sim_time.(e.Sim.Trace.at > t0))
+      (Sim.Trace.find (Cluster.trace cluster) ~tag:"phase.apply")
+  in
+  let deadline = Sim.Sim_time.add t_crash (Sim.Sim_time.sec 60) in
+  let rec wait_write () =
+    if committed_since t_crash () then ()
+    else if Sim.Sim_time.(Sim.Engine.now engine >= deadline) then
+      failwith "failover: no post-crash write within 60 s"
+    else begin
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 20);
+      wait_write ()
+    end
+  in
+  wait_write ();
+  (* Bring the old leader back as a follower and let catch-up finish. *)
+  Cluster.restart_node cluster leader;
+  let t_restart = Sim.Engine.now engine in
+  let caught_up () =
+    List.exists
+      (fun e ->
+        e.Sim.Trace.cohort = 0 && e.Sim.Trace.node = leader
+        && Sim.Sim_time.(e.Sim.Trace.at > t_restart))
+      (Sim.Trace.find (Cluster.trace cluster) ~tag:"follower_active")
+  in
+  let catchup_deadline = Sim.Sim_time.add t_restart (Sim.Sim_time.sec 60) in
+  let rec wait_catchup () =
+    if caught_up () then ()
+    else if Sim.Sim_time.(Sim.Engine.now engine >= catchup_deadline) then
+      Format.printf "  (restarted leader did not finish catch-up within 60 s)@."
+    else begin
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 50);
+      wait_catchup ()
+    end
+  in
+  wait_catchup ();
+  (* One more second so the gauge sampler captures the recovered state. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  let trace = Cluster.trace cluster in
+  let timeline =
+    Sim.Timeline.analyze ~leader ~events:(Sim.Trace.events trace) ~crash_at:t_crash ~cohort:0 ()
+  in
+  Format.printf "%a" Sim.Timeline.pp timeline;
+  Format.printf "  trace: %d events retained, %d dropped@." (Sim.Trace.length trace)
+    (Sim.Trace.dropped trace);
+  record_field "failover_timeline" (Sim.Timeline.to_json timeline);
+  record_field "crashed_leader" (J.Int leader)
 
 (* --- Figure 11: write latency vs cluster size ------------------------------ *)
 
@@ -641,6 +738,7 @@ let all_experiments =
     ("fig8", fig8);
     ("fig9", fig9);
     ("table1", table1);
+    ("failover", failover);
     ("fig11", fig11);
     ("fig12", fig12);
     ("fig13", fig13);
@@ -651,20 +749,22 @@ let all_experiments =
     ("micro", micro);
   ]
 
-(* Resolve the [--json] argument to an output path for one experiment:
-   bare [--json] writes BENCH_<name>.json in the current directory; a
-   directory argument writes the files there; a single experiment with an
-   argument ending in [.json] writes exactly that file. *)
-let json_path ~json ~single name =
-  match json with
+(* Resolve an output-path argument ([--json] or [--trace-out]) for one
+   experiment: a bare flag writes <prefix><name>.json in the current
+   directory; a directory argument writes the files there; a single
+   experiment with an argument ending in [.json] writes exactly that file. *)
+let out_path ~prefix ~arg ~single name =
+  match arg with
   | None -> None
-  | Some "" -> Some (Printf.sprintf "BENCH_%s.json" name)
+  | Some "" -> Some (Printf.sprintf "%s%s.json" prefix name)
   | Some path when single && Filename.check_suffix path ".json" -> Some path
   | Some dir ->
     (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
-    Some (Filename.concat dir (Printf.sprintf "BENCH_%s.json" name))
+    Some (Filename.concat dir (Printf.sprintf "%s%s.json" prefix name))
 
-let run_experiments names quick_flag json =
+let json_path ~json ~single name = out_path ~prefix:"BENCH_" ~arg:json ~single name
+
+let run_experiments names quick_flag json trace_out =
   quick := quick_flag;
   let names = if names = [] || names = [ "all" ] then List.map fst all_experiments else names in
   let single = match names with [ _ ] -> true | _ -> false in
@@ -675,6 +775,7 @@ let run_experiments names quick_flag json =
         series_acc := [];
         extras_acc := [];
         tracked_engines := [];
+        traced := None;
         let wall0 = Unix.gettimeofday () in
         f ();
         let wall = Unix.gettimeofday () -. wall0 in
@@ -698,7 +799,15 @@ let run_experiments names quick_flag json =
               @ List.rev !extras_acc)
           in
           J.to_file path doc;
-          Format.printf "  wrote %s@." path)
+          Format.printf "  wrote %s@." path);
+        (match (out_path ~prefix:"TRACE_" ~arg:trace_out ~single name, !traced) with
+        | Some path, Some (trace, registry) ->
+          Sim.Trace_export.to_file ~registry trace path;
+          Format.printf "  wrote %s (%d events, %d dropped)@." path (Sim.Trace.length trace)
+            (Sim.Trace.dropped trace)
+        | Some _, None ->
+          Format.printf "  (no Spinnaker cluster built by %s: no trace written)@." name
+        | None, _ -> ())
       | None ->
         Format.printf "unknown experiment %s (known: %s)@." name
           (String.concat ", " (List.map fst all_experiments)))
@@ -722,9 +831,19 @@ let json_t =
            there; with a single experiment and a $(docv) ending in .json, exactly that \
            file is written.")
 
+let trace_out_t =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "trace-out" ] ~docv:"PATH"
+        ~doc:
+          "Write each experiment's structured trace as Chrome trace-event JSON \
+           (TRACE_<experiment>.json, loadable in Perfetto or chrome://tracing), with \
+           metrics-registry gauges as counter tracks. Path resolution follows --json.")
+
 let cmd =
   Cmd.v
     (Cmd.info "bench" ~doc:"Regenerate the paper's tables and figures")
-    Term.(const run_experiments $ names_t $ quick_t $ json_t)
+    Term.(const run_experiments $ names_t $ quick_t $ json_t $ trace_out_t)
 
 let () = exit (Cmd.eval cmd)

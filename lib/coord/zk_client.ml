@@ -65,7 +65,7 @@ let connect server ~owner ?(latency = default_latency) () =
       server;
       engine;
       owner;
-      session = Zk_server.open_session server;
+      session = Zk_server.open_session ~owner server;
       latency;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
       alive = true;

@@ -1,4 +1,9 @@
-type session = { id : int; mutable last_seen : Sim.Sim_time.t; mutable live : bool }
+type session = {
+  id : int;
+  owner : string;
+  mutable last_seen : Sim.Sim_time.t;
+  mutable live : bool;
+}
 
 type t = {
   engine : Sim.Engine.t;
@@ -8,10 +13,27 @@ type t = {
   mutable next_session : int;
   node_watches : (string, (unit -> unit) list) Hashtbl.t;
   child_watches : (string, (unit -> unit) list) Hashtbl.t;
+  mutable trace : Sim.Trace.t option;
 }
 
 let engine t = t.engine
 let session_timeout t = t.session_timeout
+let attach_trace t trace = t.trace <- Some trace
+
+(* Owners follow the "node-%d"/"client-%d" convention; recovering the node id
+   lets lifecycle events land on that node's track in the exported trace. *)
+let node_of_owner owner =
+  match String.index_opt owner '-' with
+  | Some i when String.length owner > i + 1 && String.sub owner 0 i = "node" -> (
+      match int_of_string_opt (String.sub owner (i + 1) (String.length owner - i - 1)) with
+      | Some id -> id
+      | None -> -1)
+  | _ -> -1
+
+let lifecycle t ?(node = -1) ~tag detail =
+  match t.trace with
+  | None -> ()
+  | Some trace -> Sim.Trace.event trace ~node ~tag detail
 
 let fire table path =
   match Hashtbl.find_opt table path with
@@ -27,10 +49,14 @@ let notify_created_or_deleted t path =
 let expire_session t session =
   if session.live then begin
     session.live <- false;
+    lifecycle t ~node:(node_of_owner session.owner) ~tag:"zk.session_expired"
+      (Printf.sprintf "session=%d owner=%s" session.id session.owner);
     let ephemerals = Ztree.ephemerals_of_session t.tree ~session:session.id in
     List.iter
       (fun path ->
         Ztree.delete_recursive t.tree ~path;
+        lifecycle t ~node:(node_of_owner session.owner) ~tag:"zk.znode_deleted"
+          (Printf.sprintf "%s (session %d expired)" path session.id);
         notify_created_or_deleted t path)
       ephemerals
   end
@@ -52,6 +78,7 @@ let create engine ?(session_timeout = Sim.Sim_time.sec 2) () =
       next_session = 1;
       node_watches = Hashtbl.create 32;
       child_watches = Hashtbl.create 32;
+      trace = None;
     }
   in
   let sweep_every = Sim.Sim_time.us (Stdlib.max 1 (Sim.Sim_time.to_us session_timeout / 4)) in
@@ -62,10 +89,12 @@ let create engine ?(session_timeout = Sim.Sim_time.sec 2) () =
   ignore (Sim.Engine.schedule engine ~after:sweep_every tick);
   t
 
-let open_session t =
+let open_session ?(owner = "") t =
   let id = t.next_session in
   t.next_session <- id + 1;
-  Hashtbl.replace t.sessions id { id; last_seen = Sim.Engine.now t.engine; live = true };
+  Hashtbl.replace t.sessions id { id; owner; last_seen = Sim.Engine.now t.engine; live = true };
+  lifecycle t ~node:(node_of_owner owner) ~tag:"zk.session_created"
+    (Printf.sprintf "session=%d owner=%s" id owner);
   id
 
 let heartbeat t ~session =
@@ -81,11 +110,18 @@ let close_session t ~session =
 let session_live t ~session =
   match Hashtbl.find_opt t.sessions session with Some s -> s.live | None -> false
 
+let owner_node t ~session =
+  match Hashtbl.find_opt t.sessions session with
+  | Some s -> node_of_owner s.owner
+  | None -> -1
+
 let create_node t ~session ~path ~data ~ephemeral ~sequential =
   heartbeat t ~session;
   let mode = if ephemeral then Ztree.Ephemeral session else Ztree.Persistent in
   match Ztree.create_node t.tree ~path ~data ~mode ~sequential with
   | Ok actual ->
+    lifecycle t ~node:(owner_node t ~session) ~tag:"zk.znode_created"
+      (if ephemeral then actual ^ " (ephemeral)" else actual);
     notify_created_or_deleted t actual;
     Ok actual
   | Error _ as e -> e
@@ -94,6 +130,7 @@ let delete_node t ~session ~path =
   heartbeat t ~session;
   match Ztree.delete_node t.tree ~path with
   | Ok () ->
+    lifecycle t ~node:(owner_node t ~session) ~tag:"zk.znode_deleted" path;
     notify_created_or_deleted t path;
     Ok ()
   | Error _ as e -> e
@@ -102,6 +139,7 @@ let delete_recursive t ~session ~path =
   heartbeat t ~session;
   if Ztree.exists t.tree ~path then begin
     Ztree.delete_recursive t.tree ~path;
+    lifecycle t ~node:(owner_node t ~session) ~tag:"zk.znode_deleted" (path ^ " (recursive)");
     notify_created_or_deleted t path
   end
 

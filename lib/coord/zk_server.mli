@@ -19,10 +19,17 @@ val engine : t -> Sim.Engine.t
 
 val session_timeout : t -> Sim.Sim_time.span
 
+val attach_trace : t -> Sim.Trace.t -> unit
+(** Emit structured lifecycle events ([zk.session_created],
+    [zk.session_expired], [zk.znode_created], [zk.znode_deleted]) to the
+    trace. Owners named ["node-<id>"] have their events attributed to that
+    node. *)
+
 (** {2 Sessions} *)
 
-val open_session : t -> int
-(** Returns a fresh session id; the caller must heartbeat it. *)
+val open_session : ?owner:string -> t -> int
+(** Returns a fresh session id; the caller must heartbeat it. [owner] is a
+    display name recorded in lifecycle events. *)
 
 val heartbeat : t -> session:int -> unit
 (** Any client request also counts as a heartbeat. *)

@@ -7,6 +7,8 @@ type pending = {
   deliver : Message.client_reply -> unit;
   mutable attempts : int;
   mutable timer : Sim.Engine.timer option;
+  trace_id : int;
+  span : int;  (** open [request] span; 0 when the client has no trace *)
 }
 
 type t = {
@@ -17,6 +19,7 @@ type t = {
   config : Config.t;
   rng : Sim.Rng.t;
   lookup_leader : range:int -> (int option -> unit) -> unit;
+  trace : Sim.Trace.t option;
   pending : (int, pending) Hashtbl.t;
   leader_cache : (int, int) Hashtbl.t;
   mutable next_request : int;
@@ -26,6 +29,43 @@ type t = {
 
 let id t = t.id
 let retries t = t.retries
+
+let op_name = function
+  | Message.Get _ -> "get"
+  | Message.Multi_get _ -> "multi_get"
+  | Message.Scan _ -> "scan"
+  | Message.Put _ -> "put"
+  | Message.Multi_put _ -> "multi_put"
+  | Message.Delete _ -> "delete"
+  | Message.Conditional_put _ -> "conditional_put"
+  | Message.Conditional_delete _ -> "conditional_delete"
+  | Message.Multi_conditional_put _ -> "multi_conditional_put"
+  | Message.Txn_put _ -> "txn_put"
+
+let reply_name = function
+  | Message.Written -> "written"
+  | Message.Value _ -> "value"
+  | Message.Values _ -> "values"
+  | Message.Rows _ -> "rows"
+  | Message.Version_mismatch _ -> "version_mismatch"
+  | Message.Cross_range -> "cross_range"
+  | Message.Unavailable -> "unavailable"
+  | Message.Not_leader _ -> "not_leader"
+
+(* Close the request's [client.request] span with its final outcome. *)
+let settle t p outcome =
+  match t.trace with
+  | Some trace when p.span <> 0 ->
+    Sim.Trace.span_end trace ~span:p.span ~trace_id:p.trace_id ~node:t.id ~tag:"client.request"
+      outcome
+  | _ -> ()
+
+let note_retry t request_id p =
+  match t.trace with
+  | None -> ()
+  | Some trace ->
+    Sim.Trace.event trace ~trace_id:p.trace_id ~node:t.id ~tag:"client.retry"
+      (Printf.sprintf "c%d#%d attempt %d" t.id request_id p.attempts)
 
 (* Capped exponential backoff with equal jitter: attempt [n] waits
    [min(cap, base * 2^(n-1))], half of it fixed and half uniformly random,
@@ -75,10 +115,13 @@ and retry t request_id p ~after =
   t.retries <- t.retries + 1;
   if p.attempts >= t.config.Config.client_max_attempts then begin
     Hashtbl.remove t.pending request_id;
+    settle t p "unavailable (retries exhausted)";
     p.deliver Message.Unavailable
   end
-  else
+  else begin
+    note_retry t request_id p;
     ignore (Sim.Engine.schedule t.engine ~after (fun () -> dispatch t request_id p))
+  end
 
 and on_timeout t request_id p =
   if Hashtbl.mem t.pending request_id then begin
@@ -117,9 +160,10 @@ let handle_reply t request_id reply =
       retry t request_id p ~after:(backoff t (p.attempts + 1))
     | _ ->
       Hashtbl.remove t.pending request_id;
+      settle t p (reply_name reply);
       p.deliver reply)
 
-let create ~engine ~net ~partition ~config ~id ~lookup_leader =
+let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader () =
   let t =
     {
       id;
@@ -129,6 +173,7 @@ let create ~engine ~net ~partition ~config ~id ~lookup_leader =
       config;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
       lookup_leader;
+      trace;
       pending = Hashtbl.create 64;
       leader_cache = Hashtbl.create 16;
       next_request = 0;
@@ -145,7 +190,15 @@ let create ~engine ~net ~partition ~config ~id ~lookup_leader =
 let submit t op deliver =
   let request_id = t.next_request in
   t.next_request <- request_id + 1;
-  let p = { op; deliver; attempts = 0; timer = None } in
+  let trace_id = Sim.Trace.request_trace_id ~client:t.id ~request_id in
+  let span =
+    match t.trace with
+    | None -> 0
+    | Some trace ->
+      Sim.Trace.span_start trace ~trace_id ~node:t.id ~tag:"client.request"
+        (Printf.sprintf "c%d#%d %s" t.id request_id (op_name op))
+  in
+  let p = { op; deliver; attempts = 0; timer = None; trace_id; span } in
   Hashtbl.replace t.pending request_id p;
   dispatch t request_id p
 

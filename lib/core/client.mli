@@ -26,8 +26,14 @@ val create :
   partition:Partition.t ->
   config:Config.t ->
   id:int ->
+  ?trace:Sim.Trace.t ->
   lookup_leader:(range:int -> (int option -> unit) -> unit) ->
+  unit ->
   t
+(** [trace] enables causal request spans: each submitted operation opens a
+    [client.request] span (trace id derived from [(id, request_id)] via
+    {!Sim.Trace.request_trace_id}) closed with the final outcome, with
+    [client.retry] instants per retransmission. *)
 
 val id : t -> int
 

@@ -6,6 +6,7 @@ type t = {
   zk_server : Coord.Zk_server.t;
   nodes : Node.t array;
   trace : Sim.Trace.t;
+  metrics : Sim.Metrics.Registry.t;
   mutable next_client : int;
 }
 
@@ -38,22 +39,46 @@ let create engine config =
   let zk_server =
     Coord.Zk_server.create engine ~session_timeout:config.Config.session_timeout ()
   in
+  let trace = Sim.Trace.create ~capacity:config.Config.trace_capacity engine in
+  Coord.Zk_server.attach_trace zk_server trace;
   bootstrap_zk zk_server partition;
-  let trace = Sim.Trace.create engine in
   Sim.Network.attach_trace net trace;
+  let metrics = Sim.Metrics.Registry.create engine in
   let nodes =
     Array.init config.Config.nodes (fun id ->
         Node.create ~engine ~net ~zk_server ~partition ~config ~trace ~id)
   in
-  { engine; config; partition; net; zk_server; nodes; trace; next_client = 10_000 }
+  (* Resource gauges, one series per node (and per cohort where the resource
+     is per-range); sampled by the registry ticker once the cluster starts. *)
+  Array.iter
+    (fun node ->
+      let id = Node.id node in
+      let gauge name read = ignore (Sim.Metrics.Registry.register_gauge metrics ~node:id ~name read) in
+      gauge "wal_volatile_bytes" (fun () -> Storage.Wal.volatile_bytes (Node.wal node));
+      List.iter
+        (fun range ->
+          match Node.cohort node ~range with
+          | None -> ()
+          | Some c ->
+            let g fmt read = gauge (Printf.sprintf fmt range) read in
+            g "r%d_memtable_bytes" (fun () -> Storage.Store.memtable_bytes (Cohort.store c));
+            g "r%d_sstable_count" (fun () -> Storage.Store.sstable_count (Cohort.store c));
+            g "r%d_commit_queue_depth" (fun () -> Cohort.pending_writes c);
+            g "r%d_reply_cache_size" (fun () -> Cohort.reply_cache_size c))
+        (Node.ranges node))
+    nodes;
+  { engine; config; partition; net; zk_server; nodes; trace; metrics; next_client = 10_000 }
 
-let start t = Array.iter Node.start t.nodes
+let start t =
+  Array.iter Node.start t.nodes;
+  Sim.Metrics.Registry.start_sampling t.metrics ~period:t.config.Config.metrics_sample_period
 let engine t = t.engine
 let config t = t.config
 let partition t = t.partition
 let net t = t.net
 let zk_server t = t.zk_server
 let trace t = t.trace
+let metrics t = t.metrics
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
 
@@ -105,7 +130,7 @@ let new_client t =
       (function Ok data -> k (int_of_string_opt data) | Error _ -> k None)
   in
   Client.create ~engine:t.engine ~net:t.net ~partition:t.partition ~config:t.config ~id
-    ~lookup_leader
+    ~trace:t.trace ~lookup_leader ()
 
 let crash_node t i = Node.crash t.nodes.(i)
 let restart_node t i = Node.restart t.nodes.(i)

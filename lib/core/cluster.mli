@@ -25,6 +25,16 @@ val net : t -> Message.t Sim.Network.t
 val zk_server : t -> Coord.Zk_server.t
 
 val trace : t -> Sim.Trace.t
+(** The cluster-wide structured trace (ring buffer sized by
+    [Config.trace_capacity]); shared by nodes, cohorts, clients, the
+    network, and the coordination service. *)
+
+val metrics : t -> Sim.Metrics.Registry.t
+(** The cluster metrics registry. [create] registers per-node gauges
+    ([wal_volatile_bytes] and, per hosted range [r<N>],
+    [r<N>_memtable_bytes], [r<N>_sstable_count], [r<N>_commit_queue_depth],
+    [r<N>_reply_cache_size]); {!start} begins sampling them every
+    [Config.metrics_sample_period]. *)
 
 val node : t -> int -> Node.t
 

@@ -34,6 +34,11 @@ type waiting_write = { client : int; request_id : int; op : Message.client_op }
    applied a second time (clients retry under loss and leader changes). *)
 type dedup_state = In_flight | Done of Message.client_reply
 
+(* Per leader-tracked write (keyed by its last LSN): the append instant for
+   the phase histograms plus the request's trace id and open replication
+   span, so [try_commit] can close the span it did not open. *)
+type inflight = { started : Sim.Sim_time.t; trace_id : int; repl_span : int }
+
 type t = {
   ctx : ctx;
   mutable role : role;
@@ -64,8 +69,8 @@ type t = {
   (* instrumentation *)
   phases : Sim.Metrics.Write_phases.t;
       (** per-phase write-path latencies for writes this cohort led *)
-  inflight_started : (Lsn.t, Sim.Sim_time.t) Hashtbl.t;
-      (** append time of each leader-tracked write, keyed by its last LSN *)
+  inflight_started : (Lsn.t, inflight) Hashtbl.t;
+      (** in-flight state of each leader-tracked write, keyed by its last LSN *)
 }
 
 let zk_prefix t = Printf.sprintf "/ranges/%d" t.ctx.range
@@ -106,11 +111,25 @@ let cmt t = t.cmt
 let lst t = t.lst
 let is_open t = t.role = Leader && t.open_for_writes
 let pending_writes t = Commit_queue.length t.queue
+let reply_cache_size t = Hashtbl.length t.dedup
+let store t = t.ctx.store
 
 let others t = List.filter (fun m -> m <> t.ctx.node_id) t.ctx.members
 
+(* Cohort events are structured instants carrying node and cohort fields;
+   the "r%d n%d" detail prefix is kept for log readability and for existing
+   consumers that grep details. *)
 let trace t tag detail =
-  Sim.Trace.emitf t.ctx.trace ~tag "r%d n%d %s" t.ctx.range t.ctx.node_id detail
+  Sim.Trace.event t.ctx.trace ~node:t.ctx.node_id ~cohort:t.ctx.range ~tag
+    (Printf.sprintf "r%d n%d %s" t.ctx.range t.ctx.node_id detail)
+
+let span_start t ?trace_id ?lsn ~tag detail =
+  Sim.Trace.span_start t.ctx.trace ?trace_id ~node:t.ctx.node_id ~cohort:t.ctx.range ?lsn ~tag
+    detail
+
+let span_end t ~span ?trace_id ?lsn ~tag detail =
+  Sim.Trace.span_end t.ctx.trace ~span ?trace_id ~node:t.ctx.node_id ~cohort:t.ctx.range ?lsn
+    ~tag detail
 
 (* Schedule a callback that is dropped if the node crashed/restarted since. *)
 let after t span k =
@@ -202,12 +221,16 @@ let rec try_commit t =
       let popped_at = Sim.Engine.now t.ctx.engine in
       let tracked =
         match Hashtbl.find_opt t.inflight_started e.Commit_queue.lsn with
-        | Some started ->
+        | Some inf ->
           Hashtbl.remove t.inflight_started e.lsn;
           Sim.Metrics.Histogram.record_span t.phases.replication
-            (Sim.Sim_time.diff popped_at started);
-          true
-        | None -> false
+            (Sim.Sim_time.diff popped_at inf.started);
+          let lsn = Lsn.to_string e.lsn in
+          span_end t ~span:inf.repl_span ~trace_id:inf.trace_id ~lsn ~tag:"phase.replication"
+            "commit eligible";
+          let apply_span = span_start t ~trace_id:inf.trace_id ~lsn ~tag:"phase.apply" "" in
+          Some (inf.trace_id, apply_span, lsn)
+        | None -> None
       in
       Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
       t.cmt <- Lsn.max t.cmt e.lsn;
@@ -220,9 +243,12 @@ let rec try_commit t =
         (match e.origin with
         | Some (client, request_id) -> reply_write t ~client ~request_id Message.Written
         | None -> ()));
-      if tracked then
+      match tracked with
+      | Some (trace_id, apply_span, lsn) ->
+        span_end t ~span:apply_span ~trace_id ~lsn ~tag:"phase.apply" "applied and replied";
         Sim.Metrics.Histogram.record_span t.phases.apply
-          (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) popped_at))
+          (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) popped_at)
+      | None -> ())
     committable
 
 and send_commit_msgs t =
@@ -317,8 +343,13 @@ and enqueue_write t ~client ~request_id op =
   else begin
     let arrived = Sim.Engine.now t.ctx.engine in
     let service = Sim.Sim_time.of_us_f t.ctx.config.Config.write_service_us in
+    let trace_id = Sim.Trace.request_trace_id ~client ~request_id in
+    let queue_span =
+      span_start t ~trace_id ~tag:"phase.queue" (Printf.sprintf "c%d#%d" client request_id)
+    in
     Sim.Resource.submit t.ctx.cpu ~service
       (guard t (fun () ->
+           span_end t ~span:queue_span ~trace_id ~tag:"phase.queue" "cpu granted";
            if t.role = Leader && t.open_for_writes && t.pending_final = [] then
              perform_write t ~arrived ~client ~request_id op
            else if t.role = Leader then
@@ -418,12 +449,17 @@ and perform_write t ~arrived ~client ~request_id op =
       writes;
     let started = Sim.Engine.now t.ctx.engine in
     Sim.Metrics.Histogram.record_span t.phases.queue (Sim.Sim_time.diff started arrived);
-    Hashtbl.replace t.inflight_started last_lsn started;
+    let trace_id = Sim.Trace.request_trace_id ~client ~request_id in
+    let lsn = Lsn.to_string last_lsn in
+    let force_span = span_start t ~trace_id ~lsn ~tag:"phase.force" "" in
+    let repl_span = span_start t ~trace_id ~lsn ~tag:"phase.replication" "" in
+    Hashtbl.replace t.inflight_started last_lsn { started; trace_id; repl_span };
     (* Log force and propose happen in parallel (Figure 4). *)
     Wal.force t.ctx.wal
       (guard t (fun () ->
            Sim.Metrics.Histogram.record_span t.phases.force
              (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) started);
+           span_end t ~span:force_span ~trace_id ~lsn ~tag:"phase.force" "locally durable";
            Commit_queue.mark_forced_upto t.queue last_lsn;
            try_commit t));
     propose t writes
@@ -556,6 +592,10 @@ let apply_commits t ~upto =
        (they are globally committed); lst must never trail cmt. *)
     t.lst <- Lsn.max t.lst t.cmt;
     if entries <> [] then begin
+      Sim.Trace.event t.ctx.trace ~node:t.ctx.node_id ~cohort:t.ctx.range ~lsn:(Lsn.to_string t.cmt)
+        ~tag:"follower.apply"
+        (Printf.sprintf "r%d n%d applied %d upto %s" t.ctx.range t.ctx.node_id
+           (List.length entries) (Lsn.to_string t.cmt));
       let applied = List.map (fun (e : Commit_queue.entry) -> e.Commit_queue.lsn) entries in
       let own = Store.durable_write_lsns_in t.ctx.store ~above:old_cmt ~upto:t.cmt in
       let stale = List.filter (fun l -> not (List.exists (Lsn.equal l) applied)) own in
@@ -680,7 +720,12 @@ let leader_catchup_done t ~follower ~upto =
           (Message.Propose
              { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt = None })
       end;
-      trace t "follower_active" (Printf.sprintf "n%d upto=%s" follower (Lsn.to_string upto));
+      (* Attributed to the follower's track: "this follower is caught up and
+         active" is a statement about the follower, and the timeline analyzer
+         matches it by (node = restarted replica, cohort). *)
+      Sim.Trace.event t.ctx.trace ~node:follower ~cohort:t.ctx.range ~lsn:(Lsn.to_string upto)
+        ~tag:"follower_active"
+        (Printf.sprintf "r%d n%d upto=%s" t.ctx.range follower (Lsn.to_string upto));
       if t.takeover_pending then begin
         t.takeover_pending <- false;
         trace t "takeover_quorum" (Printf.sprintf "first=n%d" follower);
@@ -697,6 +742,12 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
   if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
     accept_leader t ~src ~epoch;
     let old_cmt = t.cmt in
+    let catchup_span =
+      span_start t ~lsn:(Lsn.to_string upto) ~tag:"recovery.catchup"
+        (Printf.sprintf "from n%d: %d cells, %s -> %s%s" src (List.length cells)
+           (Lsn.to_string old_cmt) (Lsn.to_string upto)
+           (if final then " (final)" else ""))
+    in
     (* Logical truncation (§6.1.1): LSNs in our log after f.cmt that the
        leader does not vouch for were discarded by a leader change and must
        never be re-applied by local recovery. The leader vouches for the
@@ -762,6 +813,8 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
     recache_outcomes_from_log t ~above:old_cmt ~upto:t.cmt;
     let finish =
       guard t (fun () ->
+          span_end t ~span:catchup_span ~lsn:(Lsn.to_string t.cmt) ~tag:"recovery.catchup"
+            "caught-up batch durable";
           t.catching_up <- false;
           if final then
             t.ctx.send ~dst:src

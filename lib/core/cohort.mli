@@ -59,6 +59,12 @@ val is_open : t -> bool
 val pending_writes : t -> int
 (** Commit-queue length. *)
 
+val reply_cache_size : t -> int
+(** Entries in the duplicate-suppression reply cache. *)
+
+val store : t -> Storage.Store.t
+(** The replica's storage engine (gauge registration and inspection). *)
+
 (** {2 Lifecycle} *)
 
 val startup : t -> unit

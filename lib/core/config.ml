@@ -16,6 +16,8 @@ type t = {
   client_backoff_base : Sim.Sim_time.span;
   client_backoff_max : Sim.Sim_time.span;
   client_max_attempts : int;
+  metrics_sample_period : Sim.Sim_time.span;
+  trace_capacity : int;
   seed : int;
 }
 
@@ -38,6 +40,8 @@ let default =
     client_backoff_base = Sim.Sim_time.ms 2;
     client_backoff_max = Sim.Sim_time.ms 400;
     client_max_attempts = 60;
+    metrics_sample_period = Sim.Sim_time.ms 100;
+    trace_capacity = Sim.Trace.default_capacity;
     seed = 42;
   }
 

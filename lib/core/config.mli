@@ -25,6 +25,9 @@ type t = {
       (** first retry delay; doubles per attempt (jittered) *)
   client_backoff_max : Sim.Sim_time.span;  (** retry delay cap *)
   client_max_attempts : int;  (** attempts before reporting [Unavailable] *)
+  metrics_sample_period : Sim.Sim_time.span;
+      (** gauge sampling interval for the cluster metrics registry *)
+  trace_capacity : int;  (** trace ring-buffer capacity (events retained) *)
   seed : int;
 }
 

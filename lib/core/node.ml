@@ -59,7 +59,8 @@ and register_membership t =
     (fun _ -> ())
 
 and handle_session_expiry t =
-  Sim.Trace.emitf t.trace ~tag:"zk_session" "n%d session expired" t.id;
+  Sim.Trace.event t.trace ~node:t.id ~tag:"zk_session"
+    (Printf.sprintf "n%d session expired" t.id);
   t.zk <- None;
   List.iter (fun (_, c) -> Cohort.zk_session_expired c) t.cohorts;
   if not t.zk_reconnecting then reconnect_zk t
@@ -80,7 +81,8 @@ and reconnect_zk t =
         t.zk_reconnecting <- false;
         ignore (zk_exn t);
         register_membership t;
-        Sim.Trace.emitf t.trace ~tag:"zk_session" "n%d session renewed" t.id;
+        Sim.Trace.event t.trace ~node:t.id ~tag:"zk_session"
+          (Printf.sprintf "n%d session renewed" t.id);
         List.iter (fun (_, c) -> Cohort.zk_session_renewed c) t.cohorts
       end
       else ignore (Sim.Engine.schedule t.engine ~after:retry_after attempt)
@@ -92,8 +94,8 @@ and reconnect_zk t =
 let set_zk_reachable t r =
   if t.zk_reachable <> r then begin
     t.zk_reachable <- r;
-    Sim.Trace.emitf t.trace ~tag:"zk_link" "n%d coordination link %s" t.id
-      (if r then "healed" else "cut");
+    Sim.Trace.event t.trace ~node:t.id ~tag:"zk_link"
+      (Printf.sprintf "n%d coordination link %s" t.id (if r then "healed" else "cut"));
     match t.zk with Some zk -> Coord.Zk_client.set_reachable zk r | None -> ()
   end
 
@@ -196,7 +198,7 @@ let crash t =
     t.zk_reconnecting <- false;
     Storage.Wal.crash t.wal;
     List.iter (fun (_, c) -> Cohort.crash c) t.cohorts;
-    Sim.Trace.emitf t.trace ~tag:"node_crash" "n%d" t.id
+    Sim.Trace.event t.trace ~node:t.id ~tag:"node_crash" (Printf.sprintf "n%d" t.id)
   end
 
 let restart t =
@@ -206,14 +208,14 @@ let restart t =
     Sim.Network.register t.net ~node:t.id (handle t);
     ignore (zk_exn t);
     register_membership t;
-    Sim.Trace.emitf t.trace ~tag:"node_restart" "n%d" t.id;
+    Sim.Trace.event t.trace ~node:t.id ~tag:"node_restart" (Printf.sprintf "n%d" t.id);
     List.iter (fun (_, c) -> Cohort.rejoin c) t.cohorts
   end
 
 let lose_disk t =
   Storage.Wal.wipe t.wal;
   List.iter (fun (_, c) -> Cohort.wipe_storage c) t.cohorts;
-  Sim.Trace.emitf t.trace ~tag:"disk_lost" "n%d" t.id
+  Sim.Trace.event t.trace ~node:t.id ~tag:"disk_lost" (Printf.sprintf "n%d" t.id)
 
 let failure_target t =
   Sim.Failure.

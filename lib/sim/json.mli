@@ -19,3 +19,13 @@ val to_string : t -> string
 
 val to_file : string -> t -> unit
 (** [to_file path v] writes [to_string v] to [path] (truncating). *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document. Numbers without [./e/E] parse as [Int], the rest
+    as [Float]; [\uXXXX] escapes decode to UTF-8 bytes. Round-trips anything
+    {!to_string} emits, which is what trace/bench tests rely on. *)
+
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] looks up [key]; [None] on non-objects. *)

@@ -1,12 +1,15 @@
 module Histogram = struct
   type t = {
     name : string;
-    mutable samples : float array;
+    mutable samples : float array;  (** insertion order, always *)
     mutable len : int;
-    mutable sorted : bool;
+    mutable sorted_cache : float array option;
+        (** sorted snapshot of [samples.(0..len-1)]; invalidated on record so
+            percentile/min/max sort once per batch of records, not per call,
+            and never scramble the insertion-ordered samples *)
   }
 
-  let create ?(name = "") () = { name; samples = [||]; len = 0; sorted = false }
+  let create ?(name = "") () = { name; samples = [||]; len = 0; sorted_cache = None }
   let name t = t.name
 
   let record t v =
@@ -18,7 +21,7 @@ module Histogram = struct
     end;
     t.samples.(t.len) <- v;
     t.len <- t.len + 1;
-    t.sorted <- false
+    t.sorted_cache <- None
 
   let record_span t s = record t (float_of_int (Sim_time.to_us s))
   let count t = t.len
@@ -33,25 +36,26 @@ module Histogram = struct
       !sum /. float_of_int t.len
     end
 
-  let ensure_sorted t =
-    if not t.sorted then begin
-      let live = Array.sub t.samples 0 t.len in
-      Array.sort Float.compare live;
-      Array.blit live 0 t.samples 0 t.len;
-      t.sorted <- true
-    end
+  let sorted t =
+    match t.sorted_cache with
+    | Some a -> a
+    | None ->
+        let a = Array.sub t.samples 0 t.len in
+        Array.sort Float.compare a;
+        t.sorted_cache <- Some a;
+        a
 
   let percentile t p =
     if t.len = 0 then 0.0
     else begin
-      ensure_sorted t;
+      let a = sorted t in
       let rank = int_of_float (ceil (p *. float_of_int t.len)) - 1 in
       let rank = Stdlib.max 0 (Stdlib.min (t.len - 1) rank) in
-      t.samples.(rank)
+      a.(rank)
     end
 
-  let min t = if t.len = 0 then 0.0 else (ensure_sorted t; t.samples.(0))
-  let max t = if t.len = 0 then 0.0 else (ensure_sorted t; t.samples.(t.len - 1))
+  let min t = if t.len = 0 then 0.0 else (sorted t).(0)
+  let max t = if t.len = 0 then 0.0 else (sorted t).(t.len - 1)
 
   let stddev t =
     if t.len < 2 then 0.0
@@ -67,7 +71,9 @@ module Histogram = struct
 
   let clear t =
     t.len <- 0;
-    t.sorted <- false
+    t.sorted_cache <- None
+
+  let samples t = Array.to_list (Array.sub t.samples 0 t.len)
 
   let merge a b =
     let t = create ~name:a.name () in
@@ -156,10 +162,147 @@ module Counter = struct
   type t = { name : string; mutable value : int }
 
   let create ?(name = "") () = { name; value = 0 }
+  let name t = t.name
   let incr t = t.value <- t.value + 1
   let add t n = t.value <- t.value + n
   let value t = t.value
   let clear t = t.value <- 0
+end
+
+(* A gauge is a named per-node callback ([unit -> int]) sampled by the
+   registry's sim-time ticker into a capped time series; the cap drops the
+   oldest points so week-long sim runs keep a sliding window rather than an
+   unbounded history. *)
+module Gauge = struct
+  type t = {
+    name : string;
+    node : int;
+    read : unit -> int;
+    points : (int * int) Queue.t;  (** (sim-time µs, value), oldest first *)
+    max_points : int;
+    mutable dropped : int;
+  }
+
+  let name t = t.name
+  let node t = t.node
+  let read t = t.read ()
+  let point_count t = Queue.length t.points
+  let dropped t = t.dropped
+  let points t = List.of_seq (Queue.to_seq t.points)
+
+  let last t =
+    Queue.fold (fun _ p -> Some p) None t.points
+
+  let push t ~at_us v =
+    if Queue.length t.points >= t.max_points then begin
+      ignore (Queue.pop t.points);
+      t.dropped <- t.dropped + 1
+    end;
+    Queue.push (at_us, v) t.points
+
+  let to_json t =
+    Json.Obj
+      [
+        ("name", Json.String t.name);
+        ("node", Json.Int t.node);
+        ("dropped_points", Json.Int t.dropped);
+        ( "points",
+          Json.List
+            (List.map (fun (ts, v) -> Json.List [ Json.Int ts; Json.Int v ]) (points t)) );
+      ]
+end
+
+module Registry = struct
+  type t = {
+    engine : Engine.t;
+    mutable gauges : Gauge.t list;  (** newest-first; [gauges] reverses *)
+    mutable counters : Counter.t list;
+    mutable histograms : Histogram.t list;
+    max_points : int;
+    mutable sampling : bool;
+    mutable samples_taken : int;
+  }
+
+  let create ?(max_points_per_gauge = 4096) engine =
+    {
+      engine;
+      gauges = [];
+      counters = [];
+      histograms = [];
+      max_points = Stdlib.max 1 max_points_per_gauge;
+      sampling = false;
+      samples_taken = 0;
+    }
+
+  let register_gauge t ~node ~name read =
+    let g =
+      {
+        Gauge.name;
+        node;
+        read;
+        points = Queue.create ();
+        max_points = t.max_points;
+        dropped = 0;
+      }
+    in
+    t.gauges <- g :: t.gauges;
+    g
+
+  let counter t ~name =
+    match List.find_opt (fun c -> String.equal (Counter.name c) name) t.counters with
+    | Some c -> c
+    | None ->
+        let c = Counter.create ~name () in
+        t.counters <- c :: t.counters;
+        c
+
+  let histogram t ~name =
+    match List.find_opt (fun h -> String.equal (Histogram.name h) name) t.histograms with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create ~name () in
+        t.histograms <- h :: t.histograms;
+        h
+
+  let gauges t = List.rev t.gauges
+  let counters t = List.rev t.counters
+  let histograms t = List.rev t.histograms
+  let samples_taken t = t.samples_taken
+
+  let sample t =
+    let at_us = Sim_time.time_to_us (Engine.now t.engine) in
+    List.iter (fun g -> Gauge.push g ~at_us (Gauge.read g)) t.gauges;
+    t.samples_taken <- t.samples_taken + 1
+
+  (* The ticker reschedules itself forever, like the ZK session sweeper:
+     cluster engines are driven by [run_for]/[run_until], never drained. *)
+  let start_sampling t ~period =
+    if not t.sampling then begin
+      t.sampling <- true;
+      let rec tick () =
+        sample t;
+        ignore (Engine.schedule t.engine ~after:period tick)
+      in
+      ignore (Engine.schedule t.engine ~after:period tick)
+    end
+
+  let to_json t =
+    Json.Obj
+      [
+        ("samples_taken", Json.Int t.samples_taken);
+        ("gauges", Json.List (List.map Gauge.to_json (gauges t)));
+        ( "counters",
+          Json.List
+            (List.map
+               (fun c ->
+                 Json.Obj
+                   [
+                     ("name", Json.String (Counter.name c));
+                     ("value", Json.Int (Counter.value c));
+                   ])
+               (counters t)) );
+        ("histograms", Json.List (List.map Histogram.json_summary (histograms t)));
+      ]
 end
 
 type run_stats = {

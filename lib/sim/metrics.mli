@@ -22,7 +22,13 @@ module Histogram : sig
   (** 0.0 when empty. *)
 
   val percentile : t -> float -> float
-  (** [percentile t 0.99]; nearest-rank on the sorted samples. 0.0 if empty. *)
+  (** [percentile t 0.99]; nearest-rank on the sorted samples. 0.0 if empty.
+      The sorted view is cached and invalidated by {!record}, so calling
+      several percentiles in a row sorts once; samples themselves stay in
+      insertion order. *)
+
+  val samples : t -> float list
+  (** Raw samples in insertion order. *)
 
   val min : t -> float
 
@@ -75,6 +81,8 @@ module Counter : sig
 
   val create : ?name:string -> unit -> t
 
+  val name : t -> string
+
   val incr : t -> unit
 
   val add : t -> int -> unit
@@ -82,6 +90,71 @@ module Counter : sig
   val value : t -> int
 
   val clear : t -> unit
+end
+
+(** A named per-node gauge: a [unit -> int] callback sampled by the owning
+    {!Registry}'s sim-time ticker into a capped [(µs, value)] time series. *)
+module Gauge : sig
+  type t
+
+  val name : t -> string
+
+  val node : t -> int
+
+  val read : t -> int
+  (** Invoke the callback now (does not record a point). *)
+
+  val points : t -> (int * int) list
+  (** [(sim-time µs, value)] pairs, oldest first. *)
+
+  val point_count : t -> int
+
+  val last : t -> (int * int) option
+
+  val dropped : t -> int
+  (** Points discarded once the per-gauge cap was reached (oldest first). *)
+
+  val to_json : t -> Json.t
+  (** [{name, node, dropped_points, points: [[ts_us, value], ...]}]. *)
+end
+
+(** Central instrument registry for one cluster: gauges registered per node,
+    create-or-get named counters and histograms, and a periodic sim-time
+    sampler that turns gauge reads into time series for [BENCH_*.json] and
+    the Perfetto exporter's counter tracks. *)
+module Registry : sig
+  type t
+
+  val create : ?max_points_per_gauge:int -> Engine.t -> t
+  (** [max_points_per_gauge] caps each gauge's retained series (default
+      4096); older points are dropped FIFO. *)
+
+  val register_gauge : t -> node:int -> name:string -> (unit -> int) -> Gauge.t
+
+  val counter : t -> name:string -> Counter.t
+  (** Create-or-get by name. *)
+
+  val histogram : t -> name:string -> Histogram.t
+  (** Create-or-get by name. *)
+
+  val gauges : t -> Gauge.t list
+  (** In registration order. *)
+
+  val counters : t -> Counter.t list
+
+  val histograms : t -> Histogram.t list
+
+  val sample : t -> unit
+  (** Record one point per gauge at the engine's current time. *)
+
+  val samples_taken : t -> int
+
+  val start_sampling : t -> period:Sim_time.span -> unit
+  (** Start the periodic sampler (idempotent). The ticker reschedules itself
+      forever, so drive the engine with [run_for]/[run_until], not [run]. *)
+
+  val to_json : t -> Json.t
+  (** [{samples_taken, gauges, counters, histograms}]. *)
 end
 
 type run_stats = {

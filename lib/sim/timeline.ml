@@ -1,0 +1,127 @@
+(* Failover-timeline analyzer (paper §7/§8).
+
+   Consumes a structured trace from a crash-the-leader experiment and pulls
+   out the causal chain the paper's availability analysis is built on:
+
+     leader crash -> ZK session expiry -> election start -> leader elected
+       -> cohort reopened -> first re-committed client write
+
+   The unavailability window is crash -> first committed write (a
+   "phase.apply" span end on the cohort), i.e. the client-visible outage.
+   If the crashed node restarts, catch-up duration is restart ->
+   follower_active on the same cohort. *)
+
+type t = {
+  crash_at : Sim_time.t;
+  cohort : int;
+  session_expired_at : Sim_time.t option;
+  election_started_at : Sim_time.t option;
+  leader_elected_at : Sim_time.t option;
+  cohort_open_at : Sim_time.t option;
+  first_commit_at : Sim_time.t option;
+  restart_at : Sim_time.t option;
+  catchup_done_at : Sim_time.t option;
+  unavailability : Sim_time.span option;
+  catchup : Sim_time.span option;
+}
+
+let first_at events ~since pred =
+  List.find_opt (fun (e : Trace.event) -> Sim_time.(e.at >= since) && pred e) events
+  |> Option.map (fun (e : Trace.event) -> e.at)
+
+let analyze ?(leader = -1) ~events ~crash_at ~cohort () =
+  let for_node (e : Trace.event) = leader < 0 || e.node = leader in
+  let in_cohort (e : Trace.event) = e.cohort = cohort in
+  let tagged tag (e : Trace.event) = String.equal e.tag tag in
+  let since = crash_at in
+  let session_expired_at =
+    first_at events ~since (fun e -> tagged "zk.session_expired" e && for_node e)
+  in
+  let election_started_at =
+    first_at events ~since (fun e -> tagged "election_start" e && in_cohort e)
+  in
+  let leader_elected_at =
+    first_at events ~since (fun e -> tagged "leader_elected" e && in_cohort e)
+  in
+  let cohort_open_at =
+    first_at events ~since (fun e -> tagged "cohort_open" e && in_cohort e)
+  in
+  let first_commit_at =
+    first_at events ~since:(Sim_time.add crash_at (Sim_time.us 1)) (fun e ->
+        tagged "phase.apply" e && e.kind = Trace.Span_end && in_cohort e)
+  in
+  let restart_at = first_at events ~since (fun e -> tagged "node_restart" e && for_node e) in
+  let catchup_done_at =
+    match restart_at with
+    | None -> None
+    | Some r ->
+        first_at events ~since:r (fun e ->
+            tagged "follower_active" e && in_cohort e && for_node e)
+  in
+  let span_from a b =
+    match b with Some b -> Some (Sim_time.diff b a) | None -> None
+  in
+  {
+    crash_at;
+    cohort;
+    session_expired_at;
+    election_started_at;
+    leader_elected_at;
+    cohort_open_at;
+    first_commit_at;
+    restart_at;
+    catchup_done_at;
+    unavailability = span_from crash_at first_commit_at;
+    catchup =
+      (match restart_at with Some r -> span_from r catchup_done_at | None -> None);
+  }
+
+let opt_time = function
+  | Some at -> Json.Int (Sim_time.time_to_us at)
+  | None -> Json.Null
+
+let opt_span = function
+  | Some s -> Json.Float (Sim_time.to_ms_f s)
+  | None -> Json.Null
+
+let to_json t =
+  Json.Obj
+    [
+      ("cohort", Json.Int t.cohort);
+      ("crash_at_us", Json.Int (Sim_time.time_to_us t.crash_at));
+      ("session_expired_at_us", opt_time t.session_expired_at);
+      ("election_started_at_us", opt_time t.election_started_at);
+      ("leader_elected_at_us", opt_time t.leader_elected_at);
+      ("cohort_open_at_us", opt_time t.cohort_open_at);
+      ("first_commit_at_us", opt_time t.first_commit_at);
+      ("restart_at_us", opt_time t.restart_at);
+      ("catchup_done_at_us", opt_time t.catchup_done_at);
+      ("unavailability_ms", opt_span t.unavailability);
+      ("catchup_ms", opt_span t.catchup);
+    ]
+
+let pp_mark ppf (label, at, crash_at) =
+  match at with
+  | None -> Format.fprintf ppf "  %-20s -@." label
+  | Some at ->
+      Format.fprintf ppf "  %-20s +%.1f ms@." label (Sim_time.to_ms_f (Sim_time.diff at crash_at))
+
+let pp ppf t =
+  Format.fprintf ppf "failover timeline (cohort r%d, t0 = crash):@." t.cohort;
+  List.iter
+    (fun (label, at) -> pp_mark ppf (label, at, t.crash_at))
+    [
+      ("session expired", t.session_expired_at);
+      ("election started", t.election_started_at);
+      ("leader elected", t.leader_elected_at);
+      ("cohort reopened", t.cohort_open_at);
+      ("first commit", t.first_commit_at);
+      ("node restarted", t.restart_at);
+      ("catch-up done", t.catchup_done_at);
+    ];
+  (match t.unavailability with
+  | Some s -> Format.fprintf ppf "  unavailability: %.1f ms@." (Sim_time.to_ms_f s)
+  | None -> Format.fprintf ppf "  unavailability: not re-established within the run@.");
+  match t.catchup with
+  | Some s -> Format.fprintf ppf "  catch-up: %.1f ms@." (Sim_time.to_ms_f s)
+  | None -> ()

@@ -1,0 +1,39 @@
+(** Failover-timeline analyzer (paper §7/§8).
+
+    Consumes the structured {!Trace} of a crash-the-leader experiment and
+    reconstructs the causal chain: leader crash → ZK session expiry →
+    election start → leader elected → cohort reopened → first re-committed
+    client write ("phase.apply" span end on the cohort), plus the recovery
+    catch-up duration (node restart → follower_active) when the crashed
+    node comes back. *)
+
+type t = {
+  crash_at : Sim_time.t;  (** injected crash instant (the analysis origin) *)
+  cohort : int;
+  session_expired_at : Sim_time.t option;
+  election_started_at : Sim_time.t option;
+  leader_elected_at : Sim_time.t option;
+  cohort_open_at : Sim_time.t option;
+  first_commit_at : Sim_time.t option;
+      (** first committed client write on the cohort strictly after the crash *)
+  restart_at : Sim_time.t option;
+  catchup_done_at : Sim_time.t option;
+  unavailability : Sim_time.span option;  (** [first_commit_at - crash_at] *)
+  catchup : Sim_time.span option;  (** [catchup_done_at - restart_at] *)
+}
+
+val analyze :
+  ?leader:int ->
+  events:Trace.event list ->
+  crash_at:Sim_time.t ->
+  cohort:int ->
+  unit ->
+  t
+(** [leader] (the crashed node id) narrows session-expiry / restart /
+    catch-up matching to that node; omit to accept any node. *)
+
+val to_json : t -> Json.t
+(** [{cohort, crash_at_us, *_at_us (null when unobserved), unavailability_ms,
+    catchup_ms}]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,21 +1,125 @@
-type event = { at : Sim_time.t; tag : string; detail : string }
+(* Structured causal trace.
 
-type t = { engine : Engine.t; mutable enabled : bool; mutable events : event list }
+   Events live in a bounded ring buffer: appending is O(1), and once the
+   buffer is full the oldest events are overwritten (counted in [dropped]) so
+   long chaos runs cannot accumulate unbounded history. Every event carries
+   optional structure — a request-scoped trace id, a span id pairing
+   [Span_start]/[Span_end] events, the emitting node, the cohort (key range),
+   and an LSN rendered as a string — so tests and the timeline analyzer can
+   select on fields instead of string-matching details, and the Chrome
+   trace-event exporter can place events on per-node/per-cohort tracks. *)
 
-let create engine = { engine; enabled = true; events = [] }
+type kind = Instant | Span_start | Span_end
+
+type event = {
+  at : Sim_time.t;
+  tag : string;
+  detail : string;
+  kind : kind;
+  trace_id : int;  (** -1 when not request-scoped *)
+  span_id : int;  (** 0 for instants; pairs a start with its end *)
+  node : int;  (** -1 when unknown *)
+  cohort : int;  (** -1 when unknown *)
+  lsn : string;  (** "" when not tied to a log position *)
+}
+
+type t = {
+  engine : Engine.t;
+  mutable enabled : bool;
+  buf : event array;
+  cap : int;
+  mutable start : int;  (** index of the oldest retained event *)
+  mutable len : int;
+  mutable dropped : int;
+  mutable next_span : int;
+}
+
+let default_capacity = 65_536
+
+let dummy =
+  {
+    at = Sim_time.zero;
+    tag = "";
+    detail = "";
+    kind = Instant;
+    trace_id = -1;
+    span_id = 0;
+    node = -1;
+    cohort = -1;
+    lsn = "";
+  }
+
+let create ?(capacity = default_capacity) engine =
+  let cap = Stdlib.max 1 capacity in
+  {
+    engine;
+    enabled = true;
+    buf = Array.make cap dummy;
+    cap;
+    start = 0;
+    len = 0;
+    dropped = 0;
+    next_span = 0;
+  }
+
 let enable t flag = t.enabled <- flag
+let capacity t = t.cap
+let length t = t.len
+let dropped t = t.dropped
 
-let emit t ~tag detail =
-  if t.enabled then
-    t.events <- { at = Engine.now t.engine; tag; detail } :: t.events
+let push t e =
+  if t.enabled then begin
+    if t.len = t.cap then begin
+      t.buf.(t.start) <- e;
+      t.start <- (t.start + 1) mod t.cap;
+      t.dropped <- t.dropped + 1
+    end
+    else begin
+      t.buf.((t.start + t.len) mod t.cap) <- e;
+      t.len <- t.len + 1
+    end
+  end
 
+let event t ?(kind = Instant) ?(trace_id = -1) ?(span_id = 0) ?(node = -1) ?(cohort = -1)
+    ?(lsn = "") ~tag detail =
+  push t { at = Engine.now t.engine; tag; detail; kind; trace_id; span_id; node; cohort; lsn }
+
+let emit t ~tag detail = event t ~tag detail
 let emitf t ~tag fmt = Format.kasprintf (fun s -> emit t ~tag s) fmt
-let events t = List.rev t.events
+
+let span_start t ?trace_id ?node ?cohort ?lsn ~tag detail =
+  t.next_span <- t.next_span + 1;
+  let id = t.next_span in
+  event t ~kind:Span_start ?trace_id ~span_id:id ?node ?cohort ?lsn ~tag detail;
+  id
+
+let span_end t ~span ?trace_id ?node ?cohort ?lsn ~tag detail =
+  event t ~kind:Span_end ?trace_id ~span_id:span ?node ?cohort ?lsn ~tag detail
+
+(* (client, request id) pairs are unique, so a deterministic packing gives
+   every client request the same trace id at every hop without threading new
+   state through the message protocol. Request ids wrap into 24 bits; clients
+   retire ids long before 16M in-flight requests, so collisions are moot. *)
+let request_trace_id ~client ~request_id = (client lsl 24) lxor (request_id land 0xFFFFFF)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod t.cap)
+  done
+
+let events t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.cap))
 let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (events t)
-let count t ~tag = List.length (find t ~tag)
-let clear t = t.events <- []
+
+let count t ~tag =
+  let n = ref 0 in
+  iter t (fun e -> if String.equal e.tag tag then incr n);
+  !n
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0
 
 let pp ppf t =
-  List.iter
-    (fun e -> Format.fprintf ppf "[%a] %-18s %s@." Sim_time.pp e.at e.tag e.detail)
-    (events t)
+  iter t (fun e ->
+      Format.fprintf ppf "[%a] %-18s %s@." Sim_time.pp e.at e.tag e.detail)

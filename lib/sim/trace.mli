@@ -1,21 +1,98 @@
-(** Lightweight event trace for debugging and for asserting on protocol
-    behaviour in tests (e.g. "exactly one leader election ran"). *)
+(** Structured causal trace.
+
+    Events are stored in a bounded ring buffer (O(1) append; oldest events
+    are overwritten once full and counted in {!dropped}) and carry optional
+    structure — a request-scoped trace id, a span id pairing start/end
+    events, the emitting node, the cohort (key range), and an LSN — so tests
+    and the {!Timeline} analyzer select on fields instead of string-matching
+    details, and {!Trace_export} can lay events out on per-node/per-cohort
+    tracks for Perfetto. *)
 
 type t
 
-type event = { at : Sim_time.t; tag : string; detail : string }
+type kind = Instant | Span_start | Span_end
 
-val create : Engine.t -> t
+type event = {
+  at : Sim_time.t;
+  tag : string;
+  detail : string;
+  kind : kind;
+  trace_id : int;  (** -1 when not request-scoped *)
+  span_id : int;  (** 0 for instants; pairs a [Span_start] with its [Span_end] *)
+  node : int;  (** -1 when unknown *)
+  cohort : int;  (** -1 when unknown *)
+  lsn : string;  (** "" when not tied to a log position *)
+}
+
+val default_capacity : int
+
+val create : ?capacity:int -> Engine.t -> t
+(** Ring buffer holding at most [capacity] events (default
+    {!default_capacity}, clamped to at least 1). *)
 
 val enable : t -> bool -> unit
 (** Disabled traces drop events (default: enabled). *)
 
+val capacity : t -> int
+
+val length : t -> int
+(** Number of currently retained events. *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)
+
+val event :
+  t ->
+  ?kind:kind ->
+  ?trace_id:int ->
+  ?span_id:int ->
+  ?node:int ->
+  ?cohort:int ->
+  ?lsn:string ->
+  tag:string ->
+  string ->
+  unit
+(** Fully general emitter; the named emitters below cover the common cases. *)
+
 val emit : t -> tag:string -> string -> unit
+(** Unstructured instant (back-compat with the flat string trace). *)
 
 val emitf : t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
 
+val span_start :
+  t ->
+  ?trace_id:int ->
+  ?node:int ->
+  ?cohort:int ->
+  ?lsn:string ->
+  tag:string ->
+  string ->
+  int
+(** Emit a [Span_start] and return the fresh span id to pass to
+    {!span_end}. Span ids are unique per trace and never 0. *)
+
+val span_end :
+  t ->
+  span:int ->
+  ?trace_id:int ->
+  ?node:int ->
+  ?cohort:int ->
+  ?lsn:string ->
+  tag:string ->
+  string ->
+  unit
+
+val request_trace_id : client:int -> request_id:int -> int
+(** Deterministic trace id for a client request: every hop that knows the
+    originating [(client, request_id)] pair derives the same id, so spans
+    correlate across client, leader, and followers without protocol
+    changes. *)
+
+val iter : t -> (event -> unit) -> unit
+(** In emission order (oldest retained first); allocation-free. *)
+
 val events : t -> event list
-(** In emission order. *)
+(** In emission order (oldest retained first). *)
 
 val find : t -> tag:string -> event list
 

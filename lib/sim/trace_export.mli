@@ -1,0 +1,17 @@
+(** Chrome trace-event JSON export for {!Trace} — loadable in Perfetto
+    ([ui.perfetto.dev]) or [chrome://tracing].
+
+    Layout: one process per node ([pid] = node id; {!sim_pid} for events
+    with no node), one track per cohort ([tid] = key range). Spans export as
+    async begin/end pairs ("b"/"e") keyed by span id so a span may start and
+    finish on different code paths; instants export as "i"; registry gauges
+    export as counter tracks ("C"). *)
+
+val sim_pid : int
+(** Synthetic pid used for events not attributed to any node. *)
+
+val to_json : ?registry:Metrics.Registry.t -> Trace.t -> Json.t
+(** [{traceEvents; displayTimeUnit; otherData}]; pass [registry] to include
+    sampled gauge series as counter tracks. *)
+
+val to_file : ?registry:Metrics.Registry.t -> Trace.t -> string -> unit

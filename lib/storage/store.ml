@@ -38,6 +38,7 @@ let skipped t = t.skipped
 let flushed_upto t = t.flushed_upto
 let sstable_count t = List.length t.sstables
 let memtable_size t = Memtable.size t.memtable
+let memtable_bytes t = Memtable.approx_bytes t.memtable
 let served_from_sstables t = t.served_from_sstables
 let sstables_skipped t = t.sstables_skipped
 

@@ -53,6 +53,10 @@ val flushed_upto : t -> Lsn.t
 val sstable_count : t -> int
 
 val memtable_size : t -> int
+(** Entries currently in the memtable. *)
+
+val memtable_bytes : t -> int
+(** Approximate memtable payload bytes (the flush-threshold gauge). *)
 
 val flush : t -> unit
 (** Force a memtable flush (also invoked automatically by [apply]). Appends a

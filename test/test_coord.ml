@@ -297,6 +297,52 @@ let prop_sequential_znodes_monotone =
       in
       strictly_increasing names)
 
+(* --- lifecycle events through the structured trace -------------------------- *)
+
+let test_lifecycle_events_traced () =
+  let engine = Sim.Engine.create () in
+  let server = Coord.Zk_server.create engine ~session_timeout:(Sim.Sim_time.sec 2) () in
+  let trace = Sim.Trace.create ~capacity:256 engine in
+  Coord.Zk_server.attach_trace server trace;
+  let session = Coord.Zk_server.open_session ~owner:"node-7" server in
+  check_int "session creation traced" 1 (Sim.Trace.count trace ~tag:"zk.session_created");
+  (match Sim.Trace.find trace ~tag:"zk.session_created" with
+  | [ e ] ->
+    check_int "owner parsed to node id" 7 e.Sim.Trace.node;
+    check_bool "owner named in detail" true
+      (String.length e.Sim.Trace.detail > 0
+      && Option.is_some (String.index_opt e.Sim.Trace.detail '7'))
+  | _ -> Alcotest.fail "expected one session_created event");
+  check_bool "ephemeral create ok" true
+    (Coord.Zk_server.create_node server ~session ~path:"/e" ~data:"" ~ephemeral:true
+       ~sequential:false
+    |> Result.is_ok);
+  (match Sim.Trace.find trace ~tag:"zk.znode_created" with
+  | [ e ] ->
+    check_bool "created path in detail" true
+      (String.length e.Sim.Trace.detail >= 2 && String.sub e.Sim.Trace.detail 0 2 = "/e")
+  | _ -> Alcotest.fail "expected one znode_created event");
+  (* Stop heartbeating: the sweep expires the session and reaps /e. *)
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 5);
+  check_bool "session gone" false (Coord.Zk_server.session_live server ~session);
+  check_int "expiry traced" 1 (Sim.Trace.count trace ~tag:"zk.session_expired");
+  (match Sim.Trace.find trace ~tag:"zk.session_expired" with
+  | [ e ] -> check_int "expiry attributed to the owner node" 7 e.Sim.Trace.node
+  | _ -> Alcotest.fail "expected one session_expired event");
+  check_bool "ephemeral reap traced" true (Sim.Trace.count trace ~tag:"zk.znode_deleted" >= 1)
+
+let test_explicit_delete_traced () =
+  let engine = Sim.Engine.create () in
+  let server = Coord.Zk_server.create engine ~session_timeout:(Sim.Sim_time.sec 2) () in
+  let trace = Sim.Trace.create ~capacity:64 engine in
+  Coord.Zk_server.attach_trace server trace;
+  let session = Coord.Zk_server.open_session server in
+  ignore
+    (Coord.Zk_server.create_node server ~session ~path:"/d" ~data:"" ~ephemeral:false
+       ~sequential:false);
+  check_bool "delete ok" true (Coord.Zk_server.delete_node server ~session ~path:"/d" |> Result.is_ok);
+  check_int "delete traced" 1 (Sim.Trace.count trace ~tag:"zk.znode_deleted")
+
 let suite =
   [
     Alcotest.test_case "ztree: create/get/set" `Quick test_ztree_create_get_set;
@@ -313,6 +359,8 @@ let suite =
     Alcotest.test_case "server: child watch" `Quick test_child_watch;
     Alcotest.test_case "server: watch on expiry" `Quick test_watch_fires_on_session_expiry;
     Alcotest.test_case "server: epoch counter" `Quick test_incr_counter;
+    Alcotest.test_case "server: lifecycle events traced" `Quick test_lifecycle_events_traced;
+    Alcotest.test_case "server: explicit delete traced" `Quick test_explicit_delete_traced;
     Alcotest.test_case "client: roundtrip latency" `Quick test_client_roundtrip_and_latency;
     Alcotest.test_case "client: crash suppresses callbacks" `Quick
       test_client_crash_suppresses_callbacks;

@@ -14,6 +14,7 @@ let () =
       ("nemesis", Test_nemesis.suite);
       ("eventual", Test_eventual.suite);
       ("masterslave", Test_masterslave.suite);
+      ("observability", Test_observability.suite);
       ("workload", Test_workload.suite);
       ("sync-api", Test_sync.suite);
     ]

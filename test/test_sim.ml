@@ -287,6 +287,59 @@ let prop_rng_int_in_bounds =
       let v = Sim.Rng.int rng bound in
       v >= 0 && v < bound)
 
+(* --- JSON parser ------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Sim.Json.Obj
+      [
+        ("null", Sim.Json.Null);
+        ("flags", Sim.Json.List [ Sim.Json.Bool true; Sim.Json.Bool false ]);
+        ("int", Sim.Json.Int (-42));
+        ("float", Sim.Json.Float 2.5);
+        ("text", Sim.Json.String "line\nquote\" tab\t back\\slash");
+        ("nested", Sim.Json.Obj [ ("xs", Sim.Json.List [ Sim.Json.Int 1; Sim.Json.Int 2 ]) ]);
+        ("empty_list", Sim.Json.List []);
+        ("empty_obj", Sim.Json.Obj []);
+      ]
+  in
+  match Sim.Json.of_string (Sim.Json.to_string doc) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok parsed -> check_bool "identical after round-trip" true (parsed = doc)
+
+let test_json_parses_plain_syntax () =
+  (match Sim.Json.of_string {| {"a": [1, 2.5, "xA", true, null]} |} with
+  | Ok (Sim.Json.Obj [ ("a", Sim.Json.List l) ]) ->
+    check_bool "values" true
+      (l = [ Sim.Json.Int 1; Sim.Json.Float 2.5; Sim.Json.String "xA"; Sim.Json.Bool true;
+             Sim.Json.Null ])
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* exponents parse as floats, bare ints as ints *)
+  (match Sim.Json.of_string "[1e3, 10]" with
+  | Ok (Sim.Json.List [ Sim.Json.Float f; Sim.Json.Int 10 ]) ->
+    Alcotest.(check (float 0.001)) "exponent" 1000.0 f
+  | _ -> Alcotest.fail "number discrimination")
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Sim.Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "tru";
+  bad "{} trailing"
+
+let test_json_member () =
+  let doc = Sim.Json.Obj [ ("a", Sim.Json.Int 1) ] in
+  check_bool "present" true (Sim.Json.member "a" doc = Some (Sim.Json.Int 1));
+  check_bool "absent" true (Sim.Json.member "b" doc = None);
+  check_bool "non-object" true (Sim.Json.member "a" (Sim.Json.Int 3) = None)
+
 let suite =
   [
     Alcotest.test_case "heap: time ordering" `Quick test_heap_ordering;
@@ -309,6 +362,10 @@ let suite =
     Alcotest.test_case "network: size-scaled transfer" `Quick test_network_transfer_time_scales_with_size;
     Alcotest.test_case "metrics: histogram stats" `Quick test_histogram_stats;
     Alcotest.test_case "metrics: interleaved record/query" `Quick test_histogram_interleaved_record_and_query;
+    Alcotest.test_case "json: printer/parser round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json: parses plain syntax" `Quick test_json_parses_plain_syntax;
+    Alcotest.test_case "json: rejects malformed input" `Quick test_json_rejects_garbage;
+    Alcotest.test_case "json: member lookup" `Quick test_json_member;
     Alcotest.test_case "rng: determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
     QCheck_alcotest.to_alcotest prop_distribution_nonnegative;
