@@ -415,6 +415,171 @@ let failover () =
   record_field "failover_timeline" (Sim.Timeline.to_json timeline);
   record_field "crashed_leader" (J.Int leader)
 
+(* --- Read path: hot vs uniform key mixes over a preloaded LSM ---------------- *)
+
+(* The Figs. 9-10 regime: read throughput/latency against a real local LSM.
+   One cluster is preloaded with enough writes that every cohort carries
+   several tiers of SSTables, then four read-only series run on it (hot and
+   uniform key mixes, strong and timeline reads). Per point we record the
+   row-cache hit rate, SSTables skipped vs probed, and per-node table counts
+   (deltas of the cumulative store counters). The experiment asserts the two
+   headline effects: the hot mix must actually hit the cache, and hot-key
+   strong-read throughput must be at least 2x the uniform mix at the highest
+   thread count. *)
+let read_exp () =
+  header "Read path: hot vs uniform key mix, strong vs timeline reads";
+  let config =
+    {
+      Config.default with
+      (* A smaller key space and flush threshold so the preload produces a
+         populated, multi-tier LSM in bounded simulated time; the row cache
+         is deliberately smaller than one range's share of the key space so
+         only a skewed mix can live in it. *)
+      Config.key_space = 20_000;
+      flush_bytes = 64 * 1024;
+      value_bytes = 1024;
+      row_cache_capacity = 256;
+    }
+  in
+  let engine, cluster = spin_cluster ~config () in
+  let key_space = config.Config.key_space in
+  let preload =
+    {
+      (base_spec ~write_fraction:1.0 ~key_mode:consecutive ()) with
+      Workload.Experiment.threads = 128;
+      value_bytes = config.Config.value_bytes;
+      warmup = sec_f 0.2;
+      measure = (if !quick then sec_f 3.0 else sec_f 8.0);
+    }
+  in
+  ignore
+    (Workload.Experiment.run ~engine ~partition:(Cluster.partition cluster) ~key_space
+       ~make_driver:(fun () -> Workload.Driver.spinnaker cluster ~consistent_reads:true ())
+       preload);
+  let s0 = Cluster.read_path_stats cluster in
+  Format.printf
+    "  preload: %d compactions (%d full), max merge input %d KB vs max store %d KB@."
+    s0.Cluster.compactions s0.Cluster.full_compactions
+    (s0.Cluster.max_compaction_input_bytes / 1024)
+    (s0.Cluster.max_store_bytes_at_compaction / 1024);
+  Format.printf "  tables per node:";
+  List.iter
+    (fun (n, ts) ->
+      Format.printf " n%d=[%s]" n (String.concat "," (List.map string_of_int ts)))
+    s0.Cluster.tables_per_node;
+  Format.printf "@.";
+  let threads = read_threads () in
+  let hot_mode = Workload.Generator.Hotspot { fraction_hot = 0.9; hot_keys = 512 } in
+  (* (series label, key mode, consistent reads); strong series first so the
+     2x assertion compares like with like. *)
+  let series =
+    [
+      ("hot keys, strong reads", hot_mode, true);
+      ("uniform keys, strong reads", Workload.Generator.Uniform_random, true);
+      ("hot keys, timeline reads", hot_mode, false);
+      ("uniform keys, timeline reads", Workload.Generator.Uniform_random, false);
+    ]
+  in
+  let peak = Hashtbl.create 4 in
+  let hot_hit_rate = ref 0.0 in
+  List.iter
+    (fun (name, key_mode, consistent) ->
+      Format.printf "  %-34s %8s %12s %10s %10s %7s@." name "threads" "load(req/s)" "mean(ms)"
+        "p99(ms)" "hit%";
+      let points =
+        List.map
+          (fun th ->
+            let before = Cluster.read_path_stats cluster in
+            let outcome =
+              Workload.Experiment.run ~engine ~partition:(Cluster.partition cluster)
+                ~key_space
+                ~make_driver:(fun () ->
+                  Workload.Driver.spinnaker cluster ~consistent_reads:consistent ())
+                {
+                  (base_spec ~key_mode ()) with
+                  Workload.Experiment.threads = th;
+                  value_bytes = config.Config.value_bytes;
+                  warmup = sec_f 0.5;
+                  measure = measure_span ();
+                }
+            in
+            let after = Cluster.read_path_stats cluster in
+            let hits = after.Cluster.cache_hits - before.Cluster.cache_hits in
+            let misses = after.Cluster.cache_misses - before.Cluster.cache_misses in
+            let hit_rate =
+              if hits + misses = 0 then 0.0
+              else float_of_int hits /. float_of_int (hits + misses)
+            in
+            let s = outcome.Workload.Experiment.all in
+            Format.printf "  %-34s %8d %12.0f %10.2f %10.2f %7.1f@." "" th
+              s.Sim.Metrics.throughput_per_sec s.Sim.Metrics.mean_latency_ms
+              s.Sim.Metrics.p99_ms (100.0 *. hit_rate);
+            if consistent then begin
+              Hashtbl.replace peak (name, th) s.Sim.Metrics.throughput_per_sec;
+              if name = "hot keys, strong reads" && hit_rate > !hot_hit_rate then
+                hot_hit_rate := hit_rate
+            end;
+            match Workload.Experiment.json_of_outcome outcome with
+            | J.Obj fields ->
+              J.Obj
+                (fields
+                @ [
+                    ("cache_hit_rate", J.Float hit_rate);
+                    ("cache_hits", J.Int hits);
+                    ("cache_misses", J.Int misses);
+                    ( "cache_evictions",
+                      J.Int (after.Cluster.cache_evictions - before.Cluster.cache_evictions) );
+                    ( "sstables_skipped",
+                      J.Int (after.Cluster.sstables_skipped - before.Cluster.sstables_skipped) );
+                    ( "sstables_probed",
+                      J.Int (after.Cluster.sstables_probed - before.Cluster.sstables_probed) );
+                  ])
+            | other -> other)
+          threads
+      in
+      series_acc := J.Obj [ ("name", J.String name); ("points", J.List points) ] :: !series_acc)
+    series;
+  let final = Cluster.read_path_stats cluster in
+  record_field "tables_per_node"
+    (J.List
+       (List.map
+          (fun (node, tables) ->
+            J.Obj
+              [
+                ("node", J.Int node);
+                ("sstables", J.List (List.map (fun n -> J.Int n) tables));
+              ])
+          final.Cluster.tables_per_node));
+  record_field "compaction"
+    (J.Obj
+       [
+         ("compactions", J.Int final.Cluster.compactions);
+         ("full_compactions", J.Int final.Cluster.full_compactions);
+         ("max_input_bytes", J.Int final.Cluster.max_compaction_input_bytes);
+         ("total_input_bytes", J.Int final.Cluster.total_compaction_input_bytes);
+         ("max_store_bytes", J.Int final.Cluster.max_store_bytes_at_compaction);
+       ]);
+  (* Smoke assertions: the cache must be effective on the hot mix, and
+     hot-key strong reads must beat the uniform mix by at least 2x at the
+     highest thread count. *)
+  let top = List.fold_left Stdlib.max 0 threads in
+  let hot_tp =
+    try Hashtbl.find peak ("hot keys, strong reads", top) with Not_found -> 0.0
+  in
+  let uni_tp =
+    try Hashtbl.find peak ("uniform keys, strong reads", top) with Not_found -> infinity
+  in
+  let speedup = if uni_tp > 0.0 then hot_tp /. uni_tp else 0.0 in
+  record_field "hot_over_uniform_speedup" (J.Float speedup);
+  record_field "hot_cache_hit_rate" (J.Float !hot_hit_rate);
+  Format.printf "  hot/uniform strong-read speedup at %d threads: %.2fx (hot hit rate %.1f%%)@."
+    top speedup (100.0 *. !hot_hit_rate);
+  if !hot_hit_rate <= 0.0 then failwith "read: cache hit rate on the hot-key mix is zero";
+  if speedup < 2.0 then
+    failwith
+      (Printf.sprintf "read: hot-key speedup %.2fx below the 2x bar (hot %.0f vs uniform %.0f req/s)"
+         speedup hot_tp uni_tp)
+
 (* --- Figure 11: write latency vs cluster size ------------------------------ *)
 
 let fig11 () =
@@ -737,6 +902,7 @@ let all_experiments =
     ("fig1", fig1);
     ("fig8", fig8);
     ("fig9", fig9);
+    ("read", read_exp);
     ("table1", table1);
     ("failover", failover);
     ("fig11", fig11);

@@ -64,7 +64,10 @@ let create engine config =
             g "r%d_memtable_bytes" (fun () -> Storage.Store.memtable_bytes (Cohort.store c));
             g "r%d_sstable_count" (fun () -> Storage.Store.sstable_count (Cohort.store c));
             g "r%d_commit_queue_depth" (fun () -> Cohort.pending_writes c);
-            g "r%d_reply_cache_size" (fun () -> Cohort.reply_cache_size c))
+            g "r%d_reply_cache_size" (fun () -> Cohort.reply_cache_size c);
+            g "r%d_cache_hits" (fun () -> Storage.Store.cache_hits (Cohort.store c));
+            g "r%d_cache_misses" (fun () -> Storage.Store.cache_misses (Cohort.store c));
+            g "r%d_cache_evictions" (fun () -> Storage.Store.cache_evictions (Cohort.store c)))
         (Node.ranges node))
     nodes;
   { engine; config; partition; net; zk_server; nodes; trace; metrics; next_client = 10_000 }
@@ -90,6 +93,74 @@ let leader_of t ~range =
       | Some c when Node.alive t.nodes.(n) && Cohort.is_open c -> Some n
       | _ -> None)
     cohort_nodes
+
+type read_path_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  sstables_skipped : int;
+  sstables_probed : int;
+  compactions : int;
+  full_compactions : int;
+  max_compaction_input_bytes : int;
+  total_compaction_input_bytes : int;
+  max_store_bytes_at_compaction : int;
+  tables_per_node : (int * int list) list;
+}
+
+let read_path_stats t =
+  let stats =
+    ref
+      {
+        cache_hits = 0;
+        cache_misses = 0;
+        cache_evictions = 0;
+        sstables_skipped = 0;
+        sstables_probed = 0;
+        compactions = 0;
+        full_compactions = 0;
+        max_compaction_input_bytes = 0;
+        total_compaction_input_bytes = 0;
+        max_store_bytes_at_compaction = 0;
+        tables_per_node = [];
+      }
+  in
+  Array.iter
+    (fun node ->
+      let tables = ref [] in
+      List.iter
+        (fun range ->
+          match Node.cohort node ~range with
+          | None -> ()
+          | Some c ->
+            let s = Cohort.store c in
+            let acc = !stats in
+            tables := Storage.Store.sstable_count s :: !tables;
+            stats :=
+              {
+                acc with
+                cache_hits = acc.cache_hits + Storage.Store.cache_hits s;
+                cache_misses = acc.cache_misses + Storage.Store.cache_misses s;
+                cache_evictions = acc.cache_evictions + Storage.Store.cache_evictions s;
+                sstables_skipped = acc.sstables_skipped + Storage.Store.sstables_skipped s;
+                sstables_probed = acc.sstables_probed + Storage.Store.sstables_probed s;
+                compactions = acc.compactions + Storage.Store.compactions s;
+                full_compactions = acc.full_compactions + Storage.Store.full_compactions s;
+                max_compaction_input_bytes =
+                  Stdlib.max acc.max_compaction_input_bytes
+                    (Storage.Store.max_compaction_input_bytes s);
+                total_compaction_input_bytes =
+                  acc.total_compaction_input_bytes
+                  + Storage.Store.total_compaction_input_bytes s;
+                max_store_bytes_at_compaction =
+                  Stdlib.max acc.max_store_bytes_at_compaction
+                    (Storage.Store.max_store_bytes_at_compaction s);
+              })
+        (Node.ranges node);
+      stats :=
+        { !stats with tables_per_node = (Node.id node, List.rev !tables) :: !stats.tables_per_node })
+    t.nodes;
+  { !stats with tables_per_node = List.rev !stats.tables_per_node }
 
 let write_phases t =
   Array.fold_left

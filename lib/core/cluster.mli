@@ -33,7 +33,8 @@ val metrics : t -> Sim.Metrics.Registry.t
 (** The cluster metrics registry. [create] registers per-node gauges
     ([wal_volatile_bytes] and, per hosted range [r<N>],
     [r<N>_memtable_bytes], [r<N>_sstable_count], [r<N>_commit_queue_depth],
-    [r<N>_reply_cache_size]); {!start} begins sampling them every
+    [r<N>_reply_cache_size], [r<N>_cache_hits], [r<N>_cache_misses],
+    [r<N>_cache_evictions]); {!start} begins sampling them every
     [Config.metrics_sample_period]. *)
 
 val node : t -> int -> Node.t
@@ -47,6 +48,26 @@ val leader_of : t -> range:int -> int option
     leader, if any. *)
 
 val is_ready : t -> bool
+
+type read_path_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  sstables_skipped : int;
+  sstables_probed : int;
+  compactions : int;
+  full_compactions : int;
+  max_compaction_input_bytes : int;
+  total_compaction_input_bytes : int;
+  max_store_bytes_at_compaction : int;
+  tables_per_node : (int * int list) list;
+      (** per node, the SSTable count of each hosted cohort *)
+}
+(** Cluster-wide read-path accounting, summed (or maxed, for the
+    [max_*_bytes] fields) over every cohort store. Counters are cumulative;
+    benchmark series take before/after deltas. *)
+
+val read_path_stats : t -> read_path_stats
 
 val write_phases : t -> Sim.Metrics.Write_phases.t
 (** Merged per-phase write-path breakdown over every cohort in the cluster —

@@ -476,39 +476,60 @@ and propose t writes =
 (* Read path (§5): strong reads are served only by the leader; timeline
    reads by any live replica, possibly returning stale values.           *)
 
+(* Probe storage at arrival: the outcome decides the modeled CPU cost — a
+   row-cache hit is a hash lookup, a miss pays the base cost plus one probe
+   charge per SSTable actually binary-searched (bloom/LSN-pruned tables are
+   free). The reply carries the probed values after that service time; the
+   read thus linearizes at its arrival instant, inside the request window. *)
 and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
-  let serve =
+  let config = t.ctx.config in
+  let probe col =
+    let cell, cost = Store.get_profiled t.ctx.store (key, col) in
+    let value =
+      match cell with
+      | Some c when not (Row.is_tombstone c) ->
+        Message.{ value = c.Row.value; version = c.Row.version }
+      | Some c -> Message.{ value = None; version = c.Row.version }
+      | None -> Message.{ value = None; version = 0 }
+    in
+    let us =
+      match cost with
+      | Store.Cache_hit -> config.Config.read_cache_hit_service_us
+      | Store.Probed probed ->
+        config.Config.read_service_us
+        +. (float_of_int probed *. config.Config.read_probe_service_us)
+    in
+    ((col, value), us)
+  in
+  let serve_with values =
     guard t (fun () ->
         if consistent && t.role <> Leader then
           (* Deposed while the request sat in the CPU queue. *)
           t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
         else begin
-        let values =
-          List.map
-            (fun col ->
-              match Store.read t.ctx.store (key, col) with
-              | Some cell -> (col, Message.{ value = cell.Row.value; version = cell.Row.version })
-              | None ->
-                (col, Message.{ value = None; version = Store.current_version t.ctx.store (key, col) }))
-            cols
-        in
-        let reply =
-          match values with
-          | [ (_, v) ] when single -> Message.Value v
-          | vs -> Message.Values vs
-        in
-        t.ctx.reply ~client ~request_id reply
+          let reply =
+            match values with
+            | [ (_, v) ] when single -> Message.Value v
+            | vs -> Message.Values vs
+          in
+          t.ctx.reply ~client ~request_id reply
         end)
   in
-  let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_service_us in
+  let submit () =
+    let probes = List.map probe cols in
+    let service =
+      Sim.Sim_time.of_us_f (List.fold_left (fun acc (_, us) -> acc +. us) 0.0 probes)
+    in
+    Sim.Resource.submit t.ctx.cpu ~service (serve_with (List.map fst probes))
+  in
   if consistent then begin
     if t.role <> Leader then
       t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
     else if not t.open_for_writes then t.ctx.reply ~client ~request_id Message.Unavailable
-    else Sim.Resource.submit t.ctx.cpu ~service serve
+    else submit ()
   end
   else if t.role = Offline then ()
-  else Sim.Resource.submit t.ctx.cpu ~service serve
+  else submit ()
 
 (* Range scan over this cohort's slice of the window (§3's data model is
    range-partitioned precisely so scans stay local to consecutive cohorts;

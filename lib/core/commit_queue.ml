@@ -28,8 +28,20 @@ let length t = Lsn_map.cardinal t.entries
 let min_lsn t = Option.map fst (Lsn_map.min_binding_opt t.entries)
 let max_lsn t = Option.map fst (Lsn_map.max_binding_opt t.entries)
 
-let mark_forced_upto t upto =
-  Lsn_map.iter (fun lsn e -> if Storage.Lsn.(lsn <= upto) then e.forced <- true) t.entries
+(* Visit entries with lsn <= upto, stopping at the first one beyond it — the
+   map's ascending lazy sequence makes this O(log n + visited) instead of a
+   full-map walk on every force/ack. *)
+let iter_upto t ~upto f =
+  let rec go seq =
+    match seq () with
+    | Seq.Cons ((lsn, e), rest) when Storage.Lsn.(lsn <= upto) ->
+      f e;
+      go rest
+    | _ -> ()
+  in
+  go (Lsn_map.to_seq t.entries)
+
+let mark_forced_upto t upto = iter_upto t ~upto (fun e -> e.forced <- true)
 
 let mark_forced t lsn =
   match Lsn_map.find_opt lsn t.entries with
@@ -37,11 +49,8 @@ let mark_forced t lsn =
   | None -> ()
 
 let add_ack t ~from ~upto =
-  Lsn_map.iter
-    (fun lsn e ->
-      if Storage.Lsn.(lsn <= upto) && not (List.mem from e.ackers) then
-        e.ackers <- from :: e.ackers)
-    t.entries
+  iter_upto t ~upto (fun e ->
+      if not (List.mem from e.ackers) then e.ackers <- from :: e.ackers)
 
 let pop_committable t ~acks_needed =
   let rec go acc =

@@ -8,7 +8,12 @@ type t = {
   wal_max_batch : int;
   piggyback_commits : bool;
   flush_bytes : int;
+  compaction_fanin : int;
+  max_sstables : int;
+  row_cache_capacity : int;
   read_service_us : float;
+  read_cache_hit_service_us : float;
+  read_probe_service_us : float;
   write_service_us : float;
   follower_write_service_us : float;
   value_bytes : int;
@@ -32,7 +37,12 @@ let default =
     wal_max_batch = 24;
     piggyback_commits = false;
     flush_bytes = 4 * 1024 * 1024;
+    compaction_fanin = 4;
+    max_sstables = 16;
+    row_cache_capacity = 4096;
     read_service_us = 700.0;
+    read_cache_hit_service_us = 40.0;
+    read_probe_service_us = 30.0;
     write_service_us = 50.0;
     follower_write_service_us = 30.0;
     value_bytes = 4096;

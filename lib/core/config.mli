@@ -16,7 +16,15 @@ type t = {
   piggyback_commits : bool;
       (** piggy-back commit messages on proposes (§D.1 optimisation) *)
   flush_bytes : int;  (** memtable flush threshold *)
-  read_service_us : float;  (** CPU cost to serve a read *)
+  compaction_fanin : int;
+      (** size-tier width: adjacent similar-sized SSTables per merge *)
+  max_sstables : int;
+      (** table-count safety valve forcing a full merge with tombstone GC *)
+  row_cache_capacity : int;  (** LRU row-cache entries per store; 0 disables *)
+  read_service_us : float;  (** CPU cost to serve a read that misses the cache *)
+  read_cache_hit_service_us : float;  (** CPU cost of a row-cache hit *)
+  read_probe_service_us : float;
+      (** additional CPU cost per SSTable actually probed on a miss *)
   write_service_us : float;  (** leader CPU cost to process a write *)
   follower_write_service_us : float;  (** follower CPU cost per propose *)
   value_bytes : int;  (** payload size; the paper uses 4 KB *)

@@ -136,7 +136,10 @@ let create ~engine ~net ~zk_server ~partition ~config ~trace ~id =
     lazy
       (let make_cohort range =
          let store =
-           Storage.Store.create ~cohort:range ~wal ~flush_bytes:config.Config.flush_bytes ()
+           Storage.Store.create ~cohort:range ~wal ~flush_bytes:config.Config.flush_bytes
+             ~compaction_fanin:config.Config.compaction_fanin
+             ~max_sstables:config.Config.max_sstables
+             ~cache_capacity:config.Config.row_cache_capacity ()
          in
          let ctx : Cohort.ctx =
            {

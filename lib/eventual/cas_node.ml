@@ -64,7 +64,10 @@ let create ~engine ~net ~partition ~config ~trace ~anti_entropy_period ~id =
       (fun range ->
         ( range,
           Store.create ~cohort:range ~wal ~newer:Row.newer_by_timestamp
-            ~flush_bytes:config.Config.flush_bytes () ))
+            ~flush_bytes:config.Config.flush_bytes
+            ~compaction_fanin:config.Config.compaction_fanin
+            ~max_sstables:config.Config.max_sstables
+            ~cache_capacity:config.Config.row_cache_capacity () ))
       (Partition.ranges_of_node partition ~node:id)
   in
   let seqs = Hashtbl.create 8 in

@@ -1,0 +1,100 @@
+(* Bounded LRU cache keyed by coordinate, doubly-linked recency list over a
+   hash table: O(1) find/put/invalidate. *)
+
+type 'v node = {
+  key : Row.coord;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (** towards the most recent end *)
+  mutable next : 'v node option;  (** towards the least recent end *)
+}
+
+type 'v t = {
+  capacity : int;
+  tbl : (Row.coord, 'v node) Hashtbl.t;
+  mutable head : 'v node option;  (** most recently used *)
+  mutable tail : 'v node option;  (** least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl node.key;
+    t.evictions <- t.evictions + 1
+
+let put t key value =
+  match Hashtbl.find_opt t.tbl key with
+  | Some node ->
+    node.value <- value;
+    unlink t node;
+    push_front t node
+  | None ->
+    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key node;
+    push_front t node
+
+let invalidate t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.tbl key;
+    t.invalidations <- t.invalidations + 1
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,130 @@
+(* Streaming k-way merge over sorted (coord, cell) cursors. *)
+
+type source = unit -> (Row.coord * Row.cell) option
+
+let of_sorted_list entries =
+  let rest = ref entries in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | e :: tl ->
+      rest := tl;
+      Some e
+
+let of_seq ?high seq =
+  let rest = ref seq in
+  fun () ->
+    match !rest () with
+    | Seq.Nil -> None
+    | Seq.Cons ((((key, _), _) as e), tl) -> (
+      match high with
+      | Some h when String.compare key h >= 0 ->
+        rest := Seq.empty;
+        None
+      | _ ->
+        rest := tl;
+        Some e)
+
+let of_sstable ?low ?high table =
+  let i = ref (match low with Some l -> Sstable.seek table l | None -> 0) in
+  let n = Sstable.count table in
+  fun () ->
+    if !i >= n then None
+    else begin
+      let (((key, _), _) as e) = Sstable.entry table !i in
+      match high with
+      | Some h when String.compare key h >= 0 ->
+        i := n;
+        None
+      | _ ->
+        incr i;
+        Some e
+    end
+
+(* One live cursor in the heap. [rank] is the source's position in the list
+   passed to [merge]; it breaks coordinate ties so that duplicates pop in
+   source order, making the winner-resolution below replay the seed's
+   newest-table-first fold exactly. *)
+type slot = { mutable cur : Row.coord * Row.cell; src : source; rank : int }
+
+type t = {
+  newer : Row.cell -> Row.cell -> bool;
+  heap : slot array;  (** binary min-heap by (coord, rank); [0, len) live *)
+  mutable len : int;
+}
+
+let slot_lt a b =
+  match Row.compare_coord (fst a.cur) (fst b.cur) with
+  | 0 -> a.rank < b.rank
+  | c -> c < 0
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && slot_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && slot_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let merge ~newer sources =
+  let live =
+    List.concat_map
+      (fun (rank, src) ->
+        match src () with Some cur -> [ { cur; src; rank } ] | None -> [])
+      (List.mapi (fun rank src -> (rank, src)) sources)
+  in
+  let heap = Array.of_list live in
+  let t = { newer; heap; len = Array.length heap } in
+  for i = (t.len / 2) - 1 downto 0 do
+    sift_down t i
+  done;
+  t
+
+(* Advance the root's source; drop the cursor when exhausted. *)
+let advance_root t =
+  let root = t.heap.(0) in
+  match root.src () with
+  | Some cur ->
+    root.cur <- cur;
+    sift_down t 0
+  | None ->
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      sift_down t 0
+    end
+
+let next t =
+  if t.len = 0 then None
+  else begin
+    let coord = fst t.heap.(0).cur in
+    let best = ref (snd t.heap.(0).cur) in
+    advance_root t;
+    (* Duplicates pop rank-ascending: keep [best] unless the candidate is at
+       least as new (the incoming cell wins unless the existing one is
+       strictly newer, as in the map-based merge this replaces). *)
+    while t.len > 0 && Row.compare_coord (fst t.heap.(0).cur) coord = 0 do
+      let cand = snd t.heap.(0).cur in
+      if not (t.newer !best cand) then best := cand;
+      advance_root t
+    done;
+    Some (coord, !best)
+  end
+
+let rec iter t f =
+  match next t with
+  | None -> ()
+  | Some (coord, cell) ->
+    f coord cell;
+    iter t f
+
+let fold t f init =
+  let acc = ref init in
+  iter t (fun coord cell -> acc := f !acc coord cell);
+  !acc
+
+let to_list t = List.rev (fold t (fun acc coord cell -> (coord, cell) :: acc) [])

@@ -50,6 +50,7 @@ let range t ~low ~high =
   in
   collect (Coord_map.to_seq_from (low, "") t.cells) []
 let iter t f = Coord_map.iter f t.cells
+let to_seq_from t ~low = Coord_map.to_seq_from (low, "") t.cells
 
 let clear t =
   t.cells <- Coord_map.empty;

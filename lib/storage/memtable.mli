@@ -33,6 +33,11 @@ val range : t -> low:Row.key -> high:Row.key -> (Row.coord * Row.cell) list
 
 val iter : t -> (Row.coord -> Row.cell -> unit) -> unit
 
+val to_seq_from : t -> low:Row.key -> (Row.coord * Row.cell) Seq.t
+(** Lazy ascending walk starting at the first coordinate with key >= [low].
+    Cursor support for {!Iterator} (scans stop consuming at their high
+    bound instead of materialising the window). *)
+
 val clear : t -> unit
 
 val max_lsn : t -> Lsn.t

@@ -95,6 +95,9 @@ let lower_bound t low =
   in
   go 0 (Array.length t.coords)
 
+let seek = lower_bound
+let entry t i = (t.coords.(i), t.cells.(i))
+
 let range t ~low ~high =
   let acc = ref [] in
   let n = Array.length t.coords in

@@ -40,4 +40,12 @@ val range : t -> low:Row.key -> high:Row.key -> (Row.coord * Row.cell) list
 (** Entries with [low <= key < high] (all columns), ascending; binary-searches
     to the start of the window. *)
 
+val seek : t -> Row.key -> int
+(** Index of the first entry whose key is at or after the given key (keys are
+    the major sort component); [count t] when none is. Cursor support for
+    {!Iterator}. *)
+
+val entry : t -> int -> Row.coord * Row.cell
+(** The i-th entry in ascending coordinate order. *)
+
 val approx_bytes : t -> int

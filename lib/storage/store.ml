@@ -1,3 +1,5 @@
+type read_cost = Cache_hit | Probed of int
+
 type t = {
   cohort : int;
   wal : Wal.t;
@@ -5,6 +7,9 @@ type t = {
   newer : Row.cell -> Row.cell -> bool;
   flush_bytes : int;
   compaction_fanin : int;
+  max_sstables : int;
+  tier_growth : float;
+  cache : Row.cell option Cache.t option;
   mutable memtable : Memtable.t;
   mutable sstables : Sstable.t list;  (** newest first *)
   mutable flushed_upto : Lsn.t;
@@ -13,10 +18,20 @@ type t = {
       (** [newer] is LSN order, so an SSTable whose [max_lsn] is at or below
           the best cell found so far cannot improve a read. *)
   mutable sstables_skipped : int;
+  mutable sstables_probed : int;
+  mutable compactions : int;
+  mutable full_compactions : int;
+  mutable last_compaction_input_bytes : int;
+  mutable max_compaction_input_bytes : int;
+  mutable total_compaction_input_bytes : int;
+  mutable max_store_bytes : int;
+      (** largest total SSTable footprint observed when a compaction ran —
+          the denominator of the tier-bounded-work claim *)
 }
 
 let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1024)
-    ?(compaction_fanin = 4) () =
+    ?(compaction_fanin = 4) ?(max_sstables = 16) ?(tier_growth = Compaction.default_growth)
+    ?(cache_capacity = 0) () =
   {
     cohort;
     wal;
@@ -24,12 +39,22 @@ let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1
     newer;
     flush_bytes;
     compaction_fanin;
+    max_sstables;
+    tier_growth;
+    cache = (if cache_capacity > 0 then Some (Cache.create ~capacity:cache_capacity ()) else None);
     memtable = Memtable.create ();
     sstables = [];
     flushed_upto = Lsn.zero;
     served_from_sstables = 0;
     lsn_ordered = newer == Row.newer_by_lsn;
     sstables_skipped = 0;
+    sstables_probed = 0;
+    compactions = 0;
+    full_compactions = 0;
+    last_compaction_input_bytes = 0;
+    max_compaction_input_bytes = 0;
+    total_compaction_input_bytes = 0;
+    max_store_bytes = 0;
   }
 
 let cohort t = t.cohort
@@ -41,15 +66,95 @@ let memtable_size t = Memtable.size t.memtable
 let memtable_bytes t = Memtable.approx_bytes t.memtable
 let served_from_sstables t = t.served_from_sstables
 let sstables_skipped t = t.sstables_skipped
+let sstables_probed t = t.sstables_probed
+let sstable_bytes t = List.fold_left (fun a s -> a + Sstable.approx_bytes s) 0 t.sstables
+let compactions t = t.compactions
+let full_compactions t = t.full_compactions
+let last_compaction_input_bytes t = t.last_compaction_input_bytes
+let max_compaction_input_bytes t = t.max_compaction_input_bytes
+let total_compaction_input_bytes t = t.total_compaction_input_bytes
+let max_store_bytes_at_compaction t = t.max_store_bytes
+let cache_hits t = match t.cache with Some c -> Cache.hits c | None -> 0
+let cache_misses t = match t.cache with Some c -> Cache.misses c | None -> 0
+let cache_evictions t = match t.cache with Some c -> Cache.evictions c | None -> 0
+let cache_invalidations t = match t.cache with Some c -> Cache.invalidations c | None -> 0
+let cache_size t = match t.cache with Some c -> Cache.size c | None -> 0
 
-let maybe_compact t =
-  if Compaction.should_compact t.sstables ~threshold:t.compaction_fanin then
-    (* Full merge over every table, so tombstone GC is safe (§4.1). *)
-    t.sstables <- [ Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables ]
+let cache_hit_rate t = match t.cache with Some c -> Cache.hit_rate c | None -> 0.0
+
+let clear_cache t = match t.cache with Some c -> Cache.clear c | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Compaction: size-tiered runs, full merge only at the table cap.      *)
+
+let record_compaction t ~input_bytes ~full =
+  t.compactions <- t.compactions + 1;
+  if full then t.full_compactions <- t.full_compactions + 1;
+  t.last_compaction_input_bytes <- input_bytes;
+  if input_bytes > t.max_compaction_input_bytes then
+    t.max_compaction_input_bytes <- input_bytes;
+  t.total_compaction_input_bytes <- t.total_compaction_input_bytes + input_bytes;
+  let store_bytes = sstable_bytes t in
+  if store_bytes > t.max_store_bytes then t.max_store_bytes <- store_bytes
+
+(* Split [tables] into (prefix, run, suffix) with [run] the [length] tables
+   starting at [start]. *)
+let split_run tables ~start ~length =
+  let rec go i acc = function
+    | rest when i = start ->
+      let rec take n run rest =
+        match (n, rest) with
+        | 0, _ -> (List.rev acc, List.rev run, rest)
+        | _, x :: tl -> take (n - 1) (x :: run) tl
+        | _, [] -> invalid_arg "Store.split_run: run exceeds table list"
+      in
+      take length [] rest
+    | x :: tl -> go (i + 1) (x :: acc) tl
+    | [] -> invalid_arg "Store.split_run: start exceeds table list"
+  in
+  go 0 [] tables
+
+let rec maybe_compact t =
+  match
+    Compaction.plan ~fanin:t.compaction_fanin ~max_tables:t.max_sstables
+      ~growth:t.tier_growth t.sstables
+  with
+  | None -> ()
+  | Some Compaction.All ->
+    (* Safety valve: the tiers failed to keep the fan-in down (or a caller
+       forced a major compaction). Covers every table, so tombstone GC is
+       safe (§4.1) — which in turn can change [get]'s answer for deleted
+       coordinates, so the row cache must drop its entries. *)
+    let input_bytes = sstable_bytes t in
+    record_compaction t ~input_bytes ~full:true;
+    t.sstables <- [ Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables ];
+    clear_cache t
+  | Some (Compaction.Run { start; length }) ->
+    let prefix, run, suffix = split_run t.sstables ~start ~length in
+    let input_bytes = List.fold_left (fun a s -> a + Sstable.approx_bytes s) 0 run in
+    record_compaction t ~input_bytes ~full:false;
+    (* Partial merge: tombstones must survive, they may shadow live cells in
+       older tables outside the run. *)
+    let merged = Compaction.merge ~newer:t.newer run in
+    t.sstables <- prefix @ (merged :: suffix);
+    (* The merged table may complete the next tier down; cascade until no
+       tier is full. Terminates: every merge shrinks the table count. *)
+    maybe_compact t
+
+let major_compact t =
+  if t.sstables <> [] then begin
+    let input_bytes = sstable_bytes t in
+    record_compaction t ~input_bytes ~full:true;
+    t.sstables <- [ Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables ];
+    clear_cache t
+  end
 
 let flush t =
   if not (Memtable.is_empty t.memtable) then begin
-    let table = Sstable.build (Memtable.to_sorted_list t.memtable) in
+    let table =
+      Compaction.build_table ~newer:t.newer
+        [ Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable) ]
+    in
     let upto = Lsn.max t.flushed_upto (Memtable.max_lsn t.memtable) in
     t.sstables <- table :: t.sstables;
     t.flushed_upto <- upto;
@@ -68,12 +173,18 @@ let flush t =
 
 let apply t ~lsn ~timestamp op =
   List.iter
-    (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
+    (fun (coord, cell) ->
+      Memtable.put t.memtable ~newer:t.newer coord cell;
+      (* Write-through invalidation: the next read re-resolves the winner. *)
+      match t.cache with Some c -> Cache.invalidate c coord | None -> ())
     (Log_record.cells_of_write op ~lsn ~timestamp);
   if Memtable.approx_bytes t.memtable >= t.flush_bytes then flush t
 
-let get t coord =
+(* The uncached lookup: newest cell across memtable and SSTables, counting
+   how many tables were actually probed (bloom/LSN-pruned tables are not). *)
+let lookup t coord =
   let best = ref (Memtable.get t.memtable coord) in
+  let probed = ref 0 in
   let consider cell =
     match !best with
     | Some existing when t.newer existing cell -> ()
@@ -93,10 +204,28 @@ let get t coord =
         | _ -> false
       in
       if cannot_win then t.sstables_skipped <- t.sstables_skipped + 1
-      else
-        match Sstable.get table coord with Some cell -> consider cell | None -> ())
+      else begin
+        incr probed;
+        t.sstables_probed <- t.sstables_probed + 1;
+        match Sstable.get table coord with Some cell -> consider cell | None -> ()
+      end)
     t.sstables;
-  !best
+  (!best, !probed)
+
+let get_profiled t coord =
+  match t.cache with
+  | None ->
+    let cell, probed = lookup t coord in
+    (cell, Probed probed)
+  | Some cache -> (
+    match Cache.find cache coord with
+    | Some cell -> (cell, Cache_hit)
+    | None ->
+      let cell, probed = lookup t coord in
+      Cache.put cache coord cell;
+      (cell, Probed probed))
+
+let get t coord = fst (get_profiled t coord)
 
 let read t coord =
   match get t coord with
@@ -107,57 +236,58 @@ let current_version t coord =
   match get t coord with Some cell -> cell.Row.version | None -> 0
 
 let scan t ~low ~high ~limit =
-  let module Coord_map = Map.Make (struct
-    type t = Row.coord
-
-    let compare = Row.compare_coord
-  end) in
-  (* Merge the window across memtable and every SSTable, newest cell per
-     coordinate. *)
-  let acc = ref Coord_map.empty in
-  let consider (coord, (cell : Row.cell)) =
-    match Coord_map.find_opt coord !acc with
-    | Some existing when t.newer existing cell -> ()
-    | _ -> acc := Coord_map.add coord cell !acc
-  in
-  List.iter consider (Memtable.range t.memtable ~low ~high);
-  List.iter
-    (fun table ->
-      (* Skip tables whose key span misses the [low, high) window. *)
-      let overlaps =
-        match (Sstable.min_key table, Sstable.max_key table) with
-        | Some min_key, Some max_key ->
-          String.compare max_key low >= 0 && String.compare min_key high < 0
-        | _ -> false
-      in
-      if overlaps then List.iter consider (Sstable.range table ~low ~high)
-      else t.sstables_skipped <- t.sstables_skipped + 1)
-    t.sstables;
-  (* Group by row key (bindings come out coordinate-sorted: key-major). *)
-  let rows =
-    Coord_map.fold
-      (fun (key, col) cell rows ->
-        if Row.is_tombstone cell then rows
-        else
+  if limit <= 0 then []
+  else begin
+    (* Stream the k-way merge of the window and stop as soon as [limit] rows
+       are complete — tables outside the key window are never opened, tables
+       past the limit never drained. *)
+    let sources =
+      Iterator.of_seq ~high (Memtable.to_seq_from t.memtable ~low)
+      :: List.filter_map
+           (fun table ->
+             let overlaps =
+               match (Sstable.min_key table, Sstable.max_key table) with
+               | Some min_key, Some max_key ->
+                 String.compare max_key low >= 0 && String.compare min_key high < 0
+               | _ -> false
+             in
+             if overlaps then Some (Iterator.of_sstable ~low ~high table)
+             else begin
+               t.sstables_skipped <- t.sstables_skipped + 1;
+               None
+             end)
+           t.sstables
+    in
+    let it = Iterator.merge ~newer:t.newer sources in
+    (* Rows accumulate newest-key-last with columns reversed; tombstones
+       contribute nothing and fully tombstoned rows never start a row, so
+       they do not count toward [limit]. *)
+    let finalize rows = List.rev_map (fun (k, cols) -> (k, List.rev cols)) rows in
+    let rec go rows nrows =
+      match Iterator.next it with
+      | None -> finalize rows
+      | Some ((key, col), cell) ->
+        if Row.is_tombstone cell then go rows nrows
+        else begin
           match rows with
-          | (k, cols) :: rest when String.equal k key -> (k, (col, cell) :: cols) :: rest
-          | _ -> (key, [ (col, cell) ]) :: rows)
-      !acc []
-  in
-  let rows = List.rev_map (fun (k, cols) -> (k, List.rev cols)) rows in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | row :: rest -> row :: take (n - 1) rest
-  in
-  take limit rows
+          | (k, cols) :: rest when String.equal k key ->
+            go ((k, (col, cell) :: cols) :: rest) nrows
+          | _ ->
+            if nrows >= limit then finalize rows
+            else go ((key, [ (col, cell) ]) :: rows) (nrows + 1)
+        end
+    in
+    go [] 0
+  end
 
 let crash t =
   t.memtable <- Memtable.create ();
   (* [flushed_upto] is volatile bookkeeping: a crash can land after the
      memtable flush but before the checkpoint record is durable, in which
-     case recovery must rederive the flush horizon from stable storage. *)
-  t.flushed_upto <- Lsn.zero
+     case recovery must rederive the flush horizon from stable storage. The
+     row cache is volatile too. *)
+  t.flushed_upto <- Lsn.zero;
+  clear_cache t
 
 let wipe t =
   crash t;
@@ -167,6 +297,7 @@ let wipe t =
 
 let recover t =
   t.memtable <- Memtable.create ();
+  clear_cache t;
   let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
   (* SSTables survive the crash; data through the checkpoint is in them.
      A flushed write is definitionally committed (only committed writes reach
@@ -189,6 +320,7 @@ let recover t =
 
 let recover_all t =
   t.memtable <- Memtable.create ();
+  clear_cache t;
   let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
   t.flushed_upto <- Lsn.max t.flushed_upto checkpoint;
   let lst = Wal.last_write_lsn t.wal ~cohort:t.cohort in
@@ -202,20 +334,10 @@ let recover_all t =
   lst
 
 let all_cells t =
-  let module Coord_map = Map.Make (struct
-    type t = Row.coord
-
-    let compare = Row.compare_coord
-  end) in
-  let acc = ref Coord_map.empty in
-  let consider coord (cell : Row.cell) =
-    match Coord_map.find_opt coord !acc with
-    | Some existing when t.newer existing cell -> ()
-    | _ -> acc := Coord_map.add coord cell !acc
-  in
-  Memtable.iter t.memtable consider;
-  List.iter (fun table -> Sstable.iter table consider) t.sstables;
-  Coord_map.bindings !acc
+  Iterator.to_list
+    (Iterator.merge ~newer:t.newer
+       (Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable)
+       :: List.map (fun table -> Iterator.of_sstable table) t.sstables))
 
 let committed_cells_in t ~above ~upto =
   if Lsn.(upto <= above) then []

@@ -1,12 +1,27 @@
-(** Per-cohort storage: memtable + SSTables + shared WAL + skipped-LSN list.
+(** Per-cohort storage: memtable + size-tiered SSTables + LRU row cache +
+    shared WAL + skipped-LSN list.
 
     One [t] exists per (node, key-range) pair. It owns the cohort's slice of
     the node's shared log and implements local recovery (§6.1): after a
     restart the memtable is rebuilt by re-applying durable log records from
     the most recent checkpoint through f.cmt, consulting the skipped-LSN
-    list; records after f.cmt stay in the log for the catch-up phase. *)
+    list; records after f.cmt stay in the log for the catch-up phase.
+
+    The read/maintenance path is streaming: point reads consult the row
+    cache first, then probe memtable and bloom/LSN-pruned SSTables; scans and
+    compactions run through {!Iterator}'s k-way heap merge. Compaction is
+    size-tiered ({!Compaction.plan}): each merge covers one tier of adjacent
+    similar-sized tables, so its work is bounded by the tier's bytes, with a
+    full merge (and tombstone GC) only at the [max_sstables] safety valve or
+    via {!major_compact}. *)
 
 type t
+
+type read_cost =
+  | Cache_hit  (** served from the row cache, no table probed *)
+  | Probed of int
+      (** resolved against the memtable plus this many SSTable probes
+          (bloom- and LSN-pruned tables excluded) *)
 
 val create :
   cohort:int ->
@@ -14,12 +29,20 @@ val create :
   ?newer:(Row.cell -> Row.cell -> bool) ->
   ?flush_bytes:int ->
   ?compaction_fanin:int ->
+  ?max_sstables:int ->
+  ?tier_growth:float ->
+  ?cache_capacity:int ->
   unit ->
   t
 (** [newer] (default {!Row.newer_by_lsn}) resolves overlaps between tables on
     reads and compaction; the eventually consistent baseline passes
     {!Row.newer_by_timestamp}. [flush_bytes] (default 4 MiB) triggers
-    memtable flush; [compaction_fanin] (default 4) triggers a full merge. *)
+    memtable flush. [compaction_fanin] (default 4) is the tier width: a
+    merge starts once that many adjacent similar-sized tables exist
+    (similarity factor [tier_growth], default {!Compaction.default_growth}).
+    [max_sstables] (default 16) forces a full merge with tombstone GC.
+    [cache_capacity] (default 0 = disabled) bounds the LRU row cache in
+    entries. *)
 
 val cohort : t -> int
 
@@ -28,12 +51,19 @@ val wal : t -> Wal.t
 val skipped : t -> Skipped_lsns.t
 
 val apply : t -> lsn:Lsn.t -> timestamp:int -> Log_record.op -> unit
-(** Apply a committed write to the memtable, flushing/compacting as needed.
-    Idempotent: re-applying a record yields the same state. *)
+(** Apply a committed write to the memtable, flushing/compacting as needed
+    and invalidating the written coordinates in the row cache. Idempotent:
+    re-applying a record yields the same state. *)
 
 val get : t -> Row.coord -> Row.cell option
 (** The newest cell across memtable and SSTables — including tombstones, so
-    callers can expose version numbers for conditional puts. *)
+    callers can expose version numbers for conditional puts. Cached: repeat
+    lookups of a coordinate (negative results included) are O(1) until a
+    write invalidates it or it falls out of the LRU. *)
+
+val get_profiled : t -> Row.coord -> Row.cell option * read_cost
+(** {!get} plus where the answer came from — the input to the leader's read
+    CPU cost model. *)
 
 val read : t -> Row.coord -> Row.cell option
 (** Like {!get} but tombstones map to [None] (client-visible read). *)
@@ -46,11 +76,15 @@ val scan :
   (Row.key * (Row.column * Row.cell) list) list
 (** Rows with [low <= key < high], ascending by key, at most [limit] rows.
     Each row lists its live columns (per-column newest cell wins across
-    memtable and SSTables; fully tombstoned rows are omitted). *)
+    memtable and SSTables; fully tombstoned rows are omitted). Streaming:
+    stops reading the merged cursors as soon as [limit] rows are complete. *)
 
 val flushed_upto : t -> Lsn.t
 
 val sstable_count : t -> int
+
+val sstable_bytes : t -> int
+(** Total approximate bytes across current SSTables. *)
 
 val memtable_size : t -> int
 (** Entries currently in the memtable. *)
@@ -64,10 +98,15 @@ val flush : t -> unit
     checkpoint is durable — GC-ing before the force opens a crash window in
     which the log holds neither the flushed writes nor the checkpoint. *)
 
+val major_compact : t -> unit
+(** Merge every SSTable into one, dropping tombstones — the explicit
+    full-range GC; automatic compaction is tier-scoped. *)
+
 val crash : t -> unit
-(** Lose the memtable (volatile), including the in-memory flush horizon; the
-    next {!recover} rederives it from the durable checkpoint. The WAL itself
-    is crashed separately by the node, since it is shared. *)
+(** Lose the memtable and row cache (volatile), including the in-memory
+    flush horizon; the next {!recover} rederives it from the durable
+    checkpoint. The WAL itself is crashed separately by the node, since it
+    is shared. *)
 
 val wipe : t -> unit
 (** Lose SSTables and the skipped-LSN list too (disk failure). *)
@@ -102,3 +141,38 @@ val sstables_skipped : t -> int
 (** SSTables pruned from reads without probing: bloom-filter misses and
     tables whose [max_lsn] (point reads under LSN order) or key span (scans)
     could not beat the best cell already found. *)
+
+val sstables_probed : t -> int
+(** SSTables actually probed (binary-searched) by point reads. *)
+
+(** {2 Row-cache counters} (all 0 when the cache is disabled) *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_evictions : t -> int
+val cache_invalidations : t -> int
+val cache_size : t -> int
+
+val cache_hit_rate : t -> float
+(** hits / (hits + misses); 0.0 before any lookup or when disabled. *)
+
+(** {2 Compaction work accounting} *)
+
+val compactions : t -> int
+(** Merges run (tier-scoped and full). *)
+
+val full_compactions : t -> int
+(** Merges that covered every table (tombstone GC points). *)
+
+val last_compaction_input_bytes : t -> int
+
+val max_compaction_input_bytes : t -> int
+(** Largest single-merge input — stays near one tier's bytes under tiered
+    compaction instead of tracking the whole store. *)
+
+val total_compaction_input_bytes : t -> int
+(** Cumulative merge input (the write-amplification numerator). *)
+
+val max_store_bytes_at_compaction : t -> int
+(** Largest total SSTable footprint observed when a compaction ran — the
+    baseline the tier-bounded-work claim is measured against. *)

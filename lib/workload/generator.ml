@@ -30,7 +30,12 @@ let next_key t =
       t.cursor <- t.cursor + stride;
       k
     | Hotspot { fraction_hot; hot_keys } ->
-      if Sim.Rng.float t.rng 1.0 < fraction_hot then Sim.Rng.int t.rng hot_keys
+      if Sim.Rng.float t.rng 1.0 < fraction_hot then
+        (* Stride the hot set across the whole key space so it spans every
+           range; contiguous hot keys would all hash to one leader and
+           measure that leader's saturation rather than the read path. *)
+        let stride = Stdlib.max 1 (t.key_space / hot_keys) in
+        Sim.Rng.int t.rng hot_keys * stride
       else Sim.Rng.int t.rng t.key_space
   in
   Spinnaker.Partition.key_of_int t.partition k

@@ -6,7 +6,9 @@ type key_mode =
   | Consecutive of { stride : int }
       (** thread [i] walks keys [offset + i], [offset + i + stride], ... *)
   | Hotspot of { fraction_hot : float; hot_keys : int }
-      (** skew: [fraction_hot] of ops hit the [hot_keys] first keys *)
+      (** skew: [fraction_hot] of ops hit a fixed hot set of [hot_keys] keys
+          strided evenly across the key space (so the skew spans every range
+          instead of saturating one leader) *)
 
 type t
 

@@ -749,6 +749,267 @@ let prop_store_apply_idempotent =
           = Option.map (fun (c : Row.cell) -> c.value) b)
         before after)
 
+(* --- merge iterator ---------------------------------------------------------- *)
+
+module Iterator = Storage.Iterator
+
+let entries_of_ints ks =
+  List.map (fun (k, s) -> ((Printf.sprintf "k%02d" k, "c"), cell (lsn 1 s))) ks
+
+let test_iterator_merges_sorted_sources () =
+  let a = Iterator.of_sorted_list (entries_of_ints [ (1, 1); (3, 2); (5, 3) ]) in
+  let b = Iterator.of_sorted_list (entries_of_ints [ (2, 4); (3, 5); (6, 6) ]) in
+  let merged = Iterator.merge ~newer:Row.newer_by_lsn [ a; b ] in
+  let keys = List.map (fun ((k, _), _) -> k) (Iterator.to_list merged) in
+  Alcotest.(check (list string))
+    "ascending, one entry per coordinate"
+    [ "k01"; "k02"; "k03"; "k05"; "k06" ]
+    keys
+
+let test_iterator_duplicate_resolution_matches_rank () =
+  (* Source order = consultation order: the first source's cell survives a
+     duplicate unless the later one is strictly newer. *)
+  let newest_first =
+    Iterator.merge ~newer:Row.newer_by_lsn
+      [
+        Iterator.of_sorted_list [ (("k", "c"), cell ~value:(Some "new") (lsn 1 9)) ];
+        Iterator.of_sorted_list [ (("k", "c"), cell ~value:(Some "old") (lsn 1 1)) ];
+      ]
+  in
+  (match Iterator.next newest_first with
+  | Some (_, c) -> check_str_opt "first-source newer wins" (Some "new") c.Row.value
+  | None -> Alcotest.fail "empty merge");
+  let oldest_first =
+    Iterator.merge ~newer:Row.newer_by_lsn
+      [
+        Iterator.of_sorted_list [ (("k", "c"), cell ~value:(Some "old") (lsn 1 1)) ];
+        Iterator.of_sorted_list [ (("k", "c"), cell ~value:(Some "new") (lsn 1 9)) ];
+      ]
+  in
+  match Iterator.next oldest_first with
+  | Some (_, c) -> check_str_opt "later-source newer still wins" (Some "new") c.Row.value
+  | None -> Alcotest.fail "empty merge"
+
+let test_iterator_sstable_window_and_laziness () =
+  let table = Sstable.build (sorted_entries 100) in
+  let src = Iterator.of_sstable ~low:"k0010" ~high:"k0013" table in
+  let merged = Iterator.merge ~newer:Row.newer_by_lsn [ src ] in
+  Alcotest.(check (list string))
+    "window [low, high)" [ "k0010"; "k0011"; "k0012" ]
+    (List.map (fun ((k, _), _) -> k) (Iterator.to_list merged));
+  (* Laziness: a consumer that stops early never drains the sequence. *)
+  let pulled = ref 0 in
+  let seq = Seq.map (fun e -> incr pulled; e) (List.to_seq (sorted_entries 100)) in
+  let m = Iterator.merge ~newer:Row.newer_by_lsn [ Iterator.of_seq seq ] in
+  ignore (Iterator.next m);
+  ignore (Iterator.next m);
+  check_bool (Printf.sprintf "pulled %d of 100" !pulled) true (!pulled <= 3)
+
+let prop_iterator_merge_equals_map_merge =
+  QCheck.Test.make ~name:"iterator merge = coordinate-map merge (3 sources)" ~count:100
+    QCheck.(triple (list (int_bound 15)) (list (int_bound 15)) (list (int_bound 15)))
+    (fun (xs, ys, zs) ->
+      let mk base ks =
+        List.sort_uniq (fun (a, _) (b, _) -> Row.compare_coord a b)
+          (List.mapi
+             (fun i k ->
+               ((Printf.sprintf "k%02d" k, "c"), cell ~value:(Some (string_of_int (base + i))) (lsn 1 (base + i))))
+             ks)
+      in
+      let lists = [ mk 1000 xs; mk 2000 ys; mk 100 zs ] in
+      let merged =
+        Iterator.merge ~newer:Row.newer_by_lsn (List.map Iterator.of_sorted_list lists)
+        |> Iterator.to_list
+      in
+      (* Model: fold sources in order, keep the incumbent unless strictly newer. *)
+      let model = Hashtbl.create 16 in
+      List.iter
+        (List.iter (fun (coord, c) ->
+             match Hashtbl.find_opt model coord with
+             | Some (e : Row.cell) when Row.newer_by_lsn e c -> ()
+             | _ -> Hashtbl.replace model coord c))
+        lists;
+      List.length merged = Hashtbl.length model
+      && List.for_all
+           (fun (coord, (c : Row.cell)) ->
+             match Hashtbl.find_opt model coord with
+             | Some m -> Lsn.equal m.Row.lsn c.lsn
+             | None -> false)
+           merged
+      && merged = List.sort (fun (a, _) (b, _) -> Row.compare_coord a b) merged)
+
+(* --- LRU cache ---------------------------------------------------------------- *)
+
+module Cache = Storage.Cache
+
+let test_cache_lru_eviction_order () =
+  let c = Cache.create ~capacity:2 () in
+  Cache.put c ("a", "c") 1;
+  Cache.put c ("b", "c") 2;
+  (* Touch "a" so "b" is the LRU entry when "x" forces an eviction. *)
+  check_bool "a hit" true (Cache.find c ("a", "c") = Some 1);
+  Cache.put c ("x", "c") 3;
+  check_bool "b evicted" true (Cache.find c ("b", "c") = None);
+  check_bool "a kept" true (Cache.find c ("a", "c") = Some 1);
+  check_bool "x kept" true (Cache.find c ("x", "c") = Some 3);
+  check_int "one eviction" 1 (Cache.evictions c);
+  check_int "size bounded" 2 (Cache.size c)
+
+let test_cache_invalidate_and_clear () =
+  let c = Cache.create ~capacity:4 () in
+  Cache.put c ("a", "c") 1;
+  Cache.invalidate c ("a", "c");
+  check_bool "invalidated" true (Cache.find c ("a", "c") = None);
+  check_int "invalidation counted" 1 (Cache.invalidations c);
+  Cache.invalidate c ("ghost", "c");
+  check_int "absent coord is a no-op" 1 (Cache.invalidations c);
+  Cache.put c ("b", "c") 2;
+  ignore (Cache.find c ("b", "c"));
+  Cache.clear c;
+  check_int "empty after clear" 0 (Cache.size c);
+  check_int "counters survive clear" 1 (Cache.hits c);
+  (* One miss (the invalidated "a") and one hit ("b") were counted. *)
+  check_bool "hit rate" true (abs_float (Cache.hit_rate c -. 0.5) < 1e-9)
+
+let prop_cache_size_never_exceeds_capacity =
+  QCheck.Test.make ~name:"cache: size <= capacity under random ops" ~count:100
+    QCheck.(pair (int_range 1 8) (list (pair (int_bound 20) (int_bound 2))))
+    (fun (cap, ops) ->
+      let c = Cache.create ~capacity:cap () in
+      List.iter
+        (fun (k, op) ->
+          let coord = (Printf.sprintf "k%02d" k, "c") in
+          match op with
+          | 0 -> Cache.put c coord k
+          | 1 -> ignore (Cache.find c coord)
+          | _ -> Cache.invalidate c coord)
+        ops;
+      Cache.size c <= cap)
+
+(* --- tiered compaction planning ------------------------------------------------ *)
+
+let table_of_bytes ~seq bytes =
+  (* One table holding [bytes] of payload in a single cell. *)
+  Sstable.build [ ((Printf.sprintf "k%04d" seq, "c"), cell ~value:(Some (String.make bytes 'x')) (lsn 1 seq)) ]
+
+let test_compaction_plan_picks_similar_sized_run () =
+  let tables = List.mapi (fun i b -> table_of_bytes ~seq:(i + 1) b) [ 100; 110; 100; 105; 4000 ] in
+  (match Storage.Compaction.plan ~fanin:4 ~max_tables:16 tables with
+  | Some (Storage.Compaction.Run { start; length }) ->
+    check_int "run starts at the small tier" 0 start;
+    check_int "covers the four similar tables" 4 length
+  | other ->
+    Alcotest.failf "expected Run, got %s"
+      (match other with Some Storage.Compaction.All -> "All" | None -> "None" | _ -> "?"));
+  (* Below fanin similar tables: nothing to do. *)
+  let sparse = List.mapi (fun i b -> table_of_bytes ~seq:(i + 1) b) [ 100; 1000; 10_000 ] in
+  check_bool "no full tier -> None" true
+    (Storage.Compaction.plan ~fanin:4 ~max_tables:16 sparse = None)
+
+let test_compaction_plan_full_at_max_tables () =
+  let tables = List.init 6 (fun i -> table_of_bytes ~seq:(i + 1) (100 * (i + 1))) in
+  check_bool "safety valve" true
+    (Storage.Compaction.plan ~fanin:4 ~max_tables:6 tables = Some Storage.Compaction.All)
+
+let test_store_tiered_compaction_bounds_work () =
+  (* Distinct keys per flush: the store grows linearly while each tier merge
+     touches only its tier. The seed design (full merge every [fanin]
+     flushes) would show max merge input ~= store bytes and every compaction
+     full; tiering must keep single-merge input well under the store size
+     with zero full merges, while still bounding the table count. *)
+  let _, _, store = make_store ~flush_bytes:2_000 () in
+  for i = 1 to 2_000 do
+    apply_put store ~l:(lsn 1 i) (Printf.sprintf "k%05d" i) "valuevaluevalue"
+  done;
+  check_bool "compactions ran" true (Store.compactions store > 10);
+  check_int "no full merge below the safety valve" 0 (Store.full_compactions store);
+  check_bool "table count bounded" true (Store.sstable_count store < 16);
+  let max_input = Store.max_compaction_input_bytes store in
+  let store_peak = Store.max_store_bytes_at_compaction store in
+  check_bool
+    (Printf.sprintf "max merge input %dB well under peak store %dB" max_input store_peak)
+    true
+    (float_of_int max_input < 0.9 *. float_of_int store_peak);
+  (* Reads still see everything across the tiers. *)
+  check_str_opt "oldest key survives" (Some "valuevaluevalue")
+    (Option.bind (Store.read store ("k00001", "c")) (fun c -> c.Row.value))
+
+let test_store_major_compact_gcs_tombstones () =
+  let _, _, store = make_store () in
+  apply_put store ~l:(lsn 1 1) "a" "1";
+  apply_put store ~l:(lsn 1 2) "b" "2";
+  Store.apply store ~lsn:(lsn 1 3) ~timestamp:0
+    (Log_record.Delete { key = "a"; col = "c"; version = 2 });
+  Store.flush store;
+  check_int "tombstone still versioned" 2 (Store.current_version store ("a", "c"));
+  Store.major_compact store;
+  check_int "one table" 1 (Store.sstable_count store);
+  check_int "tombstone GCed" 0 (Store.current_version store ("a", "c"));
+  check_int "full merge counted" 1 (Store.full_compactions store);
+  check_str_opt "live key survives" (Some "2")
+    (Option.bind (Store.read store ("b", "c")) (fun c -> c.Row.value))
+
+(* --- store row cache ------------------------------------------------------------ *)
+
+let make_cached_store ?(cache_capacity = 8) () =
+  let engine, wal = make_wal () in
+  let store = Store.create ~cohort:0 ~wal ~cache_capacity () in
+  (engine, wal, store)
+
+let test_store_cache_hits_and_invalidation () =
+  let _, _, store = make_cached_store () in
+  apply_put store ~l:(lsn 1 1) "k" "v1";
+  Store.flush store;
+  (* First get fills the cache, the second is served from it. *)
+  ignore (Store.get store ("k", "c"));
+  check_int "first lookup misses" 1 (Store.cache_misses store);
+  let probed0 = Store.sstables_probed store in
+  (match Store.get_profiled store ("k", "c") with
+  | Some c, Store.Cache_hit -> check_str_opt "cached value" (Some "v1") c.Row.value
+  | _, Store.Probed _ -> Alcotest.fail "expected a cache hit"
+  | None, _ -> Alcotest.fail "value lost");
+  check_int "hit did not touch sstables" probed0 (Store.sstables_probed store);
+  (* A write to the coordinate invalidates it. *)
+  apply_put store ~l:(lsn 1 2) "k" "v2";
+  (match Store.get_profiled store ("k", "c") with
+  | Some c, Store.Probed _ -> check_str_opt "fresh value" (Some "v2") c.Row.value
+  | _, Store.Cache_hit -> Alcotest.fail "stale cache survived a write"
+  | None, _ -> Alcotest.fail "value lost");
+  check_bool "invalidations counted" true (Store.cache_invalidations store >= 1)
+
+let test_store_cache_negative_lookups () =
+  let _, _, store = make_cached_store () in
+  apply_put store ~l:(lsn 1 1) "other" "v";
+  Store.flush store;
+  ignore (Store.get store ("ghost", "c"));
+  (match Store.get_profiled store ("ghost", "c") with
+  | None, Store.Cache_hit -> ()
+  | None, Store.Probed _ -> Alcotest.fail "absence not cached"
+  | Some _, _ -> Alcotest.fail "phantom value");
+  (* The absent coordinate becoming live must invalidate the negative entry. *)
+  apply_put store ~l:(lsn 1 2) "ghost" "now-live";
+  check_str_opt "new value visible" (Some "now-live")
+    (Option.bind (Store.read store ("ghost", "c")) (fun c -> c.Row.value))
+
+let test_store_cache_cleared_on_crash () =
+  let engine, wal, store = make_cached_store () in
+  for i = 1 to 4 do
+    Wal.append wal (put_record ~cohort:0 ~l:(lsn 1 i) (Printf.sprintf "k%d" i))
+  done;
+  Wal.append wal (Log_record.commit_upto ~cohort:0 (lsn 1 4));
+  Wal.force wal (fun () -> ());
+  Sim.Engine.run engine;
+  for i = 1 to 4 do
+    apply_put store ~l:(lsn 1 i) (Printf.sprintf "k%d" i) "v"
+  done;
+  ignore (Store.get store ("k1", "c"));
+  check_bool "cache populated" true (Store.cache_size store > 0);
+  Store.crash store;
+  check_int "cache gone with the crash" 0 (Store.cache_size store);
+  let _ = Store.recover store in
+  check_str_opt "recovery unaffected" (Some "v")
+    (Option.bind (Store.read store ("k1", "c")) (fun c -> c.Row.value))
+
 let suite =
   [
     Alcotest.test_case "lsn: ordering" `Quick test_lsn_ordering;
@@ -810,4 +1071,26 @@ let suite =
       test_store_scan_prunes_disjoint_sstables;
     QCheck_alcotest.to_alcotest prop_memtable_sstable_range_agree;
     QCheck_alcotest.to_alcotest prop_store_scan_window_matches_model;
+    Alcotest.test_case "iterator: merges sorted sources" `Quick test_iterator_merges_sorted_sources;
+    Alcotest.test_case "iterator: duplicate resolution by rank" `Quick
+      test_iterator_duplicate_resolution_matches_rank;
+    Alcotest.test_case "iterator: sstable window & laziness" `Quick
+      test_iterator_sstable_window_and_laziness;
+    QCheck_alcotest.to_alcotest prop_iterator_merge_equals_map_merge;
+    Alcotest.test_case "cache: LRU eviction order" `Quick test_cache_lru_eviction_order;
+    Alcotest.test_case "cache: invalidate & clear" `Quick test_cache_invalidate_and_clear;
+    QCheck_alcotest.to_alcotest prop_cache_size_never_exceeds_capacity;
+    Alcotest.test_case "compaction: plan picks similar-sized run" `Quick
+      test_compaction_plan_picks_similar_sized_run;
+    Alcotest.test_case "compaction: full merge at max_tables" `Quick
+      test_compaction_plan_full_at_max_tables;
+    Alcotest.test_case "store: tiered compaction bounds merge work" `Quick
+      test_store_tiered_compaction_bounds_work;
+    Alcotest.test_case "store: major compact GCs tombstones" `Quick
+      test_store_major_compact_gcs_tombstones;
+    Alcotest.test_case "store: cache hits & write invalidation" `Quick
+      test_store_cache_hits_and_invalidation;
+    Alcotest.test_case "store: cache covers negative lookups" `Quick
+      test_store_cache_negative_lookups;
+    Alcotest.test_case "store: cache cleared on crash" `Quick test_store_cache_cleared_on_crash;
   ]

@@ -29,10 +29,12 @@ let test_consecutive_keys_stride () =
   check_int "stride again" 7 ((k3 - k2 + 100_000) mod 100_000)
 
 let test_hotspot_skew () =
+  (* Hot set = 10 keys strided across the 100k space: {0, 10_000, ...}. *)
   let g = gen (Generator.Hotspot { fraction_hot = 0.9; hot_keys = 10 }) in
   let hot = ref 0 in
   for _ = 1 to 1000 do
-    if int_of_string (Generator.next_key g) < 10 then incr hot
+    let k = int_of_string (Generator.next_key g) in
+    if k mod 10_000 = 0 then incr hot
   done;
   check_bool (Printf.sprintf "hot fraction %d/1000" !hot) true (!hot > 800)
 
