@@ -125,7 +125,7 @@ let consecutive = Workload.Generator.Consecutive { stride = 257 }
 let spin_sweep ?config ~consistent_reads ?(conditional = false) ~spec threads =
   let engine, cluster = spin_cluster ?config () in
   let points =
-    Workload.Experiment.sweep ~engine ~partition:(Cluster.partition cluster)
+    Workload.Experiment.sweep ~engine
       ~key_space:(Cluster.config cluster).Config.key_space
       ~make_driver:(fun () ->
         if conditional then Workload.Driver.spinnaker_conditional cluster
@@ -137,7 +137,7 @@ let spin_sweep ?config ~consistent_reads ?(conditional = false) ~spec threads =
 
 let cas_sweep ?config ~read_level ~write_level ~spec threads =
   let engine, cluster = cas_cluster ?config () in
-  Workload.Experiment.sweep ~engine ~partition:(Eventual.Cas_cluster.partition cluster)
+  Workload.Experiment.sweep ~engine
     ~key_space:(Eventual.Cas_cluster.config cluster).Config.key_space
     ~make_driver:(fun () -> Workload.Driver.cassandra cluster ~read_level ~write_level ())
     ~thread_counts:threads spec
@@ -453,7 +453,7 @@ let read_exp () =
     }
   in
   ignore
-    (Workload.Experiment.run ~engine ~partition:(Cluster.partition cluster) ~key_space
+    (Workload.Experiment.run ~engine ~key_space
        ~make_driver:(fun () -> Workload.Driver.spinnaker cluster ~consistent_reads:true ())
        preload);
   let s0 = Cluster.read_path_stats cluster in
@@ -491,7 +491,7 @@ let read_exp () =
           (fun th ->
             let before = Cluster.read_path_stats cluster in
             let outcome =
-              Workload.Experiment.run ~engine ~partition:(Cluster.partition cluster)
+              Workload.Experiment.run ~engine
                 ~key_space
                 ~make_driver:(fun () ->
                   Workload.Driver.spinnaker cluster ~consistent_reads:consistent ())
@@ -788,6 +788,165 @@ let ablations () =
   ablation_staleness ();
   ablation_piggyback ()
 
+(* --- Scale-out (§10) --------------------------------------------------------------- *)
+
+(* Throughput timeline while the cluster grows under load: a 10-node cluster
+   runs a closed-loop write workload, then nodes 11..13 join. Each joiner
+   absorbs replicas migrated off distinct donors (snapshot ship + log
+   catch-up + Paxos-replicated membership change), and one range splits.
+   Fewer cohorts per node means less follower log-force traffic contending
+   with each leader's own writes, so the windowed throughput steps up. *)
+let scaleout () =
+  header "Scale-out (§10): throughput while nodes 11..13 join and a range splits";
+  let config =
+    {
+      Config.default with
+      Config.nodes = 10;
+      replication = 3;
+      (* Snapshots ship while the donor cohort is saturated; give a
+         migration room before the leader declares it wedged. *)
+      migration_timeout = Sim.Sim_time.sec 30;
+    }
+  in
+  let engine, cluster = spin_cluster ~config () in
+  let partition = Cluster.partition cluster in
+  let n_clients = if !quick then 240 else 400 in
+  let completed = ref 0 in
+  let running = ref true in
+  let value = Workload.Generator.value ~size:512 in
+  List.iter
+    (fun thread ->
+      let client = Cluster.new_client cluster in
+      let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+      let gen =
+        Workload.Generator.create ~rng ~key_space:config.Config.key_space
+          ~mode:(Workload.Generator.Consecutive { stride = 257 }) ~thread
+      in
+      let rec loop () =
+        if !running then
+          Client.put client (Workload.Generator.next_key gen) "c" ~value (fun r ->
+              (match r with Ok () -> incr completed | Error _ -> ());
+              loop ())
+      in
+      loop ())
+    (List.init n_clients Fun.id);
+  (* Windowed throughput: completions per half-second bucket. *)
+  let now_sec () = Sim.Sim_time.time_to_sec_f (Sim.Engine.now engine) in
+  let windows = ref [] in
+  let last = ref 0 in
+  let rec sample () =
+    if !running then begin
+      let delta = !completed - !last in
+      last := !completed;
+      windows := (now_sec (), float_of_int delta /. 0.5) :: !windows;
+      ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 500) sample)
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 500) sample);
+  let timeline = ref [] in
+  let note label = timeline := (now_sec (), label) :: !timeline in
+  (* Step the engine until [cond] holds (or the timeout passes). *)
+  let await ?(timeout = 30.0) cond =
+    let deadline = Sim.Sim_time.add (Sim.Engine.now engine) (sec_f timeout) in
+    let rec loop () =
+      cond ()
+      || (Sim.Sim_time.(Sim.Engine.now engine < deadline)
+         &&
+         (Sim.Engine.run_for engine (Sim.Sim_time.ms 100);
+          loop ()))
+    in
+    loop ()
+  in
+  (* Phase 1: steady state on the original 10 nodes. *)
+  let pre_span = if !quick then 4.0 else 8.0 in
+  Sim.Engine.run_for engine (sec_f pre_span);
+  (* Phase 2: three nodes join at once; each takes over replicas from
+     distinct donor followers (never the leader, so writes keep flowing).
+     The nine migrations run concurrently — one per cohort — to keep the
+     transition window short. A busy leader rejects the request and a
+     timed-out migration aborts cleanly, so each kicker polls until the
+     membership change lands. *)
+  let migrated = ref [] in
+  let plans =
+    List.concat_map
+      (fun ranges ->
+        let joiner = Cluster.add_node cluster in
+        note (Printf.sprintf "node %d joined" joiner);
+        List.map (fun range -> (range, joiner)) ranges)
+      [ [ 0; 3; 6 ]; [ 1; 4; 7 ]; [ 2; 5; 8 ] ]
+  in
+  List.iter
+    (fun (range, joiner) ->
+      let rec kick () =
+        if List.mem joiner (Partition.cohort partition ~range) then begin
+          migrated := (range, joiner) :: !migrated;
+          note (Printf.sprintf "range %d replica migrated to node %d" range joiner)
+        end
+        else begin
+          let members = Partition.cohort partition ~range in
+          let leader = Cluster.leader_of cluster ~range in
+          (match List.filter (fun n -> Some n <> leader) members with
+          | d :: _ -> ignore (Cluster.request_join cluster ~range ~joiner ~remove:d ())
+          | [] -> ());
+          ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 250) kick)
+        end
+      in
+      kick ())
+    plans;
+  if not (await ~timeout:90.0 (fun () -> List.length !migrated = List.length plans)) then
+    Format.printf "  WARNING: only %d/%d migrations completed@." (List.length !migrated)
+      (List.length plans);
+  (* Phase 3: split one range; both children serve before any data moves. *)
+  let ranges_before = Partition.ranges partition in
+  if
+    await (fun () -> Cluster.request_split cluster ~range:9)
+    && await (fun () -> Partition.ranges partition > ranges_before)
+  then note (Printf.sprintf "range 9 split (now %d ranges)" (Partition.ranges partition))
+  else Format.printf "  WARNING: split of range 9 did not complete@.";
+  ignore (await (fun () -> Cluster.is_ready cluster));
+  (* Phase 4: steady state on 13 nodes (after a settling window: the last
+     catch-up rounds and the split drain park writes briefly). *)
+  let post_start = now_sec () +. 2.0 in
+  Sim.Engine.run_for engine (sec_f (if !quick then 6.0 else 10.0));
+  running := false;
+  let series = List.rev !windows in
+  let mean sel =
+    match List.filter sel series with
+    | [] -> 0.0
+    | pts -> List.fold_left (fun a (_, r) -> a +. r) 0.0 pts /. float_of_int (List.length pts)
+  in
+  (* Skip the first simulated second (cold caches, empty pipelines). *)
+  let pre_mean = mean (fun (t, _) -> t > 1.0 && t <= pre_span) in
+  let post_mean = mean (fun (t, _) -> t > post_start) in
+  Format.printf "  %-22s %10s@." "window end (s)" "req/s";
+  List.iter (fun (t, r) -> Format.printf "  %-22.1f %10.0f@." t r) series;
+  List.iter (fun (t, l) -> Format.printf "  %8.2fs %s@." t l) (List.rev !timeline);
+  Format.printf "  pre-join mean %8.0f req/s   post-join mean %8.0f req/s (%+.0f%%)@." pre_mean
+    post_mean
+    (100.0 *. (post_mean -. pre_mean) /. pre_mean);
+  record_field "scaleout"
+    (J.Obj
+       [
+         ("pre_mean_req_per_sec", J.Float pre_mean);
+         ("post_mean_req_per_sec", J.Float post_mean);
+         ("migrations", J.Int (List.length !migrated));
+         ("ranges", J.Int (Partition.ranges partition));
+         ( "throughput",
+           J.List
+             (List.map
+                (fun (t, r) -> J.Obj [ ("t_sec", J.Float t); ("req_per_sec", J.Float r) ])
+                series) );
+         ( "timeline",
+           J.List
+             (List.map
+                (fun (t, l) -> J.Obj [ ("t_sec", J.Float t); ("event", J.String l) ])
+                (List.rev !timeline)) );
+       ]);
+  if post_mean <= pre_mean then
+    failwith
+      (Printf.sprintf "scaleout: no throughput gain (pre %.0f, post %.0f req/s)" pre_mean
+         post_mean)
+
 (* --- Bechamel microbenchmarks ------------------------------------------------------- *)
 
 let micro () =
@@ -911,6 +1070,7 @@ let all_experiments =
     ("fig14", fig14);
     ("fig15", fig15);
     ("fig16", fig16);
+    ("scaleout", scaleout);
     ("ablations", ablations);
     ("micro", micro);
   ]

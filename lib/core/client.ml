@@ -19,6 +19,9 @@ type t = {
   config : Config.t;
   rng : Sim.Rng.t;
   lookup_leader : range:int -> (int option -> unit) -> unit;
+  fetch_layout : (string option -> unit) -> unit;
+      (** read the serialized routing table published on /layout; the client
+          refreshes its cached copy on a [Wrong_range] redirect *)
   trace : Sim.Trace.t option;
   pending : (int, pending) Hashtbl.t;
   leader_cache : (int, int) Hashtbl.t;
@@ -51,6 +54,7 @@ let reply_name = function
   | Message.Cross_range -> "cross_range"
   | Message.Unavailable -> "unavailable"
   | Message.Not_leader _ -> "not_leader"
+  | Message.Wrong_range _ -> "wrong_range"
 
 (* Close the request's [client.request] span with its final outcome. *)
 let settle t p outcome =
@@ -155,6 +159,22 @@ let handle_reply t request_id reply =
         (* No leader known (election in progress): back off. *)
         Hashtbl.remove t.leader_cache range;
         retry t request_id p ~after:(backoff t (p.attempts + 1)))
+    | Message.Wrong_range { hint } ->
+      (* Our cached routing table is stale — a split or migration committed
+         since we last looked (§10). Refresh from the published layout
+         (versioned, so an older publication cannot regress the cache),
+         re-route the key, seed the leader cache with the server's hint, and
+         retry. Arbitrarily stale clients converge: each redirect either
+         advances the cached layout version or lands on the owning range. *)
+      t.fetch_layout (fun data ->
+          (match data with
+          | Some s -> ignore (Partition.update_from_string t.partition s)
+          | None -> ());
+          let range = Partition.route t.partition (Message.key_of_op p.op) in
+          (match hint with
+          | Some l -> Hashtbl.replace t.leader_cache range l
+          | None -> Hashtbl.remove t.leader_cache range);
+          retry t request_id p ~after:(Sim.Sim_time.us 500))
     | Message.Unavailable ->
       (* Cohort closed (takeover in progress): back off and retry. *)
       retry t request_id p ~after:(backoff t (p.attempts + 1))
@@ -163,7 +183,8 @@ let handle_reply t request_id reply =
       settle t p (reply_name reply);
       p.deliver reply)
 
-let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader () =
+let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader
+    ?(fetch_layout = fun k -> k None) () =
   let t =
     {
       id;
@@ -173,6 +194,7 @@ let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader () =
       config;
       rng = Sim.Rng.split (Sim.Engine.rng engine);
       lookup_leader;
+      fetch_layout;
       trace;
       pending = Hashtbl.create 64;
       leader_cache = Hashtbl.create 16;
@@ -210,7 +232,8 @@ let read_k k = function
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
   | Message.Unavailable -> k (Error Timed_out)
-  | Message.Values [] | Message.Rows _ | Message.Written | Message.Not_leader _ ->
+  | Message.Values [] | Message.Rows _ | Message.Written | Message.Not_leader _
+  | Message.Wrong_range _ ->
     k (Error Timed_out)
 
 let multi_read_k k = function
@@ -218,7 +241,8 @@ let multi_read_k k = function
   | Message.Value v -> k (Ok [ ("", value_result v) ])
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
-  | Message.Unavailable | Message.Rows _ | Message.Written | Message.Not_leader _ ->
+  | Message.Unavailable | Message.Rows _ | Message.Written | Message.Not_leader _
+  | Message.Wrong_range _ ->
     k (Error Timed_out)
 
 let write_k k = function
@@ -226,7 +250,8 @@ let write_k k = function
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
   | Message.Unavailable -> k (Error Timed_out)
-  | Message.Value _ | Message.Values _ | Message.Rows _ | Message.Not_leader _ ->
+  | Message.Value _ | Message.Values _ | Message.Rows _ | Message.Not_leader _
+  | Message.Wrong_range _ ->
     k (Error Timed_out)
 
 let get t ?(consistent = true) key col k =
@@ -261,25 +286,26 @@ let scan t ?(consistent = true) ~start_key ~end_key ?(limit = 1000) k =
     if String.compare current end_key >= 0 || !count >= limit then
       k (Ok (List.rev !rows))
     else begin
-      let range = Partition.route t.partition current in
-      let _, range_hi = Partition.range_bounds t.partition ~range in
       let op =
         Message.Scan { start_key = current; end_key; limit = limit - !count; consistent }
       in
       submit t op (function
-        | Message.Rows rs ->
+        | Message.Rows { rows = rs; next } ->
           List.iter
             (fun (key, cols) ->
               rows := (key, List.map (fun (c, v) -> (c, value_result v)) cols) :: !rows;
               incr count)
             rs;
-          (* Continue from the next range unless this was the key space's
-             last range (its upper bound wraps to the minimum key). *)
-          if String.compare range_hi current > 0 then step range_hi else k (Ok (List.rev !rows))
+          (* Resume where the serving range's coverage stopped — the server
+             reports it, so a stale routing table cannot make us skip keys a
+             concurrent split moved to another cohort. *)
+          (match next with
+          | Some cont when String.compare cont current > 0 -> step cont
+          | _ -> k (Ok (List.rev !rows)))
         | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
         | Message.Cross_range -> k (Error Cross_range)
         | Message.Unavailable | Message.Value _ | Message.Values _ | Message.Written
-        | Message.Not_leader _ ->
+        | Message.Not_leader _ | Message.Wrong_range _ ->
           k (Error Timed_out))
     end
   in

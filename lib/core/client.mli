@@ -28,12 +28,20 @@ val create :
   id:int ->
   ?trace:Sim.Trace.t ->
   lookup_leader:(range:int -> (int option -> unit) -> unit) ->
+  ?fetch_layout:((string option -> unit) -> unit) ->
   unit ->
   t
 (** [trace] enables causal request spans: each submitted operation opens a
     [client.request] span (trace id derived from [(id, request_id)] via
     {!Sim.Trace.request_trace_id}) closed with the final outcome, with
-    [client.retry] instants per retransmission. *)
+    [client.retry] instants per retransmission.
+
+    [partition] should be the client's own copy of the routing table
+    ({!Partition.copy}); [fetch_layout] reads the serialized layout published
+    on the coordination service's [/layout] znode, and is invoked whenever a
+    server answers [Wrong_range] — i.e. the cached copy went stale because a
+    range split or replica migration committed (§10). Defaults to a no-op
+    (static-layout deployments). *)
 
 val id : t -> int
 

@@ -4,7 +4,7 @@ type t = {
   partition : Partition.t;
   net : Message.t Sim.Network.t;
   zk_server : Coord.Zk_server.t;
-  nodes : Node.t array;
+  mutable nodes : Node.t array;  (** grows when nodes are added at runtime *)
   trace : Sim.Trace.t;
   metrics : Sim.Metrics.Registry.t;
   mutable next_client : int;
@@ -28,7 +28,39 @@ let bootstrap_zk zk_server partition =
          ~path:(Printf.sprintf "/ranges/%d/epoch" r)
          ~data:"0" ~ephemeral:false ~sequential:false)
   done;
+  (* The published routing table (§10): leaders overwrite it when a
+     membership change or split commits; clients and dozing nodes read it to
+     refresh their cached copy. *)
+  ignore
+    (Coord.Zk_server.create_node zk_server ~session ~path:"/layout"
+       ~data:(Partition.to_string partition) ~ephemeral:false ~sequential:false);
+  (* Range-id allocator for splits. [incr_counter] returns the new value, so
+     seeding with the last preallocated id hands the first split the next
+     free one. *)
+  ignore
+    (Coord.Zk_server.create_node zk_server ~session ~path:"/next_range"
+       ~data:(string_of_int (Partition.ranges partition - 1))
+       ~ephemeral:false ~sequential:false);
   Coord.Zk_server.close_session zk_server ~session
+
+let register_node_gauges metrics node =
+  let id = Node.id node in
+  let gauge name read = ignore (Sim.Metrics.Registry.register_gauge metrics ~node:id ~name read) in
+  gauge "wal_volatile_bytes" (fun () -> Storage.Wal.volatile_bytes (Node.wal node));
+  List.iter
+    (fun range ->
+      match Node.cohort node ~range with
+      | None -> ()
+      | Some c ->
+        let g fmt read = gauge (Printf.sprintf fmt range) read in
+        g "r%d_memtable_bytes" (fun () -> Storage.Store.memtable_bytes (Cohort.store c));
+        g "r%d_sstable_count" (fun () -> Storage.Store.sstable_count (Cohort.store c));
+        g "r%d_commit_queue_depth" (fun () -> Cohort.pending_writes c);
+        g "r%d_reply_cache_size" (fun () -> Cohort.reply_cache_size c);
+        g "r%d_cache_hits" (fun () -> Storage.Store.cache_hits (Cohort.store c));
+        g "r%d_cache_misses" (fun () -> Storage.Store.cache_misses (Cohort.store c));
+        g "r%d_cache_evictions" (fun () -> Storage.Store.cache_evictions (Cohort.store c)))
+    (Node.ranges node)
 
 let create engine config =
   let partition =
@@ -50,26 +82,7 @@ let create engine config =
   in
   (* Resource gauges, one series per node (and per cohort where the resource
      is per-range); sampled by the registry ticker once the cluster starts. *)
-  Array.iter
-    (fun node ->
-      let id = Node.id node in
-      let gauge name read = ignore (Sim.Metrics.Registry.register_gauge metrics ~node:id ~name read) in
-      gauge "wal_volatile_bytes" (fun () -> Storage.Wal.volatile_bytes (Node.wal node));
-      List.iter
-        (fun range ->
-          match Node.cohort node ~range with
-          | None -> ()
-          | Some c ->
-            let g fmt read = gauge (Printf.sprintf fmt range) read in
-            g "r%d_memtable_bytes" (fun () -> Storage.Store.memtable_bytes (Cohort.store c));
-            g "r%d_sstable_count" (fun () -> Storage.Store.sstable_count (Cohort.store c));
-            g "r%d_commit_queue_depth" (fun () -> Cohort.pending_writes c);
-            g "r%d_reply_cache_size" (fun () -> Cohort.reply_cache_size c);
-            g "r%d_cache_hits" (fun () -> Storage.Store.cache_hits (Cohort.store c));
-            g "r%d_cache_misses" (fun () -> Storage.Store.cache_misses (Cohort.store c));
-            g "r%d_cache_evictions" (fun () -> Storage.Store.cache_evictions (Cohort.store c)))
-        (Node.ranges node))
-    nodes;
+  Array.iter (register_node_gauges metrics) nodes;
   { engine; config; partition; net; zk_server; nodes; trace; metrics; next_client = 10_000 }
 
 let start t =
@@ -84,6 +97,20 @@ let trace t = t.trace
 let metrics t = t.metrics
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
+
+(* Scale-out (§10): a fresh node joins the running cluster. It hosts no
+   ranges until a migration or split makes it a cohort member; until then it
+   only registers with the coordination service and watches /layout. *)
+let add_node t =
+  let id = Array.length t.nodes in
+  let node =
+    Node.create ~engine:t.engine ~net:t.net ~zk_server:t.zk_server ~partition:t.partition
+      ~config:t.config ~trace:t.trace ~id
+  in
+  t.nodes <- Array.append t.nodes [| node |];
+  register_node_gauges t.metrics node;
+  Node.start node;
+  id
 
 let leader_of t ~range =
   let cohort_nodes = Partition.cohort t.partition ~range in
@@ -175,9 +202,7 @@ let write_phases t =
     t.nodes
 
 let is_ready t =
-  let ranges = Partition.ranges t.partition in
-  let rec check r = r >= ranges || (leader_of t ~range:r <> None && check (r + 1)) in
-  check 0
+  List.for_all (fun r -> leader_of t ~range:r <> None) (Partition.range_ids t.partition)
 
 let run_until_ready ?(timeout = Sim.Sim_time.sec 60) t =
   let deadline = Sim.Sim_time.add (Sim.Engine.now t.engine) timeout in
@@ -200,8 +225,36 @@ let new_client t =
       ~path:(Printf.sprintf "/ranges/%d/leader" range)
       (function Ok data -> k (int_of_string_opt data) | Error _ -> k None)
   in
-  Client.create ~engine:t.engine ~net:t.net ~partition:t.partition ~config:t.config ~id
-    ~trace:t.trace ~lookup_leader ()
+  let fetch_layout k =
+    Coord.Zk_client.get_data zk ~path:"/layout" (function
+      | Ok data -> k (Some data)
+      | Error _ -> k None)
+  in
+  (* Each client routes on its own snapshot of the table; [Wrong_range]
+     answers make it re-fetch /layout (§10). *)
+  Client.create ~engine:t.engine ~net:t.net
+    ~partition:(Partition.copy t.partition)
+    ~config:t.config ~id ~trace:t.trace ~lookup_leader ~fetch_layout ()
+
+(* Administrative rebalancing entry points. Both are asynchronous: they ask
+   the range's current leader to drive the protocol and return immediately;
+   [false] means there was no open leader (or it was already busy) and the
+   caller should retry later. *)
+let request_join t ~range ~joiner ?remove () =
+  match leader_of t ~range with
+  | None -> false
+  | Some n -> (
+    match Node.cohort t.nodes.(n) ~range with
+    | Some c -> Cohort.request_join c ~joiner ?remove ()
+    | None -> false)
+
+let request_split t ~range =
+  match leader_of t ~range with
+  | None -> false
+  | Some n -> (
+    match Node.cohort t.nodes.(n) ~range with
+    | Some c -> Cohort.request_split c
+    | None -> false)
 
 let crash_node t i = Node.crash t.nodes.(i)
 let restart_node t i = Node.restart t.nodes.(i)
@@ -215,29 +268,30 @@ let registered_nodes t =
 
 let pp_status ppf t =
   Format.fprintf ppf "cluster: %d nodes, %d ranges, registered live: [%s]@."
-    t.config.Config.nodes
+    (Array.length t.nodes)
     (Partition.ranges t.partition)
     (String.concat "," (List.map string_of_int (registered_nodes t)));
-  for range = 0 to Partition.ranges t.partition - 1 do
-    let members = Partition.cohort t.partition ~range in
-    let lo, hi = Partition.range_bounds t.partition ~range in
-    Format.fprintf ppf "  range %d [%s,%s): " range lo hi;
-    List.iter
-      (fun n ->
-        match Node.cohort t.nodes.(n) ~range with
-        | Some c ->
-          let role =
-            if not (Node.alive t.nodes.(n)) then "down"
-            else
-              match Cohort.role c with
-              | Cohort.Leader -> if Cohort.is_open c then "LEADER" else "leader(closed)"
-              | Cohort.Follower -> "follower"
-              | Cohort.Candidate -> "candidate"
-              | Cohort.Offline -> "offline"
-          in
-          Format.fprintf ppf "n%d=%s cmt=%s  " n role
-            (Storage.Lsn.to_string (Cohort.cmt c))
-        | None -> ())
-      members;
-    Format.fprintf ppf "@."
-  done
+  List.iter
+    (fun range ->
+      let members = Partition.cohort t.partition ~range in
+      let lo, hi = Partition.range_bounds t.partition ~range in
+      Format.fprintf ppf "  range %d [%s,%s): " range lo hi;
+      List.iter
+        (fun n ->
+          match Node.cohort t.nodes.(n) ~range with
+          | Some c ->
+            let role =
+              if not (Node.alive t.nodes.(n)) then "down"
+              else
+                match Cohort.role c with
+                | Cohort.Leader -> if Cohort.is_open c then "LEADER" else "leader(closed)"
+                | Cohort.Follower -> if Cohort.is_learner c then "learner" else "follower"
+                | Cohort.Candidate -> "candidate"
+                | Cohort.Offline -> "offline"
+            in
+            Format.fprintf ppf "n%d=%s cmt=%s  " n role
+              (Storage.Lsn.to_string (Cohort.cmt c))
+          | None -> ())
+        members;
+      Format.fprintf ppf "@.")
+    (Partition.range_ids t.partition)

@@ -41,7 +41,24 @@ val node : t -> int -> Node.t
 
 val nodes : t -> Node.t array
 
+val add_node : t -> int
+(** Scale-out (§10): create and start a fresh node on the running cluster,
+    returning its id. The node hosts nothing until a replica migration
+    ({!request_join}) or range split makes it a cohort member. *)
+
+val request_join : t -> range:int -> joiner:int -> ?remove:int -> unit -> bool
+(** Ask the range's current leader to migrate a replica: ship a snapshot to
+    [joiner], catch it up from the log, then commit the membership change
+    that swaps it in (and [remove] out, when given). Asynchronous; [false]
+    if no open leader was found or one is already mid-migration — retry. *)
+
+val request_split : t -> range:int -> bool
+(** Ask the range's current leader to split the range at its median key.
+    Asynchronous, like {!request_join}. *)
+
 val new_client : t -> Client.t
+(** Clients route on their own {!Partition.copy} of the table and re-fetch
+    the published /layout znode whenever a server answers [Wrong_range]. *)
 
 val leader_of : t -> range:int -> int option
 (** Ground truth for tests: the node currently acting as the range's open

@@ -11,7 +11,6 @@ type ctx = {
   engine : Sim.Engine.t;
   node_id : int;
   range : int;
-  members : int list;
   config : Config.t;
   store : Storage.Store.t;
   wal : Storage.Wal.t;
@@ -22,9 +21,22 @@ type ctx = {
   zk : unit -> Coord.Zk_client.t;
   incarnation : unit -> int;
   routes_here : Storage.Row.key -> bool;
-      (** whether a key belongs to this cohort's range (transaction scoping) *)
-  range_bounds : Storage.Row.key * Storage.Row.key;
-      (** [start, end) of this cohort's key range (scan clamping) *)
+      (** whether a key belongs to this cohort's range (transaction scoping);
+          consulted again at write time — the layout may have moved *)
+  range_bounds : unit -> Storage.Row.key * Storage.Row.key;
+      (** current [start, end) of this cohort's key range (scan clamping);
+          a function because a range split narrows it *)
+  members : unit -> int list;
+      (** the cohort's current membership under the live routing table *)
+  xfer : Sim.Resource.t;
+      (** the node's bulk-transfer link; snapshot chunks stream through it at
+          [Config.xfer_bytes_per_sec] so migration bandwidth is modelled *)
+  apply_meta : op:Storage.Log_record.op -> leader:bool -> unit;
+      (** node-level side effects of a committed metadata record (routing
+          table update, child-cohort spawn, layout publication) *)
+  retire_self : unit -> unit;
+      (** drop this cohort from the hosting node (migration moved it away,
+          or a learner's migration aborted) *)
 }
 
 type waiting_write = { client : int; request_id : int; op : Message.client_op }
@@ -39,6 +51,19 @@ type dedup_state = In_flight | Done of Message.client_reply
    span, so [try_commit] can close the span it did not open. *)
 type inflight = { started : Sim.Sim_time.t; trace_id : int; repl_span : int }
 
+(* Leader-side replica-migration state (§10): ship a snapshot of the store to
+   the joiner stop-and-wait, then run WAL catch-up from the snapshot horizon,
+   then commit a [Cohort_change] record that swaps the joiner in. *)
+type migration = {
+  joiner : int;
+  remove : int option;  (** the replica the joiner replaces, if any *)
+  chunks : (Row.coord * Row.cell) list array;
+  upto : Lsn.t;  (** snapshot commit horizon; catch-up resumes here *)
+  mutable next_chunk : int;
+  mutable phase : [ `Snapshot | `Catchup | `Change ];
+  mutable attempts : int;  (** retransmissions of the current chunk *)
+}
+
 type t = {
   ctx : ctx;
   mutable role : role;
@@ -52,12 +77,28 @@ type t = {
   mutable active_followers : int list;
   mutable pending_final : int list;  (** followers in a blocked final catch-up round *)
   mutable takeover_pending : bool;
+  mutable takeover_open_at : Lsn.t;
+      (** lst captured at takeover start: the cohort may not reopen until cmt
+          reaches it (the re-proposed tail of Figure 6 line 9 has committed) *)
+  mutable takeover_commit_wait : bool;
+      (** the takeover has its follower quorum but the re-proposed (cmt, lst]
+          tail is not yet committed; [try_commit] opens the cohort once it is *)
   mutable waiting : waiting_write list;  (** writes queued while closed/blocked, newest first *)
   mutable commit_timer_armed : bool;
   dedup : (int * int, dedup_state) Hashtbl.t;
       (** (client, request id) -> write outcome, for duplicate suppression *)
+  mutable migration : migration option;  (** leader-side migration in flight *)
+  mutable splitting : bool;  (** a range split is being logged; writes block *)
   (* follower state *)
   mutable catching_up : bool;
+  mutable learner : bool;
+      (** a joining replica that is not yet a cohort member: it receives the
+          snapshot and catch-up but must not vote in elections, and its acks
+          do not count toward the old configuration's majority *)
+  mutable snapshot_next : int;
+      (** next snapshot chunk sequence expected (crash-safe resume gate: a
+          chunk out of order is never acked, so a restarted joiner cannot
+          silently miss a prefix) *)
   mutable last_leader_msg : Sim.Sim_time.t;
       (** last accepted leader traffic; silence beyond a few commit periods
           means our propose stream may have a hole we cannot see *)
@@ -91,10 +132,16 @@ let create ctx =
     active_followers = [];
     pending_final = [];
     takeover_pending = false;
+    takeover_open_at = Lsn.zero;
+    takeover_commit_wait = false;
     waiting = [];
     commit_timer_armed = false;
     dedup = Hashtbl.create 64;
+    migration = None;
+    splitting = false;
     catching_up = false;
+    learner = false;
+    snapshot_next = 0;
     last_leader_msg = Sim.Sim_time.zero;
     resync_armed = false;
     election_running = false;
@@ -113,8 +160,10 @@ let is_open t = t.role = Leader && t.open_for_writes
 let pending_writes t = Commit_queue.length t.queue
 let reply_cache_size t = Hashtbl.length t.dedup
 let store t = t.ctx.store
+let is_learner t = t.learner
+let migrating t = Option.is_some t.migration
 
-let others t = List.filter (fun m -> m <> t.ctx.node_id) t.ctx.members
+let others t = List.filter (fun m -> m <> t.ctx.node_id) (t.ctx.members ())
 
 (* Cohort events are structured instants carrying node and cohort fields;
    the "r%d n%d" detail prefix is kept for log readability and for existing
@@ -234,6 +283,7 @@ let rec try_commit t =
       in
       Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
       t.cmt <- Lsn.max t.cmt e.lsn;
+      if Log_record.is_meta e.op then on_meta t e.op;
       (match e.reply with
       | Some k -> k ()
       | None ->
@@ -249,7 +299,54 @@ let rec try_commit t =
         Sim.Metrics.Histogram.record_span t.phases.apply
           (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) popped_at)
       | None -> ())
-    committable
+    committable;
+  if t.takeover_commit_wait && t.role = Leader && Lsn.(t.cmt >= t.takeover_open_at) then begin
+    t.takeover_commit_wait <- false;
+    trace t "takeover_commit_done" (Printf.sprintf "cmt=%s" (Lsn.to_string t.cmt));
+    open_cohort t
+  end
+
+(* A committed metadata record (membership change or range split) takes
+   effect: node-level side effects first (routing table, child cohorts, layout
+   publication), then the cohort-local transitions. Runs on the leader inside
+   [try_commit] and on followers inside [apply_commits] — always in LSN order
+   relative to data records, which is what makes the swap atomic. *)
+and on_meta t op =
+  let leader = t.role = Leader in
+  t.ctx.apply_meta ~op ~leader;
+  match op with
+  | Log_record.Cohort_change { add; remove } ->
+    (match add with
+    | Some n when n = t.ctx.node_id ->
+      (* Promoted: this replica is now a full cohort member. *)
+      t.learner <- false;
+      trace t "learner_promoted" (Printf.sprintf "epoch=%d" t.epoch)
+    | _ -> ());
+    if leader then begin
+      (match remove with
+      | Some n ->
+        t.active_followers <- List.filter (fun f -> f <> n) t.active_followers;
+        t.pending_final <- List.filter (fun f -> f <> n) t.pending_final
+      | None -> ());
+      (match add with
+      | Some n when n <> t.ctx.node_id ->
+        if not (List.mem n t.active_followers) then
+          t.active_followers <- n :: t.active_followers
+      | _ -> ());
+      trace t "migration_done"
+        (Printf.sprintf "add=%s remove=%s"
+           (match add with Some n -> Printf.sprintf "n%d" n | None -> "-")
+           (match remove with Some n -> Printf.sprintf "n%d" n | None -> "-"));
+      t.migration <- None;
+      drain_waiting t
+    end
+  | Log_record.Split { at; new_range } ->
+    if leader then begin
+      trace t "split_done" (Printf.sprintf "at=%s child=r%d" at new_range);
+      t.splitting <- false;
+      drain_waiting t
+    end
+  | _ -> ()
 
 and send_commit_msgs t =
   (* Sent even when nothing has committed yet: commit messages double as
@@ -302,7 +399,7 @@ and open_cohort t =
   end
 
 and drain_waiting t =
-  if t.role = Leader && t.open_for_writes && t.pending_final = [] then begin
+  if t.role = Leader && t.open_for_writes && t.pending_final = [] && not t.splitting then begin
     let waiting = List.rev t.waiting in
     t.waiting <- [];
     (* Straight to [enqueue_write]: these already passed the duplicate gate
@@ -335,10 +432,10 @@ and handle_write t ~client ~request_id op =
   end
 
 and enqueue_write t ~client ~request_id op =
-  if (not t.open_for_writes) || t.pending_final <> [] then
-    (* Writes block during takeover and during the momentary window at the
-       end of a follower catch-up (§6.1); they drain when the cohort
-       (re)opens. *)
+  if (not t.open_for_writes) || t.pending_final <> [] || t.splitting then
+    (* Writes block during takeover, during the momentary window at the end
+       of a follower catch-up (§6.1), and while a range split is being
+       logged; they drain when the cohort (re)opens. *)
     t.waiting <- { client; request_id; op } :: t.waiting
   else begin
     let arrived = Sim.Engine.now t.ctx.engine in
@@ -350,8 +447,8 @@ and enqueue_write t ~client ~request_id op =
     Sim.Resource.submit t.ctx.cpu ~service
       (guard t (fun () ->
            span_end t ~span:queue_span ~trace_id ~tag:"phase.queue" "cpu granted";
-           if t.role = Leader && t.open_for_writes && t.pending_final = [] then
-             perform_write t ~arrived ~client ~request_id op
+           if t.role = Leader && t.open_for_writes && t.pending_final = [] && not t.splitting
+           then perform_write t ~arrived ~client ~request_id op
            else if t.role = Leader then
              t.waiting <- { client; request_id; op } :: t.waiting
            else begin
@@ -361,6 +458,17 @@ and enqueue_write t ~client ~request_id op =
   end
 
 and perform_write t ~arrived ~client ~request_id op =
+  if not (t.ctx.routes_here (Message.key_of_op op)) then begin
+    (* The layout moved while this write sat in the queue (a split committed
+       between arrival and service): it belongs to another cohort now, and
+       assigning it an LSN here would misfile it. The client refreshes its
+       routing table and retries at the owner. *)
+    clear_in_flight t ~client ~request_id;
+    t.ctx.reply ~client ~request_id (Message.Wrong_range { hint = None })
+  end
+  else perform_write_routed t ~arrived ~client ~request_id op
+
+and perform_write_routed t ~arrived ~client ~request_id op =
   let ts = now_us t in
   let ops_or_error : (Log_record.op list, int) result =
     match op with
@@ -537,7 +645,7 @@ and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
 and handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent =
   let serve =
     guard t (fun () ->
-        let range_lo, range_hi = t.ctx.range_bounds in
+        let range_lo, range_hi = t.ctx.range_bounds () in
         let low = if String.compare start_key range_lo > 0 then start_key else range_lo in
         let high = if String.compare end_key range_hi < 0 then end_key else range_hi in
         let rows =
@@ -554,7 +662,10 @@ and handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent =
                   cols ))
             rows
         in
-        t.ctx.reply ~client ~request_id (Message.Rows rows))
+        let next =
+          if String.compare range_hi end_key < 0 then Some range_hi else None
+        in
+        t.ctx.reply ~client ~request_id (Message.Rows { rows; next }))
   in
   let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_service_us in
   if consistent then begin
@@ -607,7 +718,8 @@ let apply_commits t ~upto =
       (fun (e : Commit_queue.entry) ->
         Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
         t.cmt <- Lsn.max t.cmt e.lsn;
-        cache_outcome t e.origin Message.Written)
+        cache_outcome t e.origin Message.Written;
+        if Log_record.is_meta e.op then on_meta t e.op)
       entries;
     (* The commit point can pass appended-but-not-yet-locally-forced entries
        (they are globally committed); lst must never trail cmt. *)
@@ -686,13 +798,46 @@ let handle_commit t ~src ~epoch ~upto =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Metadata records: membership changes and range splits ride the same
+   Paxos-replicated log as data writes, so every replica applies them at
+   the same point in the LSN order (§10).                               *)
+
+(* Leader-only: append a metadata record to the log and replicate it like any
+   write — forced locally, proposed to the followers, committed by the usual
+   majority rule (the OLD configuration's majority: acks are filtered by
+   membership, so a not-yet-promoted learner cannot help commit the very
+   record that promotes it). *)
+let enqueue_meta t op =
+  let ts = now_us t in
+  let lsn = Lsn.make ~epoch:t.epoch ~seq:(t.lst.Lsn.seq + 1) in
+  t.lst <- lsn;
+  trace t "meta_append"
+    (Format.asprintf "%s %a" (Lsn.to_string lsn) Log_record.pp
+       (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp:ts op));
+  Commit_queue.add t.queue ~lsn ~op ~timestamp:ts ();
+  Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp:ts op);
+  Wal.force t.ctx.wal
+    (guard t (fun () ->
+         Commit_queue.mark_forced_upto t.queue lsn;
+         try_commit t));
+  propose t [ (lsn, op, ts, None) ]
+
+(* ------------------------------------------------------------------ *)
 (* Catch-up: leader side (§6.1 and Figure 6 lines 3-7).                 *)
+
+(* Catch-up is served to cohort members and to the joiner of an in-flight
+   migration. A replica that was migrated away could otherwise keep asking
+   and, via [pending_final], block writes forever; it learns its fate from
+   the published layout instead. *)
+let catchup_eligible t ~follower =
+  List.mem follower (t.ctx.members ())
+  || (match t.migration with Some m -> m.joiner = follower | None -> false)
 
 (* Bring [follower], whose last committed LSN is [f_cmt], up to the leader's
    last committed LSN. Writes are blocked for the duration of the (short)
    final round so the follower is fully caught up when it completes. *)
 let leader_run_catchup t ~follower ~f_cmt =
-  if t.role = Leader then begin
+  if t.role = Leader && catchup_eligible t ~follower then begin
     t.active_followers <- List.filter (fun f -> f <> follower) t.active_followers;
     if not (List.mem follower t.pending_final) then
       t.pending_final <- follower :: t.pending_final;
@@ -721,7 +866,7 @@ let leader_run_catchup t ~follower ~f_cmt =
    follower). For a takeover this re-proposal is exactly Figure 6 line 9 —
    the unresolved writes in (l.cmt, l.lst]. *)
 let leader_catchup_done t ~follower ~upto =
-  if t.role = Leader then begin
+  if t.role = Leader && catchup_eligible t ~follower then begin
     t.pending_final <- List.filter (fun f -> f <> follower) t.pending_final;
     if Lsn.(upto < t.cmt) then
       (* The follower fell behind again (it crashed and came back mid-round):
@@ -730,6 +875,15 @@ let leader_catchup_done t ~follower ~upto =
     else begin
       if not (List.mem follower t.active_followers) then
         t.active_followers <- follower :: t.active_followers;
+      (* A migration's joiner is caught up: commit the membership change that
+         swaps it in (and the retiring replica out). The change is replicated
+         under the old configuration's majority. *)
+      (match t.migration with
+      | Some m when m.joiner = follower && m.phase = `Catchup ->
+        m.phase <- `Change;
+        trace t "migration_change" (Printf.sprintf "joiner=n%d caught up" m.joiner);
+        enqueue_meta t (Log_record.Cohort_change { add = Some m.joiner; remove = m.remove })
+      | _ -> ());
       let pending = Commit_queue.to_list t.queue in
       if pending <> [] then begin
         let writes =
@@ -750,7 +904,20 @@ let leader_catchup_done t ~follower ~upto =
       if t.takeover_pending then begin
         t.takeover_pending <- false;
         trace t "takeover_quorum" (Printf.sprintf "first=n%d" follower);
-        open_cohort t
+        if Lsn.(t.cmt >= t.takeover_open_at) then open_cohort t
+        else begin
+          (* Figure 6: the unresolved writes in (l.cmt, l.lst] were acked by
+             the old leader and must be committed — and applied, so strong
+             reads cannot travel back in time — before the cohort reopens.
+             The commit timer re-proposes them under loss until the tail
+             lands; [try_commit] opens the cohort when cmt reaches the lst
+             we took over with. *)
+          t.takeover_commit_wait <- true;
+          trace t "takeover_commit_wait"
+            (Printf.sprintf "cmt=%s open_at=%s" (Lsn.to_string t.cmt)
+               (Lsn.to_string t.takeover_open_at));
+          arm_commit_timer t
+        end
       end;
       drain_waiting t
     end
@@ -845,6 +1012,293 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Replica migration / node bootstrap (§10): the leader ships a snapshot
+   of its store to a joining node, catches it up from the snapshot
+   horizon, then commits a [Cohort_change] that swaps it in.            *)
+
+(* Drop this replica from the node: waiting writers are failed, the role
+   goes Offline so every guarded callback dies, and any leader-owned
+   election znodes are released so the remaining members can elect. The
+   node layer forgets the cohort and drops its log records. *)
+let retire t =
+  if t.role <> Offline then begin
+    trace t "retire"
+      (Printf.sprintf "role=%s%s"
+         (match t.role with
+         | Leader -> "leader"
+         | Follower -> "follower"
+         | Candidate -> "candidate"
+         | Offline -> "offline")
+         (if t.learner then " (learner)" else ""));
+    let waiting = t.waiting in
+    t.waiting <- [];
+    List.iter
+      (fun w ->
+        clear_in_flight t ~client:w.client ~request_id:w.request_id;
+        t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
+      waiting;
+    let zk = t.ctx.zk () in
+    (match t.own_candidate with
+    | Some path -> Coord.Zk_client.delete_node zk ~path (fun _ -> ())
+    | None -> ());
+    if t.role = Leader then Coord.Zk_client.delete_node zk ~path:(zk_leader t) (fun _ -> ());
+    t.role <- Offline;
+    t.leader <- None;
+    t.open_for_writes <- false;
+    t.takeover_pending <- false;
+    t.takeover_commit_wait <- false;
+    t.migration <- None;
+    t.splitting <- false;
+    t.learner <- false;
+    t.snapshot_next <- 0;
+    t.election_running <- false;
+    t.own_candidate <- None
+  end
+
+let abort_migration t reason =
+  match t.migration with
+  | None -> ()
+  | Some m ->
+    (* Clean abort: the membership change was never logged, so the layout is
+       untouched; the stranded learner retires itself on its own timeout. *)
+    trace t "migration_abort" (Printf.sprintf "joiner=n%d %s" m.joiner reason);
+    t.migration <- None
+
+(* Ship the current chunk through the node's bulk-transfer link (bandwidth-
+   modelled), then retransmit every 500ms until the joiner acks it. *)
+let rec migration_send_chunk t =
+  match t.migration with
+  | Some m when t.role = Leader && m.phase = `Snapshot && m.next_chunk < Array.length m.chunks
+    ->
+    let seq = m.next_chunk in
+    m.attempts <- m.attempts + 1;
+    if m.attempts > 20 then abort_migration t "snapshot retries exhausted"
+    else begin
+      let msg =
+        Message.Snapshot_chunk
+          {
+            range = t.ctx.range;
+            epoch = t.epoch;
+            seq;
+            total = Array.length m.chunks;
+            cells = m.chunks.(seq);
+            upto = m.upto;
+            final = seq = Array.length m.chunks - 1;
+          }
+      in
+      Sim.Resource.submit_bytes t.ctx.xfer ~bytes:(Message.size msg)
+        ~bytes_per_sec:t.ctx.config.Config.xfer_bytes_per_sec
+        (guard t (fun () ->
+             match t.migration with
+             | Some m' when m' == m && t.role = Leader && m.phase = `Snapshot && m.next_chunk = seq
+               ->
+               t.ctx.send ~dst:m.joiner msg;
+               after t (Sim.Sim_time.ms 500) (fun () ->
+                   match t.migration with
+                   | Some m' when m' == m && m.phase = `Snapshot && m.next_chunk = seq ->
+                     migration_send_chunk t
+                   | _ -> ())
+             | _ -> ()))
+    end
+  | _ -> ()
+
+let handle_snapshot_ack t ~from ~seq =
+  match t.migration with
+  | Some m when t.role = Leader && from = m.joiner && m.phase = `Snapshot && seq = m.next_chunk
+    ->
+    m.next_chunk <- seq + 1;
+    m.attempts <- 0;
+    if m.next_chunk >= Array.length m.chunks then begin
+      (* Snapshot installed; catch the joiner up from the snapshot horizon
+         through the live log, exactly like a rejoining follower. *)
+      m.phase <- `Catchup;
+      trace t "migration_catchup"
+        (Printf.sprintf "joiner=n%d upto=%s" m.joiner (Lsn.to_string m.upto));
+      leader_run_catchup t ~follower:m.joiner ~f_cmt:m.upto;
+      after t t.ctx.config.Config.migration_timeout (fun () ->
+          match t.migration with
+          | Some m' when m' == m && m.phase <> `Change ->
+            abort_migration t "catch-up stalled"
+          | _ -> ())
+    end
+    else migration_send_chunk t
+  | _ -> ()
+
+(* Admin entry point (leader only): bootstrap [joiner] into the cohort,
+   retiring [remove] once the joiner is in. Returns false if the cohort
+   cannot start a migration right now. *)
+let request_join t ~joiner ?remove () =
+  let members = t.ctx.members () in
+  let valid_remove =
+    match remove with
+    | None -> true
+    | Some r -> r <> joiner && r <> t.ctx.node_id && List.mem r members
+  in
+  if
+    t.role = Leader && t.open_for_writes
+    && Option.is_none t.migration
+    && (not t.splitting)
+    && (not (List.mem joiner members))
+    && valid_remove
+  then begin
+    (* Snapshot = the newest committed cell per coordinate (tombstones
+       included), chunked by size. Always at least one chunk, so an empty
+       range still teaches the joiner the snapshot horizon. *)
+    let cells = Store.all_cells t.ctx.store in
+    let chunk_bytes = t.ctx.config.Config.snapshot_chunk_bytes in
+    let chunks = ref [] and cur = ref [] and cur_bytes = ref 0 in
+    List.iter
+      (fun ((coord, (cell : Row.cell)) as c) ->
+        let key, col = coord in
+        let b =
+          String.length key + String.length col
+          + (match cell.value with Some v -> String.length v | None -> 0)
+          + 24
+        in
+        cur := c :: !cur;
+        cur_bytes := !cur_bytes + b;
+        if !cur_bytes >= chunk_bytes then begin
+          chunks := List.rev !cur :: !chunks;
+          cur := [];
+          cur_bytes := 0
+        end)
+      cells;
+    if !cur <> [] || !chunks = [] then chunks := List.rev !cur :: !chunks;
+    let chunks = Array.of_list (List.rev !chunks) in
+    let m =
+      { joiner; remove; chunks; upto = t.cmt; next_chunk = 0; phase = `Snapshot; attempts = 0 }
+    in
+    t.migration <- Some m;
+    trace t "migration_start"
+      (Printf.sprintf "joiner=n%d remove=%s chunks=%d cells=%d upto=%s" joiner
+         (match remove with Some r -> Printf.sprintf "n%d" r | None -> "-")
+         (Array.length chunks) (List.length cells) (Lsn.to_string t.cmt));
+    migration_send_chunk t;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Migration: joiner (learner) side.                                    *)
+
+(* Become a learner replica: receive the snapshot and catch-up, ack
+   proposes (they do not count toward the old majority), but never vote in
+   elections. A learner that is never promoted retires itself. *)
+let start_learner t ~leader =
+  t.role <- Follower;
+  t.learner <- true;
+  t.snapshot_next <- 0;
+  t.catching_up <- true;
+  t.leader <- Some leader;
+  t.last_leader_msg <- Sim.Engine.now t.ctx.engine;
+  trace t "learner_start" (Printf.sprintf "leader=n%d" leader);
+  let inc = t.ctx.incarnation () in
+  ignore
+    (Sim.Engine.schedule t.ctx.engine ~after:t.ctx.config.Config.learner_timeout (fun () ->
+         if t.ctx.incarnation () = inc && t.learner && t.role <> Offline then begin
+           trace t "learner_abort" "never promoted; migration aborted";
+           t.ctx.retire_self ()
+         end))
+
+(* Install one snapshot chunk. Strictly in-order: acking chunk [k] promises
+   every chunk [<= k] is installed and durable, so a joiner that crashed and
+   restarted mid-transfer (losing its WAL tail and its chunk counter) never
+   acks the next chunk — the source retries, then aborts cleanly. Duplicate
+   chunks (a retransmission racing the ack) are re-acked idempotently. *)
+let handle_snapshot_chunk t ~src ~epoch ~seq ~cells ~upto ~final =
+  if t.role = Follower && t.learner && epoch >= t.epoch then begin
+    if epoch > t.epoch then t.epoch <- epoch;
+    t.leader <- Some src;
+    t.last_leader_msg <- Sim.Engine.now t.ctx.engine;
+    let ack () =
+      t.ctx.send ~dst:src
+        (Message.Snapshot_ack { range = t.ctx.range; from = t.ctx.node_id; seq })
+    in
+    if seq < t.snapshot_next then ack ()
+    else if seq > t.snapshot_next then ()
+    else begin
+      t.snapshot_next <- seq + 1;
+      (* WAL-append then apply, like catch-up install: the snapshot cells
+         become this replica's durable prefix, so local recovery and later
+         catch-up serving work unchanged. Idempotent under retransmission. *)
+      let own = Store.durable_write_lsns_in t.ctx.store ~above:Lsn.zero ~upto in
+      List.iter
+        (fun ((coord, (cell : Row.cell)) : Row.coord * Row.cell) ->
+          let op = op_of_cell coord cell in
+          if not (List.exists (Lsn.equal cell.lsn) own) then
+            Wal.append t.ctx.wal
+              (Log_record.write ~cohort:t.ctx.range ~lsn:cell.lsn ~timestamp:cell.timestamp op);
+          Store.apply t.ctx.store ~lsn:cell.lsn ~timestamp:cell.timestamp op)
+        cells;
+      if final then begin
+        (* The snapshot horizon is our commit point: every committed write at
+           or below it is covered by the installed cells. *)
+        t.cmt <- Lsn.max t.cmt upto;
+        t.lst <- t.cmt;
+        Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt);
+        trace t "snapshot_installed"
+          (Printf.sprintf "from n%d upto=%s" src (Lsn.to_string t.cmt))
+      end;
+      (* Ack only once durable: the promise behind the ack is that a crash
+         cannot silently lose this chunk. *)
+      Wal.force t.ctx.wal (guard t ack)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Range split: a hot range [lo, hi) splits at a median key into
+   [lo, at) + [at, hi), both children serving before any data is
+   rewritten — the child shares the parent's SSTables.                  *)
+
+(* Admin entry point (leader only). The split point is the store's median
+   key; the child range id is allocated from the coordination service; the
+   child's election znodes are pre-created with the parent's current epoch
+   (so the child's first leader allocates a strictly larger one and its
+   writes beat every inherited cell under LSN order); then the parent
+   drains its commit queue, flushes, and logs the split record. *)
+let request_split t =
+  if
+    t.role = Leader && t.open_for_writes && Option.is_none t.migration && not t.splitting
+  then begin
+    match Store.split_point t.ctx.store with
+    | None -> false
+    | Some at ->
+      t.splitting <- true;
+      trace t "split_start" (Printf.sprintf "at=%s" at);
+      let zk = t.ctx.zk () in
+      Coord.Zk_client.incr_counter zk ~path:"/next_range"
+        (guard t (fun new_range ->
+             if t.role = Leader && t.splitting then begin
+               let prefix = Printf.sprintf "/ranges/%d" new_range in
+               let create path k =
+                 (* Already-exists errors are fine: a previous leader's split
+                    attempt may have created the znodes before dying. *)
+                 Coord.Zk_client.create_node zk ~path
+                   ~data:(string_of_int t.epoch) (guard t (fun _ -> k ()))
+               in
+               create prefix (fun () ->
+                   create (prefix ^ "/candidates") (fun () ->
+                       create (prefix ^ "/epoch") (fun () ->
+                           (* New writes are parked by [t.splitting]; wait for
+                              the in-flight tail to commit, then flush so the
+                              shared SSTables hold everything up to the split
+                              record, and log it. *)
+                           let rec drain () =
+                             if t.role <> Leader then t.splitting <- false
+                             else if Commit_queue.length t.queue > 0 then
+                               after t (Sim.Sim_time.ms 50) drain
+                             else begin
+                               Store.flush t.ctx.store;
+                               enqueue_meta t (Log_record.Split { at; new_range })
+                             end
+                           in
+                           drain ())))
+             end));
+      true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
 (* Leader takeover (Figure 6).                                          *)
 
 let start_takeover t =
@@ -852,6 +1306,8 @@ let start_takeover t =
     (Printf.sprintf "epoch=%d cmt=%s lst=%s" t.epoch (Lsn.to_string t.cmt)
        (Lsn.to_string t.lst));
   t.takeover_pending <- true;
+  t.takeover_open_at <- t.lst;
+  t.takeover_commit_wait <- false;
   t.open_for_writes <- false;
   t.active_followers <- [];
   (* Rebuild the commit queue with the unresolved writes in (l.cmt, l.lst]
@@ -919,6 +1375,12 @@ let handle_takeover_query t ~src ~epoch =
       trace t "stepdown" (Printf.sprintf "new_epoch=%d" epoch);
       t.open_for_writes <- false;
       t.takeover_pending <- false;
+      t.takeover_commit_wait <- false;
+      (* A deposed leader's in-flight migration or split dies with its term;
+         if the metadata record was already logged the new leader's takeover
+         resolves it like any other write. *)
+      abort_migration t "leader deposed";
+      t.splitting <- false;
       let waiting = t.waiting in
       t.waiting <- [];
       List.iter
@@ -1101,7 +1563,7 @@ and evaluate_candidates t kids =
       | [] -> max_int
       | m :: rest -> if m = node then i else find (i + 1) rest
     in
-    find 0 t.ctx.members
+    find 0 (t.ctx.members ())
   in
   let parsed =
     List.filter_map
@@ -1181,11 +1643,20 @@ and await_candidates t =
   end
 
 and start_election t =
-  if t.role <> Offline && not t.election_running then begin
+  (* Learners and replicas no longer in the membership must not vote: a
+     learner's log is a partial snapshot (its lst is not comparable under the
+     max-lst rule), and a migrated-away replica claiming leadership would
+     resurrect the old configuration. *)
+  if
+    t.role <> Offline && (not t.election_running) && (not t.learner)
+    && List.mem t.ctx.node_id (t.ctx.members ())
+  then begin
     t.election_running <- true;
     t.role <- Candidate;
     t.leader <- None;
     t.open_for_writes <- false;
+    t.takeover_pending <- false;
+    t.takeover_commit_wait <- false;
     trace t "election_start" (Printf.sprintf "lst=%s" (Lsn.to_string t.lst));
     let zk = t.ctx.zk () in
     (* Clean up our stale state from a previous round (Figure 7 line 1). *)
@@ -1214,10 +1685,15 @@ let crash t =
   t.active_followers <- [];
   t.pending_final <- [];
   t.takeover_pending <- false;
+  t.takeover_commit_wait <- false;
   t.waiting <- [];
   t.commit_timer_armed <- false;
   Hashtbl.reset t.dedup;
+  t.migration <- None;
+  t.splitting <- false;
   t.catching_up <- false;
+  t.learner <- false;
+  t.snapshot_next <- 0;
   t.last_leader_msg <- Sim.Sim_time.zero;
   t.resync_armed <- false;
   t.election_running <- false;
@@ -1304,19 +1780,22 @@ let zk_session_expired t =
           t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
         waiting
     end;
-    t.role <- Candidate;
+    t.role <- if t.learner then Follower else Candidate;
     t.leader <- None;
     t.open_for_writes <- false;
     t.takeover_pending <- false;
+    t.takeover_commit_wait <- false;
     t.pending_final <- [];
     t.active_followers <- [];
+    t.migration <- None;
+    t.splitting <- false;
     t.catching_up <- false;
     t.election_running <- false;
     t.own_candidate <- None;
     t.leader_watch_armed <- false
   end
 
-let zk_session_renewed t = if t.role <> Offline then join_cohort t
+let zk_session_renewed t = if t.role <> Offline && not t.learner then join_cohort t
 
 (* Fresh boot is the restart path: local recovery (a no-op on an empty log)
    followed by election or follower catch-up (§7: "leader election is
@@ -1337,7 +1816,10 @@ let handle_peer t ~src msg =
   | Message.Propose { epoch; writes; piggyback_cmt; _ } ->
     handle_propose t ~src ~epoch ~writes ~piggyback_cmt
   | Message.Ack { from; upto; _ } ->
-    if t.role = Leader then begin
+    (* Only members' acks count toward the majority: a learner's ack must
+       not help commit a write the old configuration has not accepted — the
+       learner could vanish with the only durable copy. *)
+    if t.role = Leader && List.mem from (t.ctx.members ()) then begin
       Commit_queue.add_ack t.queue ~from ~upto;
       try_commit t
     end
@@ -1350,4 +1832,7 @@ let handle_peer t ~src msg =
   | Message.Catchup_data { epoch; cells; upto; final; _ } ->
     follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final
   | Message.Catchup_done { from; upto; _ } -> leader_catchup_done t ~follower:from ~upto
+  | Message.Snapshot_chunk { epoch; seq; cells; upto; final; _ } ->
+    handle_snapshot_chunk t ~src ~epoch ~seq ~cells ~upto ~final
+  | Message.Snapshot_ack { from; seq; _ } -> handle_snapshot_ack t ~from ~seq
   | Message.Request _ | Message.Reply _ -> ()

@@ -12,7 +12,11 @@
       quorum, re-propose the unresolved writes in (l.cmt, l.lst], then open
       the cohort with a fresh epoch;
     - follower recovery (§6.1): catch-up from the leader's log or SSTables,
-      with logical truncation of discarded records via skipped-LSN lists. *)
+      with logical truncation of discarded records via skipped-LSN lists;
+    - live membership change (§10): replica migration — snapshot ship plus
+      WAL catch-up to a learner, then a Paxos-replicated [Cohort_change]
+      record that atomically swaps the joiner in — and range splits via a
+      logged [Split] record, both children serving off shared SSTables. *)
 
 type role = Offline | Candidate | Leader | Follower
 
@@ -20,7 +24,6 @@ type ctx = {
   engine : Sim.Engine.t;
   node_id : int;
   range : int;
-  members : int list;  (** the cohort's nodes, this one included *)
   config : Config.t;
   store : Storage.Store.t;
   wal : Storage.Wal.t;
@@ -31,9 +34,22 @@ type ctx = {
   zk : unit -> Coord.Zk_client.t;  (** current session (changes on restart) *)
   incarnation : unit -> int;  (** node incarnation; timers check it *)
   routes_here : Storage.Row.key -> bool;
-      (** whether a key belongs to this cohort's range (transaction scoping) *)
-  range_bounds : Storage.Row.key * Storage.Row.key;
-      (** [start, end) of this cohort's key range (scan clamping) *)
+      (** whether a key belongs to this cohort's range (transaction scoping);
+          consulted again at write time — the layout may have moved *)
+  range_bounds : unit -> Storage.Row.key * Storage.Row.key;
+      (** current [start, end) of this cohort's key range (scan clamping);
+          a function because a range split narrows it *)
+  members : unit -> int list;
+      (** the cohort's current membership under the live routing table *)
+  xfer : Sim.Resource.t;
+      (** the node's bulk-transfer link; snapshot chunks stream through it at
+          [Config.xfer_bytes_per_sec] so migration bandwidth is modelled *)
+  apply_meta : op:Storage.Log_record.op -> leader:bool -> unit;
+      (** node-level side effects of a committed metadata record (routing
+          table update, child-cohort spawn, layout publication) *)
+  retire_self : unit -> unit;
+      (** drop this cohort from the hosting node (migration moved it away,
+          or a learner's migration aborted) *)
 }
 
 type t
@@ -64,6 +80,43 @@ val reply_cache_size : t -> int
 
 val store : t -> Storage.Store.t
 (** The replica's storage engine (gauge registration and inspection). *)
+
+val is_learner : t -> bool
+(** A joining replica not yet swapped into the membership: receives the
+    snapshot and catch-up but cannot vote, and its acks do not count. *)
+
+val migrating : t -> bool
+(** Leader-side: a replica migration is in flight on this cohort. *)
+
+(** {2 Membership change and splits (§10)} *)
+
+val request_join : t -> joiner:int -> ?remove:int -> unit -> bool
+(** Leader-only admin entry point: bootstrap node [joiner] into the cohort
+    (snapshot ship, WAL catch-up, then a replicated [Cohort_change]),
+    retiring member [remove] once the joiner is in. Returns [false] if this
+    replica is not an open leader, a migration or split is already running,
+    the joiner is already a member, or [remove] is invalid (not a member,
+    the leader itself, or the joiner). The migration aborts cleanly — layout
+    untouched — if the joiner stops responding. *)
+
+val request_split : t -> bool
+(** Leader-only admin entry point: split the range at the store's median key
+    into parent [lo, at) and a child [at, hi) with the same membership. The
+    child's id comes from the coordination service's /next_range counter and
+    its election znodes are seeded with the parent's epoch before the split
+    record is logged; both children serve immediately off shared SSTables.
+    Returns [false] if not an open leader, busy, or the store is too small
+    to yield an interior split point. *)
+
+val start_learner : t -> leader:int -> unit
+(** Called by the node layer when a snapshot chunk arrives for a range it
+    does not host: turn this fresh cohort into a learner replica fed by
+    [leader]. Retires itself if never promoted within
+    [Config.learner_timeout]. *)
+
+val retire : t -> unit
+(** The node no longer hosts this range: fail queued writers, release any
+    held election znodes, and go Offline (guarded callbacks die). *)
 
 (** {2 Lifecycle} *)
 

@@ -23,6 +23,10 @@ type t = {
   client_max_attempts : int;
   metrics_sample_period : Sim.Sim_time.span;
   trace_capacity : int;
+  xfer_bytes_per_sec : float;
+  snapshot_chunk_bytes : int;
+  learner_timeout : Sim.Sim_time.span;
+  migration_timeout : Sim.Sim_time.span;
   seed : int;
 }
 
@@ -52,6 +56,10 @@ let default =
     client_max_attempts = 60;
     metrics_sample_period = Sim.Sim_time.ms 100;
     trace_capacity = Sim.Trace.default_capacity;
+    xfer_bytes_per_sec = 100e6;
+    snapshot_chunk_bytes = 512 * 1024;
+    learner_timeout = Sim.Sim_time.sec 30;
+    migration_timeout = Sim.Sim_time.sec 10;
     seed = 42;
   }
 

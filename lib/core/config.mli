@@ -36,6 +36,13 @@ type t = {
   metrics_sample_period : Sim.Sim_time.span;
       (** gauge sampling interval for the cluster metrics registry *)
   trace_capacity : int;  (** trace ring-buffer capacity (events retained) *)
+  xfer_bytes_per_sec : float;
+      (** snapshot-transfer bandwidth per node (replica migration) *)
+  snapshot_chunk_bytes : int;  (** snapshot ship chunk size *)
+  learner_timeout : Sim.Sim_time.span;
+      (** a learner replica never promoted within this span retires itself *)
+  migration_timeout : Sim.Sim_time.span;
+      (** leader-side watchdog: abort a migration stuck in catch-up *)
   seed : int;
 }
 

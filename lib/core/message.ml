@@ -28,10 +28,21 @@ type value_reply = { value : string option; version : int }
 type client_reply =
   | Value of value_reply
   | Values of (Storage.Row.column * value_reply) list
-  | Rows of (Storage.Row.key * (Storage.Row.column * value_reply) list) list
+  | Rows of {
+      rows : (Storage.Row.key * (Storage.Row.column * value_reply) list) list;
+      next : Storage.Row.key option;
+          (** where the serving range's coverage stopped, when short of the
+              requested window — the client resumes its scan there. The
+              server's answer, not the client's routing table, decides the
+              step, so a scan cannot skip keys a concurrent split moved. *)
+    }
   | Written
   | Version_mismatch of { current : int }
   | Not_leader of { hint : int option }
+  | Wrong_range of { hint : int option }
+      (** the serving node no longer (or never did) own the key's range —
+          the client must refresh its cached routing table; [hint] is the
+          likely leader of the owning range under the server's layout *)
   | Unavailable
   | Cross_range
 
@@ -60,6 +71,19 @@ type t =
       final : bool;
     }
   | Catchup_done of { range : int; from : int; upto : Storage.Lsn.t }
+  | Snapshot_chunk of {
+      range : int;
+      epoch : int;
+      seq : int;
+      total : int;
+      cells : (Storage.Row.coord * Storage.Row.cell) list;
+      upto : Storage.Lsn.t;
+      final : bool;
+    }
+      (** replica migration: one bandwidth-modelled chunk of the source
+          cohort's SSTable snapshot, shipped to a joining learner; [upto] is
+          the snapshot's commit horizon (WAL catch-up resumes from there) *)
+  | Snapshot_ack of { range : int; from : int; seq : int }
 
 let is_write = function
   | Get _ | Multi_get _ | Scan _ -> false
@@ -108,7 +132,7 @@ let size_of_reply = function
   | Value v -> size_of_value v + 8
   | Values vs ->
     List.fold_left (fun a (c, v) -> a + String.length c + size_of_value v) 8 vs
-  | Rows rows ->
+  | Rows { rows; _ } ->
     List.fold_left
       (fun a (k, cols) ->
         List.fold_left
@@ -116,7 +140,7 @@ let size_of_reply = function
           (a + String.length k + 8)
           cols)
       8 rows
-  | Written | Version_mismatch _ | Not_leader _ | Unavailable | Cross_range -> 16
+  | Written | Version_mismatch _ | Not_leader _ | Wrong_range _ | Unavailable | Cross_range -> 16
 
 let size_of_cell ((key, col), (cell : Storage.Row.cell)) =
   String.length key + String.length col
@@ -132,7 +156,9 @@ let size_of_write (_, op, _, _) =
       | Storage.Log_record.Put { key; col; value; _ } ->
         String.length key + String.length col + String.length value
       | Storage.Log_record.Delete { key; col; _ } -> String.length key + String.length col
-      | Storage.Log_record.Batch _ -> 0)
+      | Storage.Log_record.Batch _ | Storage.Log_record.Cohort_change _
+      | Storage.Log_record.Split _ ->
+        0)
     24
     (Storage.Log_record.flatten op)
 
@@ -141,9 +167,10 @@ let size = function
   | Reply { reply; _ } -> size_of_reply reply + 8
   | Propose { writes; _ } -> List.fold_left (fun a w -> a + size_of_write w) 32 writes
   | Ack _ | Commit _ | Takeover_query _ | Takeover_info _ | Catchup_request _
-  | Catchup_done _ ->
+  | Catchup_done _ | Snapshot_ack _ ->
     48
-  | Catchup_data { cells; _ } -> List.fold_left (fun a c -> a + size_of_cell c) 48 cells
+  | Catchup_data { cells; _ } | Snapshot_chunk { cells; _ } ->
+    List.fold_left (fun a c -> a + size_of_cell c) 48 cells
 
 let pp ppf = function
   | Request { client; request_id; op } ->
@@ -166,3 +193,9 @@ let pp ppf = function
       (if final then ", final" else "")
   | Catchup_done { range; from; upto } ->
     Format.fprintf ppf "catchup-done r%d n%d upto %a" range from Storage.Lsn.pp upto
+  | Snapshot_chunk { range; seq; total; cells; final; _ } ->
+    Format.fprintf ppf "snapshot-chunk r%d %d/%d (%d cells%s)" range seq total
+      (List.length cells)
+      (if final then ", final" else "")
+  | Snapshot_ack { range; from; seq } ->
+    Format.fprintf ppf "snapshot-ack r%d n%d #%d" range from seq

@@ -41,11 +41,23 @@ type value_reply = { value : string option; version : int }
 type client_reply =
   | Value of value_reply
   | Values of (Storage.Row.column * value_reply) list
-  | Rows of (Storage.Row.key * (Storage.Row.column * value_reply) list) list
-      (** scan result: this cohort's rows in the window, ascending by key *)
+  | Rows of {
+      rows : (Storage.Row.key * (Storage.Row.column * value_reply) list) list;
+          (** this cohort's rows in the window, ascending by key *)
+      next : Storage.Row.key option;
+          (** where this range's coverage stopped when short of the requested
+              window; the client resumes the scan there. Server-reported so a
+              client with a stale routing table cannot skip keys that a
+              concurrent range split moved to a new cohort. *)
+    }
   | Written
   | Version_mismatch of { current : int }  (** conditional put/delete failed *)
   | Not_leader of { hint : int option }  (** strong ops must go to the leader *)
+  | Wrong_range of { hint : int option }
+      (** the serving node does not own the key's range under the current
+          layout — the client must refresh its cached routing table (the
+          layout epoch moved: a split or migration committed); [hint] is the
+          probable leader of the owning range *)
   | Unavailable  (** cohort closed for writes (no leader / takeover running) *)
   | Cross_range  (** transaction keys span key ranges; not supported (§8.2) *)
 
@@ -79,6 +91,19 @@ type t =
       final : bool;  (** leader blocked writes; follower is fully caught up after this *)
     }
   | Catchup_done of { range : int; from : int; upto : Storage.Lsn.t }
+  (* --- replica migration (§10) --- *)
+  | Snapshot_chunk of {
+      range : int;
+      epoch : int;
+      seq : int;  (** chunk number, 0-based; shipped stop-and-wait *)
+      total : int;  (** total chunks in this snapshot (>= 1, even if empty) *)
+      cells : (Storage.Row.coord * Storage.Row.cell) list;
+      upto : Storage.Lsn.t;  (** snapshot commit horizon; catch-up resumes here *)
+      final : bool;
+    }
+      (** one bandwidth-modelled chunk of the SSTable snapshot a cohort
+          ships to a joining learner replica *)
+  | Snapshot_ack of { range : int; from : int; seq : int }
 
 val is_write : client_op -> bool
 

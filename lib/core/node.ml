@@ -8,13 +8,18 @@ type t = {
   trace : Sim.Trace.t;
   cpu : Sim.Resource.t;
   disk : Sim.Resource.t;
+  xfer : Sim.Resource.t;
+      (** bulk-transfer link: replica-migration snapshot chunks stream
+          through it, so shipping a store takes bandwidth-modelled time *)
   wal : Storage.Wal.t;
-  cohorts : (int * Cohort.t) list;
+  mutable cohorts : (int * Cohort.t) list;
+      (** hosted replicas; changes at runtime with splits and migrations *)
   mutable zk : Coord.Zk_client.t option;
   mutable zk_reachable : bool;
       (** this node's link to the coordination service (nemesis-controlled);
           independent of the data network and of node liveness *)
   mutable zk_reconnecting : bool;  (** a session-reconnect loop is running *)
+  mutable layout_watch_armed : bool;
   mutable alive : bool;
   mutable incarnation : int;
 }
@@ -31,6 +36,10 @@ let send t ~dst msg =
 
 let reply t ~client ~request_id reply =
   send t ~dst:client (Message.Reply { request_id; reply })
+
+(* The session-renewal path wants to reconcile the layout, but the membership
+   machinery is defined after the reconnect loop; tied together below. *)
+let on_session_renewed : (t -> unit) ref = ref (fun _ -> ())
 
 let rec zk_exn t =
   match t.zk with
@@ -62,6 +71,7 @@ and handle_session_expiry t =
   Sim.Trace.event t.trace ~node:t.id ~tag:"zk_session"
     (Printf.sprintf "n%d session expired" t.id);
   t.zk <- None;
+  t.layout_watch_armed <- false;
   List.iter (fun (_, c) -> Cohort.zk_session_expired c) t.cohorts;
   if not t.zk_reconnecting then reconnect_zk t
 
@@ -83,6 +93,9 @@ and reconnect_zk t =
         register_membership t;
         Sim.Trace.event t.trace ~node:t.id ~tag:"zk_session"
           (Printf.sprintf "n%d session renewed" t.id);
+        (* Catch up on layout changes missed while disconnected, then let
+           every cohort fall back in line under the current layout. *)
+        !on_session_renewed t;
         List.iter (fun (_, c) -> Cohort.zk_session_renewed c) t.cohorts
       end
       else ignore (Sim.Engine.schedule t.engine ~after:retry_after attempt)
@@ -99,6 +112,233 @@ let set_zk_reachable t r =
     match t.zk with Some zk -> Coord.Zk_client.set_reachable zk r | None -> ()
   end
 
+(* ------------------------------------------------------------------ *)
+(* Cohort construction and the live-membership machinery (§10).        *)
+
+let rec make_cohort_with_store t range store =
+  let ctx : Cohort.ctx =
+    {
+      engine = t.engine;
+      node_id = t.id;
+      range;
+      config = t.config;
+      store;
+      wal = t.wal;
+      cpu = t.cpu;
+      trace = t.trace;
+      send = (fun ~dst msg -> send t ~dst msg);
+      reply = (fun ~client ~request_id r -> reply t ~client ~request_id r);
+      zk = (fun () -> zk_exn t);
+      incarnation = (fun () -> incarnation t);
+      routes_here = (fun key -> Partition.route t.partition key = range);
+      range_bounds = (fun () -> Partition.range_bounds t.partition ~range);
+      members = (fun () -> try Partition.cohort t.partition ~range with _ -> []);
+      xfer = t.xfer;
+      apply_meta = (fun ~op ~leader -> apply_meta t ~range ~op ~leader);
+      retire_self = (fun () -> retire_cohort t ~range);
+    }
+  in
+  Cohort.create ctx
+
+and make_cohort t range =
+  let store =
+    Storage.Store.create ~cohort:range ~wal:t.wal ~flush_bytes:t.config.Config.flush_bytes
+      ~compaction_fanin:t.config.Config.compaction_fanin
+      ~max_sstables:t.config.Config.max_sstables
+      ~cache_capacity:t.config.Config.row_cache_capacity ()
+  in
+  (match Partition.range_bounds t.partition ~range with
+  | lo, hi -> Storage.Store.set_bounds store ~lo ~hi
+  | exception _ -> ());
+  make_cohort_with_store t range store
+
+(* The node no longer hosts [range]: drop the replica and its log records.
+   Without the log drop, a node later re-added to a range it once hosted
+   would recover stale commit markers and reject perfectly good data. *)
+and retire_cohort t ~range =
+  match List.assoc_opt range t.cohorts with
+  | None -> ()
+  | Some c ->
+    Cohort.retire c;
+    t.cohorts <- List.remove_assoc range t.cohorts;
+    Storage.Wal.drop_cohort t.wal ~cohort:range;
+    Sim.Trace.event t.trace ~node:t.id ~cohort:range ~tag:"range_retired"
+      (Printf.sprintf "r%d n%d" range t.id)
+
+(* A snapshot chunk arrived for a range this node does not host: a migration
+   source picked us as the joiner. Spawn a learner replica on a clean slate. *)
+and ensure_learner t ~range ~src =
+  match List.assoc_opt range t.cohorts with
+  | Some c -> Some c
+  | None ->
+    if Partition.mem_range t.partition ~range then begin
+      Storage.Wal.drop_cohort t.wal ~cohort:range;
+      let c = make_cohort t range in
+      t.cohorts <- t.cohorts @ [ (range, c) ];
+      Cohort.start_learner c ~leader:src;
+      Some c
+    end
+    else None
+
+(* Publish the routing table to /layout so clients (and nodes that slept
+   through a change) can refresh; versioned, so stale publications lose. *)
+and publish_layout t =
+  Coord.Zk_client.set_data (zk_exn t) ~path:"/layout" ~data:(Partition.to_string t.partition)
+    (fun _ -> ())
+
+(* Node-level side effects of a committed metadata record. Invoked by the
+   hosting cohort when the record commits (leader) or applies (follower), in
+   LSN order relative to the range's data records. *)
+and apply_meta t ~range ~op ~leader =
+  match op with
+  | Storage.Log_record.Cohort_change { add; remove } ->
+    let members = try Partition.cohort t.partition ~range with _ -> [] in
+    let members' =
+      let without =
+        match remove with Some r -> List.filter (fun n -> n <> r) members | None -> members
+      in
+      match add with
+      | Some a when not (List.mem a without) -> without @ [ a ]
+      | _ -> without
+    in
+    ignore (Partition.set_members t.partition ~range members');
+    if leader then publish_layout t;
+    (match remove with
+    | Some r when r = t.id ->
+      (* Swapped out: retire once the current apply unwinds (retiring inside
+         the cohort's own apply loop would pull state out from under it). *)
+      ignore
+        (Sim.Engine.schedule t.engine ~after:(Sim.Sim_time.us 1) (fun () ->
+             if t.alive then retire_cohort t ~range))
+    | _ -> ())
+  | Storage.Log_record.Split { at; new_range } -> (
+    match List.assoc_opt range t.cohorts with
+    | Some parent ->
+      let pstore = Cohort.store parent in
+      (* Every record at or below the split LSN is already applied (LSN
+         order); flush so the shared SSTables capture all of it before the
+         child starts reading them. *)
+      Storage.Store.flush pstore;
+      let lo, hi =
+        match Storage.Store.bounds pstore with
+        | Some b -> b
+        | None -> Partition.range_bounds t.partition ~range
+      in
+      ignore (Partition.split t.partition ~range ~at ~new_range);
+      let child_members = try Partition.cohort t.partition ~range:new_range with _ -> [] in
+      if List.mem t.id child_members && not (List.mem_assoc new_range t.cohorts) then begin
+        let child_store = Storage.Store.split_child pstore ~cohort:new_range ~lo:at ~hi in
+        let c = make_cohort_with_store t new_range child_store in
+        t.cohorts <- t.cohorts @ [ (new_range, c) ];
+        Sim.Trace.event t.trace ~node:t.id ~cohort:new_range ~tag:"split_child"
+          (Printf.sprintf "r%d n%d from r%d at %s" new_range t.id range at);
+        Cohort.startup c
+      end;
+      Storage.Store.set_bounds pstore ~lo ~hi:at;
+      if leader then publish_layout t
+    | None -> ignore (Partition.split t.partition ~range ~at ~new_range))
+  | _ -> ()
+
+(* Bring this node's hosted set in line with the current routing table —
+   the catch-all for changes it missed while down or disconnected (metadata
+   records are invisible to cell-based catch-up):
+   (a) hosted stores wider than their range (a split committed while we were
+       away): recover + flush so the shared tables capture the parent's log,
+       carve out the child replicas we should host, clamp the parent;
+   (b) ranges we should host but do not: fresh empty replicas that recover
+       entirely from peers via catch-up;
+   (c) ranges we host but are no longer a member of (and are not currently
+       joining): retire them. *)
+and reconcile_layout t =
+  if t.alive then begin
+    List.iter
+      (fun (range, c) ->
+        let store = Cohort.store c in
+        match Storage.Store.bounds store with
+        | Some (slo, shi) when Partition.mem_range t.partition ~range ->
+          let _, phi = Partition.range_bounds t.partition ~range in
+          if String.compare shi phi > 0 then begin
+            ignore (Storage.Store.recover store);
+            Storage.Store.flush store;
+            List.iter
+              (fun (d : Partition.desc) ->
+                if
+                  String.compare d.lo phi >= 0
+                  && String.compare d.lo shi < 0
+                  && List.mem t.id d.members
+                  && not (List.mem_assoc d.id t.cohorts)
+                then begin
+                  let child_store =
+                    Storage.Store.split_child store ~cohort:d.id ~lo:d.lo ~hi:d.hi
+                  in
+                  let child = make_cohort_with_store t d.id child_store in
+                  t.cohorts <- t.cohorts @ [ (d.id, child) ];
+                  Sim.Trace.event t.trace ~node:t.id ~cohort:d.id ~tag:"split_child"
+                    (Printf.sprintf "r%d n%d reconciled from r%d" d.id t.id range);
+                  Cohort.startup child
+                end)
+              (Partition.descs t.partition);
+            Storage.Store.set_bounds store ~lo:slo ~hi:phi
+          end
+        | _ -> ())
+      t.cohorts;
+    List.iter
+      (fun (d : Partition.desc) ->
+        if List.mem t.id d.members && not (List.mem_assoc d.id t.cohorts) then begin
+          Storage.Wal.drop_cohort t.wal ~cohort:d.id;
+          let c = make_cohort t d.id in
+          t.cohorts <- t.cohorts @ [ (d.id, c) ];
+          Sim.Trace.event t.trace ~node:t.id ~cohort:d.id ~tag:"range_adopted"
+            (Printf.sprintf "r%d n%d" d.id t.id);
+          Cohort.startup c
+        end)
+      (Partition.descs t.partition);
+    List.iter
+      (fun (range, c) ->
+        if
+          (not (Cohort.is_learner c))
+          && not (List.mem t.id (try Partition.cohort t.partition ~range with _ -> []))
+        then retire_cohort t ~range)
+      t.cohorts
+  end
+
+(* Watch /layout (one-shot, re-armed) so nodes that did not participate in a
+   change — e.g. the replica a migration swapped out, which stops receiving
+   the cohort's commits the moment the change commits — still learn of it. *)
+and arm_layout_watch t =
+  if t.alive && not t.layout_watch_armed then begin
+    t.layout_watch_armed <- true;
+    let inc = t.incarnation in
+    let zk = zk_exn t in
+    Coord.Zk_client.watch_node zk ~path:"/layout" (fun () ->
+        if t.alive && t.incarnation = inc then begin
+          t.layout_watch_armed <- false;
+          Coord.Zk_client.get_data zk ~path:"/layout" (fun r ->
+              if t.alive && t.incarnation = inc then begin
+                (match r with
+                | Ok data -> ignore (Partition.update_from_string t.partition data)
+                | Error _ -> ());
+                reconcile_layout t;
+                arm_layout_watch t
+              end)
+        end)
+  end
+
+let () =
+  on_session_renewed :=
+    fun t ->
+      Coord.Zk_client.get_data (zk_exn t) ~path:"/layout" (fun r ->
+          if t.alive then begin
+            (match r with
+            | Ok data -> ignore (Partition.update_from_string t.partition data)
+            | Error _ -> ());
+            reconcile_layout t;
+            arm_layout_watch t
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch.                                                           *)
+
 let handle t (env : Message.t Sim.Network.envelope) =
   if t.alive then begin
     match env.payload with
@@ -107,10 +347,16 @@ let handle t (env : Message.t Sim.Network.envelope) =
       match cohort t ~range with
       | Some c -> Cohort.handle_client c ~client ~request_id op
       | None ->
-        (* Misrouted: point the client at the range's primary. *)
+        (* This node does not serve the key's range under the current layout
+           (a split or migration may have moved it): tell the client to
+           refresh its routing table, pointing at the probable leader. *)
         reply t ~client ~request_id
-          (Message.Not_leader { hint = Some (Partition.primary t.partition ~range) }))
+          (Message.Wrong_range { hint = Some (Partition.primary t.partition ~range) }))
     | Message.Reply _ -> ()
+    | Message.Snapshot_chunk { range; _ } -> (
+      match ensure_learner t ~range ~src:env.src with
+      | Some c -> Cohort.handle_peer c ~src:env.src env.payload
+      | None -> ())
     | Message.Propose { range; _ }
     | Message.Ack { range; _ }
     | Message.Commit { range; _ }
@@ -118,7 +364,8 @@ let handle t (env : Message.t Sim.Network.envelope) =
     | Message.Takeover_info { range; _ }
     | Message.Catchup_request { range; _ }
     | Message.Catchup_data { range; _ }
-    | Message.Catchup_done { range; _ } -> (
+    | Message.Catchup_done { range; _ }
+    | Message.Snapshot_ack { range; _ } -> (
       match cohort t ~range with
       | Some c -> Cohort.handle_peer c ~src:env.src env.payload
       | None -> ())
@@ -127,69 +374,50 @@ let handle t (env : Message.t Sim.Network.envelope) =
 let create ~engine ~net ~zk_server ~partition ~config ~trace ~id =
   let cpu = Sim.Resource.create engine ~name:(Printf.sprintf "cpu-%d" id) ~servers:4 () in
   let disk = Sim.Resource.create engine ~name:(Printf.sprintf "logdisk-%d" id) () in
+  let xfer = Sim.Resource.create engine ~name:(Printf.sprintf "xfer-%d" id) () in
   let model = Sim.Disk_model.create config.Config.disk in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   let wal =
     Storage.Wal.create engine ~disk ~model ~rng ~max_batch:config.Config.wal_max_batch ()
   in
-  let rec t =
-    lazy
-      (let make_cohort range =
-         let store =
-           Storage.Store.create ~cohort:range ~wal ~flush_bytes:config.Config.flush_bytes
-             ~compaction_fanin:config.Config.compaction_fanin
-             ~max_sstables:config.Config.max_sstables
-             ~cache_capacity:config.Config.row_cache_capacity ()
-         in
-         let ctx : Cohort.ctx =
-           {
-             engine;
-             node_id = id;
-             range;
-             members = Partition.cohort partition ~range;
-             config;
-             store;
-             wal;
-             cpu;
-             trace;
-             send = (fun ~dst msg -> send (Lazy.force t) ~dst msg);
-             reply =
-               (fun ~client ~request_id r -> reply (Lazy.force t) ~client ~request_id r);
-             zk = (fun () -> zk_exn (Lazy.force t));
-             incarnation = (fun () -> incarnation (Lazy.force t));
-             routes_here = (fun key -> Partition.route partition key = range);
-             range_bounds = Partition.range_bounds partition ~range;
-           }
-         in
-         (range, Cohort.create ctx)
-       in
-       {
-         id;
-         engine;
-         net;
-         zk_server;
-         partition;
-         config;
-         trace;
-         cpu;
-         disk;
-         wal;
-         cohorts = List.map make_cohort (Partition.ranges_of_node partition ~node:id);
-         zk = None;
-         zk_reachable = true;
-         zk_reconnecting = false;
-         alive = false;
-         incarnation = 0;
-       })
+  let t =
+    {
+      id;
+      engine;
+      net;
+      zk_server;
+      partition;
+      config;
+      trace;
+      cpu;
+      disk;
+      xfer;
+      wal;
+      cohorts = [];
+      zk = None;
+      zk_reachable = true;
+      zk_reconnecting = false;
+      layout_watch_armed = false;
+      alive = false;
+      incarnation = 0;
+    }
   in
-  Lazy.force t
+  t.cohorts <-
+    List.map
+      (fun range -> (range, make_cohort t range))
+      (Partition.ranges_of_node partition ~node:id);
+  t
 
 let start t =
   t.alive <- true;
   Sim.Network.register t.net ~node:t.id (handle t);
   ignore (zk_exn t);
   register_membership t;
-  List.iter (fun (_, c) -> Cohort.startup c) t.cohorts
+  (* A node added after cluster bootstrap starts with no hosted ranges until
+     a migration targets it; reconcile adopts anything it already owns. *)
+  reconcile_layout t;
+  List.iter (fun (_, c) -> if Cohort.role c = Cohort.Offline then Cohort.startup c) t.cohorts;
+  arm_layout_watch t
 
 let crash t =
   if t.alive then begin
@@ -199,6 +427,7 @@ let crash t =
     (match t.zk with Some zk -> Coord.Zk_client.crash zk | None -> ());
     t.zk <- None;
     t.zk_reconnecting <- false;
+    t.layout_watch_armed <- false;
     Storage.Wal.crash t.wal;
     List.iter (fun (_, c) -> Cohort.crash c) t.cohorts;
     Sim.Trace.event t.trace ~node:t.id ~tag:"node_crash" (Printf.sprintf "n%d" t.id)
@@ -212,7 +441,13 @@ let restart t =
     ignore (zk_exn t);
     register_membership t;
     Sim.Trace.event t.trace ~node:t.id ~tag:"node_restart" (Printf.sprintf "n%d" t.id);
-    List.iter (fun (_, c) -> Cohort.rejoin c) t.cohorts
+    (* The layout may have moved while we were down (the shared routing
+       table is authoritative): first shed ranges we no longer own and adopt
+       ones we missed — including splits, whose metadata records cell-based
+       catch-up cannot convey — then rejoin the survivors. *)
+    reconcile_layout t;
+    List.iter (fun (_, c) -> if Cohort.role c = Cohort.Offline then Cohort.rejoin c) t.cohorts;
+    arm_layout_watch t
   end
 
 let lose_disk t =

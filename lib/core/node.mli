@@ -50,6 +50,15 @@ val set_zk_reachable : t -> bool -> unit
 val cohort : t -> range:int -> Cohort.t option
 
 val ranges : t -> int list
+(** The ranges this node currently hosts a replica of — changes at runtime
+    as migrations and splits commit (§10). *)
+
+val reconcile_layout : t -> unit
+(** Bring the hosted-replica set in line with the current routing table:
+    adopt ranges the node is a member of but does not host (including split
+    children carved out of a wider local store), retire ranges it is no
+    longer a member of. Runs automatically on start, restart, session
+    renewal, and /layout changes; exposed for tests. *)
 
 val wal : t -> Storage.Wal.t
 

@@ -1,43 +1,160 @@
-type t = { nodes : int; replication : int; key_space : int; width : int }
+type desc = {
+  id : int;
+  lo : Storage.Row.key;
+  hi : Storage.Row.key;  (** exclusive *)
+  members : int list;  (** primary first *)
+}
+
+type t = {
+  replication : int;
+  key_space : int;
+  width : int;
+  mutable version : int;
+  mutable descs : desc list;  (** sorted by [lo] *)
+  mutable next_id : int;
+}
+
+let key_of_int t k = Printf.sprintf "%0*d" t.width k
+
+let sort_descs descs = List.sort (fun a b -> String.compare a.lo b.lo) descs
 
 let create ~nodes ~replication ~key_space =
   assert (nodes >= replication && replication >= 1 && key_space >= nodes);
   (* Wide enough for [key_space] itself, so the exclusive end bound of the
      last range still encodes in lexicographic order. *)
   let width = String.length (string_of_int key_space) in
-  { nodes; replication; key_space; width }
+  let t = { replication; key_space; width; version = 1; descs = []; next_id = nodes } in
+  (* Seed layout: one base range per node, chained declustering — the layout
+     of Figure 2, identical to the original static math. *)
+  t.descs <-
+    List.init nodes (fun range ->
+        let start = range * key_space / nodes in
+        let stop = if range = nodes - 1 then key_space else (range + 1) * key_space / nodes in
+        {
+          id = range;
+          lo = key_of_int t start;
+          hi = key_of_int t stop;
+          members = List.init replication (fun i -> (range + i) mod nodes);
+        });
+  t
 
-let ranges t = t.nodes
+let ranges t = List.length t.descs
 let replication t = t.replication
-let key_of_int t k = Printf.sprintf "%0*d" t.width k
+let version t = t.version
+let key_space t = t.key_space
+let range_ids t = List.map (fun d -> d.id) t.descs
+let descs t = t.descs
+let mem_range t ~range = List.exists (fun d -> d.id = range) t.descs
+
+let copy t = { t with descs = t.descs }
+
+let find t ~range =
+  match List.find_opt (fun d -> d.id = range) t.descs with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Partition: unknown range %d" range)
 
 let route t key =
+  (* Keys are nominally zero-padded decimals; anything else hashes into the
+     numeric key space first so every key routes somewhere deterministic. *)
   let numeric =
     match int_of_string_opt (String.trim key) with
     | Some v -> ((v mod t.key_space) + t.key_space) mod t.key_space
     | None -> Hashtbl.hash key mod t.key_space
   in
-  (* Equal-width ranges; the last range absorbs the remainder. *)
-  Stdlib.min (t.nodes - 1) (numeric * t.nodes / t.key_space)
+  let encoded = key_of_int t numeric in
+  (* Descriptors tile [0, key_space): the owner is the last one whose [lo]
+     is at or below the key. *)
+  let rec go best = function
+    | [] -> best
+    | d :: rest -> if String.compare d.lo encoded <= 0 then go (Some d) rest else best
+  in
+  match go None t.descs with
+  | Some d -> d.id
+  | None -> (List.hd t.descs).id
 
-let cohort t ~range = List.init t.replication (fun i -> (range + i) mod t.nodes)
-let primary _t ~range = range
+let cohort t ~range = (find t ~range).members
+let primary t ~range = List.hd (find t ~range).members
 
 let ranges_of_node t ~node =
-  List.init t.replication (fun i -> ((node - i) + t.nodes) mod t.nodes)
-  |> List.sort_uniq Int.compare
+  List.filter_map (fun d -> if List.mem node d.members then Some d.id else None) t.descs
 
 let range_bounds t ~range =
-  let start = range * t.key_space / t.nodes in
-  let stop = if range = t.nodes - 1 then t.key_space else (range + 1) * t.key_space / t.nodes in
-  (key_of_int t start, key_of_int t stop)
+  let d = find t ~range in
+  (d.lo, d.hi)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation — applied when a Paxos-replicated meta record commits.      *)
+
+let set_members t ~range members =
+  let d = find t ~range in
+  if d.members = members then false
+  else begin
+    t.descs <- List.map (fun d' -> if d'.id = range then { d' with members } else d') t.descs;
+    t.version <- t.version + 1;
+    true
+  end
+
+let split t ~range ~at ~new_range =
+  if mem_range t ~range:new_range then false (* already applied *)
+  else begin
+    let d = find t ~range in
+    if String.compare d.lo at >= 0 || String.compare at d.hi >= 0 then false
+    else begin
+      let parent = { d with hi = at } in
+      let child = { id = new_range; lo = at; hi = d.hi; members = d.members } in
+      t.descs <-
+        sort_descs (child :: List.map (fun d' -> if d'.id = range then parent else d') t.descs);
+      t.next_id <- Stdlib.max t.next_id (new_range + 1);
+      t.version <- t.version + 1;
+      true
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serialization for the ZK [/layout] znode.                            *)
+
+let to_string t =
+  let desc d =
+    Printf.sprintf "%d:%s:%s:%s" d.id d.lo d.hi
+      (String.concat "," (List.map string_of_int d.members))
+  in
+  Printf.sprintf "%d|%d|%s" t.version t.next_id (String.concat ";" (List.map desc t.descs))
+
+let of_string_exn s =
+  match String.split_on_char '|' s with
+  | [ version; next_id; body ] ->
+    let descs =
+      String.split_on_char ';' body
+      |> List.map (fun field ->
+             match String.split_on_char ':' field with
+             | [ id; lo; hi; members ] ->
+               {
+                 id = int_of_string id;
+                 lo;
+                 hi;
+                 members = String.split_on_char ',' members |> List.map int_of_string;
+               }
+             | _ -> failwith "Partition.of_string: bad desc")
+    in
+    (int_of_string version, int_of_string next_id, sort_descs descs)
+  | _ -> failwith "Partition.of_string: bad layout"
+
+let update_from_string t s =
+  match of_string_exn s with
+  | version, next_id, descs when version > t.version ->
+    t.version <- version;
+    t.next_id <- next_id;
+    t.descs <- descs;
+    true
+  | _ -> false
+  | exception _ -> false
 
 let pp ppf t =
-  for r = 0 to t.nodes - 1 do
-    let lo, hi = range_bounds t ~range:r in
-    Format.fprintf ppf "range %d [%s,%s) -> nodes %a@." r lo hi
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
-         Format.pp_print_int)
-      (cohort t ~range:r)
-  done
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "range %d [%s,%s) -> nodes %a@." d.id d.lo d.hi
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+           Format.pp_print_int)
+        d.members)
+    t.descs

@@ -37,6 +37,10 @@ let submit t ~service k =
          t.jobs_completed <- t.jobs_completed + 1;
          k ()))
 
+let submit_bytes t ~bytes ~bytes_per_sec k =
+  let service = Sim_time.of_us_f (float_of_int (max 1 bytes) *. 1e6 /. bytes_per_sec) in
+  submit t ~service k
+
 let reset t =
   Array.fill t.free_at 0 (Array.length t.free_at) Sim_time.zero;
   t.jobs_completed <- 0;

@@ -16,6 +16,10 @@ val submit : t -> service:Sim_time.span -> (unit -> unit) -> unit
 (** Enqueue a job with the given service time; the callback fires when the
     job completes. *)
 
+val submit_bytes : t -> bytes:int -> bytes_per_sec:float -> (unit -> unit) -> unit
+(** Enqueue a job whose service time is [bytes / bytes_per_sec] — models a
+    bandwidth-limited transfer (e.g. shipping an SSTable snapshot). *)
+
 val reset : t -> unit
 (** Forget queued work (e.g. the device's host crashed) and statistics. *)
 

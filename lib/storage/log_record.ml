@@ -2,6 +2,8 @@ type op =
   | Put of { key : Row.key; col : Row.column; value : string; version : int }
   | Delete of { key : Row.key; col : Row.column; version : int }
   | Batch of op list
+  | Cohort_change of { add : int option; remove : int option }
+  | Split of { at : Row.key; new_range : int }
 
 type entry =
   | Write of { lsn : Lsn.t; op : op; timestamp : int; origin : (int * int) option }
@@ -15,27 +17,32 @@ let write ~cohort ~lsn ~timestamp ?origin op =
 let commit_upto ~cohort lsn = { cohort; entry = Commit_upto lsn }
 let checkpoint ~cohort lsn = { cohort; entry = Checkpoint lsn }
 
+let is_meta = function Cohort_change _ | Split _ -> true | Put _ | Delete _ | Batch _ -> false
+
 let rec flatten = function
   | Batch ops -> List.concat_map flatten ops
   | (Put _ | Delete _) as op -> [ op ]
+  | Cohort_change _ | Split _ -> []
 
 let rec op_coord = function
   | Put { key; col; _ } -> (key, col)
   | Delete { key; col; _ } -> (key, col)
   | Batch [] -> ("", "")
   | Batch (op :: _) -> op_coord op
+  | Cohort_change _ | Split _ -> ("", "")
 
 let rec op_version = function
   | Put { version; _ } -> version
   | Delete { version; _ } -> version
   | Batch [] -> 0
   | Batch (op :: _) -> op_version op
+  | Cohort_change _ | Split _ -> 0
 
 let cell_of_write op ~lsn ~timestamp : Row.cell =
   match op with
   | Put { value; version; _ } -> { value = Some value; version; lsn; timestamp }
   | Delete { version; _ } -> { value = None; version; lsn; timestamp }
-  | Batch _ -> invalid_arg "Log_record.cell_of_write: Batch"
+  | Batch _ | Cohort_change _ | Split _ -> invalid_arg "Log_record.cell_of_write: not a cell write"
 
 let cells_of_write op ~lsn ~timestamp =
   List.map (fun o -> (op_coord o, cell_of_write o ~lsn ~timestamp)) (flatten op)
@@ -51,8 +58,9 @@ let approx_bytes t =
         | Put { key; col; value; _ } ->
           String.length key + String.length col + String.length value
         | Delete { key; col; _ } -> String.length key + String.length col
-        | Batch _ -> 0)
-      24 (flatten op)
+        | Batch _ | Cohort_change _ | Split _ -> 0)
+      (24 + if is_meta op then 8 else 0)
+      (flatten op)
   | Commit_upto _ | Checkpoint _ -> 24
 
 let pp ppf t =
@@ -63,6 +71,10 @@ let pp ppf t =
       | Put _ -> ("put", op_coord op)
       | Delete _ -> ("del", op_coord op)
       | Batch ops -> (Printf.sprintf "txn(%d)" (List.length ops), op_coord op)
+      | Cohort_change { add; remove } ->
+        let show = function Some n -> string_of_int n | None -> "-" in
+        (Printf.sprintf "cohort+%s-%s" (show add) (show remove), ("", ""))
+      | Split { at; new_range } -> (Printf.sprintf "split@%s->r%d" at new_range, ("", ""))
     in
     Format.fprintf ppf "[r%d %a %s %s/%s]" t.cohort Lsn.pp lsn kind key col
   | Commit_upto lsn -> Format.fprintf ppf "[r%d commit<=%a]" t.cohort Lsn.pp lsn

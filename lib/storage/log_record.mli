@@ -15,6 +15,13 @@ type op =
           one log record and one LSN, so the whole batch is exactly as
           durable and as replicated as any single write — all-or-nothing
           across crashes by construction. Batches are not nested. *)
+  | Cohort_change of { add : int option; remove : int option }
+      (** Membership-change meta record (§10): replicated and committed like
+          a write, but produces no cells — applying it swaps [add] into the
+          cohort and/or retires [remove]. *)
+  | Split of { at : Row.key; new_range : int }
+      (** Range-split meta record: the range splits at [at]; keys at or
+          above [at] move to the new range id. Produces no cells. *)
 
 type entry =
   | Write of {
@@ -38,8 +45,12 @@ val commit_upto : cohort:int -> Lsn.t -> t
 
 val checkpoint : cohort:int -> Lsn.t -> t
 
+val is_meta : op -> bool
+(** Membership/split meta records (no cells). *)
+
 val flatten : op -> op list
-(** Batches flattened to their primitive puts/deletes, in order. *)
+(** Batches flattened to their primitive puts/deletes, in order. Meta
+    records flatten to nothing. *)
 
 val op_coord : op -> Row.coord
 (** First coordinate touched (a batch's routing/representative coordinate). *)

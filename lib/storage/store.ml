@@ -9,7 +9,17 @@ type t = {
   compaction_fanin : int;
   max_sstables : int;
   tier_growth : float;
+  cache_capacity : int;
   cache : Row.cell option Cache.t option;
+  mutable bounds : (Row.key * Row.key) option;
+      (** [lo, hi) key bounds once the range has split; cells outside are
+          the sibling's and are filtered from exports, catch-up, and
+          compaction output *)
+  mutable inherited_upto : Lsn.t;
+      (** for a split child sharing the parent's SSTables: the highest LSN
+          those tables may contain. Durable metadata — survives [crash] —
+          because the child's own log starts after the split, so recovery
+          must not pretend the log covers the inherited prefix *)
   mutable memtable : Memtable.t;
   mutable sstables : Sstable.t list;  (** newest first *)
   mutable flushed_upto : Lsn.t;
@@ -41,7 +51,10 @@ let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1
     compaction_fanin;
     max_sstables;
     tier_growth;
+    cache_capacity;
     cache = (if cache_capacity > 0 then Some (Cache.create ~capacity:cache_capacity ()) else None);
+    bounds = None;
+    inherited_upto = Lsn.zero;
     memtable = Memtable.create ();
     sstables = [];
     flushed_upto = Lsn.zero;
@@ -60,6 +73,14 @@ let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1
 let cohort t = t.cohort
 let wal t = t.wal
 let skipped t = t.skipped
+let bounds t = t.bounds
+let set_bounds t ~lo ~hi = t.bounds <- Some (lo, hi)
+let inherited_upto t = t.inherited_upto
+
+let in_bounds t key =
+  match t.bounds with
+  | None -> true
+  | Some (lo, hi) -> String.compare lo key <= 0 && String.compare key hi < 0
 let flushed_upto t = t.flushed_upto
 let sstable_count t = List.length t.sstables
 let memtable_size t = Memtable.size t.memtable
@@ -97,6 +118,18 @@ let record_compaction t ~input_bytes ~full =
   let store_bytes = sstable_bytes t in
   if store_bytes > t.max_store_bytes then t.max_store_bytes <- store_bytes
 
+(* Split-aware compaction: a child range shares its parent's tables, so a
+   merge is where the sibling's cells finally get dropped. *)
+let clamp_table t table =
+  match t.bounds with
+  | None -> table
+  | Some _ ->
+    Compaction.build_table ~newer:t.newer
+      [
+        Iterator.of_sorted_list
+          (List.filter (fun ((key, _), _) -> in_bounds t key) (Sstable.to_list table));
+      ]
+
 (* Split [tables] into (prefix, run, suffix) with [run] the [length] tables
    starting at [start]. *)
 let split_run tables ~start ~length =
@@ -127,7 +160,7 @@ let rec maybe_compact t =
        coordinates, so the row cache must drop its entries. *)
     let input_bytes = sstable_bytes t in
     record_compaction t ~input_bytes ~full:true;
-    t.sstables <- [ Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables ];
+    t.sstables <- [ clamp_table t (Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables) ];
     clear_cache t
   | Some (Compaction.Run { start; length }) ->
     let prefix, run, suffix = split_run t.sstables ~start ~length in
@@ -135,7 +168,7 @@ let rec maybe_compact t =
     record_compaction t ~input_bytes ~full:false;
     (* Partial merge: tombstones must survive, they may shadow live cells in
        older tables outside the run. *)
-    let merged = Compaction.merge ~newer:t.newer run in
+    let merged = clamp_table t (Compaction.merge ~newer:t.newer run) in
     t.sstables <- prefix @ (merged :: suffix);
     (* The merged table may complete the next tier down; cascade until no
        tier is full. Terminates: every merge shrinks the table count. *)
@@ -145,15 +178,16 @@ let major_compact t =
   if t.sstables <> [] then begin
     let input_bytes = sstable_bytes t in
     record_compaction t ~input_bytes ~full:true;
-    t.sstables <- [ Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables ];
+    t.sstables <- [ clamp_table t (Compaction.merge ~newer:t.newer ~drop_tombstones:true t.sstables) ];
     clear_cache t
   end
 
 let flush t =
   if not (Memtable.is_empty t.memtable) then begin
     let table =
-      Compaction.build_table ~newer:t.newer
-        [ Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable) ]
+      clamp_table t
+        (Compaction.build_table ~newer:t.newer
+           [ Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable) ])
     in
     let upto = Lsn.max t.flushed_upto (Memtable.max_lsn t.memtable) in
     t.sstables <- table :: t.sstables;
@@ -173,10 +207,12 @@ let flush t =
 
 let apply t ~lsn ~timestamp op =
   List.iter
-    (fun (coord, cell) ->
-      Memtable.put t.memtable ~newer:t.newer coord cell;
-      (* Write-through invalidation: the next read re-resolves the winner. *)
-      match t.cache with Some c -> Cache.invalidate c coord | None -> ())
+    (fun ((key, _) as coord, cell) ->
+      if in_bounds t key then begin
+        Memtable.put t.memtable ~newer:t.newer coord cell;
+        (* Write-through invalidation: the next read re-resolves the winner. *)
+        match t.cache with Some c -> Cache.invalidate c coord | None -> ()
+      end)
     (Log_record.cells_of_write op ~lsn ~timestamp);
   if Memtable.approx_bytes t.memtable >= t.flush_bytes then flush t
 
@@ -236,6 +272,15 @@ let current_version t coord =
   match get t coord with Some cell -> cell.Row.version | None -> 0
 
 let scan t ~low ~high ~limit =
+  (* Clamp to the range's bounds: shared post-split tables hold the
+     sibling's keys too, which must not leak into this range's scans. *)
+  let low, high =
+    match t.bounds with
+    | None -> (low, high)
+    | Some (lo, hi) ->
+      ((if String.compare low lo < 0 then lo else low),
+       if String.compare high hi > 0 then hi else high)
+  in
   if limit <= 0 then []
   else begin
     (* Stream the k-way merge of the window and stop as soon as [limit] rows
@@ -293,6 +338,7 @@ let wipe t =
   crash t;
   t.sstables <- [];
   t.flushed_upto <- Lsn.zero;
+  t.inherited_upto <- Lsn.zero;
   Skipped_lsns.clear t.skipped
 
 let recover t =
@@ -302,8 +348,10 @@ let recover t =
   (* SSTables survive the crash; data through the checkpoint is in them.
      A flushed write is definitionally committed (only committed writes reach
      the memtable, §5), so f.cmt is at least the checkpoint even when older
-     commit markers were rolled over with the log. *)
-  t.flushed_upto <- Lsn.max t.flushed_upto checkpoint;
+     commit markers were rolled over with the log. A split child's inherited
+     tables likewise hold everything through [inherited_upto] — its own log
+     only starts after the split. *)
+  t.flushed_upto <- Lsn.max t.flushed_upto (Lsn.max checkpoint t.inherited_upto);
   let cmt = Lsn.max t.flushed_upto (Wal.last_commit_marker t.wal ~cohort:t.cohort) in
   let lst = Lsn.max cmt (Wal.last_write_lsn t.wal ~cohort:t.cohort) in
   let replay =
@@ -313,7 +361,8 @@ let recover t =
     (fun (lsn, op, timestamp, _) ->
       if not (Skipped_lsns.mem t.skipped lsn) then
         List.iter
-          (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
+          (fun (((key, _) as coord), cell) ->
+            if in_bounds t key then Memtable.put t.memtable ~newer:t.newer coord cell)
           (Log_record.cells_of_write op ~lsn ~timestamp))
     replay;
   (cmt, lst)
@@ -322,13 +371,14 @@ let recover_all t =
   t.memtable <- Memtable.create ();
   clear_cache t;
   let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
-  t.flushed_upto <- Lsn.max t.flushed_upto checkpoint;
+  t.flushed_upto <- Lsn.max t.flushed_upto (Lsn.max checkpoint t.inherited_upto);
   let lst = Wal.last_write_lsn t.wal ~cohort:t.cohort in
   let replay = Wal.durable_writes_in t.wal ~cohort:t.cohort ~above:t.flushed_upto ~upto:lst in
   List.iter
     (fun (lsn, op, timestamp, _) ->
       List.iter
-        (fun (coord, cell) -> Memtable.put t.memtable ~newer:t.newer coord cell)
+        (fun (((key, _) as coord), cell) ->
+          if in_bounds t key then Memtable.put t.memtable ~newer:t.newer coord cell)
         (Log_record.cells_of_write op ~lsn ~timestamp))
     replay;
   lst
@@ -338,6 +388,7 @@ let all_cells t =
     (Iterator.merge ~newer:t.newer
        (Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable)
        :: List.map (fun table -> Iterator.of_sstable table) t.sstables))
+  |> List.filter (fun ((key, _), _) -> in_bounds t key)
 
 let committed_cells_in t ~above ~upto =
   if Lsn.(upto <= above) then []
@@ -355,10 +406,11 @@ let committed_cells_in t ~above ~upto =
       let compare = Row.compare_coord
     end) in
     let acc = ref Coord_map.empty in
-    let consider coord (cell : Row.cell) =
-      match Coord_map.find_opt coord !acc with
-      | Some existing when t.newer existing cell -> ()
-      | _ -> acc := Coord_map.add coord cell !acc
+    let consider ((key, _) as coord) (cell : Row.cell) =
+      if in_bounds t key then
+        match Coord_map.find_opt coord !acc with
+        | Some existing when t.newer existing cell -> ()
+        | _ -> acc := Coord_map.add coord cell !acc
     in
     if not log_covers then begin
       (* The log was rolled over below [above]: pull the missing range out of
@@ -384,3 +436,47 @@ let committed_cells_in t ~above ~upto =
 let durable_write_lsns_in t ~above ~upto =
   Wal.durable_writes_in t.wal ~cohort:t.cohort ~above ~upto
   |> List.map (fun (lsn, _, _, _) -> lsn)
+
+(* ------------------------------------------------------------------ *)
+(* Range split (§10): both children serve before any data is rewritten.  *)
+
+let split_point t =
+  (* Median distinct key of the live key population — tombstoned rows still
+     occupy key space, so they count. *)
+  let keys =
+    all_cells t
+    |> List.fold_left
+         (fun acc ((key, _), _) ->
+           match acc with k :: _ when String.equal k key -> acc | _ -> key :: acc)
+         []
+    |> List.rev
+  in
+  let n = List.length keys in
+  if n < 2 then None
+  else
+    let median = List.nth keys (n / 2) in
+    (* The split point must lie strictly inside the range. *)
+    if String.equal median (List.hd keys) then None else Some median
+
+let split_child parent ~cohort ~lo ~hi =
+  (* The child shares the parent's immutable SSTables — no data is copied or
+     rewritten; out-of-bounds cells are dropped lazily by compaction. The
+     parent's memtable must already be flushed (the split protocol flushes
+     before logging the split record), so the tables hold everything. *)
+  let inherited =
+    List.fold_left (fun acc table -> Lsn.max acc (Sstable.max_lsn table)) Lsn.zero
+      parent.sstables
+  in
+  let child =
+    create ~cohort ~wal:parent.wal ~newer:parent.newer ~flush_bytes:parent.flush_bytes
+      ~compaction_fanin:parent.compaction_fanin ~max_sstables:parent.max_sstables
+      ~tier_growth:parent.tier_growth ~cache_capacity:parent.cache_capacity ()
+  in
+  child.bounds <- Some (lo, hi);
+  child.sstables <- parent.sstables;
+  child.inherited_upto <- inherited;
+  (* The shared tables cover everything through [inherited]; the child's own
+     log only starts after the split, so the flush horizon must say so or
+     recovery/catch-up would trust a log that cannot cover the prefix. *)
+  child.flushed_upto <- inherited;
+  child

@@ -48,6 +48,30 @@ val cohort : t -> int
 
 val wal : t -> Wal.t
 
+val bounds : t -> (Row.key * Row.key) option
+(** The range's [lo, hi) key bounds, when set. Cells outside the bounds
+    (possible once SSTables are shared across a range split) are filtered
+    from applies, scans, exports, catch-up, and compaction output. *)
+
+val set_bounds : t -> lo:Row.key -> hi:Row.key -> unit
+
+val inherited_upto : t -> Lsn.t
+(** For a split child sharing the parent's SSTables: the highest LSN those
+    tables may contain. [Lsn.zero] otherwise. Survives {!crash} (the tables
+    themselves are durable); cleared by {!wipe}. *)
+
+val split_point : t -> Row.key option
+(** The median distinct key strictly inside the store's population — a
+    balanced place to split the range — or [None] if the population is too
+    small or too skewed to yield an interior key. *)
+
+val split_child : t -> cohort:int -> lo:Row.key -> hi:Row.key -> t
+(** A new store for the child range [[lo, hi)] sharing this store's
+    (immutable) SSTables — no data copied or rewritten; the sibling's cells
+    are dropped lazily by the child's own compactions. The parent's memtable
+    must be flushed first. The child's flush horizon and [inherited_upto]
+    are the shared tables' max LSN. *)
+
 val skipped : t -> Skipped_lsns.t
 
 val apply : t -> lsn:Lsn.t -> timestamp:int -> Log_record.op -> unit

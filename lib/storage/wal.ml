@@ -261,6 +261,34 @@ let gc_cohort t ~cohort ~upto =
     c.ckpts <- ckpts;
     t.durable_count <- t.durable_count - removed_commits - removed_ckpts
 
+let drop_cohort t ~cohort =
+  (* Any volatile/in-flight records for the cohort become no-ops once the
+     index is gone: they are indexed into a fresh (empty) cohort_index if a
+     force lands later, which only matters if the cohort is re-created — and
+     a re-created cohort starts from a wiped store anyway. Simpler and safe
+     to drop just the durable index here. *)
+  (match Hashtbl.find_opt t.cohorts cohort with
+  | None -> ()
+  | Some c ->
+    t.durable_count <-
+      t.durable_count - c.write_records - List.length c.commits - List.length c.ckpts;
+    Hashtbl.remove t.cohorts cohort);
+  (* Volatile records for the cohort must not resurrect markers after the
+     drop: filter them out of the tail (the in-flight batch, if any, is
+     already on the device and will re-index into a fresh empty slot, which
+     recovery treats the same as absent for a wiped store). *)
+  let keep = Queue.create () in
+  Queue.iter
+    (fun (r : Log_record.t) ->
+      if r.cohort <> cohort then Queue.push r keep
+      else begin
+        t.volatile_count <- t.volatile_count - 1;
+        t.volatile_bytes <- t.volatile_bytes - Log_record.approx_bytes r
+      end)
+    t.volatile;
+  Queue.clear t.volatile;
+  Queue.transfer keep t.volatile
+
 let min_available_write_lsn t ~cohort =
   match Hashtbl.find_opt t.cohorts cohort with
   | None -> None

@@ -78,6 +78,12 @@ val gc_cohort : t -> cohort:int -> upto:Lsn.t -> unit
 (** Roll over: drop the cohort's durable [Write] records with LSN [<= upto]
     and all but the newest [Commit_upto]/[Checkpoint] markers. *)
 
+val drop_cohort : t -> cohort:int -> unit
+(** Forget every record (durable and volatile) for the cohort — the node no
+    longer hosts it. Without this, a node re-added to a range it once hosted
+    would recover stale commit/checkpoint markers far beyond its (empty)
+    replacement store and refuse perfectly good catch-up data. *)
+
 val min_available_write_lsn : t -> cohort:int -> Lsn.t option
 (** Smallest durable [Write] LSN still in the log for the cohort, or [None]
     if the log holds none — tells catch-up whether it can be served from the

@@ -26,7 +26,7 @@ type outcome = {
   writes : Sim.Metrics.run_stats;
 }
 
-let run ~engine ~partition ~key_space ~make_driver spec =
+let run ~engine ~key_space ~make_driver spec =
   let read_hist = Sim.Metrics.Histogram.create ~name:"reads" () in
   let write_hist = Sim.Metrics.Histogram.create ~name:"writes" () in
   let errors = ref 0 in
@@ -38,7 +38,7 @@ let run ~engine ~partition ~key_space ~make_driver spec =
     let driver = make_driver () in
     let rng = Sim.Rng.split (Sim.Engine.rng engine) in
     let gen =
-      Generator.create ~rng ~partition ~key_space ~mode:spec.key_mode ~thread
+      Generator.create ~rng ~key_space ~mode:spec.key_mode ~thread
     in
     let rec next () =
       let now = Sim.Engine.now engine in
@@ -88,10 +88,10 @@ let run ~engine ~partition ~key_space ~make_driver spec =
 
 type sweep_point = { threads : int; outcome : outcome }
 
-let sweep ~engine ~partition ~key_space ~make_driver ~thread_counts spec =
+let sweep ~engine ~key_space ~make_driver ~thread_counts spec =
   List.map
     (fun threads ->
-      { threads; outcome = run ~engine ~partition ~key_space ~make_driver { spec with threads } })
+      { threads; outcome = run ~engine ~key_space ~make_driver { spec with threads } })
     thread_counts
 
 let pp_outcome ppf o =

@@ -26,7 +26,6 @@ type outcome = {
 
 val run :
   engine:Sim.Engine.t ->
-  partition:Spinnaker.Partition.t ->
   key_space:int ->
   make_driver:(unit -> Driver.t) ->
   spec ->
@@ -38,7 +37,6 @@ type sweep_point = { threads : int; outcome : outcome }
 
 val sweep :
   engine:Sim.Engine.t ->
-  partition:Spinnaker.Partition.t ->
   key_space:int ->
   make_driver:(unit -> Driver.t) ->
   thread_counts:int list ->

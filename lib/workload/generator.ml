@@ -5,13 +5,13 @@ type key_mode =
 
 type t = {
   rng : Sim.Rng.t;
-  partition : Spinnaker.Partition.t;
   key_space : int;
+  width : int;
   mode : key_mode;
   mutable cursor : int;
 }
 
-let create ~rng ~partition ~key_space ~mode ~thread =
+let create ~rng ~key_space ~mode ~thread =
   (* Consecutive threads start at independent random offsets (distinct client
      machines in the paper's setup), so the walk spreads across ranges. *)
   let cursor =
@@ -19,7 +19,11 @@ let create ~rng ~partition ~key_space ~mode ~thread =
     | Consecutive _ -> Sim.Rng.int rng key_space + thread
     | Uniform_random | Hotspot _ -> thread
   in
-  { rng; partition; key_space; mode; cursor }
+  (* Zero-padded decimal encoding, same as [Partition.key_of_int]. The
+     generator deliberately does not hold a routing table: keys are a
+     property of the key space, and the layout underneath them moves as
+     ranges split and migrate. *)
+  { rng; key_space; width = String.length (string_of_int key_space); mode; cursor }
 
 let next_key t =
   let k =
@@ -38,7 +42,7 @@ let next_key t =
         Sim.Rng.int t.rng hot_keys * stride
       else Sim.Rng.int t.rng t.key_space
   in
-  Spinnaker.Partition.key_of_int t.partition k
+  Printf.sprintf "%0*d" t.width k
 
 let values : (int, string) Hashtbl.t = Hashtbl.create 4
 

@@ -14,11 +14,14 @@ type t
 
 val create :
   rng:Sim.Rng.t ->
-  partition:Spinnaker.Partition.t ->
   key_space:int ->
   mode:key_mode ->
   thread:int ->
   t
+(** The generator encodes keys directly (zero-padded decimal, the same
+    encoding as [Partition.key_of_int]) rather than consulting a routing
+    table: the key space is fixed while the range layout under it moves as
+    splits and migrations commit. *)
 
 val next_key : t -> Storage.Row.key
 

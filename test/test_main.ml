@@ -17,5 +17,6 @@ let () =
       ("masterslave", Test_masterslave.suite);
       ("observability", Test_observability.suite);
       ("workload", Test_workload.suite);
+      ("scaleout", Test_scaleout.suite);
       ("sync-api", Test_sync.suite);
     ]

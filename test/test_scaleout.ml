@@ -1,0 +1,857 @@
+(* Live membership change (§10): routing-table properties, differential
+   bootstrap, deterministic migration and split runs, exactly-once across
+   membership changes, and a chaos battery that crashes migration sources,
+   joiners, and leaders mid-split.
+
+   A failing chaos seed prints its injection log and is reproducible alone
+   with e.g. [NEMESIS_SEEDS=7 dune exec test/test_main.exe -- test scaleout]. *)
+
+open Spinnaker
+module History = Workload.History
+module Lsn = Storage.Lsn
+module Row = Storage.Row
+module Store = Storage.Store
+module Wal = Storage.Wal
+module Log_record = Storage.Log_record
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------------------------------------------------------------- *)
+(* Routing-table properties: random split / join / leave schedules.        *)
+
+let prop_nodes = 5
+let prop_repl = 3
+let prop_ks = 1_000
+
+type layout_op =
+  | Swap of int * int * int  (* range selector, member slot, replacement node *)
+  | Split_mid of int  (* range selector; split at the midpoint of its bounds *)
+
+let pp_layout_op = function
+  | Swap (r, m, n) -> Printf.sprintf "Swap(%d,%d,%d)" r m n
+  | Split_mid r -> Printf.sprintf "Split(%d)" r
+
+let layout_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map3 (fun r m n -> Swap (r, m, n)) (int_bound 9_999) (int_bound (prop_repl - 1)) (int_bound 9));
+        (2, map (fun r -> Split_mid r) (int_bound 9_999));
+      ])
+
+let arb_layout_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_layout_op ops))
+    QCheck.Gen.(list_size (int_range 1 40) layout_op_gen)
+
+let nth_range p sel =
+  let ids = Partition.range_ids p in
+  List.nth ids (sel mod List.length ids)
+
+(* Apply one mutation; returns [true] iff the table reported a change. *)
+let apply_layout_op p next_id op =
+  match op with
+  | Swap (r, slot, node) ->
+    let range = nth_range p r in
+    let members = Partition.cohort p ~range in
+    if List.mem node members then
+      (* Replacing a member with an existing member would shrink the cohort;
+         the admin layer never asks for that. Re-asserting the current
+         membership must be a version-preserving no-op (idempotent replay). *)
+      Partition.set_members p ~range members
+    else
+      Partition.set_members p ~range
+        (List.mapi (fun i m -> if i = slot then node else m) members)
+  | Split_mid r ->
+    let range = nth_range p r in
+    let lo, hi = Partition.range_bounds p ~range in
+    let lo = int_of_string lo and hi = int_of_string hi in
+    if hi - lo < 2 then false
+    else begin
+      let at = Partition.key_of_int p ((lo + hi) / 2) in
+      let id = !next_id in
+      incr next_id;
+      Partition.split p ~range ~at ~new_range:id
+    end
+
+let layout_invariants p =
+  (* Descriptors tile [0, key_space): first lo is 0, each hi is the next lo,
+     the last hi is the exclusive end of the key space. *)
+  let descs = Partition.descs p in
+  let rec tiles = function
+    | (a : Partition.desc) :: (b :: _ as rest) -> a.hi = b.lo && tiles rest
+    | [ last ] -> last.Partition.hi = Partition.key_of_int p prop_ks
+    | [] -> false
+  in
+  (descs <> [] && (List.hd descs).Partition.lo = Partition.key_of_int p 0 && tiles descs)
+  (* Every cohort stays at replication size with distinct members. *)
+  && List.for_all
+       (fun (d : Partition.desc) ->
+         List.length d.members = prop_repl
+         && List.length (List.sort_uniq compare d.members) = prop_repl)
+       descs
+  (* Every key routes to exactly one range, and that range's bounds hold it:
+     with the tiling already checked, containment implies uniqueness. *)
+  && List.for_all
+       (fun k ->
+         let range = Partition.route p (Partition.key_of_int p k) in
+         let lo, hi = Partition.range_bounds p ~range in
+         let key = Partition.key_of_int p k in
+         String.compare lo key <= 0 && String.compare key hi < 0)
+       (List.init 40 (fun i -> i * 25 mod prop_ks))
+
+let prop_routing_invariants =
+  QCheck.Test.make ~name:"routing: split/join/leave keeps tiling, cohorts, versions" ~count:200
+    arb_layout_ops (fun ops ->
+      let p = Partition.create ~nodes:prop_nodes ~replication:prop_repl ~key_space:prop_ks in
+      let next_id = ref prop_nodes in
+      List.for_all
+        (fun op ->
+          let before = Partition.version p in
+          let changed = apply_layout_op p next_id op in
+          let after = Partition.version p in
+          (* Epochs are monotone: mutations bump, rejected ops leave alone. *)
+          (if changed then after = before + 1 else after = before)
+          && layout_invariants p)
+        ops)
+
+let prop_layout_convergence =
+  QCheck.Test.make ~name:"routing: stale copies converge via published layouts" ~count:200
+    arb_layout_ops (fun ops ->
+      let master = Partition.create ~nodes:prop_nodes ~replication:prop_repl ~key_space:prop_ks in
+      let client = Partition.copy master in
+      let next_id = ref prop_nodes in
+      let genesis = Partition.to_string master in
+      let converged () =
+        Partition.descs client = Partition.descs master
+        && Partition.version client = Partition.version master
+      in
+      List.for_all
+        (fun op ->
+          ignore (apply_layout_op master next_id op);
+          let behind = Partition.version client < Partition.version master in
+          let published = Partition.to_string master in
+          let refreshed = Partition.update_from_string client published in
+          (* The refresh applies iff the client was actually behind, replaying
+             the same layout is a no-op, and a stale (older) layout can never
+             roll a fresher copy back. *)
+          refreshed = behind
+          && converged ()
+          && (not (Partition.update_from_string client published))
+          && (not (Partition.update_from_string client genesis))
+          && converged ())
+        ops)
+
+(* ---------------------------------------------------------------------- *)
+(* Differential bootstrap: snapshot ship + WAL catch-up == full history.   *)
+
+type boot_op = Bput of int * int * int | Bdel of int * int | Bflush
+
+let boot_keys = 8
+let boot_cols = 2
+let bkey k = Printf.sprintf "k%02d" k
+let bcol c = Printf.sprintf "c%d" c
+
+let boot_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, map3 (fun k c v -> Bput (k, c, v)) (int_bound (boot_keys - 1)) (int_bound (boot_cols - 1)) small_nat);
+        (2, map2 (fun k c -> Bdel (k, c)) (int_bound (boot_keys - 1)) (int_bound (boot_cols - 1)));
+        (2, return Bflush);
+      ])
+
+let pp_boot_op = function
+  | Bput (k, c, v) -> Printf.sprintf "Put(%d,%d,%d)" k c v
+  | Bdel (k, c) -> Printf.sprintf "Del(%d,%d)" k c
+  | Bflush -> "Flush"
+
+(* A schedule plus where the snapshot is cut and where the joiner crashes. *)
+let arb_bootstrap =
+  QCheck.make
+    ~print:(fun (ops, cut, crash) ->
+      Printf.sprintf "cut=%d%% crash=%d [%s]" cut crash
+        (String.concat "; " (List.map pp_boot_op ops)))
+    QCheck.Gen.(
+      triple
+        (list_size (int_range 4 120) boot_op_gen)
+        (int_bound 100)
+        (int_bound 100))
+
+(* One replica = a WAL + store pair on a shared engine, mirroring how a
+   cohort writes: log-append then apply, forces drained by the engine.
+   Compaction is disabled on every replica so tombstone GC cannot introduce
+   benign reference divergence (that case is test_read_path's subject). *)
+let make_replica engine name =
+  let disk = Sim.Resource.create engine ~name () in
+  let model = Sim.Disk_model.create Sim.Disk_model.Ssd in
+  let wal = Wal.create engine ~disk ~model ~rng:(Sim.Rng.create 7) ~max_batch:8 () in
+  let store =
+    Store.create ~cohort:0 ~wal ~compaction_fanin:max_int ~max_sstables:max_int
+      ~cache_capacity:0 ()
+  in
+  (wal, store)
+
+let op_of i = function
+  | Bput (k, c, v) ->
+    Some (Log_record.Put { key = bkey k; col = bcol c; value = string_of_int v; version = i })
+  | Bdel (k, c) -> Some (Log_record.Delete { key = bkey k; col = bcol c; version = i })
+  | Bflush -> None
+
+let replica_apply engine (wal, store) i op =
+  (match op_of i op with
+  | Some rec_op ->
+    let lsn = Lsn.make ~epoch:1 ~seq:i in
+    Wal.append wal (Log_record.write ~cohort:0 ~lsn ~timestamp:i rec_op);
+    Store.apply store ~lsn ~timestamp:i rec_op
+  | None -> Store.flush store);
+  Sim.Engine.run engine
+
+let op_of_cell ((key, col) : Row.coord) (cell : Row.cell) =
+  match cell.Row.value with
+  | Some value -> Log_record.Put { key; col; value; version = cell.version }
+  | None -> Log_record.Delete { key; col; version = cell.version }
+
+(* Mirror of the learner's chunk install: WAL-append (unless the LSN is
+   already durable from a previous attempt) then apply, force, ack. *)
+let install_cells engine (wal, store) cells ~upto =
+  let own = Store.durable_write_lsns_in store ~above:Lsn.zero ~upto in
+  List.iter
+    (fun ((coord, (cell : Row.cell)) : Row.coord * Row.cell) ->
+      let op = op_of_cell coord cell in
+      if not (List.exists (Lsn.equal cell.Row.lsn) own) then
+        Wal.append wal (Log_record.write ~cohort:0 ~lsn:cell.Row.lsn ~timestamp:cell.Row.timestamp op);
+      Store.apply store ~lsn:cell.Row.lsn ~timestamp:cell.Row.timestamp op)
+    cells;
+  Wal.force wal (fun () -> ());
+  Sim.Engine.run engine
+
+let same_cell (a : Row.cell option) (b : Row.cell option) =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y ->
+    x.Row.value = y.Row.value && x.version = y.version && Lsn.equal x.lsn y.lsn
+  | _ -> false
+
+let chunk_list cells n =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | c :: rest ->
+      if k = n then go (List.rev cur :: acc) [ c ] 1 rest else go acc (c :: cur) (k + 1) rest
+  in
+  go [] [] 0 cells
+
+let prop_bootstrap_differential =
+  QCheck.Test.make
+    ~name:"bootstrap: snapshot + catch-up replica == full-history replica" ~count:120
+    arb_bootstrap (fun (ops, cut_pct, crash_sel) ->
+      let engine = Sim.Engine.create ~seed:13 () in
+      let donor = make_replica engine "donor" in
+      let reference = make_replica engine "reference" in
+      let joiner = make_replica engine "joiner" in
+      let n = List.length ops in
+      let cut = 1 + (cut_pct * (n - 1) / 100) in
+      (* The donor runs the whole history; the snapshot is its state at the
+         cut. The reference replays the full history independently. *)
+      List.iteri (fun i op -> replica_apply engine reference (i + 1) op) ops;
+      List.iteri
+        (fun i op -> if i + 1 <= cut then replica_apply engine donor (i + 1) op)
+        ops;
+      let snapshot = Store.all_cells (snd donor) in
+      let upto = Lsn.make ~epoch:1 ~seq:cut in
+      List.iteri
+        (fun i op -> if i + 1 > cut then replica_apply engine donor (i + 1) op)
+        ops;
+      (* Ship the snapshot in chunks. One attempt may die mid-transfer: the
+         joiner crashes (volatile state gone), recovers from its own durable
+         log, and the migration restarts from chunk zero — the re-install
+         must be idempotent over whatever survived. *)
+      let chunks = chunk_list snapshot 5 in
+      let crash_at =
+        if crash_sel mod 3 = 0 || chunks = [] then None
+        else Some (crash_sel mod List.length chunks)
+      in
+      (match crash_at with
+      | Some k ->
+        List.iteri
+          (fun i chunk -> if i <= k then install_cells engine joiner chunk ~upto)
+          chunks;
+        Wal.crash (fst joiner);
+        Store.crash (snd joiner);
+        ignore (Store.recover_all (snd joiner));
+        Sim.Engine.run engine
+      | None -> ());
+      List.iter (fun chunk -> install_cells engine joiner chunk ~upto) chunks;
+      (* WAL catch-up from the snapshot horizon: the donor serves its
+         committed writes in (upto, end] — from its log, or from SSTables
+         once flush checkpoints have rolled the log past the horizon. The
+         donor's tail is forced first: catch-up only ever serves committed
+         writes, and commit implies the leader already forced them. *)
+      Wal.force (fst donor) (fun () -> ());
+      Sim.Engine.run engine;
+      let tail =
+        Store.committed_cells_in (snd donor) ~above:upto ~upto:(Lsn.make ~epoch:1 ~seq:n)
+      in
+      install_cells engine joiner tail ~upto:(Lsn.make ~epoch:1 ~seq:n);
+      (* Observable equivalence with the full-history replica, tombstones
+         included (they carry the version counter conditional puts see). *)
+      let pp_cell = function
+        | None -> "None"
+        | Some (c : Row.cell) ->
+          Printf.sprintf "{v=%s ver=%d lsn=%s}"
+            (Option.value ~default:"<tomb>" c.Row.value)
+            c.version (Lsn.to_string c.lsn)
+      in
+      List.for_all
+        (fun k ->
+          List.for_all
+            (fun c ->
+              let coord = (bkey k, bcol c) in
+              let j = Store.get (snd joiner) coord and r = Store.get (snd reference) coord in
+              let ok =
+                same_cell j r && Store.read (snd joiner) coord = Store.read (snd reference) coord
+              in
+              if not ok then
+                Printf.printf "DIFF %s.%s joiner=%s reference=%s\n" (bkey k) (bcol c)
+                  (pp_cell j) (pp_cell r);
+              ok)
+            (List.init boot_cols Fun.id))
+        (List.init boot_keys Fun.id))
+
+(* ---------------------------------------------------------------------- *)
+(* Cluster-level helpers.                                                  *)
+
+let test_config =
+  {
+    Config.default with
+    Config.nodes = 5;
+    disk = Sim.Disk_model.Ssd;
+    commit_period = Sim.Sim_time.ms 200;
+    session_timeout = Sim.Sim_time.ms 500;
+  }
+
+let await engine ?(timeout = 30.0) cond =
+  let deadline =
+    Sim.Sim_time.add (Sim.Engine.now engine) (Sim.Sim_time.of_sec_f timeout)
+  in
+  let rec go () =
+    if cond () then true
+    else if Sim.Engine.now engine >= deadline then false
+    else begin
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 20);
+      go ()
+    end
+  in
+  go ()
+
+let drive engine r =
+  let rec go n =
+    match !r with
+    | Some v -> v
+    | None when n = 0 -> Error Client.Timed_out
+    | None ->
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 10);
+      go (n - 1)
+  in
+  go 2000
+
+let put_sync engine client key value =
+  let r = ref None in
+  Client.put client key "c" ~value (fun x -> r := Some x);
+  drive engine r
+
+let get_sync engine client key =
+  let r = ref None in
+  Client.get client key "c" (fun x -> r := Some x);
+  drive engine r
+
+(* Keep asking the range's leader to run the migration until the membership
+   change lands: a busy leader refuses and a timed-out migration aborts
+   cleanly, so the kick is safe to repeat. *)
+let migrate engine cluster ~range ~joiner ~remove =
+  await engine ~timeout:60.0 (fun () ->
+      let partition = Cluster.partition cluster in
+      List.mem joiner (Partition.cohort partition ~range)
+      ||
+      (ignore (Cluster.request_join cluster ~range ~joiner ~remove ());
+       false))
+
+let split engine cluster ~range =
+  let before = Partition.ranges (Cluster.partition cluster) in
+  await engine ~timeout:60.0 (fun () ->
+      Partition.ranges (Cluster.partition cluster) > before
+      ||
+      (ignore (Cluster.request_split cluster ~range);
+       false))
+
+(* ---------------------------------------------------------------------- *)
+(* Deterministic migration: snapshot, catch-up, swap, donor retirement.    *)
+
+let test_migration_end_to_end () =
+  let engine = Sim.Engine.create ~seed:21 () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  check_bool "ready" true (Cluster.run_until_ready cluster);
+  let partition = Cluster.partition cluster in
+  let client = Cluster.new_client cluster in
+  (* Seed data across every range before the topology moves. *)
+  for k = 0 to 49 do
+    let key = Partition.key_of_int partition (k * 2_000) in
+    check_bool "seed write" true (Result.is_ok (put_sync engine client key (Printf.sprintf "v%d" k)))
+  done;
+  let stale_client = Cluster.new_client cluster in
+  ignore (get_sync engine stale_client (Partition.key_of_int partition 0));
+  let range = 0 in
+  let old_members = Partition.cohort partition ~range in
+  let leader = Option.get (Cluster.leader_of cluster ~range) in
+  let donor = List.find (fun n -> n <> leader) old_members in
+  let joiner = Cluster.add_node cluster in
+  check_int "new node id" test_config.Config.nodes joiner;
+  check_bool "migration completes" true (migrate engine cluster ~range ~joiner ~remove:donor);
+  let members = Partition.cohort partition ~range in
+  check_bool "joiner swapped in" true (List.mem joiner members);
+  check_bool "donor swapped out" false (List.mem donor members);
+  check_int "cohort back at replication size" test_config.Config.replication
+    (List.length members);
+  (* The donor learns of the committed change and drops the replica. *)
+  check_bool "donor retires its replica" true
+    (await engine ~timeout:10.0 (fun () ->
+         Node.cohort (Cluster.node cluster donor) ~range = None));
+  (* The joiner is a full replica now — promoted out of learner state and
+     holding the migrated data locally. *)
+  (match Node.cohort (Cluster.node cluster joiner) ~range with
+  | None -> Alcotest.fail "joiner hosts no replica"
+  | Some c ->
+    (* Promotion rides the replicated log: the joiner flips out of learner
+       state when the committed [Cohort_change] reaches it on the next
+       commit tick. *)
+    check_bool "joiner is promoted out of learner state" true
+      (await engine ~timeout:5.0 (fun () ->
+           (not (Cohort.is_learner c)) && Lsn.(Cohort.cmt c > Lsn.zero)));
+    let key = Partition.key_of_int partition 2_000 in
+    check_bool "joiner holds migrated data" true
+      (match Cohort.read_local c (key, "c") with
+      | Some cell -> cell.Row.value = Some "v1"
+      | None -> false));
+  (* A client whose cached routing table predates the migration still reads
+     and writes: the cohort's leader never moved. *)
+  for k = 0 to 9 do
+    let key = Partition.key_of_int partition (k * 2_000) in
+    match get_sync engine stale_client key with
+    | Ok Client.{ value; _ } ->
+      Alcotest.(check (option string)) "stale client reads" (Some (Printf.sprintf "v%d" k)) value
+    | Error _ -> Alcotest.failf "stale client read of key %d failed" (k * 2_000)
+  done;
+  check_bool "writes to the new cohort succeed" true
+    (Result.is_ok (put_sync engine client (Partition.key_of_int partition 100) "post-migration"))
+
+(* ---------------------------------------------------------------------- *)
+(* Deterministic split: both children serve, stale clients converge.       *)
+
+let test_split_end_to_end () =
+  let engine = Sim.Engine.create ~seed:22 () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  check_bool "ready" true (Cluster.run_until_ready cluster);
+  let partition = Cluster.partition cluster in
+  let client = Cluster.new_client cluster in
+  (* Populate range 0 ([0, 20000) with the default key space) densely enough
+     for a median split point to exist. *)
+  for k = 0 to 119 do
+    let key = Partition.key_of_int partition (k * 150) in
+    check_bool "seed write" true (Result.is_ok (put_sync engine client key (Printf.sprintf "v%d" k)))
+  done;
+  (* This client's cached layout predates the split. *)
+  let stale_client = Cluster.new_client cluster in
+  ignore (get_sync engine stale_client (Partition.key_of_int partition 0));
+  let range = 0 in
+  let parent_members = Partition.cohort partition ~range in
+  let _, old_hi = Partition.range_bounds partition ~range in
+  check_bool "split completes" true (split engine cluster ~range);
+  check_bool "both children elect leaders" true
+    (await engine ~timeout:20.0 (fun () -> Cluster.is_ready cluster));
+  let child = test_config.Config.nodes in
+  check_bool "child range allocated from /next_range" true
+    (Partition.mem_range partition ~range:child);
+  (* The children tile exactly the parent's old interval with its cohort. *)
+  let _, parent_hi = Partition.range_bounds partition ~range in
+  let child_lo, child_hi = Partition.range_bounds partition ~range:child in
+  check_bool "parent ends where child begins" true (parent_hi = child_lo);
+  check_bool "child ends at the parent's old bound" true (child_hi = old_hi);
+  Alcotest.(check (list int)) "child inherits the cohort" parent_members
+    (Partition.cohort partition ~range:child);
+  (* Every pre-split key is still readable through a stale routing table:
+     keys in the child half bounce off the parent with Wrong_range, the
+     client refreshes from /layout and retries. *)
+  for k = 0 to 119 do
+    let key = Partition.key_of_int partition (k * 150) in
+    match get_sync engine stale_client key with
+    | Ok Client.{ value; _ } ->
+      Alcotest.(check (option string)) "stale client reads across split"
+        (Some (Printf.sprintf "v%d" k)) value
+    | Error _ -> Alcotest.failf "stale read of key %d failed after split" (k * 150)
+  done;
+  (* Writes land on both sides of the split point. *)
+  check_bool "write to parent half" true
+    (Result.is_ok (put_sync engine stale_client (Partition.key_of_int partition 1) "left"));
+  check_bool "write to child half" true
+    (Result.is_ok
+       (put_sync engine stale_client (Partition.key_of_int partition 17_999) "right"));
+  check_int "post-split routing: left key" range
+    (Partition.route partition (Partition.key_of_int partition 1));
+  check_int "post-split routing: right key" child
+    (Partition.route partition (Partition.key_of_int partition 17_999))
+
+(* ---------------------------------------------------------------------- *)
+(* Exactly-once across membership changes: a serial writer must never see   *)
+(* its writes double-applied while a migration and a split commit.          *)
+
+let test_epoch_change_exactly_once () =
+  let engine = Sim.Engine.create ~seed:23 () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  check_bool "ready" true (Cluster.run_until_ready cluster);
+  let partition = Cluster.partition cluster in
+  let key = Partition.key_of_int partition 5_000 (* range 0 *) in
+  let client = Cluster.new_client cluster in
+  (* Populate range 0 beyond the hot key so the later split has a median. *)
+  for k = 0 to 59 do
+    check_bool "seed write" true
+      (Result.is_ok
+         (put_sync engine client (Partition.key_of_int partition (k * 300)) "seed"))
+  done;
+  let acked = ref 0 and indeterminate = ref 0 and running = ref true in
+  let seq = ref 0 in
+  let rec write_loop () =
+    if !running then begin
+      incr seq;
+      Client.put client key "c" ~value:(string_of_int !seq) (fun result ->
+          if Result.is_ok result then incr acked else incr indeterminate;
+          ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 40) write_loop))
+    end
+  in
+  write_loop ();
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 500);
+  (* Swap a follower out for a fresh node, then split the range — both
+     membership changes commit under the live write stream. *)
+  let range = 0 in
+  let leader = Option.get (Cluster.leader_of cluster ~range) in
+  let donor =
+    List.find (fun n -> n <> leader) (Partition.cohort partition ~range)
+  in
+  let joiner = Cluster.add_node cluster in
+  check_bool "migration under load completes" true
+    (migrate engine cluster ~range ~joiner ~remove:donor);
+  check_bool "split under load completes" true (split engine cluster ~range);
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  running := false;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 2);
+  check_bool "load spanned the changes" true (!acked > 30);
+  (* The store's version counter counts applied writes exactly. *)
+  (match get_sync engine (Cluster.new_client cluster) key with
+  | Ok Client.{ version; _ } ->
+    check_bool
+      (Printf.sprintf "no lost writes (version %d >= %d acked)" version !acked)
+      true (version >= !acked);
+    check_bool
+      (Printf.sprintf "no double applies (version %d <= %d acked + %d indeterminate)"
+         version !acked !indeterminate)
+      true
+      (version <= !acked + !indeterminate)
+  | Error _ -> Alcotest.fail "final read failed");
+  (* Log-level exactly-once: no (client, request id) origin may be committed
+     under two LSNs in the range that owns the key now. *)
+  let owner = Partition.route partition key in
+  match Cluster.leader_of cluster ~range:owner with
+  | None -> Alcotest.fail "owning range has no leader"
+  | Some l -> (
+    let node = Cluster.node cluster l in
+    match Node.cohort node ~range:owner with
+    | None -> Alcotest.fail "leader hosts no cohort"
+    | Some c ->
+      let skipped = Cohort.skipped_lsns c in
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (lsn, _, _, origin) ->
+          if not (List.exists (Lsn.equal lsn) skipped) then
+            match origin with
+            | None -> ()
+            | Some o -> (
+              match Hashtbl.find_opt seen o with
+              | Some prev when not (Lsn.equal prev lsn) ->
+                Alcotest.failf "origin (c%d,#%d) committed twice (lsn %s and %s)" (fst o)
+                  (snd o) (Lsn.to_string prev) (Lsn.to_string lsn)
+              | _ -> Hashtbl.replace seen o lsn))
+        (Storage.Wal.durable_writes_in (Node.wal node) ~cohort:owner ~above:Lsn.zero
+           ~upto:(Cohort.cmt c)))
+
+(* ---------------------------------------------------------------------- *)
+(* The chaos battery: scale-out events racing crashes, partitions, loss.    *)
+
+type outcome = { mutable acked : int; mutable indeterminate : int }
+
+let dump_injections ?cluster seed failure =
+  Format.printf "@.scaleout seed %d injection log:@.%a@." seed Sim.Failure.pp_injections
+    failure;
+  match cluster with
+  | Some c -> Format.printf "%a@." Cluster.pp_status c
+  | None -> ()
+
+(* Aggregated across seeds: individual schedules may keep aborting a
+   migration, but the battery as a whole must actually exercise completed
+   joins and splits under fire, or it proves nothing about them. *)
+let total_joins = ref 0
+let total_splits = ref 0
+
+let run_chaos_seed seed =
+  let engine = Sim.Engine.create ~seed:(1000 + seed) () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then
+    Alcotest.failf "seed %d: cluster never became ready" seed;
+  let net = Cluster.net cluster in
+  let partition = Cluster.partition cluster in
+  let failure = Sim.Failure.create engine in
+  let history = History.create () in
+  let keys = List.map (Partition.key_of_int partition) [ 3; 5_003; 40_007 ] in
+  let outcomes = Hashtbl.create 8 in
+  List.iter (fun key -> Hashtbl.replace outcomes key { acked = 0; indeterminate = 0 }) keys;
+  let running = ref true in
+  List.iter
+    (fun key ->
+      let client = Cluster.new_client cluster in
+      let seq = ref 0 in
+      let rec write_loop () =
+        if !running then begin
+          incr seq;
+          let this = !seq in
+          let invoked = Sim.Engine.now engine in
+          Client.put client key "c" ~value:(string_of_int this) (fun result ->
+              let o = Hashtbl.find outcomes key in
+              if Result.is_ok result then o.acked <- o.acked + 1
+              else o.indeterminate <- o.indeterminate + 1;
+              History.record_write history ~key ~seq:this ~invoked
+                ~completed:(Sim.Engine.now engine)
+                ~acked:(Result.is_ok result);
+              ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 60) write_loop))
+        end
+      in
+      write_loop ())
+    keys;
+  List.iter
+    (fun key ->
+      let client = Cluster.new_client cluster in
+      let rec read_loop () =
+        if !running then begin
+          let invoked = Sim.Engine.now engine in
+          Client.get client key "c" (fun result ->
+              (match result with
+              | Ok Client.{ value; _ } ->
+                History.record_read history ~key
+                  ~observed:(Option.map int_of_string value)
+                  ~invoked
+                  ~completed:(Sim.Engine.now engine)
+              | Error _ -> ());
+              ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 45) read_loop))
+        end
+      in
+      read_loop ())
+    keys;
+  (* The scale-out events under attack. The joiner arrives at 0.5 s; the
+     migration (of the range owning the first written key) and a split (of
+     the range owning the second) are kicked repeatedly — the crash and
+     partition chaos below keeps hitting the source, the joiner, and the
+     leader mid-transfer, so attempts abort and restart throughout. *)
+  let joiner = Cluster.add_node cluster in
+  let mig_range = Partition.route partition (List.nth keys 0) in
+  let split_range = Partition.route partition (List.nth keys 1) in
+  let ranges_before = Partition.ranges partition in
+  let rec kick_join () =
+    if !running && not (List.mem joiner (Partition.cohort partition ~range:mig_range))
+    then begin
+      let members = Partition.cohort partition ~range:mig_range in
+      let leader = Cluster.leader_of cluster ~range:mig_range in
+      (match List.filter (fun n -> Some n <> leader) members with
+      | d :: _ -> ignore (Cluster.request_join cluster ~range:mig_range ~joiner ~remove:d ())
+      | [] -> ());
+      ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 400) kick_join)
+    end
+  in
+  let rec kick_split () =
+    if !running && Partition.ranges partition = ranges_before then begin
+      ignore (Cluster.request_split cluster ~range:split_range);
+      ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 400) kick_split)
+    end
+  in
+  ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 500) kick_join);
+  ignore (Sim.Engine.schedule engine ~after:(Sim.Sim_time.ms 1500) kick_split);
+  (* The gauntlet, aimed at the migration: crash/restart chaos covers the
+     joiner plus a rotating pair of original nodes (the migration source and
+     the leader are among them across seeds), with randomized pair
+     partitions and lossy/duplicating links over the whole grown cluster. *)
+  let all_nodes = List.init (test_config.Config.nodes + 1) Fun.id in
+  let until = Sim.Sim_time.at_us 8_000_000 in
+  let targets = Cluster.failure_targets cluster in
+  let crash_targets =
+    List.filteri
+      (fun i _ -> i = joiner || i = seed mod joiner || i = (seed + 2) mod joiner)
+      targets
+  in
+  Sim.Failure.chaos failure
+    ~mean_time_to_failure:(Sim.Sim_time.sec 3)
+    ~mean_time_to_repair:(Sim.Sim_time.ms 1500)
+    ~until crash_targets;
+  Sim.Failure.random_pair_partition_chaos failure net ~nodes:all_nodes
+    ~mean_time_to_fault:(Sim.Sim_time.ms 1500)
+    ~mean_time_to_heal:(Sim.Sim_time.ms 700)
+    ~until;
+  let lossy =
+    Sim.Failure.link_faults_toggle net ~loss:0.06 ~duplicate:0.06
+      ~jitter:(Sim.Distribution.Uniform (0.0, 400.0))
+      all_nodes
+  in
+  Sim.Failure.toggle_chaos failure
+    ~mean_time_to_fault:(Sim.Sim_time.ms 900)
+    ~mean_time_to_heal:(Sim.Sim_time.ms 900)
+    ~until [ lossy ];
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 9);
+  (* Stop the load, heal everything, and let the cluster quiesce. *)
+  running := false;
+  Sim.Network.heal net;
+  Sim.Network.clear_default_faults net;
+  List.iter
+    (fun s ->
+      List.iter
+        (fun d -> if s <> d then Sim.Network.clear_link_faults net ~src:s ~dst:d)
+        all_nodes)
+    all_nodes;
+  for i = 0 to Array.length (Cluster.nodes cluster) - 1 do
+    Cluster.restart_node cluster i (* no-op for nodes that are up *)
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 10);
+  if List.mem joiner (Partition.cohort partition ~range:mig_range) then incr total_joins;
+  if Partition.ranges partition > ranges_before then incr total_splits;
+  (* Whatever the chaos left of the topology, it must be coherent: tiling
+     intact, cohorts at replication size, a leader per range. *)
+  check_bool
+    (Printf.sprintf "seed %d: layout coherent after chaos" seed)
+    true
+    (List.for_all
+       (fun range ->
+         List.length (Partition.cohort partition ~range) = test_config.Config.replication)
+       (Partition.range_ids partition));
+  (* Final strong reads close the history and pin the per-key version. *)
+  let final_client = Cluster.new_client cluster in
+  List.iter
+    (fun key ->
+      let r = ref None in
+      let invoked = Sim.Engine.now engine in
+      Client.get final_client key "c" (fun x -> r := Some x);
+      let rec drive n =
+        match !r with
+        | Some v -> v
+        | None when n = 0 -> Error Client.Timed_out
+        | None ->
+          Sim.Engine.run_for engine (Sim.Sim_time.ms 10);
+          drive (n - 1)
+      in
+      match drive 3000 with
+      | Ok Client.{ value; version } ->
+        History.record_read history ~key
+          ~observed:(Option.map int_of_string value)
+          ~invoked
+          ~completed:(Sim.Engine.now engine);
+        let o = Hashtbl.find outcomes key in
+        if version < o.acked then begin
+          dump_injections ~cluster seed failure;
+          Alcotest.failf "seed %d: key %s lost acked writes (version %d < %d acked)" seed
+            key version o.acked
+        end;
+        if version > o.acked + o.indeterminate then begin
+          dump_injections ~cluster seed failure;
+          Alcotest.failf
+            "seed %d: key %s applied writes twice (version %d > %d acked + %d indeterminate)"
+            seed key version o.acked o.indeterminate
+        end
+      | _ ->
+        dump_injections ~cluster seed failure;
+        Alcotest.failf "seed %d: final read of %s failed after heal" seed key)
+    keys;
+  (* Exactly-once at the log level, over whatever ranges now exist. *)
+  List.iter
+    (fun range ->
+      match Cluster.leader_of cluster ~range with
+      | None ->
+        dump_injections ~cluster seed failure;
+        Alcotest.failf "seed %d: range %d has no open leader after heal" seed range
+      | Some l -> (
+        let node = Cluster.node cluster l in
+        match Node.cohort node ~range with
+        | None -> ()
+        | Some c ->
+          let skipped = Cohort.skipped_lsns c in
+          let seen = Hashtbl.create 64 in
+          List.iter
+            (fun (lsn, _, _, origin) ->
+              if not (List.exists (Lsn.equal lsn) skipped) then
+                match origin with
+                | None -> ()
+                | Some o -> (
+                  match Hashtbl.find_opt seen o with
+                  | Some prev when not (Lsn.equal prev lsn) ->
+                    dump_injections ~cluster seed failure;
+                    Alcotest.failf
+                      "seed %d: range %d origin (c%d,#%d) committed twice (lsn %s and %s)"
+                      seed range (fst o) (snd o) (Lsn.to_string prev) (Lsn.to_string lsn)
+                  | _ -> Hashtbl.replace seen o lsn))
+            (Storage.Wal.durable_writes_in (Node.wal node) ~cohort:range ~above:Lsn.zero
+               ~upto:(Cohort.cmt c))))
+    (Partition.range_ids partition);
+  let violations = History.check history in
+  if violations <> [] then begin
+    dump_injections ~cluster seed failure;
+    List.iter (fun v -> Format.printf "violation: %a@." History.pp_violation v) violations;
+    Alcotest.failf "seed %d: %d linearizability violations" seed (List.length violations)
+  end;
+  check_bool
+    (Printf.sprintf "seed %d: load was substantial" seed)
+    true
+    (History.writes history > 100 && History.reads history > 100)
+
+let chaos_seeds () =
+  match Sys.getenv_opt "NEMESIS_SEEDS" with
+  | Some s -> (
+    match
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    with
+    | [] ->
+      Alcotest.failf "NEMESIS_SEEDS=%S contains no seeds (expected e.g. \"15\" or \"3,7,21\")" s
+    | seeds -> seeds)
+  | None -> List.init 20 (fun i -> i + 1)
+
+let test_chaos_scaleout () =
+  let seeds = chaos_seeds () in
+  List.iter run_chaos_seed seeds;
+  Format.printf "scaleout chaos: %d/%d joins and %d/%d splits completed under fire@."
+    !total_joins (List.length seeds) !total_splits (List.length seeds);
+  if List.length seeds > 4 then begin
+    check_bool "some migrations completed under chaos" true (!total_joins > 0);
+    check_bool "some splits completed under chaos" true (!total_splits > 0)
+  end
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_routing_invariants;
+    QCheck_alcotest.to_alcotest prop_layout_convergence;
+    QCheck_alcotest.to_alcotest prop_bootstrap_differential;
+    Alcotest.test_case "migration: snapshot + catch-up + swap + retire" `Slow
+      test_migration_end_to_end;
+    Alcotest.test_case "split: both children serve, stale clients converge" `Slow
+      test_split_end_to_end;
+    Alcotest.test_case "exactly-once across migration and split" `Slow
+      test_epoch_change_exactly_once;
+    Alcotest.test_case "chaos: crashes + partitions + loss during scale-out" `Slow
+      test_chaos_scaleout;
+  ]

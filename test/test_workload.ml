@@ -6,11 +6,8 @@ open Workload
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let partition =
-  Spinnaker.Partition.create ~nodes:10 ~replication:3 ~key_space:100_000
-
 let gen mode =
-  Generator.create ~rng:(Sim.Rng.create 5) ~partition ~key_space:100_000 ~mode ~thread:0
+  Generator.create ~rng:(Sim.Rng.create 5) ~key_space:100_000 ~mode ~thread:0
 
 let test_uniform_keys_in_space () =
   let g = gen Generator.Uniform_random in
@@ -64,7 +61,7 @@ let test_experiment_end_to_end () =
     }
   in
   let o =
-    Experiment.run ~engine ~partition:(Spinnaker.Cluster.partition cluster) ~key_space:100_000
+    Experiment.run ~engine ~key_space:100_000
       ~make_driver:(fun () -> Driver.spinnaker cluster ~consistent_reads:true ())
       spec
   in
@@ -119,7 +116,7 @@ let test_sweep_increases_load () =
     }
   in
   let points =
-    Experiment.sweep ~engine ~partition:(Eventual.Cas_cluster.partition cluster)
+    Experiment.sweep ~engine
       ~key_space:100_000
       ~make_driver:(fun () ->
         Driver.cassandra cluster ~read_level:Eventual.Cas_message.One
