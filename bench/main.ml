@@ -5,7 +5,7 @@
              [--trace-out [PATH]]
 
    Experiments: fig1 fig8 fig9 table1 fig11 fig12 fig13 fig14 fig15 fig16
-   failover ablations micro all (default: all). Absolute numbers come from a
+   failover scaleout audit ablations micro all (default: all). Absolute numbers come from a
    calibrated simulation (see DESIGN.md); the paper-comparable quantity is
    the *shape* of each series.
 
@@ -947,6 +947,128 @@ let scaleout () =
       (Printf.sprintf "scaleout: no throughput gain (pre %.0f, post %.0f req/s)" pre_mean
          post_mean)
 
+(* --- Audit: cross-backend robustness battery ----------------------------------------- *)
+
+(* Sweeps operation mix x key skew x fault profile x cluster size across the
+   three backends (Spinnaker consistent, the quorum-configured eventual
+   store, the master-slave pair) and emits one comparable cell per
+   combination: throughput/latency, fault exposure, per-cause network
+   counters, and invariant violations. A clean tree produces zero violations
+   — CI asserts exactly that — so any non-empty [violations] list marks the
+   cell that found a safety bug together with the fault schedule that fired.
+   Quick mode trims the sweep to uniform keys, two fault profiles, and one
+   cluster size (the acceptance floor: 3 backends x 2 profiles x 2 mixes). *)
+let audit () =
+  header "Audit: operation mix x key skew x fault profile x backend";
+  let mixes =
+    [
+      ("read-heavy", Workload.Generator.weights ~read:0.95 ~write:0.05 ());
+      ("write-heavy", Workload.Generator.weights ~read:0.25 ~write:0.60 ~cond_incr:0.15 ());
+    ]
+  in
+  let skews =
+    ("uniform", Workload.Generator.Uniform_random)
+    ::
+    (if !quick then []
+     else [ ("hotspot", Workload.Generator.Hotspot { fraction_hot = 0.9; hot_keys = 512 }) ])
+  in
+  let profiles =
+    if !quick then [ Workload.Chaos.Steady; Workload.Chaos.Crashes ]
+    else
+      [
+        Workload.Chaos.Steady;
+        Workload.Chaos.Crashes;
+        Workload.Chaos.Partitions;
+        Workload.Chaos.Lossy;
+      ]
+  in
+  let sizes = if !quick then [ 5 ] else [ 5; 10 ] in
+  let total_violations = ref 0 in
+  let cell_index = ref 0 in
+  Format.printf "  %-16s %-11s %-8s %-10s %5s %12s %9s %9s %6s@." "backend" "mix" "skew"
+    "profile" "nodes" "load(req/s)" "mean(ms)" "p99(ms)" "viol";
+  let emit_cell ~backend ~mix ~skew ~profile ~nodes (a : Workload.Chaos.audit) =
+    let s = a.Workload.Chaos.a_outcome.Workload.Experiment.all in
+    Format.printf "  %-16s %-11s %-8s %-10s %5d %12.0f %9.2f %9.2f %6d@." backend mix skew
+      (Workload.Chaos.profile_name profile) nodes s.Sim.Metrics.throughput_per_sec
+      s.Sim.Metrics.mean_latency_ms s.Sim.Metrics.p99_ms
+      (List.length a.Workload.Chaos.a_violations);
+    List.iter
+      (fun (invariant, detail) ->
+        Format.printf "    VIOLATION [%s] %s@." invariant detail)
+      a.Workload.Chaos.a_violations;
+    total_violations := !total_violations + List.length a.Workload.Chaos.a_violations;
+    series_acc :=
+      J.Obj
+        [
+          ("backend", J.String backend);
+          ("mix", J.String mix);
+          ("skew", J.String skew);
+          ("profile", J.String (Workload.Chaos.profile_name profile));
+          ("nodes", J.Int nodes);
+          ("outcome", Workload.Experiment.json_of_outcome a.Workload.Chaos.a_outcome);
+          ( "exposure",
+            J.Obj
+              (List.map (fun (k, v) -> (k, J.Int v)) a.Workload.Chaos.a_exposure) );
+          ("net", Option.value ~default:J.Null a.Workload.Chaos.a_net);
+          ( "violations",
+            J.List
+              (List.map
+                 (fun (invariant, detail) ->
+                   J.Obj
+                     [
+                       ("invariant", J.String invariant);
+                       ("detail", J.String detail);
+                     ])
+                 a.Workload.Chaos.a_violations) );
+        ]
+      :: !series_acc
+  in
+  List.iter
+    (fun nodes ->
+      let config = { Workload.Chaos.default_config with Config.nodes } in
+      let key_space = config.Config.key_space in
+      List.iter
+        (fun (mix, weights) ->
+          List.iter
+            (fun (skew, key_mode) ->
+              let spec =
+                {
+                  Workload.Experiment.default_spec with
+                  Workload.Experiment.threads = 16;
+                  weights = Some weights;
+                  key_mode;
+                  value_bytes = 1024;
+                  warmup = warmup_span ();
+                  measure = measure_span ();
+                }
+              in
+              List.iter
+                (fun profile ->
+                  incr cell_index;
+                  let seed = 1000 + !cell_index in
+                  emit_cell ~backend:"spinnaker" ~mix ~skew ~profile ~nodes
+                    (Workload.Chaos.audit_spinnaker ~track:track_engine ~seed ~config ~profile ~spec
+                       ~key_space ());
+                  emit_cell ~backend:"eventual-quorum" ~mix ~skew ~profile ~nodes
+                    (Workload.Chaos.audit_eventual ~track:track_engine ~seed ~config ~profile ~spec
+                       ~key_space ());
+                  (* The pair's cluster-size and skew axes are degenerate (2
+                     nodes, one log); run it once per (mix, profile). *)
+                  if nodes = List.hd sizes && skew = fst (List.hd skews) then
+                    emit_cell ~backend:"masterslave" ~mix ~skew ~profile ~nodes:2
+                      (Workload.Chaos.audit_masterslave ~track:track_engine ~seed ~profile ~spec
+                         ~key_space ()))
+                profiles)
+            skews)
+        mixes)
+    sizes;
+  record_field "backends"
+    (J.List (List.map (fun b -> J.String b) [ "spinnaker"; "eventual-quorum"; "masterslave" ]));
+  record_field "invariant_violations" (J.Int !total_violations);
+  Format.printf "  %d cells, %d invariant violations@." (List.length !series_acc)
+    !total_violations
+
 (* --- Bechamel microbenchmarks ------------------------------------------------------- *)
 
 let micro () =
@@ -1071,6 +1193,7 @@ let all_experiments =
     ("fig15", fig15);
     ("fig16", fig16);
     ("scaleout", scaleout);
+    ("audit", audit);
     ("ablations", ablations);
     ("micro", micro);
   ]

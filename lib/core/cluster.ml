@@ -201,6 +201,17 @@ let write_phases t =
     (Sim.Metrics.Write_phases.create ())
     t.nodes
 
+let migrations_in_flight t =
+  Array.fold_left
+    (fun acc node ->
+      List.fold_left
+        (fun acc range ->
+          match Node.cohort node ~range with
+          | Some c when Cohort.migrating c -> acc + 1
+          | _ -> acc)
+        acc (Node.ranges node))
+    0 t.nodes
+
 let is_ready t =
   List.for_all (fun r -> leader_of t ~range:r <> None) (Partition.range_ids t.partition)
 

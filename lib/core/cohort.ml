@@ -114,6 +114,14 @@ type t = {
       (** in-flight state of each leader-tracked write, keyed by its last LSN *)
 }
 
+(* Test-only fault plant: when set, followers ack (and advance lst over)
+   every LSN they appended, including writes sitting beyond a loss-induced
+   hole — the exact bug the hole-aware ack fixed. The shrinker test flips it
+   on to manufacture reproducible lost-acked-write failures and verify a
+   long chaos schedule shrinks to the few injections that matter. Never set
+   outside tests. *)
+let chaos_ack_past_holes = ref false
+
 let zk_prefix t = Printf.sprintf "/ranges/%d" t.ctx.range
 let zk_candidates t = zk_prefix t ^ "/candidates"
 let zk_leader t = zk_prefix t ^ "/leader"
@@ -772,9 +780,14 @@ let handle_propose t ~src ~epoch ~writes ~piggyback_cmt =
          hole would let the leader count durability we do not have. *)
       List.iter (fun lsn -> Commit_queue.mark_forced t.queue lsn) !appended;
       let upto =
-        match Commit_queue.contiguous_forced_upto t.queue ~from:t.cmt with
-        | Some lsn -> lsn
-        | None -> t.cmt
+        if !chaos_ack_past_holes then
+          (* Planted bug (see the flag's comment): claim everything appended,
+             holes and all. *)
+          List.fold_left Lsn.max t.cmt !appended
+        else
+          match Commit_queue.contiguous_forced_upto t.queue ~from:t.cmt with
+          | Some lsn -> lsn
+          | None -> t.cmt
       in
       (* lst advances only along this same contiguous forced prefix: it is
          what we advertise in elections (Figure 7) and takeover replies, so

@@ -88,6 +88,12 @@ val is_learner : t -> bool
 val migrating : t -> bool
 (** Leader-side: a replica migration is in flight on this cohort. *)
 
+val chaos_ack_past_holes : bool ref
+(** Test-only: re-enable the pre-fix follower bug of acking past a
+    loss-induced log hole (and advancing [lst] over it), so chaos harnesses
+    have a reproducible planted lost-acked-write failure to shrink. Never
+    set outside tests. *)
+
 (** {2 Membership change and splits (§10)} *)
 
 val request_join : t -> joiner:int -> ?remove:int -> unit -> bool

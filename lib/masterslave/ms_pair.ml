@@ -77,7 +77,10 @@ let commit r ~lsn ~key ~value =
 
 let put t ~key ~value k =
   match t.acting with
-  | None -> k (Error Unavailable)
+  (* Even a rejected request takes a client round trip; answering in zero
+     simulated time would let a closed-loop client spin without the clock
+     advancing. *)
+  | None -> delay t (fun () -> k (Error Unavailable))
   | Some m ->
     let master = replica_of t m in
     let slave = replica_of t (other m) in
@@ -106,7 +109,7 @@ let put t ~key ~value k =
 
 let get t ~key k =
   match t.acting with
-  | None -> k None
+  | None -> delay t (fun () -> k None)
   | Some m ->
     let master = replica_of t m in
     delay t (fun () ->

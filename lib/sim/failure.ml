@@ -11,18 +11,146 @@ type toggle = {
   disengage : unit -> unit;
 }
 
-type t = { engine : Engine.t; rng : Rng.t; mutable log : (Sim_time.t * string) list }
+(* ------------------------------------------------------------------ *)
+(* First-class injections. A fault names its subject by label, so a
+   schedule is plain data: it serializes, diffs, and replays against any
+   run that registered the same labels. *)
 
-let create engine = { engine; rng = Rng.split (Engine.rng engine); log = [] }
+type fault_kind = Crash | Restart | Destroy | Engage | Disengage
+
+type fault = { kind : fault_kind; who : string }
+
+type injection = { at : Sim_time.t; fault : fault }
+
+type schedule = injection list
+
+let kind_to_string = function
+  | Crash -> "crash"
+  | Restart -> "restart"
+  | Destroy -> "destroy"
+  | Engage -> "engage"
+  | Disengage -> "disengage"
+
+let kind_of_string = function
+  | "crash" -> Some Crash
+  | "restart" -> Some Restart
+  | "destroy" -> Some Destroy
+  | "engage" -> Some Engage
+  | "disengage" -> Some Disengage
+  | _ -> None
+
+let pp_fault ppf f = Format.fprintf ppf "%s %s" (kind_to_string f.kind) f.who
+
+let json_of_schedule s =
+  Json.List
+    (List.map
+       (fun { at; fault } ->
+         Json.Obj
+           [
+             ("at_us", Json.Int (Sim_time.time_to_us at));
+             ("kind", Json.String (kind_to_string fault.kind));
+             ("who", Json.String fault.who);
+           ])
+       s)
+
+let schedule_of_json j =
+  let injection_of_json = function
+    | Json.Obj _ as o -> (
+      match (Json.member "at_us" o, Json.member "kind" o, Json.member "who" o) with
+      | Some (Json.Int at_us), Some (Json.String kind), Some (Json.String who) -> (
+        match kind_of_string kind with
+        | Some kind -> Ok { at = Sim_time.at_us at_us; fault = { kind; who } }
+        | None -> Error (Printf.sprintf "unknown fault kind %S" kind))
+      | _ -> Error "injection needs at_us (int), kind (string), who (string)")
+    | _ -> Error "injection is not an object"
+  in
+  match j with
+  | Json.List items ->
+    List.fold_left
+      (fun acc item ->
+        match (acc, injection_of_json item) with
+        | Ok inis, Ok i -> Ok (i :: inis)
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "schedule is not a JSON array"
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  mutable log : injection list;  (** newest first *)
+  targets : (string, target) Hashtbl.t;
+  toggles : (string, toggle) Hashtbl.t;
+  counts : (fault_kind, int ref) Hashtbl.t;
+  mutable zk_cuts : int;
+}
+
+let create engine =
+  {
+    engine;
+    rng = Rng.split (Engine.rng engine);
+    log = [];
+    targets = Hashtbl.create 16;
+    toggles = Hashtbl.create 16;
+    counts = Hashtbl.create 8;
+    zk_cuts = 0;
+  }
+
 let injections t = List.rev t.log
 
 let pp_injections ppf t =
   List.iter
-    (fun (at, what) ->
-      Format.fprintf ppf "%8.3fs  %s@." (float_of_int (Sim_time.time_to_us at) /. 1e6) what)
+    (fun { at; fault } ->
+      Format.fprintf ppf "%8.3fs  %a@."
+        (float_of_int (Sim_time.time_to_us at) /. 1e6)
+        pp_fault fault)
     (injections t)
 
-let note t what = t.log <- (Engine.now t.engine, what) :: t.log
+let register_target t target = Hashtbl.replace t.targets target.label target
+
+let register_toggle t tg = Hashtbl.replace t.toggles tg.t_label tg
+
+(* Heuristic: coordination-service cuts are toggles named for ZooKeeper.
+   Counted separately so audit reports can distinguish "the data network
+   misbehaved" from "the failure detector itself was blinded". *)
+let is_zk_label who =
+  let who = String.lowercase_ascii who in
+  let has_prefix p =
+    String.length who >= String.length p && String.sub who 0 (String.length p) = p
+  in
+  has_prefix "zk" || has_prefix "zk-" || has_prefix "zookeeper"
+
+let note t fault =
+  t.log <- { at = Engine.now t.engine; fault } :: t.log;
+  (match Hashtbl.find_opt t.counts fault.kind with
+  | Some r -> incr r
+  | None -> Hashtbl.replace t.counts fault.kind (ref 1));
+  if fault.kind = Engage && is_zk_label fault.who then t.zk_cuts <- t.zk_cuts + 1
+
+let count t kind =
+  match Hashtbl.find_opt t.counts kind with Some r -> !r | None -> 0
+
+let exposure t =
+  [
+    ("crashes", count t Crash);
+    ("restarts", count t Restart);
+    ("destroys", count t Destroy);
+    ("engages", count t Engage);
+    ("disengages", count t Disengage);
+    ("zk_cuts", t.zk_cuts);
+  ]
+
+let json_of_exposure t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (exposure t))
+
+let attach_metrics t registry =
+  List.iter
+    (fun (name, _) ->
+      ignore
+        (Metrics.Registry.register_gauge registry ~node:(-1)
+           ~name:(Printf.sprintf "nemesis_%s" name) (fun () ->
+             List.assoc name (exposure t))))
+    (exposure t)
 
 (* Exponential samples are clamped to >= 1 µs: a zero-length interval would
    schedule a repair at the same timestamp as the fault, and the event
@@ -31,15 +159,17 @@ let exp_span t mean =
   Sim_time.us (Stdlib.max 1 (int_of_float (Rng.exponential t.rng mean)))
 
 let crash_at t time target =
+  register_target t target;
   ignore
     (Engine.schedule_at t.engine time (fun () ->
-         note t (Printf.sprintf "crash %s" target.label);
+         note t { kind = Crash; who = target.label };
          target.crash ()))
 
 let restart_at t time target =
+  register_target t target;
   ignore
     (Engine.schedule_at t.engine time (fun () ->
-         note t (Printf.sprintf "restart %s" target.label);
+         note t { kind = Restart; who = target.label };
          target.restart ()))
 
 let crash_for t ~at ~down_for target =
@@ -47,9 +177,10 @@ let crash_for t ~at ~down_for target =
   restart_at t (Sim_time.add at down_for) target
 
 let destroy_at t time target =
+  register_target t target;
   ignore
     (Engine.schedule_at t.engine time (fun () ->
-         note t (Printf.sprintf "destroy %s" target.label);
+         note t { kind = Destroy; who = target.label };
          target.crash ();
          target.lose_disk ()))
 
@@ -80,15 +211,17 @@ let chaos t ~mean_time_to_failure ~mean_time_to_repair ~until targets =
 let toggle ~label ~engage ~disengage = { t_label = label; engage; disengage }
 
 let engage_at t time tg =
+  register_toggle t tg;
   ignore
     (Engine.schedule_at t.engine time (fun () ->
-         note t (Printf.sprintf "engage %s" tg.t_label);
+         note t { kind = Engage; who = tg.t_label };
          tg.engage ()))
 
 let disengage_at t time tg =
+  register_toggle t tg;
   ignore
     (Engine.schedule_at t.engine time (fun () ->
-         note t (Printf.sprintf "disengage %s" tg.t_label);
+         note t { kind = Disengage; who = tg.t_label };
          tg.disengage ()))
 
 let toggle_for t ~at ~down_for tg =
@@ -114,6 +247,81 @@ let toggle_chaos t ~mean_time_to_fault ~mean_time_to_heal ~until toggles =
   List.iter schedule_toggle toggles
 
 (* ------------------------------------------------------------------ *)
+(* Replay: re-execute an explicit schedule against the registered label
+   universe. Injections are scheduled in list order, so equal-timestamp
+   ties resolve by list position (the event heap is FIFO per instant) —
+   replaying the same schedule twice is byte-identical. *)
+
+exception Unresolved_label of fault
+
+let resolve t fault =
+  match fault.kind with
+  | Crash | Restart | Destroy -> (
+    match Hashtbl.find_opt t.targets fault.who with
+    | Some _ -> true
+    | None -> false)
+  | Engage | Disengage -> (
+    match Hashtbl.find_opt t.toggles fault.who with Some _ -> true | None -> false)
+
+let apply t schedule =
+  List.iter
+    (fun { at; fault } ->
+      if not (resolve t fault) then raise (Unresolved_label fault);
+      match fault.kind with
+      | Crash -> crash_at t at (Hashtbl.find t.targets fault.who)
+      | Restart -> restart_at t at (Hashtbl.find t.targets fault.who)
+      | Destroy -> destroy_at t at (Hashtbl.find t.targets fault.who)
+      | Engage -> engage_at t at (Hashtbl.find t.toggles fault.who)
+      | Disengage -> disengage_at t at (Hashtbl.find t.toggles fault.who))
+    schedule
+
+(* ------------------------------------------------------------------ *)
+(* Conditional failure multipliers. Unlike [chaos], whose whole timeline
+   is drawn eagerly from the seed at setup, a hazard process decides at
+   run time: every [period] it flips a coin per target whose odds are
+   [p_per_tick] scaled by [multiplier ()] — a closure reading live signals
+   (a migration in flight, a compaction storm). The draws happen lazily,
+   but every injection that fires still lands in the log, so a failing
+   hazard run shrinks and replays exactly like a planned one. *)
+
+let hazard_crash_chaos t ~period ~p_per_tick ?(multiplier = fun () -> 1.0)
+    ?(max_concurrent = max_int) ~mean_time_to_repair ~until targets =
+  let mttr = float_of_int (Sim_time.to_us mean_time_to_repair) in
+  List.iter (register_target t) targets;
+  let down = Hashtbl.create (List.length targets) in
+  let n_down () = Hashtbl.length down in
+  let rec tick () =
+    let now = Engine.now t.engine in
+    if Sim_time.(now < until) then begin
+      List.iter
+        (fun target ->
+          (* Draw for every target every tick, even when suppressed: the
+             consumed randomness must not depend on live cluster state or
+             the stream would decohere from the schedule under replay. *)
+          let u = Rng.float t.rng 1.0 in
+          let m = multiplier () in
+          if
+            (not (Hashtbl.mem down target.label))
+            && n_down () < max_concurrent
+            && u < p_per_tick *. m
+          then begin
+            Hashtbl.replace down target.label ();
+            note t { kind = Crash; who = target.label };
+            target.crash ();
+            let back = Sim_time.min (Sim_time.add now (exp_span t mttr)) until in
+            ignore
+              (Engine.schedule_at t.engine back (fun () ->
+                   Hashtbl.remove down target.label;
+                   note t { kind = Restart; who = target.label };
+                   target.restart ()))
+          end)
+        targets;
+      ignore (Engine.schedule t.engine ~after:period tick)
+    end
+  in
+  ignore (Engine.schedule t.engine ~after:period tick)
+
+(* ------------------------------------------------------------------ *)
 (* Ready-made network scenarios. *)
 
 let group_label g = "[" ^ String.concat "," (List.map string_of_int g) ^ "]"
@@ -136,6 +344,15 @@ let isolate_toggle ?label net ~node ~peers =
     | None -> Printf.sprintf "isolate n%d from %s" node (group_label peers)
   in
   partition_toggle ~label net [ node ] peers
+
+let pair_partition_toggle net a b =
+  (* Canonical order, so the label is the same whichever way the pair was
+     drawn — replay resolves it against a universe registered once per pair. *)
+  let a, b = if a <= b then (a, b) else (b, a) in
+  toggle
+    ~label:(Printf.sprintf "pair-partition %d<->%d" a b)
+    ~engage:(fun () -> Network.partition_pair net a b)
+    ~disengage:(fun () -> Network.heal_pair net a b)
 
 let oneway_toggle ?label net ~src ~dst =
   let label =
@@ -184,11 +401,7 @@ let random_pair_partition_chaos t net ~nodes ~mean_time_to_fault ~mean_time_to_h
           draw ()
         in
         let tg =
-          if Rng.bool t.rng then
-            toggle
-              ~label:(Printf.sprintf "pair-partition %d<->%d" a b)
-              ~engage:(fun () -> Network.partition_pair net a b)
-              ~disengage:(fun () -> Network.heal_pair net a b)
+          if Rng.bool t.rng then pair_partition_toggle net a b
           else oneway_toggle net ~src:a ~dst:b
         in
         engage_at t at tg;

@@ -353,6 +353,17 @@ type net_stats = {
   net_bytes : int;
 }
 
+let json_of_net_stats s =
+  Json.Obj
+    [
+      ("delivered", Json.Int s.net_delivered);
+      ("dropped_down", Json.Int s.net_dropped_down);
+      ("dropped_partitioned", Json.Int s.net_dropped_partitioned);
+      ("dropped_lost", Json.Int s.net_dropped_lost);
+      ("duplicated", Json.Int s.net_duplicated);
+      ("bytes", Json.Int s.net_bytes);
+    ]
+
 let pp_net_stats ppf s =
   Format.fprintf ppf
     "%d delivered, %d dropped (down %d / partitioned %d / lost %d), %d duplicated, %d bytes"

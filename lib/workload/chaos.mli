@@ -1,0 +1,131 @@
+(** The chaos harness: seeded fault gauntlets, schedule replay, verdicts.
+
+    One run drives keyed serial writers and concurrent strong readers
+    through a fault profile, heals, quiesces, and checks the §1.1 claims
+    (no lost acked write, no double apply, linearizable strong reads, a
+    coherent layout after heal). Instead of asserting, a run returns a
+    {!verdict} so the same harness serves the nemesis tests, the ddmin
+    shrinker's replay oracle, and the `bench audit` battery. *)
+
+type profile = Steady | Crashes | Partitions | Lossy | Mixed
+(** [Mixed] composes crash chaos, randomized pair partitions, lossy links,
+    coordination-service cuts, and a hazard crash process whose per-tick
+    probability spikes while a replica migration is in flight. *)
+
+val profile_name : profile -> string
+
+val profile_of_string : string -> profile option
+
+val default_config : Spinnaker.Config.t
+(** 5 nodes, SSDs, 200 ms commit period, 500 ms sessions — the nemesis
+    suite's configuration. *)
+
+type verdict = {
+  seed : int;
+  profile : profile;
+  planted_bug : bool;
+  schedule : Sim.Failure.schedule;  (** the injections that actually fired *)
+  exposure : (string * int) list;
+  violations : (string * string) list;  (** (invariant, detail), empty = clean *)
+  fingerprint : string;  (** {!History.fingerprint} of the recorded history *)
+  acked : int;
+  indeterminate : int;
+  n_writes : int;
+  n_reads : int;
+}
+
+val failed : verdict -> bool
+
+val json_of_verdict : verdict -> Sim.Json.t
+(** The replay artifact: seed, profile, planted-bug flag, violations, and
+    the [injections] schedule — everything needed to re-run the failure. *)
+
+val schedule_of_artifact_json : Sim.Json.t -> (Sim.Failure.schedule, string) result
+(** Accepts either a bare schedule array or a {!json_of_verdict} object
+    (reads its [injections] field) — so [NEMESIS_SCHEDULE] files can be
+    minimal-schedule artifacts straight from CI. *)
+
+val run_spinnaker :
+  ?config:Spinnaker.Config.t ->
+  ?profile:profile ->
+  ?schedule:Sim.Failure.schedule ->
+  ?planted_hole_ack_bug:bool ->
+  ?chaos_for:Sim.Sim_time.span ->
+  ?quiesce_for:Sim.Sim_time.span ->
+  seed:int ->
+  unit ->
+  verdict
+(** One gauntlet run. With [?schedule], the seed-driven generators are
+    skipped and the explicit schedule replays against a pre-registered
+    universe of every crash target and fault toggle the generators could
+    have drawn — the replayed run's injection log equals its input.
+    [?planted_hole_ack_bug] re-enables the pre-fix follower ack bug
+    ({!Spinnaker.Cohort.chaos_ack_past_holes}) for shrinker fixtures; the
+    flag is always cleared on return. *)
+
+val shrink_spinnaker :
+  ?config:Spinnaker.Config.t ->
+  ?profile:profile ->
+  ?planted_hole_ack_bug:bool ->
+  ?chaos_for:Sim.Sim_time.span ->
+  ?quiesce_for:Sim.Sim_time.span ->
+  ?max_replays:int ->
+  seed:int ->
+  unit ->
+  (verdict * Sim.Failure.schedule * Sim.Shrink.stats) option
+(** Record the seed's run; if it violates an invariant AND the violation
+    survives replay of the full recorded schedule, ddmin the schedule down
+    to a minimal still-failing subset. [None] if the run is clean or the
+    failure does not replay. *)
+
+(** {2 Audit cells}
+
+    One backend under one fault profile and one workload spec: a throughput/
+    latency {!Experiment.outcome} plus fault exposure, network counters, and
+    invariant violations — the comparable unit of [BENCH_audit.json]. Each
+    backend checks the strongest invariant it actually promises: Spinnaker
+    full per-key linearizability, the quorum-configured eventual store
+    lost-acked-write only, the master-slave pair its Figure 1 lost-committed-
+    write counter. *)
+
+type audit = {
+  a_outcome : Experiment.outcome;
+  a_exposure : (string * int) list;
+  a_net : Sim.Json.t option;  (** [None] for the networkless pair *)
+  a_violations : (string * string) list;
+}
+
+val audit_spinnaker :
+  ?track:(Sim.Engine.t -> unit) ->
+  seed:int ->
+  config:Spinnaker.Config.t ->
+  profile:profile ->
+  spec:Experiment.spec ->
+  key_space:int ->
+  unit ->
+  audit
+(** [track] observes the cell's engine right after creation (sim-time
+    accounting in the bench driver). *)
+
+val audit_eventual :
+  ?track:(Sim.Engine.t -> unit) ->
+  seed:int ->
+  config:Spinnaker.Config.t ->
+  profile:profile ->
+  spec:Experiment.spec ->
+  key_space:int ->
+  unit ->
+  audit
+(** QUORUM reads and writes; network-fault profiles apply, [Mixed] degrades
+    to crash chaos. *)
+
+val audit_masterslave :
+  ?track:(Sim.Engine.t -> unit) ->
+  seed:int ->
+  profile:profile ->
+  spec:Experiment.spec ->
+  key_space:int ->
+  unit ->
+  audit
+(** No network module: every non-steady profile degrades to crash chaos on
+    the two replicas. *)

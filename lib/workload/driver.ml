@@ -47,6 +47,23 @@ let spinnaker_conditional cluster =
   let conditional_increment ~key ~ok = write ~key ~value:"1" ~ok in
   { name = "spinnaker-conditional"; read; write; conditional_increment }
 
+(* The §1.1 baseline: one synchronously replicated master-slave pair. No
+   per-key routing (the pair holds the whole key space) and no versioned
+   conditional primitive — conditional increments degrade to read-then-write
+   on the acting master, which is race-free only because the pair serializes
+   all writes anyway. *)
+let masterslave pair () =
+  let read ~key ~ok = Masterslave.Ms_pair.get pair ~key (fun v -> ok (v <> None)) in
+  let write ~key ~value ~ok =
+    Masterslave.Ms_pair.put pair ~key ~value (fun r -> ok (Result.is_ok r))
+  in
+  let conditional_increment ~key ~ok =
+    Masterslave.Ms_pair.get pair ~key (function
+      | None -> ok false
+      | Some _ -> Masterslave.Ms_pair.put pair ~key ~value:"1" (fun r -> ok (Result.is_ok r)))
+  in
+  { name = "masterslave"; read; write; conditional_increment }
+
 let cassandra cluster ~read_level ~write_level () =
   let client = Eventual.Cas_cluster.new_client cluster in
   let read ~key ~ok =

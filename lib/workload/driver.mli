@@ -19,6 +19,10 @@ val spinnaker_conditional : Spinnaker.Cluster.t -> t
 (** Writes use conditional put (read version, then conditional put) — the
     Figure 14 workload. *)
 
+val masterslave : Masterslave.Ms_pair.t -> unit -> t
+(** The §1.1 baseline pair: whole key space on one synchronously replicated
+    master; conditional increments degrade to read-then-write. *)
+
 val cassandra :
   Eventual.Cas_cluster.t ->
   read_level:Eventual.Cas_message.level ->

@@ -2,6 +2,7 @@ type spec = {
   threads : int;
   write_fraction : float;
   conditional : bool;
+  weights : Generator.weights option;
   key_mode : Generator.key_mode;
   value_bytes : int;
   warmup : Sim.Sim_time.span;
@@ -13,11 +14,19 @@ let default_spec =
     threads = 8;
     write_fraction = 0.0;
     conditional = false;
+    weights = None;
     key_mode = Generator.Uniform_random;
     value_bytes = 4096;
     warmup = Sim.Sim_time.sec 2;
     measure = Sim.Sim_time.sec 10;
   }
+
+let spec_weights spec =
+  match spec.weights with
+  | Some w -> w
+  | None -> Generator.of_write_fraction ~conditional:spec.conditional spec.write_fraction
+
+let spec_write_fraction spec = Generator.write_fraction_of (spec_weights spec)
 
 type outcome = {
   spec : spec;
@@ -34,6 +43,7 @@ let run ~engine ~key_space ~make_driver spec =
   let measure_from = Sim.Sim_time.add start spec.warmup in
   let stop = Sim.Sim_time.add measure_from spec.measure in
   let value = Generator.value ~size:spec.value_bytes in
+  let weights = spec_weights spec in
   let spawn_thread thread =
     let driver = make_driver () in
     let rng = Sim.Rng.split (Sim.Engine.rng engine) in
@@ -44,23 +54,23 @@ let run ~engine ~key_space ~make_driver spec =
       let now = Sim.Engine.now engine in
       if Sim.Sim_time.(now < stop) then begin
         let key = Generator.next_key gen in
-        let is_write = Sim.Rng.float rng 1.0 < spec.write_fraction in
+        let op = Generator.pick_op rng weights in
         let issued = Sim.Engine.now engine in
         let finish ok =
           let done_at = Sim.Engine.now engine in
           if Sim.Sim_time.(issued >= measure_from) && Sim.Sim_time.(done_at <= stop) then begin
             if ok then
               Sim.Metrics.Histogram.record_span
-                (if is_write then write_hist else read_hist)
+                (match op with Generator.Read -> read_hist | _ -> write_hist)
                 (Sim.Sim_time.diff done_at issued)
             else incr errors
           end;
           next ()
         in
-        if is_write then
-          if spec.conditional then driver.Driver.conditional_increment ~key ~ok:finish
-          else driver.Driver.write ~key ~value ~ok:finish
-        else driver.Driver.read ~key ~ok:finish
+        match op with
+        | Generator.Read -> driver.Driver.read ~key ~ok:finish
+        | Generator.Write -> driver.Driver.write ~key ~value ~ok:finish
+        | Generator.Cond_incr -> driver.Driver.conditional_increment ~key ~ok:finish
       end
     in
     (* Stagger thread start to avoid lock-step batching artifacts. *)
@@ -101,7 +111,7 @@ let json_of_outcome o =
   Sim.Json.Obj
     [
       ("threads", Sim.Json.Int o.spec.threads);
-      ("write_fraction", Sim.Json.Float o.spec.write_fraction);
+      ("write_fraction", Sim.Json.Float (spec_write_fraction o.spec));
       ("all", Sim.Metrics.json_of_run_stats o.all);
       ("reads", Sim.Metrics.json_of_run_stats o.reads);
       ("writes", Sim.Metrics.json_of_run_stats o.writes);

@@ -9,6 +9,9 @@ type spec = {
   threads : int;
   write_fraction : float;  (** 0.0 = pure reads, 1.0 = pure writes *)
   conditional : bool;  (** use the conditional-increment path for writes *)
+  weights : Generator.weights option;
+      (** when set, overrides [write_fraction]/[conditional]: each op is one
+          weighted draw over read / write / conditional-increment *)
   key_mode : Generator.key_mode;
   value_bytes : int;
   warmup : Sim.Sim_time.span;
@@ -16,6 +19,10 @@ type spec = {
 }
 
 val default_spec : spec
+
+val spec_weights : spec -> Generator.weights
+(** The effective operation mix: [weights] when present, otherwise the
+    legacy [write_fraction]/[conditional] pair lifted to weights. *)
 
 type outcome = {
   spec : spec;

@@ -3,6 +3,37 @@ type key_mode =
   | Consecutive of { stride : int }
   | Hotspot of { fraction_hot : float; hot_keys : int }
 
+type op = Read | Write | Cond_incr
+
+type weights = { read : float; write : float; cond_incr : float }
+
+let weights ?(read = 0.0) ?(write = 0.0) ?(cond_incr = 0.0) () =
+  if read < 0.0 || write < 0.0 || cond_incr < 0.0 then
+    invalid_arg "Generator.weights: negative weight";
+  if read +. write +. cond_incr <= 0.0 then
+    invalid_arg "Generator.weights: all weights zero";
+  { read; write; cond_incr }
+
+let read_only = { read = 1.0; write = 0.0; cond_incr = 0.0 }
+
+let of_write_fraction ~conditional f =
+  if f <= 0.0 then read_only
+  else if conditional then { read = 1.0 -. f; write = 0.0; cond_incr = f }
+  else { read = 1.0 -. f; write = f; cond_incr = 0.0 }
+
+let write_fraction_of w =
+  (w.write +. w.cond_incr) /. (w.read +. w.write +. w.cond_incr)
+
+(* Mutating classes first: with weights from [of_write_fraction] (which sum
+   to 1), one draw lands writes on [0, f) — bit-identical to the historical
+   [float rng 1.0 < write_fraction] stream, so seeded benchmarks keep their
+   exact schedules. *)
+let pick_op rng w =
+  let u = Sim.Rng.float rng (w.read +. w.write +. w.cond_incr) in
+  if u < w.write then Write
+  else if u < w.write +. w.cond_incr then Cond_incr
+  else Read
+
 type t = {
   rng : Sim.Rng.t;
   key_space : int;

@@ -10,6 +10,35 @@ type key_mode =
           strided evenly across the key space (so the skew spans every range
           instead of saturating one leader) *)
 
+(** {2 Operation-weight specs}
+
+    The audit battery mixes operations by weight instead of a single
+    read/write fraction: weights need not sum to one (they are normalized
+    at draw time), and conditional increments are a first-class class so
+    figure-14-style compare-and-set load composes with plain reads and
+    writes in one run. *)
+
+type op = Read | Write | Cond_incr
+
+type weights = { read : float; write : float; cond_incr : float }
+
+val weights : ?read:float -> ?write:float -> ?cond_incr:float -> unit -> weights
+(** Missing weights default to 0. Raises [Invalid_argument] if any weight is
+    negative or all are zero. *)
+
+val read_only : weights
+
+val of_write_fraction : conditional:bool -> float -> weights
+(** The legacy spec surface: write fraction [f], conditionally routed
+    through the compare-and-set path. *)
+
+val write_fraction_of : weights -> float
+(** Fraction of operations that mutate ([write + cond_incr], normalized) —
+    what legacy reports called the write fraction. *)
+
+val pick_op : Sim.Rng.t -> weights -> op
+(** One draw from the normalized weight distribution. *)
+
 type t
 
 val create :

@@ -96,3 +96,52 @@ let check t =
   List.rev !violations
 
 let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.key v.explanation
+
+(* Canonical digest of everything recorded. Entries are folded in sorted
+   order (never Hashtbl iteration order), so two histories built from the
+   same sequence of events — in any insertion order — digest identically.
+   This is the oracle for "same seed + same schedule => same run". *)
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  let keys_of table = Hashtbl.fold (fun k _ acc -> k :: acc) table [] in
+  let all_keys =
+    List.sort_uniq String.compare (keys_of t.writes @ keys_of t.reads)
+  in
+  let us ts = Sim.Sim_time.time_to_us ts in
+  List.iter
+    (fun key ->
+      Buffer.add_string buf key;
+      Buffer.add_char buf '\n';
+      let ws =
+        List.sort
+          (fun a b ->
+            match compare (us a.w_invoked) (us b.w_invoked) with
+            | 0 -> compare (a.w_seq, us a.w_completed, a.w_acked)
+                     (b.w_seq, us b.w_completed, b.w_acked)
+            | c -> c)
+          (Option.value ~default:[] (Hashtbl.find_opt t.writes key))
+      in
+      List.iter
+        (fun w ->
+          Buffer.add_string buf
+            (Printf.sprintf "w %d %d %d %b\n" w.w_seq (us w.w_invoked)
+               (us w.w_completed) w.w_acked))
+        ws;
+      let rs =
+        List.sort
+          (fun a b ->
+            match compare (us a.r_invoked) (us b.r_invoked) with
+            | 0 -> compare (a.r_observed, us a.r_completed)
+                     (b.r_observed, us b.r_completed)
+            | c -> c)
+          (Option.value ~default:[] (Hashtbl.find_opt t.reads key))
+      in
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "r %s %d %d\n"
+               (match r.r_observed with None -> "-" | Some s -> string_of_int s)
+               (us r.r_invoked) (us r.r_completed)))
+        rs)
+    all_keys;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

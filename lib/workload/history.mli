@@ -43,3 +43,9 @@ val reads : t -> int
 val writes : t -> int
 
 val pp_violation : Format.formatter -> violation -> unit
+
+val fingerprint : t -> string
+(** Hex digest of the full recorded history, folded in canonical (sorted)
+    order so it is independent of internal table layout. Two runs with the
+    same seed and the same fault schedule must produce equal fingerprints —
+    the determinism regression oracle. *)

@@ -13,6 +13,7 @@ let () =
       ("invariants", Test_invariants.suite);
       ("linearizability", Test_linearizability.suite);
       ("nemesis", Test_nemesis.suite);
+      ("shrink", Test_shrink.suite);
       ("eventual", Test_eventual.suite);
       ("masterslave", Test_masterslave.suite);
       ("observability", Test_observability.suite);

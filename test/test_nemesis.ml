@@ -11,7 +11,12 @@
    - strong reads stay linearizable throughout (history checker).
 
    A failing seed prints its injection log and is reproducible alone with
-   e.g. [NEMESIS_SEEDS=7 dune exec test/test_main.exe -- test nemesis]. *)
+   e.g. [NEMESIS_SEEDS=7 dune exec test/test_main.exe -- test nemesis]. To
+   replay an explicit fault schedule instead of a seed — a shrunk
+   MINIMAL_SCHEDULE artifact, say — point [NEMESIS_SCHEDULE] at the JSON
+   file (a bare schedule array or a verdict object with an [injections]
+   field); the chaos test then re-executes those injections through the
+   {!Workload.Chaos} harness and fails with the verdict's violations. *)
 
 open Spinnaker
 module History = Workload.History
@@ -321,7 +326,49 @@ let chaos_seeds () =
     | seeds -> seeds)
   | None -> List.init 20 (fun i -> i + 1)
 
+(* Replay an explicit injection schedule (NEMESIS_SCHEDULE=<file>). The seed
+   still feeds the workload streams — same seed + same schedule is the
+   reproduction contract — so a verdict artifact's own [seed] field wins,
+   then NEMESIS_SEEDS (first entry), then 1. *)
+let run_schedule_replay path =
+  let json =
+    match Sim.Json.of_file path with
+    | Error e -> Alcotest.failf "NEMESIS_SCHEDULE=%s: %s" path e
+    | Ok json -> json
+  in
+  let schedule =
+    match Workload.Chaos.schedule_of_artifact_json json with
+    | Error e -> Alcotest.failf "NEMESIS_SCHEDULE=%s: %s" path e
+    | Ok s -> s
+  in
+  let seed =
+    match Sim.Json.member "seed" json with
+    | Some (Sim.Json.Int s) -> s
+    | _ -> List.hd (chaos_seeds ())
+  in
+  (* Same seed + same schedule + same code: a verdict artifact recorded with
+     the planted bug enabled replays with it enabled, so the historical
+     violation actually reproduces. *)
+  let planted =
+    match Sim.Json.member "planted_bug" json with
+    | Some (Sim.Json.Bool b) -> b
+    | _ -> false
+  in
+  Format.printf "replaying %d injections from %s (workload seed %d%s)@."
+    (List.length schedule) path seed
+    (if planted then ", planted bug enabled" else "");
+  let v = Workload.Chaos.run_spinnaker ~schedule ~planted_hole_ack_bug:planted ~seed () in
+  List.iter
+    (fun (invariant, detail) -> Format.printf "violation %s: %s@." invariant detail)
+    v.Workload.Chaos.violations;
+  if Workload.Chaos.failed v then
+    Alcotest.failf "schedule replay reproduced %d violation(s)"
+      (List.length v.Workload.Chaos.violations)
+
 let test_chaos_survival () =
+  match Sys.getenv_opt "NEMESIS_SCHEDULE" with
+  | Some path -> run_schedule_replay path
+  | None ->
   let seeds = chaos_seeds () in
   List.iter run_chaos_seed seeds;
   check_bool "loss drops observed across seeds" true (!total_lost > 0);

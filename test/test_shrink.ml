@@ -1,0 +1,245 @@
+(* The self-shrinking chaos harness: ddmin on synthetic schedules, schedule
+   JSON round-trips, determinism regressions (same seed => byte-identical
+   history fingerprint and injection log), and the planted-bug fixture — a
+   guarded re-enable of the pre-fix follower hole-ack bug whose dozens-of-
+   injections failing run must shrink to a handful that still reproduce.
+
+   The minimal schedule the fixture finds is written to
+   [MINIMAL_SCHEDULE_planted.json] (CI uploads it); replay it by hand with
+   [NEMESIS_SCHEDULE=<path> dune exec test/test_main.exe -- test nemesis]. *)
+
+module Chaos = Workload.Chaos
+module Failure = Sim.Failure
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- ddmin on synthetic schedules (no simulation) ------------------------- *)
+
+let crash_at us who =
+  { Failure.at = Sim.Sim_time.at_us us; fault = { Failure.kind = Crash; who } }
+
+let synthetic n = List.init n (fun i -> crash_at (1000 * (i + 1)) (Printf.sprintf "node-%d" i))
+
+let contains who s = List.exists (fun (i : Failure.injection) -> String.equal i.fault.who who) s
+
+let test_ddmin_pins_needed_pair () =
+  let full = synthetic 20 in
+  (* The "violation" needs exactly two of the twenty injections. *)
+  let replay s = contains "node-3" s && contains "node-7" s in
+  let minimal, stats = Sim.Shrink.ddmin ~replay full in
+  check_int "minimal size" 2 (List.length minimal);
+  check_bool "kept node-3" true (contains "node-3" minimal);
+  check_bool "kept node-7" true (contains "node-7" minimal);
+  (* Removal-only: original order survives. *)
+  (match minimal with
+  | [ a; b ] ->
+    check_string "order preserved" "node-3" a.Failure.fault.who;
+    check_string "order preserved" "node-7" b.Failure.fault.who
+  | _ -> Alcotest.fail "expected exactly two injections");
+  check_int "stats initial" 20 stats.Sim.Shrink.initial_injections;
+  check_int "stats final" 2 stats.Sim.Shrink.final_injections;
+  check_bool "replays counted" true (stats.Sim.Shrink.replays > 0);
+  check_bool "replays bounded" true (stats.Sim.Shrink.replays <= 2000)
+
+let test_ddmin_keeps_all_when_all_needed () =
+  let full = synthetic 5 in
+  let replay s = List.length s = 5 in
+  let minimal, stats = Sim.Shrink.ddmin ~replay full in
+  check_int "nothing removable" 5 (List.length minimal);
+  check_int "final" 5 stats.Sim.Shrink.final_injections
+
+let test_ddmin_floor_is_one_injection () =
+  (* The shrinker never proposes the empty schedule — a violation that needs
+     no injections at all is not a fault-schedule bug — so an always-failing
+     predicate bottoms out at a single injection. *)
+  let full = synthetic 8 in
+  let minimal, _ = Sim.Shrink.ddmin ~replay:(fun _ -> true) full in
+  check_int "shrinks to one" 1 (List.length minimal)
+
+let test_ddmin_respects_budget () =
+  let full = synthetic 64 in
+  let replays = ref 0 in
+  let replay s =
+    incr replays;
+    contains "node-13" s && contains "node-47" s
+  in
+  let minimal, stats = Sim.Shrink.ddmin ~max_replays:10 ~replay full in
+  check_bool "budget respected" true (!replays <= 10 && stats.Sim.Shrink.replays <= 10);
+  (* On exhaustion the best-so-far schedule must still fail. *)
+  check_bool "result still fails" true (replay minimal)
+
+(* --- schedule JSON round-trip --------------------------------------------- *)
+
+let test_schedule_json_roundtrip () =
+  let mk us kind who = { Failure.at = Sim.Sim_time.at_us us; fault = { Failure.kind; who } } in
+  let schedule =
+    [
+      mk 10 Failure.Crash "node-1";
+      mk 500 Failure.Engage "pair-partition 0<->3";
+      mk 501 Failure.Engage "link-faults [0,1,2] loss=0.080 dup=0.080";
+      mk 900 Failure.Disengage "pair-partition 0<->3";
+      mk 1200 Failure.Restart "node-1";
+      mk 1500 Failure.Destroy "node-4";
+    ]
+  in
+  let json = Failure.json_of_schedule schedule in
+  let text = Sim.Json.to_string json in
+  match Sim.Json.of_string text with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok reparsed -> (
+    match Failure.schedule_of_json reparsed with
+    | Error e -> Alcotest.failf "decode failed: %s" e
+    | Ok decoded ->
+      check_int "length" (List.length schedule) (List.length decoded);
+      List.iter2
+        (fun (a : Failure.injection) (b : Failure.injection) ->
+          check_int "at" (Sim.Sim_time.time_to_us a.at) (Sim.Sim_time.time_to_us b.at);
+          check_string "kind" (Failure.kind_to_string a.fault.kind)
+            (Failure.kind_to_string b.fault.kind);
+          check_string "who" a.fault.who b.fault.who)
+        schedule decoded)
+
+let test_artifact_json_accepts_verdict_object () =
+  (* schedule_of_artifact_json must read the [injections] member of a full
+     verdict artifact, so CI artifacts replay without surgery. *)
+  let v = Chaos.run_spinnaker ~profile:Chaos.Crashes ~chaos_for:(Sim.Sim_time.sec 2)
+      ~quiesce_for:(Sim.Sim_time.sec 5) ~seed:3 ()
+  in
+  let text = Sim.Json.to_string (Chaos.json_of_verdict v) in
+  match Sim.Json.of_string text with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok json -> (
+    match Chaos.schedule_of_artifact_json json with
+    | Error e -> Alcotest.failf "artifact decode failed: %s" e
+    | Ok s -> check_int "schedule length" (List.length v.Chaos.schedule) (List.length s))
+
+(* --- fault exposure as metrics gauges ------------------------------------- *)
+
+let test_exposure_gauges () =
+  let engine = Sim.Engine.create ~seed:9 () in
+  let failure = Failure.create engine in
+  let registry = Sim.Metrics.Registry.create engine in
+  Failure.attach_metrics failure registry;
+  let target =
+    {
+      Failure.label = "node-0";
+      crash = (fun () -> ());
+      restart = (fun () -> ());
+      lose_disk = (fun () -> ());
+    }
+  in
+  Failure.crash_at failure (Sim.Sim_time.at_us 100) target;
+  Failure.restart_at failure (Sim.Sim_time.at_us 200) target;
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 1);
+  let gauge name =
+    match
+      List.find_opt
+        (fun g -> String.equal (Sim.Metrics.Gauge.name g) name)
+        (Sim.Metrics.Registry.gauges registry)
+    with
+    | Some g -> g
+    | None -> Alcotest.failf "gauge %s not registered" name
+  in
+  (* Gauges read the live exposure counters; cluster-wide, so node -1. *)
+  check_int "crash gauge" 1 (Sim.Metrics.Gauge.read (gauge "nemesis_crashes"));
+  check_int "restart gauge" 1 (Sim.Metrics.Gauge.read (gauge "nemesis_restarts"));
+  check_int "engage gauge" 0 (Sim.Metrics.Gauge.read (gauge "nemesis_engages"));
+  check_int "cluster-wide node id" (-1) (Sim.Metrics.Gauge.node (gauge "nemesis_crashes"))
+
+(* --- determinism regressions ---------------------------------------------- *)
+
+let schedule_text s = Sim.Json.to_string (Failure.json_of_schedule s)
+
+(* Same seed, same gauntlet => byte-identical history fingerprint and
+   injection log. This is the regression that keeps replayable schedules
+   honest: any nondeterminism in the engine, the RNG splits, or the fault
+   layer shows up here first. *)
+let test_seed_run_determinism () =
+  let run () = Chaos.run_spinnaker ~profile:Chaos.Mixed ~seed:5 () in
+  let a = run () and b = run () in
+  check_string "fingerprint" a.Chaos.fingerprint b.Chaos.fingerprint;
+  check_string "injection log" (schedule_text a.Chaos.schedule) (schedule_text b.Chaos.schedule);
+  check_bool "ran chaos" true (List.length a.Chaos.schedule > 0)
+
+let test_schedule_replay_determinism () =
+  let recorded = Chaos.run_spinnaker ~profile:Chaos.Mixed ~seed:5 () in
+  let replay () = Chaos.run_spinnaker ~schedule:recorded.Chaos.schedule ~seed:5 () in
+  let a = replay () and b = replay () in
+  check_string "replay fingerprint" a.Chaos.fingerprint b.Chaos.fingerprint;
+  (* A replayed run's injection log is exactly its input schedule. *)
+  check_string "log equals input" (schedule_text recorded.Chaos.schedule)
+    (schedule_text a.Chaos.schedule)
+
+(* --- the planted-bug fixture ---------------------------------------------- *)
+
+(* Re-enable the pre-fix follower ack bug (acking past loss-induced log
+   holes) and shrink a seed that fails under it. Empirically, seed 21's
+   mixed gauntlet fires 36 injections and ddmin pins the failure to two:
+   a lossy-link episode (opens the hole) and the leader crash (elects the
+   follower that acked past it). *)
+let planted_seed = 21
+
+let test_planted_bug_shrinks () =
+  (* Sanity: the shipped code survives this exact gauntlet. *)
+  let fixed = Chaos.run_spinnaker ~profile:Chaos.Mixed ~seed:planted_seed () in
+  check_bool "fixed code is clean" false (Chaos.failed fixed);
+  match
+    Chaos.shrink_spinnaker ~planted_hole_ack_bug:true ~profile:Chaos.Mixed ~seed:planted_seed ()
+  with
+  | None -> Alcotest.fail "planted bug did not fail (or did not replay)"
+  | Some (recorded, minimal, stats) ->
+    check_bool "recorded run failed" true (Chaos.failed recorded);
+    check_bool "lost an acked write" true
+      (List.mem_assoc "lost-acked-write" recorded.Chaos.violations);
+    check_bool
+      (Printf.sprintf "enough injections to be worth shrinking (%d)"
+         stats.Sim.Shrink.initial_injections)
+      true
+      (stats.Sim.Shrink.initial_injections >= 20);
+    check_bool
+      (Printf.sprintf "minimal schedule is small (%d)" (List.length minimal))
+      true
+      (List.length minimal <= 3);
+    (* The minimal schedule round-trips through JSON... *)
+    let rt =
+      match Failure.schedule_of_json (Failure.json_of_schedule minimal) with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "minimal schedule does not round-trip: %s" e
+    in
+    check_string "round-trip is lossless" (schedule_text minimal) (schedule_text rt);
+    (* ...replays deterministically, still reproducing the violation... *)
+    let r1 = Chaos.run_spinnaker ~schedule:rt ~planted_hole_ack_bug:true ~seed:planted_seed () in
+    let r2 = Chaos.run_spinnaker ~schedule:rt ~planted_hole_ack_bug:true ~seed:planted_seed () in
+    check_bool "minimal schedule reproduces" true (Chaos.failed r1 && Chaos.failed r2);
+    check_string "replay is deterministic" r1.Chaos.fingerprint r2.Chaos.fingerprint;
+    (* ...and does NOT break the fixed code: the bug, not the schedule, is
+       at fault. *)
+    let on_fixed = Chaos.run_spinnaker ~schedule:rt ~seed:planted_seed () in
+    check_bool "fixed code survives the minimal schedule" false (Chaos.failed on_fixed);
+    (* Persist the artifact CI uploads; replay with NEMESIS_SCHEDULE=. *)
+    let oc = open_out "MINIMAL_SCHEDULE_planted.json" in
+    output_string oc (Sim.Json.to_string (Chaos.json_of_verdict { r1 with schedule = minimal }));
+    output_char oc '\n';
+    close_out oc
+
+let suite =
+  [
+    Alcotest.test_case "ddmin pins the needed pair out of 20" `Quick test_ddmin_pins_needed_pair;
+    Alcotest.test_case "ddmin keeps a schedule that is all needed" `Quick
+      test_ddmin_keeps_all_when_all_needed;
+    Alcotest.test_case "ddmin never proposes the empty schedule" `Quick
+      test_ddmin_floor_is_one_injection;
+    Alcotest.test_case "ddmin respects the replay budget" `Quick test_ddmin_respects_budget;
+    Alcotest.test_case "schedule JSON round-trips" `Quick test_schedule_json_roundtrip;
+    Alcotest.test_case "artifact JSON accepts a verdict object" `Slow
+      test_artifact_json_accepts_verdict_object;
+    Alcotest.test_case "fault exposure surfaces as nemesis_* gauges" `Quick
+      test_exposure_gauges;
+    Alcotest.test_case "same seed, same history fingerprint" `Slow test_seed_run_determinism;
+    Alcotest.test_case "schedule replay is deterministic" `Slow
+      test_schedule_replay_determinism;
+    Alcotest.test_case "planted hole-ack bug shrinks to a minimal schedule" `Slow
+      test_planted_bug_shrinks;
+  ]
