@@ -6,7 +6,9 @@ type pending = {
   op : Message.client_op;
   deliver : Message.client_reply -> unit;
   mutable attempts : int;
-  mutable timer : Sim.Engine.timer option;
+  mutable deadline : Sim.Sim_time.t;
+      (** timeout deadline of the outstanding attempt; [Sim_time.zero] when no
+          attempt is in flight (reply arrived, or a retry is backing off) *)
   trace_id : int;
   span : int;  (** open [request] span; 0 when the client has no trace *)
 }
@@ -23,8 +25,22 @@ type t = {
       (** read the serialized routing table published on /layout; the client
           refreshes its cached copy on a [Wrong_range] redirect *)
   trace : Sim.Trace.t option;
-  pending : (int, pending) Hashtbl.t;
-  leader_cache : (int, int) Hashtbl.t;
+  (* Direct-mapped pending table: request ids are monotone, so slot
+     [rid mod capacity] is collision-free as long as the capacity exceeds the
+     live id window — the table doubles on collision. Replaces a per-request
+     Hashtbl replace/find/remove triple on the hot path. *)
+  mutable pending_rid : int array;  (** -1 = empty slot *)
+  mutable pending_slot : pending option array;
+  mutable leaders : int array;  (** leader per range id; -1 = unknown *)
+  timeouts : (int * Sim.Sim_time.t) Queue.t;
+      (** (request_id, deadline) in dispatch order. [client_timeout] is a
+          constant span, so deadlines are FIFO and one armed engine timer per
+          client covers them all — the per-request heap timer (pushed and
+          lazily cancelled 99.9% of the time) was a top line in the read-bench
+          profile. Entries whose request completed or was re-dispatched go
+          stale in place ([p.deadline] no longer matches) and are skipped when
+          the sweep reaches them; fire times of real timeouts are exact. *)
+  mutable timeout_armed : bool;
   mutable next_request : int;
   mutable rr : int;
   mutable retries : int;
@@ -66,10 +82,61 @@ let settle t p outcome =
 
 let note_retry t request_id p =
   match t.trace with
-  | None -> ()
-  | Some trace ->
+  | Some trace when Sim.Trace.is_enabled trace ->
     Sim.Trace.event trace ~trace_id:p.trace_id ~node:t.id ~tag:"client.retry"
       (Printf.sprintf "c%d#%d attempt %d" t.id request_id p.attempts)
+  | _ -> ()
+
+let rec pending_insert t rid p =
+  let cap = Array.length t.pending_rid in
+  let i = rid land (cap - 1) in
+  if t.pending_rid.(i) < 0 || t.pending_rid.(i) = rid then begin
+    t.pending_rid.(i) <- rid;
+    t.pending_slot.(i) <- Some p
+  end
+  else begin
+    (* Collision with a different live request: double until every live id
+       owns its slot again. *)
+    let old_rid = t.pending_rid and old_slot = t.pending_slot in
+    t.pending_rid <- Array.make (2 * cap) (-1);
+    t.pending_slot <- Array.make (2 * cap) None;
+    Array.iteri
+      (fun j r ->
+        if r >= 0 then
+          match old_slot.(j) with Some q -> pending_insert t r q | None -> ())
+      old_rid;
+    pending_insert t rid p
+  end
+
+let pending_find t rid =
+  let i = rid land (Array.length t.pending_rid - 1) in
+  if t.pending_rid.(i) = rid then t.pending_slot.(i) else None
+
+let pending_mem t rid = t.pending_rid.(rid land (Array.length t.pending_rid - 1)) = rid
+
+let pending_remove t rid =
+  let i = rid land (Array.length t.pending_rid - 1) in
+  if t.pending_rid.(i) = rid then begin
+    t.pending_rid.(i) <- -1;
+    t.pending_slot.(i) <- None
+  end
+
+let leader_set t range leader =
+  if range >= Array.length t.leaders then begin
+    let cap = ref (2 * Array.length t.leaders) in
+    while range >= !cap do
+      cap := 2 * !cap
+    done;
+    let a = Array.make !cap (-1) in
+    Array.blit t.leaders 0 a 0 (Array.length t.leaders);
+    t.leaders <- a
+  end;
+  t.leaders.(range) <- leader
+
+let leader_clear t range = if range < Array.length t.leaders then t.leaders.(range) <- -1
+
+let leader_hint t range =
+  if range < Array.length t.leaders then t.leaders.(range) else -1
 
 (* Capped exponential backoff with equal jitter: attempt [n] waits
    [min(cap, base * 2^(n-1))], half of it fixed and half uniformly random,
@@ -85,10 +152,10 @@ let backoff t attempts =
 
 let target_for t ~strong op =
   let range = Partition.route t.partition (Message.key_of_op op) in
-  if strong then
-    match Hashtbl.find_opt t.leader_cache range with
-    | Some leader -> leader
-    | None -> Partition.primary t.partition ~range
+  if strong then begin
+    let leader = leader_hint t range in
+    if leader >= 0 then leader else Partition.primary t.partition ~range
+  end
   else begin
     (* Timeline reads rotate over the cohort's replicas. *)
     let members = Partition.cohort t.partition ~range in
@@ -106,19 +173,56 @@ let strong_route op =
 
 let rec dispatch t request_id p =
   let dst = target_for t ~strong:(strong_route p.op) p.op in
-  Sim.Network.send t.net ~src:t.id ~dst
-    ~size:(Message.size (Message.Request { client = t.id; request_id; op = p.op }))
-    (Message.Request { client = t.id; request_id; op = p.op });
-  p.timer <-
-    Some
-      (Sim.Engine.schedule t.engine ~after:t.config.Config.client_timeout (fun () ->
-           on_timeout t request_id p))
+  let msg = Message.Request { client = t.id; request_id; op = p.op } in
+  Sim.Network.send t.net ~src:t.id ~dst ~size:(Message.size msg) msg;
+  let deadline = Sim.Sim_time.add (Sim.Engine.now t.engine) t.config.Config.client_timeout in
+  p.deadline <- deadline;
+  Queue.push (request_id, deadline) t.timeouts;
+  arm_timeout t
+
+(* Arm the shared timer at the earliest live deadline (shedding stale queue
+   heads on the way). The timer may fire at a deadline whose request already
+   completed — it then finds only stale heads and re-arms — but a live
+   deadline always has a timer at or before it, so timeouts never fire late. *)
+and arm_timeout t =
+  if not t.timeout_armed then begin
+    let rec next_live () =
+      match Queue.peek_opt t.timeouts with
+      | None -> None
+      | Some (rid, d) -> (
+        match pending_find t rid with
+        | Some p when Sim.Sim_time.compare p.deadline d = 0 -> Some d
+        | _ ->
+          ignore (Queue.pop t.timeouts);
+          next_live ())
+    in
+    match next_live () with
+    | None -> ()
+    | Some d ->
+      t.timeout_armed <- true;
+      ignore (Sim.Engine.schedule_at t.engine d (fun () -> sweep_timeouts t))
+  end
+
+and sweep_timeouts t =
+  t.timeout_armed <- false;
+  let now = Sim.Engine.now t.engine in
+  let rec loop () =
+    match Queue.peek_opt t.timeouts with
+    | Some (rid, d) when Sim.Sim_time.(d <= now) ->
+      ignore (Queue.pop t.timeouts);
+      (match pending_find t rid with
+      | Some p when Sim.Sim_time.compare p.deadline d = 0 -> on_timeout t rid p
+      | _ -> ());
+      loop ()
+    | _ -> arm_timeout t
+  in
+  loop ()
 
 and retry t request_id p ~after =
   p.attempts <- p.attempts + 1;
   t.retries <- t.retries + 1;
   if p.attempts >= t.config.Config.client_max_attempts then begin
-    Hashtbl.remove t.pending request_id;
+    pending_remove t request_id;
     settle t p "unavailable (retries exhausted)";
     p.deliver Message.Unavailable
   end
@@ -128,36 +232,37 @@ and retry t request_id p ~after =
   end
 
 and on_timeout t request_id p =
-  if Hashtbl.mem t.pending request_id then begin
+  if pending_mem t request_id then begin
     let range = Partition.route t.partition (Message.key_of_op p.op) in
-    Hashtbl.remove t.leader_cache range;
+    leader_clear t range;
     (* Every other timed-out attempt, ask the coordination service where the
        leader is instead of guessing. *)
     if p.attempts mod 2 = 1 then
       t.lookup_leader ~range (fun leader ->
           match leader with
-          | Some l -> Hashtbl.replace t.leader_cache range l
+          | Some l -> leader_set t range l
           | None -> ());
     retry t request_id p ~after:(backoff t (p.attempts + 1))
   end
 
 let handle_reply t request_id reply =
-  match Hashtbl.find_opt t.pending request_id with
+  match pending_find t request_id with
   | None -> ()
   | Some p -> (
-    (match p.timer with Some timer -> Sim.Engine.cancel t.engine timer | None -> ());
-    p.timer <- None;
+    (* Invalidate the outstanding attempt's deadline: its queue entry goes
+       stale and the sweep will skip it. *)
+    p.deadline <- Sim.Sim_time.zero;
     match reply with
     | Message.Not_leader { hint } ->
       let range = Partition.route t.partition (Message.key_of_op p.op) in
       (match hint with
       | Some l ->
         (* An actionable redirect: chase it immediately. *)
-        Hashtbl.replace t.leader_cache range l;
+        leader_set t range l;
         retry t request_id p ~after:(Sim.Sim_time.us 100)
       | None ->
         (* No leader known (election in progress): back off. *)
-        Hashtbl.remove t.leader_cache range;
+        leader_clear t range;
         retry t request_id p ~after:(backoff t (p.attempts + 1)))
     | Message.Wrong_range { hint } ->
       (* Our cached routing table is stale — a split or migration committed
@@ -172,14 +277,14 @@ let handle_reply t request_id reply =
           | None -> ());
           let range = Partition.route t.partition (Message.key_of_op p.op) in
           (match hint with
-          | Some l -> Hashtbl.replace t.leader_cache range l
-          | None -> Hashtbl.remove t.leader_cache range);
+          | Some l -> leader_set t range l
+          | None -> leader_clear t range);
           retry t request_id p ~after:(Sim.Sim_time.us 500))
     | Message.Unavailable ->
       (* Cohort closed (takeover in progress): back off and retry. *)
       retry t request_id p ~after:(backoff t (p.attempts + 1))
     | _ ->
-      Hashtbl.remove t.pending request_id;
+      pending_remove t request_id;
       settle t p (reply_name reply);
       p.deliver reply)
 
@@ -196,8 +301,11 @@ let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader
       lookup_leader;
       fetch_layout;
       trace;
-      pending = Hashtbl.create 64;
-      leader_cache = Hashtbl.create 16;
+      pending_rid = Array.make 64 (-1);
+      pending_slot = Array.make 64 None;
+      leaders = Array.make 16 (-1);
+      timeouts = Queue.create ();
+      timeout_armed = false;
       next_request = 0;
       rr = 0;
       retries = 0;
@@ -215,13 +323,13 @@ let submit t op deliver =
   let trace_id = Sim.Trace.request_trace_id ~client:t.id ~request_id in
   let span =
     match t.trace with
-    | None -> 0
-    | Some trace ->
+    | Some trace when Sim.Trace.is_enabled trace ->
       Sim.Trace.span_start trace ~trace_id ~node:t.id ~tag:"client.request"
         (Printf.sprintf "c%d#%d %s" t.id request_id (op_name op))
+    | _ -> 0
   in
-  let p = { op; deliver; attempts = 0; timer = None; trace_id; span } in
-  Hashtbl.replace t.pending request_id p;
+  let p = { op; deliver; attempts = 0; deadline = Sim.Sim_time.zero; trace_id; span } in
+  pending_insert t request_id p;
   dispatch t request_id p
 
 let value_result (v : Message.value_reply) = { value = v.Message.value; version = v.Message.version }

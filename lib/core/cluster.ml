@@ -87,7 +87,12 @@ let create engine config =
 
 let start t =
   Array.iter Node.start t.nodes;
-  Sim.Metrics.Registry.start_sampling t.metrics ~period:t.config.Config.metrics_sample_period
+  (* A zero period disables the periodic gauge sampler: benches that do not
+     export timelines should not pay one sweep over every gauge per 100 ms
+     of sim time. *)
+  if Sim.Sim_time.span_compare t.config.Config.metrics_sample_period Sim.Sim_time.span_zero > 0
+  then
+    Sim.Metrics.Registry.start_sampling t.metrics ~period:t.config.Config.metrics_sample_period
 let engine t = t.engine
 let config t = t.config
 let partition t = t.partition

@@ -84,6 +84,13 @@ type t = {
       (** the takeover has its follower quorum but the re-proposed (cmt, lst]
           tail is not yet committed; [try_commit] opens the cohort once it is *)
   mutable waiting : waiting_write list;  (** writes queued while closed/blocked, newest first *)
+  mutable unproposed : (Lsn.t * Storage.Log_record.op * int * (int * int) option) list;
+      (** newest first: appended+forced locally but held back because the
+          replication pipeline window ([Config.pipeline_depth]) is full;
+          shipped as one batched Propose when a slot frees *)
+  inflight_props : Lsn.t Queue.t;
+      (** highest LSN of each outstanding Propose batch; a batch retires
+          when cmt reaches it *)
   mutable commit_timer_armed : bool;
   dedup : (int * int, dedup_state) Hashtbl.t;
       (** (client, request id) -> write outcome, for duplicate suppression *)
@@ -103,6 +110,10 @@ type t = {
       (** last accepted leader traffic; silence beyond a few commit periods
           means our propose stream may have a hole we cannot see *)
   mutable resync_armed : bool;
+  mutable ack_pending : (int * Lsn.t) option;
+      (** (leader, upto) of a coalesced cumulative ack not yet sent
+          ([Config.ack_coalesce] > 0) *)
+  mutable ack_timer_armed : bool;
   (* election state *)
   mutable election_running : bool;
   mutable own_candidate : string option;
@@ -143,6 +154,8 @@ let create ctx =
     takeover_open_at = Lsn.zero;
     takeover_commit_wait = false;
     waiting = [];
+    unproposed = [];
+    inflight_props = Queue.create ();
     commit_timer_armed = false;
     dedup = Hashtbl.create 64;
     migration = None;
@@ -152,6 +165,8 @@ let create ctx =
     snapshot_next = 0;
     last_leader_msg = Sim.Sim_time.zero;
     resync_armed = false;
+    ack_pending = None;
+    ack_timer_armed = false;
     election_running = false;
     own_candidate = None;
     leader_watch_armed = false;
@@ -176,17 +191,23 @@ let others t = List.filter (fun m -> m <> t.ctx.node_id) (t.ctx.members ())
 (* Cohort events are structured instants carrying node and cohort fields;
    the "r%d n%d" detail prefix is kept for log readability and for existing
    consumers that grep details. *)
+let tracing t = Sim.Trace.is_enabled t.ctx.trace
+
 let trace t tag detail =
-  Sim.Trace.event t.ctx.trace ~node:t.ctx.node_id ~cohort:t.ctx.range ~tag
-    (Printf.sprintf "r%d n%d %s" t.ctx.range t.ctx.node_id detail)
+  if tracing t then
+    Sim.Trace.event t.ctx.trace ~node:t.ctx.node_id ~cohort:t.ctx.range ~tag
+      (Printf.sprintf "r%d n%d %s" t.ctx.range t.ctx.node_id detail)
 
 let span_start t ?trace_id ?lsn ~tag detail =
-  Sim.Trace.span_start t.ctx.trace ?trace_id ~node:t.ctx.node_id ~cohort:t.ctx.range ?lsn ~tag
-    detail
+  if tracing t then
+    Sim.Trace.span_start t.ctx.trace ?trace_id ~node:t.ctx.node_id ~cohort:t.ctx.range ?lsn
+      ~tag detail
+  else 0
 
 let span_end t ~span ?trace_id ?lsn ~tag detail =
-  Sim.Trace.span_end t.ctx.trace ~span ?trace_id ~node:t.ctx.node_id ~cohort:t.ctx.range ?lsn
-    ~tag detail
+  if span <> 0 then
+    Sim.Trace.span_end t.ctx.trace ~span ?trace_id ~node:t.ctx.node_id ~cohort:t.ctx.range ?lsn
+      ~tag detail
 
 (* Schedule a callback that is dropped if the node crashed/restarted since. *)
 let after t span k =
@@ -282,7 +303,7 @@ let rec try_commit t =
           Hashtbl.remove t.inflight_started e.lsn;
           Sim.Metrics.Histogram.record_span t.phases.replication
             (Sim.Sim_time.diff popped_at inf.started);
-          let lsn = Lsn.to_string e.lsn in
+          let lsn = if tracing t then Lsn.to_string e.lsn else "" in
           span_end t ~span:inf.repl_span ~trace_id:inf.trace_id ~lsn ~tag:"phase.replication"
             "commit eligible";
           let apply_span = span_start t ~trace_id:inf.trace_id ~lsn ~tag:"phase.apply" "" in
@@ -308,6 +329,7 @@ let rec try_commit t =
           (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) popped_at)
       | None -> ())
     committable;
+  if committable <> [] then retire_proposals t;
   if t.takeover_commit_wait && t.role = Leader && Lsn.(t.cmt >= t.takeover_open_at) then begin
     t.takeover_commit_wait <- false;
     trace t "takeover_commit_done" (Printf.sprintf "cmt=%s" (Lsn.to_string t.cmt));
@@ -450,7 +472,9 @@ and enqueue_write t ~client ~request_id op =
     let service = Sim.Sim_time.of_us_f t.ctx.config.Config.write_service_us in
     let trace_id = Sim.Trace.request_trace_id ~client ~request_id in
     let queue_span =
-      span_start t ~trace_id ~tag:"phase.queue" (Printf.sprintf "c%d#%d" client request_id)
+      if tracing t then
+        span_start t ~trace_id ~tag:"phase.queue" (Printf.sprintf "c%d#%d" client request_id)
+      else 0
     in
     Sim.Resource.submit t.ctx.cpu ~service
       (guard t (fun () ->
@@ -566,7 +590,7 @@ and perform_write_routed t ~arrived ~client ~request_id op =
     let started = Sim.Engine.now t.ctx.engine in
     Sim.Metrics.Histogram.record_span t.phases.queue (Sim.Sim_time.diff started arrived);
     let trace_id = Sim.Trace.request_trace_id ~client ~request_id in
-    let lsn = Lsn.to_string last_lsn in
+    let lsn = if tracing t then Lsn.to_string last_lsn else "" in
     let force_span = span_start t ~trace_id ~lsn ~tag:"phase.force" "" in
     let repl_span = span_start t ~trace_id ~lsn ~tag:"phase.replication" "" in
     Hashtbl.replace t.inflight_started last_lsn { started; trace_id; repl_span };
@@ -580,13 +604,53 @@ and perform_write_routed t ~arrived ~client ~request_id op =
            try_commit t));
     propose t writes
 
-and propose t writes =
+and propose_now t writes =
   let piggyback_cmt =
     if t.ctx.config.Config.piggyback_commits && Lsn.(t.cmt > Lsn.zero) then Some t.cmt
     else None
   in
   let msg = Message.Propose { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt } in
   List.iter (fun f -> t.ctx.send ~dst:f msg) t.active_followers
+
+(* Replication pipelining ("Paxos in the Cloud"): with a finite window, at
+   most [pipeline_depth] Propose batches may be awaiting commit; writes that
+   arrive while the window is full accumulate and ship as one batched
+   Propose when a slot frees. Depth 0 keeps the historical behavior — every
+   write proposed the moment it is appended, unbounded. Held-back writes are
+   already in the commit queue and the WAL, so the periodic re-propose tick
+   still guarantees delivery if acks stall. *)
+and propose t writes =
+  if t.ctx.config.Config.pipeline_depth <= 0 then propose_now t writes
+  else begin
+    t.unproposed <- List.rev_append writes t.unproposed;
+    pump_proposals t
+  end
+
+and pump_proposals t =
+  if
+    Queue.length t.inflight_props < t.ctx.config.Config.pipeline_depth
+    && t.unproposed <> []
+  then begin
+    let batch = List.rev t.unproposed in
+    t.unproposed <- [];
+    let highest =
+      List.fold_left (fun acc (lsn, _, _, _) -> Lsn.max acc lsn) Lsn.zero batch
+    in
+    Queue.push highest t.inflight_props;
+    propose_now t batch
+  end
+
+(* Retire committed Propose batches and refill the window; called whenever
+   cmt advances on the leader. *)
+and retire_proposals t =
+  if t.ctx.config.Config.pipeline_depth > 0 then begin
+    while
+      (not (Queue.is_empty t.inflight_props)) && Lsn.(Queue.peek t.inflight_props <= t.cmt)
+    do
+      ignore (Queue.pop t.inflight_props)
+    done;
+    pump_proposals t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Read path (§5): strong reads are served only by the leader; timeline
@@ -599,7 +663,10 @@ and propose t writes =
    read thus linearizes at its arrival instant, inside the request window. *)
 and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
   let config = t.ctx.config in
-  let probe col =
+  let probe_cost = ref 0.0 in
+  (* Probes one column; the service charge accumulates in [probe_cost] so the
+     single-column path (every point read) builds no intermediate pairs. *)
+  let probe_value col =
     let cell, cost = Store.get_profiled t.ctx.store (key, col) in
     let value =
       match cell with
@@ -608,35 +675,41 @@ and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
       | Some c -> Message.{ value = None; version = c.Row.version }
       | None -> Message.{ value = None; version = 0 }
     in
-    let us =
-      match cost with
-      | Store.Cache_hit -> config.Config.read_cache_hit_service_us
-      | Store.Probed probed ->
-        config.Config.read_service_us
-        +. (float_of_int probed *. config.Config.read_probe_service_us)
-    in
-    ((col, value), us)
+    (probe_cost :=
+       !probe_cost
+       +.
+       match cost with
+       | Store.Cache_hit -> config.Config.read_cache_hit_service_us
+       | Store.Probed probed ->
+         config.Config.read_service_us
+         +. (float_of_int probed *. config.Config.read_probe_service_us));
+    value
   in
-  let serve_with values =
+  let serve_reply reply =
     guard t (fun () ->
         if consistent && t.role <> Leader then
           (* Deposed while the request sat in the CPU queue. *)
           t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
-        else begin
-          let reply =
-            match values with
-            | [ (_, v) ] when single -> Message.Value v
-            | vs -> Message.Values vs
-          in
-          t.ctx.reply ~client ~request_id reply
-        end)
+        else t.ctx.reply ~client ~request_id reply)
   in
+  (* Values are probed (and the reply built) at arrival either way; the
+     single-column case — every point read — skips the per-column lists. *)
   let submit () =
-    let probes = List.map probe cols in
-    let service =
-      Sim.Sim_time.of_us_f (List.fold_left (fun acc (_, us) -> acc +. us) 0.0 probes)
-    in
-    Sim.Resource.submit t.ctx.cpu ~service (serve_with (List.map fst probes))
+    match cols with
+    | [ col ] when single ->
+      let v = probe_value col in
+      Sim.Resource.submit t.ctx.cpu
+        ~service:(Sim.Sim_time.of_us_f !probe_cost)
+        (serve_reply (Message.Value v))
+    | _ ->
+      let values = List.map (fun col -> (col, probe_value col)) cols in
+      let service = Sim.Sim_time.of_us_f !probe_cost in
+      let reply =
+        match values with
+        | [ (_, v) ] when single -> Message.Value v
+        | vs -> Message.Values vs
+      in
+      Sim.Resource.submit t.ctx.cpu ~service (serve_reply reply)
   in
   if consistent then begin
     if t.role <> Leader then
@@ -733,10 +806,11 @@ let apply_commits t ~upto =
        (they are globally committed); lst must never trail cmt. *)
     t.lst <- Lsn.max t.lst t.cmt;
     if entries <> [] then begin
-      Sim.Trace.event t.ctx.trace ~node:t.ctx.node_id ~cohort:t.ctx.range ~lsn:(Lsn.to_string t.cmt)
-        ~tag:"follower.apply"
-        (Printf.sprintf "r%d n%d applied %d upto %s" t.ctx.range t.ctx.node_id
-           (List.length entries) (Lsn.to_string t.cmt));
+      if tracing t then
+        Sim.Trace.event t.ctx.trace ~node:t.ctx.node_id ~cohort:t.ctx.range
+          ~lsn:(Lsn.to_string t.cmt) ~tag:"follower.apply"
+          (Printf.sprintf "r%d n%d applied %d upto %s" t.ctx.range t.ctx.node_id
+             (List.length entries) (Lsn.to_string t.cmt));
       let applied = List.map (fun (e : Commit_queue.entry) -> e.Commit_queue.lsn) entries in
       let own = Store.durable_write_lsns_in t.ctx.store ~above:old_cmt ~upto:t.cmt in
       let stale = List.filter (fun l -> not (List.exists (Lsn.equal l) applied)) own in
@@ -750,6 +824,37 @@ let apply_commits t ~upto =
       trace t "commit_gap"
         (Printf.sprintf "cmt=%s committed=%s" (Lsn.to_string t.cmt) (Lsn.to_string upto));
       !trigger_resync t
+    end
+  end
+
+(* Cumulative acks coalesce ([Config.ack_coalesce] > 0): instead of one Ack
+   per Propose, note the newest contiguous-forced prefix and answer once per
+   coalescing window. Acks are cumulative, so sending only the latest value
+   loses nothing; the window only defers when the leader learns it. *)
+let send_ack_now t ~dst ~upto =
+  t.ctx.send ~dst (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
+
+let flush_ack t =
+  t.ack_timer_armed <- false;
+  match t.ack_pending with
+  | Some (dst, upto) ->
+    t.ack_pending <- None;
+    if t.role = Follower then send_ack_now t ~dst ~upto
+  | None -> ()
+
+let send_or_coalesce_ack t ~dst ~upto =
+  let window = t.ctx.config.Config.ack_coalesce in
+  if Sim.Sim_time.span_compare window Sim.Sim_time.span_zero <= 0 then
+    send_ack_now t ~dst ~upto
+  else begin
+    (* Latest leader wins the destination; upto is monotone under Lsn.max. *)
+    let upto =
+      match t.ack_pending with Some (_, prev) -> Lsn.max prev upto | None -> upto
+    in
+    t.ack_pending <- Some (dst, upto);
+    if not t.ack_timer_armed then begin
+      t.ack_timer_armed <- true;
+      after t window (fun () -> flush_ack t)
     end
   end
 
@@ -795,8 +900,7 @@ let handle_propose t ~src ~epoch ~writes ~piggyback_cmt =
          missing a committed write could otherwise out-bid the replica that
          actually has it, and the write would be logically truncated away. *)
       t.lst <- Lsn.max t.lst upto;
-      if Lsn.(upto > Lsn.zero) then
-        t.ctx.send ~dst:src (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
+      if Lsn.(upto > Lsn.zero) then send_or_coalesce_ack t ~dst:src ~upto
     in
     if !appended <> [] then Wal.force t.ctx.wal (guard t ack) else ack ();
     match piggyback_cmt with
@@ -1434,6 +1538,9 @@ let rec become_follower t ~leader ~catchup =
   t.role <- Follower;
   t.leader <- Some leader;
   t.election_running <- false;
+  (* Leader-side pipeline state is meaningless once we step down. *)
+  t.unproposed <- [];
+  Queue.clear t.inflight_props;
   t.last_leader_msg <- Sim.Engine.now t.ctx.engine;
   trace t "follower" (Printf.sprintf "leader=n%d" leader);
   watch_leader_liveness t;
@@ -1510,6 +1617,11 @@ and become_leader t =
   t.leader <- Some t.ctx.node_id;
   t.role <- Leader;
   t.catching_up <- false;
+  (* Fresh leadership stint: no outstanding Propose batches yet, and any
+     coalesced ack we owed the previous leader is moot. *)
+  t.unproposed <- [];
+  Queue.clear t.inflight_props;
+  t.ack_pending <- None;
   trace t "leader_elected" (Printf.sprintf "lst=%s" (Lsn.to_string t.lst));
   watch_leader_liveness t;
   let zk = t.ctx.zk () in

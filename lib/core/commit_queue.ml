@@ -14,13 +14,87 @@ module Lsn_map = Map.Make (struct
   let compare = Storage.Lsn.compare
 end)
 
-type t = { mutable entries : entry Lsn_map.t }
+(* The queue proper is the LSN-ordered map. The rest are incremental indexes
+   that keep per-write work O(log n): under a deep replication pipeline
+   thousands of entries sit here at once, and full-queue walks on every
+   version lookup, force completion and cumulative ack made the leader
+   quadratic in its own backlog (the fig11-at-scale run spent ~40% of its
+   wall clock inside [latest_version_for]). Each index mirrors [entries]
+   exactly; semantics are unchanged, only the walks are memoized. *)
+type t = {
+  mutable entries : entry Lsn_map.t;
+  mutable unforced : entry Lsn_map.t;
+      (* the [forced = false] subset: a force-upto visits each entry once
+         over its lifetime instead of rescanning the already-forced prefix *)
+  versions : (Storage.Row.coord, (Storage.Lsn.t * int) list) Hashtbl.t;
+      (* coord -> pending (lsn, version), newest LSN first — the overlay the
+         leader consults when assigning the next version *)
+  acked_upto : (int, Storage.Lsn.t) Hashtbl.t;
+      (* follower -> highest LSN whose cumulative ack has been APPLIED to
+         entry ack lists; the next ack walks only (applied, upto] *)
+}
 
-let create () = { entries = Lsn_map.empty }
+let create () =
+  {
+    entries = Lsn_map.empty;
+    unforced = Lsn_map.empty;
+    versions = Hashtbl.create 64;
+    acked_upto = Hashtbl.create 8;
+  }
+
+let rec iter_writes f = function
+  | Storage.Log_record.Put { key; col; version; _ } -> f (key, col) version
+  | Storage.Log_record.Delete { key; col; version } -> f (key, col) version
+  | Storage.Log_record.Batch ops -> List.iter (iter_writes f) ops
+  | Storage.Log_record.Cohort_change _ | Storage.Log_record.Split _ -> ()
+
+let index_add t lsn op =
+  iter_writes
+    (fun coord version ->
+      (* Newest first; a tie (two writes to one coord in one batch) keeps the
+         later op in front, matching the last-match-wins fold this replaces. *)
+      let rec ins = function
+        | [] -> [ (lsn, version) ]
+        | ((l, _) :: _) as rest when Storage.Lsn.(l <= lsn) -> (lsn, version) :: rest
+        | hd :: tl -> hd :: ins tl
+      in
+      let cur = match Hashtbl.find_opt t.versions coord with None -> [] | Some l -> l in
+      Hashtbl.replace t.versions coord (ins cur))
+    op
+
+let index_remove t (e : entry) =
+  iter_writes
+    (fun coord _ ->
+      match Hashtbl.find_opt t.versions coord with
+      | None -> ()
+      | Some l -> (
+        match List.filter (fun (l', _) -> not (Storage.Lsn.equal l' e.lsn)) l with
+        | [] -> Hashtbl.remove t.versions coord
+        | l -> Hashtbl.replace t.versions coord l))
+    e.op
+
+(* Every removal funnels through here so the indexes never drift. *)
+let remove_entry t (e : entry) =
+  t.entries <- Lsn_map.remove e.lsn t.entries;
+  if not e.forced then t.unforced <- Lsn_map.remove e.lsn t.unforced;
+  index_remove t e
 
 let add t ~lsn ~op ~timestamp ?origin ?reply () =
   let entry = { lsn; op; timestamp; origin; forced = false; ackers = []; reply } in
-  t.entries <- Lsn_map.add lsn entry t.entries
+  t.entries <- Lsn_map.add lsn entry t.entries;
+  t.unforced <- Lsn_map.add lsn entry t.unforced;
+  index_add t lsn op;
+  (* A takeover rebuild can re-introduce an LSN at or below a follower's
+     applied-ack point (the previous incarnation was acked, then dropped on
+     leader change). Acks must be earned by the current incarnation: rewind
+     that follower's applied point so its next cumulative ack re-walks the
+     range — re-marking already-acked entries is idempotent. *)
+  let rewind =
+    Hashtbl.fold
+      (fun from applied acc -> if Storage.Lsn.(lsn <= applied) then from :: acc else acc)
+      t.acked_upto []
+  in
+  List.iter (fun from -> Hashtbl.replace t.acked_upto from Storage.Lsn.zero) rewind
 
 let mem t lsn = Lsn_map.mem lsn t.entries
 let is_empty t = Lsn_map.is_empty t.entries
@@ -28,35 +102,51 @@ let length t = Lsn_map.cardinal t.entries
 let min_lsn t = Option.map fst (Lsn_map.min_binding_opt t.entries)
 let max_lsn t = Option.map fst (Lsn_map.max_binding_opt t.entries)
 
-(* Visit entries with lsn <= upto, stopping at the first one beyond it — the
-   map's ascending lazy sequence makes this O(log n + visited) instead of a
-   full-map walk on every force/ack. *)
-let iter_upto t ~upto f =
-  let rec go seq =
-    match seq () with
-    | Seq.Cons ((lsn, e), rest) when Storage.Lsn.(lsn <= upto) ->
-      f e;
-      go rest
+let mark_forced_upto t upto =
+  let rec go () =
+    match Lsn_map.min_binding_opt t.unforced with
+    | Some (lsn, e) when Storage.Lsn.(lsn <= upto) ->
+      e.forced <- true;
+      t.unforced <- Lsn_map.remove lsn t.unforced;
+      go ()
     | _ -> ()
   in
-  go (Lsn_map.to_seq t.entries)
-
-let mark_forced_upto t upto = iter_upto t ~upto (fun e -> e.forced <- true)
+  go ()
 
 let mark_forced t lsn =
   match Lsn_map.find_opt lsn t.entries with
-  | Some e -> e.forced <- true
+  | Some e ->
+    if not e.forced then begin
+      e.forced <- true;
+      t.unforced <- Lsn_map.remove lsn t.unforced
+    end
   | None -> ()
 
 let add_ack t ~from ~upto =
-  iter_upto t ~upto (fun e ->
-      if not (List.mem from e.ackers) then e.ackers <- from :: e.ackers)
+  let applied =
+    match Hashtbl.find_opt t.acked_upto from with
+    | Some l -> l
+    | None -> Storage.Lsn.zero
+  in
+  if Storage.Lsn.(upto > applied) then begin
+    let rec go seq =
+      match seq () with
+      | Seq.Cons ((lsn, e), rest) when Storage.Lsn.(lsn <= upto) ->
+        if not (List.mem from e.ackers) then e.ackers <- from :: e.ackers;
+        go rest
+      | _ -> ()
+    in
+    go
+      (Lsn_map.to_seq_from applied t.entries
+      |> Seq.drop_while (fun (l, _) -> Storage.Lsn.(l <= applied)));
+    Hashtbl.replace t.acked_upto from upto
+  end
 
 let pop_committable t ~acks_needed =
   let rec go acc =
     match Lsn_map.min_binding_opt t.entries with
-    | Some (lsn, e) when e.forced && List.length e.ackers >= acks_needed ->
-      t.entries <- Lsn_map.remove lsn t.entries;
+    | Some (_, e) when e.forced && List.length e.ackers >= acks_needed ->
+      remove_entry t e;
       go (e :: acc)
     | _ -> List.rev acc
   in
@@ -66,7 +156,7 @@ let pop_upto t upto =
   let rec go acc =
     match Lsn_map.min_binding_opt t.entries with
     | Some (lsn, e) when Storage.Lsn.(lsn <= upto) ->
-      t.entries <- Lsn_map.remove lsn t.entries;
+      remove_entry t e;
       go (e :: acc)
     | _ -> List.rev acc
   in
@@ -81,35 +171,36 @@ let pop_contiguous t ~from ~upto =
     match Lsn_map.min_binding_opt t.entries with
     | Some (lsn, e)
       when Storage.Lsn.(lsn <= upto) && lsn.Storage.Lsn.seq = prev_seq + 1 ->
-      t.entries <- Lsn_map.remove lsn t.entries;
+      remove_entry t e;
       go lsn.Storage.Lsn.seq (e :: acc)
     | _ -> List.rev acc
   in
   go from.Storage.Lsn.seq []
 
+(* The chain must start at the map's first binding — a stranded entry at or
+   below [from] honestly blocks acking, as before; the lazy sequence just
+   avoids materializing the whole map to find the (usually short) chain. *)
 let contiguous_forced_upto t ~from =
-  let rec go prev_seq best = function
-    | (lsn, e) :: rest when lsn.Storage.Lsn.seq = prev_seq + 1 && e.forced ->
+  let rec go prev_seq best seq =
+    match seq () with
+    | Seq.Cons ((lsn, e), rest) when lsn.Storage.Lsn.seq = prev_seq + 1 && e.forced ->
       go lsn.Storage.Lsn.seq (Some lsn) rest
     | _ -> best
   in
-  go from.Storage.Lsn.seq None (Lsn_map.bindings t.entries)
+  go from.Storage.Lsn.seq None (Lsn_map.to_seq t.entries)
 
 let drop_above t lsn =
-  let keep, dropped = Lsn_map.partition (fun l _ -> Storage.Lsn.(l <= lsn)) t.entries in
-  t.entries <- keep;
-  List.map snd (Lsn_map.bindings dropped)
+  let dropped =
+    Lsn_map.fold
+      (fun l e acc -> if Storage.Lsn.(l <= lsn) then acc else e :: acc)
+      t.entries []
+  in
+  List.iter (fun e -> remove_entry t e) dropped;
+  List.rev dropped
 
 let latest_version_for t coord =
-  Lsn_map.fold
-    (fun _ e acc ->
-      List.fold_left
-        (fun acc op ->
-          if Storage.Row.equal_coord (Storage.Log_record.op_coord op) coord then
-            Some (Storage.Log_record.op_version op)
-          else acc)
-        acc
-        (Storage.Log_record.flatten e.op))
-    t.entries None
+  match Hashtbl.find_opt t.versions coord with
+  | Some ((_, v) :: _) -> Some v
+  | _ -> None
 
 let to_list t = List.map snd (Lsn_map.bindings t.entries)

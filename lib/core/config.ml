@@ -6,6 +6,18 @@ type t = {
   session_timeout : Sim.Sim_time.span;
   disk : Sim.Disk_model.kind;
   wal_max_batch : int;
+  pipeline_depth : int;
+      (** Max outstanding (not yet majority-committed) Propose batches per
+          cohort. Writes arriving while the window is full are held back and
+          shipped as one batched Propose when a slot frees — deeper pipelines
+          trade batching for per-write latency ("Paxos in the Cloud" §5).
+          [0] = propose every write immediately, unbounded (historical
+          behavior). *)
+  ack_coalesce : Sim.Sim_time.span;
+      (** Follower-side ack coalescing: instead of answering every Propose
+          with its own cumulative Ack, defer up to this span and send one Ack
+          covering everything forced meanwhile. [span_zero] = ack per Propose
+          (historical behavior). *)
   piggyback_commits : bool;
   flush_bytes : int;
   compaction_fanin : int;
@@ -39,6 +51,8 @@ let default =
     session_timeout = Sim.Sim_time.sec 2;
     disk = Sim.Disk_model.Magnetic;
     wal_max_batch = 24;
+    pipeline_depth = 0;
+    ack_coalesce = Sim.Sim_time.span_zero;
     piggyback_commits = false;
     flush_bytes = 4 * 1024 * 1024;
     compaction_fanin = 4;

@@ -5,10 +5,17 @@ type t = {
   events : (unit -> unit) Event_heap.t;
   root_rng : Rng.t;
   seed : int;
+  mutable events_run : int;
 }
 
 let create ?(seed = 42) () =
-  { clock = Sim_time.zero; events = Event_heap.create (); root_rng = Rng.create seed; seed }
+  {
+    clock = Sim_time.zero;
+    events = Event_heap.create ();
+    root_rng = Rng.create seed;
+    seed;
+    events_run = 0;
+  }
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -25,13 +32,17 @@ let schedule t ~after k =
 let cancel t timer = Event_heap.cancel t.events timer
 let pending t = Event_heap.size t.events
 
+let events_run t = t.events_run
+
 let step t =
-  match Event_heap.pop t.events with
-  | None -> false
-  | Some (time, k) ->
-    t.clock <- time;
+  if Event_heap.normalize t.events then begin
+    t.clock <- Event_heap.next_time t.events;
+    let k = Event_heap.take t.events in
+    t.events_run <- t.events_run + 1;
     k ();
     true
+  end
+  else false
 
 let run ?(max_events = max_int) t =
   let rec loop remaining =
@@ -39,13 +50,23 @@ let run ?(max_events = max_int) t =
   in
   loop max_events
 
+(* The hot loop: normalize once, then read the heap top in place — no
+   option/tuple is allocated per event, and the top is only examined once
+   (the old peek-then-pop shape re-ran the cancellation check). *)
 let run_until t until =
   let rec loop () =
-    match Event_heap.peek_time t.events with
-    | Some time when Sim_time.(time <= until) ->
-      ignore (step t);
-      loop ()
-    | _ -> t.clock <- Sim_time.max t.clock until
+    if Event_heap.normalize t.events then begin
+      let time = Event_heap.next_time t.events in
+      if Sim_time.(time <= until) then begin
+        let k = Event_heap.take t.events in
+        t.clock <- time;
+        t.events_run <- t.events_run + 1;
+        k ();
+        loop ()
+      end
+      else t.clock <- Sim_time.max t.clock until
+    end
+    else t.clock <- Sim_time.max t.clock until
   in
   loop ()
 

@@ -33,6 +33,10 @@ val cancel : t -> timer -> unit
 val pending : t -> int
 (** Number of live scheduled events. *)
 
+val events_run : t -> int
+(** Total events executed since [create] — the denominator for per-event cost
+    accounting when hunting hot-loop overhead. *)
+
 val step : t -> bool
 (** Execute the earliest event. Returns [false] when the queue is empty. *)
 

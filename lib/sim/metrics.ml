@@ -36,12 +36,119 @@ module Histogram = struct
       !sum /. float_of_int t.len
     end
 
+  (* Monomorphic in-place quicksort: [Array.sort Float.compare] pays a
+     closure call plus two float boxings per comparison, which dominates
+     stats extraction on multi-million-sample histograms. Samples are finite
+     latencies (never NaN), so plain [<] is a total order here. *)
+  let sort_floats (a : float array) =
+    let swap i j =
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    in
+    let insertion lo hi =
+      for i = lo + 1 to hi do
+        let v = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.(!j) > v do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- v
+      done
+    in
+    let rec qsort lo hi =
+      if hi - lo < 16 then insertion lo hi
+      else begin
+        let mid = lo + ((hi - lo) / 2) in
+        if a.(mid) < a.(lo) then swap mid lo;
+        if a.(hi) < a.(lo) then swap hi lo;
+        if a.(hi) < a.(mid) then swap hi mid;
+        let pivot = a.(mid) in
+        let i = ref lo and j = ref hi in
+        while !i <= !j do
+          while a.(!i) < pivot do
+            incr i
+          done;
+          while a.(!j) > pivot do
+            decr j
+          done;
+          if !i <= !j then begin
+            swap !i !j;
+            incr i;
+            decr j
+          end
+        done;
+        qsort lo !j;
+        qsort !i hi
+      end
+    in
+    if Array.length a > 1 then qsort 0 (Array.length a - 1)
+
+  (* LSD radix sort on the IEEE-754 bit patterns. Non-negative finite floats
+     order identically to their bit patterns, and a positive pattern fits the
+     63-bit native int exactly, so byte-wise counting passes sort without any
+     comparisons. Latency samples are integral microseconds, which leaves the
+     low mantissa bytes constant — those passes are detected (single occupied
+     bucket) and skipped, so a multi-million-sample histogram sorts in ~4
+     linear passes. Falls back to quicksort if any sample is negative. *)
+  let radix_sort (a : float array) =
+    let n = Array.length a in
+    let neg = ref false in
+    for i = 0 to n - 1 do
+      if Array.unsafe_get a i < 0.0 then neg := true
+    done;
+    if !neg then sort_floats a
+    else begin
+      let keys = Array.init n (fun i -> Int64.to_int (Int64.bits_of_float a.(i))) in
+      let tmp = Array.make n 0 in
+      let counts = Array.make 256 0 in
+      let src = ref keys and dst = ref tmp in
+      for pass = 0 to 7 do
+        let shift = 8 * pass in
+        let s = !src in
+        Array.fill counts 0 256 0;
+        for i = 0 to n - 1 do
+          let b = (Array.unsafe_get s i lsr shift) land 0xff in
+          Array.unsafe_set counts b (Array.unsafe_get counts b + 1)
+        done;
+        let all_same_byte = counts.((Array.unsafe_get s 0 lsr shift) land 0xff) = n in
+        if not all_same_byte then begin
+          let acc = ref 0 in
+          for b = 0 to 255 do
+            let c = Array.unsafe_get counts b in
+            Array.unsafe_set counts b !acc;
+            acc := !acc + c
+          done;
+          let d = !dst in
+          for i = 0 to n - 1 do
+            let k = Array.unsafe_get s i in
+            let b = (k lsr shift) land 0xff in
+            let pos = Array.unsafe_get counts b in
+            Array.unsafe_set counts b (pos + 1);
+            Array.unsafe_set d pos k
+          done;
+          let t = !src in
+          src := !dst;
+          dst := t
+        end
+      done;
+      let s = !src in
+      (* Mask off the sign-extension [Int64.of_int] performs: the original
+         pattern had bit 63 clear. *)
+      for i = 0 to n - 1 do
+        a.(i) <-
+          Int64.float_of_bits
+            (Int64.logand (Int64.of_int (Array.unsafe_get s i)) 0x7FFF_FFFF_FFFF_FFFFL)
+      done
+    end
+
   let sorted t =
     match t.sorted_cache with
     | Some a -> a
     | None ->
         let a = Array.sub t.samples 0 t.len in
-        Array.sort Float.compare a;
+        if t.len > 1 then radix_sort a;
         t.sorted_cache <- Some a;
         a
 

@@ -16,13 +16,26 @@ type faults = {
 
 type 'msg endpoint = { mutable handler : 'msg envelope -> unit; mutable up : bool; nic : Resource.t }
 
+(* One group partition, represented as the two (sorted) member lists plus
+   membership tables. A nemesis toggle at n nodes used to rebuild the blocked
+   refcount table with O(|a|·|b|) hashtable ops per flip; a cut is O(|a|+|b|)
+   to engage and O(1) per reachability probe, and overlapping cuts compose
+   the same way overlapping refcounts did. *)
+type cut = {
+  ga : int list;
+  gb : int list;
+  in_a : (int, unit) Hashtbl.t;
+  in_b : (int, unit) Hashtbl.t;
+}
+
 type 'msg t = {
   engine : Engine.t;
   latency : Distribution.t;
   bandwidth_bps : int;
   rng : Rng.t;
-  endpoints : (int, 'msg endpoint) Hashtbl.t;
+  mutable endpoints : 'msg endpoint option array;  (* indexed by node id *)
   blocked : (int * int, int) Hashtbl.t;  (* directed (src, dst) -> refcount *)
+  mutable cuts : cut list;  (* active group partitions *)
   link_faults : (int * int, faults) Hashtbl.t;  (* directed overrides *)
   mutable default_faults : faults option;
   mutable trace : Trace.t option;
@@ -42,8 +55,9 @@ let create engine ?(latency = default_latency) ?(bandwidth_bps = 1_000_000_000) 
     latency;
     bandwidth_bps;
     rng = Rng.split (Engine.rng engine);
-    endpoints = Hashtbl.create 64;
+    endpoints = Array.make 64 None;
     blocked = Hashtbl.create 16;
+    cuts = [];
     link_faults = Hashtbl.create 16;
     default_faults = None;
     trace = None;
@@ -58,13 +72,32 @@ let create engine ?(latency = default_latency) ?(bandwidth_bps = 1_000_000_000) 
 let engine t = t.engine
 let attach_trace t trace = t.trace <- Some trace
 
+(* Skip the formatting work entirely when no trace is attached. *)
 let emit t fmt =
-  Printf.ksprintf
-    (fun s -> match t.trace with Some tr -> Trace.emit tr ~tag:"net" s | None -> ())
-    fmt
+  match t.trace with
+  | Some tr when Trace.is_enabled tr ->
+    Printf.ksprintf (fun s -> Trace.emit tr ~tag:"net" s) fmt
+  | _ -> Printf.ikfprintf ignore () fmt
+
+(* Endpoints live in an array indexed by node id (node ids are small dense
+   ints, client ids a dense block above them): the per-message endpoint
+   probes on the send and deliver paths are plain loads instead of hashtable
+   lookups. *)
+let ensure_capacity t node =
+  if node >= Array.length t.endpoints then begin
+    let cap = ref (2 * Array.length t.endpoints) in
+    while node >= !cap do
+      cap := 2 * !cap
+    done;
+    let eps = Array.make !cap None in
+    Array.blit t.endpoints 0 eps 0 (Array.length t.endpoints);
+    t.endpoints <- eps
+  end
 
 let endpoint t node =
-  match Hashtbl.find_opt t.endpoints node with
+  if node < 0 then invalid_arg "Network.endpoint: negative node id";
+  ensure_capacity t node;
+  match Array.unsafe_get t.endpoints node with
   | Some e -> e
   | None ->
     let e =
@@ -74,7 +107,7 @@ let endpoint t node =
         nic = Resource.create t.engine ~name:(Printf.sprintf "nic-%d" node) ();
       }
     in
-    Hashtbl.replace t.endpoints node e;
+    t.endpoints.(node) <- Some e;
     e
 
 let register t ~node handler =
@@ -98,7 +131,17 @@ let unblock t pair =
   | Some n when n <= 1 -> Hashtbl.remove t.blocked pair
   | Some n -> Hashtbl.replace t.blocked pair (n - 1)
 
-let reachable t src dst = not (Hashtbl.mem t.blocked (src, dst))
+let severed_by cut src dst =
+  (Hashtbl.mem cut.in_a src && Hashtbl.mem cut.in_b dst)
+  || (Hashtbl.mem cut.in_b src && Hashtbl.mem cut.in_a dst)
+
+let reachable t src dst =
+  (* Fast path first: probing [blocked] costs a tuple allocation plus a
+     polymorphic hash, which the fault-free common case should not pay. *)
+  (Hashtbl.length t.blocked = 0 || not (Hashtbl.mem t.blocked (src, dst)))
+  && (match t.cuts with
+     | [] -> true
+     | cuts -> src = dst || not (List.exists (fun c -> severed_by c src dst) cuts))
 
 let count_drop t = function
   | Down -> t.dropped_down <- t.dropped_down + 1
@@ -109,12 +152,18 @@ let transfer_span t size =
   Sim_time.of_us_f (float_of_int (size * 8) /. float_of_int t.bandwidth_bps *. 1e6)
 
 let faults_for t src dst =
-  match Hashtbl.find_opt t.link_faults (src, dst) with
-  | Some f -> Some f
-  | None -> t.default_faults
+  if Hashtbl.length t.link_faults = 0 then t.default_faults
+  else
+    match Hashtbl.find_opt t.link_faults (src, dst) with
+    | Some f -> Some f
+    | None -> t.default_faults
 
 let deliver t env =
-  match Hashtbl.find_opt t.endpoints env.dst with
+  match
+    if env.dst >= 0 && env.dst < Array.length t.endpoints then
+      Array.unsafe_get t.endpoints env.dst
+    else None
+  with
   | None -> count_drop t Down
   | Some e ->
     if not e.up then count_drop t Down
@@ -140,25 +189,33 @@ let send t ~src ~dst ?(size = 128) payload =
       match faults with
       | Some f when f.loss > 0.0 && Rng.float t.rng 1.0 < f.loss -> count_drop t Lost
       | _ ->
-        (* The NIC serialises the transfer; propagation happens afterwards. *)
-        Resource.submit sender.nic ~service:(transfer_span t size) (fun () ->
-            let deliver_once () =
-              let latency = Distribution.sample_span t.latency t.rng in
-              let latency =
-                match faults with
-                | Some { jitter = Some j; _ } ->
-                  Sim_time.span_add latency (Distribution.sample_span j t.rng)
-                | _ -> latency
-              in
-              ignore (Engine.schedule t.engine ~after:latency (fun () -> deliver t env))
-            in
-            deliver_once ();
+        (* The NIC serialises the transfer; propagation happens afterwards.
+           The NIC queue is analytic ([Resource.reserve] returns the finish
+           time directly), so transfer + propagation collapse into a single
+           scheduled delivery — one heap entry and one closure per message
+           instead of two of each. Latency/jitter/duplication are sampled at
+           send time; with a FIFO NIC the sample order per link is the same
+           as it would be at transfer completion. *)
+        let nic_done = Resource.reserve sender.nic ~service:(transfer_span t size) in
+        let deliver_once () =
+          let latency = Distribution.sample_span t.latency t.rng in
+          let latency =
             match faults with
-            | Some f when f.duplicate > 0.0 && Rng.float t.rng 1.0 < f.duplicate ->
-              (* A duplicated message takes its own independent path. *)
-              t.duplicated <- t.duplicated + 1;
-              deliver_once ()
-            | _ -> ())
+            | Some { jitter = Some j; _ } ->
+              Sim_time.span_add latency (Distribution.sample_span j t.rng)
+            | _ -> latency
+          in
+          ignore
+            (Engine.schedule_at t.engine (Sim_time.add nic_done latency) (fun () ->
+                 deliver t env))
+        in
+        deliver_once ();
+        (match faults with
+        | Some f when f.duplicate > 0.0 && Rng.float t.rng 1.0 < f.duplicate ->
+          (* A duplicated message takes its own independent path. *)
+          t.duplicated <- t.duplicated + 1;
+          deliver_once ()
+        | _ -> ())
     end
   end
 
@@ -184,27 +241,43 @@ let heal_pair t a b =
   unblock t (b, a);
   emit t "heal-pair %d<->%d" a b
 
-let iter_pairs group_a group_b f =
-  List.iter (fun a -> List.iter (fun b -> if a <> b then f a b) group_b) group_a
+let member_table group =
+  let h = Hashtbl.create (2 * List.length group) in
+  List.iter (fun n -> Hashtbl.replace h n ()) group;
+  h
+
+let make_cut group_a group_b =
+  {
+    ga = List.sort_uniq compare group_a;
+    gb = List.sort_uniq compare group_b;
+    in_a = member_table group_a;
+    in_b = member_table group_b;
+  }
+
+let same_cut c ga gb = (c.ga = ga && c.gb = gb) || (c.ga = gb && c.gb = ga)
 
 let partition t group_a group_b =
-  iter_pairs group_a group_b (fun a b ->
-      block t (a, b);
-      block t (b, a));
+  t.cuts <- make_cut group_a group_b :: t.cuts;
   emit t "partition [%s]|[%s]"
     (String.concat "," (List.map string_of_int group_a))
     (String.concat "," (List.map string_of_int group_b))
 
 let unpartition t group_a group_b =
-  iter_pairs group_a group_b (fun a b ->
-      unblock t (a, b);
-      unblock t (b, a));
+  let ga = List.sort_uniq compare group_a and gb = List.sort_uniq compare group_b in
+  (* Lift one matching cut; overlapping cuts over the same groups compose
+     like the refcounts they replaced. *)
+  let rec drop_first = function
+    | [] -> []
+    | c :: rest -> if same_cut c ga gb then rest else c :: drop_first rest
+  in
+  t.cuts <- drop_first t.cuts;
   emit t "unpartition [%s]|[%s]"
     (String.concat "," (List.map string_of_int group_a))
     (String.concat "," (List.map string_of_int group_b))
 
 let heal t =
   Hashtbl.reset t.blocked;
+  t.cuts <- [];
   emit t "heal-all"
 
 let set_link_faults t ~src ~dst ?(loss = 0.0) ?(duplicate = 0.0) ?jitter () =

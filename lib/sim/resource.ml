@@ -25,17 +25,23 @@ let earliest_server t =
   done;
   !best
 
-let submit t ~service k =
+(* Book the job on the earliest-free server and return its finish time,
+   without scheduling anything. The queue model is purely analytic (FIFO,
+   no preemption), so callers that already schedule a downstream event can
+   fold the completion into it instead of paying for a separate one. *)
+let reserve t ~service =
   let now = Engine.now t.engine in
   let i = earliest_server t in
   let start = Sim_time.max now t.free_at.(i) in
   let finish = Sim_time.add start service in
   t.free_at.(i) <- finish;
   t.busy_time <- Sim_time.span_add t.busy_time service;
-  ignore
-    (Engine.schedule_at t.engine finish (fun () ->
-         t.jobs_completed <- t.jobs_completed + 1;
-         k ()))
+  t.jobs_completed <- t.jobs_completed + 1;
+  finish
+
+let submit t ~service k =
+  let finish = reserve t ~service in
+  ignore (Engine.schedule_at t.engine finish k)
 
 let submit_bytes t ~bytes ~bytes_per_sec k =
   let service = Sim_time.of_us_f (float_of_int (max 1 bytes) *. 1e6 /. bytes_per_sec) in

@@ -16,6 +16,13 @@ val submit : t -> service:Sim_time.span -> (unit -> unit) -> unit
 (** Enqueue a job with the given service time; the callback fires when the
     job completes. *)
 
+val reserve : t -> service:Sim_time.span -> Sim_time.t
+(** Book a job on the earliest-free server and return its completion time
+    without scheduling an event. Lets a caller that already schedules a
+    downstream event (e.g. network delivery after a NIC transfer) avoid a
+    second heap entry per message. Counts toward {!jobs_completed} and
+    {!busy_time} immediately. *)
+
 val submit_bytes : t -> bytes:int -> bytes_per_sec:float -> (unit -> unit) -> unit
 (** Enqueue a job whose service time is [bytes / bytes_per_sec] — models a
     bandwidth-limited transfer (e.g. shipping an SSTable snapshot). *)

@@ -63,6 +63,7 @@ let create ?(capacity = default_capacity) engine =
   }
 
 let enable t flag = t.enabled <- flag
+let is_enabled t = t.enabled
 let capacity t = t.cap
 let length t = t.len
 let dropped t = t.dropped

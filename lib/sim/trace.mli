@@ -33,6 +33,10 @@ val create : ?capacity:int -> Engine.t -> t
 val enable : t -> bool -> unit
 (** Disabled traces drop events (default: enabled). *)
 
+val is_enabled : t -> bool
+(** Hot emitters check this before formatting detail strings: a disabled
+    trace must cost zero allocation, not a dropped-after-formatting event. *)
+
 val capacity : t -> int
 
 val length : t -> int

@@ -51,7 +51,9 @@ type t = {
   mutable in_flight_batch : Log_record.t list;  (** oldest first; volatile until the force lands *)
   mutable appended_total : int;  (** absolute index of last appended record *)
   mutable durable_total : int;  (** absolute index of last durable record *)
-  mutable waiters : (int * (unit -> unit)) list;  (** (target, callback), oldest first *)
+  waiters : (int * (unit -> unit)) Queue.t;
+      (** (target, callback); targets are monotone (appended_total at force
+          time), so the queue is sorted and the ready prefix pops in O(ready) *)
   mutable force_in_flight : bool;
   mutable forces_issued : int;
   mutable incarnation : int;
@@ -74,7 +76,7 @@ let create engine ~disk ~model ~rng ?(max_batch = 16) () =
     in_flight_batch = [];
     appended_total = 0;
     durable_total = 0;
-    waiters = [];
+    waiters = Queue.create ();
     force_in_flight = false;
     forces_issued = 0;
     incarnation = 0;
@@ -127,10 +129,15 @@ let index_durable t (r : Log_record.t) =
     c.last_ckpt <- Lsn.max c.last_ckpt lsn
 
 let rec kick t =
-  let ready, pending = List.partition (fun (target, _) -> target <= t.durable_total) t.waiters in
-  t.waiters <- pending;
-  List.iter (fun (_, k) -> k ()) ready;
-  if t.waiters <> [] && not t.force_in_flight then begin
+  (* Waiters are sorted by target (appends are monotone), so the satisfied
+     prefix is exactly the queue front — no full-list partition per force. *)
+  while
+    (not (Queue.is_empty t.waiters)) && fst (Queue.peek t.waiters) <= t.durable_total
+  do
+    let _, k = Queue.pop t.waiters in
+    k ()
+  done;
+  if (not (Queue.is_empty t.waiters)) && not t.force_in_flight then begin
     t.force_in_flight <- true;
     t.forces_issued <- t.forces_issued + 1;
     (* Group commit: one device force covers up to [max_batch] of the records
@@ -166,7 +173,7 @@ let rec kick t =
   end
 
 let force t k =
-  t.waiters <- t.waiters @ [ (t.appended_total, k) ];
+  Queue.push (t.appended_total, k) t.waiters;
   kick t
 
 let append_and_force t record k =
@@ -180,7 +187,7 @@ let crash t =
   t.volatile_bytes <- 0;
   t.in_flight_batch <- [];
   t.appended_total <- t.durable_total;
-  t.waiters <- [];
+  Queue.clear t.waiters;
   t.force_in_flight <- false
 
 let wipe t =

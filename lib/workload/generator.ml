@@ -73,7 +73,18 @@ let next_key t =
         Sim.Rng.int t.rng hot_keys * stride
       else Sim.Rng.int t.rng t.key_space
   in
-  Printf.sprintf "%0*d" t.width k
+  (* Zero-padded decimal, equivalent to [Printf.sprintf "%0*d" t.width k]
+     for the non-negative k < 10^width generated above — hand-rolled because
+     this runs once per simulated request. *)
+  let b = Bytes.make t.width '0' in
+  let rec fill i k =
+    if k > 0 then begin
+      Bytes.unsafe_set b i (Char.unsafe_chr (48 + (k mod 10)));
+      fill (i - 1) (k / 10)
+    end
+  in
+  fill (t.width - 1) k;
+  Bytes.unsafe_to_string b
 
 let values : (int, string) Hashtbl.t = Hashtbl.create 4
 

@@ -47,6 +47,113 @@ let test_heap_cancel_after_pop_noop () =
   Sim.Event_heap.cancel h a;
   check_int "size stays zero" 0 (Sim.Event_heap.size h)
 
+(* The client timeout pattern: every request pushes a timer and cancels it
+   moments later. Without compaction the backing array grows with the number
+   of requests ever issued; with it the array tracks the live count. *)
+let test_heap_compaction_bounds_backing_array () =
+  let h = Sim.Event_heap.create () in
+  let handles =
+    Array.init 100_000 (fun i -> Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us i) i)
+  in
+  Array.iteri (fun i handle -> if i mod 100 <> 0 then Sim.Event_heap.cancel h handle) handles;
+  check_int "live" 1000 (Sim.Event_heap.size h);
+  Alcotest.(check bool)
+    "backing array is O(live)" true
+    (Sim.Event_heap.backing_len h <= 2 * Sim.Event_heap.size h);
+  (* Dead entries must still be invisible to pop, in (time, seq) order. *)
+  let popped = ref [] in
+  let rec drain () =
+    match Sim.Event_heap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+      popped := v :: !popped;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int))
+    "survivors in order"
+    (List.init 1000 (fun i -> i * 100))
+    (List.rev !popped)
+
+(* Model-based check: a heap driven by a random push/cancel/pop schedule must
+   agree with a naive sorted-list model on every pop, keep [size] equal to the
+   model's cardinality, and keep the backing array O(live) at every cancel. *)
+type heap_op = HPush of int | HCancel of int | HPop
+
+let arb_heap_ops =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (5, map (fun t -> HPush t) (int_range 0 500));
+          (4, map (fun i -> HCancel i) (int_range 0 5000));
+          (3, return HPop);
+        ])
+  in
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (function
+             | HPush t -> Printf.sprintf "push %d" t
+             | HCancel i -> Printf.sprintf "cancel %d" i
+             | HPop -> "pop")
+           l))
+    QCheck.Gen.(list_size (int_range 1 400) op_gen)
+
+let prop_event_heap_matches_model =
+  QCheck.Test.make ~name:"event heap: model equivalence (order, cancel, O(live) backing)"
+    ~count:300 arb_heap_ops (fun ops ->
+      let h = Sim.Event_heap.create () in
+      let handles = Hashtbl.create 64 in
+      (* seq -> time for entries the model still considers pending *)
+      let model = Hashtbl.create 64 in
+      let n_push = ref 0 in
+      let model_min () =
+        Hashtbl.fold
+          (fun seq time acc ->
+            match acc with
+            | Some (t', s') when t' < time || (t' = time && s' < seq) -> acc
+            | _ -> Some (time, seq))
+          model None
+      in
+      let pop_agrees () =
+        match (Sim.Event_heap.pop h, model_min ()) with
+        | None, None -> true
+        | Some (time, seq), Some (mt, ms) ->
+          Hashtbl.remove model ms;
+          seq = ms && time = Sim.Sim_time.at_us mt
+        | Some _, None | None, Some _ -> false
+      in
+      let step op =
+        (match op with
+        | HPush t ->
+          let handle = Sim.Event_heap.push h ~time:(Sim.Sim_time.at_us t) !n_push in
+          Hashtbl.replace handles !n_push handle;
+          Hashtbl.replace model !n_push t;
+          incr n_push;
+          true
+        | HCancel _ when !n_push = 0 -> true
+        | HCancel i ->
+          let i = i mod !n_push in
+          (* Cancel is idempotent and a no-op after pop, in heap and model. *)
+          let handle = Hashtbl.find handles i in
+          let effective = not (Sim.Event_heap.is_cancelled handle) in
+          Sim.Event_heap.cancel h handle;
+          Hashtbl.remove model i;
+          (* An effective cancel re-establishes the compaction invariant;
+             a no-op cancel (already popped/cancelled) need not. *)
+          (not effective)
+          || Sim.Event_heap.backing_len h <= Stdlib.max 64 (2 * Sim.Event_heap.size h)
+        | HPop -> pop_agrees ())
+        && Sim.Event_heap.size h = Hashtbl.length model
+      in
+      List.for_all step ops
+      &&
+      (* Drain: remaining live entries must come out in model order. *)
+      let rec drain () = if Hashtbl.length model = 0 then pop_agrees () else pop_agrees () && drain () in
+      drain ())
+
 (* --- engine ----------------------------------------------------------- *)
 
 let test_engine_runs_in_time_order () =
@@ -346,6 +453,9 @@ let suite =
     Alcotest.test_case "heap: FIFO on equal times" `Quick test_heap_fifo_ties;
     Alcotest.test_case "heap: cancellation" `Quick test_heap_cancel;
     Alcotest.test_case "heap: cancel after pop is noop" `Quick test_heap_cancel_after_pop_noop;
+    Alcotest.test_case "heap: compaction bounds backing array" `Quick
+      test_heap_compaction_bounds_backing_array;
+    QCheck_alcotest.to_alcotest prop_event_heap_matches_model;
     Alcotest.test_case "engine: time order" `Quick test_engine_runs_in_time_order;
     Alcotest.test_case "engine: clock advances" `Quick test_engine_clock_advances;
     Alcotest.test_case "engine: nested scheduling" `Quick test_engine_nested_scheduling;
