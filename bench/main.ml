@@ -4,8 +4,8 @@
    Usage:  dune exec bench/main.exe [-- EXPERIMENT...] [--quick] [--json [PATH]]
              [--trace-out [PATH]]
 
-   Experiments: fig1 fig8 fig9 read paxos-tuning table1 fig11 fig12 fig13 fig14 fig15
-   fig16 failover scaleout audit ablations micro all (default: all). Absolute numbers come from a
+   Experiments: fig1 fig8 fig9 read paxos-tuning table1 failover tail fig11 fig12
+   fig13 fig14 fig15 fig16 scaleout audit ablations micro all (default: all). Absolute numbers come from a
    calibrated simulation (see DESIGN.md); the paper-comparable quantity is
    the *shape* of each series.
 
@@ -438,6 +438,113 @@ let failover () =
     (Sim.Trace.dropped trace);
   record_field "failover_timeline" (Sim.Timeline.to_json timeline);
   record_field "crashed_leader" (J.Int leader)
+
+(* --- Tail attribution: critical-path segment breakdown vs load --------------- *)
+
+(* One fresh cluster per load level runs a closed-loop write workload under
+   full tracing; Sim.Critpath then partitions every committed write's
+   client-observed latency into disjoint critical-path segments. The
+   experiment asserts the bookkeeping — segments sum to the measured latency
+   within 1% on every request — and the physics: the dominant segment must
+   shift as load grows (a tail that is all log force at 1 writer must not
+   still be all log force at 48). The top level's flight recorder dumps its
+   pinned outliers as a Perfetto flow-event trace (TRACE_outliers.json). *)
+let tail () =
+  header "Tail attribution: critical-path segments vs load";
+  let loads = if !quick then [ 1; 8; 256 ] else [ 1; 4; 12; 48; 256 ] in
+  let span = if !quick then sec_f 3.0 else sec_f 8.0 in
+  let cdf_json h =
+    J.List
+      (List.map
+         (fun p ->
+           J.Obj
+             [ ("p", J.Float p); ("us", J.Float (Sim.Metrics.Histogram.percentile h p)) ])
+         [ 0.10; 0.25; 0.50; 0.75; 0.90; 0.95; 0.99; 0.995; 0.999; 1.0 ])
+  in
+  let outlier_json = ref None in
+  let dominants = ref [] in
+  let levels =
+    List.map
+      (fun threads ->
+        (* A big ring so the whole measured window survives for analysis. *)
+        let config = { Config.default with Config.trace_capacity = 1 lsl 20 } in
+        let engine, cluster = spin_cluster ~config ~lean:false () in
+        let client = Cluster.new_client cluster in
+        let cursor = ref 0 in
+        let value = Workload.Generator.value ~size:1024 in
+        let rec writer () =
+          let key =
+            Partition.key_of_int (Cluster.partition cluster)
+              (!cursor mod config.Config.key_space)
+          in
+          incr cursor;
+          Client.put client key "c" ~value (fun _ -> writer ())
+        in
+        for _ = 1 to threads do
+          writer ()
+        done;
+        Sim.Engine.run_for engine span;
+        let trace = Cluster.trace cluster in
+        let analysis =
+          Sim.Critpath.analyze ~dropped:(Sim.Trace.dropped trace)
+            ~events:(Sim.Trace.events trace) ()
+        in
+        if analysis.Sim.Critpath.requests = [] then
+          failwith (Printf.sprintf "tail: no analyzable writes at %d writers" threads);
+        let attr = Sim.Metrics.Attribution.create () in
+        let worst = ref 0.0 in
+        List.iter
+          (fun r ->
+            let e = Sim.Critpath.conservation_error r in
+            if e > !worst then worst := e;
+            Sim.Critpath.record attr r)
+          analysis.Sim.Critpath.requests;
+        if !worst > 0.01 then
+          failwith
+            (Printf.sprintf "tail: conservation violated at %d writers (max error %.4f)"
+               threads !worst);
+        let dominant =
+          Option.value ~default:"?" (Sim.Metrics.Attribution.dominant attr)
+        in
+        dominants := dominant :: !dominants;
+        let total = Sim.Metrics.Attribution.total attr in
+        let pct p = Sim.Metrics.Histogram.percentile total p /. 1000.0 in
+        Format.printf
+          "  %4d writers: %5d writes  p50 %8.2f ms  p99 %8.2f ms  p99.9 %8.2f ms  \
+           dominant %s@."
+          threads (Sim.Metrics.Attribution.count attr) (pct 0.50) (pct 0.99) (pct 0.999)
+          dominant;
+        Format.printf "  %4s %a@." "" Sim.Metrics.Attribution.pp attr;
+        (* The highest load level's flight recorder ships the outlier dump. *)
+        outlier_json := Some (Sim.Trace_export.outliers_to_json (Cluster.flight cluster));
+        J.Obj
+          [
+            ("threads", J.Int threads);
+            ("writes", J.Int (Sim.Metrics.Attribution.count attr));
+            ("dominant", J.String dominant);
+            ("max_conservation_error", J.Float !worst);
+            ("latency_cdf", cdf_json total);
+            ("attribution", Sim.Metrics.Attribution.to_json attr);
+            ("critpath", Sim.Critpath.to_json analysis);
+          ])
+      loads
+  in
+  record_field "levels" (J.List levels);
+  let order = List.rev !dominants in
+  Format.printf "  dominant segment by load: %s@." (String.concat " -> " order);
+  record_field "dominants" (J.List (List.map (fun d -> J.String d) order));
+  if List.length (List.sort_uniq String.compare order) < 2 then
+    failwith "tail: dominant segment never shifted across load levels";
+  (* Always emit the outlier trace; CI uploads TRACE_*.json. It must
+     round-trip through the JSON parser — Perfetto is stricter than we are. *)
+  (match !outlier_json with
+  | None -> ()
+  | Some json ->
+    let path = "TRACE_outliers.json" in
+    J.to_file path json;
+    (match J.of_file path with
+    | Ok _ -> Format.printf "  wrote %s (outlier flight-recorder trace)@." path
+    | Error e -> failwith (Printf.sprintf "TRACE_outliers.json does not round-trip: %s" e)))
 
 (* --- Read path: hot vs uniform key mixes over a preloaded LSM ---------------- *)
 
@@ -1355,6 +1462,7 @@ let all_experiments =
     ("paxos-tuning", paxos_tuning);
     ("table1", table1);
     ("failover", failover);
+    ("tail", tail);
     ("fig11", fig11);
     ("fig12", fig12);
     ("fig13", fig13);

@@ -11,6 +11,7 @@ type pending = {
           attempt is in flight (reply arrived, or a retry is backing off) *)
   trace_id : int;
   span : int;  (** open [request] span; 0 when the client has no trace *)
+  started : Sim.Sim_time.t;  (** submit instant (flight-recorder latency) *)
 }
 
 type t = {
@@ -25,6 +26,9 @@ type t = {
       (** read the serialized routing table published on /layout; the client
           refreshes its cached copy on a [Wrong_range] redirect *)
   trace : Sim.Trace.t option;
+  flight : Sim.Trace.Flight.t option;
+      (** outlier flight recorder; fed every completed request so the
+          slowest ones keep their trace events pinned past ring eviction *)
   (* Direct-mapped pending table: request ids are monotone, so slot
      [rid mod capacity] is collision-free as long as the capacity exceeds the
      live id window — the table doubles on collision. Replaces a per-request
@@ -72,13 +76,18 @@ let reply_name = function
   | Message.Not_leader _ -> "not_leader"
   | Message.Wrong_range _ -> "wrong_range"
 
-(* Close the request's [client.request] span with its final outcome. *)
+(* Close the request's [client.request] span with its final outcome, then
+   offer the completed request to the flight recorder — the note must come
+   after the span close so a pinned outlier's capture includes it. *)
 let settle t p outcome =
-  match t.trace with
+  (match t.trace with
   | Some trace when p.span <> 0 ->
     Sim.Trace.span_end trace ~span:p.span ~trace_id:p.trace_id ~node:t.id ~tag:"client.request"
       outcome
-  | _ -> ()
+  | _ -> ());
+  match t.flight with
+  | Some f -> Sim.Trace.Flight.note f ~trace_id:p.trace_id ~started:p.started
+  | None -> ()
 
 let note_retry t request_id p =
   match t.trace with
@@ -174,7 +183,7 @@ let strong_route op =
 let rec dispatch t request_id p =
   let dst = target_for t ~strong:(strong_route p.op) p.op in
   let msg = Message.Request { client = t.id; request_id; op = p.op } in
-  Sim.Network.send t.net ~src:t.id ~dst ~size:(Message.size msg) msg;
+  Sim.Network.send t.net ~src:t.id ~dst ~size:(Message.size msg) ~trace_id:p.trace_id msg;
   let deadline = Sim.Sim_time.add (Sim.Engine.now t.engine) t.config.Config.client_timeout in
   p.deadline <- deadline;
   Queue.push (request_id, deadline) t.timeouts;
@@ -288,7 +297,7 @@ let handle_reply t request_id reply =
       settle t p (reply_name reply);
       p.deliver reply)
 
-let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader
+let create ~engine ~net ~partition ~config ~id ?trace ?flight ~lookup_leader
     ?(fetch_layout = fun k -> k None) () =
   let t =
     {
@@ -301,6 +310,7 @@ let create ~engine ~net ~partition ~config ~id ?trace ~lookup_leader
       lookup_leader;
       fetch_layout;
       trace;
+      flight;
       pending_rid = Array.make 64 (-1);
       pending_slot = Array.make 64 None;
       leaders = Array.make 16 (-1);
@@ -328,7 +338,17 @@ let submit t op deliver =
         (Printf.sprintf "c%d#%d %s" t.id request_id (op_name op))
     | _ -> 0
   in
-  let p = { op; deliver; attempts = 0; deadline = Sim.Sim_time.zero; trace_id; span } in
+  let p =
+    {
+      op;
+      deliver;
+      attempts = 0;
+      deadline = Sim.Sim_time.zero;
+      trace_id;
+      span;
+      started = Sim.Engine.now t.engine;
+    }
+  in
   pending_insert t request_id p;
   dispatch t request_id p
 

@@ -27,6 +27,7 @@ val create :
   config:Config.t ->
   id:int ->
   ?trace:Sim.Trace.t ->
+  ?flight:Sim.Trace.Flight.t ->
   lookup_leader:(range:int -> (int option -> unit) -> unit) ->
   ?fetch_layout:((string option -> unit) -> unit) ->
   unit ->
@@ -34,7 +35,13 @@ val create :
 (** [trace] enables causal request spans: each submitted operation opens a
     [client.request] span (trace id derived from [(id, request_id)] via
     {!Sim.Trace.request_trace_id}) closed with the final outcome, with
-    [client.retry] instants per retransmission.
+    [client.retry] instants per retransmission. Every request additionally
+    tags its network messages so {!Sim.Network} stamps [net.transit] spans
+    into the same trace.
+
+    [flight] attaches the outlier flight recorder: every completed request
+    is reported to it, and the window's top-K slowest keep their trace
+    events pinned past ring-buffer eviction.
 
     [partition] should be the client's own copy of the routing table
     ({!Partition.copy}); [fetch_layout] reads the serialized layout published

@@ -6,6 +6,7 @@ type t = {
   zk_server : Coord.Zk_server.t;
   mutable nodes : Node.t array;  (** grows when nodes are added at runtime *)
   trace : Sim.Trace.t;
+  flight : Sim.Trace.Flight.t;
   metrics : Sim.Metrics.Registry.t;
   mutable next_client : int;
 }
@@ -75,7 +76,16 @@ let create engine config =
   Coord.Zk_server.attach_trace zk_server trace;
   bootstrap_zk zk_server partition;
   Sim.Network.attach_trace net trace;
+  let flight =
+    Sim.Trace.Flight.create ~top_k:config.Config.outlier_top_k
+      ~window:config.Config.outlier_window trace
+  in
   let metrics = Sim.Metrics.Registry.create engine in
+  (* Ring-eviction visibility: a non-zero [trace_dropped] means analyses over
+     the ring (critical paths, timelines) may be missing events. *)
+  ignore
+    (Sim.Metrics.Registry.register_gauge metrics ~node:(-1) ~name:"trace_dropped" (fun () ->
+         Sim.Trace.dropped trace));
   let nodes =
     Array.init config.Config.nodes (fun id ->
         Node.create ~engine ~net ~zk_server ~partition ~config ~trace ~id)
@@ -83,7 +93,8 @@ let create engine config =
   (* Resource gauges, one series per node (and per cohort where the resource
      is per-range); sampled by the registry ticker once the cluster starts. *)
   Array.iter (register_node_gauges metrics) nodes;
-  { engine; config; partition; net; zk_server; nodes; trace; metrics; next_client = 10_000 }
+  { engine; config; partition; net; zk_server; nodes; trace; flight; metrics;
+    next_client = 10_000 }
 
 let start t =
   Array.iter Node.start t.nodes;
@@ -99,6 +110,7 @@ let partition t = t.partition
 let net t = t.net
 let zk_server t = t.zk_server
 let trace t = t.trace
+let flight t = t.flight
 let metrics t = t.metrics
 let node t i = t.nodes.(i)
 let nodes t = t.nodes
@@ -250,7 +262,7 @@ let new_client t =
      answers make it re-fetch /layout (§10). *)
   Client.create ~engine:t.engine ~net:t.net
     ~partition:(Partition.copy t.partition)
-    ~config:t.config ~id ~trace:t.trace ~lookup_leader ~fetch_layout ()
+    ~config:t.config ~id ~trace:t.trace ~flight:t.flight ~lookup_leader ~fetch_layout ()
 
 (* Administrative rebalancing entry points. Both are asynchronous: they ask
    the range's current leader to drive the protocol and return immediately;

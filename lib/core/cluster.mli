@@ -29,8 +29,16 @@ val trace : t -> Sim.Trace.t
     [Config.trace_capacity]); shared by nodes, cohorts, clients, the
     network, and the coordination service. *)
 
+val flight : t -> Sim.Trace.Flight.t
+(** The cluster-wide outlier flight recorder: every client created through
+    {!new_client} reports its completed requests here, and each
+    [Config.outlier_window]'s top [Config.outlier_top_k] slowest keep their
+    trace events pinned past ring eviction (export with
+    {!Sim.Trace_export.outliers_to_file}). *)
+
 val metrics : t -> Sim.Metrics.Registry.t
-(** The cluster metrics registry. [create] registers per-node gauges
+(** The cluster metrics registry. [create] registers the cluster-wide
+    [trace_dropped] gauge (ring-buffer evictions) and per-node gauges
     ([wal_volatile_bytes] and, per hosted range [r<N>],
     [r<N>_memtable_bytes], [r<N>_sstable_count], [r<N>_commit_queue_depth],
     [r<N>_reply_cache_size], [r<N>_cache_hits], [r<N>_cache_misses],

@@ -16,7 +16,9 @@ type ctx = {
   wal : Storage.Wal.t;
   cpu : Sim.Resource.t;
   trace : Sim.Trace.t;
-  send : dst:int -> Message.t -> unit;
+  send : ?trace_id:int -> dst:int -> Message.t -> unit;
+      (** [trace_id] tags the message's network-transit span so the causal
+          analyzer can stitch the hop into the owning request's DAG *)
   reply : client:int -> request_id:int -> Message.client_reply -> unit;
   zk : unit -> Coord.Zk_client.t;
   incarnation : unit -> int;
@@ -110,9 +112,10 @@ type t = {
       (** last accepted leader traffic; silence beyond a few commit periods
           means our propose stream may have a hole we cannot see *)
   mutable resync_armed : bool;
-  mutable ack_pending : (int * Lsn.t) option;
-      (** (leader, upto) of a coalesced cumulative ack not yet sent
-          ([Config.ack_coalesce] > 0) *)
+  mutable ack_pending : (int * Lsn.t * int) option;
+      (** (leader, upto, trace id) of a coalesced cumulative ack not yet sent
+          ([Config.ack_coalesce] > 0); the trace id belongs to the newest
+          write the ack covers (-1 when untraced) *)
   mutable ack_timer_armed : bool;
   (* election state *)
   mutable election_running : bool;
@@ -222,6 +225,29 @@ let guard t k =
   fun x -> if t.ctx.incarnation () = inc && t.role <> Offline then k x
 
 let now_us t = Sim.Sim_time.time_to_us (Sim.Engine.now t.ctx.engine)
+
+(* Trace id for a Propose batch: the newest write in the batch that carries an
+   originating (client, request id). Tagging the batch's transit span with it
+   lets the causal analyzer charge the propose hop to that request; writes
+   without an origin (metadata records, rebuilt tails) leave the hop
+   untagged. *)
+let propose_trace_id t writes =
+  if tracing t then
+    match
+      List.fold_left
+        (fun acc (_, _, _, origin) -> match origin with Some _ -> origin | None -> acc)
+        None writes
+    with
+    | Some (client, request_id) -> Sim.Trace.request_trace_id ~client ~request_id
+    | None -> -1
+  else -1
+
+(* Sample one network hop into the write-phase transit histogram: messages
+   carry their send instant, so arrival minus [sent_at] is the measured
+   one-way wire time (propagation + serialization + queueing in the model). *)
+let record_transit t ~sent_at =
+  Sim.Metrics.Histogram.record_span t.phases.transit
+    (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) sent_at)
 
 (* Forward reference: every path that makes this replica a follower must arm
    the leader-liveness watch, but the watch function lives in the election
@@ -400,7 +426,8 @@ and send_commit_msgs t =
     let msg =
       Message.Propose { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt = None }
     in
-    List.iter (fun f -> t.ctx.send ~dst:f msg) t.active_followers
+    let trace_id = propose_trace_id t writes in
+    List.iter (fun f -> t.ctx.send ~trace_id ~dst:f msg) t.active_followers
   end;
   if Lsn.(t.cmt > Lsn.zero) then
     (* The leader saves its last committed LSN with a non-forced log write,
@@ -610,7 +637,8 @@ and propose_now t writes =
     else None
   in
   let msg = Message.Propose { range = t.ctx.range; epoch = t.epoch; writes; piggyback_cmt } in
-  List.iter (fun f -> t.ctx.send ~dst:f msg) t.active_followers
+  let trace_id = propose_trace_id t writes in
+  List.iter (fun f -> t.ctx.send ~trace_id ~dst:f msg) t.active_followers
 
 (* Replication pipelining ("Paxos in the Cloud"): with a finite window, at
    most [pipeline_depth] Propose batches may be awaiting commit; writes that
@@ -831,53 +859,73 @@ let apply_commits t ~upto =
    per Propose, note the newest contiguous-forced prefix and answer once per
    coalescing window. Acks are cumulative, so sending only the latest value
    loses nothing; the window only defers when the leader learns it. *)
-let send_ack_now t ~dst ~upto =
-  t.ctx.send ~dst (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
+let send_ack_now t ~dst ~upto ~trace_id =
+  t.ctx.send ~trace_id ~dst (Message.Ack { range = t.ctx.range; from = t.ctx.node_id; upto })
 
 let flush_ack t =
   t.ack_timer_armed <- false;
   match t.ack_pending with
-  | Some (dst, upto) ->
+  | Some (dst, upto, trace_id) ->
     t.ack_pending <- None;
-    if t.role = Follower then send_ack_now t ~dst ~upto
+    if t.role = Follower then send_ack_now t ~dst ~upto ~trace_id
   | None -> ()
 
-let send_or_coalesce_ack t ~dst ~upto =
+let send_or_coalesce_ack t ~dst ~upto ~trace_id =
   let window = t.ctx.config.Config.ack_coalesce in
   if Sim.Sim_time.span_compare window Sim.Sim_time.span_zero <= 0 then
-    send_ack_now t ~dst ~upto
+    send_ack_now t ~dst ~upto ~trace_id
   else begin
-    (* Latest leader wins the destination; upto is monotone under Lsn.max. *)
-    let upto =
-      match t.ack_pending with Some (_, prev) -> Lsn.max prev upto | None -> upto
+    (* Latest leader wins the destination; upto is monotone under Lsn.max,
+       and the trace id travels with whichever upto wins (the coalesced ack
+       is causally the newest covered write's ack; earlier requests it also
+       covers see the coalescing delay as ack wait). *)
+    let upto, trace_id =
+      match t.ack_pending with
+      | Some (_, prev, prev_tid) ->
+        if Lsn.(upto >= prev) then (upto, trace_id) else (prev, prev_tid)
+      | None -> (upto, trace_id)
     in
-    t.ack_pending <- Some (dst, upto);
+    t.ack_pending <- Some (dst, upto, trace_id);
     if not t.ack_timer_armed then begin
       t.ack_timer_armed <- true;
       after t window (fun () -> flush_ack t)
     end
   end
 
-let handle_propose t ~src ~epoch ~writes ~piggyback_cmt =
+let handle_propose t ~src ~sent_at ~epoch ~writes ~piggyback_cmt =
   if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
     accept_leader t ~src ~epoch;
+    record_transit t ~sent_at;
     (* Writes at or below the commit point are known-committed duplicates;
        anything above it goes through the normal protocol — append, force,
        ack (Figure 4). Retransmissions (takeover re-proposals, Figure 6 line
        9, and the leader's periodic re-proposes under loss) are deduplicated
        by LSN so the log is not polluted with copies. *)
     let appended = ref [] in
+    let newest_origin = ref None in
     List.iter
       (fun (lsn, op, timestamp, origin) ->
         if Lsn.(lsn > t.cmt) then begin
           if not (Commit_queue.mem t.queue lsn) then begin
             Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ();
             Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp ?origin op);
-            appended := lsn :: !appended
+            appended := lsn :: !appended;
+            if origin <> None then newest_origin := origin
           end
         end)
       writes;
+    let force_tid =
+      match !newest_origin with
+      | Some (client, request_id) when tracing t ->
+        Sim.Trace.request_trace_id ~client ~request_id
+      | _ -> -1
+    in
+    let force_span =
+      if !appended <> [] then span_start t ~trace_id:force_tid ~tag:"follower.force" ""
+      else 0
+    in
     let ack () =
+      span_end t ~span:force_span ~trace_id:force_tid ~tag:"follower.force" "locally durable";
       (* Mark exactly what this propose appended as forced (a concurrent
          retransmission may have back-filled an older LSN whose force is
          still in flight), then ack only the seq-contiguous forced prefix:
@@ -900,7 +948,19 @@ let handle_propose t ~src ~epoch ~writes ~piggyback_cmt =
          missing a committed write could otherwise out-bid the replica that
          actually has it, and the write would be logically truncated away. *)
       t.lst <- Lsn.max t.lst upto;
-      if Lsn.(upto > Lsn.zero) then send_or_coalesce_ack t ~dst:src ~upto
+      if Lsn.(upto > Lsn.zero) then begin
+        (* Tag the ack with the newest covered write's request, read from the
+           queue entry at the acked point — cumulative acks answer the whole
+           forced prefix, and that entry's commit is what the ack unblocks. *)
+        let trace_id =
+          if tracing t then
+            match Commit_queue.origin_at t.queue upto with
+            | Some (client, request_id) -> Sim.Trace.request_trace_id ~client ~request_id
+            | None -> -1
+          else -1
+        in
+        send_or_coalesce_ack t ~dst:src ~upto ~trace_id
+      end
     in
     if !appended <> [] then Wal.force t.ctx.wal (guard t ack) else ack ();
     match piggyback_cmt with
@@ -1936,15 +1996,16 @@ let skipped_lsns t = Skipped_lsns.to_list (Store.skipped t.ctx.store)
 (* ------------------------------------------------------------------ *)
 (* Dispatch.                                                            *)
 
-let handle_peer t ~src msg =
+let handle_peer t ~src ~sent_at msg =
   match msg with
   | Message.Propose { epoch; writes; piggyback_cmt; _ } ->
-    handle_propose t ~src ~epoch ~writes ~piggyback_cmt
+    handle_propose t ~src ~sent_at ~epoch ~writes ~piggyback_cmt
   | Message.Ack { from; upto; _ } ->
     (* Only members' acks count toward the majority: a learner's ack must
        not help commit a write the old configuration has not accepted — the
        learner could vanish with the only durable copy. *)
     if t.role = Leader && List.mem from (t.ctx.members ()) then begin
+      record_transit t ~sent_at;
       Commit_queue.add_ack t.queue ~from ~upto;
       try_commit t
     end

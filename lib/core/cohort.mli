@@ -29,7 +29,9 @@ type ctx = {
   wal : Storage.Wal.t;
   cpu : Sim.Resource.t;
   trace : Sim.Trace.t;
-  send : dst:int -> Message.t -> unit;
+  send : ?trace_id:int -> dst:int -> Message.t -> unit;
+      (** [trace_id] tags the message's network-transit span so the causal
+          analyzer can stitch the hop into the owning request's DAG *)
   reply : client:int -> request_id:int -> Message.client_reply -> unit;
   zk : unit -> Coord.Zk_client.t;  (** current session (changes on restart) *)
   incarnation : unit -> int;  (** node incarnation; timers check it *)
@@ -161,12 +163,16 @@ val skipped_lsns : t -> Storage.Lsn.t list
 (** The replica's skipped-LSN list (§6.1.1), ascending. *)
 
 val write_phases : t -> Sim.Metrics.Write_phases.t
-(** Per-phase latency breakdown (queue / force / replication / apply) of
-    every write this cohort led to commit, accumulated across the cohort's
-    lifetime (crashes clear in-flight tracking but keep the samples). *)
+(** Per-phase latency breakdown (queue / force / replication / apply, plus
+    measured per-hop network transit) of every write this cohort led to
+    commit, accumulated across the cohort's lifetime (crashes clear in-flight
+    tracking but keep the samples). *)
 
 (** {2 Event handling} (called by the node's dispatcher) *)
 
 val handle_client : t -> client:int -> request_id:int -> Message.client_op -> unit
 
-val handle_peer : t -> src:int -> Message.t -> unit
+val handle_peer : t -> src:int -> sent_at:Sim.Sim_time.t -> Message.t -> unit
+(** [sent_at] is the envelope's send instant ({!Sim.Network.envelope}); the
+    cohort samples arrival − [sent_at] into the transit phase histogram for
+    Proposes (follower side) and Acks (leader side). *)

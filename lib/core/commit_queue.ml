@@ -122,6 +122,9 @@ let mark_forced t lsn =
     end
   | None -> ()
 
+let origin_at t lsn =
+  match Lsn_map.find_opt lsn t.entries with Some e -> e.origin | None -> None
+
 let add_ack t ~from ~upto =
   let applied =
     match Hashtbl.find_opt t.acked_upto from with

@@ -47,6 +47,11 @@ val mark_forced_upto : t -> Storage.Lsn.t -> unit
 val mark_forced : t -> Storage.Lsn.t -> unit
 (** Mark a single entry's log record as forced. *)
 
+val origin_at : t -> Storage.Lsn.t -> (int * int) option
+(** Issuing (client, request id) of the entry at the given LSN, when it is
+    still queued and carried one — lets a follower tag its cumulative Ack
+    with the trace of the newest write the Ack covers. *)
+
 val add_ack : t -> from:int -> upto:Storage.Lsn.t -> unit
 
 val pop_committable : t -> acks_needed:int -> entry list

@@ -35,6 +35,8 @@ type t = {
   client_max_attempts : int;
   metrics_sample_period : Sim.Sim_time.span;
   trace_capacity : int;
+  outlier_top_k : int;
+  outlier_window : Sim.Sim_time.span;
   xfer_bytes_per_sec : float;
   snapshot_chunk_bytes : int;
   learner_timeout : Sim.Sim_time.span;
@@ -70,6 +72,8 @@ let default =
     client_max_attempts = 60;
     metrics_sample_period = Sim.Sim_time.ms 100;
     trace_capacity = Sim.Trace.default_capacity;
+    outlier_top_k = 5;
+    outlier_window = Sim.Sim_time.sec 1;
     xfer_bytes_per_sec = 100e6;
     snapshot_chunk_bytes = 512 * 1024;
     learner_timeout = Sim.Sim_time.sec 30;

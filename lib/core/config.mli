@@ -44,6 +44,10 @@ type t = {
   metrics_sample_period : Sim.Sim_time.span;
       (** gauge sampling interval for the cluster metrics registry *)
   trace_capacity : int;  (** trace ring-buffer capacity (events retained) *)
+  outlier_top_k : int;
+      (** flight recorder: slowest requests pinned per window (0 disables) *)
+  outlier_window : Sim.Sim_time.span;
+      (** flight recorder: window over which the top-K slowest are tracked *)
   xfer_bytes_per_sec : float;
       (** snapshot-transfer bandwidth per node (replica migration) *)
   snapshot_chunk_bytes : int;  (** snapshot ship chunk size *)

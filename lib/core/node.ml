@@ -31,11 +31,18 @@ let wal t = t.wal
 let ranges t = List.map fst t.cohorts
 let cohort t ~range = List.assoc_opt range t.cohorts
 
-let send t ~dst msg =
-  if t.alive then t.net |> fun net -> Sim.Network.send net ~src:t.id ~dst ~size:(Message.size msg) msg
+let send t ?(trace_id = -1) ~dst msg =
+  if t.alive then
+    Sim.Network.send t.net ~src:t.id ~dst ~size:(Message.size msg) ~trace_id msg
 
 let reply t ~client ~request_id reply =
-  send t ~dst:client (Message.Reply { request_id; reply })
+  (* The reply's transit span joins the request's causal DAG: the owning
+     trace id is a pure function of (client, request id). *)
+  let trace_id =
+    if Sim.Trace.is_enabled t.trace then Sim.Trace.request_trace_id ~client ~request_id
+    else -1
+  in
+  send t ~trace_id ~dst:client (Message.Reply { request_id; reply })
 
 (* The session-renewal path wants to reconcile the layout, but the membership
    machinery is defined after the reconnect loop; tied together below. *)
@@ -126,7 +133,7 @@ let rec make_cohort_with_store t range store =
       wal = t.wal;
       cpu = t.cpu;
       trace = t.trace;
-      send = (fun ~dst msg -> send t ~dst msg);
+      send = (fun ?trace_id ~dst msg -> send t ?trace_id ~dst msg);
       reply = (fun ~client ~request_id r -> reply t ~client ~request_id r);
       zk = (fun () -> zk_exn t);
       incarnation = (fun () -> incarnation t);
@@ -355,7 +362,7 @@ let handle t (env : Message.t Sim.Network.envelope) =
     | Message.Reply _ -> ()
     | Message.Snapshot_chunk { range; _ } -> (
       match ensure_learner t ~range ~src:env.src with
-      | Some c -> Cohort.handle_peer c ~src:env.src env.payload
+      | Some c -> Cohort.handle_peer c ~src:env.src ~sent_at:env.sent_at env.payload
       | None -> ())
     | Message.Propose { range; _ }
     | Message.Ack { range; _ }
@@ -367,7 +374,7 @@ let handle t (env : Message.t Sim.Network.envelope) =
     | Message.Catchup_done { range; _ }
     | Message.Snapshot_ack { range; _ } -> (
       match cohort t ~range with
-      | Some c -> Cohort.handle_peer c ~src:env.src env.payload
+      | Some c -> Cohort.handle_peer c ~src:env.src ~sent_at:env.sent_at env.payload
       | None -> ())
   end
 

@@ -1,0 +1,80 @@
+(** Critical-path analysis over the causal trace.
+
+    Reconstructs each request's causal DAG from the ring buffer —
+    ["client.request"] and leader-side ["phase.*"] spans, ["follower.force"]
+    spans, and the ["net.transit"] spans {!Network} stamps on every tagged
+    message — and partitions the client-observed latency window into disjoint
+    critical-path segments via a monotone milestone sweep. The sweep starts
+    at the submit instant and ends exactly at the reply instant, so the
+    segments sum to the end-to-end latency {e by construction} (see
+    {!conservation_error}); a missing causal edge (coalesced ack tagged with
+    another request, evicted event) degrades to a coarser charge and flags
+    the request [incomplete] rather than mis-attributing. *)
+
+(** One disjoint slice of a request's latency:
+    - [Retry]: client-side retry/backoff (failed attempts, timeouts) plus
+      final settling
+    - [Transit]: network wire time on the critical path (request, propose,
+      ack, reply)
+    - [Queue]: leader CPU queue wait (including parking while the cohort was
+      closed)
+    - [Force]: leader-local log force when it was the binding branch of the
+      force ∥ replication section
+    - [Follower_force]: the quorum-closing follower's log force
+    - [Ack_wait]: replication wait not explained by wire or follower force —
+      pipeline hold-back, ack coalescing delay, in-order quorum wait
+    - [Apply]: commit apply and reply issue on the leader *)
+type segment = Retry | Transit | Queue | Force | Follower_force | Ack_wait | Apply
+
+val all_segments : segment list
+(** Canonical order. *)
+
+val segment_name : segment -> string
+(** Stable JSON/attribution key: ["retry"], ["transit"], ["queue"],
+    ["force"], ["follower_force"], ["ack_wait"], ["apply"]. *)
+
+type request = {
+  trace_id : int;
+  client : int;
+  leader : int;
+  total_us : float;  (** measured client latency (submit to settle) *)
+  segments : (segment * float) list;
+      (** every segment in canonical order, µs; zero-duration included *)
+  dominant : segment;  (** the segment with the largest share *)
+  incomplete : bool;
+      (** a causal edge was missing, so some charge is coarser than usual *)
+}
+
+type analysis = {
+  requests : request list;
+  skipped : int;
+      (** traces that are not committed writes (reads, unfinished requests) *)
+  dropped : int;  (** ring-buffer events overwritten during the window *)
+  incomplete : bool;  (** [dropped > 0]: attribution may be missing requests *)
+}
+
+val analyze_request : events:Trace.event list -> request option
+(** Analyze one request from its events (chronological, all sharing one
+    trace id). [None] when the trace lacks the committed-write span pattern. *)
+
+val analyze : ?dropped:int -> events:Trace.event list -> unit -> analysis
+(** Group events by trace id and analyze each. Pass [dropped] (from
+    [Trace.dropped]) so the analysis honestly reports when the window lost
+    events instead of silently under-counting. *)
+
+val conservation_error : request -> float
+(** [|total - Σ segments| / total]; ~0 by construction (integer-µs exact). *)
+
+val record : Metrics.Attribution.t -> request -> unit
+(** Feed one request's segments (and its total) into per-segment attribution
+    histograms. *)
+
+val request_to_json : request -> Json.t
+(** [{trace_id, client, leader, total_us, dominant, incomplete,
+    segments: {<name>: µs}}]. *)
+
+val to_json : analysis -> Json.t
+(** Summary: [{requests, skipped, dropped_events, incomplete,
+    max_conservation_error}]. *)
+
+val pp : Format.formatter -> analysis -> unit

@@ -206,8 +206,16 @@ module Histogram = struct
         ("p50_us", Json.Float (percentile t 0.5));
         ("p95_us", Json.Float (percentile t 0.95));
         ("p99_us", Json.Float (percentile t 0.99));
+        ("p999_us", Json.Float (percentile t 0.999));
         ("max_us", Json.Float (max t));
       ]
+
+  let sum t =
+    let s = ref 0.0 in
+    for i = 0 to t.len - 1 do
+      s := !s +. t.samples.(i)
+    done;
+    !s
 end
 
 (* Per-phase breakdown of the leader-side write path (Figure 4): CPU queue
@@ -220,6 +228,7 @@ module Write_phases = struct
     force : Histogram.t;  (** log append -> local force durable *)
     replication : Histogram.t;  (** log append -> in-order quorum (commit eligible) *)
     apply : Histogram.t;  (** commit eligible -> applied and reply issued *)
+    transit : Histogram.t;  (** measured one-way network time per replication message *)
   }
 
   let create () =
@@ -228,6 +237,7 @@ module Write_phases = struct
       force = Histogram.create ~name:"force" ();
       replication = Histogram.create ~name:"replication" ();
       apply = Histogram.create ~name:"apply" ();
+      transit = Histogram.create ~name:"transit" ();
     }
 
   let merge a b =
@@ -236,13 +246,15 @@ module Write_phases = struct
       force = Histogram.merge a.force b.force;
       replication = Histogram.merge a.replication b.replication;
       apply = Histogram.merge a.apply b.apply;
+      transit = Histogram.merge a.transit b.transit;
     }
 
   let clear t =
     Histogram.clear t.queue;
     Histogram.clear t.force;
     Histogram.clear t.replication;
-    Histogram.clear t.apply
+    Histogram.clear t.apply;
+    Histogram.clear t.transit
 
   let count t = Histogram.count t.replication
 
@@ -253,16 +265,95 @@ module Write_phases = struct
         ("force", Histogram.json_summary t.force);
         ("replication", Histogram.json_summary t.replication);
         ("apply", Histogram.json_summary t.apply);
+        ("transit", Histogram.json_summary t.transit);
       ]
 
   let pp ppf t =
     Format.fprintf ppf
-      "write phases (mean ms): queue %.2f, force %.2f, replication %.2f, apply %.2f (%d writes)"
+      "write phases (mean ms): queue %.2f, force %.2f, replication %.2f (transit %.2f), apply \
+       %.2f (%d writes)"
       (Histogram.mean t.queue /. 1e3)
       (Histogram.mean t.force /. 1e3)
       (Histogram.mean t.replication /. 1e3)
+      (Histogram.mean t.transit /. 1e3)
       (Histogram.mean t.apply /. 1e3)
       (count t)
+end
+
+(* Per-segment critical-path attribution: one histogram per named segment
+   (leader queue, force, transit, ...), fed by [Critpath.record]. Kept
+   string-keyed so this module does not depend on the segment enumeration —
+   the analyzer owns the names, the registry owns the numbers. *)
+module Attribution = struct
+  type t = {
+    mutable segments : (string * Histogram.t) list;  (** registration order *)
+    total : Histogram.t;
+  }
+
+  let create () = { segments = []; total = Histogram.create ~name:"total" () }
+
+  let histogram t name =
+    match List.assoc_opt name t.segments with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create ~name () in
+      t.segments <- t.segments @ [ (name, h) ];
+      h
+
+  let record t ~segment us = Histogram.record (histogram t segment) us
+  let record_total t us = Histogram.record t.total us
+  let count t = Histogram.count t.total
+  let segments t = t.segments
+  let total t = t.total
+
+  (* The segment owning the largest share of total attributed time. *)
+  let dominant t =
+    match t.segments with
+    | [] -> None
+    | segs ->
+      let name, sum =
+        List.fold_left
+          (fun (bn, bs) (name, h) ->
+            let s = Histogram.sum h in
+            if s > bs then (name, s) else (bn, bs))
+          ("", neg_infinity) segs
+      in
+      if sum > 0.0 then Some name else None
+
+  let to_json t =
+    let grand = Histogram.sum t.total in
+    Json.Obj
+      [
+        ("requests", Json.Int (count t));
+        ( "dominant",
+          match dominant t with Some s -> Json.String s | None -> Json.Null );
+        ("total", Histogram.json_summary t.total);
+        ( "segments",
+          Json.Obj
+            (List.map
+               (fun (name, h) ->
+                 let s = Histogram.sum h in
+                 ( name,
+                   Json.Obj
+                     [
+                       ("sum_us", Json.Float s);
+                       ("share", Json.Float (if grand > 0.0 then s /. grand else 0.0));
+                       ("mean_us", Json.Float (Histogram.mean h));
+                       ("p50_us", Json.Float (Histogram.percentile h 0.5));
+                       ("p99_us", Json.Float (Histogram.percentile h 0.99));
+                       ("p999_us", Json.Float (Histogram.percentile h 0.999));
+                     ] ))
+               t.segments) );
+      ]
+
+  let pp ppf t =
+    Format.fprintf ppf "attribution over %d requests:" (count t);
+    let grand = Histogram.sum t.total in
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf " %s %.0f%%" name
+          (if grand > 0.0 then 100.0 *. Histogram.sum h /. grand else 0.0))
+      t.segments
 end
 
 module Counter = struct

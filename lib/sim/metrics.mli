@@ -43,8 +43,11 @@ module Histogram : sig
 
   val pp_summary : Format.formatter -> t -> unit
 
+  val sum : t -> float
+  (** Sum of all samples; 0.0 when empty. *)
+
   val json_summary : t -> Json.t
-  (** [{count, mean_us, p50_us, p95_us, p99_us, max_us}]. *)
+  (** [{count, mean_us, p50_us, p95_us, p99_us, p999_us, max_us}]. *)
 end
 
 (** Per-phase breakdown of the leader-side write path (Figure 4): CPU queue
@@ -60,6 +63,11 @@ module Write_phases : sig
             parallel with [force], so the write's critical path is
             [queue + max(force, replication) + apply] *)
     apply : Histogram.t;  (** commit eligible -> applied and reply issued *)
+    transit : Histogram.t;
+        (** measured one-way network time of replication messages (the leader
+            samples each accepted ack's flight time, followers sample each
+            propose's), so [replication] no longer silently lumps wire time
+            into quorum wait *)
   }
 
   val create : unit -> t
@@ -72,6 +80,43 @@ module Write_phases : sig
   (** Number of writes that completed the full pipeline. *)
 
   val to_json : t -> Json.t
+  (** Keeps the original four field names ([queue]/[force]/[replication]/
+      [apply]) and adds a [transit] key. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Per-segment critical-path attribution histograms, fed by
+    [Critpath.record]: one histogram per named latency segment plus the
+    end-to-end total. String-keyed so the analyzer owns the segment
+    enumeration and this registry just owns the numbers. *)
+module Attribution : sig
+  type t
+
+  val create : unit -> t
+
+  val record : t -> segment:string -> float -> unit
+  (** Add one sample (µs) to the named segment's histogram, creating it on
+      first use. *)
+
+  val record_total : t -> float -> unit
+  (** Add one end-to-end request latency sample (µs). *)
+
+  val count : t -> int
+  (** Requests recorded via {!record_total}. *)
+
+  val segments : t -> (string * Histogram.t) list
+  (** In first-use order. *)
+
+  val total : t -> Histogram.t
+
+  val dominant : t -> string option
+  (** The segment owning the largest share of total attributed time; [None]
+      when nothing was recorded. *)
+
+  val to_json : t -> Json.t
+  (** [{requests, dominant, total, segments: {<name>: {sum_us, share,
+      mean_us, p50_us, p99_us, p999_us}}}]. *)
 
   val pp : Format.formatter -> t -> unit
 end

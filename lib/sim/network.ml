@@ -158,29 +158,61 @@ let faults_for t src dst =
     | Some f -> Some f
     | None -> t.default_faults
 
-let deliver t env =
+(* Transit spans make the trace a causal graph: the span starts on the
+   sender's track (node = src) when the message is handed to the NIC and
+   ends on the receiver's track (node = dst) just before the handler runs,
+   so any receiver span causally follows the transit end. Only messages
+   carrying a request-scoped [trace_id] are instrumented; opening a span
+   never schedules events or draws randomness, so delivery order and RNG
+   streams are identical with tracing on or off. *)
+let start_transit t ~trace_id ~src =
+  match t.trace with
+  | Some tr when trace_id >= 0 && Trace.is_enabled tr ->
+    Trace.span_start tr ~trace_id ~node:src ~tag:"net.transit" ""
+  | _ -> 0
+
+let end_transit t ~span ~trace_id ~dst outcome =
+  if span <> 0 then
+    match t.trace with
+    | Some tr -> Trace.span_end tr ~span ~trace_id ~node:dst ~tag:"net.transit" outcome
+    | None -> ()
+
+let deliver t ?(span = 0) ?(trace_id = -1) env =
   match
     if env.dst >= 0 && env.dst < Array.length t.endpoints then
       Array.unsafe_get t.endpoints env.dst
     else None
   with
-  | None -> count_drop t Down
+  | None ->
+    end_transit t ~span ~trace_id ~dst:env.dst "down";
+    count_drop t Down
   | Some e ->
-    if not e.up then count_drop t Down
-    else if not (reachable t env.src env.dst) then count_drop t Partitioned
+    if not e.up then begin
+      end_transit t ~span ~trace_id ~dst:env.dst "down";
+      count_drop t Down
+    end
+    else if not (reachable t env.src env.dst) then begin
+      end_transit t ~span ~trace_id ~dst:env.dst "partitioned";
+      count_drop t Partitioned
+    end
     else begin
+      end_transit t ~span ~trace_id ~dst:env.dst "delivered";
       t.delivered <- t.delivered + 1;
       e.handler env
     end
 
-let send t ~src ~dst ?(size = 128) payload =
+let send t ~src ~dst ?(size = 128) ?(trace_id = -1) payload =
   let sender = endpoint t src in
   if not sender.up then count_drop t Down
   else begin
     let env = { src; dst; size; sent_at = Engine.now t.engine; payload } in
     t.bytes <- t.bytes + size;
-    if src = dst then
-      ignore (Engine.schedule t.engine ~after:(Sim_time.us 5) (fun () -> deliver t env))
+    if src = dst then begin
+      let span = start_transit t ~trace_id ~src in
+      ignore
+        (Engine.schedule t.engine ~after:(Sim_time.us 5) (fun () ->
+             deliver t ~span ~trace_id env))
+    end
     else begin
       let faults = faults_for t src dst in
       (* Loss is a link property: the message is dropped in flight, after the
@@ -197,7 +229,7 @@ let send t ~src ~dst ?(size = 128) payload =
            send time; with a FIFO NIC the sample order per link is the same
            as it would be at transfer completion. *)
         let nic_done = Resource.reserve sender.nic ~service:(transfer_span t size) in
-        let deliver_once () =
+        let deliver_once span trace_id =
           let latency = Distribution.sample_span t.latency t.rng in
           let latency =
             match faults with
@@ -207,14 +239,18 @@ let send t ~src ~dst ?(size = 128) payload =
           in
           ignore
             (Engine.schedule_at t.engine (Sim_time.add nic_done latency) (fun () ->
-                 deliver t env))
+                 deliver t ~span ~trace_id env))
         in
-        deliver_once ();
+        (* The span is opened after the loss draw (a lost message leaves no
+           transit span — its absence is the signal) and rides only the
+           primary copy; a duplicate takes its own path uninstrumented so the
+           span is closed exactly once. *)
+        deliver_once (start_transit t ~trace_id ~src) trace_id;
         (match faults with
         | Some f when f.duplicate > 0.0 && Rng.float t.rng 1.0 < f.duplicate ->
           (* A duplicated message takes its own independent path. *)
           t.duplicated <- t.duplicated + 1;
-          deliver_once ()
+          deliver_once 0 (-1)
         | _ -> ())
     end
   end

@@ -50,10 +50,19 @@ val register : 'msg t -> node:int -> ('msg envelope -> unit) -> unit
 (** Installs the delivery handler for [node] and marks it up. Re-registering
     replaces the handler (used on node restart). *)
 
-val send : 'msg t -> src:int -> dst:int -> ?size:int -> 'msg -> unit
+val send : 'msg t -> src:int -> dst:int -> ?size:int -> ?trace_id:int -> 'msg -> unit
 (** [size] defaults to 128 bytes (a small control message). Self-sends are
     delivered with a minimal local delay and no NIC charge, and are exempt
-    from link faults. *)
+    from link faults.
+
+    When a trace is attached and [trace_id >= 0], the message gets a
+    ["net.transit"] span: opened on the sender's track at send time, closed
+    on the receiver's track just before the handler runs (with the outcome —
+    ["delivered"], ["down"] or ["partitioned"] — as the detail), linking the
+    sender's and receiver's spans into a causal graph. Lost messages leave no
+    transit span; a duplicated message's extra copy is uninstrumented so the
+    span closes exactly once. Tracing never schedules events or draws
+    randomness, so it cannot perturb a deterministic run. *)
 
 val set_up : 'msg t -> int -> bool -> unit
 (** Mark a node up/down. Down nodes neither send nor receive. *)

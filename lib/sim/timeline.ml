@@ -23,13 +23,16 @@ type t = {
   catchup_done_at : Sim_time.t option;
   unavailability : Sim_time.span option;
   catchup : Sim_time.span option;
+  incomplete : bool;
+      (** the ring buffer dropped events during the window, so marks may be
+          missing (an absent mark then means "evicted", not "never happened") *)
 }
 
 let first_at events ~since pred =
   List.find_opt (fun (e : Trace.event) -> Sim_time.(e.at >= since) && pred e) events
   |> Option.map (fun (e : Trace.event) -> e.at)
 
-let analyze ?(leader = -1) ~events ~crash_at ~cohort () =
+let analyze ?(leader = -1) ?(dropped = 0) ~events ~crash_at ~cohort () =
   let for_node (e : Trace.event) = leader < 0 || e.node = leader in
   let in_cohort (e : Trace.event) = e.cohort = cohort in
   let tagged tag (e : Trace.event) = String.equal e.tag tag in
@@ -74,6 +77,7 @@ let analyze ?(leader = -1) ~events ~crash_at ~cohort () =
     unavailability = span_from crash_at first_commit_at;
     catchup =
       (match restart_at with Some r -> span_from r catchup_done_at | None -> None);
+    incomplete = dropped > 0;
   }
 
 let opt_time = function
@@ -98,6 +102,7 @@ let to_json t =
       ("catchup_done_at_us", opt_time t.catchup_done_at);
       ("unavailability_ms", opt_span t.unavailability);
       ("catchup_ms", opt_span t.catchup);
+      ("incomplete", Json.Bool t.incomplete);
     ]
 
 let pp_mark ppf (label, at, crash_at) =
@@ -107,7 +112,8 @@ let pp_mark ppf (label, at, crash_at) =
       Format.fprintf ppf "  %-20s +%.1f ms@." label (Sim_time.to_ms_f (Sim_time.diff at crash_at))
 
 let pp ppf t =
-  Format.fprintf ppf "failover timeline (cohort r%d, t0 = crash):@." t.cohort;
+  Format.fprintf ppf "failover timeline (cohort r%d, t0 = crash)%s:@." t.cohort
+    (if t.incomplete then " [INCOMPLETE: trace ring dropped events]" else "");
   List.iter
     (fun (label, at) -> pp_mark ppf (label, at, t.crash_at))
     [

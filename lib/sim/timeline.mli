@@ -20,20 +20,26 @@ type t = {
   catchup_done_at : Sim_time.t option;
   unavailability : Sim_time.span option;  (** [first_commit_at - crash_at] *)
   catchup : Sim_time.span option;  (** [catchup_done_at - restart_at] *)
+  incomplete : bool;
+      (** the ring buffer dropped events during the window, so marks may be
+          missing (an absent mark then means "evicted", not "never happened") *)
 }
 
 val analyze :
   ?leader:int ->
+  ?dropped:int ->
   events:Trace.event list ->
   crash_at:Sim_time.t ->
   cohort:int ->
   unit ->
   t
 (** [leader] (the crashed node id) narrows session-expiry / restart /
-    catch-up matching to that node; omit to accept any node. *)
+    catch-up matching to that node; omit to accept any node. Pass [dropped]
+    (from [Trace.dropped]) so the analysis reports honestly when the ring
+    evicted events instead of presenting absent marks as facts. *)
 
 val to_json : t -> Json.t
 (** [{cohort, crash_at_us, *_at_us (null when unobserved), unavailability_ms,
-    catchup_ms}]. *)
+    catchup_ms, incomplete}]. *)
 
 val pp : Format.formatter -> t -> unit

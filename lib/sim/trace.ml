@@ -124,3 +124,115 @@ let clear t =
 let pp ppf t =
   iter t (fun e ->
       Format.fprintf ppf "[%a] %-18s %s@." Sim_time.pp e.at e.tag e.detail)
+
+type trace = t
+
+(* ------------------------------------------------------------------ *)
+(* Outlier flight recorder.
+
+   The ring buffer forgets: under load, a slow request's events are often
+   evicted minutes before anyone asks why it was slow. The flight recorder
+   pins full causal traces of the top-K slowest requests per time window by
+   copying their events out of the ring at completion time — an O(ring) scan
+   that only runs when a request beats the window's current K-th slowest, so
+   after warm-up it is rare. It never schedules events or draws randomness,
+   so enabling it cannot perturb a deterministic run. *)
+
+module Flight = struct
+  type outlier = {
+    trace_id : int;
+    latency_us : float;
+    completed_at : Sim_time.t;
+    events : event list;
+    incomplete : bool;
+  }
+
+  type t = {
+    trace : trace;
+    top_k : int;
+    window : Sim_time.span;
+    mutable window_open : Sim_time.t;
+    mutable current : outlier list;  (* descending latency, length <= top_k *)
+    mutable retained : outlier list;  (* pins from closed windows, newest first *)
+    mutable windows : int;  (* closed windows that retained at least one pin *)
+  }
+
+  (* Long chaos runs close thousands of windows; keep the most recent pins
+     bounded rather than growing without limit. *)
+  let max_retained_windows = 64
+
+  let create ?(top_k = 5) ?(window = Sim_time.sec 1) trace =
+    {
+      trace;
+      top_k;
+      window;
+      window_open = Sim_time.zero;
+      current = [];
+      retained = [];
+      windows = 0;
+    }
+
+  let rotate f now =
+    if Sim_time.span_compare (Sim_time.diff now f.window_open) f.window >= 0 then begin
+      if f.current <> [] then begin
+        f.retained <- f.current @ f.retained;
+        f.windows <- f.windows + 1;
+        let cap = max_retained_windows * f.top_k in
+        if List.length f.retained > cap then
+          f.retained <- List.filteri (fun i _ -> i < cap) f.retained
+      end;
+      f.current <- [];
+      f.window_open <- now
+    end
+
+  (* Copy the request's events out of the ring. Eviction is oldest-first, so
+     if the request's earliest event (emitted at [started]) survives, every
+     later one does too; a first event newer than [started] means the head of
+     the trace was already overwritten. *)
+  let capture trace ~trace_id ~started =
+    let evs = ref [] in
+    iter trace (fun e -> if e.trace_id = trace_id then evs := e :: !evs);
+    let events = List.rev !evs in
+    let incomplete =
+      match events with [] -> true | first :: _ -> Sim_time.(first.at > started)
+    in
+    (events, incomplete)
+
+  let note f ~trace_id ~started =
+    if f.trace.enabled && trace_id >= 0 && f.top_k > 0 then begin
+      let now = Engine.now f.trace.engine in
+      rotate f now;
+      let latency_us = float_of_int (Sim_time.to_us (Sim_time.diff now started)) in
+      let full = List.length f.current >= f.top_k in
+      let floor_latency =
+        if not full then neg_infinity
+        else match List.rev f.current with o :: _ -> o.latency_us | [] -> neg_infinity
+      in
+      if latency_us > floor_latency then begin
+        let events, incomplete = capture f.trace ~trace_id ~started in
+        let o = { trace_id; latency_us; completed_at = now; events; incomplete } in
+        let rec insert = function
+          | [] -> [ o ]
+          | x :: rest ->
+            if o.latency_us > x.latency_us then o :: x :: rest else x :: insert rest
+        in
+        let inserted = insert f.current in
+        f.current <-
+          (if full then List.filteri (fun i _ -> i < f.top_k) inserted else inserted)
+      end
+    end
+
+  let outliers f =
+    List.sort
+      (fun a b -> compare b.latency_us a.latency_us)
+      (f.current @ f.retained)
+
+  let pinned f = List.length f.current + List.length f.retained
+  let top_k f = f.top_k
+
+  let clear f =
+    f.current <- [];
+    f.retained <- [];
+    f.windows <- 0;
+    f.window_open <- Sim_time.zero
+end

@@ -105,3 +105,45 @@ val count : t -> tag:string -> int
 val clear : t -> unit
 
 val pp : Format.formatter -> t -> unit
+
+type trace = t
+(** Alias so {!Flight} can name the enclosing trace type. *)
+
+(** Outlier flight recorder: pins the full causal traces of the top-K slowest
+    requests per time window by copying their events out of the ring at
+    completion time, so tail outliers survive ring-buffer eviction. Recording
+    never schedules events or draws randomness, so it cannot perturb a
+    deterministic run; with the trace disabled, {!Flight.note} is a no-op. *)
+module Flight : sig
+  type outlier = {
+    trace_id : int;
+    latency_us : float;
+    completed_at : Sim_time.t;
+    events : event list;  (** the request's events, oldest first *)
+    incomplete : bool;
+        (** the ring evicted the head of this request's trace before it
+            completed, so [events] is missing its earliest entries *)
+  }
+
+  type t
+
+  val create : ?top_k:int -> ?window:Sim_time.span -> trace -> t
+  (** [top_k] defaults to 5 pins per window; [window] defaults to 1 s. *)
+
+  val note : t -> trace_id:int -> started:Sim_time.t -> unit
+  (** Report a completed request. If it ranks among the current window's
+      top-K slowest, its events are copied out of the ring (an O(ring) scan,
+      only paid on admission). Call at request completion time: latency is
+      measured from [started] to now. *)
+
+  val outliers : t -> outlier list
+  (** All pinned outliers (current window plus retained closed windows),
+      slowest first. *)
+
+  val pinned : t -> int
+  (** Number of currently pinned outliers. *)
+
+  val top_k : t -> int
+
+  val clear : t -> unit
+end

@@ -44,6 +44,31 @@ let event_json (e : Trace.event) =
   | Trace.Span_end ->
       Json.Obj (base @ [ ("ph", Json.String "e"); ("id", Json.Int e.span_id) ] @ args)
 
+(* Flow events ("s"/"f") synthesized from "net.transit" spans: the flow
+   starts on the sender's track at send time and finishes on the receiver's
+   track at delivery, drawing the cross-node arrow that turns per-node span
+   tracks into a causal graph in the Perfetto UI. Flow ids reuse the span id
+   (unique per trace), and binding point "e" attaches the finish to the
+   enclosing slice's end. *)
+let flow_json (e : Trace.event) =
+  let base =
+    [
+      ("name", Json.String e.tag);
+      ("cat", Json.String (category_of_tag e.tag));
+      ("id", Json.Int e.span_id);
+      ("ts", Json.Int (Sim_time.time_to_us e.at));
+      ("pid", Json.Int (pid_of_node e.node));
+      ("tid", Json.Int (tid_of_cohort e.cohort));
+    ]
+  in
+  match e.kind with
+  | Trace.Span_start -> Some (Json.Obj (base @ [ ("ph", Json.String "s") ]))
+  | Trace.Span_end ->
+    Some (Json.Obj (base @ [ ("ph", Json.String "f"); ("bp", Json.String "e") ]))
+  | Trace.Instant -> None
+
+let is_transit (e : Trace.event) = String.equal e.tag "net.transit"
+
 let process_name_json pid name =
   Json.Obj
     [
@@ -73,6 +98,8 @@ let to_json ?registry trace =
   let events = ref [] in
   Trace.iter trace (fun e ->
       note_pid (pid_of_node e.node);
+      if is_transit e then
+        Option.iter (fun f -> events := f :: !events) (flow_json e);
       events := event_json e :: !events);
   let gauge_events =
     match registry with
@@ -105,3 +132,55 @@ let to_json ?registry trace =
     ]
 
 let to_file ?registry trace path = Json.to_file path (to_json ?registry trace)
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder outlier export: one Perfetto-loadable trace holding the
+   pinned events of every outlier (each request's events already carry its
+   trace_id in args, and net.transit spans get flow arrows), plus an
+   [otherData.outliers] summary table for programmatic consumers. *)
+
+let outlier_json (o : Trace.Flight.outlier) =
+  Json.Obj
+    [
+      ("trace_id", Json.Int o.Trace.Flight.trace_id);
+      ("latency_us", Json.Float o.latency_us);
+      ("completed_at_us", Json.Int (Sim_time.time_to_us o.completed_at));
+      ("events", Json.Int (List.length o.events));
+      ("incomplete", Json.Bool o.incomplete);
+    ]
+
+let outliers_to_json flight =
+  let outliers = Trace.Flight.outliers flight in
+  let pids = Hashtbl.create 16 in
+  let note_pid pid = if not (Hashtbl.mem pids pid) then Hashtbl.add pids pid () in
+  let events = ref [] in
+  List.iter
+    (fun (o : Trace.Flight.outlier) ->
+      List.iter
+        (fun (e : Trace.event) ->
+          note_pid (pid_of_node e.node);
+          if is_transit e then
+            Option.iter (fun f -> events := f :: !events) (flow_json e);
+          events := event_json e :: !events)
+        o.Trace.Flight.events)
+    outliers;
+  let metadata =
+    Hashtbl.fold
+      (fun pid () acc ->
+        let name = if pid = sim_pid then "sim" else Printf.sprintf "node %d" pid in
+        process_name_json pid name :: acc)
+      pids []
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata @ List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("pinned", Json.Int (List.length outliers));
+            ("outliers", Json.List (List.map outlier_json outliers));
+          ] );
+    ]
+
+let outliers_to_file flight path = Json.to_file path (outliers_to_json flight)

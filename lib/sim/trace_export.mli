@@ -12,6 +12,17 @@ val sim_pid : int
 
 val to_json : ?registry:Metrics.Registry.t -> Trace.t -> Json.t
 (** [{traceEvents; displayTimeUnit; otherData}]; pass [registry] to include
-    sampled gauge series as counter tracks. *)
+    sampled gauge series as counter tracks. ["net.transit"] spans
+    additionally export as flow events ("s" on the sender's track, "f" with
+    binding point "e" on the receiver's), drawing the cross-node causal
+    arrows in the Perfetto UI. *)
 
 val to_file : ?registry:Metrics.Registry.t -> Trace.t -> string -> unit
+
+val outliers_to_json : Trace.Flight.t -> Json.t
+(** One Perfetto-loadable trace holding every pinned outlier's events
+    (slowest requests first), with transit flow arrows, plus an
+    [otherData.outliers] summary table: [{trace_id, latency_us,
+    completed_at_us, events, incomplete}] per outlier. *)
+
+val outliers_to_file : Trace.Flight.t -> string -> unit

@@ -61,6 +61,10 @@ type verdict = {
   indeterminate : int;
   n_writes : int;
   n_reads : int;
+  outliers : Sim.Json.t option;
+      (** flight-recorder dump (Perfetto trace of the run's slowest pinned
+          requests), captured automatically when the verdict has violations
+          so the failure ships with its own latency evidence *)
 }
 
 let failed v = v.violations <> []
@@ -308,6 +312,14 @@ let run_spinnaker ?(config = default_config) ?(profile = Mixed) ?schedule
   let violations = ref [] in
   let flag invariant detail = violations := (invariant, detail) :: !violations in
   let verdict ~schedule ~exposure ~fingerprint ~acked ~indeterminate ~n_writes ~n_reads =
+    (* A failing run carries its flight-recorder pins out with it: the
+       slowest requests' full causal traces, dumpable next to the schedule
+       artifact without re-running anything. *)
+    let outliers =
+      if !violations <> [] && Sim.Trace.Flight.pinned (Cluster.flight cluster) > 0 then
+        Some (Sim.Trace_export.outliers_to_json (Cluster.flight cluster))
+      else None
+    in
     {
       seed;
       profile;
@@ -320,6 +332,7 @@ let run_spinnaker ?(config = default_config) ?(profile = Mixed) ?schedule
       indeterminate;
       n_writes;
       n_reads;
+      outliers;
     }
   in
   if not (Cluster.run_until_ready cluster) then begin

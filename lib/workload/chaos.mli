@@ -32,6 +32,10 @@ type verdict = {
   indeterminate : int;
   n_writes : int;
   n_reads : int;
+  outliers : Sim.Json.t option;
+      (** flight-recorder dump ({!Sim.Trace_export.outliers_to_json}) of the
+          run's slowest pinned requests, captured when [violations] is
+          non-empty — write it next to the failing schedule artifact *)
 }
 
 val failed : verdict -> bool

@@ -118,7 +118,16 @@ let dump_injections ?cluster seed failure =
   Format.printf "@.nemesis seed %d injection log:@.%a@." seed Sim.Failure.pp_injections
     failure;
   match cluster with
-  | Some c -> Format.printf "%a@." Cluster.pp_status c
+  | Some c ->
+    Format.printf "%a@." Cluster.pp_status c;
+    (* Ship the failure with its latency evidence: the flight recorder's
+       pinned outlier traces, openable in Perfetto next to the schedule. *)
+    let flight = Cluster.flight c in
+    if Sim.Trace.Flight.pinned flight > 0 then begin
+      let path = Printf.sprintf "TRACE_outliers_nemesis_seed%d.json" seed in
+      Sim.Trace_export.outliers_to_file flight path;
+      Format.printf "outlier flight-recorder traces dumped to %s@." path
+    end
   | None -> ()
 
 (* Aggregated across seeds so the per-cause drop counters can be asserted

@@ -353,6 +353,163 @@ let test_failover_timeline () =
   | Some (Sim.Json.Float _) -> ()
   | _ -> Alcotest.fail "unavailability_ms not numeric in JSON")
 
+(* --- outlier flight recorder -------------------------------------------------- *)
+
+(* Pins are copied out of the ring at completion time, so they must survive a
+   full ring wraparound that evicts every one of the request's events. *)
+let test_flight_pins_survive_eviction () =
+  let engine = Sim.Engine.create () in
+  let trace = Sim.Trace.create ~capacity:16 engine in
+  let f = Sim.Trace.Flight.create ~top_k:2 ~window:(Sim.Sim_time.sec 100) trace in
+  let note_request ~trace_id ~ms ~events =
+    let started = Sim.Engine.now engine in
+    for i = 0 to events - 1 do
+      Sim.Trace.event trace ~trace_id ~tag:(Printf.sprintf "step%d" i) "x"
+    done;
+    Sim.Engine.run_for engine (Sim.Sim_time.ms ms);
+    Sim.Trace.event trace ~trace_id ~tag:"done" "x";
+    Sim.Trace.Flight.note f ~trace_id ~started
+  in
+  note_request ~trace_id:7 ~ms:50 ~events:2;
+  note_request ~trace_id:8 ~ms:20 ~events:1;
+  note_request ~trace_id:9 ~ms:30 ~events:1;
+  check_int "top-K caps the window's pins" 2 (Sim.Trace.Flight.pinned f);
+  (* Wrap the ring completely with unrelated noise. *)
+  for i = 0 to 63 do
+    Sim.Trace.event trace ~trace_id:(1000 + i) ~tag:"noise" "x"
+  done;
+  check_bool "ring evicted the outlier's events" true
+    (not (List.exists (fun e -> e.Sim.Trace.trace_id = 7) (Sim.Trace.events trace)));
+  match Sim.Trace.Flight.outliers f with
+  | [ a; b ] ->
+    check_int "slowest first" 7 a.Sim.Trace.Flight.trace_id;
+    check_int "second slowest retained, faster one evicted" 9 b.Sim.Trace.Flight.trace_id;
+    check_int "pinned events survive ring eviction" 3
+      (List.length a.Sim.Trace.Flight.events);
+    check_bool "latency measured from submit" true
+      (a.Sim.Trace.Flight.latency_us >= 50_000.0);
+    check_bool "pin captured before eviction is complete" false
+      a.Sim.Trace.Flight.incomplete;
+    (* The pinned outliers export as a self-contained Perfetto trace. *)
+    (match Sim.Json.of_string (Sim.Json.to_string (Sim.Trace_export.outliers_to_json f)) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "outlier export does not round-trip: %s" e)
+  | os -> Alcotest.failf "expected 2 pinned outliers, got %d" (List.length os)
+
+(* --- cross-node causal DAG ----------------------------------------------------- *)
+
+(* One isolated write; its net.transit spans must form a connected causal
+   chain across the cluster: client -> leader (request), leader -> both
+   followers (propose), followers -> leader (acks), leader -> client
+   (reply). ack_coalesce is zero in [test_config], so every ack is tagged
+   with the write it covers. *)
+let test_transit_dag_connected () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = Partition.key_of_int (Cluster.partition cluster) 42 in
+  (match put_sync engine client key "c" "v" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "put failed: %a" Client.pp_error e);
+  let trace_id = Sim.Trace.request_trace_id ~client:(Client.id client) ~request_id:0 in
+  let transits =
+    List.filter
+      (fun e ->
+        e.Sim.Trace.trace_id = trace_id && String.equal e.Sim.Trace.tag "net.transit")
+      (Sim.Trace.events (Cluster.trace cluster))
+  in
+  (* Pair each transit start (src node) with its end (dst node). *)
+  let hops =
+    List.filter_map
+      (fun e ->
+        if e.Sim.Trace.kind <> Sim.Trace.Span_start then None
+        else
+          match
+            List.find_opt
+              (fun e' ->
+                e'.Sim.Trace.kind = Sim.Trace.Span_end
+                && e'.Sim.Trace.span_id = e.Sim.Trace.span_id)
+              transits
+          with
+          | Some e' ->
+            check_bool "hop does not go back in time" true
+              Sim.Sim_time.(e'.Sim.Trace.at >= e.Sim.Trace.at);
+            Some (e.Sim.Trace.node, e'.Sim.Trace.node)
+          | None -> None)
+      transits
+  in
+  let cid = Client.id client in
+  let leader =
+    match List.find_opt (fun (src, _) -> src = cid) hops with
+    | Some (_, l) -> l
+    | None -> Alcotest.fail "no client -> leader hop"
+  in
+  let followers =
+    List.sort_uniq compare
+      (List.filter_map (fun (s, d) -> if s = leader && d <> cid then Some d else None) hops)
+  in
+  check_bool "leader proposed to both followers" true (List.length followers >= 2);
+  List.iter
+    (fun fl ->
+      check_bool (Printf.sprintf "follower %d acked back to the leader" fl) true
+        (List.mem (fl, leader) hops))
+    followers;
+  check_bool "leader replied to the client" true (List.mem (leader, cid) hops);
+  (* Connectivity: every node the request touched is reachable from the
+     client by following hops. *)
+  let nodes = List.sort_uniq compare (List.concat_map (fun (s, d) -> [ s; d ]) hops) in
+  let reachable = Hashtbl.create 8 in
+  Hashtbl.replace reachable cid ();
+  let rec grow () =
+    let grew = ref false in
+    List.iter
+      (fun (s, d) ->
+        if Hashtbl.mem reachable s && not (Hashtbl.mem reachable d) then begin
+          Hashtbl.replace reachable d ();
+          grew := true
+        end)
+      hops;
+    if !grew then grow ()
+  in
+  grow ();
+  List.iter
+    (fun n ->
+      check_bool (Printf.sprintf "node %d reachable from the client" n) true
+        (Hashtbl.mem reachable n))
+    nodes
+
+(* --- conservation: segments sum to the measured latency ------------------------ *)
+
+let prop_critpath_conservation =
+  QCheck.Test.make ~name:"critpath: segments sum to client latency (within 1%)" ~count:6
+    QCheck.(triple (int_range 1 6) (int_range 2 8) (int_bound 999))
+    (fun (writers, tenths, salt) ->
+      let config = { test_config with Config.trace_capacity = 1 lsl 18 } in
+      let engine, cluster = boot ~config ~seed:(1000 + salt) () in
+      let client = Cluster.new_client cluster in
+      let cursor = ref 0 in
+      let rec writer () =
+        let key =
+          Partition.key_of_int (Cluster.partition cluster)
+            (!cursor * 97 mod config.Config.key_space)
+        in
+        incr cursor;
+        Client.put client key "c" ~value:"v" (fun _ -> writer ())
+      in
+      for _ = 1 to writers do
+        writer ()
+      done;
+      Sim.Engine.run_for engine (Sim.Sim_time.ms (tenths * 100));
+      let trace = Cluster.trace cluster in
+      let analysis =
+        Sim.Critpath.analyze ~dropped:(Sim.Trace.dropped trace)
+          ~events:(Sim.Trace.events trace) ()
+      in
+      if analysis.Sim.Critpath.requests = [] then
+        QCheck.Test.fail_report "no analyzable requests";
+      List.for_all
+        (fun r -> Sim.Critpath.conservation_error r <= 0.01)
+        analysis.Sim.Critpath.requests)
+
 let suite =
   [
     Alcotest.test_case "trace: ring overwrites oldest and counts drops" `Quick
@@ -368,6 +525,11 @@ let suite =
     Alcotest.test_case "export: Perfetto JSON round-trips" `Quick test_perfetto_roundtrip;
     Alcotest.test_case "spans: every committed write covers all four phases" `Slow
       test_write_path_span_coverage;
+    Alcotest.test_case "flight: pins survive ring eviction" `Quick
+      test_flight_pins_survive_eviction;
+    Alcotest.test_case "critpath: transit DAG connects client, leader, followers" `Slow
+      test_transit_dag_connected;
+    QCheck_alcotest.to_alcotest prop_critpath_conservation;
     Alcotest.test_case "timeline: failover analysis measures the outage" `Slow
       test_failover_timeline;
   ]

@@ -251,7 +251,17 @@ let test_planted_bug_shrinks () =
     let oc = open_out "MINIMAL_SCHEDULE_planted.json" in
     output_string oc (Sim.Json.to_string (Chaos.json_of_verdict { r1 with schedule = minimal }));
     output_char oc '\n';
-    close_out oc
+    close_out oc;
+    (* The failing replay's flight-recorder pins ride along: the slowest
+       requests' causal traces from the very run that violated the
+       invariant, next to the schedule that reproduces it. *)
+    (match r1.Chaos.outliers with
+    | Some json ->
+      let oc = open_out "TRACE_outliers_planted.json" in
+      output_string oc (Sim.Json.to_string json);
+      output_char oc '\n';
+      close_out oc
+    | None -> ())
 
 let suite =
   [
