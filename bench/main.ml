@@ -544,21 +544,111 @@ let tail () =
     J.to_file path json;
     (match J.of_file path with
     | Ok _ -> Format.printf "  wrote %s (outlier flight-recorder trace)@." path
-    | Error e -> failwith (Printf.sprintf "TRACE_outliers.json does not round-trip: %s" e)))
+    | Error e -> failwith (Printf.sprintf "TRACE_outliers.json does not round-trip: %s" e)));
+  (* Read attribution: the same conservation bar over the read path. One
+     cluster runs writers plus strong and timeline readers; mid-window the
+     lease switch flips off, so the trace holds leased reads, guarded reads
+     (read.guard sub-spans), and token timeline reads (read.wait_lsn
+     sub-spans when a follower parks). Every analyzed read must conserve
+     within 1%, and the unleased half guarantees at least one guard-segment
+     request. *)
+  let config =
+    {
+      Config.default with
+      Config.trace_capacity = 1 lsl 20;
+      (* Fast commits so parked token reads flush inside the staleness
+         bound instead of all redirecting to the leader. *)
+      commit_period = Sim.Sim_time.ms 20;
+      piggyback_commits = true;
+    }
+  in
+  let engine, cluster = spin_cluster ~config ~lean:false () in
+  let client = Cluster.new_client cluster in
+  let value = Workload.Generator.value ~size:256 in
+  let key i = Partition.key_of_int (Cluster.partition cluster) (i mod 1000) in
+  let cursor = ref 0 in
+  let rec writer () =
+    incr cursor;
+    Client.put client (key !cursor) "c" ~value (fun _ -> writer ())
+  in
+  let rec strong_reader () =
+    incr cursor;
+    Client.get client ~consistent:true (key !cursor) "c" (fun _ -> strong_reader ())
+  in
+  let rec timeline_reader () =
+    incr cursor;
+    Client.get client ~consistent:false (key !cursor) "c" (fun _ -> timeline_reader ())
+  in
+  for _ = 1 to 4 do
+    writer ()
+  done;
+  for _ = 1 to 8 do
+    strong_reader ();
+    timeline_reader ()
+  done;
+  let half = if !quick then sec_f 1.0 else sec_f 2.0 in
+  Sim.Engine.run_for engine half;
+  Cluster.set_lease_enabled cluster false;
+  Sim.Engine.run_for engine half;
+  Cluster.set_lease_enabled cluster true;
+  let trace = Cluster.trace cluster in
+  let analysis =
+    Sim.Critpath.analyze ~dropped:(Sim.Trace.dropped trace) ~events:(Sim.Trace.events trace) ()
+  in
+  let seg_of r s = try List.assoc s r.Sim.Critpath.segments with Not_found -> 0.0 in
+  let reads =
+    List.filter (fun r -> seg_of r Sim.Critpath.Read > 0.0) analysis.Sim.Critpath.requests
+  in
+  if reads = [] then failwith "tail: no analyzable reads in the read-attribution window";
+  let read_attr = Sim.Metrics.Attribution.create () in
+  let worst_read = ref 0.0 in
+  List.iter
+    (fun r ->
+      let e = Sim.Critpath.conservation_error r in
+      if e > !worst_read then worst_read := e;
+      Sim.Critpath.record read_attr r)
+    reads;
+  if !worst_read > 0.01 then
+    failwith
+      (Printf.sprintf "tail: read conservation violated (max error %.4f)" !worst_read);
+  let count_pos s = List.length (List.filter (fun r -> seg_of r s > 0.0) reads) in
+  let guarded = count_pos Sim.Critpath.Guard in
+  let waited = count_pos Sim.Critpath.Wait_lsn in
+  Format.printf
+    "  read attribution: %d reads (%d guarded, %d token-parked), max conservation error %.4f@."
+    (List.length reads) guarded waited !worst_read;
+  Format.printf "  %4s %a@." "" Sim.Metrics.Attribution.pp read_attr;
+  if guarded = 0 then
+    failwith "tail: the unleased window produced no guard-segment reads";
+  record_field "read_attribution"
+    (J.Obj
+       [
+         ("reads", J.Int (List.length reads));
+         ("guarded_reads", J.Int guarded);
+         ("token_parked_reads", J.Int waited);
+         ("max_conservation_error", J.Float !worst_read);
+         ("attribution", Sim.Metrics.Attribution.to_json read_attr);
+       ])
 
 (* --- Read path: hot vs uniform key mixes over a preloaded LSM ---------------- *)
 
 (* The Figs. 9-10 regime: read throughput/latency against a real local LSM.
    One cluster is preloaded with enough writes that every cohort carries
-   several tiers of SSTables, then four read-only series run on it (hot and
-   uniform key mixes, strong and timeline reads). Per point we record the
-   row-cache hit rate, SSTables skipped vs probed, and per-node table counts
-   (deltas of the cumulative store counters). The experiment asserts the two
-   headline effects: the hot mix must actually hit the cache, and hot-key
-   strong-read throughput must be at least 2x the uniform mix at the highest
-   thread count. *)
+   several tiers of SSTables, then the read-only series run on it: hot and
+   uniform key mixes, strong and timeline reads, plus the hot strong mix
+   with leases flipped off at runtime (every strong read pays a read-index
+   quorum round instead of the local lease check). Per point we record the
+   row-cache hit rate, SSTables skipped vs probed, and the read-serve
+   counter deltas (leased / guarded / follower-served / token waits). A
+   final mixed run measures follower offload: writers hand their client a
+   read-your-writes token and the timeline reads round-robin over replicas.
+   The experiment asserts the headline effects: the hot mix must actually
+   hit the cache, hot-key strong-read throughput must be at least 2x the
+   uniform mix at the highest thread count, leased strong reads must beat
+   the unleased guard path by at least 1.5x at saturation, and followers
+   must actually serve timeline token reads in the offload run. *)
 let read_exp () =
-  header "Read path: hot vs uniform key mix, strong vs timeline reads";
+  header "Read path: hot vs uniform key mix, strong vs timeline reads, leases on/off";
   let config =
     {
       Config.default with
@@ -570,6 +660,11 @@ let read_exp () =
       flush_bytes = 64 * 1024;
       value_bytes = 1024;
       row_cache_capacity = 256;
+      (* Keep followers fresh (commits land within ~100 ms of the leader) so
+         timeline token reads can be absorbed by followers instead of
+         bouncing off the read_lsn_wait staleness bound. *)
+      commit_period = Sim.Sim_time.ms 100;
+      piggyback_commits = true;
     }
   in
   let engine, cluster = spin_cluster ~config () in
@@ -604,26 +699,43 @@ let read_exp () =
   Format.printf "@.";
   let threads = read_threads () in
   let hot_mode = Workload.Generator.Hotspot { fraction_hot = 0.9; hot_keys = 512 } in
-  (* (series label, key mode, consistent reads); strong series first so the
-     2x assertion compares like with like. *)
+  (* (series label, key mode, consistent reads, leases enabled); strong
+     series first so the 2x assertion compares like with like, and the
+     unleased hot strong series runs over the same preloaded stores with
+     only the runtime lease switch flipped. *)
   let series =
     [
-      ("hot keys, strong reads", hot_mode, true);
-      ("uniform keys, strong reads", Workload.Generator.Uniform_random, true);
-      ("hot keys, timeline reads", hot_mode, false);
-      ("uniform keys, timeline reads", Workload.Generator.Uniform_random, false);
+      ("hot keys, strong reads", hot_mode, true, true);
+      ("uniform keys, strong reads", Workload.Generator.Uniform_random, true, true);
+      ("hot keys, strong reads (unleased)", hot_mode, true, false);
+      ("hot keys, timeline reads", hot_mode, false, true);
+      ("uniform keys, timeline reads", Workload.Generator.Uniform_random, false, true);
+    ]
+  in
+  let read_serve_json (b : Cluster.read_serve_stats) (a : Cluster.read_serve_stats) =
+    [
+      ("leased_reads", J.Int (a.Cluster.leased - b.Cluster.leased));
+      ("guarded_reads", J.Int (a.Cluster.guarded - b.Cluster.guarded));
+      ("lease_rejects", J.Int (a.Cluster.lease_rejects - b.Cluster.lease_rejects));
+      ("guard_fails", J.Int (a.Cluster.guard_fails - b.Cluster.guard_fails));
+      ("leader_timeline", J.Int (a.Cluster.leader_timeline - b.Cluster.leader_timeline));
+      ("follower_timeline", J.Int (a.Cluster.follower_timeline - b.Cluster.follower_timeline));
+      ("token_waits", J.Int (a.Cluster.token_waits - b.Cluster.token_waits));
+      ("token_redirects", J.Int (a.Cluster.token_redirects - b.Cluster.token_redirects));
     ]
   in
   let peak = Hashtbl.create 4 in
   let hot_hit_rate = ref 0.0 in
   List.iter
-    (fun (name, key_mode, consistent) ->
+    (fun (name, key_mode, consistent, leased) ->
+      Cluster.set_lease_enabled cluster leased;
       Format.printf "  %-34s %8s %12s %10s %10s %7s@." name "threads" "load(req/s)" "mean(ms)"
         "p99(ms)" "hit%";
       let points =
         List.map
           (fun th ->
             let before = Cluster.read_path_stats cluster in
+            let serve0 = Cluster.read_serve_stats cluster in
             let outcome =
               Workload.Experiment.run ~engine
                 ~key_space
@@ -638,6 +750,7 @@ let read_exp () =
                 }
             in
             let after = Cluster.read_path_stats cluster in
+            let serve1 = Cluster.read_serve_stats cluster in
             let hits = after.Cluster.cache_hits - before.Cluster.cache_hits in
             let misses = after.Cluster.cache_misses - before.Cluster.cache_misses in
             let hit_rate =
@@ -667,12 +780,62 @@ let read_exp () =
                       J.Int (after.Cluster.sstables_skipped - before.Cluster.sstables_skipped) );
                     ( "sstables_probed",
                       J.Int (after.Cluster.sstables_probed - before.Cluster.sstables_probed) );
-                  ])
+                  ]
+                @ read_serve_json serve0 serve1)
             | other -> other)
           threads
       in
-      series_acc := J.Obj [ ("name", J.String name); ("points", J.List points) ] :: !series_acc)
+      series_acc :=
+        J.Obj
+          [
+            ("name", J.String name);
+            ("leases", J.Bool leased);
+            ("points", J.List points);
+          ]
+        :: !series_acc)
     series;
+  (* Follower offload: a mixed run in which every write hands the client a
+     read-your-writes token and timeline reads round-robin over the cohort's
+     replicas. Followers serve the reads whose token their applied state
+     already covers (parking briefly when it does not), so the leader keeps
+     only the write load plus its share of the reads. *)
+  Cluster.set_lease_enabled cluster true;
+  let offload_top = List.fold_left Stdlib.max 0 threads in
+  let serve0 = Cluster.read_serve_stats cluster in
+  let offload_outcome =
+    Workload.Experiment.run ~engine ~key_space
+      ~make_driver:(fun () -> Workload.Driver.spinnaker cluster ~consistent_reads:false ())
+      {
+        (base_spec ~write_fraction:0.2 ~key_mode:hot_mode ()) with
+        Workload.Experiment.threads = offload_top;
+        value_bytes = config.Config.value_bytes;
+        warmup = sec_f 0.5;
+        measure = measure_span ();
+      }
+  in
+  let serve1 = Cluster.read_serve_stats cluster in
+  let d sel = sel serve1 - sel serve0 in
+  let follower_served = d (fun (s : Cluster.read_serve_stats) -> s.Cluster.follower_timeline) in
+  let leader_served = d (fun (s : Cluster.read_serve_stats) -> s.Cluster.leader_timeline) in
+  let offload_fraction =
+    if follower_served + leader_served = 0 then 0.0
+    else float_of_int follower_served /. float_of_int (follower_served + leader_served)
+  in
+  Format.printf
+    "  follower offload at %d threads (20%% writes): leader %d / follower %d timeline reads \
+     (%.0f%% offloaded), %d token waits, %d redirects@."
+    offload_top leader_served follower_served
+    (100.0 *. offload_fraction)
+    (d (fun (s : Cluster.read_serve_stats) -> s.Cluster.token_waits))
+    (d (fun (s : Cluster.read_serve_stats) -> s.Cluster.token_redirects));
+  record_field "follower_offload"
+    (J.Obj
+       (read_serve_json serve0 serve1
+       @ [
+           ("threads", J.Int offload_top);
+           ("offload_fraction", J.Float offload_fraction);
+           ("outcome", Workload.Experiment.json_of_outcome offload_outcome);
+         ]));
   let final = Cluster.read_path_stats cluster in
   record_field "tables_per_node"
     (J.List
@@ -693,9 +856,11 @@ let read_exp () =
          ("total_input_bytes", J.Int final.Cluster.total_compaction_input_bytes);
          ("max_store_bytes", J.Int final.Cluster.max_store_bytes_at_compaction);
        ]);
-  (* Smoke assertions: the cache must be effective on the hot mix, and
-     hot-key strong reads must beat the uniform mix by at least 2x at the
-     highest thread count. *)
+  (* Smoke assertions: the cache must be effective on the hot mix, hot-key
+     strong reads must beat the uniform mix by at least 2x at the highest
+     thread count, leased strong reads must beat the per-read quorum guard
+     by at least 1.5x at saturation, and the offload run must have served
+     timeline token reads from followers. *)
   let top = List.fold_left Stdlib.max 0 threads in
   let hot_tp =
     try Hashtbl.find peak ("hot keys, strong reads", top) with Not_found -> 0.0
@@ -703,16 +868,29 @@ let read_exp () =
   let uni_tp =
     try Hashtbl.find peak ("uniform keys, strong reads", top) with Not_found -> infinity
   in
+  let unleased_tp =
+    try Hashtbl.find peak ("hot keys, strong reads (unleased)", top) with Not_found -> infinity
+  in
   let speedup = if uni_tp > 0.0 then hot_tp /. uni_tp else 0.0 in
+  let lease_speedup = if unleased_tp > 0.0 then hot_tp /. unleased_tp else 0.0 in
   record_field "hot_over_uniform_speedup" (J.Float speedup);
   record_field "hot_cache_hit_rate" (J.Float !hot_hit_rate);
+  record_field "leased_over_unleased_speedup" (J.Float lease_speedup);
   Format.printf "  hot/uniform strong-read speedup at %d threads: %.2fx (hot hit rate %.1f%%)@."
     top speedup (100.0 *. !hot_hit_rate);
+  Format.printf "  leased/unleased strong-read speedup at %d threads: %.2fx@." top lease_speedup;
   if !hot_hit_rate <= 0.0 then failwith "read: cache hit rate on the hot-key mix is zero";
   if speedup < 2.0 then
     failwith
       (Printf.sprintf "read: hot-key speedup %.2fx below the 2x bar (hot %.0f vs uniform %.0f req/s)"
-         speedup hot_tp uni_tp)
+         speedup hot_tp uni_tp);
+  if lease_speedup < 1.5 then
+    failwith
+      (Printf.sprintf
+         "read: leased speedup %.2fx below the 1.5x bar (leased %.0f vs unleased %.0f req/s)"
+         lease_speedup hot_tp unleased_tp);
+  if follower_served <= 0 then
+    failwith "read: followers served no timeline token reads in the offload run"
 
 (* --- Paxos tuning: group-commit batching x replication pipelining ----------- *)
 

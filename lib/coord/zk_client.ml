@@ -83,6 +83,7 @@ let owner t = t.owner
 let session t = t.session
 let alive t = t.alive
 let reachable t = t.reachable
+let last_contact t = t.last_contact
 let set_on_session_expiry t f = t.on_session_expiry <- Some f
 let crash t = t.alive <- false
 

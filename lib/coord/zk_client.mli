@@ -21,6 +21,14 @@ val alive : t -> bool
 
 val reachable : t -> bool
 
+val last_contact : t -> Sim.Sim_time.t
+(** Time of the last successful exchange with the service (heartbeat,
+    reconnect handshake, or call response). Conservative from the server's
+    point of view: the server has heard from this session at least this
+    recently. Leader leases are anchored to it — a lease of less than half
+    the session timeout past [last_contact] lapses strictly before the
+    client-side expiry that lets a new leader be elected. *)
+
 val set_reachable : t -> bool -> unit
 (** Cut (or heal) the owner's link to the coordination service, leaving the
     owner itself and the data network untouched. While unreachable: calls

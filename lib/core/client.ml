@@ -12,6 +12,10 @@ type pending = {
   trace_id : int;
   span : int;  (** open [request] span; 0 when the client has no trace *)
   started : Sim.Sim_time.t;  (** submit instant (flight-recorder latency) *)
+  mutable to_leader : bool;
+      (** route the next attempt to the leader even for a timeline read — set
+          when a replica redirected us with [Not_leader] (a token read hit its
+          staleness bound on a lagging follower) *)
 }
 
 type t = {
@@ -36,6 +40,10 @@ type t = {
   mutable pending_rid : int array;  (** -1 = empty slot *)
   mutable pending_slot : pending option array;
   mutable leaders : int array;  (** leader per range id; -1 = unknown *)
+  mutable tokens : Storage.Lsn.t array;
+      (** read-your-writes fence per range: the highest commit LSN returned by
+          [Written] for a write we issued there. Timeline reads carry it so a
+          follower holds the read until its applied state covers our writes. *)
   timeouts : (int * Sim.Sim_time.t) Queue.t;
       (** (request_id, deadline) in dispatch order. [client_timeout] is a
           constant span, so deadlines are FIFO and one armed engine timer per
@@ -66,7 +74,7 @@ let op_name = function
   | Message.Txn_put _ -> "txn_put"
 
 let reply_name = function
-  | Message.Written -> "written"
+  | Message.Written _ -> "written"
   | Message.Value _ -> "value"
   | Message.Values _ -> "values"
   | Message.Rows _ -> "rows"
@@ -147,6 +155,28 @@ let leader_clear t range = if range < Array.length t.leaders then t.leaders.(ran
 let leader_hint t range =
   if range < Array.length t.leaders then t.leaders.(range) else -1
 
+(* Remember the highest commit LSN acked for a write to [range]; later
+   timeline reads against that range carry it as their read-your-writes
+   fence. *)
+let token_note t range lsn =
+  if range >= Array.length t.tokens then begin
+    let cap = ref (2 * Array.length t.tokens) in
+    while range >= !cap do
+      cap := 2 * !cap
+    done;
+    let a = Array.make !cap Storage.Lsn.zero in
+    Array.blit t.tokens 0 a 0 (Array.length t.tokens);
+    t.tokens <- a
+  end;
+  if Storage.Lsn.(lsn > t.tokens.(range)) then t.tokens.(range) <- lsn
+
+let read_token t ~consistent key =
+  if consistent then Storage.Lsn.zero
+  else begin
+    let range = Partition.route t.partition key in
+    if range < Array.length t.tokens then t.tokens.(range) else Storage.Lsn.zero
+  end
+
 (* Capped exponential backoff with equal jitter: attempt [n] waits
    [min(cap, base * 2^(n-1))], half of it fixed and half uniformly random,
    so retry storms from many clients decorrelate instead of hammering a
@@ -181,7 +211,7 @@ let strong_route op =
   | _ -> true
 
 let rec dispatch t request_id p =
-  let dst = target_for t ~strong:(strong_route p.op) p.op in
+  let dst = target_for t ~strong:(strong_route p.op || p.to_leader) p.op in
   let msg = Message.Request { client = t.id; request_id; op = p.op } in
   Sim.Network.send t.net ~src:t.id ~dst ~size:(Message.size msg) ~trace_id:p.trace_id msg;
   let deadline = Sim.Sim_time.add (Sim.Engine.now t.engine) t.config.Config.client_timeout in
@@ -264,6 +294,10 @@ let handle_reply t request_id reply =
     match reply with
     | Message.Not_leader { hint } ->
       let range = Partition.route t.partition (Message.key_of_op p.op) in
+      (* For a timeline read this is a lagging follower's redirect (the token
+         fence hit its staleness bound): the retry must go to the leader, the
+         one replica guaranteed to have applied our writes. *)
+      p.to_leader <- true;
       (match hint with
       | Some l ->
         (* An actionable redirect: chase it immediately. *)
@@ -294,6 +328,10 @@ let handle_reply t request_id reply =
       retry t request_id p ~after:(backoff t (p.attempts + 1))
     | _ ->
       pending_remove t request_id;
+      (match reply with
+      | Message.Written { lsn } ->
+        token_note t (Partition.route t.partition (Message.key_of_op p.op)) lsn
+      | _ -> ());
       settle t p (reply_name reply);
       p.deliver reply)
 
@@ -314,6 +352,7 @@ let create ~engine ~net ~partition ~config ~id ?trace ?flight ~lookup_leader
       pending_rid = Array.make 64 (-1);
       pending_slot = Array.make 64 None;
       leaders = Array.make 16 (-1);
+      tokens = Array.make 16 Storage.Lsn.zero;
       timeouts = Queue.create ();
       timeout_armed = false;
       next_request = 0;
@@ -347,6 +386,7 @@ let submit t op deliver =
       trace_id;
       span;
       started = Sim.Engine.now t.engine;
+      to_leader = false;
     }
   in
   pending_insert t request_id p;
@@ -360,7 +400,7 @@ let read_k k = function
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
   | Message.Unavailable -> k (Error Timed_out)
-  | Message.Values [] | Message.Rows _ | Message.Written | Message.Not_leader _
+  | Message.Values [] | Message.Rows _ | Message.Written _ | Message.Not_leader _
   | Message.Wrong_range _ ->
     k (Error Timed_out)
 
@@ -369,12 +409,12 @@ let multi_read_k k = function
   | Message.Value v -> k (Ok [ ("", value_result v) ])
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
-  | Message.Unavailable | Message.Rows _ | Message.Written | Message.Not_leader _
+  | Message.Unavailable | Message.Rows _ | Message.Written _ | Message.Not_leader _
   | Message.Wrong_range _ ->
     k (Error Timed_out)
 
 let write_k k = function
-  | Message.Written -> k (Ok ())
+  | Message.Written _ -> k (Ok ())
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
   | Message.Unavailable -> k (Error Timed_out)
@@ -383,10 +423,12 @@ let write_k k = function
     k (Error Timed_out)
 
 let get t ?(consistent = true) key col k =
-  submit t (Message.Get { key; col; consistent }) (read_k k)
+  let token = read_token t ~consistent key in
+  submit t (Message.Get { key; col; consistent; token }) (read_k k)
 
 let multi_get t ?(consistent = true) key cols k =
-  submit t (Message.Multi_get { key; cols; consistent }) (multi_read_k k)
+  let token = read_token t ~consistent key in
+  submit t (Message.Multi_get { key; cols; consistent; token }) (multi_read_k k)
 
 let put t key col ~value k = submit t (Message.Put { key; col; value }) (write_k k)
 let multi_put t key cols k = submit t (Message.Multi_put { key; cols }) (write_k k)
@@ -415,7 +457,14 @@ let scan t ?(consistent = true) ~start_key ~end_key ?(limit = 1000) k =
       k (Ok (List.rev !rows))
     else begin
       let op =
-        Message.Scan { start_key = current; end_key; limit = limit - !count; consistent }
+        Message.Scan
+          {
+            start_key = current;
+            end_key;
+            limit = limit - !count;
+            consistent;
+            token = read_token t ~consistent current;
+          }
       in
       submit t op (function
         | Message.Rows { rows = rs; next } ->
@@ -432,7 +481,7 @@ let scan t ?(consistent = true) ~start_key ~end_key ?(limit = 1000) k =
           | _ -> k (Ok (List.rev !rows)))
         | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
         | Message.Cross_range -> k (Error Cross_range)
-        | Message.Unavailable | Message.Value _ | Message.Values _ | Message.Written
+        | Message.Unavailable | Message.Value _ | Message.Values _ | Message.Written _
         | Message.Not_leader _ | Message.Wrong_range _ ->
           k (Error Timed_out))
     end

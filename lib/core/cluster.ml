@@ -206,6 +206,69 @@ let read_path_stats t =
     t.nodes;
   { !stats with tables_per_node = List.rev !stats.tables_per_node }
 
+(* The bench's leased-vs-unleased A/B switch: flip every cohort between
+   lease-served strong reads and per-read quorum guards at runtime, so the
+   comparison runs over the same preloaded stores. *)
+let set_lease_enabled t enabled =
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun range ->
+          match Node.cohort node ~range with
+          | Some c -> Cohort.set_lease_disabled c (not enabled)
+          | None -> ())
+        (Node.ranges node))
+    t.nodes
+
+type read_serve_stats = {
+  leased : int;
+  guarded : int;
+  lease_rejects : int;
+  guard_fails : int;
+  leader_timeline : int;
+  follower_timeline : int;
+  token_waits : int;
+  token_redirects : int;
+}
+
+let read_serve_stats t =
+  let acc =
+    ref
+      {
+        leased = 0;
+        guarded = 0;
+        lease_rejects = 0;
+        guard_fails = 0;
+        leader_timeline = 0;
+        follower_timeline = 0;
+        token_waits = 0;
+        token_redirects = 0;
+      }
+  in
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun range ->
+          match Node.cohort node ~range with
+          | None -> ()
+          | Some c ->
+            let s = Cohort.read_stats c in
+            let a = !acc in
+            acc :=
+              {
+                leased = a.leased + s.Cohort.leased;
+                guarded = a.guarded + s.Cohort.guarded;
+                lease_rejects = a.lease_rejects + s.Cohort.lease_rejects;
+                guard_fails = a.guard_fails + s.Cohort.guard_fails;
+                leader_timeline = a.leader_timeline + s.Cohort.leader_timeline;
+                follower_timeline = a.follower_timeline + s.Cohort.follower_timeline;
+                token_waits = a.token_waits + s.Cohort.token_waits;
+                token_redirects = a.token_redirects + s.Cohort.token_redirects;
+              })
+        (Node.ranges node))
+    t.nodes;
+  !acc
+
 let write_phases t =
   Array.fold_left
     (fun acc node ->

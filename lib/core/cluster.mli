@@ -99,6 +99,28 @@ type read_path_stats = {
 
 val read_path_stats : t -> read_path_stats
 
+val set_lease_enabled : t -> bool -> unit
+(** Flip every cohort between lease-served strong reads ([true], the default
+    when [Config.lease_fraction] > 0) and the per-read quorum-guard fallback
+    ([false]) at runtime — the bench's leased-vs-unleased A/B switch, usable
+    without rebuilding or re-preloading the cluster. *)
+
+type read_serve_stats = {
+  leased : int;  (** strong reads served locally under a live lease *)
+  guarded : int;  (** strong reads served via a read-index quorum round *)
+  lease_rejects : int;  (** strong reads refused because the lease lapsed *)
+  guard_fails : int;  (** guard rounds abandoned without a quorum *)
+  leader_timeline : int;  (** timeline reads served by the leader *)
+  follower_timeline : int;  (** timeline reads served by a follower *)
+  token_waits : int;  (** timeline reads parked waiting for a token's LSN *)
+  token_redirects : int;  (** parked reads redirected at the staleness bound *)
+}
+(** Cluster-wide read-serve accounting, summed over every cohort. Counters
+    are cumulative (cohort-lifetime); benchmark series take before/after
+    deltas. *)
+
+val read_serve_stats : t -> read_serve_stats
+
 val write_phases : t -> Sim.Metrics.Write_phases.t
 (** Merged per-phase write-path breakdown over every cohort in the cluster —
     the data behind the write-latency decomposition in [BENCH_*.json]. *)

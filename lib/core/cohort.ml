@@ -43,6 +43,45 @@ type ctx = {
 
 type waiting_write = { client : int; request_id : int; op : Message.client_op }
 
+(* Unleased strong read awaiting its read-index quorum: the reply was built
+   at arrival; it is released once a majority of followers confirm this
+   leader's epoch is still current (quorum intersection with any takeover
+   quorum guarantees no newer leader has committed anything yet). *)
+type pending_guard = {
+  g_client : int;
+  g_request_id : int;
+  g_serve : unit -> unit;  (** submit the prepared reply to the CPU *)
+  mutable g_acks : int list;  (** distinct follower acks so far *)
+  g_span : int;  (** open [read.guard] span (0 when untraced) *)
+  g_trace_id : int;
+}
+
+(* Timeline read parked behind its read-your-writes token: served once the
+   applied commit point reaches the token, redirected to the leader if the
+   staleness bound passes first. *)
+type parked_read = {
+  p_client : int;
+  p_request_id : int;
+  p_token : Storage.Lsn.t;
+  p_serve : unit -> unit;
+  mutable p_done : bool;  (** served or redirected; the deadline is a no-op *)
+  p_wait_span : int;  (** open [read.wait_lsn] span (0 when untraced) *)
+  p_trace_id : int;
+}
+
+(* Read-path counters, cluster-lifetime (crash does not reset them — they
+   feed bench series, like the write-phase histograms). *)
+type read_stats = {
+  mutable leased : int;  (** strong reads served locally under a live lease *)
+  mutable guarded : int;  (** strong reads served via a read-index quorum round *)
+  mutable lease_rejects : int;  (** strong reads refused because the lease lapsed *)
+  mutable guard_fails : int;  (** guard rounds that timed out without a quorum *)
+  mutable leader_timeline : int;  (** timeline reads served by the leader *)
+  mutable follower_timeline : int;  (** timeline reads served by a follower *)
+  mutable token_waits : int;  (** timeline reads parked for cmt to reach a token *)
+  mutable token_redirects : int;  (** parked reads that hit the staleness bound *)
+}
+
 (* Outcome of a client write, remembered per (client, request id) so a
    duplicated or retried request is answered idempotently instead of being
    applied a second time (clients retry under loss and leader changes). *)
@@ -121,6 +160,16 @@ type t = {
   mutable election_running : bool;
   mutable own_candidate : string option;
   mutable leader_watch_armed : bool;
+  (* read path *)
+  mutable lease_disabled : bool;
+      (** runtime override forcing the unleased (quorum-guard) strong-read
+          path even when [Config.lease_fraction] > 0; a bench knob, so it
+          survives crashes like the config itself *)
+  mutable guard_seq : int;
+  guards : (int, pending_guard) Hashtbl.t;
+      (** outstanding read-index rounds, keyed by guard sequence number *)
+  mutable parked_reads : parked_read list;  (** newest first *)
+  reads : read_stats;
   (* instrumentation *)
   phases : Sim.Metrics.Write_phases.t;
       (** per-phase write-path latencies for writes this cohort led *)
@@ -173,12 +222,29 @@ let create ctx =
     election_running = false;
     own_candidate = None;
     leader_watch_armed = false;
+    lease_disabled = false;
+    guard_seq = 0;
+    guards = Hashtbl.create 16;
+    parked_reads = [];
+    reads =
+      {
+        leased = 0;
+        guarded = 0;
+        lease_rejects = 0;
+        guard_fails = 0;
+        leader_timeline = 0;
+        follower_timeline = 0;
+        token_waits = 0;
+        token_redirects = 0;
+      };
     phases = Sim.Metrics.Write_phases.create ();
     inflight_started = Hashtbl.create 64;
   }
 
 let role t = t.role
 let leader_id t = t.leader
+let read_stats t = t.reads
+let set_lease_disabled t v = t.lease_disabled <- v
 let epoch t = t.epoch
 let cmt t = t.cmt
 let lst t = t.lst
@@ -291,8 +357,73 @@ let recache_outcomes_from_log t ~above ~upto =
   List.iter
     (fun (lsn, _, _, origin) ->
       if not (Storage.Skipped_lsns.mem (Store.skipped t.ctx.store) lsn) then
-        cache_outcome t origin Message.Written)
+        cache_outcome t origin (Message.Written { lsn }))
     (Wal.durable_writes_in t.ctx.wal ~cohort:t.ctx.range ~above ~upto)
+
+(* ------------------------------------------------------------------ *)
+(* Leader lease: implicit in the leader's ZK session. The lease is granted
+   by election (becoming leader requires a live session) and renewed by
+   every heartbeat; it is valid while the last successful contact with the
+   service is fresher than [lease_fraction] of the session timeout. The
+   margin argument: [last_contact] is a lower bound on when the server last
+   heard from this session, and the ZK client declares its own session dead
+   only after half the timeout of silence — which is what permits a
+   replacement election — so any fraction < 0.5 lapses strictly before a
+   new leader can exist anywhere. *)
+
+let leases_enabled t = t.ctx.config.Config.lease_fraction > 0.0 && not t.lease_disabled
+
+let lease_valid t =
+  let config = t.ctx.config in
+  let zk = t.ctx.zk () in
+  Coord.Zk_client.alive zk
+  &&
+  let held =
+    Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) (Coord.Zk_client.last_contact zk)
+  in
+  let lease_us =
+    config.Config.lease_fraction
+    *. float_of_int (Sim.Sim_time.to_us config.Config.session_timeout)
+  in
+  float_of_int (Sim.Sim_time.to_us held) < lease_us
+
+(* Re-check before a strong reply leaves: the request may have sat in the
+   CPU queue (or behind a read-index round) while this replica was deposed
+   or its lease lapsed. *)
+let strong_serve_ok t = t.role = Leader && ((not (leases_enabled t)) || lease_valid t)
+
+(* Serve every parked token read whose fence the applied commit point has
+   reached; called wherever cmt advances (commit, catch-up, snapshot). *)
+let flush_parked_reads t =
+  if t.parked_reads <> [] then begin
+    let ready, still =
+      List.partition (fun p -> Lsn.(p.p_token <= t.cmt)) (List.rev t.parked_reads)
+    in
+    t.parked_reads <- List.rev still;
+    List.iter
+      (fun p ->
+        if not p.p_done then begin
+          p.p_done <- true;
+          span_end t ~span:p.p_wait_span ~trace_id:p.p_trace_id ~tag:"read.wait_lsn"
+            "token reached";
+          p.p_serve ()
+        end)
+      ready
+  end
+
+(* Abandon every outstanding read-index round (stepdown, session expiry,
+   retirement): answer [Unavailable] so clients fail over immediately. *)
+let fail_guards t =
+  if Hashtbl.length t.guards > 0 then begin
+    let pending = Hashtbl.fold (fun seq g acc -> (seq, g) :: acc) t.guards [] in
+    Hashtbl.reset t.guards;
+    List.iter
+      (fun (_, g) ->
+        t.reads.guard_fails <- t.reads.guard_fails + 1;
+        span_end t ~span:g.g_span ~trace_id:g.g_trace_id ~tag:"read.guard" "abandoned";
+        t.ctx.reply ~client:g.g_client ~request_id:g.g_request_id Message.Unavailable)
+      (List.sort (fun (a, _) (b, _) -> compare a b) pending)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Version assignment: the leader serialises writes, so a coordinate's
@@ -346,7 +477,8 @@ let rec try_commit t =
            closure but may carry an origin: answer the (possibly still
            retrying) client and remember the outcome. *)
         (match e.origin with
-        | Some (client, request_id) -> reply_write t ~client ~request_id Message.Written
+        | Some (client, request_id) ->
+          reply_write t ~client ~request_id (Message.Written { lsn = e.lsn })
         | None -> ()));
       match tracked with
       | Some (trace_id, apply_span, lsn) ->
@@ -355,7 +487,10 @@ let rec try_commit t =
           (Sim.Sim_time.diff (Sim.Engine.now t.ctx.engine) popped_at)
       | None -> ())
     committable;
-  if committable <> [] then retire_proposals t;
+  if committable <> [] then begin
+    retire_proposals t;
+    flush_parked_reads t
+  end;
   if t.takeover_commit_wait && t.role = Leader && Lsn.(t.cmt >= t.takeover_open_at) then begin
     t.takeover_commit_wait <- false;
     trace t "takeover_commit_done" (Printf.sprintf "cmt=%s" (Lsn.to_string t.cmt));
@@ -608,7 +743,7 @@ and perform_write_routed t ~arrived ~client ~request_id op =
       (fun (lsn, op, timestamp, origin) ->
         let reply =
           if Lsn.equal lsn last_lsn then
-            Some (fun () -> reply_write t ~client ~request_id Message.Written)
+            Some (fun () -> reply_write t ~client ~request_id (Message.Written { lsn }))
           else None
         in
         Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ?reply ();
@@ -681,15 +816,125 @@ and retire_proposals t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* Read path (§5): strong reads are served only by the leader; timeline
-   reads by any live replica, possibly returning stale values.           *)
+(* Read path (§5): strong reads are served by the leader — locally under a
+   live lease, behind a read-index quorum round when leases are off, never
+   once the lease has lapsed. Timeline reads are served by any live replica;
+   a read-your-writes token parks them until the replica has applied the
+   client's own writes.                                                  *)
 
-(* Probe storage at arrival: the outcome decides the modeled CPU cost — a
+(* Shared consistency gate for point reads and scans. [submit] serves the
+   request (probing storage and paying the CPU cost); [finish] answers with
+   a refusal reply, closing the request's [phase.read] span either way. *)
+and gate_read t ~client ~request_id ~consistent ~token ~trace_id ~finish ~submit =
+  if consistent then begin
+    if t.role <> Leader then finish (Message.Not_leader { hint = t.leader })
+    else if not t.open_for_writes then finish Message.Unavailable
+    else if leases_enabled t then begin
+      let ok = lease_valid t in
+      trace t "lease.check" (if ok then "ok" else "lapsed");
+      if ok then begin
+        t.reads.leased <- t.reads.leased + 1;
+        submit ()
+      end
+      else begin
+        (* The correctness half of the lease: a leader that cannot prove its
+           session fresh may already be deposed on the far side of a
+           partition, so it must refuse rather than risk a stale "strong"
+           read. No hint — we genuinely do not know who leads. *)
+        t.reads.lease_rejects <- t.reads.lease_rejects + 1;
+        finish (Message.Not_leader { hint = None })
+      end
+    end
+    else begin
+      (* Unleased: a read-index round. The reply is built only after a
+         majority of followers confirm our epoch is still current; quorum
+         intersection with any takeover quorum means no replacement leader
+         can have committed anything yet. *)
+      let seq = t.guard_seq in
+      t.guard_seq <- seq + 1;
+      let gspan =
+        if tracing t then
+          span_start t ~trace_id ~tag:"read.guard" (Printf.sprintf "#%d" seq)
+        else 0
+      in
+      let g =
+        {
+          g_client = client;
+          g_request_id = request_id;
+          g_serve =
+            (fun () ->
+              t.reads.guarded <- t.reads.guarded + 1;
+              submit ());
+          g_acks = [];
+          g_span = gspan;
+          g_trace_id = trace_id;
+        }
+      in
+      Hashtbl.replace t.guards seq g;
+      let msg = Message.Read_guard { range = t.ctx.range; epoch = t.epoch; seq } in
+      List.iter (fun f -> t.ctx.send ~trace_id ~dst:f msg) t.active_followers;
+      after t (Sim.Sim_time.span_scale t.ctx.config.Config.client_timeout 0.5) (fun () ->
+          if Hashtbl.mem t.guards seq then begin
+            Hashtbl.remove t.guards seq;
+            t.reads.guard_fails <- t.reads.guard_fails + 1;
+            span_end t ~span:gspan ~trace_id ~tag:"read.guard" "no quorum; timeout";
+            finish Message.Unavailable
+          end)
+    end
+  end
+  else if t.role = Offline then
+    (* A live node still addressed for a cohort it no longer serves must say
+       so: silence would burn the client's full retry timeout. *)
+    finish Message.Unavailable
+  else begin
+    let serve_timeline () =
+      (if t.role = Leader then t.reads.leader_timeline <- t.reads.leader_timeline + 1
+       else t.reads.follower_timeline <- t.reads.follower_timeline + 1);
+      submit ()
+    in
+    if Lsn.(token > Lsn.zero) && Lsn.(t.cmt < token) then begin
+      (* Read-your-writes: hold the read until our applied prefix covers the
+         client's last acked write, bounded by the staleness deadline. *)
+      t.reads.token_waits <- t.reads.token_waits + 1;
+      let wait_span =
+        if tracing t then
+          span_start t ~trace_id ~lsn:(Lsn.to_string token) ~tag:"read.wait_lsn"
+            (Printf.sprintf "cmt=%s token=%s" (Lsn.to_string t.cmt) (Lsn.to_string token))
+        else 0
+      in
+      let p =
+        {
+          p_client = client;
+          p_request_id = request_id;
+          p_token = token;
+          p_serve = serve_timeline;
+          p_done = false;
+          p_wait_span = wait_span;
+          p_trace_id = trace_id;
+        }
+      in
+      t.parked_reads <- p :: t.parked_reads;
+      after t t.ctx.config.Config.read_lsn_wait (fun () ->
+          if not p.p_done then begin
+            p.p_done <- true;
+            t.parked_reads <- List.filter (fun q -> not (q == p)) t.parked_reads;
+            t.reads.token_redirects <- t.reads.token_redirects + 1;
+            span_end t ~span:wait_span ~trace_id ~tag:"read.wait_lsn"
+              "staleness bound; redirecting to leader";
+            finish (Message.Not_leader { hint = t.leader })
+          end)
+    end
+    else serve_timeline ()
+  end
+
+(* Probe storage at serve time: the outcome decides the modeled CPU cost — a
    row-cache hit is a hash lookup, a miss pays the base cost plus one probe
    charge per SSTable actually binary-searched (bloom/LSN-pruned tables are
    free). The reply carries the probed values after that service time; the
-   read thus linearizes at its arrival instant, inside the request window. *)
-and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
+   read thus linearizes at its probe instant, inside the request window
+   (arrival for leased and timeline reads, quorum confirmation for guarded
+   ones, token arrival for parked ones). *)
+and handle_read t ~client ~request_id ~consistent ~token ~key ~cols ~single =
   let config = t.ctx.config in
   let probe_cost = ref 0.0 in
   (* Probes one column; the service charge accumulates in [probe_cost] so the
@@ -713,15 +958,26 @@ and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
          +. (float_of_int probed *. config.Config.read_probe_service_us));
     value
   in
+  let trace_id = if tracing t then Sim.Trace.request_trace_id ~client ~request_id else -1 in
+  let read_span =
+    if tracing t then
+      span_start t ~trace_id ~tag:"phase.read"
+        (Printf.sprintf "c%d#%d%s" client request_id (if consistent then " strong" else ""))
+    else 0
+  in
+  let finish reply =
+    span_end t ~span:read_span ~trace_id ~tag:"phase.read" "replied";
+    t.ctx.reply ~client ~request_id reply
+  in
   let serve_reply reply =
     guard t (fun () ->
-        if consistent && t.role <> Leader then
-          (* Deposed while the request sat in the CPU queue. *)
-          t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
-        else t.ctx.reply ~client ~request_id reply)
+        if consistent && not (strong_serve_ok t) then
+          (* Deposed — or the lease lapsed — while the request sat in the
+             CPU queue. *)
+          finish (Message.Not_leader { hint = t.leader })
+        else finish reply)
   in
-  (* Values are probed (and the reply built) at arrival either way; the
-     single-column case — every point read — skips the per-column lists. *)
+  (* The single-column case — every point read — skips the per-column lists. *)
   let submit () =
     match cols with
     | [ col ] when single ->
@@ -739,61 +995,62 @@ and handle_read t ~client ~request_id ~consistent ~key ~cols ~single =
       in
       Sim.Resource.submit t.ctx.cpu ~service (serve_reply reply)
   in
-  if consistent then begin
-    if t.role <> Leader then
-      t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
-    else if not t.open_for_writes then t.ctx.reply ~client ~request_id Message.Unavailable
-    else submit ()
-  end
-  else if t.role = Offline then ()
-  else submit ()
+  gate_read t ~client ~request_id ~consistent ~token ~trace_id ~finish ~submit
 
 (* Range scan over this cohort's slice of the window (§3's data model is
    range-partitioned precisely so scans stay local to consecutive cohorts;
    the client stitches ranges together). Same consistency gating as reads. *)
-and handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent =
+and handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent ~token =
+  let trace_id = if tracing t then Sim.Trace.request_trace_id ~client ~request_id else -1 in
+  let read_span =
+    if tracing t then
+      span_start t ~trace_id ~tag:"phase.read" (Printf.sprintf "c%d#%d scan" client request_id)
+    else 0
+  in
+  let finish reply =
+    span_end t ~span:read_span ~trace_id ~tag:"phase.read" "replied";
+    t.ctx.reply ~client ~request_id reply
+  in
   let serve =
     guard t (fun () ->
-        let range_lo, range_hi = t.ctx.range_bounds () in
-        let low = if String.compare start_key range_lo > 0 then start_key else range_lo in
-        let high = if String.compare end_key range_hi < 0 then end_key else range_hi in
-        let rows =
-          if String.compare low high >= 0 then []
-          else Store.scan t.ctx.store ~low ~high ~limit
-        in
-        let rows =
-          List.map
-            (fun (key, cols) ->
-              ( key,
-                List.map
-                  (fun (col, (cell : Row.cell)) ->
-                    (col, Message.{ value = cell.value; version = cell.version }))
-                  cols ))
-            rows
-        in
-        let next =
-          if String.compare range_hi end_key < 0 then Some range_hi else None
-        in
-        t.ctx.reply ~client ~request_id (Message.Rows { rows; next }))
+        if consistent && not (strong_serve_ok t) then
+          finish (Message.Not_leader { hint = t.leader })
+        else begin
+          let range_lo, range_hi = t.ctx.range_bounds () in
+          let low = if String.compare start_key range_lo > 0 then start_key else range_lo in
+          let high = if String.compare end_key range_hi < 0 then end_key else range_hi in
+          let rows =
+            if String.compare low high >= 0 then []
+            else Store.scan t.ctx.store ~low ~high ~limit
+          in
+          let rows =
+            List.map
+              (fun (key, cols) ->
+                ( key,
+                  List.map
+                    (fun (col, (cell : Row.cell)) ->
+                      (col, Message.{ value = cell.value; version = cell.version }))
+                    cols ))
+              rows
+          in
+          let next =
+            if String.compare range_hi end_key < 0 then Some range_hi else None
+          in
+          finish (Message.Rows { rows; next })
+        end)
   in
   let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_service_us in
-  if consistent then begin
-    if t.role <> Leader then
-      t.ctx.reply ~client ~request_id (Message.Not_leader { hint = t.leader })
-    else if not t.open_for_writes then t.ctx.reply ~client ~request_id Message.Unavailable
-    else Sim.Resource.submit t.ctx.cpu ~service serve
-  end
-  else if t.role = Offline then ()
-  else Sim.Resource.submit t.ctx.cpu ~service serve
+  let submit () = Sim.Resource.submit t.ctx.cpu ~service serve in
+  gate_read t ~client ~request_id ~consistent ~token ~trace_id ~finish ~submit
 
 and handle_client t ~client ~request_id op =
   match op with
-  | Message.Get { key; col; consistent } ->
-    handle_read t ~client ~request_id ~consistent ~key ~cols:[ col ] ~single:true
-  | Message.Multi_get { key; cols; consistent } ->
-    handle_read t ~client ~request_id ~consistent ~key ~cols ~single:false
-  | Message.Scan { start_key; end_key; limit; consistent } ->
-    handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent
+  | Message.Get { key; col; consistent; token } ->
+    handle_read t ~client ~request_id ~consistent ~token ~key ~cols:[ col ] ~single:true
+  | Message.Multi_get { key; cols; consistent; token } ->
+    handle_read t ~client ~request_id ~consistent ~token ~key ~cols ~single:false
+  | Message.Scan { start_key; end_key; limit; consistent; token } ->
+    handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent ~token
   | _ -> handle_write t ~client ~request_id op
 
 (* ------------------------------------------------------------------ *)
@@ -827,7 +1084,7 @@ let apply_commits t ~upto =
       (fun (e : Commit_queue.entry) ->
         Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
         t.cmt <- Lsn.max t.cmt e.lsn;
-        cache_outcome t e.origin Message.Written;
+        cache_outcome t e.origin (Message.Written { lsn = e.lsn });
         if Log_record.is_meta e.op then on_meta t e.op)
       entries;
     (* The commit point can pass appended-but-not-yet-locally-forced entries
@@ -848,6 +1105,7 @@ let apply_commits t ~upto =
       end;
       Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt)
     end;
+    flush_parked_reads t;
     if Lsn.(t.cmt < upto) then begin
       trace t "commit_gap"
         (Printf.sprintf "cmt=%s committed=%s" (Lsn.to_string t.cmt) (Lsn.to_string upto));
@@ -973,6 +1231,42 @@ let handle_commit t ~src ~epoch ~upto =
     accept_leader t ~src ~epoch;
     apply_commits t ~upto
   end
+
+(* Follower side of a read-index round: confirm the asking leader's epoch is
+   still the newest we know. The epoch is re-checked when the CPU grants the
+   ack — if a takeover query bumped our epoch while the guard sat in the
+   queue, acking would hand the deposed leader a quorum it no longer has. *)
+let handle_guard t ~src ~epoch ~seq =
+  if epoch >= t.epoch && t.role <> Offline && t.role <> Leader then begin
+    accept_leader t ~src ~epoch;
+    let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_guard_service_us in
+    Sim.Resource.submit t.ctx.cpu ~service
+      (guard t (fun () ->
+           if t.role = Follower && epoch >= t.epoch then
+             t.ctx.send ~dst:src
+               (Message.Read_guard_ack { range = t.ctx.range; from = t.ctx.node_id; seq })))
+  end
+
+(* Leader side: a guard completes on its [majority - 1]'th distinct member
+   ack (the leader itself is the quorum's last member). Ack bookkeeping runs
+   through the leader's CPU: read-index rounds are not free for the leader —
+   every guarded read costs it one ack-processing slot per responding
+   follower, which is exactly why the lease pays off at saturation. *)
+let handle_guard_ack t ~from ~seq =
+  let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_guard_service_us in
+  Sim.Resource.submit t.ctx.cpu ~service
+    (guard t (fun () ->
+         if t.role = Leader && List.mem from (t.ctx.members ()) then
+           match Hashtbl.find_opt t.guards seq with
+           | Some g when not (List.mem from g.g_acks) ->
+             g.g_acks <- from :: g.g_acks;
+             if List.length g.g_acks >= Config.majority t.ctx.config - 1 then begin
+               Hashtbl.remove t.guards seq;
+               span_end t ~span:g.g_span ~trace_id:g.g_trace_id ~tag:"read.guard"
+                 "quorum confirmed";
+               g.g_serve ()
+             end
+           | _ -> ()))
 
 (* ------------------------------------------------------------------ *)
 (* Metadata records: membership changes and range splits ride the same
@@ -1176,6 +1470,7 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
        truncated); re-learn their outcomes from our own log so duplicate
        retries stay suppressed if this node is later elected leader. *)
     recache_outcomes_from_log t ~above:old_cmt ~upto:t.cmt;
+    flush_parked_reads t;
     let finish =
       guard t (fun () ->
           span_end t ~span:catchup_span ~lsn:(Lsn.to_string t.cmt) ~tag:"recovery.catchup"
@@ -1214,6 +1509,16 @@ let retire t =
         clear_in_flight t ~client:w.client ~request_id:w.request_id;
         t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
       waiting;
+    fail_guards t;
+    let parked = List.rev t.parked_reads in
+    t.parked_reads <- [];
+    List.iter
+      (fun p ->
+        if not p.p_done then begin
+          p.p_done <- true;
+          t.ctx.reply ~client:p.p_client ~request_id:p.p_request_id Message.Unavailable
+        end)
+      parked;
     let zk = t.ctx.zk () in
     (match t.own_candidate with
     | Some path -> Coord.Zk_client.delete_node zk ~path (fun _ -> ())
@@ -1414,7 +1719,8 @@ let handle_snapshot_chunk t ~src ~epoch ~seq ~cells ~upto ~final =
         t.lst <- t.cmt;
         Wal.append t.ctx.wal (Log_record.commit_upto ~cohort:t.ctx.range t.cmt);
         trace t "snapshot_installed"
-          (Printf.sprintf "from n%d upto=%s" src (Lsn.to_string t.cmt))
+          (Printf.sprintf "from n%d upto=%s" src (Lsn.to_string t.cmt));
+        flush_parked_reads t
       end;
       (* Ack only once durable: the promise behind the ack is that a crash
          cannot silently lose this chunk. *)
@@ -1553,6 +1859,7 @@ let handle_takeover_query t ~src ~epoch =
       t.open_for_writes <- false;
       t.takeover_pending <- false;
       t.takeover_commit_wait <- false;
+      fail_guards t;
       (* A deposed leader's in-flight migration or split dies with its term;
          if the metadata record was already logged the new leader's takeover
          resolves it like any other write. *)
@@ -1884,6 +2191,13 @@ let crash t =
   t.election_running <- false;
   t.own_candidate <- None;
   t.leader_watch_armed <- false;
+  (* Outstanding guard rounds and parked reads die with the node (no replies
+     leave a crashed process); their clients time out and retry elsewhere.
+     [lease_disabled] and [guard_seq] survive: the former is configuration,
+     the latter stays monotone so a stale pre-crash ack can never complete a
+     fresh round. *)
+  Hashtbl.reset t.guards;
+  t.parked_reads <- [];
   (* Accumulated phase samples survive the crash (cluster-lifetime metrics);
      in-flight tracking does not — those writes will never pop. *)
   Hashtbl.reset t.inflight_started;
@@ -1963,7 +2277,10 @@ let zk_session_expired t =
         (fun w ->
           clear_in_flight t ~client:w.client ~request_id:w.request_id;
           t.ctx.reply ~client:w.client ~request_id:w.request_id Message.Unavailable)
-        waiting
+        waiting;
+      (* The session is gone, so the lease is too; in-flight guard rounds can
+         never complete under an epoch a new leader may already have beaten. *)
+      fail_guards t
     end;
     t.role <- if t.learner then Follower else Candidate;
     t.leader <- None;
@@ -2010,6 +2327,8 @@ let handle_peer t ~src ~sent_at msg =
       try_commit t
     end
   | Message.Commit { epoch; upto; _ } -> handle_commit t ~src ~epoch ~upto
+  | Message.Read_guard { epoch; seq; _ } -> handle_guard t ~src ~epoch ~seq
+  | Message.Read_guard_ack { from; seq; _ } -> handle_guard_ack t ~from ~seq
   | Message.Takeover_query { epoch; _ } -> handle_takeover_query t ~src ~epoch
   | Message.Takeover_info { from; cmt; _ } ->
     if t.role = Leader then leader_run_catchup t ~follower:from ~f_cmt:cmt

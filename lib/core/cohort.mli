@@ -96,6 +96,34 @@ val chaos_ack_past_holes : bool ref
     have a reproducible planted lost-acked-write failure to shrink. Never
     set outside tests. *)
 
+(** {2 Read path: leases and follower reads} *)
+
+type read_stats = {
+  mutable leased : int;  (** strong reads served locally under a live lease *)
+  mutable guarded : int;  (** strong reads served via a read-index quorum round *)
+  mutable lease_rejects : int;  (** strong reads refused because the lease lapsed *)
+  mutable guard_fails : int;  (** guard rounds abandoned without a quorum *)
+  mutable leader_timeline : int;  (** timeline reads served by the leader *)
+  mutable follower_timeline : int;  (** timeline reads served by a follower *)
+  mutable token_waits : int;  (** timeline reads parked for cmt to reach a token *)
+  mutable token_redirects : int;  (** parked reads that hit the staleness bound *)
+}
+
+val read_stats : t -> read_stats
+(** Read-path counters, accumulated across the cohort's lifetime (crashes do
+    not reset them — they feed bench series like the write-phase samples). *)
+
+val set_lease_disabled : t -> bool -> unit
+(** Force the unleased (per-read quorum guard) strong-read path even with
+    [Config.lease_fraction] > 0 — the bench's leased-vs-unleased A/B switch,
+    flippable at runtime without rebuilding the cluster. *)
+
+val lease_valid : t -> bool
+(** Whether this replica currently holds a live leader lease: its ZK session
+    is alive and the last successful contact is fresher than
+    [Config.lease_fraction] of the session timeout. Meaningful on a leader;
+    tests use it to probe the fencing window. *)
+
 (** {2 Membership change and splits (§10)} *)
 
 val request_join : t -> joiner:int -> ?remove:int -> unit -> bool

@@ -41,6 +41,20 @@ type t = {
   snapshot_chunk_bytes : int;
   learner_timeout : Sim.Sim_time.span;
   migration_timeout : Sim.Sim_time.span;
+  lease_fraction : float;
+      (** Leader lease length as a fraction of [session_timeout], anchored to
+          the leader's last successful ZK contact. Must be < 0.5: the ZK
+          client declares its own session dead once it has been silent for
+          half the timeout, so any lease shorter than that lapses strictly
+          before a replacement leader can be elected. [<= 0.] disables leases
+          and falls back to a per-read quorum guard. *)
+  read_guard_service_us : float;
+      (** CPU cost on leader and follower to process one read-index guard
+          message (the unleased strong-read quorum round). *)
+  read_lsn_wait : Sim.Sim_time.span;
+      (** Follower-side staleness bound for token (read-your-writes) timeline
+          reads: how long a follower parks a read waiting for its applied LSN
+          to reach the client's token before redirecting to the leader. *)
   seed : int;
 }
 
@@ -78,6 +92,9 @@ let default =
     snapshot_chunk_bytes = 512 * 1024;
     learner_timeout = Sim.Sim_time.sec 30;
     migration_timeout = Sim.Sim_time.sec 10;
+    lease_fraction = 0.4;
+    read_guard_service_us = 20.0;
+    read_lsn_wait = Sim.Sim_time.ms 50;
     seed = 42;
   }
 

@@ -55,6 +55,17 @@ type t = {
       (** a learner replica never promoted within this span retires itself *)
   migration_timeout : Sim.Sim_time.span;
       (** leader-side watchdog: abort a migration stuck in catch-up *)
+  lease_fraction : float;
+      (** leader lease length as a fraction of [session_timeout], anchored to
+          the leader's last successful ZK contact; must be < 0.5 (the ZK
+          client self-expires after half the timeout of silence, so the lease
+          lapses strictly before a replacement leader can exist). [<= 0.]
+          disables leases: strong reads then pay a per-read quorum guard *)
+  read_guard_service_us : float;
+      (** CPU cost per read-index guard message (unleased strong reads) *)
+  read_lsn_wait : Sim.Sim_time.span;
+      (** follower staleness bound for token timeline reads before
+          redirecting the client to the leader *)
   seed : int;
 }
 

@@ -1,6 +1,16 @@
 type client_op =
-  | Get of { key : Storage.Row.key; col : Storage.Row.column; consistent : bool }
-  | Multi_get of { key : Storage.Row.key; cols : Storage.Row.column list; consistent : bool }
+  | Get of {
+      key : Storage.Row.key;
+      col : Storage.Row.column;
+      consistent : bool;
+      token : Storage.Lsn.t;
+    }
+  | Multi_get of {
+      key : Storage.Row.key;
+      cols : Storage.Row.column list;
+      consistent : bool;
+      token : Storage.Lsn.t;
+    }
   | Put of { key : Storage.Row.key; col : Storage.Row.column; value : string }
   | Multi_put of { key : Storage.Row.key; cols : (Storage.Row.column * string) list }
   | Delete of { key : Storage.Row.key; col : Storage.Row.column }
@@ -21,6 +31,7 @@ type client_op =
       end_key : Storage.Row.key;
       limit : int;
       consistent : bool;
+      token : Storage.Lsn.t;
     }
 
 type value_reply = { value : string option; version : int }
@@ -36,7 +47,9 @@ type client_reply =
               server's answer, not the client's routing table, decides the
               step, so a scan cannot skip keys a concurrent split moved. *)
     }
-  | Written
+  | Written of { lsn : Storage.Lsn.t }
+      (** commit LSN of the acked write — the client's read-your-writes token
+          for subsequent timeline reads against this cohort *)
   | Version_mismatch of { current : int }
   | Not_leader of { hint : int option }
   | Wrong_range of { hint : int option }
@@ -60,6 +73,10 @@ type t =
     }
   | Ack of { range : int; from : int; upto : Storage.Lsn.t }
   | Commit of { range : int; epoch : int; upto : Storage.Lsn.t }
+  | Read_guard of { range : int; epoch : int; seq : int }
+      (** unleased strong reads: the leader confirms it is still the leader
+          by collecting a majority of acks for this guard before answering *)
+  | Read_guard_ack of { range : int; from : int; seq : int }
   | Takeover_query of { range : int; epoch : int }
   | Takeover_info of { range : int; from : int; cmt : Storage.Lsn.t; lst : Storage.Lsn.t }
   | Catchup_request of { range : int; from : int; cmt : Storage.Lsn.t }
@@ -140,7 +157,8 @@ let size_of_reply = function
           (a + String.length k + 8)
           cols)
       8 rows
-  | Written | Version_mismatch _ | Not_leader _ | Wrong_range _ | Unavailable | Cross_range -> 16
+  | Written _ | Version_mismatch _ | Not_leader _ | Wrong_range _ | Unavailable | Cross_range ->
+    16
 
 let size_of_cell ((key, col), (cell : Storage.Row.cell)) =
   String.length key + String.length col
@@ -166,8 +184,8 @@ let size = function
   | Request { op; _ } -> size_of_op op + 16
   | Reply { reply; _ } -> size_of_reply reply + 8
   | Propose { writes; _ } -> List.fold_left (fun a w -> a + size_of_write w) 32 writes
-  | Ack _ | Commit _ | Takeover_query _ | Takeover_info _ | Catchup_request _
-  | Catchup_done _ | Snapshot_ack _ ->
+  | Ack _ | Commit _ | Read_guard _ | Read_guard_ack _ | Takeover_query _ | Takeover_info _
+  | Catchup_request _ | Catchup_done _ | Snapshot_ack _ ->
     48
   | Catchup_data { cells; _ } | Snapshot_chunk { cells; _ } ->
     List.fold_left (fun a c -> a + size_of_cell c) 48 cells
@@ -182,6 +200,10 @@ let pp ppf = function
   | Ack { range; from; upto } ->
     Format.fprintf ppf "ack r%d from n%d upto %a" range from Storage.Lsn.pp upto
   | Commit { range; upto; _ } -> Format.fprintf ppf "commit r%d upto %a" range Storage.Lsn.pp upto
+  | Read_guard { range; epoch; seq } ->
+    Format.fprintf ppf "read-guard r%d e%d #%d" range epoch seq
+  | Read_guard_ack { range; from; seq } ->
+    Format.fprintf ppf "read-guard-ack r%d n%d #%d" range from seq
   | Takeover_query { range; epoch } -> Format.fprintf ppf "takeover-query r%d e%d" range epoch
   | Takeover_info { range; from; cmt; lst } ->
     Format.fprintf ppf "takeover-info r%d n%d cmt=%a lst=%a" range from Storage.Lsn.pp cmt

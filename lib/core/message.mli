@@ -5,9 +5,22 @@
     a single typed inbox. *)
 
 type client_op =
-  | Get of { key : Storage.Row.key; col : Storage.Row.column; consistent : bool }
-      (** strong ([consistent = true]) or timeline read (§3) *)
-  | Multi_get of { key : Storage.Row.key; cols : Storage.Row.column list; consistent : bool }
+  | Get of {
+      key : Storage.Row.key;
+      col : Storage.Row.column;
+      consistent : bool;
+      token : Storage.Lsn.t;
+    }
+      (** strong ([consistent = true]) or timeline read (§3). [token] is the
+          client's read-your-writes fence for timeline reads: a replica may
+          answer only once it has applied commits up to [token]
+          ([Storage.Lsn.zero] = no fence). Ignored for strong reads. *)
+  | Multi_get of {
+      key : Storage.Row.key;
+      cols : Storage.Row.column list;
+      consistent : bool;
+      token : Storage.Lsn.t;
+    }
   | Put of { key : Storage.Row.key; col : Storage.Row.column; value : string }
   | Multi_put of { key : Storage.Row.key; cols : (Storage.Row.column * string) list }
       (** multiple columns of one row, one single-operation transaction *)
@@ -32,6 +45,7 @@ type client_op =
       end_key : Storage.Row.key;  (** exclusive *)
       limit : int;
       consistent : bool;
+      token : Storage.Lsn.t;  (** read-your-writes fence, as for [Get] *)
     }
       (** Range scan over one cohort's slice of [start_key, end_key); the
           client stitches multi-range scans together range by range. *)
@@ -50,7 +64,9 @@ type client_reply =
               client with a stale routing table cannot skip keys that a
               concurrent range split moved to a new cohort. *)
     }
-  | Written
+  | Written of { lsn : Storage.Lsn.t }
+      (** acked write with its commit LSN — the client remembers the highest
+          per cohort as its read-your-writes token for timeline reads *)
   | Version_mismatch of { current : int }  (** conditional put/delete failed *)
   | Not_leader of { hint : int option }  (** strong ops must go to the leader *)
   | Wrong_range of { hint : int option }
@@ -77,6 +93,11 @@ type t =
     }
   | Ack of { range : int; from : int; upto : Storage.Lsn.t }
   | Commit of { range : int; epoch : int; upto : Storage.Lsn.t }
+  | Read_guard of { range : int; epoch : int; seq : int }
+      (** read-index round for unleased strong reads: before answering, the
+          leader must hear a majority confirm its epoch is still current —
+          the quorum-intersection argument that replaces the lease *)
+  | Read_guard_ack of { range : int; from : int; seq : int }
   (* --- recovery (§6) --- *)
   | Takeover_query of { range : int; epoch : int }
       (** new leader asks a follower for its last committed LSN (Fig 6 l.4) *)

@@ -367,6 +367,8 @@ let handle t (env : Message.t Sim.Network.envelope) =
     | Message.Propose { range; _ }
     | Message.Ack { range; _ }
     | Message.Commit { range; _ }
+    | Message.Read_guard { range; _ }
+    | Message.Read_guard_ack { range; _ }
     | Message.Takeover_query { range; _ }
     | Message.Takeover_info { range; _ }
     | Message.Catchup_request { range; _ }

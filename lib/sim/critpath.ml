@@ -27,9 +27,20 @@
    ring) degrades to a coarser charge and flags the request, never a
    mis-attribution that still claims full detail. *)
 
-type segment = Retry | Transit | Queue | Force | Follower_force | Ack_wait | Apply
+type segment =
+  | Retry
+  | Transit
+  | Queue
+  | Force
+  | Follower_force
+  | Ack_wait
+  | Apply
+  | Read
+  | Wait_lsn
+  | Guard
 
-let all_segments = [ Retry; Transit; Queue; Force; Follower_force; Ack_wait; Apply ]
+let all_segments =
+  [ Retry; Transit; Queue; Force; Follower_force; Ack_wait; Apply; Read; Wait_lsn; Guard ]
 
 let segment_index = function
   | Retry -> 0
@@ -39,6 +50,9 @@ let segment_index = function
   | Follower_force -> 4
   | Ack_wait -> 5
   | Apply -> 6
+  | Read -> 7
+  | Wait_lsn -> 8
+  | Guard -> 9
 
 let segment_name = function
   | Retry -> "retry"
@@ -48,6 +62,9 @@ let segment_name = function
   | Follower_force -> "follower_force"
   | Ack_wait -> "ack_wait"
   | Apply -> "apply"
+  | Read -> "read"
+  | Wait_lsn -> "wait_lsn"
+  | Guard -> "guard"
 
 type request = {
   trace_id : int;
@@ -103,8 +120,11 @@ let last_where pred l =
 let first_where pred l = List.find_opt pred l
 
 (* Analyze one request's events (chronological, all sharing a trace id).
-   Returns [None] for traces that are not committed writes — reads, or
-   requests whose leader-side spans never appeared. *)
+   Writes follow the force ∥ replication milestone walk; reads (requests with
+   a [phase.read] span but no committed-write pattern) follow their own sweep
+   over the serving replica's read span and its guard / token-wait sub-spans.
+   Returns [None] for traces with neither pattern (requests whose server-side
+   spans never appeared). *)
 let analyze_request ~events =
   match
     List.find_opt
@@ -132,6 +152,37 @@ let analyze_request ~events =
         let repls = pair_spans events ~tag:"phase.replication" in
         let applies = pair_spans events ~tag:"phase.apply" in
         let ffs = pair_spans events ~tag:"follower.force" in
+        let seg = Array.make 10 0.0 in
+        let cursor = ref t0 in
+        let incomplete = ref false in
+        let advance s target =
+          let target = Stdlib.min target t1 in
+          if target > !cursor then begin
+            seg.(segment_index s) <-
+              seg.(segment_index s) +. float_of_int (target - !cursor);
+            cursor := target
+          end
+        in
+        let finish ~leader =
+          advance Retry t1;
+          let segments = List.map (fun s -> (s, seg.(segment_index s))) all_segments in
+          let dominant =
+            fst
+              (List.fold_left
+                 (fun (bs, bv) (s, v) -> if v > bv then (s, v) else (bs, bv))
+                 (Retry, neg_infinity) segments)
+          in
+          Some
+            {
+              trace_id = req_start.trace_id;
+              client;
+              leader;
+              total_us = float_of_int (t1 - t0);
+              segments;
+              dominant;
+              incomplete = !incomplete;
+            }
+        in
         (* The last completed force/replication pair is the winning write
            attempt (a deposed leader's abandoned attempt never completes its
            spans). *)
@@ -140,17 +191,6 @@ let analyze_request ~events =
           let p1 = Stdlib.min force.s_at repl.s_at in
           let p2 = Stdlib.max force.e_at repl.e_at in
           let leader = force.src in
-          let seg = Array.make 7 0.0 in
-          let cursor = ref t0 in
-          let incomplete = ref false in
-          let advance s target =
-            let target = Stdlib.min target t1 in
-            if target > !cursor then begin
-              seg.(segment_index s) <-
-                seg.(segment_index s) +. float_of_int (target - !cursor);
-              cursor := target
-            end
-          in
           (* Submit -> the request transit that started the write. Everything
              before that transit left the client is retry/backoff (failed
              attempts, timeouts); the transit itself is wire time. *)
@@ -220,25 +260,43 @@ let analyze_request ~events =
             advance Apply r.s_at;
             advance Transit r.e_at
           | None -> incomplete := true);
-          advance Retry t1;
-          let segments = List.map (fun s -> (s, seg.(segment_index s))) all_segments in
-          let dominant =
-            fst
-              (List.fold_left
-                 (fun (bs, bv) (s, v) -> if v > bv then (s, v) else (bs, bv))
-                 (Retry, neg_infinity) segments)
-          in
-          Some
-            {
-              trace_id = req_start.trace_id;
-              client;
-              leader;
-              total_us = float_of_int (t1 - t0);
-              segments;
-              dominant;
-              incomplete = !incomplete;
-            }
-        | _ -> None))
+          finish ~leader
+        | _ -> (
+          (* No committed-write span pattern: a read. The last completed
+             [phase.read] span is the winning attempt (earlier redirected or
+             timed-out attempts land in Retry); inside it the quorum-guard
+             round and the token park carry their own spans, and what remains
+             is CPU queue plus serve time, charged to Read. *)
+          match last_span (pair_spans events ~tag:"phase.read") with
+          | None -> None
+          | Some rs ->
+            let server = rs.src in
+            (match last_where (fun tr -> tr.src = client && tr.e_at <= rs.s_at) transits with
+            | Some tr ->
+              advance Retry tr.s_at;
+              advance Transit tr.e_at
+            | None -> incomplete := true);
+            advance Read rs.s_at;
+            let in_window sp = sp.s_at >= rs.s_at && sp.e_at <= rs.e_at in
+            let subs =
+              List.map (fun sp -> (Guard, sp))
+                (List.filter in_window (pair_spans events ~tag:"read.guard"))
+              @ List.map (fun sp -> (Wait_lsn, sp))
+                  (List.filter in_window (pair_spans events ~tag:"read.wait_lsn"))
+            in
+            let subs = List.sort (fun (_, a) (_, b) -> Stdlib.compare a.s_at b.s_at) subs in
+            List.iter
+              (fun (k, sp) ->
+                advance Read sp.s_at;
+                advance k sp.e_at)
+              subs;
+            advance Read rs.e_at;
+            (match last_where (fun tr -> tr.dst = client && tr.e_at <= t1) transits with
+            | Some r ->
+              advance Read r.s_at;
+              advance Transit r.e_at
+            | None -> incomplete := true);
+            finish ~leader:server)))
 
 let analyze ?(dropped = 0) ~events () =
   let by_trace : (int, Trace.event list ref) Hashtbl.t = Hashtbl.create 64 in

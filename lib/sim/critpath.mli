@@ -23,15 +23,31 @@
     - [Follower_force]: the quorum-closing follower's log force
     - [Ack_wait]: replication wait not explained by wire or follower force —
       pipeline hold-back, ack coalescing delay, in-order quorum wait
-    - [Apply]: commit apply and reply issue on the leader *)
-type segment = Retry | Transit | Queue | Force | Follower_force | Ack_wait | Apply
+    - [Apply]: commit apply and reply issue on the leader
+    - [Read]: serving-replica read execution (CPU queue plus store probe) not
+      covered by the sub-spans below — reads only
+    - [Wait_lsn]: a timeline read parked until the replica's applied state
+      covered the client's read-your-writes token
+    - [Guard]: an unleased strong read's read-index quorum round *)
+type segment =
+  | Retry
+  | Transit
+  | Queue
+  | Force
+  | Follower_force
+  | Ack_wait
+  | Apply
+  | Read
+  | Wait_lsn
+  | Guard
 
 val all_segments : segment list
 (** Canonical order. *)
 
 val segment_name : segment -> string
 (** Stable JSON/attribution key: ["retry"], ["transit"], ["queue"],
-    ["force"], ["follower_force"], ["ack_wait"], ["apply"]. *)
+    ["force"], ["follower_force"], ["ack_wait"], ["apply"], ["read"],
+    ["wait_lsn"], ["guard"]. *)
 
 type request = {
   trace_id : int;
@@ -48,14 +64,17 @@ type request = {
 type analysis = {
   requests : request list;
   skipped : int;
-      (** traces that are not committed writes (reads, unfinished requests) *)
+      (** traces with neither a committed-write nor a read span pattern
+          (unfinished requests, evicted server-side spans) *)
   dropped : int;  (** ring-buffer events overwritten during the window *)
   incomplete : bool;  (** [dropped > 0]: attribution may be missing requests *)
 }
 
 val analyze_request : events:Trace.event list -> request option
 (** Analyze one request from its events (chronological, all sharing one
-    trace id). [None] when the trace lacks the committed-write span pattern. *)
+    trace id). Writes follow the force ∥ replication walk; reads (a
+    ["phase.read"] span with no write pattern) follow the read sweep. [None]
+    when the trace matches neither. *)
 
 val analyze : ?dropped:int -> events:Trace.event list -> unit -> analysis
 (** Group events by trace id and analyze each. Pass [dropped] (from

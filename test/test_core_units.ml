@@ -164,21 +164,26 @@ let prop_queue_commits_exactly_once =
 (* --- messages -------------------------------------------------------------------- *)
 
 let test_message_classification () =
-  check_bool "get is read" false (Message.is_write (Message.Get { key = "k"; col = "c"; consistent = true }));
+  check_bool "get is read" false
+    (Message.is_write (Message.Get { key = "k"; col = "c"; consistent = true; token = Lsn.zero }));
   check_bool "put is write" true (Message.is_write (Message.Put { key = "k"; col = "c"; value = "v" }));
   check_bool "cond delete is write" true
     (Message.is_write (Message.Conditional_delete { key = "k"; col = "c"; expected = 1 }))
 
 let test_message_new_ops_classified () =
   check_bool "scan is read" false
-    (Message.is_write (Message.Scan { start_key = "a"; end_key = "b"; limit = 10; consistent = true }));
+    (Message.is_write
+       (Message.Scan
+          { start_key = "a"; end_key = "b"; limit = 10; consistent = true; token = Lsn.zero }));
   check_bool "txn is write" true (Message.is_write (Message.Txn_put { rows = [ ("k", "c", "v") ] }));
   Alcotest.(check string)
     "txn routes by first key" "k"
     (Message.key_of_op (Message.Txn_put { rows = [ ("k", "c", "v"); ("k2", "c", "v") ] }));
   Alcotest.(check string)
     "scan routes by start key" "s"
-    (Message.key_of_op (Message.Scan { start_key = "s"; end_key = "t"; limit = 1; consistent = false }))
+    (Message.key_of_op
+       (Message.Scan
+          { start_key = "s"; end_key = "t"; limit = 1; consistent = false; token = Lsn.zero }))
 
 let test_batch_op_helpers () =
   let batch =

@@ -110,6 +110,151 @@ let test_zk_cut_leader_steps_down () =
   | None -> ());
   check_bool "range still has a leader" true (Cluster.leader_of cluster ~range <> None)
 
+let chaos_seeds () =
+  match Sys.getenv_opt "NEMESIS_SEEDS" with
+  | Some s -> (
+    match
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+    with
+    | [] -> Alcotest.failf "NEMESIS_SEEDS=%S contains no seeds (expected e.g. \"15\" or \"3,7,21\")" s
+    | seeds -> seeds)
+  | None -> List.init 20 (fun i -> i + 1)
+
+(* --- satellite: lease fencing — no stale strong read across a ZK cut ------ *)
+
+(* Aggregated across seeds: the battery is only meaningful if some probes
+   actually landed in the lapsed-lease window (refused) and some were served
+   under a live lease. One seed's timing might miss the window; twenty
+   should not. *)
+let total_lease_rejects = ref 0
+let total_probe_serves = ref 0
+
+(* One seed of the fencing oracle. Cut the leader's coordination link at a
+   seed-jittered instant while a writer keeps bumping a counter key through
+   the normal client (which fails over to the new leader) and a probe fires
+   a strong read directly at the OLD leader every 10 ms. Each probe records
+   the highest acked counter value at send time; a served reply below that
+   floor is a stale strong read — the lease was supposed to fence it. The
+   probe bypasses client routing on purpose: it keeps aiming at the deposed
+   leader long after every well-behaved client has moved on. *)
+let run_lease_fence_seed seed =
+  let engine = Sim.Engine.create ~seed () in
+  let cluster = Cluster.create engine test_config in
+  Cluster.start cluster;
+  if not (Cluster.run_until_ready cluster) then
+    Alcotest.failf "seed %d: cluster never became ready" seed;
+  let client = Cluster.new_client cluster in
+  let key = Partition.key_of_int (Cluster.partition cluster) 1 in
+  let range = Partition.route (Cluster.partition cluster) key in
+  let old_leader =
+    match Cluster.leader_of cluster ~range with
+    | Some l -> l
+    | None -> Alcotest.failf "seed %d: range %d has no leader" seed range
+  in
+  (* Establish the counter at 0 synchronously so every probe has a floor. *)
+  let acked = ref (-1) in
+  let r0 = ref None in
+  Client.put client key "c" ~value:"0" (fun x -> r0 := Some x);
+  let rec settle n =
+    match !r0 with
+    | Some (Ok ()) -> acked := 0
+    | Some (Error e) -> Alcotest.failf "seed %d: seed write failed: %a" seed Client.pp_error e
+    | None when n = 0 -> Alcotest.failf "seed %d: seed write never settled" seed
+    | None ->
+      Sim.Engine.run_for engine (Sim.Sim_time.ms 10);
+      settle (n - 1)
+  in
+  settle 500;
+  (* Writer: one outstanding put at a time; acked only counts clean acks
+     (a timed-out put is indeterminate and must not raise the floor). *)
+  let next = ref 0 in
+  let writer_idle = ref true in
+  let launch_write () =
+    writer_idle := false;
+    incr next;
+    let n = !next in
+    Client.put client key "c" ~value:(string_of_int n) (fun r ->
+        writer_idle := true;
+        match r with
+        | Ok () -> if n > !acked then acked := n
+        | Error _ -> ())
+  in
+  (* Probe endpoint: raw network peer, outside the client id space. *)
+  let net = Cluster.net cluster in
+  let probe_id = 90_000 + seed in
+  let sent = Hashtbl.create 64 in
+  let stale = ref [] in
+  let serves = ref 0 in
+  let refusals = ref 0 in
+  Sim.Network.register net ~node:probe_id (fun env ->
+      match env.Sim.Network.payload with
+      | Message.Reply { request_id; reply } -> (
+        match Hashtbl.find_opt sent request_id with
+        | None -> ()
+        | Some floor_n -> (
+          Hashtbl.remove sent request_id;
+          match reply with
+          | Message.Value { value = Some v; _ } ->
+            incr serves;
+            let n = int_of_string v in
+            if n < floor_n then stale := (request_id, n, floor_n) :: !stale
+          | Message.Value { value = None; _ } ->
+            incr serves;
+            if floor_n >= 0 then stale := (request_id, -1, floor_n) :: !stale
+          | Message.Not_leader _ | Message.Unavailable -> incr refusals
+          | _ -> ()))
+      | _ -> ());
+  (* Cut ONLY the leader's coordination link, at a seed-varied instant so
+     the battery sweeps the probe/lapse phase alignment. *)
+  let failure = Sim.Failure.create engine in
+  let cut =
+    Sim.Failure.toggle
+      ~label:(Printf.sprintf "zk-cut-n%d" old_leader)
+      ~engage:(fun () -> Cluster.set_zk_reachable cluster old_leader false)
+      ~disengage:(fun () -> Cluster.set_zk_reachable cluster old_leader true)
+  in
+  let now = Sim.Engine.now engine in
+  Sim.Failure.toggle_for failure
+    ~at:(Sim.Sim_time.add now (Sim.Sim_time.ms (60 + (37 * seed mod 180))))
+    ~down_for:(Sim.Sim_time.sec 2) cut;
+  let rid = ref 0 in
+  for i = 1 to 400 do
+    incr rid;
+    Hashtbl.replace sent !rid !acked;
+    Sim.Network.send net ~src:probe_id ~dst:old_leader
+      (Message.Request
+         {
+           client = probe_id;
+           request_id = !rid;
+           op = Message.Get { key; col = "c"; consistent = true; token = Lsn.zero };
+         });
+    if i mod 2 = 0 && !writer_idle then launch_write ();
+    Sim.Engine.run_for engine (Sim.Sim_time.ms 10)
+  done;
+  Sim.Engine.run_for engine (Sim.Sim_time.sec 1);
+  (match !stale with
+  | [] -> ()
+  | (rid, got, floor_n) :: _ ->
+    Format.printf "@.lease-fence seed %d injection log:@.%a@.%a@." seed
+      Sim.Failure.pp_injections failure Cluster.pp_status cluster;
+    Alcotest.failf
+      "seed %d: %d stale strong read(s) at the deposed leader (e.g. probe #%d read %d, %d \
+       already acked)"
+      seed (List.length !stale) rid got floor_n);
+  check_bool
+    (Printf.sprintf "seed %d: probes exercised the read path" seed)
+    true
+    (!serves + !refusals > 50);
+  total_probe_serves := !total_probe_serves + !serves;
+  total_lease_rejects :=
+    !total_lease_rejects + (Cluster.read_serve_stats cluster).Cluster.lease_rejects
+
+let test_lease_fencing () =
+  List.iter run_lease_fence_seed (chaos_seeds ());
+  check_bool "some probes were served under a live lease" true (!total_probe_serves > 0);
+  check_bool "some probes hit the lapsed-lease refusal window" true (!total_lease_rejects > 0)
+
 (* --- the chaos property --------------------------------------------------- *)
 
 type outcome = { mutable acked : int; mutable indeterminate : int }
@@ -324,17 +469,6 @@ let run_chaos_seed seed =
     true
     (History.writes history > 100 && History.reads history > 100)
 
-let chaos_seeds () =
-  match Sys.getenv_opt "NEMESIS_SEEDS" with
-  | Some s -> (
-    match
-      String.split_on_char ',' s
-      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
-    with
-    | [] -> Alcotest.failf "NEMESIS_SEEDS=%S contains no seeds (expected e.g. \"15\" or \"3,7,21\")" s
-    | seeds -> seeds)
-  | None -> List.init 20 (fun i -> i + 1)
-
 (* Replay an explicit injection schedule (NEMESIS_SCHEDULE=<file>). The seed
    still feeds the workload streams — same seed + same schedule is the
    reproduction contract — so a verdict artifact's own [seed] field wins,
@@ -390,6 +524,8 @@ let suite =
       test_chaos_clamps_zero_mean;
     Alcotest.test_case "ZK-only cut: leader steps down, majority re-elects" `Slow
       test_zk_cut_leader_steps_down;
+    Alcotest.test_case "lease fencing: no stale strong reads across ZK cuts" `Slow
+      test_lease_fencing;
     Alcotest.test_case "chaos: crashes + partitions + loss + duplication" `Slow
       test_chaos_survival;
   ]

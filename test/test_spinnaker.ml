@@ -455,6 +455,60 @@ let test_timeline_read_staleness_bounded () =
       (value_of (get_sync ~consistent:false engine client key "c"))
   done
 
+let test_timeline_read_your_writes () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 24 in
+  ignore (put_sync engine client key "c" "old");
+  Sim.Engine.run_for engine (Sim.Sim_time.ms 600);
+  (* Immediately after each write — well inside the commit period, so
+     followers have NOT applied it yet — the writing client's own timeline
+     reads must still observe the write: its read-your-writes token parks
+     the read at a follower (or redirects it to the leader) instead of
+     letting a stale answer through. *)
+  for i = 1 to 8 do
+    ignore (put_sync engine client key "c" (string_of_int i));
+    Alcotest.(check (option string))
+      "timeline read sees own write" (Some (string_of_int i))
+      (value_of (get_sync ~consistent:false engine client key "c"))
+  done
+
+let test_offline_replica_answers_unavailable () =
+  let engine, cluster = boot () in
+  let client = Cluster.new_client cluster in
+  let key = key_for cluster 25 in
+  ignore (put_sync engine client key "c" "x");
+  let range = Partition.route (Cluster.partition cluster) key in
+  let follower =
+    List.find
+      (fun n ->
+        match Node.cohort (Cluster.node cluster n) ~range with
+        | Some c -> Cohort.role c = Cohort.Follower
+        | None -> false)
+      (Partition.cohort (Cluster.partition cluster) ~range)
+  in
+  (* Knock just the cohort offline; the node stays up and reachable, so the
+     request is delivered and must be answered. A silent drop here used to
+     burn the client's whole retry timeout. *)
+  Cohort.crash (Option.get (Node.cohort (Cluster.node cluster follower) ~range));
+  let net = Cluster.net cluster in
+  let probe_id = 99_999 in
+  let got = ref None in
+  Sim.Network.register net ~node:probe_id (fun env ->
+      match env.Sim.Network.payload with
+      | Message.Reply { reply; _ } -> got := Some reply
+      | _ -> ());
+  Sim.Network.send net ~src:probe_id ~dst:follower
+    (Message.Request
+       {
+         client = probe_id;
+         request_id = 1;
+         op = Message.Get { key; col = "c"; consistent = false; token = Storage.Lsn.zero };
+       });
+  (match await engine ~timeout:(Sim.Sim_time.sec 2) got with
+  | Message.Unavailable -> ()
+  | _ -> Alcotest.fail "offline replica answered a timeline read with data, not Unavailable")
+
 (* --- failover & recovery -------------------------------------------------------- *)
 
 let leader_of_key cluster key =
@@ -811,6 +865,10 @@ let suite =
     Alcotest.test_case "strong reads see latest" `Quick test_strong_reads_see_latest;
     Alcotest.test_case "timeline reads converge" `Quick test_timeline_read_eventually_fresh;
     Alcotest.test_case "timeline staleness bounded" `Quick test_timeline_read_staleness_bounded;
+    Alcotest.test_case "timeline reads see own writes (token)" `Quick
+      test_timeline_read_your_writes;
+    Alcotest.test_case "offline replica answers Unavailable" `Quick
+      test_offline_replica_answers_unavailable;
     Alcotest.test_case "leader failover: no committed loss" `Quick
       test_leader_failover_no_committed_loss;
     Alcotest.test_case "old leader rejoins as follower" `Quick test_old_leader_rejoins_as_follower;
