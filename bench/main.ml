@@ -5,7 +5,7 @@
              [--trace-out [PATH]]
 
    Experiments: fig1 fig8 fig9 read paxos-tuning table1 failover tail fig11 fig12
-   fig13 fig14 fig15 fig16 scaleout audit ablations micro all (default: all). Absolute numbers come from a
+   fig13 fig14 fig15 fig16 scaleout audit txn ablations micro all (default: all). Absolute numbers come from a
    calibrated simulation (see DESIGN.md); the paper-comparable quantity is
    the *shape* of each series.
 
@@ -1522,6 +1522,71 @@ let audit () =
   Format.printf "  %d cells, %d invariant violations@." (List.length !series_acc)
     !total_violations
 
+(* --- Transactions: bank transfers over MVCC snapshots + 2PC over Paxos ----- *)
+
+(* Two cells. Steady: closed-loop cross-range transfers with concurrent
+   snapshot audits on a healthy cluster — throughput/latency of the 2PC
+   path plus the conservation and serializability verdicts. Chaos: the same
+   bank under the transaction gauntlet (crash hazard ×8 while transfers are
+   mid-commit), a small seed battery of the 20-seed nemesis suite. The
+   experiment fails if no transfer commits or any invariant is violated —
+   the CI smoke assertions read the same fields out of BENCH_txn.json. *)
+let txn () =
+  header "Transactions: cross-range bank transfers (MVCC snapshots + 2PC over Paxos)";
+  let config =
+    { Config.default with Config.nodes = 5; disk = Sim.Disk_model.Ssd }
+  in
+  let engine, cluster = spin_cluster ~config () in
+  let duration = if !quick then sec_f 6.0 else sec_f 20.0 in
+  let bank =
+    Workload.Experiment.run_bank ~engine ~cluster ~accounts:16
+      ~threads:(if !quick then 4 else 8) ~duration ()
+  in
+  let s = bank.Workload.Experiment.transfer_stats in
+  Format.printf
+    "  steady: %d committed, %d aborted, %d unresolved, %d audits; %.0f txn/s, mean %.2f ms, \
+     p99 %.2f ms@."
+    bank.Workload.Experiment.transfers_committed bank.Workload.Experiment.transfers_aborted
+    bank.Workload.Experiment.transfers_unresolved bank.Workload.Experiment.bank_audits
+    s.Sim.Metrics.throughput_per_sec s.Sim.Metrics.mean_latency_ms s.Sim.Metrics.p99_ms;
+  List.iter
+    (fun (invariant, detail) -> Format.printf "    VIOLATION [%s] %s@." invariant detail)
+    bank.Workload.Experiment.bank_violations;
+  record_field "steady" (Workload.Experiment.json_of_bank bank);
+  (* TXN_SEEDS=3 (or "3,7,21") replays specific gauntlet seeds — the
+     reproduction knob for a failing battery entry. *)
+  let seeds =
+    match Sys.getenv_opt "TXN_SEEDS" with
+    | Some s -> String.split_on_char ',' s |> List.filter_map int_of_string_opt
+    | None -> if !quick then [ 7001; 7002 ] else [ 7001; 7002; 7003; 7004; 7005 ]
+  in
+  let chaos_violations = ref 0 in
+  let verdicts =
+    List.map
+      (fun seed ->
+        let v = Workload.Chaos.run_txn_bank ~seed () in
+        Format.printf
+          "  chaos seed %d: %d committed, %d unresolved, %d txns checked, %d audits, %d \
+           violations@."
+          seed v.Workload.Chaos.acked v.Workload.Chaos.indeterminate
+          v.Workload.Chaos.n_writes v.Workload.Chaos.n_reads
+          (List.length v.Workload.Chaos.violations);
+        List.iter
+          (fun (invariant, detail) -> Format.printf "    VIOLATION [%s] %s@." invariant detail)
+          v.Workload.Chaos.violations;
+        chaos_violations := !chaos_violations + List.length v.Workload.Chaos.violations;
+        Workload.Chaos.json_of_verdict v)
+      seeds
+  in
+  record_field "chaos" (J.List verdicts);
+  record_field "invariant_violations"
+    (J.Int (List.length bank.Workload.Experiment.bank_violations + !chaos_violations));
+  if bank.Workload.Experiment.transfers_committed = 0 then
+    failwith "txn: no transfer committed in the steady cell";
+  if bank.Workload.Experiment.bank_violations <> [] then
+    failwith "txn: steady cell violated conservation or serializability";
+  if !chaos_violations > 0 then failwith "txn: chaos cell violated an invariant"
+
 (* --- Bechamel microbenchmarks ------------------------------------------------------- *)
 
 let micro () =
@@ -1539,6 +1604,7 @@ let micro () =
                  version = 1;
                  lsn = Storage.Lsn.make ~epoch:1 ~seq:i;
                  timestamp = 0;
+                 txn_ts = None;
                }
            done))
   in
@@ -1550,6 +1616,7 @@ let micro () =
             version = 1;
             lsn = Storage.Lsn.make ~epoch:1 ~seq:(i + 1);
             timestamp = 0;
+            txn_ts = None;
           } ))
   in
   let table = Storage.Sstable.build entries in
@@ -1649,6 +1716,7 @@ let all_experiments =
     ("fig16", fig16);
     ("scaleout", scaleout);
     ("audit", audit);
+    ("txn", txn);
     ("ablations", ablations);
     ("micro", micro);
   ]

@@ -49,7 +49,7 @@ let () =
                   (* Someone else won the race: retry with a fresh read. *)
                   incr conflicts;
                   increment ()
-                | Error (Client.Timed_out | Client.Cross_range) -> increment ()))
+                | Error (Client.Timed_out | Client.Cross_range | Client.Conflict) -> increment ()))
     in
     increment ()
   in

@@ -1,6 +1,10 @@
 type read_result = { value : string option; version : int }
 
-type error = Version_mismatch of { current : int } | Timed_out | Cross_range
+type error =
+  | Version_mismatch of { current : int }
+  | Timed_out
+  | Cross_range
+  | Conflict
 
 type pending = {
   op : Message.client_op;
@@ -72,6 +76,12 @@ let op_name = function
   | Message.Conditional_delete _ -> "conditional_delete"
   | Message.Multi_conditional_put _ -> "multi_conditional_put"
   | Message.Txn_put _ -> "txn_put"
+  | Message.Fence _ -> "fence"
+  | Message.Snap_get _ -> "snap_get"
+  | Message.Txn_prepare_req _ -> "txn_prepare"
+  | Message.Txn_decide_req _ -> "txn_decide"
+  | Message.Txn_status_req _ -> "txn_status"
+  | Message.Txn_resolve_req _ -> "txn_resolve"
 
 let reply_name = function
   | Message.Written _ -> "written"
@@ -83,6 +93,10 @@ let reply_name = function
   | Message.Unavailable -> "unavailable"
   | Message.Not_leader _ -> "not_leader"
   | Message.Wrong_range _ -> "wrong_range"
+  | Message.Fenced _ -> "fenced"
+  | Message.Snap_blocked _ -> "snap_blocked"
+  | Message.Txn_conflict -> "txn_conflict"
+  | Message.Txn_decided _ -> "txn_decided"
 
 (* Close the request's [client.request] span with its final outcome, then
    offer the completed request to the flight recorder — the note must come
@@ -208,6 +222,9 @@ let strong_route op =
   | Message.Multi_get { consistent; _ }
   | Message.Scan { consistent; _ } ->
     consistent
+  (* Snapshot reads ride the timeline path: any replica may serve one once
+     its applied prefix covers the fence. *)
+  | Message.Snap_get _ -> false
   | _ -> true
 
 let rec dispatch t request_id p =
@@ -400,27 +417,21 @@ let read_k k = function
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
   | Message.Unavailable -> k (Error Timed_out)
-  | Message.Values [] | Message.Rows _ | Message.Written _ | Message.Not_leader _
-  | Message.Wrong_range _ ->
-    k (Error Timed_out)
+  | _ -> k (Error Timed_out)
 
 let multi_read_k k = function
   | Message.Values vs -> k (Ok (List.map (fun (c, v) -> (c, value_result v)) vs))
   | Message.Value v -> k (Ok [ ("", value_result v) ])
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
-  | Message.Unavailable | Message.Rows _ | Message.Written _ | Message.Not_leader _
-  | Message.Wrong_range _ ->
-    k (Error Timed_out)
+  | _ -> k (Error Timed_out)
 
 let write_k k = function
   | Message.Written _ -> k (Ok ())
   | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
   | Message.Cross_range -> k (Error Cross_range)
   | Message.Unavailable -> k (Error Timed_out)
-  | Message.Value _ | Message.Values _ | Message.Rows _ | Message.Not_leader _
-  | Message.Wrong_range _ ->
-    k (Error Timed_out)
+  | _ -> k (Error Timed_out)
 
 let get t ?(consistent = true) key col k =
   let token = read_token t ~consistent key in
@@ -444,6 +455,50 @@ let multi_conditional_put t key cols k =
   submit t (Message.Multi_conditional_put { key; cols }) (write_k k)
 
 let transact_put t rows k = submit t (Message.Txn_put { rows }) (write_k k)
+
+(* --- multi-range transactions (MVCC snapshots + 2PC over Paxos) --- *)
+
+type snap_read = Snap_value of read_result | Snap_intent of string
+
+let fence_k k = function
+  | Message.Fenced { lsn; ts } -> k (Ok (lsn, ts))
+  | Message.Cross_range -> k (Error Cross_range)
+  | _ -> k (Error Timed_out)
+
+let snap_k k = function
+  | Message.Value v -> k (Ok (Snap_value (value_result v)))
+  | Message.Snap_blocked { txn } -> k (Ok (Snap_intent txn))
+  | Message.Cross_range -> k (Error Cross_range)
+  | _ -> k (Error Timed_out)
+
+let prepare_k k = function
+  | Message.Written _ -> k (Ok ())
+  | Message.Txn_conflict -> k (Error Conflict)
+  | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
+  | Message.Cross_range -> k (Error Cross_range)
+  | _ -> k (Error Timed_out)
+
+let decided_k k = function
+  | Message.Txn_decided { committed; ts } -> k (Ok (committed, ts))
+  | Message.Cross_range -> k (Error Cross_range)
+  | _ -> k (Error Timed_out)
+
+let fence t key k = submit t (Message.Fence { key }) (fence_k k)
+
+let snap_get t key col ~fence ~fence_ts k =
+  submit t (Message.Snap_get { key; col; fence; fence_ts }) (snap_k k)
+
+let txn_prepare t ~txn ~anchor ~fence ~fence_ts writes k =
+  submit t (Message.Txn_prepare_req { txn; anchor; fence; fence_ts; writes }) (prepare_k k)
+
+let txn_decide t ~txn ~anchor ~commit k =
+  submit t (Message.Txn_decide_req { txn; anchor; commit }) (decided_k k)
+
+let txn_status t ~txn ~anchor k =
+  submit t (Message.Txn_status_req { txn; anchor }) (decided_k k)
+
+let txn_resolve t ~txn ~key ~commit ~ts k =
+  submit t (Message.Txn_resolve_req { txn; key; commit; ts }) (write_k k)
 
 (* Scatter-gather scan: walk the key ranges covering [start_key, end_key)
    left to right, asking each cohort for its slice, until the limit fills or
@@ -481,9 +536,7 @@ let scan t ?(consistent = true) ~start_key ~end_key ?(limit = 1000) k =
           | _ -> k (Ok (List.rev !rows)))
         | Message.Version_mismatch { current } -> k (Error (Version_mismatch { current }))
         | Message.Cross_range -> k (Error Cross_range)
-        | Message.Unavailable | Message.Value _ | Message.Values _ | Message.Written _
-        | Message.Not_leader _ | Message.Wrong_range _ ->
-          k (Error Timed_out))
+        | _ -> k (Error Timed_out))
     end
   in
   step start_key
@@ -492,3 +545,4 @@ let pp_error ppf = function
   | Version_mismatch { current } -> Format.fprintf ppf "version mismatch (current=%d)" current
   | Timed_out -> Format.pp_print_string ppf "timed out"
   | Cross_range -> Format.pp_print_string ppf "transaction keys span key ranges"
+  | Conflict -> Format.pp_print_string ppf "write-write conflict (first committer wins)"

@@ -19,6 +19,9 @@ type error =
       (** conditional operation lost the optimistic-concurrency race *)
   | Timed_out  (** retries exhausted (cohort unavailable) *)
   | Cross_range  (** transaction keys span key ranges (§8.2 extension) *)
+  | Conflict
+      (** a 2PC prepare lost the first-committer-wins race: a foreign intent
+          or a version newer than the transaction's snapshot *)
 
 val create :
   engine:Sim.Engine.t ->
@@ -108,6 +111,56 @@ val scan :
     walks the cohorts covering the window left to right — the locality that
     key-range partitioning (§4) exists to provide. [consistent] selects
     strong (leaders) or timeline (any replica) reads per cohort. *)
+
+(** {2 Multi-range transaction primitives (MVCC snapshots + 2PC over Paxos)}
+
+    The building blocks {!Txn} composes into serializable multi-key
+    transactions; exposed individually for recovery tooling and tests. *)
+
+type snap_read =
+  | Snap_value of read_result  (** the version visible at the fence *)
+  | Snap_intent of string
+      (** an unresolved write intent of this transaction sits at or below the
+          fence; retry after it resolves *)
+
+val fence :
+  t -> Storage.Row.key -> ((Storage.Lsn.t * int, error) result -> unit) -> unit
+(** Capture the snapshot anchor of [key]'s range: its applied commit LSN and
+    the capture instant (µs), read strongly at the leader. *)
+
+val snap_get :
+  t -> Storage.Row.key -> Storage.Row.column -> fence:Storage.Lsn.t -> fence_ts:int ->
+  ((snap_read, error) result -> unit) -> unit
+(** MVCC read of the newest version visible under a snapshot anchored at the
+    range's [fence] and the snapshot's global [fence_ts]. Served by any
+    replica whose applied prefix covers the fence (token-parked otherwise). *)
+
+val txn_prepare :
+  t -> txn:string -> anchor:Storage.Row.key -> fence:Storage.Lsn.t -> fence_ts:int ->
+  (Storage.Row.key * Storage.Row.column * string option) list ->
+  ((unit, error) result -> unit) -> unit
+(** 2PC phase one at the range owning the writes' keys: replicate write
+    intents after first-committer-wins conflict checks ([Error Conflict] on
+    loss). All keys must fall in one range ([Error Cross_range] otherwise). *)
+
+val txn_decide :
+  t -> txn:string -> anchor:Storage.Row.key -> commit:bool ->
+  ((bool * int, error) result -> unit) -> unit
+(** Replicate the commit/abort decision through the coordinator cohort (the
+    owner of [anchor]). First decision wins: the result is the outcome
+    actually recorded and its commit timestamp. *)
+
+val txn_status :
+  t -> txn:string -> anchor:Storage.Row.key -> ((bool * int, error) result -> unit) -> unit
+(** Presumed-abort recovery: the transaction's recorded outcome; if none is
+    on record the coordinator logs an abort and answers with it. *)
+
+val txn_resolve :
+  t -> txn:string -> key:Storage.Row.key -> commit:bool -> ts:int ->
+  ((unit, error) result -> unit) -> unit
+(** 2PC phase two at [key]'s range: install final cells (commit) or discard
+    intents (abort) for every intent the transaction holds there.
+    Idempotent. *)
 
 val retries : t -> int
 (** Total retransmissions performed (failovers, stale leader caches). *)

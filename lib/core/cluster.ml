@@ -96,7 +96,12 @@ let create engine config =
   { engine; config; partition; net; zk_server; nodes; trace; flight; metrics;
     next_client = 10_000 }
 
+(* The presumed-abort escalation wiring needs [new_client], defined below
+   (it depends on nothing here); tied together after that definition. *)
+let install_txn_escalation : (t -> unit) ref = ref (fun _ -> ())
+
 let start t =
+  !install_txn_escalation t;
   Array.iter Node.start t.nodes;
   (* A zero period disables the periodic gauge sampler: benches that do not
      export timelines should not pay one sweep over every gauge per 100 ms
@@ -126,6 +131,7 @@ let add_node t =
   in
   t.nodes <- Array.append t.nodes [| node |];
   register_node_gauges t.metrics node;
+  !install_txn_escalation t;
   Node.start node;
   id
 
@@ -326,6 +332,32 @@ let new_client t =
   Client.create ~engine:t.engine ~net:t.net
     ~partition:(Partition.copy t.partition)
     ~config:t.config ~id ~trace:t.trace ~flight:t.flight ~lookup_leader ~fetch_layout ()
+
+(* Presumed-abort recovery agent: when any leader cohort's sweep finds an
+   in-doubt intent, a cluster-owned client asks the coordinator for the
+   transaction's outcome (logging an abort there if none exists) and then
+   resolves the stranded intents. One lazily created client serves the whole
+   cluster — escalations are rare and idempotent. *)
+let () =
+  install_txn_escalation :=
+    fun t ->
+      let resolver = ref None in
+      let client () =
+        match !resolver with
+        | Some c -> c
+        | None ->
+          let c = new_client t in
+          resolver := Some c;
+          c
+      in
+      let escalate ~txn ~anchor ~key =
+        let c = client () in
+        Client.txn_status c ~txn ~anchor (function
+          | Ok (committed, ts) ->
+            Client.txn_resolve c ~txn ~key ~commit:committed ~ts (fun _ -> ())
+          | Error _ -> ())
+      in
+      Array.iter (fun n -> Node.set_txn_escalation n escalate) t.nodes
 
 (* Administrative rebalancing entry points. Both are asynchronous: they ask
    the range's current leader to drive the protocol and return immediately;

@@ -39,6 +39,10 @@ type ctx = {
   retire_self : unit -> unit;
       (** drop this cohort from the hosting node (migration moved it away,
           or a learner's migration aborted) *)
+  resolve_in_doubt : txn:Storage.Row.key -> anchor:Storage.Row.key -> key:Storage.Row.key -> unit;
+      (** node-level escalation for the presumed-abort sweep: query the
+          coordinator cohort owning [anchor] for [txn]'s outcome and resolve
+          the in-doubt intents at [key]'s range (a no-op outside a cluster) *)
 }
 
 type waiting_write = { client : int; request_id : int; op : Message.client_op }
@@ -175,6 +179,18 @@ type t = {
       (** per-phase write-path latencies for writes this cohort led *)
   inflight_started : (Lsn.t, inflight) Hashtbl.t;
       (** in-flight state of each leader-tracked write, keyed by its last LSN *)
+  (* transaction state (leader-scoped; rebuilt from store + queue on open) *)
+  locks : (Row.coord, string) Hashtbl.t;
+      (** base coordinate -> transaction holding a write intent there, granted
+          when the prepare is appended (before it commits — the queue overlay
+          alone cannot refuse a conflicting prepare racing in the same term) *)
+  pending_decisions : (string, bool * int) Hashtbl.t;
+      (** txn -> (commit, ts): decision appended this term, possibly not yet
+          applied; first decision wins even against a racing status query *)
+  resolving : (string, unit) Hashtbl.t;
+      (** txns whose resolve record is appended but not yet applied
+          (double-append guard for retried resolve requests) *)
+  mutable txn_sweep_armed : bool;  (** presumed-abort sweep timer running *)
 }
 
 (* Test-only fault plant: when set, followers ack (and advance lst over)
@@ -239,6 +255,10 @@ let create ctx =
       };
     phases = Sim.Metrics.Write_phases.create ();
     inflight_started = Hashtbl.create 64;
+    locks = Hashtbl.create 16;
+    pending_decisions = Hashtbl.create 16;
+    resolving = Hashtbl.create 16;
+    txn_sweep_armed = false;
   }
 
 let role t = t.role
@@ -291,6 +311,17 @@ let guard t k =
   fun x -> if t.ctx.incarnation () = inc && t.role <> Offline then k x
 
 let now_us t = Sim.Sim_time.time_to_us (Sim.Engine.now t.ctx.engine)
+
+(* TXN_DEBUG=1: stream transaction-protocol server events to stderr (see
+   Workload.Experiment.bank_debug for the matching client-side stream). *)
+let txn_debug = Sys.getenv_opt "TXN_DEBUG" <> None
+
+let dbg t fmt =
+  if txn_debug then
+    Printf.ksprintf
+      (fun s -> Printf.eprintf "%d r%d n%d %s\n%!" (now_us t) t.ctx.range t.ctx.node_id s)
+      fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
 
 (* Trace id for a Propose batch: the newest write in the batch that carries an
    originating (client, request id). Tagging the batch's transit span with it
@@ -348,6 +379,16 @@ let clear_in_flight t ~client ~request_id =
   | Some In_flight -> Hashtbl.remove t.dedup (client, request_id)
   | _ -> ()
 
+(* The settled-outcome reply for a committed record: a 2PC decision answers
+   with the outcome it recorded (a client retrying its decide after a
+   coordinator failover must learn commit/abort, not a bare LSN); every other
+   write acks [Written]. *)
+let reply_for_record (op : Log_record.op) ~lsn =
+  match op with
+  | Log_record.Txn_decision { commit; ts; _ } ->
+    Message.Txn_decided { committed = commit; ts }
+  | _ -> Message.Written { lsn }
+
 (* Re-learn committed outcomes from our own durable log: the max-lst election
    rule (Figure 7) guarantees a new leader's log contains every committed
    write, so this rebuild makes the leader-side duplicate cache complete even
@@ -355,9 +396,9 @@ let clear_in_flight t ~client ~request_id =
    committed and must not be remembered as done. *)
 let recache_outcomes_from_log t ~above ~upto =
   List.iter
-    (fun (lsn, _, _, origin) ->
+    (fun (lsn, op, _, origin) ->
       if not (Storage.Skipped_lsns.mem (Store.skipped t.ctx.store) lsn) then
-        cache_outcome t origin (Message.Written { lsn }))
+        cache_outcome t origin (reply_for_record op ~lsn))
     (Wal.durable_writes_in t.ctx.wal ~cohort:t.ctx.range ~above ~upto)
 
 (* ------------------------------------------------------------------ *)
@@ -435,11 +476,50 @@ let latest_version t coord =
   | Some v -> v
   | None -> Store.current_version t.ctx.store coord
 
+(* A transaction's decision, if one is on record: appended this term (the
+   in-memory table) or durably applied (the anchor's decision cell). *)
+let existing_decision t ~anchor ~txn =
+  match Hashtbl.find_opt t.pending_decisions txn with
+  | Some d -> Some d
+  | None -> (
+    match Store.get t.ctx.store (anchor, Row.decision_col txn) with
+    | Some { Row.value = Some payload; _ } -> Row.decode_decision payload
+    | _ -> None)
+
+(* Wrap a shipped cell for WAL append + apply on the receiving replica.
+   The cell goes in verbatim — reconstructing a Put/Delete would drop its
+   transactional commit-timestamp classification ([Row.cell.txn_ts]) and a
+   caught-up replica's snapshot reads could then expose half a transaction. *)
 let op_of_cell coord (cell : Row.cell) : Log_record.op =
-  let key, col = coord in
-  match cell.value with
-  | Some value -> Log_record.Put { key; col; value; version = cell.version }
-  | None -> Log_record.Delete { key; col; version = cell.version }
+  Log_record.Install_cell { coord; cell }
+
+(* Fold an LSN-sorted shipped-cell list into ONE install op per LSN. The
+   WAL's LSN index treats a second record at an existing LSN as an
+   idempotent re-force and keeps the first record's op, so appending two
+   [Install_cell] records at one LSN (e.g. a Txn_resolve's data cell plus
+   its intent tombstone) would silently drop all but the first cell from
+   crash-recovery replay. *)
+let install_ops_by_lsn (cells : (Row.coord * Row.cell) list) :
+    (Lsn.t * int * Log_record.op) list =
+  let groups =
+    List.fold_left
+      (fun acc ((_, (cell : Row.cell)) as item) ->
+        match acc with
+        | (lsn, items) :: rest when Lsn.equal lsn cell.lsn -> (lsn, item :: items) :: rest
+        | _ -> (cell.Row.lsn, [ item ]) :: acc)
+      [] cells
+  in
+  List.rev_map
+    (fun (lsn, rev_items) ->
+      let items = List.rev rev_items in
+      let timestamp = match items with (_, (c : Row.cell)) :: _ -> c.timestamp | [] -> 0 in
+      let op =
+        match items with
+        | [ (coord, cell) ] -> op_of_cell coord cell
+        | _ -> Log_record.Batch (List.map (fun (coord, cell) -> op_of_cell coord cell) items)
+      in
+      (lsn, timestamp, op))
+    groups
 
 (* ------------------------------------------------------------------ *)
 (* Commit path (leader side of Figure 4).                               *)
@@ -478,8 +558,9 @@ let rec try_commit t =
            retrying) client and remember the outcome. *)
         (match e.origin with
         | Some (client, request_id) ->
-          reply_write t ~client ~request_id (Message.Written { lsn = e.lsn })
+          reply_write t ~client ~request_id (reply_for_record e.op ~lsn:e.lsn)
         | None -> ()));
+      txn_applied t e.op;
       match tracked with
       | Some (trace_id, apply_span, lsn) ->
         span_end t ~span:apply_span ~trace_id ~lsn ~tag:"phase.apply" "applied and replied";
@@ -496,6 +577,16 @@ let rec try_commit t =
     trace t "takeover_commit_done" (Printf.sprintf "cmt=%s" (Lsn.to_string t.cmt));
     open_cohort t
   end
+
+(* Leader-side bookkeeping once a transaction record applies: a resolve
+   leaving the queue ends the double-append guard, and a durable decision no
+   longer needs its in-memory pending entry (the store's decision cell now
+   answers [existing_decision]). *)
+and txn_applied t (op : Log_record.op) =
+  match op with
+  | Log_record.Txn_resolve { txn; _ } -> Hashtbl.remove t.resolving txn
+  | Log_record.Txn_decision { txn; _ } -> Hashtbl.remove t.pending_decisions txn
+  | _ -> ()
 
 (* A committed metadata record (membership change or range split) takes
    effect: node-level side effects first (routing table, child cohorts, layout
@@ -586,8 +677,57 @@ and open_cohort t =
   if not t.open_for_writes then begin
     t.open_for_writes <- true;
     trace t "cohort_open" (Printf.sprintf "epoch=%d lst=%s" t.epoch (Lsn.to_string t.lst));
+    rebuild_txn_locks t;
     arm_commit_timer t;
+    arm_txn_sweep t;
     drain_waiting t
+  end
+
+(* A new leader term inherits the transaction state its log implies: applied
+   intents lock their coordinates, and queued-but-unapplied prepare/resolve/
+   decision records (replayed in LSN order) adjust on top. Without this a
+   failed-over leader would grant conflicting prepares over live intents. *)
+and rebuild_txn_locks t =
+  Hashtbl.reset t.locks;
+  Hashtbl.reset t.resolving;
+  Hashtbl.reset t.pending_decisions;
+  List.iter
+    (fun (txn, _, coords) -> List.iter (fun c -> Hashtbl.replace t.locks c txn) coords)
+    (Store.live_intents t.ctx.store);
+  List.iter
+    (fun (e : Commit_queue.entry) ->
+      match e.op with
+      | Log_record.Txn_prepare { txn; writes; _ } ->
+        List.iter (fun (key, col, _) -> Hashtbl.replace t.locks (key, col) txn) writes
+      | Log_record.Txn_resolve { txn; writes; _ } ->
+        Hashtbl.replace t.resolving txn ();
+        List.iter (fun (key, col, _, _) -> Hashtbl.remove t.locks (key, col)) writes
+      | Log_record.Txn_decision { txn; commit; ts; _ } ->
+        Hashtbl.replace t.pending_decisions txn (commit, ts)
+      | _ -> ())
+    (Commit_queue.to_list t.queue)
+
+(* Presumed-abort sweep (leader-only): intents unresolved past
+   [txn_indoubt_after] escalate to the node, which asks the coordinator for
+   the outcome (logging an abort there if none exists) and resolves them. *)
+and arm_txn_sweep t =
+  if not t.txn_sweep_armed then begin
+    t.txn_sweep_armed <- true;
+    let rec tick () =
+      if t.role = Leader && t.open_for_writes then begin
+        let older_than = Sim.Sim_time.to_us t.ctx.config.Config.txn_indoubt_after in
+        List.iter
+          (fun (txn, anchor, key) ->
+            if not (Hashtbl.mem t.resolving txn) then begin
+              trace t "txn.indoubt" txn;
+              t.ctx.resolve_in_doubt ~txn ~anchor ~key
+            end)
+          (Store.in_doubt t.ctx.store ~now:(now_us t) ~older_than);
+        after t t.ctx.config.Config.txn_sweep_period tick
+      end
+      else t.txn_sweep_armed <- false
+    in
+    after t t.ctx.config.Config.txn_sweep_period tick
   end
 
 and drain_waiting t =
@@ -664,6 +804,31 @@ and perform_write t ~arrived ~client ~request_id op =
 
 and perform_write_routed t ~arrived ~client ~request_id op =
   let ts = now_us t in
+  let locked coord =
+    Hashtbl.mem t.locks coord || Store.intent_txn_at t.ctx.store coord <> None
+  in
+  let plain_coords =
+    match op with
+    | Message.Put { key; col; _ }
+    | Message.Delete { key; col }
+    | Message.Conditional_put { key; col; _ }
+    | Message.Conditional_delete { key; col; _ } ->
+      [ (key, col) ]
+    | Message.Multi_put { key; cols } -> List.map (fun (col, _) -> (key, col)) cols
+    | Message.Multi_conditional_put { key; cols } ->
+      List.map (fun (col, _, _) -> (key, col)) cols
+    | Message.Txn_put { rows } -> List.map (fun (key, col, _) -> (key, col)) rows
+    | _ -> []
+  in
+  if List.exists locked plain_coords then begin
+    (* A plain write racing an unresolved 2PC intent on the same coordinate:
+       refuse rather than interleave with the prepare window (the intent's
+       final version and LSN are not yet fixed). The client backs off and
+       retries once the intent resolves. *)
+    clear_in_flight t ~client ~request_id;
+    t.ctx.reply ~client ~request_id Message.Unavailable
+  end
+  else begin
   let ops_or_error : (Log_record.op list, int) result =
     match op with
     | Message.Put { key; col; value } ->
@@ -713,7 +878,102 @@ and perform_write_routed t ~arrived ~client ~request_id op =
                    Log_record.Put { key; col; value; version = latest_version t (key, col) + 1 })
                  rows);
           ]
-    | Message.Get _ | Message.Multi_get _ | Message.Scan _ ->
+    | Message.Txn_prepare_req { txn; anchor; fence; fence_ts; writes } ->
+      (* 2PC phase one: first-committer-wins conflict checks, then the write
+         intents replicate through this participant's Paxos log. Locks are
+         taken at append so a racing prepare in the same term cannot pass the
+         same checks before this one commits. *)
+      if writes = [] || not (List.for_all (fun (key, _, _) -> t.ctx.routes_here key) writes)
+      then begin
+        reply_write t ~client ~request_id Message.Cross_range;
+        Ok []
+      end
+      else begin
+        let conflicts (key, col, _) =
+          let coord = (key, col) in
+          (match Hashtbl.find_opt t.locks coord with
+          | Some owner -> not (String.equal owner txn)
+          | None -> false)
+          || (match Store.intent_txn_at t.ctx.store coord with
+             | Some owner -> not (String.equal owner txn)
+             | None -> false)
+          (* Any pending queued write on the coordinate will install a
+             version newer than our snapshot — conflict without waiting. *)
+          || Option.is_some (Commit_queue.latest_version_for t.queue coord)
+          || (match Store.head_info t.ctx.store coord with
+             | Some (_, Some committed_ts) -> committed_ts > fence_ts
+             | Some (head_lsn, None) -> Lsn.(head_lsn > fence)
+             | None -> false)
+        in
+        if List.exists conflicts writes then begin
+          dbg t "PREP %s conflict keys=%s"
+            txn
+            (String.concat "," (List.map (fun (k, _, _) -> k) writes));
+          reply_write t ~client ~request_id Message.Txn_conflict;
+          Ok []
+        end
+        else begin
+          dbg t "PREP %s ok fence=%s fts=%d keys=%s" txn (Lsn.to_string fence) fence_ts
+            (String.concat "," (List.map (fun (k, _, _) -> k) writes));
+          List.iter (fun (key, col, _) -> Hashtbl.replace t.locks (key, col) txn) writes;
+          Ok [ Log_record.Txn_prepare { txn; anchor; fence; writes } ]
+        end
+      end
+    | Message.Txn_decide_req { txn; anchor; commit } -> (
+      match existing_decision t ~anchor ~txn with
+      | Some (committed, decided_ts) ->
+        (* First decision wins — a presumed-abort may already have beaten a
+           late commit request here; answer with what is on record. *)
+        reply_write t ~client ~request_id (Message.Txn_decided { committed; ts = decided_ts });
+        Ok []
+      | None ->
+        dbg t "DECIDE %s commit=%b ts=%d" txn commit ts;
+        Hashtbl.replace t.pending_decisions txn (commit, ts);
+        Ok [ Log_record.Txn_decision { txn; anchor; commit; ts } ])
+    | Message.Txn_status_req { txn; anchor } -> (
+      match existing_decision t ~anchor ~txn with
+      | Some (committed, decided_ts) ->
+        reply_write t ~client ~request_id (Message.Txn_decided { committed; ts = decided_ts });
+        Ok []
+      | None ->
+        (* Presumed abort: no decision on record means the coordinator client
+           may have died before asking for one — log an abort so every
+           in-doubt participant converges on it. *)
+        Hashtbl.replace t.pending_decisions txn (false, ts);
+        Ok [ Log_record.Txn_decision { txn; anchor; commit = false; ts } ])
+    | Message.Txn_resolve_req { txn; key = _; commit; ts = decision_ts } ->
+      if Hashtbl.mem t.resolving txn then begin
+        (* A resolve record is already in flight this term; acknowledging is
+           safe — resolution is guaranteed by that record or, should a leader
+           change drop it, by the presumed-abort sweep. *)
+        reply_write t ~client ~request_id (Message.Written { lsn = t.cmt });
+        Ok []
+      end
+      else begin
+        match Store.intents_of t.ctx.store txn with
+        | [] ->
+          (* Already resolved (or the prepare never landed here): idempotent
+             success. *)
+          reply_write t ~client ~request_id (Message.Written { lsn = t.cmt });
+          Ok []
+        | intents ->
+          (* Resolve every intent the transaction holds in this range, not
+             just the addressed key: final cells are materialized here, at
+             append time, with concrete versions — so replicas and recovery
+             apply them like any other write. *)
+          let writes =
+            List.map
+              (fun ((key, col), value) -> (key, col, value, latest_version t (key, col) + 1))
+              intents
+          in
+          dbg t "RESOLVE %s commit=%b ts=%d keys=%s" txn commit decision_ts
+            (String.concat "," (List.map (fun (k, _, _, _) -> k) writes));
+          Hashtbl.replace t.resolving txn ();
+          List.iter (fun (key, col, _, _) -> Hashtbl.remove t.locks (key, col)) writes;
+          Ok [ Log_record.Txn_resolve { txn; commit; ts = decision_ts; writes } ]
+      end
+    | Message.Get _ | Message.Multi_get _ | Message.Scan _ | Message.Fence _
+    | Message.Snap_get _ ->
       invalid_arg "perform_write: read operation"
   in
   match ops_or_error with
@@ -743,7 +1003,7 @@ and perform_write_routed t ~arrived ~client ~request_id op =
       (fun (lsn, op, timestamp, origin) ->
         let reply =
           if Lsn.equal lsn last_lsn then
-            Some (fun () -> reply_write t ~client ~request_id (Message.Written { lsn }))
+            Some (fun () -> reply_write t ~client ~request_id (reply_for_record op ~lsn))
           else None
         in
         Commit_queue.add t.queue ~lsn ~op ~timestamp ?origin ?reply ();
@@ -765,6 +1025,7 @@ and perform_write_routed t ~arrived ~client ~request_id op =
            Commit_queue.mark_forced_upto t.queue last_lsn;
            try_commit t));
     propose t writes
+  end
 
 and propose_now t writes =
   let piggyback_cmt =
@@ -1043,6 +1304,84 @@ and handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent ~to
   let submit () = Sim.Resource.submit t.ctx.cpu ~service serve in
   gate_read t ~client ~request_id ~consistent ~token ~trace_id ~finish ~submit
 
+(* Snapshot anchor capture: a strong read of (cmt, now) under the full
+   lease/guard gate, re-validated at the CPU grant — the linearization point
+   of a multi-range snapshot in this range. Everything committed here before
+   this instant has [lsn <= cmt]; every transaction that commits with
+   [commit_ts <= ts] prepared here before this instant (its prepare committed
+   before its decision was timestamped), so its intent or final cell is at or
+   below the fence. *)
+and handle_fence t ~client ~request_id =
+  let trace_id = if tracing t then Sim.Trace.request_trace_id ~client ~request_id else -1 in
+  let read_span =
+    if tracing t then
+      span_start t ~trace_id ~tag:"phase.read" (Printf.sprintf "c%d#%d fence" client request_id)
+    else 0
+  in
+  let finish reply =
+    span_end t ~span:read_span ~trace_id ~tag:"phase.read" "replied";
+    t.ctx.reply ~client ~request_id reply
+  in
+  let submit () =
+    let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_cache_hit_service_us in
+    Sim.Resource.submit t.ctx.cpu ~service
+      (guard t (fun () ->
+           if not (strong_serve_ok t) then finish (Message.Not_leader { hint = t.leader })
+           else begin
+             dbg t "FENCE c%d cmt=%s" client (Lsn.to_string t.cmt);
+             finish (Message.Fenced { lsn = t.cmt; ts = now_us t })
+           end))
+  in
+  gate_read t ~client ~request_id ~consistent:true ~token:Lsn.zero ~trace_id ~finish ~submit
+
+(* MVCC snapshot read: served by any replica via the timeline gate, parked on
+   the fence LSN as its read-your-writes token — once the applied prefix
+   covers the fence, interval visibility against (fence, fence_ts) is
+   well-defined locally. *)
+and handle_snap_get t ~client ~request_id ~key ~col ~fence ~fence_ts =
+  let trace_id = if tracing t then Sim.Trace.request_trace_id ~client ~request_id else -1 in
+  let read_span =
+    if tracing t then
+      span_start t ~trace_id ~tag:"phase.read" (Printf.sprintf "c%d#%d snap" client request_id)
+    else 0
+  in
+  let finish reply =
+    span_end t ~span:read_span ~trace_id ~tag:"phase.read" "replied";
+    t.ctx.reply ~client ~request_id reply
+  in
+  let submit () =
+    let service = Sim.Sim_time.of_us_f t.ctx.config.Config.read_service_us in
+    Sim.Resource.submit t.ctx.cpu ~service
+      (guard t (fun () ->
+           let result = Store.snapshot_get t.ctx.store (key, col) ~fence ~fence_ts in
+           dbg t "SNAP c%d %s fence=%s fts=%d cmt=%s head=%s -> %s" client key
+             (Lsn.to_string fence) fence_ts (Lsn.to_string t.cmt)
+             (match Store.get t.ctx.store (key, col) with
+             | Some c ->
+               Printf.sprintf "%s@%s"
+                 (match c.Row.value with Some v -> v | None -> "<del>")
+                 (Lsn.to_string c.Row.lsn)
+             | None -> "none")
+             (match result with
+             | Store.Snap_blocked txn -> "blocked:" ^ txn
+             | Store.Snap_cell c ->
+               Printf.sprintf "%s@%s/ts=%s"
+                 (match c.Row.value with Some v -> v | None -> "<del>")
+                 (Lsn.to_string c.Row.lsn)
+                 (match c.Row.txn_ts with Some ts -> string_of_int ts | None -> "-")
+             | Store.Snap_none -> "none");
+           let reply =
+             match result with
+             | Store.Snap_blocked txn -> Message.Snap_blocked { txn }
+             | Store.Snap_cell c when not (Row.is_tombstone c) ->
+               Message.Value { value = c.Row.value; version = c.Row.version }
+             | Store.Snap_cell c -> Message.Value { value = None; version = c.Row.version }
+             | Store.Snap_none -> Message.Value { value = None; version = 0 }
+           in
+           finish reply))
+  in
+  gate_read t ~client ~request_id ~consistent:false ~token:fence ~trace_id ~finish ~submit
+
 and handle_client t ~client ~request_id op =
   match op with
   | Message.Get { key; col; consistent; token } ->
@@ -1051,6 +1390,9 @@ and handle_client t ~client ~request_id op =
     handle_read t ~client ~request_id ~consistent ~token ~key ~cols ~single:false
   | Message.Scan { start_key; end_key; limit; consistent; token } ->
     handle_scan t ~client ~request_id ~start_key ~end_key ~limit ~consistent ~token
+  | Message.Fence _ -> handle_fence t ~client ~request_id
+  | Message.Snap_get { key; col; fence; fence_ts } ->
+    handle_snap_get t ~client ~request_id ~key ~col ~fence ~fence_ts
   | _ -> handle_write t ~client ~request_id op
 
 (* ------------------------------------------------------------------ *)
@@ -1084,7 +1426,7 @@ let apply_commits t ~upto =
       (fun (e : Commit_queue.entry) ->
         Store.apply t.ctx.store ~lsn:e.Commit_queue.lsn ~timestamp:e.timestamp e.op;
         t.cmt <- Lsn.max t.cmt e.lsn;
-        cache_outcome t e.origin (Message.Written { lsn = e.lsn });
+        cache_outcome t e.origin (reply_for_record e.op ~lsn:e.lsn);
         if Log_record.is_meta e.op then on_meta t e.op)
       entries;
     (* The commit point can pass appended-but-not-yet-locally-forced entries
@@ -1320,6 +1662,13 @@ let leader_run_catchup t ~follower ~f_cmt =
     trace t "catchup_serve"
       (Printf.sprintf "to n%d cells=%d upto=%s" follower (List.length cells)
          (Lsn.to_string t.cmt));
+    dbg t "CATCHUP-SERVE to=n%d above=%s upto=%s cells=[%s]" follower
+      (Lsn.to_string f_cmt) (Lsn.to_string t.cmt)
+      (String.concat ";"
+         (List.map
+            (fun (((k, c), (cell : Row.cell)) : Row.coord * Row.cell) ->
+              Printf.sprintf "%s/%s@%s" k c (Lsn.to_string cell.lsn))
+            cells));
     t.ctx.send ~dst:follower
       (Message.Catchup_data
          { range = t.ctx.range; epoch = t.epoch; cells; upto = t.cmt; final = true });
@@ -1434,6 +1783,9 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
       trace t "logical_truncation"
         (String.concat "," (List.map Lsn.to_string stale))
     end;
+    dbg t "CATCHUP-APPLY from=n%d upto=%s cells=%d stale=[%s]" src (Lsn.to_string upto)
+      (List.length cells)
+      (String.concat "," (List.map Lsn.to_string stale));
     (* Entries at or below the catch-up point are superseded by the cells;
        anything above it that is still valid will be re-proposed (the leader
        re-proposes its pending queue right after this round and on every
@@ -1449,15 +1801,12 @@ let follower_handle_catchup_data t ~src ~epoch ~cells ~upto ~final =
         | None -> ())
       (Commit_queue.drop_above t.queue upto);
     List.iter
-      (fun ((coord, (cell : Row.cell)) : Row.coord * Row.cell) ->
-        let op = op_of_cell coord cell in
-        let timestamp = cell.timestamp in
-        let already = List.exists (Lsn.equal cell.lsn) own in
+      (fun (lsn, timestamp, op) ->
+        let already = List.exists (Lsn.equal lsn) own in
         if not already then
-          Wal.append t.ctx.wal
-            (Log_record.write ~cohort:t.ctx.range ~lsn:cell.lsn ~timestamp op);
-        Store.apply t.ctx.store ~lsn:cell.lsn ~timestamp op)
-      cells;
+          Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp op);
+        Store.apply t.ctx.store ~lsn ~timestamp op)
+      (install_ops_by_lsn cells);
     t.cmt <- Lsn.max t.cmt upto;
     (* Everything above the catch-up point was dropped from the queue, so our
        vouched contiguous prefix ends exactly at cmt; that is the honest lst
@@ -1624,9 +1973,20 @@ let request_join t ~joiner ?remove () =
     && valid_remove
   then begin
     (* Snapshot = the newest committed cell per coordinate (tombstones
-       included), chunked by size. Always at least one chunk, so an empty
-       range still teaches the joiner the snapshot horizon. *)
-    let cells = Store.all_cells t.ctx.store in
+       included) plus the retained older MVCC versions behind each — without
+       the chain tails the joiner could not answer an interval snapshot read
+       whose timestamp predates a coordinate's newest version. Chunked by
+       size; always at least one chunk, so an empty range still teaches the
+       joiner the snapshot horizon. *)
+    (* Sorted by LSN so the joiner installs in log order and, crucially, so a
+       chunk boundary never splits one LSN: the joiner appends one WAL record
+       per LSN and skips LSNs it already holds durably, so the second half of
+       a straddled LSN would silently miss the WAL. *)
+    let cells =
+      Store.all_cells t.ctx.store @ Store.chain_history_cells t.ctx.store
+      |> List.stable_sort (fun (_, (a : Row.cell)) (_, (b : Row.cell)) ->
+             Lsn.compare a.lsn b.lsn)
+    in
     let chunk_bytes = t.ctx.config.Config.snapshot_chunk_bytes in
     let chunks = ref [] and cur = ref [] and cur_bytes = ref 0 in
     List.iter
@@ -1637,13 +1997,17 @@ let request_join t ~joiner ?remove () =
           + (match cell.value with Some v -> String.length v | None -> 0)
           + 24
         in
-        cur := c :: !cur;
-        cur_bytes := !cur_bytes + b;
-        if !cur_bytes >= chunk_bytes then begin
+        let boundary =
+          !cur_bytes >= chunk_bytes
+          && match !cur with (_, (p : Row.cell)) :: _ -> not (Lsn.equal p.lsn cell.lsn) | [] -> false
+        in
+        if boundary then begin
           chunks := List.rev !cur :: !chunks;
           cur := [];
           cur_bytes := 0
-        end)
+        end;
+        cur := c :: !cur;
+        cur_bytes := !cur_bytes + b)
       cells;
     if !cur <> [] || !chunks = [] then chunks := List.rev !cur :: !chunks;
     let chunks = Array.of_list (List.rev !chunks) in
@@ -1705,13 +2069,11 @@ let handle_snapshot_chunk t ~src ~epoch ~seq ~cells ~upto ~final =
          catch-up serving work unchanged. Idempotent under retransmission. *)
       let own = Store.durable_write_lsns_in t.ctx.store ~above:Lsn.zero ~upto in
       List.iter
-        (fun ((coord, (cell : Row.cell)) : Row.coord * Row.cell) ->
-          let op = op_of_cell coord cell in
-          if not (List.exists (Lsn.equal cell.lsn) own) then
-            Wal.append t.ctx.wal
-              (Log_record.write ~cohort:t.ctx.range ~lsn:cell.lsn ~timestamp:cell.timestamp op);
-          Store.apply t.ctx.store ~lsn:cell.lsn ~timestamp:cell.timestamp op)
-        cells;
+        (fun (lsn, timestamp, op) ->
+          if not (List.exists (Lsn.equal lsn) own) then
+            Wal.append t.ctx.wal (Log_record.write ~cohort:t.ctx.range ~lsn ~timestamp op);
+          Store.apply t.ctx.store ~lsn ~timestamp op)
+        (install_ops_by_lsn cells);
       if final then begin
         (* The snapshot horizon is our commit point: every committed write at
            or below it is covered by the installed cells. *)
@@ -2201,6 +2563,10 @@ let crash t =
   (* Accumulated phase samples survive the crash (cluster-lifetime metrics);
      in-flight tracking does not — those writes will never pop. *)
   Hashtbl.reset t.inflight_started;
+  Hashtbl.reset t.locks;
+  Hashtbl.reset t.pending_decisions;
+  Hashtbl.reset t.resolving;
+  t.txn_sweep_armed <- false;
   Store.crash t.ctx.store
 
 let wipe_storage t = Store.wipe t.ctx.store
@@ -2254,6 +2620,7 @@ let rejoin t =
   recache_outcomes_from_log t ~above:Lsn.zero ~upto:cmt;
   trace t "local_recovery"
     (Printf.sprintf "cmt=%s lst=%s" (Lsn.to_string cmt) (Lsn.to_string lst));
+  dbg t "RECOVER cmt=%s lst=%s" (Lsn.to_string cmt) (Lsn.to_string t.lst);
   join_cohort t
 
 (* The coordination-service session expired (§7): a leader must stop serving
@@ -2294,7 +2661,12 @@ let zk_session_expired t =
     t.catching_up <- false;
     t.election_running <- false;
     t.own_candidate <- None;
-    t.leader_watch_armed <- false
+    t.leader_watch_armed <- false;
+    (* Leader-term transaction state dies with the term; the next leader
+       rebuilds it from its store and queue when the cohort reopens. *)
+    Hashtbl.reset t.locks;
+    Hashtbl.reset t.pending_decisions;
+    Hashtbl.reset t.resolving
   end
 
 let zk_session_renewed t = if t.role <> Offline && not t.learner then join_cohort t

@@ -52,6 +52,10 @@ type ctx = {
   retire_self : unit -> unit;
       (** drop this cohort from the hosting node (migration moved it away,
           or a learner's migration aborted) *)
+  resolve_in_doubt : txn:Storage.Row.key -> anchor:Storage.Row.key -> key:Storage.Row.key -> unit;
+      (** node-level escalation for the presumed-abort sweep: query the
+          coordinator cohort owning [anchor] for [txn]'s outcome and resolve
+          the in-doubt intents at [key]'s range (a no-op outside a cluster) *)
 }
 
 type t

@@ -46,7 +46,17 @@ let rec iter_writes f = function
   | Storage.Log_record.Put { key; col; version; _ } -> f (key, col) version
   | Storage.Log_record.Delete { key; col; version } -> f (key, col) version
   | Storage.Log_record.Batch ops -> List.iter (iter_writes f) ops
-  | Storage.Log_record.Cohort_change _ | Storage.Log_record.Split _ -> ()
+  | Storage.Log_record.Txn_resolve { commit = true; writes; _ } ->
+    (* A committing resolve installs final data cells with real versions;
+       they must participate in the pending-version overlay like any write.
+       Intents and decisions live in system columns with version 0 and never
+       feed version assignment. *)
+    List.iter (fun (key, col, _, version) -> f (key, col) version) writes
+  | Storage.Log_record.Install_cell { coord; cell } -> f coord cell.Storage.Row.version
+  | Storage.Log_record.Txn_resolve { commit = false; _ }
+  | Storage.Log_record.Txn_prepare _ | Storage.Log_record.Txn_decision _
+  | Storage.Log_record.Cohort_change _ | Storage.Log_record.Split _ ->
+    ()
 
 let index_add t lsn op =
   iter_writes

@@ -55,6 +55,16 @@ type t = {
       (** Follower-side staleness bound for token (read-your-writes) timeline
           reads: how long a follower parks a read waiting for its applied LSN
           to reach the client's token before redirecting to the leader. *)
+  txn_sweep_period : Sim.Sim_time.span;
+      (** How often a leader scans its store for in-doubt transaction intents
+          (presumed-abort recovery). *)
+  txn_indoubt_after : Sim.Sim_time.span;
+      (** Age at which an unresolved intent counts as in-doubt: old enough
+          that a live coordinator client would have resolved it already. *)
+  txn_snap_retries : int;
+      (** How many times a snapshot reader retries a [Snap_blocked] read
+          (an unresolved intent at or below its fence) before giving up and
+          aborting the transaction. *)
   seed : int;
 }
 
@@ -95,6 +105,9 @@ let default =
     lease_fraction = 0.4;
     read_guard_service_us = 20.0;
     read_lsn_wait = Sim.Sim_time.ms 50;
+    txn_sweep_period = Sim.Sim_time.sec 2;
+    txn_indoubt_after = Sim.Sim_time.sec 4;
+    txn_snap_retries = 8;
     seed = 42;
   }
 

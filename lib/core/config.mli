@@ -66,6 +66,13 @@ type t = {
   read_lsn_wait : Sim.Sim_time.span;
       (** follower staleness bound for token timeline reads before
           redirecting the client to the leader *)
+  txn_sweep_period : Sim.Sim_time.span;
+      (** leader scan period for in-doubt intents (presumed-abort recovery) *)
+  txn_indoubt_after : Sim.Sim_time.span;
+      (** unresolved-intent age at which the sweep escalates it *)
+  txn_snap_retries : int;
+      (** snapshot-read retries against an unresolved intent before the
+          transaction aborts *)
   seed : int;
 }
 

@@ -33,6 +33,23 @@ type client_op =
       consistent : bool;
       token : Storage.Lsn.t;
     }
+  | Fence of { key : Storage.Row.key }
+  | Snap_get of {
+      key : Storage.Row.key;
+      col : Storage.Row.column;
+      fence : Storage.Lsn.t;
+      fence_ts : int;
+    }
+  | Txn_prepare_req of {
+      txn : string;
+      anchor : Storage.Row.key;
+      fence : Storage.Lsn.t;
+      fence_ts : int;
+      writes : (Storage.Row.key * Storage.Row.column * string option) list;
+    }
+  | Txn_decide_req of { txn : string; anchor : Storage.Row.key; commit : bool }
+  | Txn_status_req of { txn : string; anchor : Storage.Row.key }
+  | Txn_resolve_req of { txn : string; key : Storage.Row.key; commit : bool; ts : int }
 
 type value_reply = { value : string option; version : int }
 
@@ -58,6 +75,17 @@ type client_reply =
           likely leader of the owning range under the server's layout *)
   | Unavailable
   | Cross_range
+  | Fenced of { lsn : Storage.Lsn.t; ts : int }
+      (** snapshot anchor for one range: the leader's applied commit point
+          and the capture instant, taken under a valid lease/guard *)
+  | Snap_blocked of { txn : string }
+      (** the snapshot read hit an unresolved write intent at or below the
+          fence; the client retries after the owning txn resolves *)
+  | Txn_conflict
+      (** prepare refused: first-committer-wins against the snapshot fence,
+          a foreign intent, or a pending write on a touched coordinate *)
+  | Txn_decided of { committed : bool; ts : int }
+      (** the coordinator's durable decision (and its commit timestamp) *)
 
 type t =
   | Request of { client : int; request_id : int; op : client_op }
@@ -103,9 +131,10 @@ type t =
   | Snapshot_ack of { range : int; from : int; seq : int }
 
 let is_write = function
-  | Get _ | Multi_get _ | Scan _ -> false
+  | Get _ | Multi_get _ | Scan _ | Fence _ | Snap_get _ -> false
   | Put _ | Multi_put _ | Delete _ | Conditional_put _ | Conditional_delete _
-  | Multi_conditional_put _ | Txn_put _ ->
+  | Multi_conditional_put _ | Txn_put _ | Txn_prepare_req _ | Txn_decide_req _
+  | Txn_status_req _ | Txn_resolve_req _ ->
     true
 
 let key_of_op = function
@@ -116,9 +145,15 @@ let key_of_op = function
   | Delete { key; _ }
   | Conditional_put { key; _ }
   | Conditional_delete { key; _ }
-  | Multi_conditional_put { key; _ } ->
+  | Multi_conditional_put { key; _ }
+  | Fence { key }
+  | Snap_get { key; _ }
+  | Txn_resolve_req { key; _ } ->
     key
   | Txn_put { rows } -> ( match rows with (key, _, _) :: _ -> key | [] -> "")
+  | Txn_prepare_req { writes; anchor; _ } -> (
+    match writes with (key, _, _) :: _ -> key | [] -> anchor)
+  | Txn_decide_req { anchor; _ } | Txn_status_req { anchor; _ } -> anchor
   | Scan { start_key; _ } -> start_key
 
 let size_of_op = function
@@ -141,6 +176,19 @@ let size_of_op = function
       (fun a (k, c, v) -> a + String.length k + String.length c + String.length v + 8)
       16 rows
   | Scan { start_key; end_key; _ } -> String.length start_key + String.length end_key + 24
+  | Fence { key } -> String.length key + 16
+  | Snap_get { key; col; _ } -> String.length key + String.length col + 32
+  | Txn_prepare_req { txn; anchor; writes; _ } ->
+    List.fold_left
+      (fun a (k, c, v) ->
+        a + String.length k + String.length c
+        + (match v with Some v -> String.length v | None -> 0)
+        + 8)
+      (String.length txn + String.length anchor + 32)
+      writes
+  | Txn_decide_req { txn; anchor; _ } | Txn_status_req { txn; anchor } ->
+    String.length txn + String.length anchor + 24
+  | Txn_resolve_req { txn; key; _ } -> String.length txn + String.length key + 32
 
 let size_of_value { value; _ } =
   (match value with Some v -> String.length v | None -> 0) + 12
@@ -157,8 +205,10 @@ let size_of_reply = function
           (a + String.length k + 8)
           cols)
       8 rows
-  | Written _ | Version_mismatch _ | Not_leader _ | Wrong_range _ | Unavailable | Cross_range ->
+  | Written _ | Version_mismatch _ | Not_leader _ | Wrong_range _ | Unavailable | Cross_range
+  | Fenced _ | Txn_conflict | Txn_decided _ ->
     16
+  | Snap_blocked { txn } -> String.length txn + 16
 
 let size_of_cell ((key, col), (cell : Storage.Row.cell)) =
   String.length key + String.length col
@@ -174,6 +224,15 @@ let size_of_write (_, op, _, _) =
       | Storage.Log_record.Put { key; col; value; _ } ->
         String.length key + String.length col + String.length value
       | Storage.Log_record.Delete { key; col; _ } -> String.length key + String.length col
+      | (Storage.Log_record.Txn_prepare _ | Storage.Log_record.Txn_decision _
+        | Storage.Log_record.Txn_resolve _ | Storage.Log_record.Install_cell _) as op ->
+        (* Approximate by the cells the record installs on apply. *)
+        List.fold_left
+          (fun a ((key, col), (cell : Storage.Row.cell)) ->
+            a + String.length key + String.length col
+            + (match cell.value with Some v -> String.length v | None -> 0))
+          8
+          (Storage.Log_record.cells_of_write op ~lsn:Storage.Lsn.zero ~timestamp:0)
       | Storage.Log_record.Batch _ | Storage.Log_record.Cohort_change _
       | Storage.Log_record.Split _ ->
         0)

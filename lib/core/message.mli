@@ -49,6 +49,40 @@ type client_op =
     }
       (** Range scan over one cohort's slice of [start_key, end_key); the
           client stitches multi-range scans together range by range. *)
+  | Fence of { key : Storage.Row.key }
+      (** Strong read of the range's snapshot anchor: the leader answers
+          [Fenced] with its applied commit point and the capture instant,
+          under the same lease/guard gate as any strong read — the
+          linearization point of a multi-range snapshot in this range. *)
+  | Snap_get of {
+      key : Storage.Row.key;
+      col : Storage.Row.column;
+      fence : Storage.Lsn.t;  (** this range's fence LSN (from [Fenced]) *)
+      fence_ts : int;  (** the snapshot's global timestamp (min of captures) *)
+    }
+      (** MVCC snapshot read: served by any replica once its applied commit
+          point reaches [fence] (the PR 9 token-parking path), evaluating
+          interval visibility against [fence]/[fence_ts]. *)
+  | Txn_prepare_req of {
+      txn : string;
+      anchor : Storage.Row.key;  (** coordinator anchor key *)
+      fence : Storage.Lsn.t;  (** this range's snapshot fence *)
+      fence_ts : int;
+      writes : (Storage.Row.key * Storage.Row.column * string option) list;
+          (** proposed writes in this range ([None] = delete) *)
+    }
+      (** 2PC phase one: replicate write intents through this participant's
+          Paxos log after key-level first-committer-wins conflict checks. *)
+  | Txn_decide_req of { txn : string; anchor : Storage.Row.key; commit : bool }
+      (** Ask the coordinator cohort (owner of [anchor]) to replicate the
+          commit/abort decision. First decision wins; the reply carries the
+          outcome actually recorded. *)
+  | Txn_status_req of { txn : string; anchor : Storage.Row.key }
+      (** Presumed-abort recovery: what happened to [txn]? If no decision is
+          recorded, the coordinator logs an abort and answers with it. *)
+  | Txn_resolve_req of { txn : string; key : Storage.Row.key; commit : bool; ts : int }
+      (** 2PC phase two at [key]'s range: install final cells (commit) and
+          clear every intent [txn] holds in that range. Idempotent. *)
 
 type value_reply = { value : string option; version : int }
 
@@ -76,6 +110,19 @@ type client_reply =
           probable leader of the owning range *)
   | Unavailable  (** cohort closed for writes (no leader / takeover running) *)
   | Cross_range  (** transaction keys span key ranges; not supported (§8.2) *)
+  | Fenced of { lsn : Storage.Lsn.t; ts : int }
+      (** snapshot anchor for one range: applied commit point + capture
+          instant (µs), taken while the leader's lease/guard was valid *)
+  | Snap_blocked of { txn : string }
+      (** the snapshot read hit [txn]'s unresolved write intent at or below
+          the fence; retry after it resolves (the owner may yet commit
+          inside the snapshot) *)
+  | Txn_conflict
+      (** prepare refused: a foreign intent, a committed version newer than
+          the snapshot fence (first-committer-wins), or a pending write on a
+          touched coordinate *)
+  | Txn_decided of { committed : bool; ts : int }
+      (** the coordinator's durable decision and its commit timestamp *)
 
 type t =
   | Request of { client : int; request_id : int; op : client_op }

@@ -22,6 +22,11 @@ type t = {
   mutable layout_watch_armed : bool;
   mutable alive : bool;
   mutable incarnation : int;
+  mutable txn_escalation :
+    (txn:string -> anchor:Storage.Row.key -> key:Storage.Row.key -> unit) option;
+      (** presumed-abort escalation for in-doubt intents found by a leader
+          cohort's sweep; the cluster layer installs a client-backed resolver
+          (raw-node tests leave it unset — the sweep is then inert) *)
 }
 
 let id t = t.id
@@ -143,6 +148,11 @@ let rec make_cohort_with_store t range store =
       xfer = t.xfer;
       apply_meta = (fun ~op ~leader -> apply_meta t ~range ~op ~leader);
       retire_self = (fun () -> retire_cohort t ~range);
+      resolve_in_doubt =
+        (fun ~txn ~anchor ~key ->
+          match t.txn_escalation with
+          | Some f -> f ~txn ~anchor ~key
+          | None -> ());
     }
   in
   Cohort.create ctx
@@ -409,6 +419,7 @@ let create ~engine ~net ~zk_server ~partition ~config ~trace ~id =
       layout_watch_armed = false;
       alive = false;
       incarnation = 0;
+      txn_escalation = None;
     }
   in
   t.cohorts <-
@@ -416,6 +427,8 @@ let create ~engine ~net ~zk_server ~partition ~config ~trace ~id =
       (fun range -> (range, make_cohort t range))
       (Partition.ranges_of_node partition ~node:id);
   t
+
+let set_txn_escalation t f = t.txn_escalation <- Some f
 
 let start t =
   t.alive <- true;

@@ -62,4 +62,13 @@ val reconcile_layout : t -> unit
 
 val wal : t -> Storage.Wal.t
 
+val set_txn_escalation :
+  t -> (txn:string -> anchor:Storage.Row.key -> key:Storage.Row.key -> unit) -> unit
+(** Install the presumed-abort escalation hook: when a leader cohort's sweep
+    finds an in-doubt write intent, it calls this with the transaction, its
+    coordinator anchor key, and a sample key of the stranded range. The
+    cluster layer backs it with an embedded client that queries the
+    coordinator ([Txn_status_req], logging an abort if no decision exists)
+    and then resolves the intents. Unset, the sweep is inert. *)
+
 val failure_target : t -> Sim.Failure.target

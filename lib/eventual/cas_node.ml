@@ -165,7 +165,7 @@ let coordinate_write t ~client ~request_id ~key ~col ~value ~level =
     (guard t (fun () ->
          let _, replicas = replicas_of t key in
          let cell : Row.cell =
-           { value; version = 0; lsn = Lsn.zero; timestamp = local_timestamp t }
+           { value; version = 0; lsn = Lsn.zero; timestamp = local_timestamp t; txn_ts = None }
          in
          let req = t.next_req in
          t.next_req <- req + 1;

@@ -4,6 +4,20 @@ type op =
   | Batch of op list
   | Cohort_change of { add : int option; remove : int option }
   | Split of { at : Row.key; new_range : int }
+  | Txn_prepare of {
+      txn : string;
+      anchor : Row.key;
+      fence : Lsn.t;
+      writes : (Row.key * Row.column * string option) list;
+    }
+  | Txn_decision of { txn : string; anchor : Row.key; commit : bool; ts : int }
+  | Txn_resolve of {
+      txn : string;
+      commit : bool;
+      ts : int;
+      writes : (Row.key * Row.column * string option * int) list;
+    }
+  | Install_cell of { coord : Row.coord; cell : Row.cell }
 
 type entry =
   | Write of { lsn : Lsn.t; op : op; timestamp : int; origin : (int * int) option }
@@ -17,12 +31,21 @@ let write ~cohort ~lsn ~timestamp ?origin op =
 let commit_upto ~cohort lsn = { cohort; entry = Commit_upto lsn }
 let checkpoint ~cohort lsn = { cohort; entry = Checkpoint lsn }
 
-let is_meta = function Cohort_change _ | Split _ -> true | Put _ | Delete _ | Batch _ -> false
+let is_meta = function
+  | Cohort_change _ | Split _ -> true
+  | Put _ | Delete _ | Batch _ | Txn_prepare _ | Txn_decision _ | Txn_resolve _
+  | Install_cell _ ->
+    false
 
 let rec flatten = function
   | Batch ops -> List.concat_map flatten ops
   | (Put _ | Delete _) as op -> [ op ]
   | Cohort_change _ | Split _ -> []
+  | (Txn_prepare _ | Txn_decision _ | Txn_resolve _ | Install_cell _) as op ->
+    (* Transaction and install records are atomic units: their cells are
+       derived by [cells_of_write], not by flattening into primitive
+       writes. *)
+    [ op ]
 
 let rec op_coord = function
   | Put { key; col; _ } -> (key, col)
@@ -30,6 +53,12 @@ let rec op_coord = function
   | Batch [] -> ("", "")
   | Batch (op :: _) -> op_coord op
   | Cohort_change _ | Split _ -> ("", "")
+  | Txn_prepare { writes = (key, col, _) :: _; _ } -> (key, Row.intent_col col)
+  | Txn_prepare { anchor; _ } -> (anchor, "")
+  | Txn_decision { txn; anchor; _ } -> (anchor, Row.decision_col txn)
+  | Txn_resolve { writes = (key, col, _, _) :: _; _ } -> (key, col)
+  | Txn_resolve _ -> ("", "")
+  | Install_cell { coord; _ } -> coord
 
 let rec op_version = function
   | Put { version; _ } -> version
@@ -37,15 +66,74 @@ let rec op_version = function
   | Batch [] -> 0
   | Batch (op :: _) -> op_version op
   | Cohort_change _ | Split _ -> 0
+  | Txn_prepare _ | Txn_decision _ -> 0
+  | Txn_resolve { writes = (_, _, _, version) :: _; _ } -> version
+  | Txn_resolve _ -> 0
+  | Install_cell { cell; _ } -> cell.Row.version
 
 let cell_of_write op ~lsn ~timestamp : Row.cell =
   match op with
-  | Put { value; version; _ } -> { value = Some value; version; lsn; timestamp }
-  | Delete { version; _ } -> { value = None; version; lsn; timestamp }
-  | Batch _ | Cohort_change _ | Split _ -> invalid_arg "Log_record.cell_of_write: not a cell write"
+  | Put { value; version; _ } ->
+    { value = Some value; version; lsn; timestamp; txn_ts = None }
+  | Delete { version; _ } -> { value = None; version; lsn; timestamp; txn_ts = None }
+  | Install_cell { cell; _ } -> cell
+  | Batch _ | Cohort_change _ | Split _ | Txn_prepare _ | Txn_decision _ | Txn_resolve _ ->
+    invalid_arg "Log_record.cell_of_write: not a cell write"
 
 let cells_of_write op ~lsn ~timestamp =
-  List.map (fun o -> (op_coord o, cell_of_write o ~lsn ~timestamp)) (flatten op)
+  match op with
+  | Txn_prepare { txn; anchor; fence; writes } ->
+    (* One intent cell per written coordinate; versions stay 0 — the base
+       coordinate's version is assigned at resolve time. *)
+    List.map
+      (fun (key, col, value) ->
+        ( (key, Row.intent_col col),
+          {
+            Row.value =
+              Some
+                (Row.encode_intent
+                   { Row.i_txn = txn; i_anchor = anchor; i_fence = fence; i_value = value });
+            version = 0;
+            lsn;
+            timestamp;
+            txn_ts = None;
+          } ))
+      writes
+  | Txn_decision { txn; anchor; commit; ts } ->
+    [
+      ( (anchor, Row.decision_col txn),
+        {
+          Row.value = Some (Row.encode_decision ~commit ~ts);
+          version = 0;
+          lsn;
+          timestamp;
+          txn_ts = None;
+        } );
+    ]
+  | Txn_resolve { commit; ts; writes; _ } ->
+    (* Concrete final cells are embedded in the record (computed once at the
+       leader), so replicas apply deterministically. Committed data cells
+       carry the decision timestamp as [txn_ts] — their position in the
+       global MVCC timeline — and it doubles as the cell timestamp; intent
+       cells are tombstoned either way. *)
+    List.concat_map
+      (fun (key, col, value, version) ->
+        let clear_intent =
+          ((key, Row.intent_col col), Row.tombstone ~version:0 ~lsn ~timestamp)
+        in
+        if commit then
+          [
+            ((key, col), { Row.value; version; lsn; timestamp = ts; txn_ts = Some ts });
+            clear_intent;
+          ]
+        else [ clear_intent ])
+      writes
+  | Install_cell { coord; cell } ->
+    (* A materialized cell shipped by catch-up or snapshot migration: applied
+       and logged verbatim, so [txn_ts] (and everything else) survives the
+       trip exactly — including crash-recovery replay on the receiver. *)
+    [ (coord, cell) ]
+  | _ -> List.map (fun o -> (op_coord o, cell_of_write o ~lsn ~timestamp)) (flatten op)
 
 let approx_bytes t =
   match t.entry with
@@ -58,6 +146,26 @@ let approx_bytes t =
         | Put { key; col; value; _ } ->
           String.length key + String.length col + String.length value
         | Delete { key; col; _ } -> String.length key + String.length col
+        | Txn_prepare { txn; writes; _ } ->
+          List.fold_left
+            (fun a (k, c, v) ->
+              a + String.length k + String.length c
+              + (match v with Some v -> String.length v | None -> 0))
+            (String.length txn + 24)
+            writes
+        | Txn_decision { txn; anchor; _ } -> String.length txn + String.length anchor + 16
+        | Txn_resolve { txn; writes; _ } ->
+          List.fold_left
+            (fun a (k, c, v, _) ->
+              a + String.length k + String.length c
+              + (match v with Some v -> String.length v | None -> 0)
+              + 8)
+            (String.length txn + 16)
+            writes
+        | Install_cell { coord = key, col; cell } ->
+          String.length key + String.length col
+          + (match cell.Row.value with Some v -> String.length v | None -> 0)
+          + 16
         | Batch _ | Cohort_change _ | Split _ -> 0)
       (24 + if is_meta op then 8 else 0)
       (flatten op)
@@ -75,6 +183,16 @@ let pp ppf t =
         let show = function Some n -> string_of_int n | None -> "-" in
         (Printf.sprintf "cohort+%s-%s" (show add) (show remove), ("", ""))
       | Split { at; new_range } -> (Printf.sprintf "split@%s->r%d" at new_range, ("", ""))
+      | Txn_prepare { txn; writes; _ } ->
+        (Printf.sprintf "prepare[%s](%d)" txn (List.length writes), op_coord op)
+      | Txn_decision { txn; commit; _ } ->
+        (Printf.sprintf "decide[%s]=%s" txn (if commit then "commit" else "abort"), op_coord op)
+      | Txn_resolve { txn; commit; writes; _ } ->
+        ( Printf.sprintf "resolve[%s]=%s(%d)" txn
+            (if commit then "commit" else "abort")
+            (List.length writes),
+          op_coord op )
+      | Install_cell _ -> ("install", op_coord op)
     in
     Format.fprintf ppf "[r%d %a %s %s/%s]" t.cohort Lsn.pp lsn kind key col
   | Commit_upto lsn -> Format.fprintf ppf "[r%d commit<=%a]" t.cohort Lsn.pp lsn

@@ -22,6 +22,38 @@ type op =
   | Split of { at : Row.key; new_range : int }
       (** Range-split meta record: the range splits at [at]; keys at or
           above [at] move to the new range id. Produces no cells. *)
+  | Txn_prepare of {
+      txn : string;
+      anchor : Row.key;
+      fence : Lsn.t;
+      writes : (Row.key * Row.column * string option) list;
+    }
+      (** 2PC phase one at a participant cohort: replicates one write intent
+          per coordinate (a {!Row.intent_col} system cell encoding the
+          proposed value, the coordinator anchor, and the snapshot fence).
+          Intents block snapshot readers and conflict with other writers
+          until resolved. *)
+  | Txn_decision of { txn : string; anchor : Row.key; commit : bool; ts : int }
+      (** The coordinator cohort's commit/abort decision, replicated through
+          its own Paxos log (a {!Row.decision_col} cell on the anchor row) —
+          coordinator failover cannot lose it. [ts] is the commit timestamp
+          ordering the transaction in the MVCC timeline. *)
+  | Txn_resolve of {
+      txn : string;
+      commit : bool;
+      ts : int;
+      writes : (Row.key * Row.column * string option * int) list;
+    }
+      (** 2PC phase two at a participant: atomically installs the final data
+          cells (on commit) and tombstones the intents. The concrete
+          (key, col, value, version) list is computed once at the leader and
+          embedded, so replicas apply deterministically. *)
+  | Install_cell of { coord : Row.coord; cell : Row.cell }
+      (** A materialized cell shipped by catch-up or snapshot migration,
+          applied and logged verbatim on the receiver. Reconstructing a
+          [Put]/[Delete] from a shipped cell would drop its [Row.cell.txn_ts]
+          classification and a caught-up replica's snapshot reads would
+          degrade to plain LSN visibility — exposing half a transaction. *)
 
 type entry =
   | Write of {

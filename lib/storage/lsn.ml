@@ -17,3 +17,14 @@ let next t = { t with seq = t.seq + 1 }
 let with_epoch ~epoch t = { t with epoch }
 let pp ppf t = Format.fprintf ppf "%d.%d" t.epoch t.seq
 let to_string t = Printf.sprintf "%d.%d" t.epoch t.seq
+
+let of_string s =
+  match String.index_opt s '.' with
+  | None -> None
+  | Some i -> (
+    match
+      ( int_of_string_opt (String.sub s 0 i),
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    with
+    | Some epoch, Some seq -> Some { epoch; seq }
+    | _ -> None)

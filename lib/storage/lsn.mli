@@ -38,3 +38,6 @@ val pp : Format.formatter -> t -> unit
 (** Prints [epoch.seq], matching the paper's notation. *)
 
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} ([epoch.seq]); [None] on malformed input. *)

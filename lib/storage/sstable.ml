@@ -11,7 +11,7 @@ let build entries =
   let n = List.length entries in
   let coords = Array.make n ("", "") in
   let cells =
-    Array.make n Row.{ value = None; version = 0; lsn = Lsn.zero; timestamp = 0 }
+    Array.make n Row.{ value = None; version = 0; lsn = Lsn.zero; timestamp = 0; txn_ts = None }
   in
   let bloom = Bloom.create ~expected:(Stdlib.max 1 n) () in
   let min_lsn = ref Lsn.zero and max_lsn = ref Lsn.zero and bytes = ref 0 in

@@ -1,5 +1,25 @@
 type read_cost = Cache_hit | Probed of int
 
+(* One entry in a coordinate's in-memory version chain (newest first).
+   [mv_txn_ts] is [Some ts] when the cell was installed by a committed
+   transaction: its visibility under a snapshot is decided by the commit
+   timestamp, not the per-range LSN. *)
+type mvcc_version = { mv_cell : Row.cell; mv_txn_ts : int option }
+
+type snap_result =
+  | Snap_cell of Row.cell  (** visible at the fence (may be a tombstone) *)
+  | Snap_none  (** nothing visible at the fence *)
+  | Snap_blocked of string  (** an undecided intent of this txn blocks the read *)
+
+(* Live (unresolved) write intents of one transaction in this range. *)
+type intent_info = {
+  mutable ii_writes : (Row.coord * string option) list;  (** base coords + proposed values *)
+  ii_anchor : Row.key;
+  ii_fence : Lsn.t;
+  ii_lsn : Lsn.t;  (** prepare LSN (first intent cell seen) *)
+  ii_time : int;  (** prepare apply timestamp, µs — ages into in-doubt *)
+}
+
 type t = {
   cohort : int;
   wal : Wal.t;
@@ -37,11 +57,18 @@ type t = {
   mutable max_store_bytes : int;
       (** largest total SSTable footprint observed when a compaction ran —
           the denominator of the tier-bounded-work claim *)
+  mvcc_depth : int;  (** per-coordinate version-chain cap *)
+  mvcc : (Row.coord, mvcc_version list) Hashtbl.t;
+      (** in-memory version chains, newest first; rebuilt from the WAL on
+          recovery (versions that only survive in SSTables fall back to the
+          plain LSN visibility rule) *)
+  intents : (string, intent_info) Hashtbl.t;  (** txn id -> live intents *)
+  intent_at : (Row.coord, string) Hashtbl.t;  (** base coord -> owning txn *)
 }
 
 let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1024)
     ?(compaction_fanin = 4) ?(max_sstables = 16) ?(tier_growth = Compaction.default_growth)
-    ?(cache_capacity = 0) () =
+    ?(cache_capacity = 0) ?(mvcc_depth = 64) () =
   {
     cohort;
     wal;
@@ -68,6 +95,10 @@ let create ~cohort ~wal ?(newer = Row.newer_by_lsn) ?(flush_bytes = 4 * 1024 * 1
     max_compaction_input_bytes = 0;
     total_compaction_input_bytes = 0;
     max_store_bytes = 0;
+    mvcc_depth;
+    mvcc = Hashtbl.create 256;
+    intents = Hashtbl.create 16;
+    intent_at = Hashtbl.create 16;
   }
 
 let cohort t = t.cohort
@@ -205,14 +236,103 @@ let flush t =
     maybe_compact t
   end
 
+(* ------------------------------------------------------------------ *)
+(* MVCC chains and the intent index, maintained on every applied cell.   *)
+
+let push_version t coord (cell : Row.cell) ~txn_ts =
+  let chain = match Hashtbl.find_opt t.mvcc coord with Some l -> l | None -> [] in
+  let entry = { mv_cell = cell; mv_txn_ts = txn_ts } in
+  let chain =
+    match chain with
+    | head :: rest when Lsn.equal head.mv_cell.Row.lsn cell.Row.lsn ->
+      (* Idempotent re-apply (catch-up, recovery replay): replace in place. *)
+      entry :: rest
+    | head :: _ when Lsn.(cell.Row.lsn < head.mv_cell.Row.lsn) ->
+      (* Out-of-order duplicate below the head: already represented. *)
+      if List.exists (fun v -> Lsn.equal v.mv_cell.Row.lsn cell.Row.lsn) chain then chain
+      else
+        (* Insert in descending-LSN position (rare; bounded by the cap). *)
+        let rec ins = function
+          | v :: tl when Lsn.(v.mv_cell.Row.lsn > cell.Row.lsn) -> v :: ins tl
+          | tl -> entry :: tl
+        in
+        ins chain
+    | _ -> entry :: chain
+  in
+  let chain = if List.length chain > t.mvcc_depth then List.filteri (fun i _ -> i < t.mvcc_depth) chain else chain in
+  Hashtbl.replace t.mvcc coord chain
+
+(* Track an applied intent/decision system cell in the in-memory intent
+   index. Driven by the cell's coordinate, not the op shape, so catch-up
+   and migration (which replay cells as plain puts) keep the index right. *)
+let track_system_cell t (key, col) (cell : Row.cell) =
+  if Row.is_intent_col col then begin
+    let base = (key, Row.base_of_intent_col col) in
+    match cell.Row.value with
+    | Some payload -> (
+      match Row.decode_intent payload with
+      | Some { Row.i_txn; i_anchor; i_fence; i_value } -> (
+        (* A newer intent at this coordinate proves the previous one was
+           resolved (its prepare would have conflicted otherwise) — evict
+           the prior owner even if we never saw its tombstone, e.g. when
+           catch-up's newest-per-coordinate collapse shipped only the
+           newer intent over the tombstone that cleared the old one. *)
+        (match Hashtbl.find_opt t.intent_at base with
+        | Some prev when prev <> i_txn -> (
+          match Hashtbl.find_opt t.intents prev with
+          | Some info ->
+            info.ii_writes <-
+              List.filter (fun (c, _) -> not (Row.equal_coord c base)) info.ii_writes;
+            if info.ii_writes = [] then Hashtbl.remove t.intents prev
+          | None -> ())
+        | _ -> ());
+        Hashtbl.replace t.intent_at base i_txn;
+        match Hashtbl.find_opt t.intents i_txn with
+        | Some info ->
+          if not (List.mem_assoc base info.ii_writes) then
+            info.ii_writes <- (base, i_value) :: info.ii_writes
+        | None ->
+          Hashtbl.replace t.intents i_txn
+            {
+              ii_writes = [ (base, i_value) ];
+              ii_anchor = i_anchor;
+              ii_fence = i_fence;
+              ii_lsn = cell.Row.lsn;
+              ii_time = cell.Row.timestamp;
+            })
+      | None -> ())
+    | None -> (
+      (* Intent tombstone: the transaction resolved at this coordinate. *)
+      match Hashtbl.find_opt t.intent_at base with
+      | Some txn -> (
+        Hashtbl.remove t.intent_at base;
+        match Hashtbl.find_opt t.intents txn with
+        | Some info ->
+          info.ii_writes <-
+            List.filter (fun (c, _) -> not (Row.equal_coord c base)) info.ii_writes;
+          if info.ii_writes = [] then Hashtbl.remove t.intents txn
+        | None -> ())
+      | None -> ())
+  end
+
+(* The per-cell ingest shared by [apply] and recovery replay. The cell's own
+   [txn_ts] marks data cells installed by a committed transaction — carried
+   on the cell (not derived from the op shape) so catch-up and migration,
+   which ship materialized cells, classify versions identically. *)
+let ingest_cell t ((key, col) as coord) (cell : Row.cell) =
+  if in_bounds t key then begin
+    Memtable.put t.memtable ~newer:t.newer coord cell;
+    if Row.is_system_col col then track_system_cell t coord cell
+    else begin
+      push_version t coord cell ~txn_ts:cell.Row.txn_ts;
+      (* Write-through invalidation: the next read re-resolves the winner. *)
+      match t.cache with Some c -> Cache.invalidate c coord | None -> ()
+    end
+  end
+
 let apply t ~lsn ~timestamp op =
   List.iter
-    (fun ((key, _) as coord, cell) ->
-      if in_bounds t key then begin
-        Memtable.put t.memtable ~newer:t.newer coord cell;
-        (* Write-through invalidation: the next read re-resolves the winner. *)
-        match t.cache with Some c -> Cache.invalidate c coord | None -> ()
-      end)
+    (fun (coord, cell) -> ingest_cell t coord cell)
     (Log_record.cells_of_write op ~lsn ~timestamp);
   if Memtable.approx_bytes t.memtable >= t.flush_bytes then flush t
 
@@ -253,15 +373,130 @@ let get_profiled t coord =
   | None ->
     let cell, probed = lookup t coord in
     (cell, Probed probed)
-  | Some cache -> (
-    match Cache.find cache coord with
-    | Some cell -> (cell, Cache_hit)
-    | None ->
+  | Some cache ->
+    (* System columns (intents, decision records) bypass the row cache in
+       both directions: they mutate out of band of the user write path, and
+       a cached copy could hand a snapshot reader a stale resolution
+       state. *)
+    if Row.is_system_col (snd coord) then begin
       let cell, probed = lookup t coord in
-      Cache.put cache coord cell;
-      (cell, Probed probed))
+      (cell, Probed probed)
+    end
+    else (
+      match Cache.find cache coord with
+      | Some cell -> (cell, Cache_hit)
+      | None ->
+        let cell, probed = lookup t coord in
+        Cache.put cache coord cell;
+        (cell, Probed probed))
 
 let get t coord = fst (get_profiled t coord)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads at a commit-LSN fence (Minnal-style interval MVCC).
+
+   A version installed by a plain write is visible iff its LSN is at or
+   below this range's fence; a version installed by a committed transaction
+   is visible iff its commit timestamp is at or below the snapshot's global
+   timestamp. An unresolved intent at or below the fence blocks the reader —
+   the owning transaction may yet commit with a timestamp inside the
+   snapshot. Never served from the LRU row cache: the cache holds only the
+   newest resolution, which may postdate the fence. *)
+
+(* Every cell version still reachable for [coord] across memtable and
+   SSTables (each table keeps at most one per coord). Newest-first order is
+   not guaranteed; callers pick by predicate. *)
+let all_versions_at t coord =
+  let acc = ref (match Memtable.get t.memtable coord with Some c -> [ c ] | None -> []) in
+  List.iter
+    (fun table ->
+      if Sstable.may_contain_key table (fst coord) then begin
+        t.sstables_probed <- t.sstables_probed + 1;
+        match Sstable.get table coord with Some c -> acc := c :: !acc | None -> ()
+      end
+      else t.sstables_skipped <- t.sstables_skipped + 1)
+    t.sstables;
+  !acc
+
+let snapshot_get t coord ~fence ~fence_ts =
+  let key, col = coord in
+  let blocked_by =
+    match fst (lookup t (key, Row.intent_col col)) with
+    | Some c when (not (Row.is_tombstone c)) && Lsn.(c.Row.lsn <= fence) -> (
+      match c.Row.value with
+      | Some payload -> (
+        match Row.decode_intent payload with Some i -> Some i.Row.i_txn | None -> None)
+      | None -> None)
+    | _ -> None
+  in
+  match blocked_by with
+  | Some txn -> Snap_blocked txn
+  | None -> (
+    let fallback () =
+      (* The chain does not cover the fence (deep history only in SSTables,
+         the coordinate was never chained, or the chain was reset by a
+         crash): every durable version still carries its own classification,
+         so the interval rule applies cell by cell — commit-timestamp
+         visibility for transactional versions, plain LSN for the rest. *)
+      let visible (c : Row.cell) =
+        match c.txn_ts with Some ts -> ts <= fence_ts | None -> Lsn.(c.lsn <= fence)
+      in
+      match List.filter visible (all_versions_at t coord) with
+      | [] -> Snap_none
+      | c :: rest -> Snap_cell (List.fold_left (fun a b -> if t.newer a b then a else b) c rest)
+    in
+    match Hashtbl.find_opt t.mvcc coord with
+    | Some chain -> (
+      match
+        List.find_opt
+          (fun v ->
+            match v.mv_txn_ts with
+            | Some ts -> ts <= fence_ts
+            | None -> Lsn.(v.mv_cell.Row.lsn <= fence))
+          chain
+      with
+      | Some v -> Snap_cell v.mv_cell
+      | None -> fallback ())
+    | None -> fallback ())
+
+(* Newest installed version of a base coordinate with its transactional
+   classification — the first-committer-wins conflict check's input. *)
+let head_info t coord =
+  match Hashtbl.find_opt t.mvcc coord with
+  | Some (v :: _) -> Some (v.mv_cell.Row.lsn, v.mv_txn_ts)
+  | _ -> (
+    match fst (lookup t coord) with
+    | Some c -> Some (c.Row.lsn, c.Row.txn_ts)
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Intent index accessors.                                              *)
+
+let intent_txn_at t coord = Hashtbl.find_opt t.intent_at coord
+
+let intents_of t txn =
+  match Hashtbl.find_opt t.intents txn with
+  | Some i -> List.sort (fun (a, _) (b, _) -> Row.compare_coord a b) i.ii_writes
+  | None -> []
+
+let intent_anchor t txn =
+  match Hashtbl.find_opt t.intents txn with Some i -> Some i.ii_anchor | None -> None
+
+let live_intents t =
+  Hashtbl.fold (fun txn i acc -> (txn, i.ii_anchor, List.map fst i.ii_writes) :: acc) t.intents []
+  |> List.sort compare
+
+let in_doubt t ~now ~older_than =
+  Hashtbl.fold
+    (fun txn i acc ->
+      if now - i.ii_time >= older_than then
+        let sample =
+          match i.ii_writes with ((k, _), _) :: _ -> k | [] -> i.ii_anchor
+        in
+        (txn, i.ii_anchor, sample) :: acc
+      else acc)
+    t.intents []
+  |> List.sort compare
 
 let read t coord =
   match get t coord with
@@ -312,7 +547,9 @@ let scan t ~low ~high ~limit =
       match Iterator.next it with
       | None -> finalize rows
       | Some ((key, col), cell) ->
-        if Row.is_tombstone cell then go rows nrows
+        (* System columns (intents, decision records) never surface in user
+           scans. *)
+        if Row.is_tombstone cell || Row.is_system_col col then go rows nrows
         else begin
           match rows with
           | (k, cols) :: rest when String.equal k key ->
@@ -325,6 +562,13 @@ let scan t ~low ~high ~limit =
     go [] 0
   end
 
+(* The MVCC chains and intent index are volatile; recovery rebuilds them
+   (chains from the replayed log suffix, intents from the durable heads). *)
+let reset_txn_state t =
+  Hashtbl.reset t.mvcc;
+  Hashtbl.reset t.intents;
+  Hashtbl.reset t.intent_at
+
 let crash t =
   t.memtable <- Memtable.create ();
   (* [flushed_upto] is volatile bookkeeping: a crash can land after the
@@ -332,6 +576,7 @@ let crash t =
      case recovery must rederive the flush horizon from stable storage. The
      row cache is volatile too. *)
   t.flushed_upto <- Lsn.zero;
+  reset_txn_state t;
   clear_cache t
 
 let wipe t =
@@ -341,9 +586,25 @@ let wipe t =
   t.inherited_upto <- Lsn.zero;
   Skipped_lsns.clear t.skipped
 
+(* Rebuild the intent index from durable state: the newest resolution of
+   every intent coordinate across memtable and SSTables. A live (untombstoned)
+   head means the transaction is still unresolved here — exactly the
+   in-doubt set presumed-abort recovery must chase. *)
+let rebuild_intents t =
+  Hashtbl.reset t.intents;
+  Hashtbl.reset t.intent_at;
+  Iterator.to_list
+    (Iterator.merge ~newer:t.newer
+       (Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable)
+       :: List.map (fun table -> Iterator.of_sstable table) t.sstables))
+  |> List.iter (fun (((key, col) as coord), cell) ->
+         if in_bounds t key && Row.is_intent_col col && not (Row.is_tombstone cell) then
+           track_system_cell t coord cell)
+
 let recover t =
   t.memtable <- Memtable.create ();
   clear_cache t;
+  reset_txn_state t;
   let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
   (* SSTables survive the crash; data through the checkpoint is in them.
      A flushed write is definitionally committed (only committed writes reach
@@ -361,15 +622,16 @@ let recover t =
     (fun (lsn, op, timestamp, _) ->
       if not (Skipped_lsns.mem t.skipped lsn) then
         List.iter
-          (fun (((key, _) as coord), cell) ->
-            if in_bounds t key then Memtable.put t.memtable ~newer:t.newer coord cell)
+          (fun (coord, cell) -> ingest_cell t coord cell)
           (Log_record.cells_of_write op ~lsn ~timestamp))
     replay;
+  rebuild_intents t;
   (cmt, lst)
 
 let recover_all t =
   t.memtable <- Memtable.create ();
   clear_cache t;
+  reset_txn_state t;
   let checkpoint = Wal.last_checkpoint t.wal ~cohort:t.cohort in
   t.flushed_upto <- Lsn.max t.flushed_upto (Lsn.max checkpoint t.inherited_upto);
   let lst = Wal.last_write_lsn t.wal ~cohort:t.cohort in
@@ -377,10 +639,10 @@ let recover_all t =
   List.iter
     (fun (lsn, op, timestamp, _) ->
       List.iter
-        (fun (((key, _) as coord), cell) ->
-          if in_bounds t key then Memtable.put t.memtable ~newer:t.newer coord cell)
+        (fun (coord, cell) -> ingest_cell t coord cell)
         (Log_record.cells_of_write op ~lsn ~timestamp))
     replay;
+  rebuild_intents t;
   lst
 
 let all_cells t =
@@ -389,6 +651,24 @@ let all_cells t =
        (Iterator.of_sorted_list (Memtable.to_sorted_list t.memtable)
        :: List.map (fun table -> Iterator.of_sstable table) t.sstables))
   |> List.filter (fun ((key, _), _) -> in_bounds t key)
+
+(* Every retained MVCC version *behind* each coordinate's newest — the chain
+   tails. A migration snapshot ships these alongside {!all_cells} so the
+   joiner can answer interval snapshot reads whose timestamp predates a
+   coordinate's newest version, instead of silently serving something
+   older still. *)
+let chain_history_cells t =
+  Hashtbl.fold
+    (fun coord chain acc ->
+      match chain with
+      | [] | [ _ ] -> acc
+      | _ :: tail when List.exists (fun v -> v.mv_txn_ts <> None) chain ->
+        (* Only chains a committed transaction ever touched: interval reads
+           classify plain-only chains by LSN, and skipping them keeps
+           migration payloads byte-identical for non-transactional runs. *)
+        List.fold_left (fun acc v -> (coord, v.mv_cell) :: acc) acc tail
+      | _ -> acc)
+    t.mvcc []
 
 let committed_cells_in t ~above ~upto =
   if Lsn.(upto <= above) then []
@@ -405,12 +685,17 @@ let committed_cells_in t ~above ~upto =
 
       let compare = Row.compare_coord
     end) in
+    (* Per coordinate: every version in the window, in encounter order,
+       deduplicated by LSN (the log and SSTable sources can overlap). *)
     let acc = ref Coord_map.empty in
     let consider ((key, _) as coord) (cell : Row.cell) =
-      if in_bounds t key then
-        match Coord_map.find_opt coord !acc with
-        | Some existing when t.newer existing cell -> ()
-        | _ -> acc := Coord_map.add coord cell !acc
+      if in_bounds t key then begin
+        let prev =
+          match Coord_map.find_opt coord !acc with Some l -> l | None -> []
+        in
+        if not (List.exists (fun (c : Row.cell) -> Lsn.equal c.lsn cell.Row.lsn) prev)
+        then acc := Coord_map.add coord (cell :: prev) !acc
+      end
     in
     if not log_covers then begin
       (* The log was rolled over below [above]: pull the missing range out of
@@ -429,7 +714,27 @@ let committed_cells_in t ~above ~upto =
           (fun (coord, cell) -> consider coord cell)
           (Log_record.cells_of_write op ~lsn ~timestamp))
       from_log;
+    (* Coordinates only touched by plain writes collapse to the newest cell —
+       the historical wire format, so purely non-transactional runs ship
+       byte-identical payloads. A coordinate with any transactionally
+       installed version in the window keeps every version: the receiver
+       rebuilds its MVCC chain from these cells, and a missing intermediate
+       version would turn a later interval snapshot read (commit timestamp
+       between two shipped versions) into a silent stale read. *)
     Coord_map.bindings !acc
+    |> List.concat_map (fun (coord, rev_cells) ->
+           let cells = List.rev rev_cells in
+           if List.exists (fun (c : Row.cell) -> c.Row.txn_ts <> None) cells then
+             List.map (fun c -> (coord, c)) cells
+           else
+             match
+               List.fold_left
+                 (fun best c ->
+                   match best with Some b when t.newer b c -> best | _ -> Some c)
+                 None cells
+             with
+             | Some c -> [ (coord, c) ]
+             | None -> [])
     |> List.sort (fun (_, (a : Row.cell)) (_, (b : Row.cell)) -> Lsn.compare a.lsn b.lsn)
   end
 
@@ -479,4 +784,8 @@ let split_child parent ~cohort ~lo ~hi =
      log only starts after the split, so the flush horizon must say so or
      recovery/catch-up would trust a log that cannot cover the prefix. *)
   child.flushed_upto <- inherited;
+  (* Unresolved intents in the child's half of the key space ride the shared
+     tables; the child must know about them to block snapshot readers and
+     answer the in-doubt sweep. *)
+  rebuild_intents child;
   child

@@ -32,6 +32,7 @@ val create :
   ?max_sstables:int ->
   ?tier_growth:float ->
   ?cache_capacity:int ->
+  ?mvcc_depth:int ->
   unit ->
   t
 (** [newer] (default {!Row.newer_by_lsn}) resolves overlaps between tables on
@@ -42,7 +43,9 @@ val create :
     (similarity factor [tier_growth], default {!Compaction.default_growth}).
     [max_sstables] (default 16) forces a full merge with tombstone GC.
     [cache_capacity] (default 0 = disabled) bounds the LRU row cache in
-    entries. *)
+    entries. [mvcc_depth] (default 64) caps each coordinate's in-memory
+    version chain; snapshot reads below the cap fall back to the plain
+    durable-LSN rule. *)
 
 val cohort : t -> int
 
@@ -94,6 +97,50 @@ val read : t -> Row.coord -> Row.cell option
 
 val current_version : t -> Row.coord -> int
 (** Version of the newest cell, 0 if the coordinate was never written. *)
+
+(** {2 MVCC snapshot reads and the transaction intent index} *)
+
+type snap_result =
+  | Snap_cell of Row.cell  (** visible at the fence (may be a tombstone) *)
+  | Snap_none  (** nothing visible at the fence *)
+  | Snap_blocked of string
+      (** an unresolved write intent of this transaction sits at or below
+          the fence; the reader must wait for (or force) its resolution *)
+
+val snapshot_get : t -> Row.coord -> fence:Lsn.t -> fence_ts:int -> snap_result
+(** The coordinate's newest version visible under a snapshot anchored at
+    this range's commit-LSN [fence] and the snapshot's global commit
+    timestamp [fence_ts] (µs). Plain writes are visible iff their LSN is at
+    or below [fence]; transactionally installed versions iff their commit
+    timestamp is at or below [fence_ts]. Callers must only invoke this once
+    the applied commit point has reached [fence]. Never served from the LRU
+    row cache. *)
+
+val head_info : t -> Row.coord -> (Lsn.t * int option) option
+(** Newest installed version of a base coordinate: its LSN and, when it was
+    installed by a committed transaction, that transaction's commit
+    timestamp. The first-committer-wins conflict check's input. *)
+
+val intent_txn_at : t -> Row.coord -> string option
+(** The transaction holding an unresolved write intent on this (base)
+    coordinate, if any. *)
+
+val intents_of : t -> string -> (Row.coord * string option) list
+(** The transaction's unresolved intents in this store: base coordinates
+    with proposed values ([None] = proposed delete), ascending by
+    coordinate. Empty once resolved. *)
+
+val intent_anchor : t -> string -> Row.key option
+(** The coordinator anchor key recorded in the transaction's intents. *)
+
+val live_intents : t -> (string * Row.key * Row.coord list) list
+(** Every unresolved transaction in this store: (txn, anchor, coords). The
+    orphaned-intent audit's input; sorted for determinism. *)
+
+val in_doubt : t -> now:int -> older_than:int -> (string * Row.key * Row.key) list
+(** Transactions whose intents have been unresolved for at least
+    [older_than] µs as of [now]: (txn, anchor, sample key). The presumed-
+    abort sweep queries the anchor's cohort and resolves these. *)
 
 val scan :
   t -> low:Row.key -> high:Row.key -> limit:int ->
@@ -152,7 +199,19 @@ val all_cells : t -> (Row.coord * Row.cell) list
 val committed_cells_in : t -> above:Lsn.t -> upto:Lsn.t -> (Row.coord * Row.cell) list
 (** Committed writes with LSN in (above, upto], ascending by LSN — served
     from the log when available, otherwise from SSTables tagged with an
-    overlapping LSN range (§6.1). Used by leader-side catch-up. *)
+    overlapping LSN range (§6.1). Used by leader-side catch-up. Coordinates
+    only touched by plain writes collapse to their newest cell; a coordinate
+    with any transactionally installed version in the window keeps every
+    version, because the receiver rebuilds its MVCC chain from these cells
+    and a missing intermediate version would turn a later interval snapshot
+    read into a silent stale read. *)
+
+val chain_history_cells : t -> (Row.coord * Row.cell) list
+(** Retained MVCC versions behind the newest cell (the chain tails), for
+    coordinates a committed transaction ever touched. Shipped with
+    {!all_cells} in migration snapshots so the joiner can answer interval
+    snapshot reads below a coordinate's newest version; plain-only chains
+    are skipped (their visibility is decided by LSN alone). *)
 
 val durable_write_lsns_in : t -> above:Lsn.t -> upto:Lsn.t -> Lsn.t list
 (** LSNs of this cohort's durable log records in (above, upto] — the

@@ -430,6 +430,129 @@ let shrink_spinnaker ?config ?profile ?planted_hole_ack_bug ?chaos_for ?quiesce_
   end
 
 (* ------------------------------------------------------------------ *)
+(* The transaction gauntlet: cross-range bank transfers under crashes  *)
+
+(* Crash chaos aimed at 2PC's weakest moment: a hazard process whose rate
+   multiplies while transfers are mid-protocol, with two concurrent crash
+   slots — so a coordinator's leader and a participant's leader die together
+   between prepare and resolve. Recovery then has to finish the transaction
+   from its logs: decision lookup, presumed abort, intent sweep. *)
+let unleash_txn failure cluster ~in_flight ~until =
+  let targets = Cluster.failure_targets cluster in
+  (match targets with
+  | first :: _ ->
+    Failure.chaos failure
+      ~mean_time_to_failure:(Sim.Sim_time.sec 4)
+      ~mean_time_to_repair:(Sim.Sim_time.ms 1500)
+      ~until [ first ]
+  | [] -> ());
+  let hazard_targets = List.filteri (fun i _ -> i >= 1 && i < 3) targets in
+  if hazard_targets <> [] then
+    Failure.hazard_crash_chaos failure
+      ~period:(Sim.Sim_time.ms 200)
+      ~p_per_tick:0.015
+      ~multiplier:(fun () -> if !in_flight > 0 then 8.0 else 1.0)
+      ~max_concurrent:2
+      ~mean_time_to_repair:(Sim.Sim_time.ms 1200)
+      ~until hazard_targets
+
+(* After heal + quiesce the intent sweep must have converged every range on
+   every replica: a write intent with no live transaction is an orphan that
+   would block snapshot readers forever. *)
+let check_no_orphaned_intents cluster flag =
+  let partition = Cluster.partition cluster in
+  Array.iteri
+    (fun n node ->
+      for range = 0 to Partition.ranges partition - 1 do
+        match Node.cohort node ~range with
+        | None -> ()
+        | Some c ->
+          List.iter
+            (fun (txn, _, coords) ->
+              flag "orphaned-intent"
+                (Printf.sprintf
+                   "node %d range %d: txn %s still holds %d intents after quiesce" n
+                   range txn (List.length coords)))
+            (Storage.Store.live_intents (Cohort.store c))
+      done)
+    (Cluster.nodes cluster)
+
+let run_txn_bank ?(config = default_config) ?schedule
+    ?(chaos_for = Sim.Sim_time.sec 8) ?(quiesce_for = Sim.Sim_time.sec 12) ~seed () =
+  let engine = Sim.Engine.create ~seed () in
+  let cluster = Cluster.create engine config in
+  Cluster.start cluster;
+  let violations = ref [] in
+  let flag invariant detail = violations := (invariant, detail) :: !violations in
+  let verdict ~schedule ~exposure ~fingerprint ~acked ~indeterminate ~n_writes ~n_reads =
+    let outliers =
+      if !violations <> [] && Sim.Trace.Flight.pinned (Cluster.flight cluster) > 0 then
+        Some (Sim.Trace_export.outliers_to_json (Cluster.flight cluster))
+      else None
+    in
+    {
+      seed;
+      profile = Crashes;
+      planted_bug = false;
+      schedule;
+      exposure;
+      violations = List.rev !violations;
+      fingerprint;
+      acked;
+      indeterminate;
+      n_writes;
+      n_reads;
+      outliers;
+    }
+  in
+  if not (Cluster.run_until_ready cluster) then begin
+    flag "setup" "cluster never became ready";
+    verdict ~schedule:[] ~exposure:[] ~fingerprint:"" ~acked:0 ~indeterminate:0
+      ~n_writes:0 ~n_reads:0
+  end
+  else begin
+    let failure = Failure.create engine in
+    register_universe failure cluster;
+    Failure.attach_metrics failure (Cluster.metrics cluster);
+    let in_flight = ref 0 in
+    let until = Sim.Sim_time.add (Sim.Engine.now engine) chaos_for in
+    (match schedule with
+    | Some s -> Failure.apply failure s
+    | None -> unleash_txn failure cluster ~in_flight ~until);
+    let bank =
+      Experiment.run_bank ~engine ~cluster ~accounts:12 ~threads:4
+        ~duration:chaos_for ~in_flight
+        ~heal:(fun () -> heal_everything cluster)
+        ~quiesce:quiesce_for ()
+    in
+    List.iter (fun (invariant, detail) -> flag invariant detail)
+      bank.Experiment.bank_violations;
+    check_no_orphaned_intents cluster flag;
+    verdict ~schedule:(Failure.injections failure) ~exposure:(Failure.exposure failure)
+      ~fingerprint:(History.fingerprint bank.Experiment.bank_history)
+      ~acked:bank.Experiment.transfers_committed
+      ~indeterminate:bank.Experiment.transfers_unresolved
+      ~n_writes:(History.txns bank.Experiment.bank_history)
+      ~n_reads:bank.Experiment.bank_audits
+  end
+
+let shrink_txn_bank ?config ?chaos_for ?quiesce_for ?max_replays ~seed () =
+  let run ?schedule () = run_txn_bank ?config ?schedule ?chaos_for ?quiesce_for ~seed () in
+  let recorded = run () in
+  if not (failed recorded) then None
+  else begin
+    let replayed = run ~schedule:recorded.schedule () in
+    if not (failed replayed) then None
+    else
+      let minimal, stats =
+        Sim.Shrink.ddmin ?max_replays
+          ~replay:(fun s -> failed (run ~schedule:s ()))
+          recorded.schedule
+      in
+      Some (recorded, minimal, stats)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Audit cells: one backend under one fault profile and workload spec  *)
 
 type audit = {

@@ -82,6 +82,42 @@ val shrink_spinnaker :
     to a minimal still-failing subset. [None] if the run is clean or the
     failure does not replay. *)
 
+(** {2 The transaction gauntlet}
+
+    Cross-range bank transfers ({!Experiment.run_bank}) under crash chaos
+    coupled to the 2PC critical section: a hazard crash process with two
+    concurrent slots whose rate multiplies ([×8]) while transfers are
+    mid-protocol, so coordinator and participant leaders die together
+    between prepare and resolve. After heal + quiesce the verdict checks
+    atomicity and conservation (snapshot audits), serializability of the
+    committed history, and that no replica holds an orphaned in-doubt
+    intent. *)
+
+val run_txn_bank :
+  ?config:Spinnaker.Config.t ->
+  ?schedule:Sim.Failure.schedule ->
+  ?chaos_for:Sim.Sim_time.span ->
+  ?quiesce_for:Sim.Sim_time.span ->
+  seed:int ->
+  unit ->
+  verdict
+(** One gauntlet run; in the verdict, [acked] counts committed transfers,
+    [indeterminate] transfers unresolved even by the post-quiesce status
+    query, [n_writes] transactions in the checked history, and [n_reads]
+    committed snapshot audits. [quiesce_for] must exceed the in-doubt
+    threshold plus a sweep period or live intents will be flagged. *)
+
+val shrink_txn_bank :
+  ?config:Spinnaker.Config.t ->
+  ?chaos_for:Sim.Sim_time.span ->
+  ?quiesce_for:Sim.Sim_time.span ->
+  ?max_replays:int ->
+  seed:int ->
+  unit ->
+  (verdict * Sim.Failure.schedule * Sim.Shrink.stats) option
+(** Record/replay/ddmin for the transaction gauntlet, mirroring
+    {!shrink_spinnaker}. *)
+
 (** {2 Audit cells}
 
     One backend under one fault profile and one workload spec: a throughput/

@@ -40,6 +40,50 @@ val run :
 (** Runs the engine through warm-up plus measurement. [make_driver] is
     called once per thread (each gets its own protocol client). *)
 
+(** {2 Bank transfers: the multi-key transaction workload}
+
+    A YCSB+T-style closed economy: [accounts] balances strided across the
+    whole key space (so transfers cross ranges and exercise real 2PC), each
+    teller thread repeatedly moving a small amount between two random
+    accounts inside one {!Spinnaker.Txn.run}. Concurrent read-only snapshot
+    audits assert the total balance is conserved at every snapshot, and
+    everything that committed feeds {!History.check_serializable}. *)
+
+type bank_outcome = {
+  transfers_committed : int;
+  transfers_aborted : int;  (** conflicts, blocked reads, decided aborts *)
+  transfers_unresolved : int;
+      (** outcome unknown even after the post-quiesce status query *)
+  bank_audits : int;  (** committed snapshot audits (incl. the final one) *)
+  bank_violations : (string * string) list;
+      (** (invariant, detail): [conservation] and [serializability] *)
+  bank_history : History.t;
+  transfer_stats : Sim.Metrics.run_stats;  (** committed-transfer latency *)
+}
+
+val run_bank :
+  engine:Sim.Engine.t ->
+  cluster:Spinnaker.Cluster.t ->
+  ?accounts:int ->
+  ?initial_balance:int ->
+  ?threads:int ->
+  ?duration:Sim.Sim_time.span ->
+  ?audit_period:Sim.Sim_time.span ->
+  ?heal:(unit -> unit) ->
+  ?quiesce:Sim.Sim_time.span ->
+  ?in_flight:int ref ->
+  unit ->
+  bank_outcome
+(** Drive the bank for [duration], call [heal] (fault cleanup, for chaos
+    harnesses), quiesce, resolve in-doubt transfers against their
+    coordinators, run a final audit, and check serializability.
+    [in_flight], when given, tracks the number of transfers mid-protocol —
+    chaos harnesses couple it to a hazard crash process so leaders die
+    preferentially between prepare and resolve. *)
+
+val json_of_bank : bank_outcome -> Sim.Json.t
+(** The [BENCH_txn.json] payload: counts, violations, transfer latency. *)
+
 type sweep_point = { threads : int; outcome : outcome }
 
 val sweep :

@@ -86,6 +86,15 @@ let next_key t =
   fill (t.width - 1) k;
   Bytes.unsafe_to_string b
 
+(* Transfer endpoints for the bank workload: two distinct accounts, uniform
+   over ordered pairs. The second draw is an offset in [1, accounts), so no
+   rejection loop perturbs the rng stream. *)
+let account_pair rng ~accounts =
+  if accounts < 2 then invalid_arg "Generator.account_pair: need >= 2 accounts";
+  let a = Sim.Rng.int rng accounts in
+  let b = (a + 1 + Sim.Rng.int rng (accounts - 1)) mod accounts in
+  (a, b)
+
 let values : (int, string) Hashtbl.t = Hashtbl.create 4
 
 let value ~size =

@@ -54,5 +54,9 @@ val create :
 
 val next_key : t -> Storage.Row.key
 
+val account_pair : Sim.Rng.t -> accounts:int -> int * int
+(** Two distinct account indices for a bank transfer, uniform over ordered
+    pairs; exactly two rng draws. Raises if [accounts < 2]. *)
+
 val value : size:int -> string
 (** A deterministic payload of the given size (shared; contents opaque). *)

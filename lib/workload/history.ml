@@ -11,17 +11,26 @@ type read = {
   r_completed : Sim.Sim_time.t;
 }
 
+type txn = {
+  x_id : string;
+  x_commit_ts : int;
+  x_reads : (Storage.Row.key * string option) list;
+  x_writes : Storage.Row.key list;
+}
+
 type t = {
   writes : (Storage.Row.key, write list) Hashtbl.t;
   reads : (Storage.Row.key, read list) Hashtbl.t;
   mutable n_reads : int;
   mutable n_writes : int;
+  mutable txns : txn list;
 }
 
 type violation = { key : Storage.Row.key; explanation : string }
 
 let create () =
-  { writes = Hashtbl.create 16; reads = Hashtbl.create 16; n_reads = 0; n_writes = 0 }
+  { writes = Hashtbl.create 16; reads = Hashtbl.create 16; n_reads = 0; n_writes = 0;
+    txns = [] }
 
 let push table key v =
   Hashtbl.replace table key (v :: Option.value ~default:[] (Hashtbl.find_opt table key))
@@ -34,8 +43,12 @@ let record_read t ~key ~observed ~invoked ~completed =
   t.n_reads <- t.n_reads + 1;
   push t.reads key { r_observed = observed; r_invoked = invoked; r_completed = completed }
 
+let record_txn t ~id ~commit_ts ~reads ~writes =
+  t.txns <- { x_id = id; x_commit_ts = commit_ts; x_reads = reads; x_writes = writes } :: t.txns
+
 let reads t = t.n_reads
 let writes t = t.n_writes
+let txns t = List.length t.txns
 
 let check t =
   let violations = ref [] in
@@ -97,6 +110,184 @@ let check t =
 
 let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.key v.explanation
 
+(* Serializability of the recorded transactions, via the classic direct
+   serialization graph over committed transactions:
+   - wr: T1 -> T2 when T2 read a version T1 wrote (values encode their
+     writer's transaction id);
+   - ww: per key, committed writers ordered by (commit_ts, id) — each writer
+     points to its successor;
+   - rw: T1 read key k from W (or the initial state); the writer installed
+     immediately after W in k's ww order overwrote what T1 saw, so T1 points
+     to it (anti-dependency).
+   The history is serializable iff the graph is acyclic; a cycle is reported
+   as a minimal witness (shortest cycle inside its strongly connected
+   component). A read observing a transaction id never committed is the
+   read-from-aborted anomaly and is reported directly. *)
+let check_serializable t =
+  let violations = ref [] in
+  let bad key fmt =
+    Format.kasprintf (fun s -> violations := { key; explanation = s } :: !violations) fmt
+  in
+  let txns = List.rev t.txns in
+  let committed = Hashtbl.create (List.length txns) in
+  List.iter (fun x -> Hashtbl.replace committed x.x_id x) txns;
+  (* Edges, deduplicated; label = (kind, key) of the first witness found. *)
+  let edges : (string, (string, string * Storage.Row.key) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let add_edge u v ~kind ~key =
+    if not (String.equal u v) then begin
+      let out =
+        match Hashtbl.find_opt edges u with
+        | Some h -> h
+        | None ->
+          let h = Hashtbl.create 4 in
+          Hashtbl.replace edges u h;
+          h
+      in
+      if not (Hashtbl.mem out v) then Hashtbl.replace out v (kind, key)
+    end
+  in
+  (* ww order per key. *)
+  let writers_of : (Storage.Row.key, txn list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun key -> push writers_of key x)
+        (List.sort_uniq String.compare x.x_writes))
+    txns;
+  let order = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key ws ->
+      let ws =
+        List.sort
+          (fun a b -> compare (a.x_commit_ts, a.x_id) (b.x_commit_ts, b.x_id))
+          ws
+      in
+      Hashtbl.replace order key ws;
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+          add_edge a.x_id b.x_id ~kind:"ww" ~key;
+          chain rest
+        | _ -> ()
+      in
+      chain ws)
+    writers_of;
+  let successor_of key from =
+    match Hashtbl.find_opt order key with
+    | None -> None
+    | Some ws -> (
+      match from with
+      | None -> (match ws with w :: _ -> Some w | [] -> None)
+      | Some id ->
+        let rec after = function
+          | a :: (b :: _) when String.equal a.x_id id -> Some b
+          | _ :: rest -> after rest
+          | [] -> None
+        in
+        after ws)
+  in
+  (* wr and rw edges from each transaction's reads. *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun (key, from) ->
+          (match from with
+          | Some w when not (Hashtbl.mem committed w) ->
+            bad key "txn %s read %s, written by %s which never committed" x.x_id key w
+          | Some w -> add_edge w x.x_id ~kind:"wr" ~key
+          | None -> ());
+          match successor_of key from with
+          | Some s when not (String.equal s.x_id x.x_id) ->
+            add_edge x.x_id s.x_id ~kind:"rw" ~key
+          | _ -> ())
+        x.x_reads)
+    txns;
+  let out_of u =
+    match Hashtbl.find_opt edges u with
+    | None -> []
+    | Some h -> Hashtbl.fold (fun v label acc -> (v, label) :: acc) h []
+  in
+  (* Tarjan SCC over the edge set. *)
+  let index = Hashtbl.create 64 and lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun (w, _) ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (Stdlib.min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (Stdlib.min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (out_of v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if String.equal w v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      let scc = pop [] in
+      if List.length scc > 1 then sccs := scc :: !sccs
+    end
+  in
+  Hashtbl.iter (fun u _ -> if not (Hashtbl.mem index u) then strongconnect u) edges;
+  (* Minimal witness per SCC: shortest cycle through its first member, BFS
+     restricted to the component. *)
+  List.iter
+    (fun scc ->
+      let inside = Hashtbl.create (List.length scc) in
+      List.iter (fun v -> Hashtbl.replace inside v ()) scc;
+      let start = List.hd (List.sort String.compare scc) in
+      let parent = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      Queue.push start queue;
+      let found = ref None in
+      while !found = None && not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        List.iter
+          (fun (v, label) ->
+            if Hashtbl.mem inside v && !found = None then
+              if String.equal v start then found := Some (u, label)
+              else if not (Hashtbl.mem parent v) then begin
+                Hashtbl.replace parent v (u, label);
+                Queue.push v queue
+              end)
+          (out_of u)
+      done;
+      match !found with
+      | None -> ()
+      | Some (last, closing) ->
+        (* Walk parents back from [last] to [start], then close the loop. *)
+        let rec walk v acc =
+          if String.equal v start then acc
+          else
+            let u, label = Hashtbl.find parent v in
+            walk u ((u, label, v) :: acc)
+        in
+        let path = walk last [] @ [ (last, closing, start) ] in
+        let buf = Buffer.create 64 in
+        List.iteri
+          (fun i (u, (kind, key), v) ->
+            if i = 0 then Buffer.add_string buf u;
+            Buffer.add_string buf (Printf.sprintf " -%s[%s]-> %s" kind key v))
+          path;
+        let _, (_, first_key), _ = List.hd path in
+        bad first_key "dependency cycle: %s" (Buffer.contents buf))
+    !sccs;
+  List.rev !violations
+
 (* Canonical digest of everything recorded. Entries are folded in sorted
    order (never Hashtbl iteration order), so two histories built from the
    same sequence of events — in any insertion order — digest identically.
@@ -144,4 +335,23 @@ let fingerprint t =
                (us r.r_invoked) (us r.r_completed)))
         rs)
     all_keys;
+  (* Transactions fold in only when present, so digests of non-transactional
+     histories are unchanged from before transactions existed. *)
+  if t.txns <> [] then begin
+    let xs =
+      List.sort (fun a b -> compare (a.x_commit_ts, a.x_id) (b.x_commit_ts, b.x_id))
+        t.txns
+    in
+    List.iter
+      (fun x ->
+        Buffer.add_string buf (Printf.sprintf "t %s %d" x.x_id x.x_commit_ts);
+        List.iter
+          (fun (key, from) ->
+            Buffer.add_string buf
+              (Printf.sprintf " r:%s=%s" key (Option.value ~default:"-" from)))
+          x.x_reads;
+        List.iter (fun key -> Buffer.add_string buf (Printf.sprintf " w:%s" key)) x.x_writes;
+        Buffer.add_char buf '\n')
+      xs
+  end;
   Digest.to_hex (Digest.string (Buffer.contents buf))

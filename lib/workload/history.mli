@@ -38,9 +38,27 @@ val check : t -> violation list
 (** Empty iff the recorded history is consistent with a linearizable
     register per key. *)
 
+val record_txn :
+  t -> id:string -> commit_ts:int ->
+  reads:(Storage.Row.key * string option) list ->
+  writes:Storage.Row.key list -> unit
+(** Record one {e committed} transaction for {!check_serializable}. Each read
+    reports the id of the transaction whose write it observed ([None] = the
+    initial state) — the harness encodes the writer's id into every value so
+    observations identify their writers. *)
+
+val check_serializable : t -> violation list
+(** Empty iff the recorded transactions are serializable. Builds the direct
+    serialization graph — wr (read-from), ww (per-key writer order by commit
+    timestamp), and rw (anti-dependency) edges — and reports each dependency
+    cycle as a minimal witness (the shortest cycle in its strongly connected
+    component), plus any read of a transaction that never committed. *)
+
 val reads : t -> int
 
 val writes : t -> int
+
+val txns : t -> int
 
 val pp_violation : Format.formatter -> violation -> unit
 

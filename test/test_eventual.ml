@@ -215,7 +215,7 @@ let cells_of_list kvs =
   List.map
     (fun (k, v, ts) ->
       ( (k, "c"),
-        Row.{ value = Some v; version = 1; lsn = Lsn.make ~epoch:0 ~seq:ts; timestamp = ts } ))
+        Row.{ value = Some v; version = 1; lsn = Lsn.make ~epoch:0 ~seq:ts; timestamp = ts; txn_ts = None } ))
     (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) kvs)
 
 let test_merkle_equal_trees () =

@@ -12,6 +12,7 @@ let () =
       ("recovery-example", Test_recovery_example.suite);
       ("invariants", Test_invariants.suite);
       ("linearizability", Test_linearizability.suite);
+      ("txn", Test_txn.suite);
       ("nemesis", Test_nemesis.suite);
       ("shrink", Test_shrink.suite);
       ("eventual", Test_eventual.suite);

@@ -508,6 +508,51 @@ let run_schedule_replay path =
     Alcotest.failf "schedule replay reproduced %d violation(s)"
       (List.length v.Workload.Chaos.violations)
 
+(* --- the transaction gauntlet: 2PC under failover-mid-commit --------------- *)
+
+(* Twenty seeds of cross-range bank transfers under crash chaos whose hazard
+   rate spikes while transfers are mid-protocol, so coordinator and
+   participant leaders die together between prepare and resolve. The verdict
+   carries the §1.1-style claims for transactions: atomicity + conservation
+   (snapshot audits), serializability of the committed history, and zero
+   orphaned in-doubt intents after recovery. A failing seed ddmins its
+   schedule to a minimal reproduction and dumps the flight recorder's
+   outlier traces next to it. *)
+let run_txn_bank_seed seed =
+  let v = Workload.Chaos.run_txn_bank ~seed () in
+  if Workload.Chaos.failed v then begin
+    Format.printf "@.txn-bank seed %d violations:@." seed;
+    List.iter
+      (fun (invariant, detail) -> Format.printf "  %s: %s@." invariant detail)
+      v.Workload.Chaos.violations;
+    (match v.Workload.Chaos.outliers with
+    | Some json ->
+      let path = Printf.sprintf "TRACE_outliers_txn_seed%d.json" seed in
+      Sim.Json.to_file path json;
+      Format.printf "outlier flight-recorder traces dumped to %s@." path
+    | None -> ());
+    (match Workload.Chaos.shrink_txn_bank ~seed () with
+    | Some (minimal_verdict, minimal, stats) ->
+      let path = Printf.sprintf "MINIMAL_SCHEDULE_txn_seed%d.json" seed in
+      Sim.Json.to_file path
+        (Workload.Chaos.json_of_verdict { minimal_verdict with schedule = minimal });
+      Format.printf "ddmin: %d -> %d injections in %d replays; artifact: %s@."
+        stats.Sim.Shrink.initial_injections stats.Sim.Shrink.final_injections
+        stats.Sim.Shrink.replays path
+    | None -> Format.printf "violation did not survive schedule replay (flaky exposure)@.");
+    Alcotest.failf "seed %d: %d transaction invariant violation(s)" seed
+      (List.length v.Workload.Chaos.violations)
+  end;
+  check_bool
+    (Printf.sprintf "seed %d: transfers committed under chaos" seed)
+    true (v.Workload.Chaos.acked > 0);
+  check_bool
+    (Printf.sprintf "seed %d: nothing left unresolved" seed)
+    true
+    (v.Workload.Chaos.indeterminate = 0)
+
+let test_txn_chaos_battery () = List.iter run_txn_bank_seed (chaos_seeds ())
+
 let test_chaos_survival () =
   match Sys.getenv_opt "NEMESIS_SCHEDULE" with
   | Some path -> run_schedule_replay path
@@ -528,4 +573,6 @@ let suite =
       test_lease_fencing;
     Alcotest.test_case "chaos: crashes + partitions + loss + duplication" `Slow
       test_chaos_survival;
+    Alcotest.test_case "txn chaos: 2PC bank transfers under failover-mid-commit" `Slow
+      test_txn_chaos_battery;
   ]

@@ -17,7 +17,7 @@ let check_str_opt = Alcotest.(check (option string))
 let lsn e s = Lsn.make ~epoch:e ~seq:s
 
 let cell ?(value = Some "v") ?(version = 1) ?(timestamp = 0) l : Row.cell =
-  { value; version; lsn = l; timestamp }
+  { value; version; lsn = l; timestamp; txn_ts = None }
 
 (* --- LSN ---------------------------------------------------------------- *)
 
